@@ -1,0 +1,87 @@
+//! C8: codec microbenchmarks — LZ compression, ChaCha20, SHA-256, pickle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pylite::{pickle, Array, Value};
+
+fn csv_like(len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 32);
+    let mut i = 0u64;
+    while out.len() < len {
+        out.extend_from_slice(format!("{},{},row-{}\n", i, i * 2, i % 7).as_bytes());
+        i += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+fn random_bytes(len: usize) -> Vec<u8> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xff) as u8
+        })
+        .collect()
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz");
+    for (label, data) in [
+        ("csv_1MiB", csv_like(1 << 20)),
+        ("random_1MiB", random_bytes(1 << 20)),
+        ("zeros_1MiB", vec![0u8; 1 << 20]),
+    ] {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress", label), &data, |b, d| {
+            b.iter(|| codecs::lz::compress(d))
+        });
+        let compressed = codecs::lz::compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", label), &compressed, |b, d| {
+            b.iter(|| codecs::lz::decompress(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data = csv_like(1 << 20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    let key = [7u8; 32];
+    let nonce = [1u8; 12];
+    group.bench_function("chacha20_1MiB", |b| {
+        b.iter(|| codecs::chacha20::xor_stream(&key, &nonce, 1, &data))
+    });
+    group.bench_function("sha256_1MiB", |b| b.iter(|| codecs::sha256(&data)));
+    group.bench_function("kdf_derive_key", |b| {
+        b.iter(|| codecs::derive_key("monetdb", b"devudf-transfer-v1"))
+    });
+    group.finish();
+}
+
+fn bench_pickle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pickle");
+    for rows in [1_000usize, 100_000] {
+        let mut d = pylite::value::Dict::new();
+        d.insert(
+            Value::str("column"),
+            Value::array(Array::Int((0..rows as i64).collect())),
+        )
+        .unwrap();
+        let v = Value::dict(d);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("dumps_int_column", rows), &v, |b, v| {
+            b.iter(|| pickle::dumps(v).unwrap())
+        });
+        let blob = pickle::dumps(&v).unwrap();
+        group.bench_with_input(BenchmarkId::new("loads_int_column", rows), &blob, |b, d| {
+            b.iter(|| pickle::loads(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lz, bench_crypto, bench_pickle);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! C5: operator-at-a-time vs tuple-at-a-time UDF invocation (paper §2.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use devudf_bench::seed_numbers;
+use monetlite::{Engine, ExecutionModel};
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udf_invocation_model");
+    group.sample_size(10);
+    for rows in [100usize, 1_000, 10_000] {
+        let db = Engine::new();
+        seed_numbers(&db, rows);
+        db.execute(
+            "CREATE FUNCTION inc(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i + 1 }",
+        )
+        .unwrap();
+        group.throughput(Throughput::Elements(rows as u64));
+
+        db.set_model(ExecutionModel::OperatorAtATime);
+        group.bench_with_input(
+            BenchmarkId::new("operator_at_a_time", rows),
+            &rows,
+            |b, _| b.iter(|| db.execute("SELECT inc(i) FROM numbers").unwrap()),
+        );
+
+        db.set_model(ExecutionModel::TupleAtATime);
+        group.bench_with_input(
+            BenchmarkId::new("tuple_at_a_time", rows),
+            &rows,
+            |b, _| b.iter(|| db.execute("SELECT inc(i) FROM numbers").unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

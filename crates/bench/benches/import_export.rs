@@ -1,0 +1,62 @@
+//! C7: import/export scaling with UDF count and body size (plugin
+//! responsiveness — the paper's Figure 3 dialogs must stay interactive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use devudf_bench::bench_session;
+use wireproto::{Server, ServerConfig};
+
+fn server_with_udfs(n: usize, body_lines: usize) -> Server {
+    Server::start(
+        ServerConfig::new("demo", "monetdb", "monetdb"),
+        move |db| {
+            db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+            db.execute("INSERT INTO numbers VALUES (1), (2)").unwrap();
+            for i in 0..n {
+                let mut body = String::from("acc = 0\n");
+                for j in 0..body_lines {
+                    body.push_str(&format!("acc = acc + {j}\n"));
+                }
+                body.push_str("return acc + sum(column)\n");
+                db.execute(&format!(
+                    "CREATE FUNCTION udf_{i}(column INTEGER) RETURNS INTEGER LANGUAGE PYTHON {{\n{body}}}"
+                ))
+                .unwrap();
+            }
+        },
+    )
+}
+
+fn bench_import_export(c: &mut Criterion) {
+    let mut group = c.benchmark_group("import_export");
+    group.sample_size(10);
+    for n in [1usize, 16, 64] {
+        let server = server_with_udfs(n, 20);
+        let mut dev = bench_session(&server, &format!("bench-impexp-{n}"));
+        group.bench_with_input(BenchmarkId::new("import_all", n), &n, |b, _| {
+            b.iter(|| dev.import_all().unwrap())
+        });
+        let names = dev.project.udf_names().unwrap();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        group.bench_with_input(BenchmarkId::new("export_all", n), &n, |b, _| {
+            b.iter(|| dev.export(&refs).unwrap())
+        });
+        std::fs::remove_dir_all(dev.project.root()).ok();
+        server.shutdown();
+    }
+    // Body-size sweep at a fixed count.
+    for lines in [10usize, 100, 500] {
+        let server = server_with_udfs(4, lines);
+        let mut dev = bench_session(&server, &format!("bench-impexp-lines-{lines}"));
+        group.bench_with_input(
+            BenchmarkId::new("import_by_body_lines", lines),
+            &lines,
+            |b, _| b.iter(|| dev.import_all().unwrap()),
+        );
+        std::fs::remove_dir_all(dev.project.root()).ok();
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_import_export);
+criterion_main!(benches);

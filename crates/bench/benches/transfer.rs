@@ -1,0 +1,60 @@
+//! C1–C3: data-transfer benchmark — the paper's three transfer options
+//! (compression, encryption, sampling) across payload sizes.
+//!
+//! Regenerates the shape behind §2.1's claims: compression "leading to
+//! faster transfer times", sampling "will alleviate the data transfer
+//! overhead", encryption as an affordable option for sensitive data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use devudf_bench::{bench_server, bench_session};
+use wireproto::TransferOptions;
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_extract");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000, 100_000] {
+        let server = bench_server(rows);
+        let mut dev = bench_session(&server, &format!("bench-transfer-{rows}"));
+        dev.import_all().unwrap();
+        group.throughput(Throughput::Elements(rows as u64));
+        let cases = [
+            ("plain", TransferOptions::plain()),
+            ("compressed", TransferOptions::compressed()),
+            ("encrypted", TransferOptions::encrypted()),
+            (
+                "compressed+encrypted",
+                TransferOptions {
+                    compress: true,
+                    encrypt: true,
+                    sample: None,
+                },
+            ),
+            ("sample-10pct", TransferOptions::sampled(rows / 10)),
+            ("sample-1pct", TransferOptions::sampled(rows / 100)),
+        ];
+        for (label, opts) in cases {
+            group.bench_with_input(
+                BenchmarkId::new(label, rows),
+                &opts,
+                |b, opts| {
+                    b.iter(|| {
+                        dev.client()
+                            .borrow_mut()
+                            .extract_inputs(
+                                "SELECT mean_deviation(i) FROM numbers",
+                                "mean_deviation",
+                                *opts,
+                            )
+                            .unwrap()
+                    })
+                },
+            );
+        }
+        std::fs::remove_dir_all(dev.project.root()).ok();
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! C9: VCS operation costs — the paper's §1 motivation is that moving UDFs
+//! into project files makes version control possible; this measures that
+//! the mini-VCS stays fast at realistic history sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minivcs::{diff_lines, Repository};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "devudf-bench-vcs-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vcs");
+    group.sample_size(10);
+
+    group.bench_function("add_commit_small_file", |b| {
+        let dir = temp_dir("commit");
+        let repo = Repository::init(&dir).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::fs::write(dir.join("udf.py"), format!("return {i}\n")).unwrap();
+            repo.add("udf.py").unwrap();
+            repo.commit(&format!("edit {i}"), "dev").unwrap()
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    // Log traversal over a prebuilt history.
+    for commits in [10usize, 100] {
+        let dir = temp_dir(&format!("log-{commits}"));
+        let repo = Repository::init(&dir).unwrap();
+        for i in 0..commits {
+            std::fs::write(dir.join("udf.py"), format!("return {i}\n")).unwrap();
+            repo.add("udf.py").unwrap();
+            repo.commit(&format!("edit {i}"), "dev").unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("log", commits), &commits, |b, _| {
+            b.iter(|| repo.log().unwrap())
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vcs_diff");
+    for lines in [50usize, 500] {
+        let old: String = (0..lines).map(|i| format!("line {i}\n")).collect();
+        let new = old.replace(&format!("line {}", lines / 2), "edited line");
+        group.bench_with_input(
+            BenchmarkId::new("one_line_edit", lines),
+            &(old, new),
+            |b, (old, new)| b.iter(|| diff_lines(old, new)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit, bench_diff);
+criterion_main!(benches);

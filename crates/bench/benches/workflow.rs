@@ -1,0 +1,47 @@
+//! C4: one fix-iteration under each workflow.
+//!
+//! Traditional (paper §1): re-`CREATE FUNCTION` on the server + rerun the
+//! SQL query there — the full input is processed server-side every time.
+//! devUDF: edit the local file + run locally on the already-transferred
+//! inputs. The gap grows with the input size and the iteration count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use devudf_bench::{bench_server, bench_session, create_mean_deviation, LISTING4_BODY};
+
+fn bench_workflows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workflow_iteration");
+    group.sample_size(10);
+    for rows in [1_000usize, 20_000] {
+        // Traditional: one iteration = CREATE OR REPLACE + server-side run.
+        let server = bench_server(rows);
+        let mut dev = bench_session(&server, &format!("bench-wf-trad-{rows}"));
+        group.bench_with_input(BenchmarkId::new("traditional", rows), &rows, |b, _| {
+            b.iter(|| {
+                dev.server_query(&create_mean_deviation(LISTING4_BODY)).unwrap();
+                dev.server_query("SELECT mean_deviation(i) FROM numbers").unwrap()
+            })
+        });
+        std::fs::remove_dir_all(dev.project.root()).ok();
+        server.shutdown();
+
+        // devUDF: one iteration = write local file + local run (inputs are
+        // already on the developer machine).
+        let server = bench_server(rows);
+        let mut dev = bench_session(&server, &format!("bench-wf-dev-{rows}"));
+        dev.import_all().unwrap();
+        dev.fetch_inputs("mean_deviation").unwrap();
+        let script = dev.project.read_udf("mean_deviation").unwrap();
+        group.bench_with_input(BenchmarkId::new("devudf_local", rows), &rows, |b, _| {
+            b.iter(|| {
+                dev.project.write_udf("mean_deviation", &script).unwrap();
+                dev.run_udf("mean_deviation").unwrap()
+            })
+        });
+        std::fs::remove_dir_all(dev.project.root()).ok();
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflows);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerate paper Figures 1–3 as text renderings of the live dialog
+//! models (the paper's figures are GUI screenshots of exactly these).
+
+use devudf::Settings;
+use devudf_ide::HeadlessIde;
+use wireproto::{Server, ServerConfig};
+
+fn main() {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3)").unwrap();
+        for name in ["mean_deviation", "loadnumbers", "train_rnforest"] {
+            db.execute(&format!(
+                "CREATE FUNCTION {name}(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {{ return i }}"
+            ))
+            .unwrap();
+        }
+    });
+    let dir = std::env::temp_dir().join(format!("devudf-figures-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    settings.transfer.compress = true;
+    settings.transfer.sample = Some(1000);
+    let mut ide = HeadlessIde::open_in_proc(&server, settings, &dir).unwrap();
+
+    println!("Figure 1: PyCharm Main Menu (with the devUDF submenu)");
+    println!("{}", ide.render_main_menu());
+
+    println!("Figure 2: Settings");
+    println!("{}\n", ide.render_settings_dialog());
+
+    let mut import = ide.open_import_dialog().unwrap();
+    import.toggle("mean_deviation");
+    println!("Figure 3(a): Import UDFs");
+    println!("{}\n", import.render());
+
+    ide.confirm_import(&import).unwrap();
+    let mut export = ide.open_export_dialog().unwrap();
+    export.toggle("mean_deviation");
+    println!("Figure 3(b): Export UDFs");
+    println!("{}", export.render());
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}

@@ -1,0 +1,8 @@
+//! Regenerate paper Table 1 ("Most Popular Development Environments").
+//!
+//! The table is PYPL Top-IDE-index survey data the paper cites; it cannot
+//! be re-measured, so it is embedded verbatim (see DESIGN.md, experiment T1).
+
+fn main() {
+    print!("{}", devudf_bench::render_table1());
+}

@@ -1,0 +1,56 @@
+//! FNV-1a hashing.
+//!
+//! Used for cheap, deterministic fingerprints: hash-chain buckets in the LZ
+//! compressor and non-cryptographic content fingerprints in the wire
+//! protocol's integrity check.
+
+const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV64_PRIME: u64 = 0x100000001b3;
+const FNV32_OFFSET: u32 = 0x811c9dc5;
+const FNV32_PRIME: u32 = 0x01000193;
+
+/// 64-bit FNV-1a hash of `data`.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// 32-bit FNV-1a hash of `data`.
+pub fn fnv1a_32(data: &[u8]) -> u32 {
+    let mut h = FNV32_OFFSET;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(FNV32_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Published FNV-1a test vectors (from the FNV reference distribution).
+    #[test]
+    fn known_vectors_64() {
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn known_vectors_32() {
+        assert_eq!(fnv1a_32(b""), 0x811c9dc5);
+        assert_eq!(fnv1a_32(b"a"), 0xe40c292c);
+        assert_eq!(fnv1a_32(b"foobar"), 0xbf9cf968);
+    }
+
+    #[test]
+    fn differs_on_small_changes() {
+        assert_ne!(fnv1a_64(b"hello world"), fnv1a_64(b"hello worle"));
+        assert_ne!(fnv1a_32(b"hello world"), fnv1a_32(b"hello worle"));
+    }
+}

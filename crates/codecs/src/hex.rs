@@ -1,0 +1,76 @@
+//! Hexadecimal encoding/decoding for digests and test vectors.
+
+/// Encode `bytes` as a lowercase hexadecimal string.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// Returns `None` if the input has odd length or contains a non-hex digit.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_empty() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn encodes_known_bytes() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x10, 0xab]), "00ff10ab");
+    }
+
+    #[test]
+    fn decodes_uppercase() {
+        assert_eq!(from_hex("00FF10AB").unwrap(), vec![0x00, 0xff, 0x10, 0xab]);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert!(from_hex("abc").is_none());
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert!(from_hex("zz").is_none());
+        assert!(from_hex("0g").is_none());
+    }
+
+    #[test]
+    fn round_trips_all_bytes() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&all)).unwrap(), all);
+    }
+}

@@ -1,0 +1,332 @@
+//! LZ77-family byte compressor.
+//!
+//! Implements the paper's "method of compressing the data during the
+//! transfer" (§2.1). The format is a simple token stream:
+//!
+//! ```text
+//! header  := varint(uncompressed_len)
+//! token   := literal | match
+//! literal := varint(len << 1)     followed by `len` raw bytes
+//! match   := varint(len << 1 | 1) varint(distance)
+//! ```
+//!
+//! Matches are found with a hash-chain matcher over 4-byte prefixes inside a
+//! 64 KiB sliding window — the classic LZ77/DEFLATE arrangement, tuned for
+//! the columnar, highly repetitive payloads the extract function produces.
+
+use crate::fnv::fnv1a_32;
+use crate::varint::{read_u64, write_u64, VarintError};
+
+/// Minimum match length worth encoding (a match token costs ≥ 2 bytes).
+const MIN_MATCH: usize = 4;
+/// Maximum match length (keeps varints short; longer repeats split).
+const MAX_MATCH: usize = 1 << 16;
+/// Sliding-window size: matches may reach at most this far back.
+const WINDOW: usize = 1 << 16;
+/// Number of hash buckets (power of two).
+const HASH_BITS: u32 = 15;
+/// Max chain links to follow per position (compression effort knob).
+const MAX_CHAIN: usize = 32;
+
+/// Errors returned while decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// A varint inside the stream was malformed.
+    Varint(VarintError),
+    /// The stream ended before the declared length was produced.
+    Truncated,
+    /// A match token referenced data before the start of the output.
+    BadMatchDistance { distance: usize, produced: usize },
+    /// The stream produced more data than the header declared.
+    LengthMismatch { declared: usize, produced: usize },
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Varint(e) => write!(f, "lz: {e}"),
+            CompressError::Truncated => write!(f, "lz: truncated stream"),
+            CompressError::BadMatchDistance { distance, produced } => write!(
+                f,
+                "lz: match distance {distance} exceeds produced output {produced}"
+            ),
+            CompressError::LengthMismatch { declared, produced } => write!(
+                f,
+                "lz: declared length {declared} but produced {produced}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<VarintError> for CompressError {
+    fn from(e: VarintError) -> Self {
+        CompressError::Varint(e)
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    (fnv1a_32(&data[..4]) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` into a fresh buffer.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    write_u64(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h (+1; 0 = empty).
+    let mut head = vec![0u32; 1 << HASH_BITS];
+    // prev[i % WINDOW] = previous position with the same hash as i (+1).
+    let mut prev = vec![0u32; WINDOW];
+
+    let mut literal_start = 0usize;
+    let mut pos = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut start = from;
+        while start < to {
+            let len = (to - start).min(MAX_MATCH);
+            write_u64(out, (len as u64) << 1);
+            out.extend_from_slice(&input[start..start + len]);
+            start += len;
+        }
+    };
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        // Walk the chain looking for the longest match.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[h] as usize;
+        let mut chain = 0usize;
+        while candidate != 0 && chain < MAX_CHAIN {
+            let cand_pos = candidate - 1;
+            if pos - cand_pos > WINDOW {
+                break;
+            }
+            let limit = (input.len() - pos).min(MAX_MATCH);
+            let mut len = 0usize;
+            while len < limit && input[cand_pos + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - cand_pos;
+                if len == limit {
+                    break;
+                }
+            }
+            candidate = prev[cand_pos % WINDOW] as usize;
+            chain += 1;
+        }
+
+        // Insert current position into the chain.
+        prev[pos % WINDOW] = head[h];
+        head[h] = (pos + 1) as u32;
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, pos);
+            write_u64(&mut out, ((best_len as u64) << 1) | 1);
+            write_u64(&mut out, best_dist as u64);
+            // Index the skipped positions so future matches can refer to them.
+            let end = pos + best_len;
+            pos += 1;
+            while pos < end && pos + MIN_MATCH <= input.len() {
+                let h = hash4(&input[pos..]);
+                prev[pos % WINDOW] = head[h];
+                head[h] = (pos + 1) as u32;
+                pos += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+
+    flush_literals(&mut out, literal_start, input.len());
+    out
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let (declared, mut cursor) = read_u64(input)?;
+    let declared = usize::try_from(declared).map_err(|_| CompressError::Truncated)?;
+    // Do not trust the header for the allocation: a hostile or corrupted
+    // stream could declare a huge length. Grow as tokens actually produce
+    // data; the cap only seeds the fast path for honest streams.
+    let mut out = Vec::with_capacity(declared.min(1 << 20));
+
+    while out.len() < declared {
+        if cursor >= input.len() {
+            return Err(CompressError::Truncated);
+        }
+        let (token, used) = read_u64(&input[cursor..])?;
+        cursor += used;
+        let len = usize::try_from(token >> 1).map_err(|_| CompressError::Truncated)?;
+        if out.len() + len > declared {
+            return Err(CompressError::LengthMismatch {
+                declared,
+                produced: out.len() + len,
+            });
+        }
+        if token & 1 == 0 {
+            // Literal run.
+            if len > input.len() - cursor {
+                return Err(CompressError::Truncated);
+            }
+            out.extend_from_slice(&input[cursor..cursor + len]);
+            cursor += len;
+        } else {
+            let (distance, used) = read_u64(&input[cursor..])?;
+            cursor += used;
+            let distance = distance as usize;
+            if distance == 0 || distance > out.len() {
+                return Err(CompressError::BadMatchDistance {
+                    distance,
+                    produced: out.len(),
+                });
+            }
+            // Overlapping copies are legal (e.g. RLE via distance 1).
+            let start = out.len() - distance;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+
+    if out.len() != declared {
+        return Err(CompressError::LengthMismatch {
+            declared,
+            produced: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved on `input` (compressed / original, lower is
+/// better). Returns 1.0 for empty input.
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    compress(input).len() as f64 / input.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(b"");
+        assert_eq!(compress(b"").len(), 1);
+    }
+
+    #[test]
+    fn short_inputs() {
+        for len in 0..20 {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            round_trip(&data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data = b"abcdabcdabcdabcdabcdabcdabcdabcd".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 10, "got {} of {}", c.len(), data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn rle_style_overlap() {
+        let data = vec![42u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "rle should collapse, got {}", c.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn csv_like_payload() {
+        let mut data = Vec::new();
+        for i in 0..5000 {
+            data.extend_from_slice(format!("{},{},row-{}\n", i, i * 2, i % 7).as_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_random_data_round_trips() {
+        // Deterministic xorshift so the test is stable.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        round_trip(&data);
+        // Expansion is bounded: literal token overhead only.
+        let c = compress(&data);
+        assert!(c.len() < data.len() + data.len() / 1000 + 64);
+    }
+
+    #[test]
+    fn long_range_matches_beyond_window_still_correct() {
+        // Repeat a block farther apart than the window; must still round-trip
+        // (just without cross-window matches).
+        let block: Vec<u8> = (0..=255u16).map(|i| (i % 256) as u8).collect();
+        let mut data = block.repeat(10);
+        data.extend(vec![0u8; WINDOW + 100]);
+        data.extend(block.repeat(10));
+        round_trip(&data);
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let data = b"hello hello hello hello hello".repeat(10);
+        let mut c = compress(&data);
+        c.truncate(c.len() - 3);
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_distance() {
+        let mut stream = Vec::new();
+        write_u64(&mut stream, 10); // declared length
+        write_u64(&mut stream, (4 << 1) | 1); // match len 4
+        write_u64(&mut stream, 5); // distance 5 with nothing produced
+        assert!(matches!(
+            decompress(&stream),
+            Err(CompressError::BadMatchDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert!(decompress(&[0xff; 11]).is_err());
+    }
+
+    #[test]
+    fn ratio_reports_sensible_values() {
+        assert!(ratio(&vec![0u8; 10_000]) < 0.01);
+        assert!((ratio(b"") - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,135 @@
+//! LEB128-style unsigned variable-length integers.
+//!
+//! Used by the LZ token stream and the wire protocol framing. Small values
+//! (lengths, offsets, row counts) dominate both, so the 1-byte fast path
+//! matters.
+
+/// Errors returned while decoding a varint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// Input ended before the terminating byte.
+    UnexpectedEof,
+    /// More than 10 continuation bytes (would overflow a u64).
+    Overflow,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::UnexpectedEof => write!(f, "varint: unexpected end of input"),
+            VarintError::Overflow => write!(f, "varint: value overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Append the varint encoding of `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a varint from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed.
+pub fn read_u64(input: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i == 10 {
+            return Err(VarintError::Overflow);
+        }
+        let low = (byte & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return Err(VarintError::Overflow);
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(VarintError::UnexpectedEof)
+}
+
+/// Encoded length in bytes of `value`.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_small_values_in_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf, vec![v as u8]);
+        }
+    }
+
+    #[test]
+    fn round_trips_boundary_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (decoded, used) = read_u64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(used, buf.len());
+            assert_eq!(used, encoded_len(v));
+        }
+    }
+
+    #[test]
+    fn decodes_with_trailing_bytes() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.extend_from_slice(b"rest");
+        let (v, used) = read_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(used, 2);
+    }
+
+    #[test]
+    fn errors_on_truncation() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        assert_eq!(read_u64(&buf), Err(VarintError::UnexpectedEof));
+        assert_eq!(read_u64(&[]), Err(VarintError::UnexpectedEof));
+    }
+
+    #[test]
+    fn errors_on_overflow() {
+        // 11 continuation bytes.
+        let buf = [0xffu8; 11];
+        assert_eq!(read_u64(&buf), Err(VarintError::Overflow));
+        // 10 bytes but the last one pushes past 64 bits.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert_eq!(read_u64(&buf), Err(VarintError::Overflow));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the codec primitives.
+
+use codecs::{chacha20, lz, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn varint_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let (decoded, used) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn lz_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lz::compress(&data);
+        let d = lz::decompress(&c).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn lz_round_trip_repetitive(
+        pattern in proptest::collection::vec(any::<u8>(), 1..32),
+        repeats in 1usize..512,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * repeats).copied().collect();
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn chacha_round_trip(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let ct = chacha20::xor_stream(&key, &nonce, 1, &data);
+        let pt = chacha20::xor_stream(&key, &nonce, 1, &ct);
+        prop_assert_eq!(pt, data);
+    }
+
+    #[test]
+    fn lz_decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must return Ok or Err, never panic or loop forever.
+        let _ = lz::decompress(&data);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        let mut h = codecs::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), codecs::sha256(&data));
+    }
+}

@@ -1,0 +1,112 @@
+//! `devudf` — the paper's primary contribution, as a library.
+//!
+//! devUDF (EDBT 2019) is an IDE plugin that lets developers **develop and
+//! interactively debug MonetDB/Python UDFs from inside their IDE**. This
+//! crate implements the plugin's entire machinery against the reproduction
+//! substrates (`monetlite` + `wireproto` + `pylite` + `minivcs`):
+//!
+//! | Paper feature (§) | Module |
+//! |---|---|
+//! | Connection settings dialog (Fig. 2) | [`settings`] |
+//! | Import UDFs from meta tables (Fig. 3a) | [`import_export`] |
+//! | Code transformations (Listings 1→2) | [`transform`] |
+//! | Export UDFs back to the server (Fig. 3b) | [`import_export`] |
+//! | Input extraction via query rewriting (§2.2) | [`debug`] + server extract |
+//! | Transfer options: compress / encrypt / sample (§2.1) | [`settings`] → `wireproto` |
+//! | Local runs + interactive debugging (§2.1) | [`debug`] |
+//! | Nested UDFs and loopback queries (§2.3) | [`nested`], [`debug::LocalConn`] |
+//! | VCS integration (§1) | [`project`] (via `minivcs`) |
+//! | Workflow comparison (demo §2.5) | [`workflow`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use devudf::{DevUdf, Settings};
+//! use wireproto::{Server, ServerConfig};
+//!
+//! // A running database server with a stored UDF.
+//! let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+//!     db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+//!     db.execute("INSERT INTO t VALUES (1), (2), (3), (4)").unwrap();
+//!     db.execute("CREATE FUNCTION double_it(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i * 2 }").unwrap();
+//! });
+//!
+//! // The devUDF side: a project directory + connection settings.
+//! let dir = std::env::temp_dir().join(format!("devudf-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let mut settings = Settings::default();
+//! settings.debug_query = "SELECT double_it(i) FROM t".to_string();
+//! let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+//!
+//! // Import, run locally, inspect.
+//! dev.import_all().unwrap();
+//! let outcome = dev.run_udf("double_it").unwrap();
+//! assert_eq!(outcome.result_repr, "array([2, 4, 6, 8], dtype=int64)");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! server.shutdown();
+//! ```
+
+pub mod debug;
+pub mod import_export;
+pub mod nested;
+pub mod project;
+pub mod session;
+pub mod settings;
+pub mod transform;
+pub mod workflow;
+
+pub use debug::{DebugOutcome, RunOutcome};
+pub use import_export::ImportReport;
+pub use project::Project;
+pub use session::DevUdf;
+pub use settings::{Settings, TransferSettings};
+
+/// Crate-wide error type.
+#[derive(Debug)]
+pub enum DevUdfError {
+    /// Connection/protocol failure.
+    Wire(wireproto::WireError),
+    /// Local filesystem problem.
+    Io(std::io::Error),
+    /// Code transformation failed (malformed script, unknown UDF…).
+    Transform(String),
+    /// Local interpreter error while running/debugging a UDF.
+    Python(pylite::PyError),
+    /// Configuration problem.
+    Config(String),
+}
+
+impl std::fmt::Display for DevUdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DevUdfError::Wire(e) => write!(f, "{e}"),
+            DevUdfError::Io(e) => write!(f, "io error: {e}"),
+            DevUdfError::Transform(m) => write!(f, "transform error: {m}"),
+            DevUdfError::Python(e) => write!(f, "python error: {e}"),
+            DevUdfError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DevUdfError {}
+
+impl From<wireproto::WireError> for DevUdfError {
+    fn from(e: wireproto::WireError) -> Self {
+        DevUdfError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for DevUdfError {
+    fn from(e: std::io::Error) -> Self {
+        DevUdfError::Io(e)
+    }
+}
+
+impl From<pylite::PyError> for DevUdfError {
+    fn from(e: pylite::PyError) -> Self {
+        DevUdfError::Python(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DevUdfError>;

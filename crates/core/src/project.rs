@@ -1,0 +1,232 @@
+//! The project model: UDFs as plain files in a directory, with optional
+//! version control — the property §1 of the paper calls out as missing from
+//! the in-database workflow.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use minivcs::Repository;
+use pylite::FsProvider;
+
+use crate::transform::INPUT_BIN;
+use crate::Result;
+
+/// A devUDF project directory.
+pub struct Project {
+    root: PathBuf,
+    vcs: Option<Repository>,
+}
+
+impl Project {
+    /// Open (creating if needed) a project at `root`.
+    pub fn open(root: &Path) -> Result<Project> {
+        std::fs::create_dir_all(root)?;
+        Ok(Project {
+            root: root.to_path_buf(),
+            vcs: None,
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// File path for a UDF's local script.
+    pub fn udf_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.py"))
+    }
+
+    /// Write a UDF script file.
+    pub fn write_udf(&self, name: &str, content: &str) -> Result<PathBuf> {
+        let path = self.udf_path(name);
+        std::fs::write(&path, content)?;
+        Ok(path)
+    }
+
+    /// Read a UDF script file.
+    pub fn read_udf(&self, name: &str) -> Result<String> {
+        Ok(std::fs::read_to_string(self.udf_path(name))?)
+    }
+
+    /// Whether a UDF script exists locally.
+    pub fn has_udf(&self, name: &str) -> bool {
+        self.udf_path(name).exists()
+    }
+
+    /// Names of all imported UDFs (every `*.py` in the project root).
+    pub fn udf_names(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().to_string();
+            if let Some(stem) = name.strip_suffix(".py") {
+                out.push(stem.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Store the transferred input data (the `input.bin` of Listing 2).
+    pub fn write_input_bin(&self, data: &[u8]) -> Result<()> {
+        std::fs::write(self.root.join(INPUT_BIN), data)?;
+        Ok(())
+    }
+
+    /// A pylite filesystem provider rooted at the project directory, so
+    /// locally-run UDF scripts resolve `./input.bin` (and any CSV fixtures)
+    /// against the project.
+    pub fn fs_provider(&self) -> Rc<dyn FsProvider> {
+        Rc::new(ProjectFs {
+            root: self.root.clone(),
+        })
+    }
+
+    // ---------------- VCS ----------------
+
+    /// Initialize (or reopen) version control for the project.
+    pub fn init_vcs(&mut self) -> Result<()> {
+        self.vcs = Some(Repository::init(&self.root)?);
+        Ok(())
+    }
+
+    /// The VCS handle, if initialized.
+    pub fn vcs(&self) -> Option<&Repository> {
+        self.vcs.as_ref()
+    }
+
+    /// Stage all files and commit; returns the commit id.
+    pub fn commit_all(&self, message: &str, author: &str) -> Result<String> {
+        let repo = self
+            .vcs
+            .as_ref()
+            .ok_or_else(|| crate::DevUdfError::Config("VCS not initialized".to_string()))?;
+        repo.add_all()?;
+        Ok(repo.commit(message, author)?.0)
+    }
+}
+
+/// Sandboxed real-filesystem provider rooted at the project directory.
+struct ProjectFs {
+    root: PathBuf,
+}
+
+impl ProjectFs {
+    /// Resolve a script-visible path inside the project, rejecting escapes.
+    fn resolve(&self, path: &str) -> std::result::Result<PathBuf, String> {
+        let cleaned = path.trim_start_matches("./");
+        if cleaned.split('/').any(|seg| seg == "..") {
+            return Err(format!("path '{path}' escapes the project sandbox"));
+        }
+        Ok(self.root.join(cleaned))
+    }
+}
+
+impl FsProvider for ProjectFs {
+    fn read(&self, path: &str) -> std::result::Result<Vec<u8>, String> {
+        let p = self.resolve(path)?;
+        std::fs::read(&p).map_err(|e| format!("cannot read '{path}': {e}"))
+    }
+
+    fn write(&self, path: &str, data: &[u8]) -> std::result::Result<(), String> {
+        let p = self.resolve(path)?;
+        if let Some(parent) = p.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&p, data).map_err(|e| format!("cannot write '{path}': {e}"))
+    }
+
+    fn listdir(&self, path: &str) -> std::result::Result<Vec<String>, String> {
+        let p = self.resolve(path)?;
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&p).map_err(|e| format!("cannot list '{path}': {e}"))? {
+            let entry = entry.map_err(|e| e.to_string())?;
+            out.push(entry.file_name().to_string_lossy().to_string());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.resolve(path).map(|p| p.exists()).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_project(tag: &str) -> Project {
+        let dir = std::env::temp_dir().join(format!(
+            "devudf-project-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        Project::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn write_read_udf_files() {
+        let p = temp_project("files");
+        p.write_udf("mean_deviation", "def mean_deviation(c):\n    return 0\n")
+            .unwrap();
+        assert!(p.has_udf("mean_deviation"));
+        assert!(!p.has_udf("ghost"));
+        assert!(p.read_udf("mean_deviation").unwrap().contains("def"));
+        assert_eq!(p.udf_names().unwrap(), vec!["mean_deviation"]);
+        std::fs::remove_dir_all(p.root()).ok();
+    }
+
+    #[test]
+    fn input_bin_visible_through_fs_provider() {
+        let p = temp_project("inputbin");
+        p.write_input_bin(b"PKL1-test").unwrap();
+        let fs = p.fs_provider();
+        assert_eq!(fs.read("./input.bin").unwrap(), b"PKL1-test");
+        assert_eq!(fs.read("input.bin").unwrap(), b"PKL1-test");
+        assert!(fs.exists("input.bin"));
+        std::fs::remove_dir_all(p.root()).ok();
+    }
+
+    #[test]
+    fn fs_provider_sandbox_rejects_escapes() {
+        let p = temp_project("sandbox");
+        let fs = p.fs_provider();
+        assert!(fs.read("../outside.txt").is_err());
+        assert!(fs.read("a/../../outside.txt").is_err());
+        std::fs::remove_dir_all(p.root()).ok();
+    }
+
+    #[test]
+    fn fs_provider_listdir_and_write() {
+        let p = temp_project("listdir");
+        let fs = p.fs_provider();
+        fs.write("data/a.csv", b"1\n").unwrap();
+        fs.write("data/b.csv", b"2\n").unwrap();
+        assert_eq!(fs.listdir("data").unwrap(), vec!["a.csv", "b.csv"]);
+        std::fs::remove_dir_all(p.root()).ok();
+    }
+
+    #[test]
+    fn vcs_integration_commits_udf_edits() {
+        let mut p = temp_project("vcs");
+        p.init_vcs().unwrap();
+        p.write_udf("f", "version 1\n").unwrap();
+        let c1 = p.commit_all("import f", "dev").unwrap();
+        p.write_udf("f", "version 2\n").unwrap();
+        let c2 = p.commit_all("fix f", "dev").unwrap();
+        assert_ne!(c1, c2);
+        let log = p.vcs().unwrap().log().unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].message, "fix f");
+        std::fs::remove_dir_all(p.root()).ok();
+    }
+
+    #[test]
+    fn commit_without_vcs_errors() {
+        let p = temp_project("novcs");
+        assert!(p.commit_all("nope", "dev").is_err());
+        std::fs::remove_dir_all(p.root()).ok();
+    }
+}

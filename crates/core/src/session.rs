@@ -1,0 +1,125 @@
+//! The `DevUdf` facade: one connected plugin session over one project.
+
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+use wireproto::client::FunctionInfo;
+use wireproto::{Client, Server, TransferStats};
+
+use crate::debug::{self, DebugOutcome, RunOutcome};
+use crate::import_export::{self, ImportReport, UdfSelection};
+use crate::project::Project;
+use crate::settings::Settings;
+use crate::{DevUdfError, Result};
+
+/// A devUDF session: settings + project + live server connection.
+///
+/// This is the object the IDE facade drives; its methods correspond 1:1 to
+/// the plugin's menu entries (Figure 1: Settings, Import UDFs, Export UDFs,
+/// plus the Debug command).
+pub struct DevUdf {
+    pub settings: Settings,
+    pub project: Project,
+    pub(crate) client: Rc<RefCell<Client>>,
+    /// Transfer statistics accumulated across extractions (reported by the
+    /// CLI and the benchmarks).
+    pub(crate) transfers: Rc<RefCell<Vec<TransferStats>>>,
+}
+
+impl DevUdf {
+    /// Connect to an in-process server (tests, benchmarks, examples).
+    pub fn connect_in_proc(server: &Server, settings: Settings, project_root: &Path) -> Result<DevUdf> {
+        let client = Client::connect_in_proc(
+            server,
+            &settings.user,
+            &settings.password,
+            &settings.database,
+        )?;
+        Self::with_client(client, settings, project_root)
+    }
+
+    /// Connect over TCP using the host/port from the settings.
+    pub fn connect_tcp(settings: Settings, project_root: &Path) -> Result<DevUdf> {
+        let addr: std::net::SocketAddr = format!("{}:{}", settings.host, settings.port)
+            .parse()
+            .map_err(|e| DevUdfError::Config(format!("bad host/port: {e}")))?;
+        let client = Client::connect_tcp(addr, &settings.user, &settings.password, &settings.database)?;
+        Self::with_client(client, settings, project_root)
+    }
+
+    fn with_client(client: Client, settings: Settings, project_root: &Path) -> Result<DevUdf> {
+        let project = Project::open(project_root)?;
+        settings.save(project.root())?;
+        Ok(DevUdf {
+            settings,
+            project,
+            client: Rc::new(RefCell::new(client)),
+            transfers: Rc::new(RefCell::new(Vec::new())),
+        })
+    }
+
+    /// Shared client handle (used internally and by the workflow driver).
+    pub fn client(&self) -> Rc<RefCell<Client>> {
+        self.client.clone()
+    }
+
+    /// Names of UDFs stored on the server (the Import dialog's list).
+    pub fn server_functions(&self) -> Result<Vec<String>> {
+        Ok(self.client.borrow_mut().list_functions()?)
+    }
+
+    /// Full metadata of one server-side UDF.
+    pub fn function_info(&self, name: &str) -> Result<FunctionInfo> {
+        Ok(self.client.borrow_mut().get_function(name)?)
+    }
+
+    /// Import every UDF stored in the server ("import all functions",
+    /// Figure 3a).
+    pub fn import_all(&mut self) -> Result<ImportReport> {
+        import_export::import_udfs(self, UdfSelection::All)
+    }
+
+    /// Import a selection of UDFs (Figure 3a).
+    pub fn import(&mut self, names: &[&str]) -> Result<ImportReport> {
+        import_export::import_udfs(
+            self,
+            UdfSelection::Named(names.iter().map(|s| s.to_string()).collect()),
+        )
+    }
+
+    /// Export edited UDFs back to the server (Figure 3b).
+    pub fn export(&mut self, names: &[&str]) -> Result<Vec<String>> {
+        import_export::export_udfs(self, names)
+    }
+
+    /// Fetch the input data for `udf` by running the settings' debug query
+    /// with the UDF call intercepted (§2.2), and store it as `input.bin`.
+    pub fn fetch_inputs(&mut self, udf: &str) -> Result<TransferStats> {
+        debug::fetch_inputs(self, udf)
+    }
+
+    /// Run an imported UDF locally (no debugger).
+    pub fn run_udf(&mut self, name: &str) -> Result<RunOutcome> {
+        debug::run_local(self, name, None)
+    }
+
+    /// Run an imported UDF locally under the interactive debugger.
+    pub fn debug_udf(
+        &mut self,
+        name: &str,
+        debugger: Rc<RefCell<pylite::Debugger>>,
+    ) -> Result<DebugOutcome> {
+        debug::debug_local(self, name, debugger)
+    }
+
+    /// Execute arbitrary SQL on the server (the traditional workflow path).
+    pub fn server_query(&mut self, sql: &str) -> Result<wireproto::message::WireResult> {
+        Ok(self.client.borrow_mut().query(sql)?)
+    }
+
+    /// All transfer statistics recorded so far.
+    pub fn transfer_log(&self) -> Vec<TransferStats> {
+        self.transfers.borrow().clone()
+    }
+}

@@ -1,0 +1,225 @@
+//! Plugin settings — the contents of the paper's settings dialog (Figure 2):
+//! the usual client connection parameters (host, port, database, user,
+//! password), the SQL query that invokes the to-be-debugged UDF, and the
+//! data-transfer options (§2.1).
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use wireproto::TransferOptions;
+
+/// Serializable mirror of [`wireproto::TransferOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TransferSettings {
+    /// Compress the extracted data during transfer.
+    pub compress: bool,
+    /// Encrypt the extracted data with the user's password.
+    pub encrypt: bool,
+    /// Transfer only a uniform random sample of this many rows.
+    pub sample: Option<usize>,
+}
+
+impl From<TransferSettings> for TransferOptions {
+    fn from(s: TransferSettings) -> TransferOptions {
+        TransferOptions {
+            compress: s.compress,
+            encrypt: s.encrypt,
+            sample: s.sample,
+        }
+    }
+}
+
+/// All devUDF settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Settings {
+    pub host: String,
+    pub port: u16,
+    pub database: String,
+    pub user: String,
+    pub password: String,
+    /// "the user must provide a SQL query which executes the to-be-debugged
+    /// UDF. This SQL query must be specified in the Settings menu" (§2.1).
+    pub debug_query: String,
+    pub transfer: TransferSettings,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            host: "localhost".to_string(),
+            port: 50_000,
+            database: "demo".to_string(),
+            user: "monetdb".to_string(),
+            password: "monetdb".to_string(),
+            debug_query: String::new(),
+            transfer: TransferSettings::default(),
+        }
+    }
+}
+
+impl Settings {
+    /// Path of the settings file inside a project directory.
+    pub fn path_in(project_root: &Path) -> std::path::PathBuf {
+        project_root.join(".devudf").join("settings.json")
+    }
+
+    /// Load settings from a project directory; missing file yields defaults.
+    pub fn load(project_root: &Path) -> std::io::Result<Settings> {
+        let path = Self::path_in(project_root);
+        if !path.exists() {
+            return Ok(Settings::default());
+        }
+        let data = std::fs::read(path)?;
+        serde_json::from_slice(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Persist settings into a project directory.
+    pub fn save(&self, project_root: &Path) -> std::io::Result<()> {
+        let path = Self::path_in(project_root);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let data = serde_json::to_vec_pretty(self).expect("settings serialize");
+        std::fs::write(path, data)
+    }
+
+    /// Transfer options in wire form.
+    pub fn transfer_options(&self) -> TransferOptions {
+        self.transfer.into()
+    }
+
+    /// Render the settings dialog content (Figure 2) as text, masking the
+    /// password like the GUI does.
+    pub fn render_dialog(&self) -> String {
+        let mask = "*".repeat(self.password.len().max(4));
+        format!(
+            "┌─ devUDF Settings ──────────────────────────────┐\n\
+             │ Host:       {:<35}│\n\
+             │ Port:       {:<35}│\n\
+             │ Database:   {:<35}│\n\
+             │ User:       {:<35}│\n\
+             │ Password:   {:<35}│\n\
+             │ SQL Query:  {:<35}│\n\
+             │ Transfer:   {:<35}│\n\
+             └────────────────────────────────────────────────┘",
+            self.host,
+            self.port,
+            self.database,
+            self.user,
+            mask,
+            truncate(&self.debug_query, 35),
+            truncate(&self.describe_transfer(), 35),
+        )
+    }
+
+    fn describe_transfer(&self) -> String {
+        let mut parts = Vec::new();
+        if self.transfer.compress {
+            parts.push("compress".to_string());
+        }
+        if self.transfer.encrypt {
+            parts.push("encrypt".to_string());
+        }
+        if let Some(k) = self.transfer.sample {
+            parts.push(format!("sample {k} rows"));
+        }
+        if parts.is_empty() {
+            "full data, plaintext".to_string()
+        } else {
+            parts.join(" + ")
+        }
+    }
+}
+
+fn truncate(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "devudf-settings-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut s = Settings::default();
+        s.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+        s.transfer.compress = true;
+        s.transfer.sample = Some(500);
+        s.save(&dir).unwrap();
+        let loaded = Settings::load(&dir).unwrap();
+        assert_eq!(loaded, s);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_file_yields_defaults() {
+        let dir = temp_dir("defaults");
+        let s = Settings::load(&dir).unwrap();
+        assert_eq!(s, Settings::default());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn transfer_options_conversion() {
+        let s = TransferSettings {
+            compress: true,
+            encrypt: false,
+            sample: Some(10),
+        };
+        let o: TransferOptions = s.into();
+        assert!(o.compress);
+        assert!(!o.encrypt);
+        assert_eq!(o.sample, Some(10));
+    }
+
+    #[test]
+    fn dialog_masks_password() {
+        let mut s = Settings::default();
+        s.password = "hunter2".to_string();
+        let dialog = s.render_dialog();
+        assert!(!dialog.contains("hunter2"));
+        assert!(dialog.contains("*******"));
+        assert!(dialog.contains("devUDF Settings"));
+    }
+
+    #[test]
+    fn dialog_describes_transfer_options() {
+        let mut s = Settings::default();
+        assert!(s.render_dialog().contains("full data, plaintext"));
+        s.transfer = TransferSettings {
+            compress: true,
+            encrypt: true,
+            sample: Some(100),
+        };
+        let d = s.render_dialog();
+        // The dialog truncates long values; the prefix must be visible.
+        assert!(d.contains("compress + encrypt + sample"), "{d}");
+    }
+
+    #[test]
+    fn corrupt_settings_file_is_io_error() {
+        let dir = temp_dir("corrupt");
+        let path = Settings::path_in(&dir);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(Settings::load(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,262 @@
+//! The code transformations of paper §2.2 (Listing 1 → Listing 2 and back).
+//!
+//! The database stores only the *body* of a UDF; to run it locally the
+//! plugin must synthesize a `def` header from the function name and its
+//! parameters (read from the meta tables), and append a harness that loads
+//! the input data from `input.bin` via pickle and calls the function. On
+//! export, the transformation is reversed: only the body is committed.
+
+use wireproto::client::FunctionInfo;
+
+use crate::DevUdfError;
+
+/// File name of the transferred input data (paper Listing 2 line 14).
+pub const INPUT_BIN: &str = "input.bin";
+
+/// Marker comments delimiting the generated harness, so the reverse
+/// transformation is unambiguous even if the user edits the body heavily.
+const HARNESS_MARKER: &str = "# --- devudf harness (do not edit below) ---";
+
+/// Generate the local, runnable script for a UDF (the paper's Listing 2).
+pub fn to_local_script(info: &FunctionInfo) -> String {
+    let mut out = String::with_capacity(info.body.len() + 256);
+    out.push_str("import pickle\n\n");
+    let params: Vec<&str> = info.params.iter().map(|(n, _)| n.as_str()).collect();
+    out.push_str(&format!("def {}({}):\n", info.name, params.join(", ")));
+    for line in info.body.lines() {
+        if line.trim().is_empty() {
+            out.push('\n');
+        } else {
+            out.push_str("    ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push('\n');
+    out.push_str(HARNESS_MARKER);
+    out.push('\n');
+    out.push_str(&format!(
+        "input_parameters = pickle.load(open('./{INPUT_BIN}', 'rb'))\n\n"
+    ));
+    let args: Vec<String> = params
+        .iter()
+        .map(|p| format!("input_parameters['{p}']"))
+        .collect();
+    out.push_str(&format!(
+        "result = {}({})\n",
+        info.name,
+        args.join(",\n    ")
+    ));
+    out
+}
+
+/// 1-based line offset of the first body line inside the generated script
+/// (`import pickle`, blank, `def …:` → body starts at line 4). Breakpoints
+/// set "on body line n" map to file line `n + BODY_LINE_OFFSET`.
+pub const BODY_LINE_OFFSET: u32 = 3;
+
+/// Reverse transformation: recover the UDF *body* from a local script.
+///
+/// Finds `def <name>(…):` and takes its indented block, dedenting by one
+/// level. Everything from the harness marker on is ignored.
+pub fn extract_body(script: &str, fn_name: &str) -> Result<String, DevUdfError> {
+    let mut lines = script.lines().peekable();
+    // Find the def line.
+    let def_prefix = format!("def {fn_name}(");
+    for line in lines.by_ref() {
+        if line.trim_start().starts_with(&def_prefix) {
+            break;
+        }
+        if line == HARNESS_MARKER {
+            return Err(DevUdfError::Transform(format!(
+                "no 'def {fn_name}(...)' found before the harness marker"
+            )));
+        }
+    }
+    let mut body = String::new();
+    let mut saw_any = false;
+    for line in lines {
+        if line == HARNESS_MARKER {
+            break;
+        }
+        if line.trim().is_empty() {
+            // Blank lines inside the body are preserved (trailing ones are
+            // trimmed afterwards).
+            body.push('\n');
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        if indent == 0 {
+            // Dedented back to module level: body ended.
+            break;
+        }
+        let stripped = if let Some(rest) = line.strip_prefix("    ") {
+            rest
+        } else {
+            line.trim_start()
+        };
+        body.push_str(stripped);
+        body.push('\n');
+        saw_any = true;
+    }
+    if !saw_any {
+        return Err(DevUdfError::Transform(format!(
+            "function '{fn_name}' has an empty body"
+        )));
+    }
+    // Trim trailing blank lines.
+    while body.ends_with("\n\n") {
+        body.pop();
+    }
+    Ok(body)
+}
+
+/// Build the `CREATE OR REPLACE FUNCTION` statement committing `body` back
+/// to the server (the export step, Figure 3b).
+pub fn to_create_statement(info: &FunctionInfo, body: &str) -> String {
+    let params: Vec<String> = info
+        .params
+        .iter()
+        .map(|(n, t)| format!("{n} {t}"))
+        .collect();
+    format!(
+        "CREATE OR REPLACE FUNCTION {}({}) RETURNS {} LANGUAGE {} {{\n{}}}",
+        info.name,
+        params.join(", "),
+        info.return_type,
+        info.language,
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_rnforest_info() -> FunctionInfo {
+        FunctionInfo {
+            name: "train_rnforest".to_string(),
+            params: vec![
+                ("data".to_string(), "INTEGER".to_string()),
+                ("classes".to_string(), "INTEGER".to_string()),
+                ("n_estimators".to_string(), "INTEGER".to_string()),
+            ],
+            return_type: "TABLE(clf BLOB, estimators INTEGER)".to_string(),
+            language: "PYTHON".to_string(),
+            body: "import pickle\nfrom sklearn.ensemble import RandomForestClassifier\nclf = RandomForestClassifier(n_estimators)\nclf.fit(data, classes)\nreturn {'clf': pickle.dumps(clf), 'estimators': n_estimators}\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn generates_listing2_shape() {
+        let script = to_local_script(&train_rnforest_info());
+        // The structural elements of paper Listing 2:
+        assert!(script.starts_with("import pickle\n"));
+        assert!(script.contains("def train_rnforest(data, classes, n_estimators):"));
+        assert!(script.contains("    clf = RandomForestClassifier(n_estimators)"));
+        assert!(script.contains("input_parameters = pickle.load(open('./input.bin', 'rb'))"));
+        assert!(script.contains("train_rnforest(input_parameters['data']"));
+        assert!(script.contains("input_parameters['n_estimators']"));
+    }
+
+    #[test]
+    fn generated_script_parses() {
+        let script = to_local_script(&train_rnforest_info());
+        assert!(pylite::parse_module(&script).is_ok(), "{script}");
+    }
+
+    #[test]
+    fn body_line_offset_is_correct() {
+        let script = to_local_script(&train_rnforest_info());
+        let lines: Vec<&str> = script.lines().collect();
+        // Body line 1 ("import pickle") must sit at file line 1 + offset.
+        assert_eq!(
+            lines[(1 + BODY_LINE_OFFSET - 1) as usize].trim(),
+            "import pickle"
+        );
+    }
+
+    #[test]
+    fn round_trip_import_then_export_is_identity() {
+        let info = train_rnforest_info();
+        let script = to_local_script(&info);
+        let body = extract_body(&script, &info.name).unwrap();
+        assert_eq!(body, info.body);
+    }
+
+    #[test]
+    fn round_trip_preserves_nested_indentation() {
+        let info = FunctionInfo {
+            name: "mean_deviation".to_string(),
+            params: vec![("column".to_string(), "INTEGER".to_string())],
+            return_type: "DOUBLE".to_string(),
+            language: "PYTHON".to_string(),
+            body: "mean = 0\nfor i in range(0, len(column)):\n    mean += column[i]\nmean = mean / len(column)\nreturn mean\n".to_string(),
+        };
+        let script = to_local_script(&info);
+        let body = extract_body(&script, &info.name).unwrap();
+        assert_eq!(body, info.body);
+    }
+
+    #[test]
+    fn extract_body_from_user_edited_script() {
+        // The user fixed the bug and added a comment; only the def block
+        // should be exported.
+        let script = "\
+import pickle
+
+def mean_deviation(column):
+    mean = sum(column) / len(column)
+    # fixed: use abs()
+    distance = 0
+    for i in range(0, len(column)):
+        distance += abs(column[i] - mean)
+    return distance / len(column)
+
+# --- devudf harness (do not edit below) ---
+input_parameters = pickle.load(open('./input.bin', 'rb'))
+
+result = mean_deviation(input_parameters['column'])
+";
+        let body = extract_body(script, "mean_deviation").unwrap();
+        assert!(body.contains("abs(column[i] - mean)"));
+        assert!(!body.contains("pickle.load"));
+        assert!(!body.contains("def mean_deviation"));
+    }
+
+    #[test]
+    fn extract_body_missing_function_errors() {
+        assert!(extract_body("x = 1\n", "ghost").is_err());
+        assert!(matches!(
+            extract_body("def other():\n    pass\n", "ghost"),
+            Err(DevUdfError::Transform(_))
+        ));
+    }
+
+    #[test]
+    fn create_statement_round_trips_through_server() {
+        let info = train_rnforest_info();
+        let stmt = to_create_statement(&info, &info.body);
+        assert!(stmt.starts_with("CREATE OR REPLACE FUNCTION train_rnforest(data INTEGER"));
+        assert!(stmt.contains("RETURNS TABLE(clf BLOB, estimators INTEGER)"));
+        // The statement must be valid against a real engine.
+        let db = monetlite::Engine::new();
+        db.execute(&stmt).unwrap();
+        let stored = db.get_function("train_rnforest").unwrap().unwrap();
+        assert_eq!(stored.body.trim_end(), info.body.trim_end());
+    }
+
+    #[test]
+    fn blank_lines_in_body_survive() {
+        let info = FunctionInfo {
+            name: "f".to_string(),
+            params: vec![("x".to_string(), "INTEGER".to_string())],
+            return_type: "INTEGER".to_string(),
+            language: "PYTHON".to_string(),
+            body: "a = 1\n\nb = 2\nreturn a + b + x\n".to_string(),
+        };
+        let script = to_local_script(&info);
+        let body = extract_body(&script, "f").unwrap();
+        assert_eq!(body, info.body);
+    }
+}

@@ -1,0 +1,165 @@
+//! Workflow instrumentation: the traditional edit → `CREATE FUNCTION` →
+//! rerun loop versus the devUDF loop (paper §1 and demo step 1 vs step 4).
+//!
+//! The paper claims devUDF makes UDF development "more attractive, faster
+//! and easier"; it reports no numbers. This module makes the claim
+//! measurable: both workflows are driven programmatically for `k` fix
+//! iterations and we count wall time and server round trips.
+
+use std::time::{Duration, Instant};
+
+use crate::session::DevUdf;
+use crate::{DevUdfError, Result};
+
+/// Measured cost of one workflow run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkflowStats {
+    /// Total wall-clock time.
+    pub wall_micros: u128,
+    /// Messages that crossed the client↔server wire.
+    pub server_round_trips: usize,
+    /// Edit-run iterations performed.
+    pub iterations: usize,
+}
+
+impl WorkflowStats {
+    pub fn wall(&self) -> Duration {
+        Duration::from_micros(self.wall_micros as u64)
+    }
+}
+
+/// The traditional workflow (paper §1): for every candidate fix, re-create
+/// the function on the server and rerun the SQL query there.
+///
+/// `body_for(i)` yields the UDF body for iteration `i` (the i-th attempt at
+/// a fix); `signature` is the `CREATE OR REPLACE FUNCTION …(…) RETURNS …
+/// LANGUAGE PYTHON` prefix.
+pub fn traditional_workflow(
+    dev: &mut DevUdf,
+    signature: &str,
+    test_query: &str,
+    iterations: usize,
+    mut body_for: impl FnMut(usize) -> String,
+) -> Result<WorkflowStats> {
+    let start = Instant::now();
+    let mut round_trips = 0usize;
+    for i in 0..iterations {
+        let stmt = format!("{signature} {{\n{}}}", body_for(i));
+        dev.server_query(&stmt)?;
+        round_trips += 1;
+        dev.server_query(test_query)?;
+        round_trips += 1;
+    }
+    Ok(WorkflowStats {
+        wall_micros: start.elapsed().as_micros(),
+        server_round_trips: round_trips,
+        iterations,
+    })
+}
+
+/// The devUDF workflow: import once, fetch the inputs once, then iterate
+/// locally (edit file → local run); export the final version once.
+pub fn devudf_workflow(
+    dev: &mut DevUdf,
+    udf: &str,
+    iterations: usize,
+    mut script_for: impl FnMut(usize, &str) -> String,
+) -> Result<WorkflowStats> {
+    let start = Instant::now();
+    let mut round_trips = 0usize;
+
+    if !dev.project.has_udf(udf) {
+        let report = dev.import(&[udf])?;
+        if report.imported.is_empty() {
+            return Err(DevUdfError::Config(format!("cannot import '{udf}'")));
+        }
+        round_trips += 2; // list + get
+    }
+    dev.fetch_inputs(udf)?;
+    round_trips += 1;
+
+    let original = dev.project.read_udf(udf)?;
+    for i in 0..iterations {
+        let edited = script_for(i, &original);
+        dev.project.write_udf(udf, &edited)?;
+        // Local run: zero server round trips.
+        dev.run_udf(udf)?;
+    }
+    dev.export(&[udf])?;
+    round_trips += 2; // get_function + create-or-replace
+
+    Ok(WorkflowStats {
+        wall_micros: start.elapsed().as_micros(),
+        server_round_trips: round_trips,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Settings;
+    use wireproto::{Server, ServerConfig};
+
+    fn big_server(rows: usize) -> Server {
+        Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), move |db| {
+            db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+            let values: Vec<String> = (0..rows).map(|i| format!("({i})")).collect();
+            db.execute(&format!("INSERT INTO numbers VALUES {}", values.join(", ")))
+                .unwrap();
+            db.execute(
+                "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\nreturn 0.0\n}",
+            )
+            .unwrap();
+        })
+    }
+
+    fn temp_dev(server: &Server, tag: &str) -> DevUdf {
+        let dir = std::env::temp_dir().join(format!(
+            "devudf-workflow-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut settings = Settings::default();
+        settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+        DevUdf::connect_in_proc(server, settings, &dir).unwrap()
+    }
+
+    #[test]
+    fn traditional_workflow_counts_two_trips_per_iteration() {
+        let server = big_server(100);
+        let mut dev = temp_dev(&server, "trad");
+        let stats = traditional_workflow(
+            &mut dev,
+            "CREATE OR REPLACE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON",
+            "SELECT mean_deviation(i) FROM numbers",
+            5,
+            |i| format!("return {i}.0\n"),
+        )
+        .unwrap();
+        assert_eq!(stats.server_round_trips, 10);
+        assert_eq!(stats.iterations, 5);
+        std::fs::remove_dir_all(dev.project.root()).ok();
+        server.shutdown();
+    }
+
+    #[test]
+    fn devudf_workflow_round_trips_independent_of_iterations() {
+        let server = big_server(100);
+        let mut dev = temp_dev(&server, "dev");
+        let stats = devudf_workflow(&mut dev, "mean_deviation", 8, |i, original| {
+            original.replace("return 0.0", &format!("return {i}.0"))
+        })
+        .unwrap();
+        // Fixed costs only: import (2) + fetch (1) + export (2).
+        assert_eq!(stats.server_round_trips, 5);
+        assert_eq!(stats.iterations, 8);
+        // The final export committed the last edit.
+        let body = dev.function_info("mean_deviation").unwrap().body;
+        assert!(body.contains("return 7.0"));
+        std::fs::remove_dir_all(dev.project.root()).ok();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,333 @@
+//! The `devudf` command-line front-end.
+//!
+//! ```text
+//! devudf demo                      scripted end-to-end demo (paper §2.5)
+//! devudf serve [PORT]              start a demo database server over TCP
+//! devudf menu                      print the IDE main menu (Figure 1)
+//! devudf settings [DIR]            print the settings dialog (Figure 2)
+//! devudf import  DIR NAME…         import UDFs into a project (Figure 3a)
+//! devudf export  DIR NAME…         export edited UDFs (Figure 3b)
+//! devudf run     DIR NAME          run a UDF locally
+//! devudf debug   DIR NAME BP…      debug a UDF locally (interactive);
+//!                                  each BP is LINE or LINE:CONDITION
+//! devudf log     DIR               show the project's VCS history
+//! ```
+//!
+//! Commands taking a project DIR read connection settings from
+//! `DIR/.devudf/settings.json` (create it with `devudf settings`).
+
+use std::io::BufReader;
+use std::path::Path;
+
+use devudf::{DevUdf, Settings};
+use devudf_ide::{HeadlessIde, ReplController};
+use pylite::DebugCommand;
+use wireproto::{Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(|s| s.as_str()) {
+        Some("demo") => cmd_demo(),
+        Some("serve") => cmd_serve(args.get(1).map(|s| s.as_str())),
+        Some("menu") => {
+            println!("{}", devudf_ide::main_menu().render());
+            0
+        }
+        Some("settings") => cmd_settings(args.get(1).map(|s| s.as_str())),
+        Some("import") => cmd_project(&args, |dev, names| {
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let report = if refs.is_empty() {
+                dev.import_all()
+            } else {
+                dev.import(&refs)
+            }
+            .map_err(|e| e.to_string())?;
+            for (name, path) in &report.imported {
+                println!("imported {name} -> {path}");
+            }
+            for missing in &report.missing {
+                eprintln!("warning: no such function '{missing}'");
+            }
+            Ok(())
+        }),
+        Some("export") => cmd_project(&args, |dev, names| {
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let exported = dev.export(&refs).map_err(|e| e.to_string())?;
+            for name in exported {
+                println!("exported {name}");
+            }
+            Ok(())
+        }),
+        Some("run") => cmd_project(&args, |dev, names| {
+            let Some(name) = names.first() else {
+                return Err("usage: devudf run DIR NAME".to_string());
+            };
+            let outcome = dev.run_udf(name).map_err(|e| e.to_string())?;
+            if !outcome.stdout.is_empty() {
+                print!("{}", outcome.stdout);
+            }
+            println!("result = {}", outcome.result_repr);
+            Ok(())
+        }),
+        Some("debug") => cmd_project(&args, |dev, rest| {
+            let Some(name) = rest.first() else {
+                return Err("usage: devudf debug DIR NAME [LINE…]".to_string());
+            };
+            let controller = ReplController::new(
+                BufReader::new(std::io::stdin()),
+                std::io::stdout(),
+            );
+            let dbg = controller.into_debugger();
+            for bp in &rest[1..] {
+                match bp.split_once(':') {
+                    Some((line, cond)) => match line.parse::<u32>() {
+                        Ok(line) => dbg.borrow_mut().add_conditional_breakpoint(line, cond),
+                        Err(_) => return Err(format!("bad breakpoint '{bp}'")),
+                    },
+                    None => match bp.parse::<u32>() {
+                        Ok(line) => dbg.borrow_mut().add_breakpoint(line),
+                        Err(_) => return Err(format!("bad breakpoint line '{bp}'")),
+                    },
+                }
+            }
+            if rest.len() == 1 {
+                dbg.borrow_mut().break_on_entry = true;
+            }
+            let outcome = dev.debug_udf(name, dbg).map_err(|e| e.to_string())?;
+            match outcome.run {
+                Some(run) => println!("result = {}", run.result_repr),
+                None => println!("debug session terminated"),
+            }
+            Ok(())
+        }),
+        Some("log") => cmd_log(&args),
+        Some("diff") => cmd_diff(&args),
+        _ => {
+            eprintln!(
+                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff> …\n(see the module docs for details)"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Demo data used by `demo` and `serve`: the paper's CSV-of-integers setup.
+fn seed_demo(db: &monetlite::Engine) {
+    db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+    let values: Vec<String> = (1..=100).map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO numbers VALUES {}", values.join(", ")))
+        .unwrap();
+    // Scenario A: the buggy mean_deviation of paper Listing 4.
+    db.execute(concat!(
+        "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
+        "mean = 0\n",
+        "for i in range(0, len(column)):\n",
+        "    mean += column[i]\n",
+        "mean = mean / len(column)\n",
+        "distance = 0\n",
+        "for i in range(0, len(column)):\n",
+        "    distance += column[i] - mean\n",
+        "deviation = distance / len(column)\n",
+        "return deviation\n",
+        "}"
+    ))
+    .unwrap();
+}
+
+fn cmd_serve(port: Option<&str>) -> i32 {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), seed_demo);
+    let addr = match server.listen_tcp() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot listen: {e}");
+            return 1;
+        }
+    };
+    let _ = port; // the OS assigns an ephemeral port; print it
+    println!("devudf demo server listening on {addr}");
+    println!("database=demo user=monetdb password=monetdb");
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_settings(dir: Option<&str>) -> i32 {
+    let root = Path::new(dir.unwrap_or("."));
+    let settings = Settings::load(root).unwrap_or_default();
+    println!("{}", settings.render_dialog());
+    if let Err(e) = settings.save(root) {
+        eprintln!("warning: cannot save settings: {e}");
+    }
+    0
+}
+
+fn cmd_project(
+    args: &[String],
+    f: impl FnOnce(&mut DevUdf, &[String]) -> Result<(), String>,
+) -> i32 {
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: devudf {} DIR …", args[0]);
+        return 2;
+    };
+    let root = Path::new(dir);
+    let settings = match Settings::load(root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load settings from {dir}: {e}");
+            return 1;
+        }
+    };
+    let mut dev = match DevUdf::connect_tcp(settings, root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            return 1;
+        }
+    };
+    match f(&mut dev, &args[2..]) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_log(args: &[String]) -> i32 {
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: devudf log DIR");
+        return 2;
+    };
+    let repo = match minivcs::Repository::init(Path::new(dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open repository: {e}");
+            return 1;
+        }
+    };
+    match repo.log() {
+        Ok(log) => {
+            for commit in log {
+                println!(
+                    "{}  #{}  {}  ({})",
+                    &commit.id[..10.min(commit.id.len())],
+                    commit.seq,
+                    commit.message,
+                    commit.author
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot read log: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> i32 {
+    let (Some(dir), Some(file)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: devudf diff DIR FILE");
+        return 2;
+    };
+    let repo = match minivcs::Repository::init(Path::new(dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open repository: {e}");
+            return 1;
+        }
+    };
+    let head = match repo.head() {
+        Ok(Some(h)) => h,
+        Ok(None) => {
+            eprintln!("no commits yet");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("cannot read HEAD: {e}");
+            return 1;
+        }
+    };
+    match repo.diff_file(file, &head, None) {
+        Ok(diff) if diff.trim().is_empty() => {
+            println!("no changes in {file}");
+            0
+        }
+        Ok(diff) => {
+            print!("{diff}");
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot diff: {e}");
+            1
+        }
+    }
+}
+
+/// The scripted end-to-end demo following the paper's §2.5 outline.
+fn cmd_demo() -> i32 {
+    println!("═══ devUDF demo (paper §2.5) ═══\n");
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), seed_demo);
+
+    let dir = std::env::temp_dir().join(format!("devudf-demo-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    let mut ide = HeadlessIde::open_in_proc(&server, settings, &dir).unwrap();
+
+    println!("Step 1 — the traditional workflow runs the buggy UDF in the server:");
+    let before = ide
+        .dev
+        .server_query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    println!("{}", before.render_ascii());
+    println!("(a mean absolute deviation of 0.0 is clearly wrong — but why?)\n");
+
+    println!("Step 2+4 — devUDF: import the UDF and debug it locally.");
+    let mut import = ide.open_import_dialog().unwrap();
+    import.import_all = true;
+    ide.confirm_import(&import).unwrap();
+    println!("{}\n", import.render());
+
+    // Watch the distance accumulate signed values under the debugger.
+    let dbg = pylite::Debugger::scripted(vec![DebugCommand::Continue; 200]);
+    let bp = 7 + devudf::transform::BODY_LINE_OFFSET;
+    dbg.borrow_mut().add_breakpoint(bp);
+    let outcome = ide.dev.debug_udf("mean_deviation", dbg.clone()).unwrap();
+    println!(
+        "debugger paused {} times at the accumulation line; locals at pause 3:",
+        outcome.pauses
+    );
+    for (name, value) in &dbg.borrow().pauses()[2].locals {
+        println!("   {name} = {value}");
+    }
+    println!("→ `distance` goes NEGATIVE: the abs() is missing (Listing 4, line 9).\n");
+
+    println!("Step 4b — fix locally, re-run locally, export:");
+    let script = ide.dev.project.read_udf("mean_deviation").unwrap();
+    let fixed = script.replace(
+        "distance += column[i] - mean",
+        "distance += abs(column[i] - mean)",
+    );
+    ide.dev.project.write_udf("mean_deviation", &fixed).unwrap();
+    let local = ide.dev.run_udf("mean_deviation").unwrap();
+    println!("local run result = {}", local.result_repr);
+    ide.dev.export(&["mean_deviation"]).unwrap();
+    let after = ide
+        .dev
+        .server_query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    println!("server-side after export:\n{}", after.render_ascii());
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+    println!("═══ demo complete ═══");
+    0
+}

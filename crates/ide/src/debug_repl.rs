@@ -1,0 +1,226 @@
+//! Interactive debugger front-end (the IDE's "Debug" command, §2.1).
+//!
+//! A [`ReplController`] turns a command stream (stdin, a script, a test
+//! fixture) into [`pylite::DebugCommand`]s, printing the paused location,
+//! stack, locals and watch values to its output. Commands:
+//!
+//! ```text
+//! c / continue     run to the next breakpoint
+//! s / step         step into
+//! n / next         step over
+//! o / out          step out of the current function
+//! l / locals       print the local variables
+//! bt / stack       print the call stack
+//! p <name>         print one local (or global) variable
+//! q / quit         terminate the program
+//! ```
+
+use std::cell::RefCell;
+use std::io::{BufRead, Write};
+use std::rc::Rc;
+
+use pylite::{DebugCommand, Debugger, PauseInfo};
+
+/// Scriptable interactive controller.
+pub struct ReplController<R: BufRead, W: Write> {
+    input: R,
+    output: W,
+}
+
+impl<R: BufRead + 'static, W: Write + 'static> ReplController<R, W> {
+    pub fn new(input: R, output: W) -> Self {
+        ReplController { input, output }
+    }
+
+    /// Build a [`Debugger`] driven by this controller.
+    pub fn into_debugger(self) -> Rc<RefCell<Debugger>> {
+        let me = RefCell::new(self);
+        Debugger::with_controller(move |pause| me.borrow_mut().handle_pause(pause))
+    }
+
+    fn handle_pause(&mut self, pause: &PauseInfo) -> DebugCommand {
+        let _ = writeln!(
+            self.output,
+            "⏸  paused at line {} in {} ({:?})",
+            pause.line, pause.function, pause.reason
+        );
+        for (expr, value) in &pause.watches {
+            let _ = writeln!(self.output, "   watch {expr} = {value}");
+        }
+        loop {
+            let _ = write!(self.output, "(devudf-dbg) ");
+            let _ = self.output.flush();
+            let mut line = String::new();
+            match self.input.read_line(&mut line) {
+                Ok(0) | Err(_) => return DebugCommand::Continue, // EOF: run on
+                Ok(_) => {}
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "" => continue,
+                "c" | "continue" => return DebugCommand::Continue,
+                "s" | "step" => return DebugCommand::StepInto,
+                "n" | "next" => return DebugCommand::StepOver,
+                "o" | "out" => return DebugCommand::StepOut,
+                "q" | "quit" => return DebugCommand::Quit,
+                "l" | "locals" => {
+                    if pause.locals.is_empty() {
+                        let _ = writeln!(self.output, "   (no locals)");
+                    }
+                    for (name, value) in &pause.locals {
+                        let _ = writeln!(self.output, "   {name} = {value}");
+                    }
+                }
+                "bt" | "stack" => {
+                    for (depth, (func, line)) in pause.stack.iter().enumerate() {
+                        let _ = writeln!(self.output, "   #{depth} {func} (line {line})");
+                    }
+                }
+                "p" | "print" => {
+                    let Some(name) = parts.next() else {
+                        let _ = writeln!(self.output, "   usage: p <name>");
+                        continue;
+                    };
+                    match pause.locals.iter().find(|(n, _)| n == name) {
+                        Some((_, value)) => {
+                            let _ = writeln!(self.output, "   {name} = {value}");
+                        }
+                        None => {
+                            let _ = writeln!(self.output, "   NameError: '{name}' not in locals");
+                        }
+                    }
+                }
+                other => {
+                    let _ = writeln!(
+                        self.output,
+                        "   unknown command '{other}' (c/s/n/o/l/bt/p/q)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shared writable buffer for capturing REPL output in tests and demos.
+#[derive(Clone, Default)]
+pub struct SharedBuf(pub Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.borrow()).to_string()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pylite::Interp;
+    use std::io::Cursor;
+
+    const PROGRAM: &str = "\
+def helper(v):
+    doubled = v * 2
+    return doubled
+total = 0
+for i in range(3):
+    total = total + helper(i)
+final = total
+";
+
+    fn run_with_script(script: &str, breakpoints: &[u32]) -> (String, usize) {
+        let buf = SharedBuf::new();
+        let controller = ReplController::new(Cursor::new(script.to_string()), buf.clone());
+        let dbg = controller.into_debugger();
+        for &bp in breakpoints {
+            dbg.borrow_mut().add_breakpoint(bp);
+        }
+        let mut interp = Interp::new();
+        interp.set_hook(dbg.clone());
+        let _ = interp.eval_module(PROGRAM);
+        let pauses = dbg.borrow().pause_count();
+        (buf.contents(), pauses)
+    }
+
+    #[test]
+    fn continue_command_resumes() {
+        let (out, pauses) = run_with_script("c\nc\nc\n", &[2]);
+        assert_eq!(pauses, 3, "helper body runs three times");
+        assert!(out.contains("paused at line 2 in helper"));
+    }
+
+    #[test]
+    fn locals_command_prints_variables() {
+        let (out, _) = run_with_script("l\nc\nc\nc\n", &[2]);
+        assert!(out.contains("v = 0"));
+    }
+
+    #[test]
+    fn print_command_fetches_one_local() {
+        let (out, _) = run_with_script("p v\nc\nc\nc\n", &[2]);
+        assert!(out.contains("v = 0"));
+        let (out, _) = run_with_script("p nothere\nc\nc\nc\n", &[2]);
+        assert!(out.contains("NameError"));
+    }
+
+    #[test]
+    fn stack_command_prints_frames() {
+        let (out, _) = run_with_script("bt\nc\nc\nc\n", &[2]);
+        assert!(out.contains("#0 <module>"));
+        assert!(out.contains("helper"));
+    }
+
+    #[test]
+    fn quit_command_stops_program() {
+        let buf = SharedBuf::new();
+        let controller = ReplController::new(Cursor::new("q\n".to_string()), buf.clone());
+        let dbg = controller.into_debugger();
+        dbg.borrow_mut().add_breakpoint(4);
+        let mut interp = Interp::new();
+        interp.set_hook(dbg);
+        let err = interp.eval_module(PROGRAM).unwrap_err();
+        assert!(err.message.contains("terminated"));
+        assert_eq!(interp.get_global("final"), None);
+    }
+
+    #[test]
+    fn eof_means_continue() {
+        let (_, pauses) = run_with_script("", &[2]);
+        assert_eq!(pauses, 3);
+    }
+
+    #[test]
+    fn unknown_command_reports_and_stays_paused() {
+        let (out, _) = run_with_script("frobnicate\nc\nc\nc\n", &[2]);
+        assert!(out.contains("unknown command 'frobnicate'"));
+    }
+
+    #[test]
+    fn step_commands_issue_correct_debug_commands() {
+        // Step over from line 6 must stay out of helper.
+        let buf = SharedBuf::new();
+        let controller = ReplController::new(Cursor::new("n\nc\n".to_string()), buf.clone());
+        let dbg = controller.into_debugger();
+        dbg.borrow_mut().add_breakpoint(6);
+        let mut interp = Interp::new();
+        interp.set_hook(dbg.clone());
+        interp.eval_module(PROGRAM).unwrap();
+        let d = dbg.borrow();
+        assert!(d.pause_count() >= 2);
+        assert_ne!(d.pauses()[1].function, "helper");
+    }
+}

@@ -1,0 +1,155 @@
+//! Import/Export dialog models (paper Figure 3a/3b).
+
+/// The "Import UDFs" window: a checkbox list of server-side functions plus
+/// an "import all" toggle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ImportDialog {
+    /// (function name, checked).
+    pub entries: Vec<(String, bool)>,
+    pub import_all: bool,
+}
+
+impl ImportDialog {
+    /// Populate from the server's function list (nothing selected).
+    pub fn new(functions: Vec<String>) -> ImportDialog {
+        ImportDialog {
+            entries: functions.into_iter().map(|f| (f, false)).collect(),
+            import_all: false,
+        }
+    }
+
+    /// Toggle one entry by name; returns false if the name is unknown.
+    pub fn toggle(&mut self, name: &str) -> bool {
+        for (n, checked) in &mut self.entries {
+            if n.eq_ignore_ascii_case(name) {
+                *checked = !*checked;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The effective selection.
+    pub fn selection(&self) -> Vec<String> {
+        if self.import_all {
+            self.entries.iter().map(|(n, _)| n.clone()).collect()
+        } else {
+            self.entries
+                .iter()
+                .filter(|(_, c)| *c)
+                .map(|(n, _)| n.clone())
+                .collect()
+        }
+    }
+
+    /// Render the dialog (Figure 3a).
+    pub fn render(&self) -> String {
+        let mut out = String::from("┌─ Import UDFs ───────────────────────────┐\n");
+        for (name, checked) in &self.entries {
+            out.push_str(&format!(
+                "│ [{}] {:<36}│\n",
+                if *checked || self.import_all { "x" } else { " " },
+                name
+            ));
+        }
+        out.push_str(&format!(
+            "│ [{}] {:<36}│\n",
+            if self.import_all { "x" } else { " " },
+            "Import all functions"
+        ));
+        out.push_str("│            [ Import ]  [ Cancel ]       │\n");
+        out.push_str("└─────────────────────────────────────────┘");
+        out
+    }
+}
+
+/// The "Export UDFs" window: the project's local UDF files, with their
+/// modification state relative to the last import/export.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExportDialog {
+    /// (function name, checked).
+    pub entries: Vec<(String, bool)>,
+}
+
+impl ExportDialog {
+    pub fn new(functions: Vec<String>) -> ExportDialog {
+        ExportDialog {
+            entries: functions.into_iter().map(|f| (f, false)).collect(),
+        }
+    }
+
+    pub fn toggle(&mut self, name: &str) -> bool {
+        for (n, checked) in &mut self.entries {
+            if n.eq_ignore_ascii_case(name) {
+                *checked = !*checked;
+                return true;
+            }
+        }
+        false
+    }
+
+    pub fn selection(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(_, c)| *c)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Render the dialog (Figure 3b).
+    pub fn render(&self) -> String {
+        let mut out = String::from("┌─ Export UDFs ───────────────────────────┐\n");
+        for (name, checked) in &self.entries {
+            out.push_str(&format!(
+                "│ [{}] {:<36}│\n",
+                if *checked { "x" } else { " " },
+                name
+            ));
+        }
+        out.push_str("│            [ Export ]  [ Cancel ]       │\n");
+        out.push_str("└─────────────────────────────────────────┘");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn import_selection_by_checkbox() {
+        let mut d = ImportDialog::new(vec!["mean_deviation".into(), "train_rnforest".into()]);
+        assert!(d.selection().is_empty());
+        assert!(d.toggle("mean_deviation"));
+        assert_eq!(d.selection(), vec!["mean_deviation"]);
+        d.toggle("mean_deviation");
+        assert!(d.selection().is_empty());
+        assert!(!d.toggle("ghost"));
+    }
+
+    #[test]
+    fn import_all_overrides_checkboxes() {
+        let mut d = ImportDialog::new(vec!["a".into(), "b".into()]);
+        d.import_all = true;
+        assert_eq!(d.selection(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn import_render_shows_checkboxes() {
+        let mut d = ImportDialog::new(vec!["mean_deviation".into(), "loadnumbers".into()]);
+        d.toggle("loadnumbers");
+        let r = d.render();
+        assert!(r.contains("[ ] mean_deviation"));
+        assert!(r.contains("[x] loadnumbers"));
+        assert!(r.contains("Import all functions"));
+    }
+
+    #[test]
+    fn export_dialog_selection_and_render() {
+        let mut d = ExportDialog::new(vec!["mean_deviation".into()]);
+        d.toggle("MEAN_DEVIATION"); // case-insensitive
+        assert_eq!(d.selection(), vec!["mean_deviation"]);
+        assert!(d.render().contains("Export UDFs"));
+        assert!(d.render().contains("[x] mean_deviation"));
+    }
+}

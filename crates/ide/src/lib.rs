@@ -1,0 +1,26 @@
+//! `devudf-ide` — a headless PyCharm-style facade around the devUDF core.
+//!
+//! The paper's deliverable is a GUI plugin; its *behaviour* is menu entries
+//! and dialogs wired to the core operations. This crate reproduces that
+//! surface without a GUI toolkit:
+//!
+//! * [`menu`] — the main-menu tree with the "UDF Development" submenu
+//!   (paper Figure 1), rendered as text,
+//! * [`dialogs`] — the Settings (Figure 2) and Import/Export (Figure 3)
+//!   dialog models with ASCII renderers,
+//! * [`debug_repl`] — an interactive debugger front-end (commands:
+//!   `continue`, `step`, `next`, `out`, `locals`, `bt`, `print <expr>`,
+//!   `quit`) over any `BufRead`/`Write` pair, so it is fully scriptable,
+//! * [`ide`] — [`ide::HeadlessIde`], tying menus, dialogs and a
+//!   [`devudf::DevUdf`] session together,
+//! * the `devudf` CLI binary.
+
+pub mod debug_repl;
+pub mod dialogs;
+pub mod ide;
+pub mod menu;
+
+pub use debug_repl::{ReplController, SharedBuf};
+pub use dialogs::{ExportDialog, ImportDialog};
+pub use ide::HeadlessIde;
+pub use menu::{main_menu, MenuItem};

@@ -1,0 +1,141 @@
+//! The IDE main menu with the devUDF submenu (paper Figure 1).
+
+/// One menu node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MenuItem {
+    pub label: String,
+    pub children: Vec<MenuItem>,
+    /// Action id dispatched by the IDE when the entry is selected.
+    pub action: Option<String>,
+}
+
+impl MenuItem {
+    pub fn leaf(label: &str, action: &str) -> MenuItem {
+        MenuItem {
+            label: label.to_string(),
+            children: Vec::new(),
+            action: Some(action.to_string()),
+        }
+    }
+
+    pub fn submenu(label: &str, children: Vec<MenuItem>) -> MenuItem {
+        MenuItem {
+            label: label.to_string(),
+            children,
+            action: None,
+        }
+    }
+
+    /// Find a node by its action id.
+    pub fn find_action(&self, action: &str) -> Option<&MenuItem> {
+        if self.action.as_deref() == Some(action) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find_action(action))
+    }
+
+    /// Render the subtree as an indented text outline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        out.push_str(&"  ".repeat(depth));
+        if self.children.is_empty() {
+            out.push_str(&format!("• {}\n", self.label));
+        } else {
+            out.push_str(&format!("▸ {}\n", self.label));
+            for c in &self.children {
+                c.render_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// The PyCharm-style main menu of paper Figure 1: standard IDE menus plus
+/// the "UDF Development" submenu contributed by the devUDF plugin.
+pub fn main_menu() -> MenuItem {
+    MenuItem::submenu(
+        "Main Menu",
+        vec![
+            MenuItem::submenu(
+                "File",
+                vec![
+                    MenuItem::leaf("New Project", "file.new"),
+                    MenuItem::leaf("Open…", "file.open"),
+                    MenuItem::leaf("Save All", "file.save_all"),
+                ],
+            ),
+            MenuItem::submenu(
+                "Edit",
+                vec![
+                    MenuItem::leaf("Undo", "edit.undo"),
+                    MenuItem::leaf("Redo", "edit.redo"),
+                ],
+            ),
+            MenuItem::submenu(
+                "Run",
+                vec![
+                    MenuItem::leaf("Run", "run.run"),
+                    MenuItem::leaf("Debug", "run.debug"),
+                ],
+            ),
+            MenuItem::submenu(
+                "Tools",
+                vec![MenuItem::submenu(
+                    "UDF Development",
+                    vec![
+                        MenuItem::leaf("Import UDFs", "udf.import"),
+                        MenuItem::leaf("Export UDFs", "udf.export"),
+                        MenuItem::leaf("Settings", "udf.settings"),
+                    ],
+                )],
+            ),
+            MenuItem::submenu(
+                "VCS",
+                vec![
+                    MenuItem::leaf("Commit…", "vcs.commit"),
+                    MenuItem::leaf("Show History", "vcs.log"),
+                    MenuItem::leaf("Diff", "vcs.diff"),
+                ],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udf_development_submenu_has_three_entries_like_figure1() {
+        let menu = main_menu();
+        let import = menu.find_action("udf.import").unwrap();
+        assert_eq!(import.label, "Import UDFs");
+        assert!(menu.find_action("udf.export").is_some());
+        assert!(menu.find_action("udf.settings").is_some());
+    }
+
+    #[test]
+    fn debug_command_present() {
+        assert!(main_menu().find_action("run.debug").is_some());
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let rendered = main_menu().render();
+        assert!(rendered.contains("▸ Tools"));
+        assert!(rendered.contains("▸ UDF Development"));
+        assert!(rendered.contains("• Import UDFs"));
+        let tools_idx = rendered.find("Tools").unwrap();
+        let import_idx = rendered.find("Import UDFs").unwrap();
+        assert!(tools_idx < import_idx);
+    }
+
+    #[test]
+    fn find_missing_action_is_none() {
+        assert!(main_menu().find_action("nope.nothing").is_none());
+    }
+}

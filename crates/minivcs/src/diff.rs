@@ -1,0 +1,245 @@
+//! Line-based Myers diff, unified rendering and patch application.
+
+/// One diff hunk operation over whole lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Lines present in both versions.
+    Equal(Vec<String>),
+    /// Lines removed from the old version.
+    Delete(Vec<String>),
+    /// Lines added in the new version.
+    Insert(Vec<String>),
+}
+
+fn split_lines(text: &str) -> Vec<String> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    text.lines().map(|l| l.to_string()).collect()
+}
+
+/// Compute a minimal line diff between `old` and `new` (LCS-based shortest
+/// edit script; quadratic in line count, which is ample for UDF-sized files).
+pub fn diff_lines(old: &str, new: &str) -> Vec<DiffOp> {
+    let a = split_lines(old);
+    let b = split_lines(new);
+    let ses = shortest_edit_script(&a, &b);
+    // Coalesce the edit script into runs.
+    let mut ops: Vec<DiffOp> = Vec::new();
+    let push = |ops: &mut Vec<DiffOp>, kind: u8, line: String| match (ops.last_mut(), kind) {
+        (Some(DiffOp::Equal(v)), 0) => v.push(line),
+        (Some(DiffOp::Delete(v)), 1) => v.push(line),
+        (Some(DiffOp::Insert(v)), 2) => v.push(line),
+        (_, 0) => ops.push(DiffOp::Equal(vec![line])),
+        (_, 1) => ops.push(DiffOp::Delete(vec![line])),
+        (_, _) => ops.push(DiffOp::Insert(vec![line])),
+    };
+    for (kind, line) in ses {
+        push(&mut ops, kind, line);
+    }
+    ops
+}
+
+/// Shortest edit script via LCS dynamic programming; returns (kind, line)
+/// with kind 0=equal, 1=delete, 2=insert. Optimal (minimal insert+delete
+/// count), deterministic, and trivially correct — the quadratic cost is
+/// irrelevant at UDF-file sizes.
+fn shortest_edit_script(a: &[String], b: &[String]) -> Vec<(u8, String)> {
+    let (n, m) = (a.len(), b.len());
+    // lcs[i][j] = LCS length of a[i..] and b[j..].
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((0, a[i].clone()));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push((1, a[i].clone()));
+            i += 1;
+        } else {
+            out.push((2, b[j].clone()));
+            j += 1;
+        }
+    }
+    while i < n {
+        out.push((1, a[i].clone()));
+        i += 1;
+    }
+    while j < m {
+        out.push((2, b[j].clone()));
+        j += 1;
+    }
+    out
+}
+
+/// Apply a diff (as produced by [`diff_lines`] against `old`) to reconstruct
+/// the new text. Returns `None` if the diff does not match `old`.
+pub fn apply_patch(old: &str, ops: &[DiffOp]) -> Option<String> {
+    let old_lines = split_lines(old);
+    let mut cursor = 0usize;
+    let mut out: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal(lines) => {
+                for line in lines {
+                    if old_lines.get(cursor) != Some(line) {
+                        return None;
+                    }
+                    out.push(line.clone());
+                    cursor += 1;
+                }
+            }
+            DiffOp::Delete(lines) => {
+                for line in lines {
+                    if old_lines.get(cursor) != Some(line) {
+                        return None;
+                    }
+                    cursor += 1;
+                }
+            }
+            DiffOp::Insert(lines) => out.extend(lines.iter().cloned()),
+        }
+    }
+    if cursor != old_lines.len() {
+        return None;
+    }
+    if out.is_empty() {
+        return Some(String::new());
+    }
+    Some(out.join("\n") + "\n")
+}
+
+/// Render a diff in unified style (without hunk headers — whole-file view).
+pub fn render_unified(ops: &[DiffOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal(lines) => {
+                for line in lines {
+                    out.push_str(&format!(" {line}\n"));
+                }
+            }
+            DiffOp::Delete(lines) => {
+                for line in lines {
+                    out.push_str(&format!("-{line}\n"));
+                }
+            }
+            DiffOp::Insert(lines) => {
+                for line in lines {
+                    out.push_str(&format!("+{line}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Count (added, removed) lines.
+pub fn stats(ops: &[DiffOp]) -> (usize, usize) {
+    let mut added = 0;
+    let mut removed = 0;
+    for op in ops {
+        match op {
+            DiffOp::Insert(l) => added += l.len(),
+            DiffOp::Delete(l) => removed += l.len(),
+            DiffOp::Equal(_) => {}
+        }
+    }
+    (added, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(old: &str, new: &str) {
+        let ops = diff_lines(old, new);
+        let rebuilt = apply_patch(old, &ops).expect("patch applies");
+        // Normalize: our patches always end with a newline when non-empty.
+        let expected = if new.is_empty() {
+            String::new()
+        } else {
+            let mut s = new.lines().collect::<Vec<_>>().join("\n");
+            s.push('\n');
+            s
+        };
+        assert_eq!(rebuilt, expected, "old={old:?} new={new:?} ops={ops:?}");
+    }
+
+    #[test]
+    fn identical_texts() {
+        let ops = diff_lines("a\nb\n", "a\nb\n");
+        assert_eq!(ops, vec![DiffOp::Equal(vec!["a".into(), "b".into()])]);
+        assert_eq!(stats(&ops), (0, 0));
+    }
+
+    #[test]
+    fn single_line_change_listing4_fix() {
+        // The Scenario A fix: add abs() on the distance accumulation line.
+        let old = "distance = 0\nfor i in range(0, len(column)):\n    distance += column[i] - mean\n";
+        let new = "distance = 0\nfor i in range(0, len(column)):\n    distance += abs(column[i] - mean)\n";
+        let ops = diff_lines(old, new);
+        let (added, removed) = stats(&ops);
+        assert_eq!((added, removed), (1, 1));
+        let rendered = render_unified(&ops);
+        assert!(rendered.contains("-    distance += column[i] - mean"));
+        assert!(rendered.contains("+    distance += abs(column[i] - mean)"));
+        round_trip(old, new);
+    }
+
+    #[test]
+    fn insert_at_beginning_and_end() {
+        round_trip("b\n", "a\nb\nc\n");
+        round_trip("a\nb\nc\n", "b\n");
+    }
+
+    #[test]
+    fn empty_cases() {
+        round_trip("", "");
+        round_trip("", "new\nlines\n");
+        round_trip("old\nlines\n", "");
+    }
+
+    #[test]
+    fn completely_different() {
+        round_trip("a\nb\nc\n", "x\ny\n");
+    }
+
+    #[test]
+    fn repeated_lines() {
+        round_trip("a\na\na\n", "a\na\n");
+        round_trip("a\nb\na\nb\n", "b\na\nb\na\n");
+    }
+
+    #[test]
+    fn patch_rejects_wrong_base() {
+        let ops = diff_lines("a\nb\n", "a\nc\n");
+        assert!(apply_patch("totally\ndifferent\n", &ops).is_none());
+    }
+
+    #[test]
+    fn diff_is_minimal_for_one_line_edit() {
+        let old: String = (0..100).map(|i| format!("line {i}\n")).collect();
+        let new = old.replace("line 50", "line fifty");
+        let ops = diff_lines(&old, &new);
+        assert_eq!(stats(&ops), (1, 1));
+    }
+
+    #[test]
+    fn large_diff_round_trips() {
+        let old: String = (0..500).map(|i| format!("{}\n", i % 13)).collect();
+        let new: String = (0..480).map(|i| format!("{}\n", (i * 7) % 11)).collect();
+        round_trip(&old, &new);
+    }
+}

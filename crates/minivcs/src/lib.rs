@@ -1,0 +1,33 @@
+//! `minivcs` — a content-addressed mini version control system.
+//!
+//! The devUDF paper motivates moving UDFs out of the database and into the
+//! IDE partly because "version control systems (VCSs) such as Git cannot be
+//! easily integrated" while UDFs live server-side (§1). The reproduction
+//! demonstrates that full loop — import UDFs → edit as files → diff →
+//! commit → export — with this small but genuine VCS:
+//!
+//! * a content-addressed object store keyed by SHA-256 ([`store`]),
+//! * line-based **Myers diff** with unified rendering and patch application
+//!   ([`diff`]),
+//! * a repository layer with `init` / `add` / `commit` / `log` / `status` /
+//!   `checkout` / `diff` over a real directory tree ([`repo`]).
+//!
+//! ```
+//! use minivcs::Repository;
+//! let dir = std::env::temp_dir().join(format!("minivcs-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let repo = Repository::init(&dir).unwrap();
+//! std::fs::write(dir.join("udf.py"), "return 1\n").unwrap();
+//! repo.add("udf.py").unwrap();
+//! let id = repo.commit("import UDF", "dev").unwrap();
+//! assert_eq!(repo.log().unwrap()[0].id, id.0);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod diff;
+pub mod repo;
+pub mod store;
+
+pub use diff::{apply_patch, diff_lines, render_unified, DiffOp};
+pub use repo::{Commit, FileStatus, Repository, Status};
+pub use store::{ObjectId, ObjectStore};

@@ -1,0 +1,120 @@
+//! Content-addressed object store over a real directory.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use codecs::{sha256, to_hex};
+
+/// Identifier of a stored object: hex SHA-256 of its content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub String);
+
+impl ObjectId {
+    /// Compute the id of `content` without storing it.
+    pub fn of(content: &[u8]) -> ObjectId {
+        ObjectId(to_hex(&sha256(content)))
+    }
+
+    /// Abbreviated id for display.
+    pub fn short(&self) -> &str {
+        &self.0[..self.0.len().min(10)]
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Flat object store: one file per object under `<root>/objects/`.
+pub struct ObjectStore {
+    root: PathBuf,
+}
+
+impl ObjectStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: &Path) -> std::io::Result<ObjectStore> {
+        fs::create_dir_all(root.join("objects"))?;
+        Ok(ObjectStore {
+            root: root.to_path_buf(),
+        })
+    }
+
+    fn path_for(&self, id: &ObjectId) -> PathBuf {
+        self.root.join("objects").join(&id.0)
+    }
+
+    /// Store `content`, returning its id. Idempotent.
+    pub fn put(&self, content: &[u8]) -> std::io::Result<ObjectId> {
+        let id = ObjectId::of(content);
+        let path = self.path_for(&id);
+        if !path.exists() {
+            fs::write(path, content)?;
+        }
+        Ok(id)
+    }
+
+    /// Fetch an object's content.
+    pub fn get(&self, id: &ObjectId) -> std::io::Result<Vec<u8>> {
+        fs::read(self.path_for(id))
+    }
+
+    /// Whether an object exists.
+    pub fn contains(&self, id: &ObjectId) -> bool {
+        self.path_for(id).exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store() -> (PathBuf, ObjectStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "minivcs-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let store = ObjectStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (dir, store) = temp_store();
+        let id = store.put(b"hello objects").unwrap();
+        assert_eq!(store.get(&id).unwrap(), b"hello objects");
+        assert!(store.contains(&id));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn identical_content_same_id() {
+        let (dir, store) = temp_store();
+        let a = store.put(b"same").unwrap();
+        let b = store.put(b"same").unwrap();
+        assert_eq!(a, b);
+        let c = store.put(b"different").unwrap();
+        assert_ne!(a, c);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn id_is_sha256_hex() {
+        let id = ObjectId::of(b"abc");
+        assert_eq!(
+            id.0,
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(id.short(), "ba7816bf8f");
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let (dir, store) = temp_store();
+        assert!(store.get(&ObjectId::of(b"never stored")).is_err());
+        fs::remove_dir_all(dir).ok();
+    }
+}

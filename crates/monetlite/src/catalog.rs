@@ -1,0 +1,290 @@
+//! Catalog: tables, stored functions, and the `sys.*` meta tables.
+//!
+//! The devUDF plugin works "by querying the databases' meta tables" (paper
+//! §2.2); `sys.functions` and `sys.args` are materialized on demand from
+//! this catalog so that plain SQL retrieves UDF sources, exactly as the
+//! paper's Listing 1 shows.
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::table::Table;
+use crate::types::{Column, ColumnData, SqlType};
+#[cfg(test)]
+use crate::types::SqlValue;
+
+/// What a stored function returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionReturn {
+    Scalar(SqlType),
+    Table(Vec<(String, SqlType)>),
+}
+
+/// A stored (Python) function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<(String, SqlType)>,
+    pub returns: FunctionReturn,
+    /// Implementation language (always "PYTHON" in this reproduction).
+    pub language: String,
+    /// The function *body* as stored — no `def` header, exactly like
+    /// MonetDB's `sys.functions.func` column (paper Listing 1).
+    pub body: String,
+}
+
+/// The database catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    functions: BTreeMap<String, FunctionDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    // ---------------- tables ----------------
+
+    pub fn create_table(&mut self, table: Table) -> Result<(), DbError> {
+        let key = Self::key(&table.name);
+        if key.starts_with("sys.") {
+            return Err(DbError::catalog("the sys schema is read-only"));
+        }
+        if self.tables.contains_key(&key) {
+            return Err(DbError::catalog(format!(
+                "table '{}' already exists",
+                table.name
+            )));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<(), DbError> {
+        if self.tables.remove(&Self::key(name)).is_none() && !if_exists {
+            return Err(DbError::catalog(format!("no such table '{name}'")));
+        }
+        Ok(())
+    }
+
+    /// Look up a table; `sys.functions` / `sys.args` are materialized views
+    /// over the function catalog.
+    pub fn table(&self, name: &str) -> Result<Table, DbError> {
+        match Self::key(name).as_str() {
+            "sys.functions" | "functions" if !self.tables.contains_key("functions") => {
+                Ok(self.sys_functions())
+            }
+            "sys.args" | "args" if !self.tables.contains_key("args") => Ok(self.sys_args()),
+            key => self
+                .tables
+                .get(key)
+                .cloned()
+                .ok_or_else(|| DbError::catalog(format!("no such table '{name}'"))),
+        }
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| DbError::catalog(format!("no such table '{name}'")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.values().map(|t| t.name.clone()).collect()
+    }
+
+    // ---------------- functions ----------------
+
+    pub fn create_function(&mut self, def: FunctionDef, or_replace: bool) -> Result<(), DbError> {
+        let key = Self::key(&def.name);
+        if self.functions.contains_key(&key) && !or_replace {
+            return Err(DbError::catalog(format!(
+                "function '{}' already exists (use CREATE OR REPLACE)",
+                def.name
+            )));
+        }
+        self.functions.insert(key, def);
+        Ok(())
+    }
+
+    pub fn drop_function(&mut self, name: &str, if_exists: bool) -> Result<(), DbError> {
+        if self.functions.remove(&Self::key(name)).is_none() && !if_exists {
+            return Err(DbError::catalog(format!("no such function '{name}'")));
+        }
+        Ok(())
+    }
+
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.get(&Self::key(name))
+    }
+
+    pub fn function_names(&self) -> Vec<String> {
+        self.functions.values().map(|f| f.name.clone()).collect()
+    }
+
+    pub fn functions(&self) -> impl Iterator<Item = &FunctionDef> {
+        self.functions.values()
+    }
+
+    /// The `sys.functions` meta table: (id, name, func, language, return_type).
+    pub fn sys_functions(&self) -> Table {
+        let mut ids = Vec::new();
+        let mut names = Vec::new();
+        let mut bodies = Vec::new();
+        let mut langs = Vec::new();
+        let mut rets = Vec::new();
+        for (i, f) in self.functions.values().enumerate() {
+            ids.push(i as i64);
+            names.push(f.name.clone());
+            bodies.push(f.body.clone());
+            langs.push(f.language.clone());
+            rets.push(match &f.returns {
+                FunctionReturn::Scalar(t) => t.name().to_string(),
+                FunctionReturn::Table(cols) => {
+                    let inner: Vec<String> = cols
+                        .iter()
+                        .map(|(n, t)| format!("{n} {t}"))
+                        .collect();
+                    format!("TABLE({})", inner.join(", "))
+                }
+            });
+        }
+        Table::from_columns(
+            "sys.functions",
+            vec![
+                Column::new("id", ColumnData::Int(ids)),
+                Column::new("name", ColumnData::Str(names)),
+                Column::new("func", ColumnData::Str(bodies)),
+                Column::new("language", ColumnData::Str(langs)),
+                Column::new("return_type", ColumnData::Str(rets)),
+            ],
+        )
+        .expect("sys.functions columns are same length")
+    }
+
+    /// The `sys.args` meta table: (function, name, type, position).
+    pub fn sys_args(&self) -> Table {
+        let mut funcs = Vec::new();
+        let mut names = Vec::new();
+        let mut types = Vec::new();
+        let mut positions = Vec::new();
+        for f in self.functions.values() {
+            for (i, (pname, ptype)) in f.params.iter().enumerate() {
+                funcs.push(f.name.clone());
+                names.push(pname.clone());
+                types.push(ptype.name().to_string());
+                positions.push(i as i64);
+            }
+        }
+        Table::from_columns(
+            "sys.args",
+            vec![
+                Column::new("function", ColumnData::Str(funcs)),
+                Column::new("name", ColumnData::Str(names)),
+                Column::new("type", ColumnData::Str(types)),
+                Column::new("position", ColumnData::Int(positions)),
+            ],
+        )
+        .expect("sys.args columns are same length")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fn() -> FunctionDef {
+        FunctionDef {
+            name: "train_rnforest".to_string(),
+            params: vec![
+                ("data".to_string(), SqlType::Integer),
+                ("classes".to_string(), SqlType::Integer),
+                ("n_estimators".to_string(), SqlType::Integer),
+            ],
+            returns: FunctionReturn::Table(vec![
+                ("clf".to_string(), SqlType::Blob),
+                ("estimators".to_string(), SqlType::Integer),
+            ]),
+            language: "PYTHON".to_string(),
+            body: "import pickle\nreturn {'clf': pickle.dumps(1), 'estimators': n_estimators}"
+                .to_string(),
+        }
+    }
+
+    #[test]
+    fn create_and_fetch_function() {
+        let mut c = Catalog::new();
+        c.create_function(sample_fn(), false).unwrap();
+        let f = c.function("TRAIN_RNFOREST").unwrap();
+        assert_eq!(f.params.len(), 3);
+        assert!(c.create_function(sample_fn(), false).is_err());
+        c.create_function(sample_fn(), true).unwrap();
+    }
+
+    #[test]
+    fn drop_function() {
+        let mut c = Catalog::new();
+        c.create_function(sample_fn(), false).unwrap();
+        c.drop_function("train_rnforest", false).unwrap();
+        assert!(c.function("train_rnforest").is_none());
+        assert!(c.drop_function("train_rnforest", false).is_err());
+        c.drop_function("train_rnforest", true).unwrap();
+    }
+
+    #[test]
+    fn sys_functions_exposes_source_like_listing1() {
+        let mut c = Catalog::new();
+        c.create_function(sample_fn(), false).unwrap();
+        let t = c.table("sys.functions").unwrap();
+        assert_eq!(t.row_count(), 1);
+        let name_col = t.column_by_name("name").unwrap();
+        let func_col = t.column_by_name("func").unwrap();
+        assert_eq!(name_col.get(0), SqlValue::Str("train_rnforest".into()));
+        match func_col.get(0) {
+            SqlValue::Str(body) => assert!(body.contains("import pickle")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sys_args_lists_parameters_in_order() {
+        let mut c = Catalog::new();
+        c.create_function(sample_fn(), false).unwrap();
+        let t = c.table("sys.args").unwrap();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(
+            t.column_by_name("name").unwrap().get(2),
+            SqlValue::Str("n_estimators".into())
+        );
+        assert_eq!(t.column_by_name("position").unwrap().get(2), SqlValue::Int(2));
+    }
+
+    #[test]
+    fn tables_are_case_insensitive_and_unique() {
+        let mut c = Catalog::new();
+        c.create_table(Table::new("People", &[("id".to_string(), SqlType::Integer)]))
+            .unwrap();
+        assert!(c.table("people").is_ok());
+        assert!(c
+            .create_table(Table::new("PEOPLE", &[("id".to_string(), SqlType::Integer)]))
+            .is_err());
+        c.drop_table("People", false).unwrap();
+        assert!(c.table("people").is_err());
+        assert!(c.drop_table("people", false).is_err());
+        c.drop_table("people", true).unwrap();
+    }
+
+    #[test]
+    fn sys_schema_is_read_only() {
+        let mut c = Catalog::new();
+        let t = Table::new("sys.fake", &[("x".to_string(), SqlType::Integer)]);
+        assert!(c.create_table(t).is_err());
+    }
+}

@@ -1,0 +1,926 @@
+//! The database engine facade.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pylite::fs::{FsProvider, MemFs};
+use pylite::value::Dict;
+use pylite::Value;
+
+use crate::catalog::{Catalog, FunctionDef, FunctionReturn};
+use crate::error::{DbError, ErrorCode};
+use crate::exec;
+use crate::sql::ast::{FunctionReturnAst, Statement};
+use crate::sql::parse_statement;
+use crate::table::Table;
+use crate::types::{SqlValue};
+use crate::udf::UdfInput;
+
+/// UDF invocation model (paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionModel {
+    /// MonetDB style: the UDF runs once with whole columns.
+    #[default]
+    OperatorAtATime,
+    /// Postgres/MySQL style: the UDF runs once per input row.
+    TupleAtATime,
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A SELECT result.
+    Table(Table),
+    /// DDL/DML acknowledgement.
+    Affected { rows: usize, message: String },
+}
+
+impl QueryResult {
+    /// The result table, if this was a query.
+    pub fn table(&self) -> Option<&Table> {
+        match self {
+            QueryResult::Table(t) => Some(t),
+            QueryResult::Affected { .. } => None,
+        }
+    }
+
+    /// Consume into a table, erroring for non-queries.
+    pub fn into_table(self) -> Result<Table, DbError> {
+        match self {
+            QueryResult::Table(t) => Ok(t),
+            QueryResult::Affected { message, .. } => Err(DbError::exec(format!(
+                "statement produced no result set ({message})"
+            ))),
+        }
+    }
+}
+
+/// Marker error message used to abort execution once extraction captured
+/// the UDF inputs (never surfaces to callers).
+pub(crate) const EXTRACT_SIGNAL: &str = "__devudf_extract_complete__";
+
+struct Inner {
+    catalog: Catalog,
+    model: ExecutionModel,
+    fs: Rc<dyn FsProvider>,
+    rng_seed: u64,
+    udf_step_budget: u64,
+    /// Lower-cased UDF name whose inputs should be captured instead of
+    /// executing it.
+    extract_request: Option<String>,
+    extracted: Option<Vec<(String, UdfInput)>>,
+    /// `print` output of UDFs during the last statement.
+    udf_stdout: String,
+    /// Current UDF nesting depth (loopback queries re-enter the engine with
+    /// a fresh interpreter, so the interpreter's own recursion guard cannot
+    /// see engine-level cycles).
+    udf_depth: usize,
+}
+
+/// Maximum engine-level UDF nesting (loopback-driven recursion guard).
+const MAX_UDF_DEPTH: usize = 12;
+
+/// The engine. Cheap to clone (shared state); single-threaded by design —
+/// the wire server owns one engine on a dedicated thread.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// New empty engine with an in-memory filesystem for COPY INTO / UDF IO.
+    pub fn new() -> Self {
+        Self::with_fs(Rc::new(MemFs::new()))
+    }
+
+    /// New engine over a caller-provided filesystem.
+    pub fn with_fs(fs: Rc<dyn FsProvider>) -> Self {
+        Engine {
+            inner: Rc::new(RefCell::new(Inner {
+                catalog: Catalog::new(),
+                model: ExecutionModel::OperatorAtATime,
+                fs,
+                rng_seed: 0x5eed_cafe,
+                udf_step_budget: 50_000_000,
+                extract_request: None,
+                extracted: None,
+                udf_stdout: String::new(),
+                udf_depth: 0,
+            })),
+        }
+    }
+
+    /// Switch the UDF invocation model.
+    pub fn set_model(&self, model: ExecutionModel) {
+        self.inner.borrow_mut().model = model;
+    }
+
+    pub fn model(&self) -> ExecutionModel {
+        self.inner.borrow().model
+    }
+
+    /// Seed consumed by UDFs' `random` module and the mini-sklearn forest.
+    pub fn set_rng_seed(&self, seed: u64) {
+        self.inner.borrow_mut().rng_seed = seed;
+    }
+
+    pub fn rng_seed(&self) -> u64 {
+        self.inner.borrow().rng_seed
+    }
+
+    /// Statement budget applied to each UDF run (infinite-loop guard).
+    pub fn udf_step_budget(&self) -> u64 {
+        self.inner.borrow().udf_step_budget
+    }
+
+    pub fn set_udf_step_budget(&self, budget: u64) {
+        self.inner.borrow_mut().udf_step_budget = budget;
+    }
+
+    /// The filesystem visible to UDFs and COPY INTO.
+    pub fn fs(&self) -> Rc<dyn FsProvider> {
+        self.inner.borrow().fs.clone()
+    }
+
+    /// `print` output produced by UDFs during the last `execute` call — the
+    /// paper's "print debugging" channel (§2.5 step 3).
+    pub fn take_udf_stdout(&self) -> String {
+        std::mem::take(&mut self.inner.borrow_mut().udf_stdout)
+    }
+
+    pub(crate) fn append_udf_stdout(&self, text: &str) {
+        self.inner.borrow_mut().udf_stdout.push_str(text);
+    }
+
+    /// Enter a UDF execution; errors when loopback nesting runs away.
+    pub(crate) fn enter_udf(&self) -> Result<UdfDepthGuard, DbError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.udf_depth >= MAX_UDF_DEPTH {
+            return Err(DbError::exec(format!(
+                "maximum UDF nesting depth exceeded ({MAX_UDF_DEPTH}) — loopback recursion?"
+            )));
+        }
+        inner.udf_depth += 1;
+        Ok(UdfDepthGuard {
+            engine: self.clone(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog access (scoped borrows so UDF execution can re-enter)
+    // ------------------------------------------------------------------
+
+    pub fn get_table(&self, name: &str) -> Result<Table, DbError> {
+        self.inner.borrow().catalog.table(name)
+    }
+
+    pub fn get_function(&self, name: &str) -> Result<Option<FunctionDef>, DbError> {
+        Ok(self.inner.borrow().catalog.function(name).cloned())
+    }
+
+    pub fn function_names(&self) -> Vec<String> {
+        self.inner.borrow().catalog.function_names()
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.borrow().catalog.table_names()
+    }
+
+    pub(crate) fn extract_matches(&self, fn_name: &str) -> bool {
+        self.inner
+            .borrow()
+            .extract_request
+            .as_deref()
+            .map(|r| r.eq_ignore_ascii_case(fn_name))
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn store_extracted(&self, inputs: &[(String, UdfInput)]) -> Result<(), DbError> {
+        self.inner.borrow_mut().extracted = Some(inputs.to_vec());
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult, DbError> {
+        let stmt = parse_statement(sql)?;
+        self.run(&stmt)
+    }
+
+    fn run(&self, stmt: &Statement) -> Result<QueryResult, DbError> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let table = Table::new(name.clone(), columns);
+                self.inner.borrow_mut().catalog.create_table(table)?;
+                Ok(QueryResult::Affected {
+                    rows: 0,
+                    message: format!("table '{name}' created"),
+                })
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.inner.borrow_mut().catalog.drop_table(name, *if_exists)?;
+                Ok(QueryResult::Affected {
+                    rows: 0,
+                    message: format!("table '{name}' dropped"),
+                })
+            }
+            Statement::CreateFunction {
+                or_replace,
+                name,
+                params,
+                returns,
+                language,
+                body,
+            } => {
+                if language != "PYTHON" {
+                    return Err(DbError::catalog(format!(
+                        "unsupported UDF language '{language}' (only PYTHON)"
+                    )));
+                }
+                // Validate that the body at least parses, so syntax errors
+                // surface at CREATE time like MonetDB does.
+                pylite::parse_module(&normalize_body(body)).map_err(|e| DbError {
+                    code: ErrorCode::Parse,
+                    message: format!("function body: {e}"),
+                    traceback: Some(e.render()),
+                })?;
+                let def = FunctionDef {
+                    name: name.clone(),
+                    params: params.clone(),
+                    returns: match returns {
+                        FunctionReturnAst::Scalar(t) => FunctionReturn::Scalar(*t),
+                        FunctionReturnAst::Table(cols) => FunctionReturn::Table(cols.clone()),
+                    },
+                    language: language.clone(),
+                    body: normalize_body(body),
+                };
+                self.inner
+                    .borrow_mut()
+                    .catalog
+                    .create_function(def, *or_replace)?;
+                Ok(QueryResult::Affected {
+                    rows: 0,
+                    message: format!("function '{name}' created"),
+                })
+            }
+            Statement::DropFunction { name, if_exists } => {
+                self.inner
+                    .borrow_mut()
+                    .catalog
+                    .drop_function(name, *if_exists)?;
+                Ok(QueryResult::Affected {
+                    rows: 0,
+                    message: format!("function '{name}' dropped"),
+                })
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.run_insert(table, columns.as_deref(), rows),
+            Statement::Delete { table, predicate } => self.run_delete(table, predicate.as_ref()),
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => self.run_update(table, assignments, predicate.as_ref()),
+            Statement::CopyInto {
+                table,
+                path,
+                delimiter,
+            } => self.run_copy_into(table, path, *delimiter),
+            Statement::Select(sel) => {
+                self.inner.borrow_mut().udf_stdout.clear();
+                Ok(QueryResult::Table(exec::run_select(self, sel)?))
+            }
+        }
+    }
+
+    fn run_insert(
+        &self,
+        table_name: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<crate::sql::ast::SqlExpr>],
+    ) -> Result<QueryResult, DbError> {
+        // Evaluate row expressions first (no source table).
+        let mut evaluated: Vec<Vec<SqlValue>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut out = Vec::with_capacity(row.len());
+            for e in row {
+                match exec::eval::eval_expr(self, None, e)? {
+                    exec::Evaluated::Scalar(s) => out.push(s),
+                    exec::Evaluated::Column(_) => {
+                        return Err(DbError::exec("INSERT values must be scalars"))
+                    }
+                }
+            }
+            evaluated.push(out);
+        }
+        let mut inner = self.inner.borrow_mut();
+        let table = inner.catalog.table_mut(table_name)?;
+        let count = evaluated.len();
+        match columns {
+            None => {
+                for row in &evaluated {
+                    table.push_row(row)?;
+                }
+            }
+            Some(cols) => {
+                // Reorder values to the table's column order; unnamed
+                // columns get NULL.
+                let idx: Vec<usize> = cols
+                    .iter()
+                    .map(|c| {
+                        table.column_index(c).ok_or_else(|| {
+                            DbError::catalog(format!("no such column '{c}' in '{table_name}'"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                for row in &evaluated {
+                    if row.len() != idx.len() {
+                        return Err(DbError::exec("INSERT value count mismatch"));
+                    }
+                    let mut full = vec![SqlValue::Null; table.column_count()];
+                    for (value, &slot) in row.iter().zip(&idx) {
+                        full[slot] = value.clone();
+                    }
+                    table.push_row(&full)?;
+                }
+            }
+        }
+        Ok(QueryResult::Affected {
+            rows: count,
+            message: format!("{count} row(s) inserted"),
+        })
+    }
+
+    fn run_delete(
+        &self,
+        table_name: &str,
+        predicate: Option<&crate::sql::ast::SqlExpr>,
+    ) -> Result<QueryResult, DbError> {
+        let table = self.get_table(table_name)?;
+        let keep: Vec<bool> = match predicate {
+            None => vec![false; table.row_count()],
+            Some(p) => exec::eval::predicate_mask(self, &table, p)?
+                .into_iter()
+                .map(|m| !m)
+                .collect(),
+        };
+        let removed = keep.iter().filter(|k| !**k).count();
+        let filtered = table.filter(&keep);
+        let mut inner = self.inner.borrow_mut();
+        *inner.catalog.table_mut(table_name)? = filtered;
+        Ok(QueryResult::Affected {
+            rows: removed,
+            message: format!("{removed} row(s) deleted"),
+        })
+    }
+
+    fn run_update(
+        &self,
+        table_name: &str,
+        assignments: &[(String, crate::sql::ast::SqlExpr)],
+        predicate: Option<&crate::sql::ast::SqlExpr>,
+    ) -> Result<QueryResult, DbError> {
+        let table = self.get_table(table_name)?;
+        let mask = match predicate {
+            None => vec![true; table.row_count()],
+            Some(p) => exec::eval::predicate_mask(self, &table, p)?,
+        };
+        // Evaluate each assignment columnar against the full table.
+        let mut new_columns = table.columns.clone();
+        for (col_name, expr) in assignments {
+            let idx = table
+                .column_index(col_name)
+                .ok_or_else(|| DbError::catalog(format!("no such column '{col_name}'")))?;
+            let evaluated = exec::eval::eval_expr(self, Some(&table), expr)?;
+            let target_type = table.columns[idx].sql_type();
+            let mut rebuilt = crate::types::Column::empty(col_name.clone(), target_type);
+            for (row, selected) in mask.iter().enumerate() {
+                let v = if *selected {
+                    match &evaluated {
+                        exec::Evaluated::Scalar(s) => s.clone(),
+                        exec::Evaluated::Column(c) => c.get(row),
+                    }
+                } else {
+                    table.columns[idx].get(row)
+                };
+                rebuilt.push(&v)?;
+            }
+            new_columns[idx] = rebuilt;
+        }
+        let updated = mask.iter().filter(|m| **m).count();
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.catalog.table_mut(table_name)?;
+        slot.columns = new_columns;
+        Ok(QueryResult::Affected {
+            rows: updated,
+            message: format!("{updated} row(s) updated"),
+        })
+    }
+
+    /// CSV ingestion (`COPY INTO t FROM 'path'`), reading from the engine fs.
+    fn run_copy_into(
+        &self,
+        table_name: &str,
+        path: &str,
+        delimiter: char,
+    ) -> Result<QueryResult, DbError> {
+        let data = self
+            .fs()
+            .read(path)
+            .map_err(|e| DbError::load(format!("COPY INTO: {e}")))?;
+        let text = String::from_utf8(data)
+            .map_err(|_| DbError::load("COPY INTO: file is not valid UTF-8"))?;
+        let mut inner = self.inner.borrow_mut();
+        let table = inner.catalog.table_mut(table_name)?;
+        let mut count = 0usize;
+        for (line_no, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(delimiter).collect();
+            if fields.len() != table.column_count() {
+                return Err(DbError::load(format!(
+                    "COPY INTO: line {} has {} fields, table '{}' has {} columns",
+                    line_no + 1,
+                    fields.len(),
+                    table_name,
+                    table.column_count()
+                )));
+            }
+            let row: Vec<SqlValue> = fields
+                .iter()
+                .map(|f| {
+                    let t = f.trim();
+                    if t.is_empty() || t.eq_ignore_ascii_case("null") {
+                        SqlValue::Null
+                    } else {
+                        SqlValue::Str(t.to_string())
+                    }
+                })
+                .collect();
+            table.push_row(&row)?;
+            count += 1;
+        }
+        Ok(QueryResult::Affected {
+            rows: count,
+            message: format!("{count} row(s) loaded from '{path}'"),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Input extraction (the paper's predefined extract function, §2.2)
+    // ------------------------------------------------------------------
+
+    /// Evaluate `query` but *intercept* the call to `udf_name`: instead of
+    /// executing the UDF, capture its input columns/scalars and return them
+    /// as a dict value `{param_name: column-or-scalar}` ready for pickling
+    /// into `input.bin`.
+    pub fn extract_inputs(&self, query: &str, udf_name: &str) -> Result<Value, DbError> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.extract_request = Some(udf_name.to_string());
+            inner.extracted = None;
+        }
+        let run = self.execute(query);
+        let captured = {
+            let mut inner = self.inner.borrow_mut();
+            inner.extract_request = None;
+            inner.extracted.take()
+        };
+        match run {
+            Err(e) if e.message == EXTRACT_SIGNAL => {
+                let inputs = captured.ok_or_else(|| {
+                    DbError::exec("extraction signal without captured inputs")
+                })?;
+                let mut dict = Dict::new();
+                for (name, input) in &inputs {
+                    dict.insert(Value::str(name.clone()), input.to_py()?)
+                        .map_err(|e| DbError::udf(&e))?;
+                }
+                Ok(Value::dict(dict))
+            }
+            Err(e) => Err(e),
+            Ok(_) => Err(DbError::exec(format!(
+                "query does not invoke UDF '{udf_name}'"
+            ))),
+        }
+    }
+}
+
+/// RAII guard decrementing the engine's UDF nesting depth.
+pub(crate) struct UdfDepthGuard {
+    engine: Engine,
+}
+
+impl Drop for UdfDepthGuard {
+    fn drop(&mut self) {
+        let mut inner = self.engine.inner.borrow_mut();
+        inner.udf_depth = inner.udf_depth.saturating_sub(1);
+    }
+}
+
+/// Normalize a stored function body: strip a uniform leading indent and
+/// surrounding blank lines so line numbers are stable and the body parses
+/// regardless of how the CREATE FUNCTION statement was indented.
+pub fn normalize_body(body: &str) -> String {
+    let lines: Vec<&str> = body.lines().collect();
+    // Trim leading/trailing blank lines.
+    let first = lines.iter().position(|l| !l.trim().is_empty());
+    let last = lines.iter().rposition(|l| !l.trim().is_empty());
+    let (Some(first), Some(last)) = (first, last) else {
+        return String::new();
+    };
+    let content = &lines[first..=last];
+    let indent = content
+        .iter()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.len() - l.trim_start().len())
+        .min()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for line in content {
+        if line.len() >= indent {
+            out.push_str(&line[indent..]);
+        } else {
+            out.push_str(line.trim_start());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_numbers() -> Engine {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let db = engine_with_numbers();
+        let r = db.execute("SELECT i FROM t WHERE i > 2").unwrap();
+        let t = r.into_table().unwrap();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column(0).unwrap().get(0), SqlValue::Int(3));
+    }
+
+    #[test]
+    fn expressions_and_aliases() {
+        let db = engine_with_numbers();
+        let t = db
+            .execute("SELECT i * 2 AS doubled, i + 0.5 FROM t WHERE i <= 2")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.columns[0].name, "doubled");
+        assert_eq!(t.column(0).unwrap().get(1), SqlValue::Int(4));
+        assert_eq!(t.column(1).unwrap().get(0), SqlValue::Double(1.5));
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = engine_with_numbers();
+        let t = db
+            .execute("SELECT count(*), sum(i), avg(i), min(i), max(i), median(i) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.row(0)[0], SqlValue::Int(5));
+        assert_eq!(t.row(0)[1], SqlValue::Int(15));
+        assert_eq!(t.row(0)[2], SqlValue::Double(3.0));
+        assert_eq!(t.row(0)[3], SqlValue::Int(1));
+        assert_eq!(t.row(0)[4], SqlValue::Int(5));
+        assert_eq!(t.row(0)[5], SqlValue::Double(3.0));
+    }
+
+    #[test]
+    fn group_by() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE s (g STRING, v INTEGER)").unwrap();
+        db.execute("INSERT INTO s VALUES ('a', 1), ('b', 10), ('a', 2), ('b', 20)")
+            .unwrap();
+        let t = db
+            .execute("SELECT g, sum(v) AS total FROM s GROUP BY g ORDER BY g")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row(0), vec![SqlValue::Str("a".into()), SqlValue::Int(3)]);
+        assert_eq!(t.row(1), vec![SqlValue::Str("b".into()), SqlValue::Int(30)]);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = engine_with_numbers();
+        let t = db
+            .execute("SELECT i FROM t ORDER BY i DESC LIMIT 2")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.rows(), vec![vec![SqlValue::Int(5)], vec![SqlValue::Int(4)]]);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = Engine::new();
+        let t = db.execute("SELECT 1 + 1, 'hi'").unwrap().into_table().unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.row(0)[0], SqlValue::Int(2));
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let db = engine_with_numbers();
+        db.execute("DELETE FROM t WHERE i > 3").unwrap();
+        let t = db.execute("SELECT count(*) FROM t").unwrap().into_table().unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Int(3));
+        db.execute("UPDATE t SET i = i * 10 WHERE i >= 2").unwrap();
+        let t = db
+            .execute("SELECT sum(i) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Int(51)); // 1 + 20 + 30
+    }
+
+    #[test]
+    fn scalar_python_udf_operator_at_a_time() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION triple(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i * 3 }",
+        )
+        .unwrap();
+        let t = db
+            .execute("SELECT triple(i) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(t.column(0).unwrap().get(4), SqlValue::Int(15));
+    }
+
+    #[test]
+    fn scalar_udf_reducing_column_yields_one_row() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION colsum(i INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return sum(i) / 1.0 }",
+        )
+        .unwrap();
+        let t = db
+            .execute("SELECT colsum(i) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.row(0)[0], SqlValue::Double(15.0));
+    }
+
+    #[test]
+    fn tuple_at_a_time_model() {
+        let db = engine_with_numbers();
+        db.set_model(ExecutionModel::TupleAtATime);
+        db.execute(
+            "CREATE FUNCTION inc(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i + 1 }",
+        )
+        .unwrap();
+        let t = db
+            .execute("SELECT inc(i) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(t.column(0).unwrap().get(0), SqlValue::Int(2));
+    }
+
+    #[test]
+    fn udf_error_carries_traceback_line() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION bad(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nx = 1\nreturn x / 0\n}",
+        )
+        .unwrap();
+        let err = db.execute("SELECT bad(i) FROM t").unwrap_err();
+        assert_eq!(err.code, ErrorCode::Udf);
+        assert!(err.traceback.unwrap().contains("line 2"));
+    }
+
+    #[test]
+    fn udf_syntax_error_rejected_at_create_time() {
+        let db = Engine::new();
+        let err = db
+            .execute("CREATE FUNCTION oops(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return ((( }")
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Parse);
+    }
+
+    #[test]
+    fn meta_tables_queryable() {
+        let db = Engine::new();
+        db.execute(
+            "CREATE FUNCTION f1(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i }",
+        )
+        .unwrap();
+        let t = db
+            .execute("SELECT name, func FROM sys.functions WHERE language = 'PYTHON'")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+        let t = db
+            .execute("SELECT name FROM sys.args WHERE function = 'f1' ORDER BY position")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Str("i".into()));
+    }
+
+    #[test]
+    fn table_function_with_subquery_args() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE pairs (a INTEGER, b INTEGER)").unwrap();
+        db.execute("INSERT INTO pairs VALUES (1, 10), (2, 20)").unwrap();
+        db.execute(
+            "CREATE FUNCTION addtab(a INTEGER, b INTEGER, k INTEGER) RETURNS TABLE(s INTEGER) LANGUAGE PYTHON { return {'s': a + b + k} }",
+        )
+        .unwrap();
+        let t = db
+            .execute("SELECT * FROM addtab((SELECT a, b FROM pairs), 100)")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column(0).unwrap().get(1), SqlValue::Int(122));
+    }
+
+    #[test]
+    fn loopback_query_from_udf() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION via_loopback() RETURNS INTEGER LANGUAGE PYTHON {\nres = _conn.execute('SELECT sum(i) FROM t')\nreturn res['sum']\n}",
+        )
+        .unwrap();
+        let t = db
+            .execute("SELECT via_loopback()")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Int(15));
+    }
+
+    #[test]
+    fn copy_into_loads_csv() {
+        let fs = Rc::new(MemFs::with_files(&[("data.csv", "1,x\n2,y\n3,z\n")]));
+        let db = Engine::with_fs(fs);
+        db.execute("CREATE TABLE c (i INTEGER, s STRING)").unwrap();
+        let r = db.execute("COPY INTO c FROM 'data.csv'").unwrap();
+        assert!(matches!(r, QueryResult::Affected { rows: 3, .. }));
+        let t = db.execute("SELECT sum(i) FROM c").unwrap().into_table().unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Int(6));
+    }
+
+    #[test]
+    fn copy_into_field_count_mismatch() {
+        let fs = Rc::new(MemFs::with_files(&[("bad.csv", "1,2\n")]));
+        let db = Engine::with_fs(fs);
+        db.execute("CREATE TABLE c (i INTEGER)").unwrap();
+        let err = db.execute("COPY INTO c FROM 'bad.csv'").unwrap_err();
+        assert_eq!(err.code, ErrorCode::Load);
+    }
+
+    #[test]
+    fn extract_inputs_captures_udf_arguments() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return 0.0 }",
+        )
+        .unwrap();
+        let v = db
+            .extract_inputs("SELECT mean_deviation(i) FROM t", "mean_deviation")
+            .unwrap();
+        let Value::Dict(d) = v else { panic!("expected dict") };
+        let col = d.borrow().get(&Value::str("column")).unwrap().unwrap();
+        match col {
+            Value::Array(a) => assert_eq!(a.len(), 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_inputs_without_udf_call_errors() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION f(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i }",
+        )
+        .unwrap();
+        let err = db.extract_inputs("SELECT i FROM t", "f").unwrap_err();
+        assert!(err.message.contains("does not invoke"));
+        // Engine still works afterwards.
+        assert!(db.execute("SELECT f(i) FROM t").is_ok());
+    }
+
+    #[test]
+    fn extract_inputs_for_table_function() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE train (data INTEGER, labels INTEGER)").unwrap();
+        db.execute("INSERT INTO train VALUES (1, 0), (2, 1)").unwrap();
+        db.execute(
+            "CREATE FUNCTION train_rf(data INTEGER, labels INTEGER, n INTEGER) RETURNS TABLE(m BLOB) LANGUAGE PYTHON { return {'m': pickle.dumps(1)} }",
+        )
+        .unwrap();
+        let v = db
+            .extract_inputs(
+                "SELECT * FROM train_rf((SELECT data, labels FROM train), 10)",
+                "train_rf",
+            )
+            .unwrap();
+        let Value::Dict(d) = v else { panic!() };
+        let d = d.borrow();
+        assert!(matches!(
+            d.get(&Value::str("n")).unwrap().unwrap(),
+            Value::Int(10)
+        ));
+        assert!(matches!(
+            d.get(&Value::str("data")).unwrap().unwrap(),
+            Value::Array(_)
+        ));
+    }
+
+    #[test]
+    fn udf_print_output_captured() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION noisy(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nprint('seen', len(i))\nreturn i\n}",
+        )
+        .unwrap();
+        db.execute("SELECT noisy(i) FROM t").unwrap();
+        assert_eq!(db.take_udf_stdout(), "seen 5\n");
+    }
+
+    #[test]
+    fn normalize_body_strips_uniform_indent() {
+        let body = "\n    x = 1\n    if x:\n        y = 2\n";
+        assert_eq!(normalize_body(body), "x = 1\nif x:\n    y = 2\n");
+        assert_eq!(normalize_body("  \n \n"), "");
+    }
+
+    #[test]
+    fn between_and_cast_evaluate() {
+        let db = engine_with_numbers();
+        let t = db
+            .execute("SELECT count(*) FROM t WHERE i BETWEEN 2 AND 4")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Int(3));
+        let t = db
+            .execute("SELECT CAST(i AS DOUBLE), CAST(i AS STRING) FROM t WHERE i = 2")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Double(2.0));
+        assert_eq!(t.row(0)[1], SqlValue::Str("2".into()));
+        let t = db
+            .execute("SELECT count(*) FROM t WHERE i NOT BETWEEN 2 AND 4")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row(0)[0], SqlValue::Int(2));
+    }
+
+    #[test]
+    fn like_filter_on_meta_tables() {
+        let db = Engine::new();
+        for name in ["mean_deviation", "load_numbers", "mean_abs"] {
+            db.execute(&format!(
+                "CREATE FUNCTION {name}(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {{ return i }}"
+            ))
+            .unwrap();
+        }
+        let t = db
+            .execute("SELECT name FROM sys.functions WHERE name LIKE 'mean%' ORDER BY name")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row(0)[0], SqlValue::Str("mean_abs".into()));
+    }
+}

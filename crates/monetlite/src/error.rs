@@ -1,0 +1,110 @@
+//! Database error type.
+
+use std::fmt;
+
+/// Category of a database error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// SQL text could not be parsed.
+    Parse,
+    /// Unknown table/column/function, duplicate creation, …
+    Catalog,
+    /// Type mismatch in expressions or inserts.
+    Type,
+    /// Runtime execution failure (division by zero, bad cast, …).
+    Exec,
+    /// A Python UDF raised; the message carries the rendered traceback.
+    Udf,
+    /// CSV/data loading problem.
+    Load,
+}
+
+impl ErrorCode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "ParseError",
+            ErrorCode::Catalog => "CatalogError",
+            ErrorCode::Type => "TypeError",
+            ErrorCode::Exec => "ExecError",
+            ErrorCode::Udf => "UdfError",
+            ErrorCode::Load => "LoadError",
+        }
+    }
+}
+
+/// An error raised by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbError {
+    pub code: ErrorCode,
+    pub message: String,
+    /// For UDF errors: the Python-style traceback, line numbers relative to
+    /// the stored function body (the devUDF plugin maps these onto the
+    /// project files it generated).
+    pub traceback: Option<String>,
+}
+
+impl DbError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        DbError {
+            code,
+            message: message.into(),
+            traceback: None,
+        }
+    }
+
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Parse, message)
+    }
+
+    pub fn catalog(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Catalog, message)
+    }
+
+    pub fn type_err(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Type, message)
+    }
+
+    pub fn exec(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Exec, message)
+    }
+
+    pub fn udf(err: &pylite::PyError) -> Self {
+        DbError {
+            code: ErrorCode::Udf,
+            message: err.to_string(),
+            traceback: Some(err.render()),
+        }
+    }
+
+    pub fn load(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Load, message)
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code() {
+        let e = DbError::parse("unexpected token");
+        assert_eq!(e.to_string(), "ParseError: unexpected token");
+    }
+
+    #[test]
+    fn udf_error_carries_traceback() {
+        let mut py = pylite::PyError::new(pylite::ErrorKind::ZeroDivision, "division by zero");
+        py.push_frame("mean_deviation", 6);
+        let e = DbError::udf(&py);
+        assert_eq!(e.code, ErrorCode::Udf);
+        assert!(e.traceback.unwrap().contains("line 6"));
+    }
+}

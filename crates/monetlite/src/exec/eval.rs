@@ -1,0 +1,746 @@
+//! Columnar expression evaluation.
+
+use std::cmp::Ordering;
+
+use crate::engine::Engine;
+use crate::error::DbError;
+use crate::sql::ast::{BinaryOp, SqlExpr, UnaryOp};
+use crate::table::Table;
+use crate::types::{Column, SqlValue};
+use crate::udf::{self, UdfInput};
+
+/// Result of evaluating an expression against a table: a whole column or a
+/// single scalar (literals, aggregates, scalar-returning UDFs).
+#[derive(Debug, Clone)]
+pub enum Evaluated {
+    Column(Column),
+    Scalar(SqlValue),
+}
+
+impl Evaluated {
+    /// Value at row `i` (scalars broadcast).
+    pub fn get(&self, i: usize) -> SqlValue {
+        match self {
+            Evaluated::Column(c) => c.get(i),
+            Evaluated::Scalar(s) => s.clone(),
+        }
+    }
+
+    /// Length if columnar.
+    pub fn column_len(&self) -> Option<usize> {
+        match self {
+            Evaluated::Column(c) => Some(c.len()),
+            Evaluated::Scalar(_) => None,
+        }
+    }
+
+    /// Materialize as a column of `rows` values.
+    pub fn into_column(self, name: &str, rows: usize) -> Result<Column, DbError> {
+        match self {
+            Evaluated::Column(mut c) => {
+                c.name = name.to_string();
+                Ok(c)
+            }
+            Evaluated::Scalar(s) => Column::from_values(name, &vec![s; rows]),
+        }
+    }
+}
+
+/// Names of aggregate functions handled by the evaluator.
+fn is_aggregate(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max" | "median"
+    )
+}
+
+/// Evaluate `expr` against `source` (None = no FROM clause).
+pub fn eval_expr(
+    engine: &Engine,
+    source: Option<&Table>,
+    expr: &SqlExpr,
+) -> Result<Evaluated, DbError> {
+    match expr {
+        SqlExpr::Literal(v) => Ok(Evaluated::Scalar(v.clone())),
+        SqlExpr::Star => Err(DbError::exec("'*' is only valid inside count(*)")),
+        SqlExpr::Column(name) => {
+            let table = source.ok_or_else(|| {
+                DbError::catalog(format!("column '{name}' referenced without a FROM clause"))
+            })?;
+            resolve_column(table, name).map(|c| Evaluated::Column(c.clone()))
+        }
+        SqlExpr::Unary { op, expr } => {
+            let v = eval_expr(engine, source, expr)?;
+            apply_unary(*op, v)
+        }
+        SqlExpr::Binary { left, op, right } => {
+            let l = eval_expr(engine, source, left)?;
+            let r = eval_expr(engine, source, right)?;
+            apply_binary(*op, l, r)
+        }
+        SqlExpr::IsNull { expr, negated } => {
+            let v = eval_expr(engine, source, expr)?;
+            Ok(match v {
+                Evaluated::Scalar(s) => Evaluated::Scalar(SqlValue::Bool(s.is_null() != *negated)),
+                Evaluated::Column(c) => {
+                    let out: Vec<SqlValue> = (0..c.len())
+                        .map(|i| SqlValue::Bool(c.is_null(i) != *negated))
+                        .collect();
+                    Evaluated::Column(Column::from_values("is_null", &out)?)
+                }
+            })
+        }
+        SqlExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_expr(engine, source, expr)?;
+            let p = eval_expr(engine, source, pattern)?;
+            let Evaluated::Scalar(SqlValue::Str(pat)) = p else {
+                return Err(DbError::type_err("LIKE pattern must be a string literal"));
+            };
+            let apply = |s: &SqlValue| -> Result<SqlValue, DbError> {
+                match s {
+                    SqlValue::Null => Ok(SqlValue::Null),
+                    SqlValue::Str(text) => Ok(SqlValue::Bool(like_match(text, &pat) != *negated)),
+                    other => Err(DbError::type_err(format!(
+                        "LIKE requires a string operand, got {}",
+                        other.sql_type().map(|t| t.name()).unwrap_or("NULL")
+                    ))),
+                }
+            };
+            map_evaluated(v, "like", apply)
+        }
+        SqlExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_expr(engine, source, expr)?;
+            let mut options = Vec::with_capacity(list.len());
+            for item in list {
+                match eval_expr(engine, source, item)? {
+                    Evaluated::Scalar(s) => options.push(s),
+                    Evaluated::Column(_) => {
+                        return Err(DbError::type_err("IN list items must be scalars"))
+                    }
+                }
+            }
+            let apply = move |s: &SqlValue| -> Result<SqlValue, DbError> {
+                if s.is_null() {
+                    return Ok(SqlValue::Null);
+                }
+                let found = options.iter().any(|o| cmp_sql(s, o) == Ordering::Equal && !o.is_null());
+                Ok(SqlValue::Bool(found != *negated))
+            };
+            map_evaluated(v, "in", apply)
+        }
+        SqlExpr::Call { name, args } => eval_call(engine, source, name, args),
+        SqlExpr::Cast { expr, target } => {
+            let v = eval_expr(engine, source, expr)?;
+            let target = *target;
+            map_evaluated(v, "cast", move |s| s.coerce(target))
+        }
+    }
+}
+
+/// Resolve a (possibly qualified) column reference against a table whose
+/// columns may themselves be alias-qualified (join outputs).
+///
+/// Resolution order: exact name match; then, for a bare name, a unique
+/// `*.name` suffix match (ambiguity is an error); for a qualified name, a
+/// bare-leaf match (single-table queries referenced as `t.col`).
+pub fn resolve_column<'t>(table: &'t Table, name: &str) -> Result<&'t Column, DbError> {
+    if let Some(c) = table
+        .columns
+        .iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
+    {
+        return Ok(c);
+    }
+    if !name.contains('.') {
+        let suffix = format!(".{}", name.to_ascii_lowercase());
+        let mut matches = table
+            .columns
+            .iter()
+            .filter(|c| c.name.to_ascii_lowercase().ends_with(&suffix));
+        match (matches.next(), matches.next()) {
+            (Some(c), None) => return Ok(c),
+            (Some(a), Some(b)) => {
+                return Err(DbError::catalog(format!(
+                    "column reference '{name}' is ambiguous ('{}' vs '{}')",
+                    a.name, b.name
+                )))
+            }
+            _ => {}
+        }
+    } else if let Some(leaf) = name.rsplit('.').next() {
+        if let Some(c) = table
+            .columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(leaf))
+        {
+            return Ok(c);
+        }
+    }
+    Err(DbError::catalog(format!("no such column '{name}'")))
+}
+
+/// Map a scalar function over an evaluated value.
+fn map_evaluated(
+    v: Evaluated,
+    name: &str,
+    f: impl Fn(&SqlValue) -> Result<SqlValue, DbError>,
+) -> Result<Evaluated, DbError> {
+    Ok(match v {
+        Evaluated::Scalar(s) => Evaluated::Scalar(f(&s)?),
+        Evaluated::Column(c) => {
+            let mut out = Vec::with_capacity(c.len());
+            for i in 0..c.len() {
+                out.push(f(&c.get(i))?);
+            }
+            Evaluated::Column(Column::from_values(name, &out)?)
+        }
+    })
+}
+
+fn apply_unary(op: UnaryOp, v: Evaluated) -> Result<Evaluated, DbError> {
+    let f = move |s: &SqlValue| -> Result<SqlValue, DbError> {
+        Ok(match (op, s) {
+            (_, SqlValue::Null) => SqlValue::Null,
+            (UnaryOp::Neg, SqlValue::Int(i)) => SqlValue::Int(-i),
+            (UnaryOp::Neg, SqlValue::Double(d)) => SqlValue::Double(-d),
+            (UnaryOp::Not, SqlValue::Bool(b)) => SqlValue::Bool(!b),
+            (op, other) => {
+                return Err(DbError::type_err(format!(
+                    "cannot apply {op:?} to {}",
+                    other.sql_type().map(|t| t.name()).unwrap_or("NULL")
+                )))
+            }
+        })
+    };
+    map_evaluated(v, "unary", f)
+}
+
+fn apply_binary(op: BinaryOp, l: Evaluated, r: Evaluated) -> Result<Evaluated, DbError> {
+    match (&l, &r) {
+        (Evaluated::Scalar(a), Evaluated::Scalar(b)) => {
+            Ok(Evaluated::Scalar(binary_values(op, a, b)?))
+        }
+        _ => {
+            let len = match (l.column_len(), r.column_len()) {
+                (Some(a), Some(b)) if a != b => {
+                    return Err(DbError::exec(format!(
+                        "operand column lengths differ ({a} vs {b})"
+                    )))
+                }
+                (Some(a), _) => a,
+                (_, Some(b)) => b,
+                _ => unreachable!("scalar/scalar handled above"),
+            };
+            let mut out = Vec::with_capacity(len);
+            for i in 0..len {
+                out.push(binary_values(op, &l.get(i), &r.get(i))?);
+            }
+            Ok(Evaluated::Column(Column::from_values(op.symbol(), &out)?))
+        }
+    }
+}
+
+/// Scalar binary operation with SQL NULL propagation.
+pub fn binary_values(op: BinaryOp, a: &SqlValue, b: &SqlValue) -> Result<SqlValue, DbError> {
+    use BinaryOp::*;
+    // Three-valued logic for AND/OR.
+    if matches!(op, And | Or) {
+        let truth = |v: &SqlValue| -> Result<Option<bool>, DbError> {
+            Ok(match v {
+                SqlValue::Null => None,
+                SqlValue::Bool(b) => Some(*b),
+                SqlValue::Int(i) => Some(*i != 0),
+                other => {
+                    return Err(DbError::type_err(format!(
+                        "{} is not a boolean",
+                        other.render()
+                    )))
+                }
+            })
+        };
+        let (x, y) = (truth(a)?, truth(b)?);
+        return Ok(match (op, x, y) {
+            (And, Some(false), _) | (And, _, Some(false)) => SqlValue::Bool(false),
+            (And, Some(true), Some(true)) => SqlValue::Bool(true),
+            (Or, Some(true), _) | (Or, _, Some(true)) => SqlValue::Bool(true),
+            (Or, Some(false), Some(false)) => SqlValue::Bool(false),
+            _ => SqlValue::Null,
+        });
+    }
+    if a.is_null() || b.is_null() {
+        return Ok(SqlValue::Null);
+    }
+    // Comparisons.
+    if matches!(op, Eq | NotEq | Lt | Le | Gt | Ge) {
+        let ord = cmp_sql(a, b);
+        return Ok(SqlValue::Bool(match op {
+            Eq => ord == Ordering::Equal,
+            NotEq => ord != Ordering::Equal,
+            Lt => ord == Ordering::Less,
+            Le => ord != Ordering::Greater,
+            Gt => ord == Ordering::Greater,
+            Ge => ord != Ordering::Less,
+            _ => unreachable!(),
+        }));
+    }
+    // String concatenation via `+`.
+    if let (Add, SqlValue::Str(x), SqlValue::Str(y)) = (op, a, b) {
+        return Ok(SqlValue::Str(format!("{x}{y}")));
+    }
+    // Arithmetic with int/double promotion.
+    match (a, b) {
+        (SqlValue::Int(x), SqlValue::Int(y)) => {
+            let (x, y) = (*x, *y);
+            Ok(match op {
+                Add => SqlValue::Int(x.checked_add(y).ok_or_else(overflow)?),
+                Sub => SqlValue::Int(x.checked_sub(y).ok_or_else(overflow)?),
+                Mul => SqlValue::Int(x.checked_mul(y).ok_or_else(overflow)?),
+                Div => {
+                    if y == 0 {
+                        return Err(DbError::exec("division by zero"));
+                    }
+                    // Integer division truncates, SQL-style.
+                    SqlValue::Int(x / y)
+                }
+                Mod => {
+                    if y == 0 {
+                        return Err(DbError::exec("modulo by zero"));
+                    }
+                    SqlValue::Int(x % y)
+                }
+                _ => return Err(bad_operands(op, a, b)),
+            })
+        }
+        _ => {
+            let x = to_f64(a).ok_or_else(|| bad_operands(op, a, b))?;
+            let y = to_f64(b).ok_or_else(|| bad_operands(op, a, b))?;
+            Ok(match op {
+                Add => SqlValue::Double(x + y),
+                Sub => SqlValue::Double(x - y),
+                Mul => SqlValue::Double(x * y),
+                Div => {
+                    if y == 0.0 {
+                        return Err(DbError::exec("division by zero"));
+                    }
+                    SqlValue::Double(x / y)
+                }
+                Mod => {
+                    if y == 0.0 {
+                        return Err(DbError::exec("modulo by zero"));
+                    }
+                    SqlValue::Double(x % y)
+                }
+                _ => return Err(bad_operands(op, a, b)),
+            })
+        }
+    }
+}
+
+fn overflow() -> DbError {
+    DbError::exec("integer overflow")
+}
+
+fn bad_operands(op: BinaryOp, a: &SqlValue, b: &SqlValue) -> DbError {
+    DbError::type_err(format!(
+        "cannot apply {} to {} and {}",
+        op.symbol(),
+        a.sql_type().map(|t| t.name()).unwrap_or("NULL"),
+        b.sql_type().map(|t| t.name()).unwrap_or("NULL"),
+    ))
+}
+
+fn to_f64(v: &SqlValue) -> Option<f64> {
+    match v {
+        SqlValue::Int(i) => Some(*i as f64),
+        SqlValue::Double(d) => Some(*d),
+        SqlValue::Bool(b) => Some(*b as i64 as f64),
+        _ => None,
+    }
+}
+
+/// Total order over SQL values: NULL first, then numerics, strings, bools,
+/// blobs; cross-type numeric comparison promotes to double.
+pub fn cmp_sql(a: &SqlValue, b: &SqlValue) -> Ordering {
+    match (a, b) {
+        (SqlValue::Null, SqlValue::Null) => Ordering::Equal,
+        (SqlValue::Null, _) => Ordering::Less,
+        (_, SqlValue::Null) => Ordering::Greater,
+        (SqlValue::Str(x), SqlValue::Str(y)) => x.cmp(y),
+        (SqlValue::Bool(x), SqlValue::Bool(y)) => x.cmp(y),
+        (SqlValue::Blob(x), SqlValue::Blob(y)) => x.cmp(y),
+        _ => {
+            let (x, y) = (to_f64(a), to_f64(b));
+            match (x, y) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                _ => format!("{a:?}").cmp(&format!("{b:?}")),
+            }
+        }
+    }
+}
+
+/// Evaluate a WHERE predicate into a row mask. NULL counts as false.
+pub fn predicate_mask(engine: &Engine, table: &Table, pred: &SqlExpr) -> Result<Vec<bool>, DbError> {
+    match eval_expr(engine, Some(table), pred)? {
+        Evaluated::Scalar(s) => {
+            let keep = matches!(s, SqlValue::Bool(true) | SqlValue::Int(1));
+            Ok(vec![keep; table.row_count()])
+        }
+        Evaluated::Column(c) => {
+            if c.len() != table.row_count() {
+                return Err(DbError::exec("predicate length mismatch"));
+            }
+            Ok((0..c.len())
+                .map(|i| matches!(c.get(i), SqlValue::Bool(true)))
+                .collect())
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Function calls: aggregates, scalar builtins, stored UDFs
+// ----------------------------------------------------------------------
+
+fn eval_call(
+    engine: &Engine,
+    source: Option<&Table>,
+    name: &str,
+    args: &[SqlExpr],
+) -> Result<Evaluated, DbError> {
+    let lname = name.to_ascii_lowercase();
+    if is_aggregate(&lname) {
+        return eval_aggregate(engine, source, &lname, args);
+    }
+    if let Some(result) = eval_scalar_builtin(engine, source, &lname, args)? {
+        return Ok(result);
+    }
+    // Stored UDF.
+    let def = engine.get_function(name)?.ok_or_else(|| {
+        DbError::catalog(format!("no such function '{name}'"))
+    })?;
+    if args.len() != def.params.len() {
+        return Err(DbError::exec(format!(
+            "function '{}' takes {} arguments, got {}",
+            def.name,
+            def.params.len(),
+            args.len()
+        )));
+    }
+    let mut inputs = Vec::with_capacity(args.len());
+    for (arg, (pname, _)) in args.iter().zip(&def.params) {
+        let input = match eval_expr(engine, source, arg)? {
+            Evaluated::Column(c) => UdfInput::Column(c),
+            Evaluated::Scalar(s) => UdfInput::Scalar(s),
+        };
+        inputs.push((pname.clone(), input));
+    }
+
+    // Input extraction interception (paper §2.2).
+    if engine.extract_matches(&def.name) {
+        engine.store_extracted(&inputs)?;
+        return Err(DbError::exec(crate::engine::EXTRACT_SIGNAL));
+    }
+
+    match engine.model() {
+        crate::engine::ExecutionModel::OperatorAtATime => {
+            let out = udf::run_operator_at_a_time(engine, &def, &inputs)?;
+            engine.append_udf_stdout(&out.stdout);
+            Ok(match &out.value {
+                pylite::Value::Array(_) | pylite::Value::List(_) | pylite::Value::Tuple(_) => {
+                    Evaluated::Column(udf::py_to_column(&def.name, &out.value)?)
+                }
+                scalar => Evaluated::Scalar(udf::py_to_scalar(scalar)?),
+            })
+        }
+        crate::engine::ExecutionModel::TupleAtATime => {
+            let rows = source.map(|t| t.row_count()).unwrap_or(1);
+            let (values, stdout) = udf::run_tuple_at_a_time(engine, &def, &inputs, rows)?;
+            engine.append_udf_stdout(&stdout);
+            let scalars: Result<Vec<SqlValue>, DbError> =
+                values.iter().map(udf::py_to_scalar).collect();
+            Ok(Evaluated::Column(Column::from_values(&def.name, &scalars?)?))
+        }
+    }
+}
+
+/// Aggregates reduce their argument column to a scalar.
+fn eval_aggregate(
+    engine: &Engine,
+    source: Option<&Table>,
+    name: &str,
+    args: &[SqlExpr],
+) -> Result<Evaluated, DbError> {
+    let table = source.ok_or_else(|| {
+        DbError::exec(format!("aggregate {name}() requires a FROM clause"))
+    })?;
+    // count(*) counts rows.
+    if name == "count" && args.first() == Some(&SqlExpr::Star) {
+        return Ok(Evaluated::Scalar(SqlValue::Int(table.row_count() as i64)));
+    }
+    if args.len() != 1 {
+        return Err(DbError::exec(format!("{name}() takes exactly one argument")));
+    }
+    let col = eval_expr(engine, Some(table), &args[0])?
+        .into_column("agg", table.row_count())?;
+    let non_null: Vec<SqlValue> = (0..col.len())
+        .map(|i| col.get(i))
+        .filter(|v| !v.is_null())
+        .collect();
+    if name == "count" {
+        return Ok(Evaluated::Scalar(SqlValue::Int(non_null.len() as i64)));
+    }
+    if non_null.is_empty() {
+        return Ok(Evaluated::Scalar(SqlValue::Null));
+    }
+    Ok(Evaluated::Scalar(match name {
+        "sum" => {
+            if non_null.iter().all(|v| matches!(v, SqlValue::Int(_))) {
+                let mut acc = 0i64;
+                for v in &non_null {
+                    if let SqlValue::Int(i) = v {
+                        acc = acc.checked_add(*i).ok_or_else(overflow)?;
+                    }
+                }
+                SqlValue::Int(acc)
+            } else {
+                let mut acc = 0f64;
+                for v in &non_null {
+                    acc += to_f64(v).ok_or_else(|| {
+                        DbError::type_err("sum() requires numeric values")
+                    })?;
+                }
+                SqlValue::Double(acc)
+            }
+        }
+        "avg" => {
+            let mut acc = 0f64;
+            for v in &non_null {
+                acc += to_f64(v).ok_or_else(|| DbError::type_err("avg() requires numeric values"))?;
+            }
+            SqlValue::Double(acc / non_null.len() as f64)
+        }
+        "min" => non_null
+            .iter()
+            .min_by(|a, b| cmp_sql(a, b))
+            .cloned()
+            .expect("non-empty"),
+        "max" => non_null
+            .iter()
+            .max_by(|a, b| cmp_sql(a, b))
+            .cloned()
+            .expect("non-empty"),
+        "median" => {
+            let mut nums: Vec<f64> = non_null
+                .iter()
+                .map(|v| to_f64(v).ok_or_else(|| DbError::type_err("median() requires numbers")))
+                .collect::<Result<_, _>>()?;
+            nums.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+            let mid = nums.len() / 2;
+            if nums.len() % 2 == 1 {
+                SqlValue::Double(nums[mid])
+            } else {
+                SqlValue::Double((nums[mid - 1] + nums[mid]) / 2.0)
+            }
+        }
+        _ => unreachable!("is_aggregate() gate"),
+    }))
+}
+
+/// Scalar builtins evaluated rowwise. Returns Ok(None) when `name` is not a
+/// builtin (the caller then tries stored UDFs).
+fn eval_scalar_builtin(
+    engine: &Engine,
+    source: Option<&Table>,
+    name: &str,
+    args: &[SqlExpr],
+) -> Result<Option<Evaluated>, DbError> {
+    let unary = |f: fn(&SqlValue) -> Result<SqlValue, DbError>| -> Result<Option<Evaluated>, DbError> {
+        if args.len() != 1 {
+            return Err(DbError::exec(format!("{name}() takes exactly one argument")));
+        }
+        let v = eval_expr(engine, source, &args[0])?;
+        Ok(Some(map_evaluated(v, name, f)?))
+    };
+    match name {
+        "abs" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                SqlValue::Int(i) => SqlValue::Int(i.abs()),
+                SqlValue::Double(d) => SqlValue::Double(d.abs()),
+                other => return Err(DbError::type_err(format!("abs({}) is invalid", other.render()))),
+            })
+        }),
+        "length" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                SqlValue::Str(s) => SqlValue::Int(s.chars().count() as i64),
+                SqlValue::Blob(b) => SqlValue::Int(b.len() as i64),
+                other => {
+                    return Err(DbError::type_err(format!(
+                        "length({}) is invalid",
+                        other.render()
+                    )))
+                }
+            })
+        }),
+        "upper" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                SqlValue::Str(s) => SqlValue::Str(s.to_uppercase()),
+                other => return Err(DbError::type_err(format!("upper({}) is invalid", other.render()))),
+            })
+        }),
+        "lower" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                SqlValue::Str(s) => SqlValue::Str(s.to_lowercase()),
+                other => return Err(DbError::type_err(format!("lower({}) is invalid", other.render()))),
+            })
+        }),
+        "sqrt" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                other => {
+                    let x = to_f64(other)
+                        .ok_or_else(|| DbError::type_err("sqrt() requires a number"))?;
+                    if x < 0.0 {
+                        return Err(DbError::exec("sqrt() of a negative number"));
+                    }
+                    SqlValue::Double(x.sqrt())
+                }
+            })
+        }),
+        "floor" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                other => SqlValue::Int(
+                    to_f64(other)
+                        .ok_or_else(|| DbError::type_err("floor() requires a number"))?
+                        .floor() as i64,
+                ),
+            })
+        }),
+        "ceil" | "ceiling" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                other => SqlValue::Int(
+                    to_f64(other)
+                        .ok_or_else(|| DbError::type_err("ceil() requires a number"))?
+                        .ceil() as i64,
+                ),
+            })
+        }),
+        "round" => unary(|v| {
+            Ok(match v {
+                SqlValue::Null => SqlValue::Null,
+                other => SqlValue::Double(
+                    to_f64(other)
+                        .ok_or_else(|| DbError::type_err("round() requires a number"))?
+                        .round(),
+                ),
+            })
+        }),
+        _ => Ok(None),
+    }
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (single char).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn matches(t: &[char], p: &[char]) -> bool {
+        match (t.first(), p.first()) {
+            (_, None) => t.is_empty(),
+            (_, Some('%')) => {
+                // Try consuming zero or more characters.
+                (0..=t.len()).any(|skip| matches(&t[skip..], &p[1..]))
+            }
+            (None, _) => false,
+            (Some(tc), Some('_')) => {
+                let _ = tc;
+                matches(&t[1..], &p[1..])
+            }
+            (Some(tc), Some(pc)) => {
+                tc.eq_ignore_ascii_case(pc) && matches(&t[1..], &p[1..])
+            }
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    matches(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("mean_deviation", "mean%"));
+        assert!(like_match("mean_deviation", "%deviation"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("anything", "%"));
+        assert!(!like_match("short", "longer%pattern"));
+        assert!(like_match("MiXeD", "mixed"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn binary_value_semantics() {
+        use BinaryOp::*;
+        assert_eq!(
+            binary_values(Add, &SqlValue::Int(2), &SqlValue::Int(3)).unwrap(),
+            SqlValue::Int(5)
+        );
+        assert_eq!(
+            binary_values(Div, &SqlValue::Int(7), &SqlValue::Int(2)).unwrap(),
+            SqlValue::Int(3)
+        );
+        assert_eq!(
+            binary_values(Add, &SqlValue::Int(1), &SqlValue::Double(0.5)).unwrap(),
+            SqlValue::Double(1.5)
+        );
+        assert_eq!(
+            binary_values(Add, &SqlValue::Null, &SqlValue::Int(1)).unwrap(),
+            SqlValue::Null
+        );
+        assert_eq!(
+            binary_values(Eq, &SqlValue::Int(1), &SqlValue::Double(1.0)).unwrap(),
+            SqlValue::Bool(true)
+        );
+        assert_eq!(
+            binary_values(Add, &SqlValue::Str("a".into()), &SqlValue::Str("b".into())).unwrap(),
+            SqlValue::Str("ab".into())
+        );
+        assert!(binary_values(Div, &SqlValue::Int(1), &SqlValue::Int(0)).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        use BinaryOp::*;
+        let t = SqlValue::Bool(true);
+        let f = SqlValue::Bool(false);
+        let n = SqlValue::Null;
+        assert_eq!(binary_values(And, &f, &n).unwrap(), SqlValue::Bool(false));
+        assert_eq!(binary_values(And, &t, &n).unwrap(), SqlValue::Null);
+        assert_eq!(binary_values(Or, &t, &n).unwrap(), SqlValue::Bool(true));
+        assert_eq!(binary_values(Or, &f, &n).unwrap(), SqlValue::Null);
+    }
+
+    #[test]
+    fn cmp_orders_nulls_first() {
+        assert_eq!(cmp_sql(&SqlValue::Null, &SqlValue::Int(-999)), Ordering::Less);
+        assert_eq!(cmp_sql(&SqlValue::Int(2), &SqlValue::Double(1.5)), Ordering::Greater);
+        assert_eq!(
+            cmp_sql(&SqlValue::Str("a".into()), &SqlValue::Str("b".into())),
+            Ordering::Less
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! SQL abstract syntax tree.
+
+use crate::types::{SqlType, SqlValue};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, SqlType)>,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    Insert {
+        table: String,
+        /// Explicit column list, or None for positional inserts.
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<SqlExpr>>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<SqlExpr>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, SqlExpr)>,
+        predicate: Option<SqlExpr>,
+    },
+    CreateFunction {
+        or_replace: bool,
+        name: String,
+        params: Vec<(String, SqlType)>,
+        returns: FunctionReturnAst,
+        language: String,
+        body: String,
+    },
+    DropFunction {
+        name: String,
+        if_exists: bool,
+    },
+    Select(SelectStmt),
+    /// `COPY INTO t FROM 'path'` — CSV ingestion.
+    CopyInto {
+        table: String,
+        path: String,
+        delimiter: char,
+    },
+}
+
+/// Return clause of CREATE FUNCTION.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionReturnAst {
+    Scalar(SqlType),
+    Table(Vec<(String, SqlType)>),
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<FromClause>,
+    pub predicate: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<(SqlExpr, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// One entry of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Star,
+    Expr { expr: SqlExpr, alias: Option<String> },
+}
+
+/// FROM clause shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromClause {
+    /// Plain (possibly dotted) table name.
+    Table(String),
+    /// Table-returning function call: `FROM train_rnforest((SELECT …), 10)`.
+    TableFunction {
+        name: String,
+        args: Vec<TableFuncArg>,
+    },
+    /// Derived table.
+    Subquery(Box<SelectStmt>),
+    /// Two-way join (left-deep chains nest in `left`).
+    Join {
+        left: Box<FromClause>,
+        right: Box<FromClause>,
+        on: SqlExpr,
+        kind: JoinKind,
+        /// Aliases for qualifying output column names: (left, right); a
+        /// side without an explicit alias uses its table name, or a
+        /// positional `_t<n>` for anonymous subqueries.
+        aliases: (String, String),
+    },
+}
+
+/// Join flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    /// Left outer: unmatched left rows padded with NULLs.
+    Left,
+}
+
+/// Argument of a table function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableFuncArg {
+    /// `(SELECT …)` — contributes its output columns positionally.
+    Query(Box<SelectStmt>),
+    /// Scalar expression.
+    Expr(SqlExpr),
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Literal(SqlValue),
+    /// Possibly qualified column reference (qualifier discarded at binding).
+    Column(String),
+    /// `*` inside `count(*)`.
+    Star,
+    Unary {
+        op: UnaryOp,
+        expr: Box<SqlExpr>,
+    },
+    Binary {
+        left: Box<SqlExpr>,
+        op: BinaryOp,
+        right: Box<SqlExpr>,
+    },
+    /// Function call: builtin scalar, aggregate, or stored UDF.
+    Call {
+        name: String,
+        args: Vec<SqlExpr>,
+    },
+    IsNull {
+        expr: Box<SqlExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<SqlExpr>,
+        pattern: Box<SqlExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<SqlExpr>,
+        list: Vec<SqlExpr>,
+        negated: bool,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        expr: Box<SqlExpr>,
+        target: SqlType,
+    },
+}
+
+/// Unary SQL operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Binary SQL operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! SQL lexer.
+//!
+//! One non-standard feature: a `{`-balanced block is captured as a single
+//! [`SqlTok::Body`] token — the Python UDF body of `CREATE FUNCTION …
+//! LANGUAGE PYTHON { … }`. Brace matching skips string literals and `#`
+//! comments inside the body so dict displays like `{'clf': …}` nest safely
+//! (paper Listing 1).
+
+use crate::error::DbError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlTok {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `{ … }` function body, braces stripped.
+    Body(String),
+    // Symbols.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+    Eof,
+}
+
+impl SqlTok {
+    /// True if this token is the keyword `kw` (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, SqlTok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn describe(&self) -> String {
+        match self {
+            SqlTok::Ident(s) => format!("'{s}'"),
+            SqlTok::Int(v) => format!("{v}"),
+            SqlTok::Float(v) => format!("{v}"),
+            SqlTok::Str(_) => "string literal".to_string(),
+            SqlTok::Body(_) => "function body".to_string(),
+            SqlTok::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<SqlTok>, DbError> {
+    let bytes = sql.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                out.push(SqlTok::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(SqlTok::RParen);
+                pos += 1;
+            }
+            b',' => {
+                out.push(SqlTok::Comma);
+                pos += 1;
+            }
+            b'.' if !matches!(bytes.get(pos + 1), Some(b'0'..=b'9')) => {
+                out.push(SqlTok::Dot);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(SqlTok::Star);
+                pos += 1;
+            }
+            b'+' => {
+                out.push(SqlTok::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                out.push(SqlTok::Minus);
+                pos += 1;
+            }
+            b'/' => {
+                out.push(SqlTok::Slash);
+                pos += 1;
+            }
+            b'%' => {
+                out.push(SqlTok::Percent);
+                pos += 1;
+            }
+            b';' => {
+                out.push(SqlTok::Semicolon);
+                pos += 1;
+            }
+            b'=' => {
+                out.push(SqlTok::Eq);
+                pos += 1;
+            }
+            b'<' => {
+                match bytes.get(pos + 1) {
+                    Some(b'=') => {
+                        out.push(SqlTok::Le);
+                        pos += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(SqlTok::NotEq);
+                        pos += 2;
+                    }
+                    _ => {
+                        out.push(SqlTok::Lt);
+                        pos += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(SqlTok::Ge);
+                    pos += 2;
+                } else {
+                    out.push(SqlTok::Gt);
+                    pos += 1;
+                }
+            }
+            b'!' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push(SqlTok::NotEq);
+                pos += 2;
+            }
+            b'\'' => {
+                let (s, next) = lex_sql_string(sql, pos)?;
+                out.push(SqlTok::Str(s));
+                pos = next;
+            }
+            b'{' => {
+                let (body, next) = capture_body(sql, pos)?;
+                out.push(SqlTok::Body(body));
+                pos = next;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = pos;
+                let mut is_float = false;
+                while pos < bytes.len() {
+                    match bytes[pos] {
+                        b'0'..=b'9' => pos += 1,
+                        b'.' if !is_float => {
+                            is_float = true;
+                            pos += 1;
+                        }
+                        b'e' | b'E'
+                            if matches!(bytes.get(pos + 1), Some(b'0'..=b'9'))
+                                || (matches!(bytes.get(pos + 1), Some(b'+') | Some(b'-'))
+                                    && matches!(bytes.get(pos + 2), Some(b'0'..=b'9'))) =>
+                        {
+                            is_float = true;
+                            pos += 2;
+                            while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                                pos += 1;
+                            }
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &sql[start..pos];
+                if is_float {
+                    out.push(SqlTok::Float(text.parse().map_err(|_| {
+                        DbError::parse(format!("bad numeric literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(SqlTok::Int(text.parse().map_err(|_| {
+                        DbError::parse(format!("integer literal '{text}' out of range"))
+                    })?));
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'"' => {
+                if c == b'"' {
+                    // Quoted identifier.
+                    let end = sql[pos + 1..]
+                        .find('"')
+                        .ok_or_else(|| DbError::parse("unterminated quoted identifier"))?;
+                    out.push(SqlTok::Ident(sql[pos + 1..pos + 1 + end].to_string()));
+                    pos += end + 2;
+                } else {
+                    let start = pos;
+                    while pos < bytes.len()
+                        && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                    {
+                        pos += 1;
+                    }
+                    out.push(SqlTok::Ident(sql[start..pos].to_string()));
+                }
+            }
+            other => {
+                return Err(DbError::parse(format!(
+                    "unexpected character '{}' in SQL",
+                    other as char
+                )))
+            }
+        }
+    }
+    out.push(SqlTok::Eof);
+    Ok(out)
+}
+
+/// Lex a single-quoted SQL string with `''` escaping. Returns (value,
+/// position-after-closing-quote).
+fn lex_sql_string(sql: &str, start: usize) -> Result<(String, usize), DbError> {
+    let bytes = sql.as_bytes();
+    let mut pos = start + 1;
+    let mut out = String::new();
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\'' if bytes.get(pos + 1) == Some(&b'\'') => {
+                out.push('\'');
+                pos += 2;
+            }
+            b'\'' => return Ok((out, pos + 1)),
+            _ => {
+                let ch_start = pos;
+                pos += 1;
+                while pos < bytes.len() && (bytes[pos] & 0xc0) == 0x80 {
+                    pos += 1;
+                }
+                out.push_str(&sql[ch_start..pos]);
+            }
+        }
+    }
+    Err(DbError::parse("unterminated string literal"))
+}
+
+/// Capture a `{ … }` block with balanced braces, skipping Python string
+/// literals (single, double and triple quotes) and `#` comments.
+fn capture_body(sql: &str, start: usize) -> Result<(String, usize), DbError> {
+    let bytes = sql.as_bytes();
+    debug_assert_eq!(bytes[start], b'{');
+    let mut pos = start + 1;
+    let mut depth = 1usize;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'{' => {
+                depth += 1;
+                pos += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                pos += 1;
+                if depth == 0 {
+                    let body = sql[start + 1..pos - 1].to_string();
+                    return Ok((body, pos));
+                }
+            }
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            quote @ (b'\'' | b'"') => {
+                let triple = bytes.get(pos + 1) == Some(&quote) && bytes.get(pos + 2) == Some(&quote);
+                if triple {
+                    pos += 3;
+                    loop {
+                        if pos + 2 > bytes.len() && pos >= bytes.len() {
+                            return Err(DbError::parse(
+                                "unterminated triple-quoted string in function body",
+                            ));
+                        }
+                        if pos + 2 < bytes.len()
+                            && bytes[pos] == quote
+                            && bytes[pos + 1] == quote
+                            && bytes[pos + 2] == quote
+                        {
+                            pos += 3;
+                            break;
+                        }
+                        if pos >= bytes.len() {
+                            return Err(DbError::parse(
+                                "unterminated triple-quoted string in function body",
+                            ));
+                        }
+                        pos += 1;
+                    }
+                } else {
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos] != quote {
+                        if bytes[pos] == b'\\' {
+                            pos += 1;
+                        }
+                        if bytes[pos] == b'\n' {
+                            // Python single-quoted strings do not span lines,
+                            // but be permissive: stop scanning at newline.
+                            break;
+                        }
+                        pos += 1;
+                    }
+                    pos += 1; // closing quote (or char after newline)
+                }
+            }
+            _ => pos += 1,
+        }
+    }
+    Err(DbError::parse("unterminated '{' function body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = tokenize("SELECT i, s FROM t WHERE i >= 10;").unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("select")));
+        assert!(toks.contains(&SqlTok::Ge));
+        assert!(toks.contains(&SqlTok::Int(10)));
+        assert_eq!(*toks.last().unwrap(), SqlTok::Eof);
+    }
+
+    #[test]
+    fn string_literal_with_escaped_quote() {
+        let toks = tokenize("SELECT 'it''s'").unwrap();
+        assert!(toks.contains(&SqlTok::Str("it's".to_string())));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("SELECT 1, 2.5, 1e3").unwrap();
+        assert!(toks.contains(&SqlTok::Int(1)));
+        assert!(toks.contains(&SqlTok::Float(2.5)));
+        assert!(toks.contains(&SqlTok::Float(1000.0)));
+    }
+
+    #[test]
+    fn body_capture_with_nested_dict() {
+        let sql = "CREATE FUNCTION f(i INT) RETURNS INT LANGUAGE PYTHON {\nreturn {'a': 1}['a'] + i\n}";
+        let toks = tokenize(sql).unwrap();
+        let body = toks
+            .iter()
+            .find_map(|t| match t {
+                SqlTok::Body(b) => Some(b.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(body.contains("{'a': 1}['a']"));
+    }
+
+    #[test]
+    fn body_capture_skips_braces_in_strings_and_comments() {
+        let sql = "LANGUAGE PYTHON { s = '}'  # also } here\nreturn s }";
+        let toks = tokenize(sql).unwrap();
+        let body = toks
+            .iter()
+            .find_map(|t| match t {
+                SqlTok::Body(b) => Some(b.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(body.contains("return s"));
+    }
+
+    #[test]
+    fn body_capture_handles_triple_quotes() {
+        let sql = "LANGUAGE PYTHON { q = \"\"\"SELECT { nope\"\"\"\nreturn q }";
+        let toks = tokenize(sql).unwrap();
+        assert!(toks.iter().any(|t| matches!(t, SqlTok::Body(_))));
+    }
+
+    #[test]
+    fn unterminated_body_is_error() {
+        assert!(tokenize("LANGUAGE PYTHON { return 1").is_err());
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert!(toks.contains(&SqlTok::Int(2)));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("SELECT \"Weird Name\" FROM t").unwrap();
+        assert!(toks.contains(&SqlTok::Ident("Weird Name".to_string())));
+    }
+
+    #[test]
+    fn dotted_names() {
+        let toks = tokenize("SELECT * FROM sys.functions").unwrap();
+        let dot_pos = toks.iter().position(|t| *t == SqlTok::Dot).unwrap();
+        assert!(matches!(&toks[dot_pos - 1], SqlTok::Ident(s) if s == "sys"));
+        assert!(matches!(&toks[dot_pos + 1], SqlTok::Ident(s) if s == "functions"));
+    }
+}

@@ -1,0 +1,8 @@
+//! SQL front-end: lexer, AST and parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{FromClause, SelectItem, SelectStmt, SqlExpr, Statement, TableFuncArg};
+pub use parser::parse_statement;

@@ -1,0 +1,1224 @@
+//! Recursive-descent SQL parser.
+
+use crate::error::DbError;
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, SqlTok};
+use crate::types::{SqlType, SqlValue};
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, DbError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_semi();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<SqlTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &SqlTok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &SqlTok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> SqlTok {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::parse(format!(
+                "expected {}, found {}",
+                kw.to_uppercase(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn eat(&mut self, tok: &SqlTok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &SqlTok) -> Result<(), DbError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(DbError::parse(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn eat_semi(&mut self) {
+        while self.eat(&SqlTok::Semicolon) {}
+    }
+
+    fn expect_eof(&mut self) -> Result<(), DbError> {
+        if matches!(self.peek(), SqlTok::Eof) {
+            Ok(())
+        } else {
+            Err(DbError::parse(format!(
+                "unexpected trailing input: {}",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.bump() {
+            SqlTok::Ident(s) => Ok(s),
+            other => Err(DbError::parse(format!(
+                "expected identifier, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Possibly dotted name (`sys.functions`).
+    fn dotted_name(&mut self) -> Result<String, DbError> {
+        let mut name = self.ident()?;
+        while self.eat(&SqlTok::Dot) {
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    fn sql_type(&mut self) -> Result<SqlType, DbError> {
+        let name = self.ident()?;
+        let t = SqlType::parse(&name)
+            .ok_or_else(|| DbError::parse(format!("unknown type '{name}'")))?;
+        // Swallow optional length parameters: VARCHAR(32).
+        if self.eat(&SqlTok::LParen) {
+            while !matches!(self.peek(), SqlTok::RParen | SqlTok::Eof) {
+                self.bump();
+            }
+            self.expect(&SqlTok::RParen)?;
+        }
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        if self.peek().is_kw("create") {
+            return self.create();
+        }
+        if self.peek().is_kw("drop") {
+            return self.drop();
+        }
+        if self.peek().is_kw("insert") {
+            return self.insert();
+        }
+        if self.peek().is_kw("delete") {
+            return self.delete();
+        }
+        if self.peek().is_kw("update") {
+            return self.update();
+        }
+        if self.peek().is_kw("select") || matches!(self.peek(), SqlTok::LParen) {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.peek().is_kw("copy") {
+            return self.copy_into();
+        }
+        Err(DbError::parse(format!(
+            "unexpected {} at start of statement",
+            self.peek().describe()
+        )))
+    }
+
+    fn create(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("create")?;
+        let or_replace = if self.eat_kw("or") {
+            self.expect_kw("replace")?;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("table") {
+            if or_replace {
+                return Err(DbError::parse("OR REPLACE is not supported for tables"));
+            }
+            let name = self.dotted_name()?;
+            self.expect(&SqlTok::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let t = self.sql_type()?;
+                columns.push((col, t));
+                if !self.eat(&SqlTok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&SqlTok::RParen)?;
+            return Ok(Statement::CreateTable { name, columns });
+        }
+        if self.eat_kw("function") {
+            let name = self.dotted_name()?;
+            self.expect(&SqlTok::LParen)?;
+            let mut params = Vec::new();
+            if !matches!(self.peek(), SqlTok::RParen) {
+                loop {
+                    let pname = self.ident()?;
+                    let ptype = self.sql_type()?;
+                    params.push((pname, ptype));
+                    if !self.eat(&SqlTok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&SqlTok::RParen)?;
+            self.expect_kw("returns")?;
+            let returns = if self.eat_kw("table") {
+                self.expect(&SqlTok::LParen)?;
+                let mut cols = Vec::new();
+                loop {
+                    let cname = self.ident()?;
+                    let ctype = self.sql_type()?;
+                    cols.push((cname, ctype));
+                    if !self.eat(&SqlTok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&SqlTok::RParen)?;
+                FunctionReturnAst::Table(cols)
+            } else {
+                FunctionReturnAst::Scalar(self.sql_type()?)
+            };
+            self.expect_kw("language")?;
+            let language = self.ident()?.to_uppercase();
+            let body = match self.bump() {
+                SqlTok::Body(b) => b,
+                other => {
+                    return Err(DbError::parse(format!(
+                        "expected '{{ function body }}', found {}",
+                        other.describe()
+                    )))
+                }
+            };
+            return Ok(Statement::CreateFunction {
+                or_replace,
+                name,
+                params,
+                returns,
+                language,
+                body,
+            });
+        }
+        Err(DbError::parse("expected TABLE or FUNCTION after CREATE"))
+    }
+
+    fn drop(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("drop")?;
+        let is_table = if self.eat_kw("table") {
+            true
+        } else if self.eat_kw("function") {
+            false
+        } else {
+            return Err(DbError::parse("expected TABLE or FUNCTION after DROP"));
+        };
+        let if_exists = if self.eat_kw("if") {
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.dotted_name()?;
+        Ok(if is_table {
+            Statement::DropTable { name, if_exists }
+        } else {
+            Statement::DropFunction { name, if_exists }
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.dotted_name()?;
+        let columns = if matches!(self.peek(), SqlTok::LParen) {
+            self.bump();
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat(&SqlTok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&SqlTok::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&SqlTok::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat(&SqlTok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&SqlTok::RParen)?;
+            rows.push(row);
+            if !self.eat(&SqlTok::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.dotted_name()?;
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn update(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("update")?;
+        let table = self.dotted_name()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&SqlTok::Eq)?;
+            assignments.push((col, self.expr()?));
+            if !self.eat(&SqlTok::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    fn copy_into(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("copy")?;
+        self.expect_kw("into")?;
+        let table = self.dotted_name()?;
+        self.expect_kw("from")?;
+        let path = match self.bump() {
+            SqlTok::Str(s) => s,
+            other => {
+                return Err(DbError::parse(format!(
+                    "expected file path string, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let mut delimiter = ',';
+        if self.eat_kw("delimiters") || self.eat_kw("delimiter") {
+            match self.bump() {
+                SqlTok::Str(s) if s.chars().count() == 1 => {
+                    delimiter = s.chars().next().expect("one char");
+                }
+                other => {
+                    return Err(DbError::parse(format!(
+                        "expected one-character delimiter string, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        Ok(Statement::CopyInto {
+            table,
+            path,
+            delimiter,
+        })
+    }
+
+    /// Parse a SELECT statement (assumes caller verified the leading token).
+    fn select(&mut self) -> Result<SelectStmt, DbError> {
+        // Parenthesised select: `(SELECT …)`.
+        if self.eat(&SqlTok::LParen) {
+            let inner = self.select()?;
+            self.expect(&SqlTok::RParen)?;
+            return Ok(inner);
+        }
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&SqlTok::Star) {
+                items.push(SelectItem::Star);
+            } else if matches!(self.peek(), SqlTok::Ident(s) if is_clause_keyword(s)) {
+                return Err(DbError::parse(format!(
+                    "expected a select item, found {}",
+                    self.peek().describe()
+                )));
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    // Bare alias: SELECT a b FROM…  (only if next is an ident
+                    // that is not a clause keyword).
+                    match self.peek() {
+                        SqlTok::Ident(s)
+                            if !is_clause_keyword(s) =>
+                        {
+                            Some(self.ident()?)
+                        }
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&SqlTok::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw("from") {
+            Some(self.from_clause()?)
+        } else {
+            None
+        };
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&SqlTok::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            if group_by.is_empty() {
+                return Err(DbError::parse("HAVING requires GROUP BY"));
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat(&SqlTok::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                SqlTok::Int(n) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(DbError::parse(format!(
+                        "expected non-negative LIMIT, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            predicate,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses the SQL FROM clause
+    fn from_clause(&mut self) -> Result<FromClause, DbError> {
+        let (mut left, mut left_alias) = self.from_source(0)?;
+        let mut n = 1usize;
+        loop {
+            let kind = if self.eat_kw("join") {
+                JoinKind::Inner
+            } else if self.peek().is_kw("inner") && self.peek2().is_kw("join") {
+                self.bump();
+                self.bump();
+                JoinKind::Inner
+            } else if self.peek().is_kw("left") {
+                self.bump();
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Left
+            } else {
+                break;
+            };
+            let (right, right_alias) = self.from_source(n)?;
+            n += 1;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            left = FromClause::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+                kind,
+                aliases: (left_alias.clone(), right_alias.clone()),
+            };
+            // Chained joins qualify against the accumulated left side; keep
+            // the most recent alias for error messages only.
+            left_alias = format!("_j{n}");
+        }
+        Ok(left)
+    }
+
+    /// One FROM source (table, table function, or derived table) plus its
+    /// alias (explicit, or derived from the table name / position).
+    #[allow(clippy::wrong_self_convention)] // parses one FROM-clause source
+    fn from_source(&mut self, position: usize) -> Result<(FromClause, String), DbError> {
+        if self.eat(&SqlTok::LParen) {
+            // Derived table: FROM (SELECT …)
+            let sub = self.select_after_lparen()?;
+            let alias = self.optional_alias().unwrap_or(format!("_t{position}"));
+            return Ok((FromClause::Subquery(Box::new(sub)), alias));
+        }
+        let name = self.dotted_name()?;
+        if matches!(self.peek(), SqlTok::LParen) {
+            // Table function.
+            self.bump();
+            let mut args = Vec::new();
+            if !matches!(self.peek(), SqlTok::RParen) {
+                loop {
+                    args.push(self.table_func_arg()?);
+                    if !self.eat(&SqlTok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&SqlTok::RParen)?;
+            let alias = self.optional_alias().unwrap_or_else(|| name.clone());
+            return Ok((FromClause::TableFunction { name, args }, alias));
+        }
+        let leaf = name.rsplit('.').next().unwrap_or(&name).to_string();
+        let alias = self.optional_alias().unwrap_or(leaf);
+        Ok((FromClause::Table(name), alias))
+    }
+
+    /// `AS alias` or a bare non-keyword identifier.
+    fn optional_alias(&mut self) -> Option<String> {
+        if self.eat_kw("as") {
+            return self.ident().ok();
+        }
+        if let SqlTok::Ident(s) = self.peek() {
+            if !is_clause_keyword(s) && !s.eq_ignore_ascii_case("join")
+                && !s.eq_ignore_ascii_case("inner") && !s.eq_ignore_ascii_case("left")
+                && !s.eq_ignore_ascii_case("outer")
+            {
+                let s = s.clone();
+                self.bump();
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Parse a SELECT when the opening `(` was already consumed.
+    fn select_after_lparen(&mut self) -> Result<SelectStmt, DbError> {
+        let sub = self.select()?;
+        self.expect(&SqlTok::RParen)?;
+        Ok(sub)
+    }
+
+    fn table_func_arg(&mut self) -> Result<TableFuncArg, DbError> {
+        if matches!(self.peek(), SqlTok::LParen) && self.peek2().is_kw("select") {
+            self.bump();
+            let sub = self.select_after_lparen()?;
+            return Ok(TableFuncArg::Query(Box::new(sub)));
+        }
+        Ok(TableFuncArg::Expr(self.expr()?))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence: OR < AND < NOT < cmp < add < mul < unary)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<SqlExpr, DbError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, DbError> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            return Ok(SqlExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<SqlExpr, DbError> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.peek().is_kw("is") {
+            self.bump();
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] LIKE / IN
+        let negated = if self.peek().is_kw("not")
+            && (self.peek2().is_kw("like") || self.peek2().is_kw("in") || self.peek2().is_kw("between"))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            // Desugar: x BETWEEN a AND b  ⇒  x >= a AND x <= b.
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            let ge = SqlExpr::Binary {
+                left: Box::new(left.clone()),
+                op: BinaryOp::Ge,
+                right: Box::new(low),
+            };
+            let le = SqlExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Le,
+                right: Box::new(high),
+            };
+            let both = SqlExpr::Binary {
+                left: Box::new(ge),
+                op: BinaryOp::And,
+                right: Box::new(le),
+            };
+            return Ok(if negated {
+                SqlExpr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(both),
+                }
+            } else {
+                both
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.additive()?;
+            return Ok(SqlExpr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&SqlTok::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat(&SqlTok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&SqlTok::RParen)?;
+            return Ok(SqlExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(DbError::parse("expected LIKE or IN after NOT"));
+        }
+        let op = match self.peek() {
+            SqlTok::Eq => BinaryOp::Eq,
+            SqlTok::NotEq => BinaryOp::NotEq,
+            SqlTok::Lt => BinaryOp::Lt,
+            SqlTok::Le => BinaryOp::Le,
+            SqlTok::Gt => BinaryOp::Gt,
+            SqlTok::Ge => BinaryOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.additive()?;
+        Ok(SqlExpr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn additive(&mut self) -> Result<SqlExpr, DbError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                SqlTok::Plus => BinaryOp::Add,
+                SqlTok::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<SqlExpr, DbError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                SqlTok::Star => BinaryOp::Mul,
+                SqlTok::Slash => BinaryOp::Div,
+                SqlTok::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<SqlExpr, DbError> {
+        if self.eat(&SqlTok::Minus) {
+            let inner = self.unary()?;
+            return Ok(SqlExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat(&SqlTok::Plus) {
+            return self.unary();
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<SqlExpr, DbError> {
+        match self.bump() {
+            SqlTok::Int(v) => Ok(SqlExpr::Literal(SqlValue::Int(v))),
+            SqlTok::Float(v) => Ok(SqlExpr::Literal(SqlValue::Double(v))),
+            SqlTok::Str(s) => Ok(SqlExpr::Literal(SqlValue::Str(s))),
+            SqlTok::LParen => {
+                let inner = self.expr()?;
+                self.expect(&SqlTok::RParen)?;
+                Ok(inner)
+            }
+            SqlTok::Ident(name) => {
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(SqlExpr::Literal(SqlValue::Null));
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(SqlExpr::Literal(SqlValue::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(SqlExpr::Literal(SqlValue::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("cast") && matches!(self.peek(), SqlTok::LParen) {
+                    self.bump();
+                    let inner = self.expr()?;
+                    self.expect_kw("as")?;
+                    let target = self.sql_type()?;
+                    self.expect(&SqlTok::RParen)?;
+                    return Ok(SqlExpr::Cast {
+                        expr: Box::new(inner),
+                        target,
+                    });
+                }
+                if matches!(self.peek(), SqlTok::LParen) {
+                    // Function call.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.eat(&SqlTok::Star) {
+                        args.push(SqlExpr::Star);
+                    } else if !matches!(self.peek(), SqlTok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&SqlTok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&SqlTok::RParen)?;
+                    return Ok(SqlExpr::Call { name, args });
+                }
+                // Qualified column `t.col` — keep the qualifier; binding
+                // resolves qualified and bare names against the source.
+                let mut full = name;
+                while self.eat(&SqlTok::Dot) {
+                    full.push('.');
+                    full.push_str(&self.ident()?);
+                }
+                Ok(SqlExpr::Column(full))
+            }
+            other => Err(DbError::parse(format!(
+                "unexpected {} in expression",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    matches!(
+        s.to_ascii_lowercase().as_str(),
+        "from"
+            | "where"
+            | "group"
+            | "order"
+            | "limit"
+            | "as"
+            | "and"
+            | "or"
+            | "not"
+            | "like"
+            | "in"
+            | "is"
+            | "asc"
+            | "desc"
+            | "values"
+            | "set"
+            | "on"
+            | "union"
+            | "join"
+            | "having"
+            | "distinct"
+            | "between"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse_statement("CREATE TABLE t (i INTEGER, s STRING, d DOUBLE)").unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[2].1, SqlType::Double);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_multiple_rows() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b');").unwrap();
+        match s {
+            Statement::Insert { rows, columns, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert!(columns.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_with_columns() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap();
+        match s {
+            Statement::Insert { columns, .. } => {
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_all_clauses() {
+        let s = parse_statement(
+            "SELECT i, i * 2 AS doubled FROM t WHERE i > 1 AND i < 10 GROUP BY i ORDER BY i DESC LIMIT 5",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.items.len(), 2);
+                assert!(sel.predicate.is_some());
+                assert_eq!(sel.group_by.len(), 1);
+                assert_eq!(sel.order_by.len(), 1);
+                assert!(sel.order_by[0].1, "DESC");
+                assert_eq!(sel.limit, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_function_listing1_style() {
+        let sql = "CREATE FUNCTION train_rnforest(data INTEGER, classes INTEGER, n INTEGER) \
+RETURNS TABLE(clf BLOB, estimators INTEGER) LANGUAGE PYTHON {\n\
+import pickle\n\
+from sklearn.ensemble import RandomForestClassifier\n\
+clf = RandomForestClassifier(n)\n\
+clf.fit(data, classes)\n\
+return {'clf': pickle.dumps(clf), 'estimators': n}\n\
+};";
+        let s = parse_statement(sql).unwrap();
+        match s {
+            Statement::CreateFunction {
+                name,
+                params,
+                returns,
+                language,
+                body,
+                or_replace,
+            } => {
+                assert_eq!(name, "train_rnforest");
+                assert_eq!(params.len(), 3);
+                assert!(matches!(returns, FunctionReturnAst::Table(ref c) if c.len() == 2));
+                assert_eq!(language, "PYTHON");
+                assert!(body.contains("RandomForestClassifier(n)"));
+                assert!(!or_replace);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_or_replace_function() {
+        let s = parse_statement(
+            "CREATE OR REPLACE FUNCTION f(i INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return i }",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateFunction { or_replace, .. } => assert!(or_replace),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_table_function_in_from_listing3_style() {
+        let sql = "SELECT * FROM train_rnforest((SELECT data, labels FROM trainingset), 10);";
+        let s = parse_statement(sql).unwrap();
+        match s {
+            Statement::Select(sel) => match sel.from.unwrap() {
+                FromClause::TableFunction { name, args } => {
+                    assert_eq!(name, "train_rnforest");
+                    assert_eq!(args.len(), 2);
+                    assert!(matches!(args[0], TableFuncArg::Query(_)));
+                    assert!(matches!(args[1], TableFuncArg::Expr(_)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scalar_udf_call_in_select_list() {
+        let s = parse_statement("SELECT mean_deviation(i) FROM numbers").unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr, .. } => {
+                    assert!(matches!(expr, SqlExpr::Call { name, .. } if name == "mean_deviation"));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_meta_table_query() {
+        let s = parse_statement("SELECT name, func FROM sys.functions WHERE language = 'PYTHON'")
+            .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(sel.from, Some(FromClause::Table(ref n)) if n == "sys.functions"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_like_and_in() {
+        let s = parse_statement("SELECT * FROM t WHERE name LIKE 'mean%' AND i IN (1, 2, 3)")
+            .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let p = sel.predicate.unwrap();
+                assert!(matches!(p, SqlExpr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_like() {
+        let s = parse_statement("SELECT * FROM t WHERE name NOT LIKE 'x%'").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(
+                    sel.predicate.unwrap(),
+                    SqlExpr::Like { negated: true, .. }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_is_null() {
+        let s = parse_statement("SELECT * FROM t WHERE x IS NOT NULL").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(
+                    sel.predicate.unwrap(),
+                    SqlExpr::IsNull { negated: true, .. }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star_and_aggregates() {
+        let s = parse_statement("SELECT count(*), sum(i), avg(i) FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.items.len(), 3);
+                match &sel.items[0] {
+                    SelectItem::Expr { expr: SqlExpr::Call { args, .. }, .. } => {
+                        assert_eq!(args[0], SqlExpr::Star);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_copy_into() {
+        let s = parse_statement("COPY INTO numbers FROM 'data/file.csv' DELIMITERS ';'").unwrap();
+        match s {
+            Statement::CopyInto { table, path, delimiter } => {
+                assert_eq!(table, "numbers");
+                assert_eq!(path, "data/file.csv");
+                assert_eq!(delimiter, ';');
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_and_update() {
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE i = 1").unwrap(),
+            Statement::Delete { .. }
+        ));
+        let s = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c > 0").unwrap();
+        match s {
+            Statement::Update { assignments, .. } => assert_eq!(assignments.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_subquery_in_from() {
+        let s = parse_statement("SELECT x FROM (SELECT i AS x FROM t)").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(sel.from, Some(FromClause::Subquery(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("FLARB THE WUG").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("CREATE TABLE t (x NOTATYPE)").is_err());
+        assert!(parse_statement("SELECT 1 extra garbage beyond(").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT 1; SELECT 2").is_err());
+    }
+
+    #[test]
+    fn qualified_column_keeps_qualifier() {
+        let s = parse_statement("SELECT t.i FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr, .. } => {
+                    assert_eq!(*expr, SqlExpr::Column("t.i".to_string()));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_joins() {
+        let s = parse_statement(
+            "SELECT o.id, c.name FROM orders o JOIN customers AS c ON o.cust = c.id",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => match sel.from.unwrap() {
+                FromClause::Join { kind, aliases, .. } => {
+                    assert_eq!(kind, JoinKind::Inner);
+                    assert_eq!(aliases, ("o".to_string(), "c".to_string()));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("SELECT * FROM a LEFT JOIN b ON a.x = b.x").unwrap(),
+            Statement::Select(SelectStmt { from: Some(FromClause::Join { kind: JoinKind::Left, .. }), .. })
+        ));
+        assert!(matches!(
+            parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x").unwrap(),
+            Statement::Select(SelectStmt { from: Some(FromClause::Join { kind: JoinKind::Left, .. }), .. })
+        ));
+        // Chained joins nest left-deep.
+        let s = parse_statement("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y").unwrap();
+        match s {
+            Statement::Select(sel) => match sel.from.unwrap() {
+                FromClause::Join { left, .. } => assert!(matches!(*left, FromClause::Join { .. })),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between_and_cast() {
+        let s = parse_statement("SELECT * FROM t WHERE i BETWEEN 2 AND 5").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(
+                    sel.predicate.unwrap(),
+                    SqlExpr::Binary { op: BinaryOp::And, .. }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse_statement("SELECT * FROM t WHERE i NOT BETWEEN 2 AND 5").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(sel.predicate.unwrap(), SqlExpr::Unary { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse_statement("SELECT CAST(i AS DOUBLE) FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr, .. } => {
+                    assert!(matches!(expr, SqlExpr::Cast { target: SqlType::Double, .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_distinct_and_having() {
+        let s = parse_statement("SELECT DISTINCT g FROM t").unwrap();
+        assert!(matches!(s, Statement::Select(SelectStmt { distinct: true, .. })));
+        let s = parse_statement("SELECT g, sum(v) FROM t GROUP BY g HAVING sum(v) > 10").unwrap();
+        match s {
+            Statement::Select(sel) => assert!(sel.having.is_some()),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("SELECT g FROM t HAVING g > 1").is_err());
+    }
+}

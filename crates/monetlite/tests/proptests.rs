@@ -1,0 +1,136 @@
+//! Property tests for the SQL engine.
+
+use monetlite::{Engine, SqlValue};
+use proptest::prelude::*;
+
+fn engine_with(data: &[i64]) -> Engine {
+    let db = Engine::new();
+    db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+    if !data.is_empty() {
+        let values: Vec<String> = data.iter().map(|v| format!("({v})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    db
+}
+
+fn ints(t: &monetlite::Table, col: usize) -> Vec<i64> {
+    (0..t.row_count())
+        .map(|i| match t.row(i)[col] {
+            SqlValue::Int(v) => v,
+            ref other => panic!("{other:?}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn order_by_sorts(data in proptest::collection::vec(-1000i64..1000, 0..60)) {
+        let db = engine_with(&data);
+        let t = db.execute("SELECT i FROM t ORDER BY i").unwrap().into_table().unwrap();
+        let got = ints(&t, 0);
+        let mut expected = data.clone();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn where_filter_matches_rust(data in proptest::collection::vec(-100i64..100, 0..60), cut in -100i64..100) {
+        let db = engine_with(&data);
+        let t = db
+            .execute(&format!("SELECT i FROM t WHERE i >= {cut}"))
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let expected: Vec<i64> = data.iter().copied().filter(|v| *v >= cut).collect();
+        prop_assert_eq!(ints(&t, 0), expected);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates(data in proptest::collection::vec(0i64..10, 0..60)) {
+        let db = engine_with(&data);
+        let t = db
+            .execute("SELECT DISTINCT i FROM t ORDER BY i")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let mut expected: Vec<i64> = data.clone();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(ints(&t, 0), expected);
+    }
+
+    #[test]
+    fn group_by_partitions_correctly(data in proptest::collection::vec(0i64..5, 1..60)) {
+        let db = engine_with(&data);
+        let t = db
+            .execute("SELECT i, count(*) FROM t GROUP BY i ORDER BY i")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let mut counts = std::collections::BTreeMap::new();
+        for v in &data {
+            *counts.entry(*v).or_insert(0i64) += 1;
+        }
+        let keys = ints(&t, 0);
+        let cnts = ints(&t, 1);
+        prop_assert_eq!(keys.len(), counts.len());
+        for (k, c) in keys.iter().zip(&cnts) {
+            prop_assert_eq!(counts[k], *c);
+        }
+    }
+
+    #[test]
+    fn limit_truncates(data in proptest::collection::vec(0i64..100, 0..50), n in 0usize..60) {
+        let db = engine_with(&data);
+        let t = db
+            .execute(&format!("SELECT i FROM t LIMIT {n}"))
+            .unwrap()
+            .into_table()
+            .unwrap();
+        prop_assert_eq!(t.row_count(), n.min(data.len()));
+    }
+
+    #[test]
+    fn join_matches_manual_computation(
+        left in proptest::collection::vec(0i64..8, 0..25),
+        right in proptest::collection::vec(0i64..8, 0..25),
+    ) {
+        let db = Engine::new();
+        db.execute("CREATE TABLE l (k INTEGER)").unwrap();
+        db.execute("CREATE TABLE r (k INTEGER)").unwrap();
+        for (tbl, data) in [("l", &left), ("r", &right)] {
+            if !data.is_empty() {
+                let values: Vec<String> = data.iter().map(|v| format!("({v})")).collect();
+                db.execute(&format!("INSERT INTO {tbl} VALUES {}", values.join(", ")))
+                    .unwrap();
+            }
+        }
+        let t = db
+            .execute("SELECT count(*) FROM l JOIN r ON l.k = r.k")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let expected: i64 = left
+            .iter()
+            .map(|lv| right.iter().filter(|rv| *rv == lv).count() as i64)
+            .sum();
+        prop_assert_eq!(t.row(0)[0].clone(), SqlValue::Int(expected));
+    }
+
+    #[test]
+    fn parser_never_panics(sql in "[a-zA-Z0-9 '(),*.=<>+-]{0,120}") {
+        let _ = monetlite::sql::parse_statement(&sql);
+    }
+
+    #[test]
+    fn delete_then_count_is_consistent(data in proptest::collection::vec(-50i64..50, 0..40), cut in -50i64..50) {
+        let db = engine_with(&data);
+        db.execute(&format!("DELETE FROM t WHERE i < {cut}")).unwrap();
+        let t = db.execute("SELECT count(*) FROM t").unwrap().into_table().unwrap();
+        let expected = data.iter().filter(|v| **v >= cut).count() as i64;
+        prop_assert_eq!(t.row(0)[0].clone(), SqlValue::Int(expected));
+    }
+}

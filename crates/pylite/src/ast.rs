@@ -1,0 +1,253 @@
+//! Abstract syntax tree for the Python subset.
+
+use std::rc::Rc;
+
+/// A parsed module: a sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    pub body: Vec<Stmt>,
+}
+
+/// A statement tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `def name(params): body`
+    FunctionDef(Rc<FunctionDef>),
+    /// `return expr?`
+    Return(Option<Expr>),
+    /// `target = value` (possibly chained `a = b = v`, or tuple targets)
+    Assign { targets: Vec<Expr>, value: Expr },
+    /// `target op= value`
+    AugAssign {
+        target: Expr,
+        op: BinOp,
+        value: Expr,
+    },
+    /// Bare expression statement.
+    Expr(Expr),
+    If {
+        branches: Vec<(Expr, Vec<Stmt>)>,
+        orelse: Vec<Stmt>,
+    },
+    While {
+        test: Expr,
+        body: Vec<Stmt>,
+    },
+    For {
+        target: Expr,
+        iter: Expr,
+        body: Vec<Stmt>,
+    },
+    Break,
+    Continue,
+    Pass,
+    /// `import a.b.c [as name]`
+    Import { module: String, alias: Option<String> },
+    /// `from a.b import x [as y], z`
+    FromImport {
+        module: String,
+        names: Vec<(String, Option<String>)>,
+    },
+    Global(Vec<String>),
+    Del(Vec<Expr>),
+    Try {
+        body: Vec<Stmt>,
+        /// (exception class name or None for bare except, alias, handler body)
+        handlers: Vec<(Option<String>, Option<String>, Vec<Stmt>)>,
+        finally: Vec<Stmt>,
+    },
+    /// `raise Name(message?)` or bare `raise`
+    Raise(Option<Expr>),
+    Assert {
+        test: Expr,
+        message: Option<Expr>,
+    },
+}
+
+/// A function definition (also used for lambdas, with a synthetic name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    /// First line of the `def` statement.
+    pub line: u32,
+    /// Names assigned somewhere in the body (locals), precomputed at parse
+    /// time so the interpreter can implement Python scoping rules.
+    pub local_names: Vec<String>,
+    /// Names declared `global` in the body.
+    pub global_names: Vec<String>,
+}
+
+/// A formal parameter with an optional default value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub default: Option<Expr>,
+}
+
+/// An expression tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Int(i64),
+    Float(f64),
+    Str(Rc<str>),
+    Bool(bool),
+    NoneLit,
+    Name(String),
+    Tuple(Vec<Expr>),
+    List(Vec<Expr>),
+    Dict(Vec<(Expr, Expr)>),
+    BinOp {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    UnaryOp {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    BoolOp {
+        op: BoolOpKind,
+        values: Vec<Expr>,
+    },
+    /// Chained comparison: `a < b <= c`.
+    Compare {
+        left: Box<Expr>,
+        ops: Vec<CmpOp>,
+        comparators: Vec<Expr>,
+    },
+    Call {
+        func: Box<Expr>,
+        args: Vec<Expr>,
+        kwargs: Vec<(String, Expr)>,
+    },
+    Attribute {
+        value: Box<Expr>,
+        attr: String,
+    },
+    Subscript {
+        value: Box<Expr>,
+        index: Box<Index>,
+    },
+    Lambda(Rc<FunctionDef>),
+    /// `body if test else orelse`
+    IfExp {
+        test: Box<Expr>,
+        body: Box<Expr>,
+        orelse: Box<Expr>,
+    },
+    /// `[elt for target in iter if cond*]`
+    ListComp {
+        elt: Box<Expr>,
+        target: Box<Expr>,
+        iter: Box<Expr>,
+        conds: Vec<Expr>,
+    },
+}
+
+/// Subscript index: single item or slice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Index {
+    Item(Expr),
+    Slice {
+        lower: Option<Expr>,
+        upper: Option<Expr>,
+        step: Option<Expr>,
+    },
+}
+
+/// Binary arithmetic/bitwise operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    FloorDiv,
+    Mod,
+    Pow,
+    BitAnd,
+    BitOr,
+    BitXor,
+}
+
+impl BinOp {
+    /// Source-level symbol, for error messages.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Pos,
+    Not,
+}
+
+/// Short-circuit boolean operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolOpKind {
+    And,
+    Or,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    In,
+    NotIn,
+    Is,
+    IsNot,
+}
+
+impl CmpOp {
+    /// Source-level symbol, for error messages.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::NotEq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::In => "in",
+            CmpOp::NotIn => "not in",
+            CmpOp::Is => "is",
+            CmpOp::IsNot => "is not",
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Error type and tracebacks for the interpreter.
+
+use std::fmt;
+
+/// The category of a runtime or compile-time error, mirroring the Python
+/// exception taxonomy closely enough for `except NameError:`-style matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    Syntax,
+    Name,
+    Type,
+    Value,
+    Index,
+    Key,
+    Attribute,
+    ZeroDivision,
+    Import,
+    Io,
+    Assertion,
+    Stop,
+    /// `raise`d by user code with an arbitrary exception name.
+    User,
+    /// Interpreter resource guard tripped (step budget, recursion depth).
+    Resource,
+}
+
+impl ErrorKind {
+    /// Python-style exception class name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::Syntax => "SyntaxError",
+            ErrorKind::Name => "NameError",
+            ErrorKind::Type => "TypeError",
+            ErrorKind::Value => "ValueError",
+            ErrorKind::Index => "IndexError",
+            ErrorKind::Key => "KeyError",
+            ErrorKind::Attribute => "AttributeError",
+            ErrorKind::ZeroDivision => "ZeroDivisionError",
+            ErrorKind::Import => "ImportError",
+            ErrorKind::Io => "IOError",
+            ErrorKind::Assertion => "AssertionError",
+            ErrorKind::Stop => "StopIteration",
+            ErrorKind::User => "Exception",
+            ErrorKind::Resource => "ResourceError",
+        }
+    }
+}
+
+/// One frame of a traceback: innermost last, like CPython prints them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Function name, or `<module>` for top-level code.
+    pub function: String,
+    /// 1-based source line within the executed module.
+    pub line: u32,
+}
+
+/// A raised interpreter error carrying a Python-style traceback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PyError {
+    pub kind: ErrorKind,
+    /// For `ErrorKind::User`, the exception class name used in `raise`.
+    pub user_class: Option<String>,
+    pub message: String,
+    /// Call chain, outermost first.
+    pub traceback: Vec<TraceEntry>,
+}
+
+impl PyError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        PyError {
+            kind,
+            user_class: None,
+            message: message.into(),
+            traceback: Vec::new(),
+        }
+    }
+
+    /// Construct a user-raised exception with an explicit class name.
+    pub fn user(class: impl Into<String>, message: impl Into<String>) -> Self {
+        PyError {
+            kind: ErrorKind::User,
+            user_class: Some(class.into()),
+            message: message.into(),
+            traceback: Vec::new(),
+        }
+    }
+
+    /// The exception class name used for `except` matching and display.
+    pub fn class_name(&self) -> &str {
+        self.user_class.as_deref().unwrap_or_else(|| self.kind.name())
+    }
+
+    /// Push a traceback frame (called while unwinding, innermost first;
+    /// frames are stored outermost-first so we insert at the front).
+    pub fn push_frame(&mut self, function: impl Into<String>, line: u32) {
+        self.traceback.insert(
+            0,
+            TraceEntry {
+                function: function.into(),
+                line,
+            },
+        );
+    }
+
+    /// Innermost (most recent) source line, if known.
+    pub fn innermost_line(&self) -> Option<u32> {
+        self.traceback.last().map(|t| t.line)
+    }
+
+    /// Render a CPython-style traceback string.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Traceback (most recent call last):\n");
+        for entry in &self.traceback {
+            out.push_str(&format!(
+                "  File \"<udf>\", line {}, in {}\n",
+                entry.line, entry.function
+            ));
+        }
+        out.push_str(&format!("{}: {}", self.class_name(), self.message));
+        out
+    }
+}
+
+impl fmt::Display for PyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.class_name(), self.message)?;
+        if let Some(line) = self.innermost_line() {
+            write!(f, " (line {line})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_frames_in_order() {
+        let mut e = PyError::new(ErrorKind::Type, "bad operand");
+        e.push_frame("inner", 9);
+        e.push_frame("outer", 3);
+        e.push_frame("<module>", 1);
+        let s = e.render();
+        let module_at = s.find("<module>").unwrap();
+        let outer_at = s.find("outer").unwrap();
+        let inner_at = s.find("inner").unwrap();
+        assert!(module_at < outer_at && outer_at < inner_at, "{s}");
+        assert!(s.ends_with("TypeError: bad operand"));
+    }
+
+    #[test]
+    fn user_class_name_overrides_kind() {
+        let e = PyError::user("MyError", "boom");
+        assert_eq!(e.class_name(), "MyError");
+        assert_eq!(e.kind, ErrorKind::User);
+    }
+
+    #[test]
+    fn display_shows_innermost_line() {
+        let mut e = PyError::new(ErrorKind::Index, "out of range");
+        e.push_frame("f", 12);
+        assert_eq!(e.to_string(), "IndexError: out of range (line 12)");
+    }
+}

@@ -1,0 +1,165 @@
+//! Virtual filesystem used by `open()` and `os.listdir()`.
+//!
+//! UDF code in the paper (Listing 5) reads CSV files from a directory. The
+//! interpreter never touches the host filesystem directly; it goes through a
+//! [`FsProvider`] so tests and the devUDF debug sandbox control exactly what
+//! the UDF sees. [`MemFs`] is the standard in-memory provider; a real-disk
+//! provider can be implemented by embedders when needed.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Abstraction over the file operations the interpreter needs.
+pub trait FsProvider {
+    /// Read the full contents of `path`.
+    fn read(&self, path: &str) -> Result<Vec<u8>, String>;
+    /// Create/overwrite `path` with `data`.
+    fn write(&self, path: &str, data: &[u8]) -> Result<(), String>;
+    /// Names of the entries directly inside directory `path`, sorted.
+    fn listdir(&self, path: &str) -> Result<Vec<String>, String>;
+    /// Whether `path` exists as a file.
+    fn exists(&self, path: &str) -> bool;
+}
+
+/// In-memory filesystem with `/`-separated paths.
+///
+/// Uses a sorted map so `listdir` output is deterministic — important for
+/// reproducing Scenario B, where the *order* of files interacts with the
+/// off-by-one bug.
+#[derive(Default)]
+pub struct MemFs {
+    files: RefCell<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemFs {
+    pub fn new() -> Self {
+        MemFs::default()
+    }
+
+    /// Convenience constructor from (path, content) pairs.
+    pub fn with_files(files: &[(&str, &str)]) -> Self {
+        let fs = MemFs::new();
+        for (path, content) in files {
+            fs.write(path, content.as_bytes()).expect("memfs write");
+        }
+        fs
+    }
+
+    fn normalize(path: &str) -> String {
+        let mut p = path.replace("./", "");
+        while p.starts_with('/') {
+            p.remove(0);
+        }
+        while p.ends_with('/') {
+            p.pop();
+        }
+        if p == "." {
+            p.clear();
+        }
+        p
+    }
+}
+
+impl FsProvider for MemFs {
+    fn read(&self, path: &str) -> Result<Vec<u8>, String> {
+        let p = Self::normalize(path);
+        self.files
+            .borrow()
+            .get(&p)
+            .cloned()
+            .ok_or_else(|| format!("no such file: '{path}'"))
+    }
+
+    fn write(&self, path: &str, data: &[u8]) -> Result<(), String> {
+        let p = Self::normalize(path);
+        if p.is_empty() {
+            return Err("empty path".to_string());
+        }
+        self.files.borrow_mut().insert(p, data.to_vec());
+        Ok(())
+    }
+
+    fn listdir(&self, path: &str) -> Result<Vec<String>, String> {
+        let p = Self::normalize(path);
+        let prefix = if p.is_empty() { String::new() } else { format!("{p}/") };
+        let files = self.files.borrow();
+        let mut out = Vec::new();
+        let mut found_prefix = p.is_empty();
+        for name in files.keys() {
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                found_prefix = true;
+                // Only direct children; for nested paths report the first
+                // path segment (a "subdirectory").
+                let first = rest.split('/').next().unwrap().to_string();
+                if !out.contains(&first) {
+                    out.push(first);
+                }
+            }
+        }
+        if !found_prefix && !files.keys().any(|k| k.starts_with(&prefix)) && !p.is_empty() {
+            return Err(format!("no such directory: '{path}'"));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.borrow().contains_key(&Self::normalize(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let fs = MemFs::new();
+        fs.write("dir/a.csv", b"1\n2\n").unwrap();
+        assert_eq!(fs.read("dir/a.csv").unwrap(), b"1\n2\n");
+        assert_eq!(fs.read("./dir/a.csv").unwrap(), b"1\n2\n");
+        assert!(fs.exists("dir/a.csv"));
+        assert!(!fs.exists("dir/b.csv"));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = MemFs::new();
+        assert!(fs.read("nope.txt").is_err());
+    }
+
+    #[test]
+    fn listdir_is_sorted_and_direct_children_only() {
+        let fs = MemFs::with_files(&[
+            ("data/b.csv", "2"),
+            ("data/a.csv", "1"),
+            ("data/sub/c.csv", "3"),
+            ("other/x.csv", "9"),
+        ]);
+        assert_eq!(
+            fs.listdir("data").unwrap(),
+            vec!["a.csv".to_string(), "b.csv".to_string(), "sub".to_string()]
+        );
+    }
+
+    #[test]
+    fn listdir_missing_directory_errors() {
+        let fs = MemFs::new();
+        assert!(fs.listdir("ghost").is_err());
+    }
+
+    #[test]
+    fn listdir_root() {
+        let fs = MemFs::with_files(&[("a.txt", "x"), ("b.txt", "y")]);
+        assert_eq!(fs.listdir("").unwrap(), vec!["a.txt", "b.txt"]);
+        assert_eq!(fs.listdir(".").unwrap(), vec!["a.txt", "b.txt"]);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let fs = MemFs::new();
+        fs.write("f", b"one").unwrap();
+        fs.write("f", b"two").unwrap();
+        assert_eq!(fs.read("f").unwrap(), b"two");
+    }
+}

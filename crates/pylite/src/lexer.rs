@@ -1,0 +1,882 @@
+//! Indentation-sensitive lexer for the Python subset.
+
+use crate::error::{ErrorKind, PyError};
+
+/// A lexical token tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and names.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // Keywords.
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    For,
+    While,
+    In,
+    Break,
+    Continue,
+    Pass,
+    Import,
+    From,
+    As,
+    Global,
+    Del,
+    Not,
+    And,
+    Or,
+    None,
+    True,
+    False,
+    Lambda,
+    Try,
+    Except,
+    Finally,
+    Raise,
+    Assert,
+    Is,
+    // Operators and delimiters.
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    DoubleSlash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    DoubleSlashEq,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semicolon,
+    Dot,
+    Arrow,
+    // Layout.
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+impl Tok {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Int(v) => format!("integer {v}"),
+            Tok::Float(v) => format!("float {v}"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Ident(name) => format!("identifier '{name}'"),
+            Tok::Newline => "newline".to_string(),
+            Tok::Indent => "indent".to_string(),
+            Tok::Dedent => "dedent".to_string(),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("'{}'", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::Def => "def",
+            Tok::Return => "return",
+            Tok::If => "if",
+            Tok::Elif => "elif",
+            Tok::Else => "else",
+            Tok::For => "for",
+            Tok::While => "while",
+            Tok::In => "in",
+            Tok::Break => "break",
+            Tok::Continue => "continue",
+            Tok::Pass => "pass",
+            Tok::Import => "import",
+            Tok::From => "from",
+            Tok::As => "as",
+            Tok::Global => "global",
+            Tok::Del => "del",
+            Tok::Not => "not",
+            Tok::And => "and",
+            Tok::Or => "or",
+            Tok::None => "None",
+            Tok::True => "True",
+            Tok::False => "False",
+            Tok::Lambda => "lambda",
+            Tok::Try => "try",
+            Tok::Except => "except",
+            Tok::Finally => "finally",
+            Tok::Raise => "raise",
+            Tok::Assert => "assert",
+            Tok::Is => "is",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::DoubleStar => "**",
+            Tok::Slash => "/",
+            Tok::DoubleSlash => "//",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Eq => "=",
+            Tok::PlusEq => "+=",
+            Tok::MinusEq => "-=",
+            Tok::StarEq => "*=",
+            Tok::SlashEq => "/=",
+            Tok::PercentEq => "%=",
+            Tok::DoubleSlashEq => "//=",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Semicolon => ";",
+            Tok::Dot => ".",
+            Tok::Arrow => "->",
+            _ => "?",
+        }
+    }
+}
+
+fn keyword(name: &str) -> Option<Tok> {
+    Some(match name {
+        "def" => Tok::Def,
+        "return" => Tok::Return,
+        "if" => Tok::If,
+        "elif" => Tok::Elif,
+        "else" => Tok::Else,
+        "for" => Tok::For,
+        "while" => Tok::While,
+        "in" => Tok::In,
+        "break" => Tok::Break,
+        "continue" => Tok::Continue,
+        "pass" => Tok::Pass,
+        "import" => Tok::Import,
+        "from" => Tok::From,
+        "as" => Tok::As,
+        "global" => Tok::Global,
+        "del" => Tok::Del,
+        "not" => Tok::Not,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "None" => Tok::None,
+        "True" => Tok::True,
+        "False" => Tok::False,
+        "lambda" => Tok::Lambda,
+        "try" => Tok::Try,
+        "except" => Tok::Except,
+        "finally" => Tok::Finally,
+        "raise" => Tok::Raise,
+        "assert" => Tok::Assert,
+        "is" => Tok::Is,
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    paren_depth: usize,
+    indent_stack: Vec<usize>,
+    tokens: Vec<Token>,
+}
+
+/// Tokenize Python-subset source into a token stream ending with `Eof`.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, PyError> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        paren_depth: 0,
+        indent_stack: vec![0],
+        tokens: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.tokens)
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, msg: impl Into<String>) -> PyError {
+        let mut e = PyError::new(ErrorKind::Syntax, msg);
+        e.push_frame("<module>", self.line);
+        e
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Tok) {
+        self.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn at_line_start(&self) -> bool {
+        self.tokens.is_empty()
+            || matches!(
+                self.tokens.last().map(|t| &t.kind),
+                Some(Tok::Newline) | Some(Tok::Indent) | Some(Tok::Dedent)
+            )
+    }
+
+    fn run(&mut self) -> Result<(), PyError> {
+        loop {
+            if self.at_line_start() && self.paren_depth == 0
+                && !self.handle_indentation()? {
+                    break;
+                }
+            match self.peek() {
+                Option::None => break,
+                Some(c) => self.lex_one(c)?,
+            }
+        }
+        // Terminate the final logical line.
+        if !matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(Tok::Newline) | Option::None
+        ) {
+            self.push(Tok::Newline);
+        }
+        while self.indent_stack.len() > 1 {
+            self.indent_stack.pop();
+            self.push(Tok::Dedent);
+        }
+        self.push(Tok::Eof);
+        Ok(())
+    }
+
+    /// Measure leading whitespace of the current physical line and emit
+    /// INDENT/DEDENT tokens. Returns false at end of input.
+    fn handle_indentation(&mut self) -> Result<bool, PyError> {
+        loop {
+            let mut width = 0usize;
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                match c {
+                    b' ' => {
+                        width += 1;
+                        self.pos += 1;
+                    }
+                    b'\t' => {
+                        // Tabs advance to the next multiple of 8, like CPython.
+                        width += 8 - (width % 8);
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                Option::None => return Ok(false),
+                Some(b'\n') => {
+                    // Blank line: ignore entirely.
+                    self.bump();
+                    continue;
+                }
+                Some(b'\r') => {
+                    self.bump();
+                    continue;
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some(_) => {
+                    let _ = start;
+                    let current = *self.indent_stack.last().expect("indent stack never empty");
+                    match width.cmp(&current) {
+                        std::cmp::Ordering::Greater => {
+                            self.indent_stack.push(width);
+                            self.push(Tok::Indent);
+                        }
+                        std::cmp::Ordering::Less => {
+                            while *self.indent_stack.last().unwrap() > width {
+                                self.indent_stack.pop();
+                                self.push(Tok::Dedent);
+                            }
+                            if *self.indent_stack.last().unwrap() != width {
+                                return Err(self.err("unindent does not match any outer indentation level"));
+                            }
+                        }
+                        std::cmp::Ordering::Equal => {}
+                    }
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    fn lex_one(&mut self, c: u8) -> Result<(), PyError> {
+        match c {
+            b' ' | b'\t' | b'\r' => {
+                self.bump();
+            }
+            b'\n' => {
+                self.bump();
+                if self.paren_depth == 0 {
+                    // Collapse repeated newlines.
+                    if !matches!(self.tokens.last().map(|t| &t.kind), Some(Tok::Newline)) {
+                        self.tokens.push(Token {
+                            kind: Tok::Newline,
+                            line: self.line - 1,
+                        });
+                    }
+                }
+            }
+            b'#' => {
+                while let Some(c) = self.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            b'\\' => {
+                // Explicit line continuation.
+                self.bump();
+                if self.peek() == Some(b'\r') {
+                    self.bump();
+                }
+                if self.peek() == Some(b'\n') {
+                    self.bump();
+                } else {
+                    return Err(self.err("unexpected character after line continuation"));
+                }
+            }
+            b'\'' | b'"' => self.lex_string(c)?,
+            b'0'..=b'9' => self.lex_number()?,
+            b'.' => {
+                if matches!(self.peek2(), Some(b'0'..=b'9')) {
+                    self.lex_number()?;
+                } else {
+                    self.bump();
+                    self.push(Tok::Dot);
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+            _ => self.lex_operator(c)?,
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifier bytes are ascii")
+            .to_string();
+        match keyword(&name) {
+            Some(kw) => self.push(kw),
+            Option::None => self.push(Tok::Ident(name)),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<(), PyError> {
+        let start = self.pos;
+        let mut is_float = false;
+        // Hex literal.
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let digits = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+            if digits.is_empty() {
+                return Err(self.err("invalid hex literal"));
+            }
+            let v = i64::from_str_radix(digits, 16)
+                .map_err(|_| self.err("hex literal too large"))?;
+            self.push(Tok::Int(v));
+            return Ok(());
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.pos += 1;
+                }
+                b'.' if !is_float && !matches!(self.peek2(), Some(b'.')) => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' => {
+                    // Exponent only if followed by digit or sign+digit.
+                    let next = self.src.get(self.pos + 1).copied();
+                    let next2 = self.src.get(self.pos + 2).copied();
+                    let ok = matches!(next, Some(b'0'..=b'9'))
+                        || (matches!(next, Some(b'+') | Some(b'-'))
+                            && matches!(next2, Some(b'0'..=b'9')));
+                    if !ok {
+                        break;
+                    }
+                    is_float = true;
+                    self.pos += 2;
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.pos += 1;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("invalid float literal '{text}'")))?;
+            self.push(Tok::Float(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("integer literal '{text}' out of range")))?;
+            self.push(Tok::Int(v));
+        }
+        Ok(())
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<(), PyError> {
+        let start_line = self.line;
+        // Detect triple quotes.
+        let triple = self.src.get(self.pos + 1) == Some(&quote) && self.src.get(self.pos + 2) == Some(&quote);
+        self.bump();
+        if triple {
+            self.bump();
+            self.bump();
+        }
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                let mut e = PyError::new(ErrorKind::Syntax, "unterminated string literal");
+                e.push_frame("<module>", start_line);
+                return Err(e);
+            };
+            if c == quote {
+                if triple {
+                    if self.src.get(self.pos + 1) == Some(&quote)
+                        && self.src.get(self.pos + 2) == Some(&quote)
+                    {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    out.push(self.bump().unwrap() as char);
+                } else {
+                    self.bump();
+                    break;
+                }
+            } else if c == b'\n' && !triple {
+                let mut e = PyError::new(ErrorKind::Syntax, "EOL while scanning string literal");
+                e.push_frame("<module>", start_line);
+                return Err(e);
+            } else if c == b'\\' {
+                self.bump();
+                let Some(esc) = self.bump() else {
+                    let mut e = PyError::new(ErrorKind::Syntax, "unterminated string literal");
+                    e.push_frame("<module>", start_line);
+                    return Err(e);
+                };
+                match esc {
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'\\' => out.push('\\'),
+                    b'\'' => out.push('\''),
+                    b'"' => out.push('"'),
+                    b'0' => out.push('\0'),
+                    b'\n' => {} // escaped newline inside string: joined
+                    other => {
+                        // Unknown escapes are preserved verbatim (like Python
+                        // with a deprecation warning).
+                        out.push('\\');
+                        out.push(other as char);
+                    }
+                }
+            } else {
+                // Consume one UTF-8 code point.
+                let ch_len = utf8_len(c);
+                for _ in 0..ch_len {
+                    if let Some(b) = self.bump() {
+                        // SAFETY-free approach: collect bytes then convert.
+                        out.push(b as char); // provisional; fixed below for multibyte
+                        let _ = b;
+                    }
+                }
+                if ch_len > 1 {
+                    // Re-do multibyte properly: remove the bogus chars and
+                    // push the real code point.
+                    for _ in 0..ch_len {
+                        out.pop();
+                    }
+                    let slice = &self.src[self.pos - ch_len..self.pos];
+                    match std::str::from_utf8(slice) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => {
+                            let mut e =
+                                PyError::new(ErrorKind::Syntax, "invalid UTF-8 in string literal");
+                            e.push_frame("<module>", start_line);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+        self.tokens.push(Token {
+            kind: Tok::Str(out),
+            line: start_line,
+        });
+        Ok(())
+    }
+
+    fn lex_operator(&mut self, c: u8) -> Result<(), PyError> {
+        let two = |a: u8, b: Option<u8>| -> bool { b == Some(a) };
+        let next = self.peek2();
+        let tok = match c {
+            b'+' if two(b'=', next) => {
+                self.bump();
+                Tok::PlusEq
+            }
+            b'+' => Tok::Plus,
+            b'-' if two(b'=', next) => {
+                self.bump();
+                Tok::MinusEq
+            }
+            b'-' if two(b'>', next) => {
+                self.bump();
+                Tok::Arrow
+            }
+            b'-' => Tok::Minus,
+            b'*' if two(b'*', next) => {
+                self.bump();
+                Tok::DoubleStar
+            }
+            b'*' if two(b'=', next) => {
+                self.bump();
+                Tok::StarEq
+            }
+            b'*' => Tok::Star,
+            b'/' if two(b'/', next) => {
+                self.bump();
+                if self.peek2() == Some(b'=') {
+                    self.bump();
+                    Tok::DoubleSlashEq
+                } else {
+                    Tok::DoubleSlash
+                }
+            }
+            b'/' if two(b'=', next) => {
+                self.bump();
+                Tok::SlashEq
+            }
+            b'/' => Tok::Slash,
+            b'%' if two(b'=', next) => {
+                self.bump();
+                Tok::PercentEq
+            }
+            b'%' => Tok::Percent,
+            b'&' => Tok::Amp,
+            b'|' => Tok::Pipe,
+            b'^' => Tok::Caret,
+            b'=' if two(b'=', next) => {
+                self.bump();
+                Tok::EqEq
+            }
+            b'=' => Tok::Eq,
+            b'!' if two(b'=', next) => {
+                self.bump();
+                Tok::NotEq
+            }
+            b'<' if two(b'=', next) => {
+                self.bump();
+                Tok::Le
+            }
+            b'<' => Tok::Lt,
+            b'>' if two(b'=', next) => {
+                self.bump();
+                Tok::Ge
+            }
+            b'>' => Tok::Gt,
+            b'(' => {
+                self.paren_depth += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                Tok::RParen
+            }
+            b'[' => {
+                self.paren_depth += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                Tok::RBracket
+            }
+            b'{' => {
+                self.paren_depth += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                Tok::RBrace
+            }
+            b',' => Tok::Comma,
+            b':' => Tok::Colon,
+            b';' => Tok::Semicolon,
+            other => {
+                return Err(self.err(format!(
+                    "unexpected character '{}'",
+                    other as char
+                )))
+            }
+        };
+        self.bump();
+        self.push(tok);
+        Ok(())
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first >> 5 == 0b110 {
+        2
+    } else if first >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            kinds("x = 1\n"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_emits_indent_dedent() {
+        let toks = kinds("if x:\n    y = 1\nz = 2\n");
+        assert!(toks.contains(&Tok::Indent));
+        assert!(toks.contains(&Tok::Dedent));
+        let indent_pos = toks.iter().position(|t| *t == Tok::Indent).unwrap();
+        let dedent_pos = toks.iter().position(|t| *t == Tok::Dedent).unwrap();
+        assert!(indent_pos < dedent_pos);
+    }
+
+    #[test]
+    fn nested_indentation_unwinds_fully_at_eof() {
+        let toks = kinds("def f():\n    if x:\n        return 1\n");
+        let dedents = toks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored_for_indentation() {
+        let toks = kinds("if x:\n    a = 1\n\n    # comment\n    b = 2\n");
+        let indents = toks.iter().filter(|t| **t == Tok::Indent).count();
+        assert_eq!(indents, 1);
+    }
+
+    #[test]
+    fn newlines_suppressed_inside_brackets() {
+        let toks = kinds("x = (1 +\n     2)\n");
+        let newlines = toks.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            kinds("s = 'ab'\n")[2],
+            Tok::Str("ab".into())
+        );
+        assert_eq!(kinds("s = \"a\\nb\"\n")[2], Tok::Str("a\nb".into()));
+        assert_eq!(
+            kinds("s = '''line1\nline2'''\n")[2],
+            Tok::Str("line1\nline2".into())
+        );
+    }
+
+    #[test]
+    fn triple_string_line_number_is_start() {
+        let toks = tokenize("x = \"\"\"a\nb\nc\"\"\"\n").unwrap();
+        let s = toks.iter().find(|t| matches!(t.kind, Tok::Str(_))).unwrap();
+        assert_eq!(s.line, 1);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42\n")[0], Tok::Int(42));
+        assert_eq!(kinds("3.5\n")[0], Tok::Float(3.5));
+        assert_eq!(kinds("1e3\n")[0], Tok::Float(1000.0));
+        assert_eq!(kinds("2.5e-1\n")[0], Tok::Float(0.25));
+        assert_eq!(kinds("0xff\n")[0], Tok::Int(255));
+        assert_eq!(kinds(".5\n")[0], Tok::Float(0.5));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a //= 2\n")[1],
+            Tok::DoubleSlashEq
+        );
+        assert_eq!(kinds("a ** b\n")[1], Tok::DoubleStar);
+        assert_eq!(kinds("a != b\n")[1], Tok::NotEq);
+        assert_eq!(kinds("a <= b\n")[1], Tok::Le);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("iffy\n")[0], Tok::Ident("iffy".into()));
+        assert_eq!(kinds("if\n")[0], Tok::If);
+        assert_eq!(kinds("None\n")[0], Tok::None);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        assert_eq!(
+            kinds("x = 1  # trailing\n"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_continuation() {
+        let toks = kinds("x = 1 + \\\n    2\n");
+        let newlines = toks.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn bad_indentation_is_error() {
+        let err = tokenize("if x:\n        a = 1\n    b = 2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Syntax);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("s = 'oops\n").is_err());
+        assert!(tokenize("s = '''oops\n").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("s = 'héllo→'\n")[2], Tok::Str("héllo→".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_physical_lines() {
+        let toks = tokenize("a = 1\nb = 2\nc = 3\n").unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+        let c = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("c".into()))
+            .unwrap();
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn listing4_style_source_tokenizes() {
+        let src = "\
+mean = 0
+for i in range(0, len(column)):
+    mean += column[i]
+mean = mean / len(column)
+";
+        assert!(tokenize(src).is_ok());
+    }
+}

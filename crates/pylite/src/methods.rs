@@ -1,0 +1,569 @@
+//! Methods on built-in types (`list.append`, `str.split`, `dict.keys`, …)
+//! and Python-2-style `%` string formatting (used by paper Listing 3).
+
+use crate::error::{ErrorKind, PyError};
+use crate::interp::Interp;
+use crate::value::{Dict, Value};
+
+fn err(kind: ErrorKind, msg: impl Into<String>) -> PyError {
+    PyError::new(kind, msg)
+}
+
+fn arity(name: &str, args: &[Value], min: usize, max: usize) -> Result<(), PyError> {
+    if args.len() < min || args.len() > max {
+        return Err(err(
+            ErrorKind::Type,
+            format!("{name}() takes {min}..{max} arguments, got {}", args.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// Dispatch `obj.method(args)` for non-native receivers.
+pub fn call_builtin_method(
+    interp: &mut Interp,
+    obj: &Value,
+    name: &str,
+    args: &[Value],
+    _kwargs: &[(String, Value)],
+    line: u32,
+) -> Result<Value, PyError> {
+    match obj {
+        Value::List(list) => match name {
+            "append" => {
+                arity("append", args, 1, 1)?;
+                list.borrow_mut().push(args[0].clone());
+                Ok(Value::None)
+            }
+            "extend" => {
+                arity("extend", args, 1, 1)?;
+                let items = interp.iter_values(&args[0], line)?;
+                list.borrow_mut().extend(items);
+                Ok(Value::None)
+            }
+            "insert" => {
+                arity("insert", args, 2, 2)?;
+                let Value::Int(i) = &args[0] else {
+                    return Err(err(ErrorKind::Type, "insert() index must be int"));
+                };
+                let mut l = list.borrow_mut();
+                let idx = (*i).clamp(0, l.len() as i64) as usize;
+                l.insert(idx, args[1].clone());
+                Ok(Value::None)
+            }
+            "pop" => {
+                arity("pop", args, 0, 1)?;
+                let mut l = list.borrow_mut();
+                if l.is_empty() {
+                    return Err(err(ErrorKind::Index, "pop from empty list"));
+                }
+                let idx = match args.first() {
+                    Some(Value::Int(i)) => {
+                        let adj = if *i < 0 { *i + l.len() as i64 } else { *i };
+                        if adj < 0 || adj as usize >= l.len() {
+                            return Err(err(ErrorKind::Index, "pop index out of range"));
+                        }
+                        adj as usize
+                    }
+                    None => l.len() - 1,
+                    Some(other) => {
+                        return Err(err(
+                            ErrorKind::Type,
+                            format!("pop() index must be int, not '{}'", other.type_name()),
+                        ))
+                    }
+                };
+                Ok(l.remove(idx))
+            }
+            "remove" => {
+                arity("remove", args, 1, 1)?;
+                let mut l = list.borrow_mut();
+                let pos = l.iter().position(|v| v.py_eq(&args[0]));
+                match pos {
+                    Some(i) => {
+                        l.remove(i);
+                        Ok(Value::None)
+                    }
+                    None => Err(err(ErrorKind::Value, "list.remove(x): x not in list")),
+                }
+            }
+            "index" => {
+                arity("index", args, 1, 1)?;
+                let l = list.borrow();
+                l.iter()
+                    .position(|v| v.py_eq(&args[0]))
+                    .map(|i| Value::Int(i as i64))
+                    .ok_or_else(|| err(ErrorKind::Value, "value not in list"))
+            }
+            "count" => {
+                arity("count", args, 1, 1)?;
+                let l = list.borrow();
+                Ok(Value::Int(
+                    l.iter().filter(|v| v.py_eq(&args[0])).count() as i64
+                ))
+            }
+            "sort" => {
+                arity("sort", args, 0, 0)?;
+                let snapshot = list.borrow().clone();
+                let mut sort_err = None;
+                let mut sorted = snapshot;
+                sorted.sort_by(|a, b| {
+                    if sort_err.is_some() {
+                        return std::cmp::Ordering::Equal;
+                    }
+                    match interp.order_values(a, b, line) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            sort_err = Some(e);
+                            std::cmp::Ordering::Equal
+                        }
+                    }
+                });
+                if let Some(e) = sort_err {
+                    return Err(e);
+                }
+                *list.borrow_mut() = sorted;
+                Ok(Value::None)
+            }
+            "reverse" => {
+                arity("reverse", args, 0, 0)?;
+                list.borrow_mut().reverse();
+                Ok(Value::None)
+            }
+            "clear" => {
+                arity("clear", args, 0, 0)?;
+                list.borrow_mut().clear();
+                Ok(Value::None)
+            }
+            "copy" => {
+                arity("copy", args, 0, 0)?;
+                Ok(Value::list(list.borrow().clone()))
+            }
+            _ => Err(no_method("list", name)),
+        },
+        Value::Dict(dict) => match name {
+            "keys" => Ok(Value::list(dict.borrow().keys())),
+            "values" => Ok(Value::list(dict.borrow().values())),
+            "items" => Ok(Value::list(
+                dict.borrow()
+                    .entries()
+                    .iter()
+                    .map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()]))
+                    .collect(),
+            )),
+            "get" => {
+                arity("get", args, 1, 2)?;
+                let found = dict.borrow().get(&args[0])?;
+                Ok(found.unwrap_or_else(|| args.get(1).cloned().unwrap_or(Value::None)))
+            }
+            "pop" => {
+                arity("pop", args, 1, 2)?;
+                let removed = dict.borrow_mut().remove(&args[0])?;
+                match removed {
+                    Some(v) => Ok(v),
+                    None => args
+                        .get(1)
+                        .cloned()
+                        .ok_or_else(|| err(ErrorKind::Key, args[0].repr())),
+                }
+            }
+            "update" => {
+                arity("update", args, 1, 1)?;
+                let Value::Dict(other) = &args[0] else {
+                    return Err(err(ErrorKind::Type, "update() argument must be a dict"));
+                };
+                let pairs: Vec<(Value, Value)> = other.borrow().entries().to_vec();
+                let mut d = dict.borrow_mut();
+                for (k, v) in pairs {
+                    d.insert(k, v)?;
+                }
+                Ok(Value::None)
+            }
+            "clear" => {
+                dict.borrow_mut().clear_all();
+                Ok(Value::None)
+            }
+            "copy" => {
+                let mut d = Dict::new();
+                for (k, v) in dict.borrow().entries() {
+                    d.insert(k.clone(), v.clone())?;
+                }
+                Ok(Value::dict(d))
+            }
+            _ => Err(no_method("dict", name)),
+        },
+        Value::Str(s) => match name {
+            "split" => {
+                arity("split", args, 0, 1)?;
+                let parts: Vec<Value> = match args.first() {
+                    Some(Value::Str(sep)) => {
+                        if sep.is_empty() {
+                            return Err(err(ErrorKind::Value, "empty separator"));
+                        }
+                        s.split(sep.as_ref()).map(Value::str).collect()
+                    }
+                    None => s.split_whitespace().map(Value::str).collect(),
+                    Some(other) => {
+                        return Err(err(
+                            ErrorKind::Type,
+                            format!("split() separator must be str, not '{}'", other.type_name()),
+                        ))
+                    }
+                };
+                Ok(Value::list(parts))
+            }
+            "join" => {
+                arity("join", args, 1, 1)?;
+                let items = interp.iter_values(&args[0], line)?;
+                let mut parts = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Value::Str(piece) => parts.push(piece.to_string()),
+                        other => {
+                            return Err(err(
+                                ErrorKind::Type,
+                                format!(
+                                    "sequence item for join() must be str, not '{}'",
+                                    other.type_name()
+                                ),
+                            ))
+                        }
+                    }
+                }
+                Ok(Value::str(parts.join(s)))
+            }
+            "strip" => {
+                arity("strip", args, 0, 0)?;
+                Ok(Value::str(s.trim()))
+            }
+            "lstrip" => Ok(Value::str(s.trim_start())),
+            "rstrip" => Ok(Value::str(s.trim_end())),
+            "upper" => Ok(Value::str(s.to_uppercase())),
+            "lower" => Ok(Value::str(s.to_lowercase())),
+            "replace" => {
+                arity("replace", args, 2, 2)?;
+                let (Value::Str(from), Value::Str(to)) = (&args[0], &args[1]) else {
+                    return Err(err(ErrorKind::Type, "replace() arguments must be strings"));
+                };
+                Ok(Value::str(s.replace(from.as_ref(), to)))
+            }
+            "startswith" => {
+                arity("startswith", args, 1, 1)?;
+                let Value::Str(prefix) = &args[0] else {
+                    return Err(err(ErrorKind::Type, "startswith() argument must be str"));
+                };
+                Ok(Value::Bool(s.starts_with(prefix.as_ref())))
+            }
+            "endswith" => {
+                arity("endswith", args, 1, 1)?;
+                let Value::Str(suffix) = &args[0] else {
+                    return Err(err(ErrorKind::Type, "endswith() argument must be str"));
+                };
+                Ok(Value::Bool(s.ends_with(suffix.as_ref())))
+            }
+            "find" => {
+                arity("find", args, 1, 1)?;
+                let Value::Str(needle) = &args[0] else {
+                    return Err(err(ErrorKind::Type, "find() argument must be str"));
+                };
+                // Return a character index, consistent with our len()/slicing.
+                match s.find(needle.as_ref()) {
+                    Some(byte_idx) => Ok(Value::Int(s[..byte_idx].chars().count() as i64)),
+                    None => Ok(Value::Int(-1)),
+                }
+            }
+            "count" => {
+                arity("count", args, 1, 1)?;
+                let Value::Str(needle) = &args[0] else {
+                    return Err(err(ErrorKind::Type, "count() argument must be str"));
+                };
+                if needle.is_empty() {
+                    return Ok(Value::Int(s.chars().count() as i64 + 1));
+                }
+                Ok(Value::Int(s.matches(needle.as_ref()).count() as i64))
+            }
+            "splitlines" => {
+                arity("splitlines", args, 0, 0)?;
+                Ok(Value::list(s.lines().map(Value::str).collect()))
+            }
+            "format" => Err(err(
+                ErrorKind::Type,
+                "str.format() is not supported; use '%' formatting",
+            )),
+            "isdigit" => Ok(Value::Bool(
+                !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
+            )),
+            _ => Err(no_method("str", name)),
+        },
+        Value::Tuple(t) => match name {
+            "index" => {
+                arity("index", args, 1, 1)?;
+                t.iter()
+                    .position(|v| v.py_eq(&args[0]))
+                    .map(|i| Value::Int(i as i64))
+                    .ok_or_else(|| err(ErrorKind::Value, "value not in tuple"))
+            }
+            "count" => {
+                arity("count", args, 1, 1)?;
+                Ok(Value::Int(
+                    t.iter().filter(|v| v.py_eq(&args[0])).count() as i64
+                ))
+            }
+            _ => Err(no_method("tuple", name)),
+        },
+        Value::Array(a) => match name {
+            // numpy-style convenience methods.
+            "sum" => {
+                let total: f64 = a.as_f64()?.iter().sum();
+                match a.as_ref() {
+                    crate::value::Array::Int(v) => Ok(Value::Int(v.iter().sum())),
+                    _ => Ok(Value::Float(total)),
+                }
+            }
+            "mean" => {
+                let v = a.as_f64()?;
+                if v.is_empty() {
+                    return Err(err(ErrorKind::Value, "mean of empty array"));
+                }
+                Ok(Value::Float(v.iter().sum::<f64>() / v.len() as f64))
+            }
+            "tolist" => Ok(Value::list((0..a.len()).map(|i| a.get(i)).collect())),
+            _ => Err(no_method("ndarray", name)),
+        },
+        other => Err(no_method(other.type_name(), name)),
+    }
+}
+
+fn no_method(type_name: &str, method: &str) -> PyError {
+    err(
+        ErrorKind::Attribute,
+        format!("'{type_name}' object has no method '{method}'"),
+    )
+}
+
+/// Python-2-style `%` formatting: `"%d apples" % 3`, `"%s/%s" % (a, b)`.
+///
+/// Supports `%d`, `%i`, `%s`, `%r`, `%f` (with optional precision `%.3f`)
+/// and `%%`.
+pub fn percent_format(
+    _interp: &mut Interp,
+    fmt: &str,
+    arg: &Value,
+    _line: u32,
+) -> Result<Value, PyError> {
+    let values: Vec<Value> = match arg {
+        Value::Tuple(t) => t.to_vec(),
+        other => vec![other.clone()],
+    };
+    let mut out = String::with_capacity(fmt.len() + 16);
+    let mut chars = fmt.chars().peekable();
+    let mut next = 0usize;
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let Some(&spec) = chars.peek() else {
+            return Err(err(ErrorKind::Value, "incomplete format"));
+        };
+        if spec == '%' {
+            chars.next();
+            out.push('%');
+            continue;
+        }
+        // Optional precision for floats: %.3f
+        let mut precision: Option<usize> = None;
+        if spec == '.' {
+            chars.next();
+            let mut digits = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() {
+                    digits.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            precision = Some(digits.parse().map_err(|_| {
+                err(ErrorKind::Value, "bad precision in format string")
+            })?);
+        }
+        let Some(kind) = chars.next() else {
+            return Err(err(ErrorKind::Value, "incomplete format"));
+        };
+        let value = values.get(next).ok_or_else(|| {
+            err(
+                ErrorKind::Type,
+                "not enough arguments for format string",
+            )
+        })?;
+        next += 1;
+        match kind {
+            'd' | 'i' => match value {
+                Value::Int(i) => out.push_str(&i.to_string()),
+                Value::Bool(b) => out.push_str(if *b { "1" } else { "0" }),
+                Value::Float(f) => out.push_str(&(f.trunc() as i64).to_string()),
+                other => {
+                    return Err(err(
+                        ErrorKind::Type,
+                        format!("%d format: a number is required, not {}", other.type_name()),
+                    ))
+                }
+            },
+            's' => out.push_str(&value.py_str()),
+            'r' => out.push_str(&value.repr()),
+            'f' => {
+                let f = match value {
+                    Value::Int(i) => *i as f64,
+                    Value::Float(f) => *f,
+                    Value::Bool(b) => *b as i64 as f64,
+                    other => {
+                        return Err(err(
+                            ErrorKind::Type,
+                            format!("%f format: a number is required, not {}", other.type_name()),
+                        ))
+                    }
+                };
+                out.push_str(&format!("{:.*}", precision.unwrap_or(6), f));
+            }
+            other => {
+                return Err(err(
+                    ErrorKind::Value,
+                    format!("unsupported format character '{other}'"),
+                ))
+            }
+        }
+    }
+    if next < values.len() {
+        return Err(err(
+            ErrorKind::Type,
+            "not all arguments converted during string formatting",
+        ));
+    }
+    Ok(Value::str(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Interp {
+        let mut interp = Interp::new();
+        interp.eval_module(src).unwrap();
+        interp
+    }
+
+    fn g(i: &Interp, name: &str) -> Value {
+        i.get_global(name).unwrap()
+    }
+
+    #[test]
+    fn list_methods() {
+        let i = run("l = [3, 1]\nl.append(2)\nl.sort()\nl.reverse()\np = l.pop()\nc = l.count(3)\nix = l.index(2)\n");
+        assert_eq!(g(&i, "p"), Value::Int(1));
+        assert_eq!(g(&i, "c"), Value::Int(1));
+        assert_eq!(g(&i, "ix"), Value::Int(1));
+        assert_eq!(g(&i, "l"), Value::list(vec![Value::Int(3), Value::Int(2)]));
+    }
+
+    #[test]
+    fn list_extend_insert_remove() {
+        let i = run("l = [1]\nl.extend([2, 3])\nl.insert(0, 0)\nl.remove(2)\n");
+        assert_eq!(
+            g(&i, "l"),
+            Value::list(vec![Value::Int(0), Value::Int(1), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn dict_methods() {
+        let i = run("d = {'a': 1, 'b': 2}\nks = d.keys()\nvs = d.values()\nit = d.items()\ng1 = d.get('a')\ng2 = d.get('z', 99)\np = d.pop('a')\n");
+        assert_eq!(g(&i, "g1"), Value::Int(1));
+        assert_eq!(g(&i, "g2"), Value::Int(99));
+        assert_eq!(g(&i, "p"), Value::Int(1));
+        assert_eq!(
+            g(&i, "ks"),
+            Value::list(vec![Value::str("a"), Value::str("b")])
+        );
+        let i2 = run("d = {'a': 1}\nd.update({'b': 2})\nn = len(d)\n");
+        assert_eq!(g(&i2, "n"), Value::Int(2));
+    }
+
+    #[test]
+    fn dict_pop_missing_errors_without_default() {
+        let mut i = Interp::new();
+        let e = i.eval_module("d = {}\nd.pop('x')\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Key);
+    }
+
+    #[test]
+    fn str_methods() {
+        let i = run("s = '  a,b,c  '\nt = s.strip()\nparts = t.split(',')\nj = '-'.join(parts)\nu = 'ab'.upper()\nr = 'aXa'.replace('X', 'b')\nw = 'one two'.split()\n");
+        assert_eq!(g(&i, "t"), Value::str("a,b,c"));
+        assert_eq!(g(&i, "j"), Value::str("a-b-c"));
+        assert_eq!(g(&i, "u"), Value::str("AB"));
+        assert_eq!(g(&i, "r"), Value::str("aba"));
+        assert_eq!(
+            g(&i, "w"),
+            Value::list(vec![Value::str("one"), Value::str("two")])
+        );
+    }
+
+    #[test]
+    fn str_predicates() {
+        let i = run("a = 'select'.startswith('sel')\nb = 'file.csv'.endswith('.csv')\nc = '123'.isdigit()\nd = 'ab1'.isdigit()\nf = 'hello'.find('ll')\nn = 'hello'.find('zz')\n");
+        assert_eq!(g(&i, "a"), Value::Bool(true));
+        assert_eq!(g(&i, "b"), Value::Bool(true));
+        assert_eq!(g(&i, "c"), Value::Bool(true));
+        assert_eq!(g(&i, "d"), Value::Bool(false));
+        assert_eq!(g(&i, "f"), Value::Int(2));
+        assert_eq!(g(&i, "n"), Value::Int(-1));
+    }
+
+    #[test]
+    fn percent_format_basics() {
+        let i = run("a = 'x=%d' % 42\nb = '%s and %s' % ('a', 'b')\nc = 'pi=%.2f' % 3.14159\nd = '100%%' % ()\ne = '%r' % 'quoted'\n");
+        assert_eq!(g(&i, "a"), Value::str("x=42"));
+        assert_eq!(g(&i, "b"), Value::str("a and b"));
+        assert_eq!(g(&i, "c"), Value::str("pi=3.14"));
+        assert_eq!(g(&i, "d"), Value::str("100%"));
+        assert_eq!(g(&i, "e"), Value::str("'quoted'"));
+    }
+
+    #[test]
+    fn percent_format_argument_count_errors() {
+        let mut i = Interp::new();
+        assert!(i.eval_module("'%d %d' % 1\n").is_err());
+        let mut i = Interp::new();
+        assert!(i.eval_module("'%d' % (1, 2)\n").is_err());
+    }
+
+    #[test]
+    fn percent_format_listing3_query() {
+        // The exact pattern from paper Listing 3.
+        let i = run("estimator = 32\nq = \"\"\"\n    SELECT *\n    FROM train_rnforest(\n        (SELECT data, labels\n        FROM trainingset), %d);\n\"\"\" % estimator\n");
+        let q = g(&i, "q").py_str();
+        assert!(q.contains("train_rnforest"));
+        assert!(q.contains("32);"));
+    }
+
+    #[test]
+    fn array_methods() {
+        let mut i = Interp::new();
+        i.set_global(
+            "a",
+            Value::array(crate::value::Array::Int(vec![1, 2, 3, 4])),
+        );
+        i.eval_module("s = a.sum()\nm = a.mean()\nl = a.tolist()\n").unwrap();
+        assert_eq!(g(&i, "s"), Value::Int(10));
+        assert_eq!(g(&i, "m"), Value::Float(2.5));
+        assert_eq!(i.value_len(&g(&i, "l"), 0).unwrap(), 4);
+    }
+
+    #[test]
+    fn unknown_method_is_attribute_error() {
+        let mut i = Interp::new();
+        let e = i.eval_module("[].frobnicate()\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Attribute);
+    }
+}

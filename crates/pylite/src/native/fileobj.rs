@@ -1,0 +1,294 @@
+//! File objects returned by `open()`, backed by the virtual filesystem.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::{ErrorKind, PyError};
+use crate::fs::FsProvider;
+use crate::interp::Interp;
+use crate::native::{type_err, value_err};
+use crate::value::{NativeObject, Value};
+
+/// An open file handle.
+pub struct FileObj {
+    path: String,
+    binary: bool,
+    writable: bool,
+    /// Full contents for readers; accumulating buffer for writers.
+    content: RefCell<Vec<u8>>,
+    /// Read cursor (byte offset).
+    pos: RefCell<usize>,
+    closed: RefCell<bool>,
+    fs: Rc<dyn FsProvider>,
+}
+
+impl FileObj {
+    /// Open `path` in `mode` (`r`, `rb`, `w`, `wb`, `a`, `ab`).
+    pub fn open(interp: &mut Interp, path: &str, mode: &str) -> Result<Value, PyError> {
+        let binary = mode.contains('b');
+        let writable = mode.contains('w') || mode.contains('a');
+        let readable = mode.contains('r') || !writable;
+        let fs = interp.fs.clone();
+        let content = if readable {
+            fs.read(path)
+                .map_err(|e| PyError::new(ErrorKind::Io, e))?
+        } else if mode.contains('a') && fs.exists(path) {
+            fs.read(path).map_err(|e| PyError::new(ErrorKind::Io, e))?
+        } else {
+            Vec::new()
+        };
+        Ok(Value::Native(Rc::new(FileObj {
+            path: path.to_string(),
+            binary,
+            writable,
+            content: RefCell::new(content),
+            pos: RefCell::new(0),
+            closed: RefCell::new(false),
+            fs,
+        })))
+    }
+
+    fn check_open(&self) -> Result<(), PyError> {
+        if *self.closed.borrow() {
+            return Err(value_err("I/O operation on closed file"));
+        }
+        Ok(())
+    }
+
+    fn rest(&self) -> Vec<u8> {
+        let content = self.content.borrow();
+        let mut pos = self.pos.borrow_mut();
+        let out = content[*pos..].to_vec();
+        *pos = content.len();
+        out
+    }
+
+    fn as_text(&self, bytes: Vec<u8>) -> Result<Value, PyError> {
+        if self.binary {
+            Ok(Value::bytes(bytes))
+        } else {
+            String::from_utf8(bytes)
+                .map(Value::str)
+                .map_err(|_| value_err("file is not valid UTF-8; open it in binary mode"))
+        }
+    }
+
+    fn flush_to_fs(&self) -> Result<(), PyError> {
+        if self.writable {
+            self.fs
+                .write(&self.path, &self.content.borrow())
+                .map_err(|e| PyError::new(ErrorKind::Io, e))?;
+        }
+        Ok(())
+    }
+
+    /// Lines of the file, each including its trailing newline (CPython
+    /// iteration semantics).
+    fn lines(&self) -> Vec<Value> {
+        let content = self.content.borrow();
+        let text = String::from_utf8_lossy(&content);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let bytes = text.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                out.push(Value::str(&text[start..=i]));
+                start = i + 1;
+            }
+        }
+        if start < text.len() {
+            out.push(Value::str(&text[start..]));
+        }
+        out
+    }
+}
+
+impl NativeObject for FileObj {
+    fn type_name(&self) -> &'static str {
+        "file"
+    }
+
+    fn repr(&self) -> String {
+        format!(
+            "<{} file '{}'>",
+            if *self.closed.borrow() { "closed" } else { "open" },
+            self.path
+        )
+    }
+
+    fn iterate(&self) -> Option<Vec<Value>> {
+        Some(self.lines())
+    }
+
+    fn call_method(
+        &self,
+        name: &str,
+        _interp: &mut Interp,
+        args: &[Value],
+        _kwargs: &[(String, Value)],
+    ) -> Result<Value, PyError> {
+        match name {
+            "read" => {
+                self.check_open()?;
+                self.as_text(self.rest())
+            }
+            "readline" => {
+                self.check_open()?;
+                let content = self.content.borrow();
+                let mut pos = self.pos.borrow_mut();
+                let rest = &content[*pos..];
+                let end = rest
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map(|i| i + 1)
+                    .unwrap_or(rest.len());
+                let line = rest[..end].to_vec();
+                *pos += end;
+                drop(content);
+                self.as_text(line)
+            }
+            "readlines" => {
+                self.check_open()?;
+                Ok(Value::list(self.lines()))
+            }
+            "write" => {
+                self.check_open()?;
+                if !self.writable {
+                    return Err(value_err("file not open for writing"));
+                }
+                let bytes = match args.first() {
+                    Some(Value::Str(s)) => s.as_bytes().to_vec(),
+                    Some(Value::Bytes(b)) => b.to_vec(),
+                    Some(other) => {
+                        return Err(type_err(format!(
+                            "write() argument must be str or bytes, not '{}'",
+                            other.type_name()
+                        )))
+                    }
+                    None => return Err(type_err("write() missing argument")),
+                };
+                let n = bytes.len();
+                self.content.borrow_mut().extend_from_slice(&bytes);
+                self.flush_to_fs()?;
+                Ok(Value::Int(n as i64))
+            }
+            "close" => {
+                if !*self.closed.borrow() {
+                    self.flush_to_fs()?;
+                    *self.closed.borrow_mut() = true;
+                }
+                Ok(Value::None)
+            }
+            "flush" => {
+                self.check_open()?;
+                self.flush_to_fs()?;
+                Ok(Value::None)
+            }
+            other => Err(PyError::new(
+                ErrorKind::Attribute,
+                format!("'file' object has no method '{other}'"),
+            )),
+        }
+    }
+
+    fn get_attr(&self, name: &str) -> Option<Value> {
+        match name {
+            "name" => Some(Value::str(self.path.clone())),
+            "closed" => Some(Value::Bool(*self.closed.borrow())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+
+    fn interp_with(files: &[(&str, &str)]) -> Interp {
+        Interp::with_fs(Rc::new(MemFs::with_files(files)))
+    }
+
+    #[test]
+    fn read_text_file() {
+        let mut i = interp_with(&[("a.txt", "hello\nworld\n")]);
+        i.eval_module("f = open('a.txt')\ncontent = f.read()\nf.close()\n")
+            .unwrap();
+        assert_eq!(i.get_global("content").unwrap(), Value::str("hello\nworld\n"));
+    }
+
+    #[test]
+    fn read_binary_file() {
+        let mut i = interp_with(&[("b.bin", "xyz")]);
+        i.eval_module("f = open('b.bin', 'rb')\ndata = f.read()\n").unwrap();
+        assert_eq!(
+            i.get_global("data").unwrap(),
+            Value::bytes(b"xyz".to_vec())
+        );
+    }
+
+    #[test]
+    fn iterate_lines_like_listing5() {
+        let mut i = interp_with(&[("nums.csv", "1\n2\n3\n")]);
+        i.eval_module(
+            "result = []\nfile = open('nums.csv', 'r')\nfor line in file:\n    result.append(int(line))\n",
+        )
+        .unwrap();
+        assert_eq!(
+            i.get_global("result").unwrap(),
+            Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn last_line_without_newline_still_yields() {
+        let mut i = interp_with(&[("f.txt", "a\nb")]);
+        i.eval_module("lines = open('f.txt').readlines()\nn = len(lines)\n")
+            .unwrap();
+        assert_eq!(i.get_global("n").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn readline_advances() {
+        let mut i = interp_with(&[("f.txt", "one\ntwo\n")]);
+        i.eval_module("f = open('f.txt')\na = f.readline()\nb = f.readline()\nc = f.readline()\n")
+            .unwrap();
+        assert_eq!(i.get_global("a").unwrap(), Value::str("one\n"));
+        assert_eq!(i.get_global("b").unwrap(), Value::str("two\n"));
+        assert_eq!(i.get_global("c").unwrap(), Value::str(""));
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let fs = Rc::new(MemFs::new());
+        let mut i = Interp::with_fs(fs.clone());
+        i.eval_module("f = open('out.txt', 'w')\nf.write('data')\nf.close()\n")
+            .unwrap();
+        assert_eq!(fs.read("out.txt").unwrap(), b"data");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut i = interp_with(&[]);
+        let e = i.eval_module("open('ghost.txt')\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Io);
+    }
+
+    #[test]
+    fn closed_file_rejects_reads() {
+        let mut i = interp_with(&[("a.txt", "x")]);
+        let e = i
+            .eval_module("f = open('a.txt')\nf.close()\nf.read()\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Value);
+    }
+
+    #[test]
+    fn write_to_readonly_rejected() {
+        let mut i = interp_with(&[("a.txt", "x")]);
+        let e = i
+            .eval_module("f = open('a.txt', 'r')\nf.write('y')\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Value);
+    }
+}

@@ -1,0 +1,437 @@
+//! A real (miniature) random-forest classifier.
+//!
+//! Paper Listings 1 and 3 train a scikit-learn `RandomForestClassifier`
+//! inside a UDF and search for the best `n_estimators`. To reproduce that
+//! experiment faithfully the substitute must actually *learn* — accuracy has
+//! to depend on the data and (noisily, monotonically-ish) on the number of
+//! trees — so this module implements bagged CART-style decision trees with
+//! gini-impurity splits and majority voting, plus a compact binary
+//! serialization so classifiers can travel through `pickle` like the paper's
+//! do.
+
+use codecs::varint::{read_u64, write_u64};
+
+/// One node of a decision tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf(i64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forest {
+    pub n_estimators: usize,
+    trees: Vec<Node>,
+}
+
+/// Deterministic xorshift64* generator (no external dependency so the
+/// serialized model is stable across platforms).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(if seed == 0 { 0x9e3779b97f4a7c15 } else { seed })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+const MAX_DEPTH: usize = 4;
+const MIN_SPLIT: usize = 4;
+const THRESHOLD_CANDIDATES: usize = 8;
+
+fn gini(labels: &[i64], indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let mut counts: Vec<(i64, usize)> = Vec::new();
+    for &i in indices {
+        match counts.iter_mut().find(|(l, _)| *l == labels[i]) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((labels[i], 1)),
+        }
+    }
+    let n = indices.len() as f64;
+    1.0 - counts
+        .iter()
+        .map(|(_, c)| {
+            let p = *c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(labels: &[i64], indices: &[usize]) -> i64 {
+    let mut counts: Vec<(i64, usize)> = Vec::new();
+    for &i in indices {
+        match counts.iter_mut().find(|(l, _)| *l == labels[i]) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((labels[i], 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(l, _)| l)
+        .unwrap_or(0)
+}
+
+fn build_tree(
+    features: &[Vec<f64>],
+    labels: &[i64],
+    indices: &[usize],
+    depth: usize,
+    rng: &mut Rng,
+) -> Node {
+    let impurity = gini(labels, indices);
+    if depth >= MAX_DEPTH || indices.len() < MIN_SPLIT || impurity < 1e-9 {
+        return Node::Leaf(majority(labels, indices));
+    }
+    let n_features = features[0].len();
+    // Random feature subset of size ~sqrt(k), at least 1.
+    let subset = ((n_features as f64).sqrt().ceil() as usize).max(1);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    for _ in 0..subset {
+        let f = rng.below(n_features);
+        for _ in 0..THRESHOLD_CANDIDATES {
+            let pivot = features[indices[rng.below(indices.len())]][f];
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| features[i][f] <= pivot);
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let n = indices.len() as f64;
+            let score = (left.len() as f64 / n) * gini(labels, &left)
+                + (right.len() as f64 / n) * gini(labels, &right);
+            if best.map(|(_, _, s)| score < s).unwrap_or(true) {
+                best = Some((f, pivot, score));
+            }
+        }
+    }
+    let Some((feature, threshold, score)) = best else {
+        return Node::Leaf(majority(labels, indices));
+    };
+    if score >= impurity - 1e-12 {
+        return Node::Leaf(majority(labels, indices));
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| features[i][feature] <= threshold);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build_tree(features, labels, &left_idx, depth + 1, rng)),
+        right: Box::new(build_tree(features, labels, &right_idx, depth + 1, rng)),
+    }
+}
+
+impl Forest {
+    /// Train a forest of `n_estimators` bagged trees.
+    ///
+    /// `features` is row-major (`n_rows × n_features`), `labels` one class
+    /// label per row. `seed` makes training deterministic.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[i64],
+        n_estimators: usize,
+        seed: u64,
+    ) -> Result<Forest, String> {
+        if features.is_empty() {
+            return Err("fit() requires at least one sample".to_string());
+        }
+        if features.len() != labels.len() {
+            return Err(format!(
+                "feature rows ({}) != labels ({})",
+                features.len(),
+                labels.len()
+            ));
+        }
+        let width = features[0].len();
+        if width == 0 {
+            return Err("fit() requires at least one feature".to_string());
+        }
+        if features.iter().any(|r| r.len() != width) {
+            return Err("ragged feature matrix".to_string());
+        }
+        if n_estimators == 0 {
+            return Err("n_estimators must be positive".to_string());
+        }
+        let mut trees = Vec::with_capacity(n_estimators);
+        for t in 0..n_estimators {
+            let mut rng = Rng::new(seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ 0xabcd);
+            // Bootstrap sample (with replacement).
+            let indices: Vec<usize> = (0..features.len())
+                .map(|_| rng.below(features.len()))
+                .collect();
+            trees.push(build_tree(features, labels, &indices, 0, &mut rng));
+        }
+        Ok(Forest {
+            n_estimators,
+            trees,
+        })
+    }
+
+    /// Predict the class of one row by majority vote.
+    pub fn predict_row(&self, row: &[f64]) -> i64 {
+        let mut votes: Vec<(i64, usize)> = Vec::new();
+        for tree in &self.trees {
+            let label = Self::walk(tree, row);
+            match votes.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, c)) => *c += 1,
+                None => votes.push((label, 1)),
+            }
+        }
+        votes
+            .into_iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|(l, _)| l)
+            .unwrap_or(0)
+    }
+
+    /// Predict a batch of rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<i64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Fraction of `rows` classified as `labels`.
+    pub fn accuracy(&self, rows: &[Vec<f64>], labels: &[i64]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let correct = rows
+            .iter()
+            .zip(labels)
+            .filter(|(r, l)| self.predict_row(r) == **l)
+            .count();
+        correct as f64 / rows.len() as f64
+    }
+
+    fn walk(node: &Node, row: &[f64]) -> i64 {
+        match node {
+            Node::Leaf(l) => *l,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let v = row.get(*feature).copied().unwrap_or(0.0);
+                if v <= *threshold {
+                    Self::walk(left, row)
+                } else {
+                    Self::walk(right, row)
+                }
+            }
+        }
+    }
+
+    /// Serialize to bytes (for `pickle`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_u64(&mut out, self.n_estimators as u64);
+        write_u64(&mut out, self.trees.len() as u64);
+        for tree in &self.trees {
+            Self::write_node(&mut out, tree);
+        }
+        out
+    }
+
+    fn write_node(out: &mut Vec<u8>, node: &Node) {
+        match node {
+            Node::Leaf(l) => {
+                out.push(0);
+                let zig = ((l << 1) ^ (l >> 63)) as u64;
+                write_u64(out, zig);
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                out.push(1);
+                write_u64(out, *feature as u64);
+                out.extend_from_slice(&threshold.to_le_bytes());
+                Self::write_node(out, left);
+                Self::write_node(out, right);
+            }
+        }
+    }
+
+    /// Deserialize bytes produced by [`Forest::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Forest, String> {
+        let mut cursor = 0usize;
+        let n_estimators = Self::read_varint(data, &mut cursor)? as usize;
+        let n_trees = Self::read_varint(data, &mut cursor)? as usize;
+        if n_trees > 1 << 20 {
+            return Err("implausible tree count".to_string());
+        }
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            trees.push(Self::read_node(data, &mut cursor, 0)?);
+        }
+        if cursor != data.len() {
+            return Err("trailing bytes in forest payload".to_string());
+        }
+        Ok(Forest {
+            n_estimators,
+            trees,
+        })
+    }
+
+    fn read_varint(data: &[u8], cursor: &mut usize) -> Result<u64, String> {
+        let (v, used) = read_u64(&data[(*cursor).min(data.len())..])
+            .map_err(|e| format!("bad varint: {e}"))?;
+        *cursor += used;
+        Ok(v)
+    }
+
+    fn read_node(data: &[u8], cursor: &mut usize, depth: usize) -> Result<Node, String> {
+        if depth > 64 {
+            return Err("tree too deep".to_string());
+        }
+        let tag = *data.get(*cursor).ok_or("truncated forest payload")?;
+        *cursor += 1;
+        match tag {
+            0 => {
+                let zig = Self::read_varint(data, cursor)?;
+                let label = ((zig >> 1) as i64) ^ -((zig & 1) as i64);
+                Ok(Node::Leaf(label))
+            }
+            1 => {
+                let feature = Self::read_varint(data, cursor)? as usize;
+                if *cursor + 8 > data.len() {
+                    return Err("truncated threshold".to_string());
+                }
+                let threshold =
+                    f64::from_le_bytes(data[*cursor..*cursor + 8].try_into().expect("8 bytes"));
+                *cursor += 8;
+                let left = Self::read_node(data, cursor, depth + 1)?;
+                let right = Self::read_node(data, cursor, depth + 1)?;
+                Ok(Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            other => Err(format!("unknown node tag {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// label = 1 iff x > 5, single feature 0..10.
+    fn threshold_data(n: usize) -> (Vec<Vec<f64>>, Vec<i64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 11) as f64]).collect();
+        let labels: Vec<i64> = rows.iter().map(|r| (r[0] > 5.0) as i64).collect();
+        (rows, labels)
+    }
+
+    /// label = 1 iff x + y > 10, two features.
+    fn diagonal_data(n: usize) -> (Vec<Vec<f64>>, Vec<i64>) {
+        let mut rng = Rng::new(42);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.below(11) as f64, rng.below(11) as f64])
+            .collect();
+        let labels: Vec<i64> = rows.iter().map(|r| (r[0] + r[1] > 10.0) as i64).collect();
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_simple_threshold_perfectly() {
+        let (rows, labels) = threshold_data(200);
+        let f = Forest::fit(&rows, &labels, 8, 1).unwrap();
+        assert!(f.accuracy(&rows, &labels) > 0.99);
+    }
+
+    #[test]
+    fn learns_two_feature_boundary_reasonably() {
+        let (rows, labels) = diagonal_data(400);
+        let f = Forest::fit(&rows, &labels, 16, 1).unwrap();
+        let acc = f.accuracy(&rows, &labels);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt_much() {
+        let (rows, labels) = diagonal_data(300);
+        let small = Forest::fit(&rows, &labels, 1, 7).unwrap().accuracy(&rows, &labels);
+        let large = Forest::fit(&rows, &labels, 32, 7).unwrap().accuracy(&rows, &labels);
+        assert!(
+            large + 0.02 >= small,
+            "32 trees ({large}) should be at least as good as 1 tree ({small})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rows, labels) = diagonal_data(100);
+        let a = Forest::fit(&rows, &labels, 4, 9).unwrap();
+        let b = Forest::fit(&rows, &labels, 4, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (rows, labels) = diagonal_data(100);
+        let a = Forest::fit(&rows, &labels, 4, 1).unwrap();
+        let b = Forest::fit(&rows, &labels, 4, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let (rows, labels) = diagonal_data(150);
+        let f = Forest::fit(&rows, &labels, 8, 3).unwrap();
+        let bytes = f.to_bytes();
+        let back = Forest::from_bytes(&bytes).unwrap();
+        assert_eq!(f, back);
+        assert_eq!(f.predict(&rows), back.predict(&rows));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(Forest::from_bytes(&[]).is_err());
+        assert!(Forest::from_bytes(&[9, 9, 9]).is_err());
+        let (rows, labels) = threshold_data(50);
+        let mut bytes = Forest::fit(&rows, &labels, 2, 1).unwrap().to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Forest::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn fit_input_validation() {
+        assert!(Forest::fit(&[], &[], 4, 1).is_err());
+        assert!(Forest::fit(&[vec![1.0]], &[1, 2], 4, 1).is_err());
+        assert!(Forest::fit(&[vec![1.0], vec![]], &[1, 2], 4, 1).is_err());
+        assert!(Forest::fit(&[vec![1.0]], &[1], 0, 1).is_err());
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels = vec![7i64; 20];
+        let f = Forest::fit(&rows, &labels, 4, 1).unwrap();
+        assert_eq!(f.predict_row(&[3.0]), 7);
+    }
+}

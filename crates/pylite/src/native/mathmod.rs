@@ -1,0 +1,125 @@
+//! The `math` module.
+
+use crate::native::{make_fn, make_module, type_err, value_err};
+use crate::value::Value;
+
+fn as_f64(v: &Value, who: &str) -> Result<f64, crate::error::PyError> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(f) => Ok(*f),
+        Value::Bool(b) => Ok(*b as i64 as f64),
+        other => Err(type_err(format!(
+            "{who}() argument must be a number, not '{}'",
+            other.type_name()
+        ))),
+    }
+}
+
+macro_rules! unary_math {
+    ($name:literal, $f:expr) => {
+        (
+            $name,
+            make_fn($name, move |_interp, args, _kw| {
+                let x = as_f64(
+                    args.first()
+                        .ok_or_else(|| type_err(concat!($name, "() missing argument")))?,
+                    $name,
+                )?;
+                #[allow(clippy::redundant_closure_call)]
+                ($f)(x)
+            }),
+        )
+    };
+}
+
+/// Build the `math` module.
+pub fn module() -> Value {
+    make_module(
+        "math",
+        vec![
+            ("pi", Value::Float(std::f64::consts::PI)),
+            ("e", Value::Float(std::f64::consts::E)),
+            unary_math!("sqrt", |x: f64| {
+                if x < 0.0 {
+                    Err(value_err("math domain error"))
+                } else {
+                    Ok(Value::Float(x.sqrt()))
+                }
+            }),
+            unary_math!("floor", |x: f64| Ok(Value::Int(x.floor() as i64))),
+            unary_math!("ceil", |x: f64| Ok(Value::Int(x.ceil() as i64))),
+            unary_math!("fabs", |x: f64| Ok(Value::Float(x.abs()))),
+            unary_math!("exp", |x: f64| Ok(Value::Float(x.exp()))),
+            unary_math!("log", |x: f64| {
+                if x <= 0.0 {
+                    Err(value_err("math domain error"))
+                } else {
+                    Ok(Value::Float(x.ln()))
+                }
+            }),
+            unary_math!("log2", |x: f64| {
+                if x <= 0.0 {
+                    Err(value_err("math domain error"))
+                } else {
+                    Ok(Value::Float(x.log2()))
+                }
+            }),
+            unary_math!("sin", |x: f64| Ok(Value::Float(x.sin()))),
+            unary_math!("cos", |x: f64| Ok(Value::Float(x.cos()))),
+            (
+                "pow",
+                make_fn("pow", |_interp, args, _kw| {
+                    if args.len() != 2 {
+                        return Err(type_err("pow() takes exactly 2 arguments"));
+                    }
+                    let a = as_f64(&args[0], "pow")?;
+                    let b = as_f64(&args[1], "pow")?;
+                    Ok(Value::Float(a.powf(b)))
+                }),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+    use crate::value::Value;
+
+    #[test]
+    fn math_functions() {
+        let mut i = Interp::new();
+        i.eval_module(
+            "import math\na = math.sqrt(16)\nb = math.floor(2.7)\nc = math.ceil(2.1)\nd = math.fabs(-3.5)\np = math.pi\nq = math.pow(2, 10)\n",
+        )
+        .unwrap();
+        assert_eq!(i.get_global("a").unwrap(), Value::Float(4.0));
+        assert_eq!(i.get_global("b").unwrap(), Value::Int(2));
+        assert_eq!(i.get_global("c").unwrap(), Value::Int(3));
+        assert_eq!(i.get_global("d").unwrap(), Value::Float(3.5));
+        assert_eq!(i.get_global("q").unwrap(), Value::Float(1024.0));
+        match i.get_global("p").unwrap() {
+            Value::Float(f) => assert!((f - std::f64::consts::PI).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sqrt_of_negative_is_domain_error() {
+        let mut i = Interp::new();
+        let e = i.eval_module("import math\nmath.sqrt(-1)\n").unwrap_err();
+        assert_eq!(e.kind, crate::error::ErrorKind::Value);
+    }
+
+    #[test]
+    fn log_domain() {
+        let mut i = Interp::new();
+        assert!(i.eval_module("import math\nmath.log(0)\n").is_err());
+        let mut i = Interp::new();
+        i.eval_module("import math\nx = math.log(math.e)\n").unwrap();
+        match i.get_global("x").unwrap() {
+            Value::Float(f) => assert!((f - 1.0).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The `numpy` module: vectorized helpers over [`Array`].
+//!
+//! MonetDB/Python hands UDFs their input columns as numpy arrays; pylite's
+//! [`Array`] plays that role, and this module provides the handful of numpy
+//! functions the paper's listings and realistic UDFs need.
+
+use crate::native::{make_fn, make_module, type_err, value_err};
+use crate::value::{Array, Value};
+
+fn to_array(interp: &mut crate::interp::Interp, v: &Value) -> Result<Array, crate::error::PyError> {
+    match v {
+        Value::Array(a) => Ok(a.as_ref().clone()),
+        Value::List(_) | Value::Tuple(_) | Value::Range { .. } => {
+            let items = interp.iter_values(v, 0)?;
+            Array::from_values(&items)
+        }
+        Value::Int(i) => Ok(Array::Int(vec![*i])),
+        Value::Float(f) => Ok(Array::Float(vec![*f])),
+        Value::Bool(b) => Ok(Array::Bool(vec![*b])),
+        other => Err(type_err(format!(
+            "cannot convert '{}' to array",
+            other.type_name()
+        ))),
+    }
+}
+
+fn stats(v: &[f64]) -> (f64, f64) {
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// Build the `numpy` module.
+pub fn module() -> Value {
+    make_module(
+        "numpy",
+        vec![
+            (
+                "array",
+                make_fn("array", |interp, args, _kw| {
+                    let v = args
+                        .first()
+                        .ok_or_else(|| type_err("array() missing argument"))?;
+                    Ok(Value::array(to_array(interp, v)?))
+                }),
+            ),
+            (
+                "arange",
+                make_fn("arange", |_interp, args, _kw| {
+                    let get = |v: &Value| match v {
+                        Value::Int(i) => Ok(*i),
+                        other => Err(type_err(format!(
+                            "arange() argument must be int, not '{}'",
+                            other.type_name()
+                        ))),
+                    };
+                    let (start, stop) = match args.len() {
+                        1 => (0, get(&args[0])?),
+                        2 => (get(&args[0])?, get(&args[1])?),
+                        _ => return Err(type_err("arange() takes 1 or 2 arguments")),
+                    };
+                    Ok(Value::array(Array::Int((start..stop).collect())))
+                }),
+            ),
+            (
+                "zeros",
+                make_fn("zeros", |_interp, args, _kw| {
+                    let Some(Value::Int(n)) = args.first() else {
+                        return Err(type_err("zeros() size must be int"));
+                    };
+                    Ok(Value::array(Array::Float(vec![0.0; (*n).max(0) as usize])))
+                }),
+            ),
+            (
+                "ones",
+                make_fn("ones", |_interp, args, _kw| {
+                    let Some(Value::Int(n)) = args.first() else {
+                        return Err(type_err("ones() size must be int"));
+                    };
+                    Ok(Value::array(Array::Float(vec![1.0; (*n).max(0) as usize])))
+                }),
+            ),
+            (
+                "sum",
+                make_fn("sum", |interp, args, _kw| {
+                    let a = to_array(
+                        interp,
+                        args.first().ok_or_else(|| type_err("sum() missing argument"))?,
+                    )?;
+                    Ok(match a {
+                        Array::Int(v) => Value::Int(v.iter().sum()),
+                        Array::Float(v) => Value::Float(v.iter().sum()),
+                        Array::Bool(v) => Value::Int(v.iter().filter(|b| **b).count() as i64),
+                        Array::Str(_) => return Err(type_err("cannot sum string array")),
+                    })
+                }),
+            ),
+            (
+                "mean",
+                make_fn("mean", |interp, args, _kw| {
+                    let a = to_array(
+                        interp,
+                        args.first().ok_or_else(|| type_err("mean() missing argument"))?,
+                    )?;
+                    let v = a.as_f64()?;
+                    if v.is_empty() {
+                        return Err(value_err("mean of empty array"));
+                    }
+                    Ok(Value::Float(v.iter().sum::<f64>() / v.len() as f64))
+                }),
+            ),
+            (
+                "median",
+                make_fn("median", |interp, args, _kw| {
+                    let a = to_array(
+                        interp,
+                        args.first().ok_or_else(|| type_err("median() missing argument"))?,
+                    )?;
+                    let mut v = a.as_f64()?;
+                    if v.is_empty() {
+                        return Err(value_err("median of empty array"));
+                    }
+                    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    let mid = v.len() / 2;
+                    Ok(Value::Float(if v.len() % 2 == 1 {
+                        v[mid]
+                    } else {
+                        (v[mid - 1] + v[mid]) / 2.0
+                    }))
+                }),
+            ),
+            (
+                "std",
+                make_fn("std", |interp, args, _kw| {
+                    let a = to_array(
+                        interp,
+                        args.first().ok_or_else(|| type_err("std() missing argument"))?,
+                    )?;
+                    let v = a.as_f64()?;
+                    if v.is_empty() {
+                        return Err(value_err("std of empty array"));
+                    }
+                    Ok(Value::Float(stats(&v).1.sqrt()))
+                }),
+            ),
+            (
+                "absolute",
+                make_fn("absolute", |interp, args, _kw| {
+                    let a = to_array(
+                        interp,
+                        args.first()
+                            .ok_or_else(|| type_err("absolute() missing argument"))?,
+                    )?;
+                    Ok(Value::array(match a {
+                        Array::Int(v) => Array::Int(v.iter().map(|x| x.abs()).collect()),
+                        Array::Float(v) => Array::Float(v.iter().map(|x| x.abs()).collect()),
+                        other => other,
+                    }))
+                }),
+            ),
+            (
+                "sqrt",
+                make_fn("sqrt", |interp, args, _kw| {
+                    let a = to_array(
+                        interp,
+                        args.first().ok_or_else(|| type_err("sqrt() missing argument"))?,
+                    )?;
+                    let v = a.as_f64()?;
+                    Ok(Value::array(Array::Float(
+                        v.iter().map(|x| x.sqrt()).collect(),
+                    )))
+                }),
+            ),
+            (
+                "concatenate",
+                make_fn("concatenate", |interp, args, _kw| {
+                    let parts = interp.iter_values(
+                        args.first()
+                            .ok_or_else(|| type_err("concatenate() missing argument"))?,
+                        0,
+                    )?;
+                    let mut all = Vec::new();
+                    for p in &parts {
+                        let a = to_array(interp, p)?;
+                        for i in 0..a.len() {
+                            all.push(a.get(i));
+                        }
+                    }
+                    Ok(Value::array(Array::from_values(&all)?))
+                }),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+    use crate::value::{Array, Value};
+
+    fn g(i: &Interp, n: &str) -> Value {
+        i.get_global(n).unwrap()
+    }
+
+    #[test]
+    fn array_construction_and_aggregates() {
+        let mut i = Interp::new();
+        i.eval_module(
+            "import numpy\na = numpy.array([1, 2, 3, 4])\ns = numpy.sum(a)\nm = numpy.mean(a)\nmd = numpy.median(a)\n",
+        )
+        .unwrap();
+        assert_eq!(g(&i, "s"), Value::Int(10));
+        assert_eq!(g(&i, "m"), Value::Float(2.5));
+        assert_eq!(g(&i, "md"), Value::Float(2.5));
+    }
+
+    #[test]
+    fn absolute_fixes_scenario_a() {
+        // numpy.absolute is the fix for the Listing 4 bug.
+        let mut i = Interp::new();
+        i.set_global("col", Value::array(Array::Int(vec![1, 2, 3, 4, 5])));
+        i.eval_module(
+            "import numpy\nmean = numpy.mean(col)\ndev = numpy.mean(numpy.absolute(col - mean))\n",
+        )
+        .unwrap();
+        assert_eq!(g(&i, "dev"), Value::Float(1.2));
+    }
+
+    #[test]
+    fn sum_over_comparison_counts_matches_listing3() {
+        // `numpy.sum(predictions == labels)` — the accuracy count of Listing 3.
+        let mut i = Interp::new();
+        i.set_global("predictions", Value::array(Array::Int(vec![1, 0, 1, 1])));
+        i.set_global("labels", Value::array(Array::Int(vec![1, 1, 1, 0])));
+        i.eval_module("import numpy\ncorrect = numpy.sum(predictions == labels)\n")
+            .unwrap();
+        assert_eq!(g(&i, "correct"), Value::Int(2));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut i = Interp::new();
+        i.eval_module("import numpy\na = numpy.median([3, 1, 2])\nb = numpy.median([4, 1, 2, 3])\n")
+            .unwrap();
+        assert_eq!(g(&i, "a"), Value::Float(2.0));
+        assert_eq!(g(&i, "b"), Value::Float(2.5));
+    }
+
+    #[test]
+    fn std_and_sqrt() {
+        let mut i = Interp::new();
+        i.eval_module("import numpy\ns = numpy.std([2, 2, 2])\nr = numpy.sqrt([4, 9])\n")
+            .unwrap();
+        assert_eq!(g(&i, "s"), Value::Float(0.0));
+        assert_eq!(g(&i, "r"), Value::array(Array::Float(vec![2.0, 3.0])));
+    }
+
+    #[test]
+    fn arange_zeros_ones_concatenate() {
+        let mut i = Interp::new();
+        i.eval_module(
+            "import numpy\na = numpy.arange(3)\nz = numpy.zeros(2)\no = numpy.ones(2)\nc = numpy.concatenate([a, a])\nn = len(c)\n",
+        )
+        .unwrap();
+        assert_eq!(g(&i, "a"), Value::array(Array::Int(vec![0, 1, 2])));
+        assert_eq!(g(&i, "n"), Value::Int(6));
+    }
+
+    #[test]
+    fn empty_mean_errors() {
+        let mut i = Interp::new();
+        assert!(i.eval_module("import numpy\nnumpy.mean([])\n").is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! The `os` module: directory listing and path helpers over the virtual fs.
+
+use crate::native::{make_fn, make_module, type_err};
+use crate::value::Value;
+
+/// Build the `os` module.
+pub fn module() -> Value {
+    make_module(
+        "os",
+        vec![
+            (
+                "listdir",
+                make_fn("listdir", |interp, args, _kw| {
+                    let path = match args.first() {
+                        Some(Value::Str(s)) => s.to_string(),
+                        None => ".".to_string(),
+                        Some(other) => {
+                            return Err(type_err(format!(
+                                "listdir() path must be str, not '{}'",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    let names = interp
+                        .fs
+                        .listdir(&path)
+                        .map_err(|e| crate::error::PyError::new(crate::error::ErrorKind::Io, e))?;
+                    Ok(Value::list(names.into_iter().map(Value::str).collect()))
+                }),
+            ),
+            ("path", path_module()),
+            ("sep", Value::str("/")),
+        ],
+    )
+}
+
+/// Build the `os.path` module.
+pub fn path_module() -> Value {
+    make_module(
+        "os.path",
+        vec![
+            (
+                "join",
+                make_fn("join", |_interp, args, _kw| {
+                    let mut parts = Vec::with_capacity(args.len());
+                    for a in args {
+                        match a {
+                            Value::Str(s) => parts.push(s.to_string()),
+                            other => {
+                                return Err(type_err(format!(
+                                    "join() arguments must be str, not '{}'",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                    let joined = parts
+                        .iter()
+                        .map(|p| p.trim_end_matches('/'))
+                        .filter(|p| !p.is_empty())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    Ok(Value::str(joined))
+                }),
+            ),
+            (
+                "exists",
+                make_fn("exists", |interp, args, _kw| {
+                    let Some(Value::Str(path)) = args.first() else {
+                        return Err(type_err("exists() path must be str"));
+                    };
+                    Ok(Value::Bool(interp.fs.exists(path)))
+                }),
+            ),
+            (
+                "basename",
+                make_fn("basename", |_interp, args, _kw| {
+                    let Some(Value::Str(path)) = args.first() else {
+                        return Err(type_err("basename() path must be str"));
+                    };
+                    Ok(Value::str(
+                        path.rsplit('/').next().unwrap_or_default(),
+                    ))
+                }),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use crate::fs::MemFs;
+    use crate::interp::Interp;
+    use crate::value::Value;
+
+    #[test]
+    fn listdir_from_interpreted_code() {
+        let fs = MemFs::with_files(&[("data/a.csv", "1"), ("data/b.csv", "2")]);
+        let mut i = Interp::with_fs(Rc::new(fs));
+        i.eval_module("import os\nfiles = os.listdir('data')\nn = len(files)\n")
+            .unwrap();
+        assert_eq!(i.get_global("n").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn path_join_and_exists() {
+        let fs = MemFs::with_files(&[("dir/x.txt", "hi")]);
+        let mut i = Interp::with_fs(Rc::new(fs));
+        i.eval_module(
+            "import os\np = os.path.join('dir', 'x.txt')\ne = os.path.exists(p)\nb = os.path.basename(p)\n",
+        )
+        .unwrap();
+        assert_eq!(i.get_global("p").unwrap(), Value::str("dir/x.txt"));
+        assert_eq!(i.get_global("e").unwrap(), Value::Bool(true));
+        assert_eq!(i.get_global("b").unwrap(), Value::str("x.txt"));
+    }
+
+    #[test]
+    fn listdir_missing_dir_raises_ioerror() {
+        let mut i = Interp::new();
+        let e = i
+            .eval_module("import os\nos.listdir('missing')\n")
+            .unwrap_err();
+        assert_eq!(e.kind, crate::error::ErrorKind::Io);
+    }
+
+    #[test]
+    fn import_os_path_directly() {
+        let mut i = Interp::new();
+        i.eval_module("from os.path import join\nj = join('a', 'b')\n")
+            .unwrap();
+        assert_eq!(i.get_global("j").unwrap(), Value::str("a/b"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The `pickle` module exposed to interpreted code.
+
+use crate::native::{make_fn, make_module, type_err};
+use crate::pickle;
+use crate::value::Value;
+
+/// Build the `pickle` module (`dumps`, `loads`, `dump`, `load`).
+pub fn module() -> Value {
+    make_module(
+        "pickle",
+        vec![
+            (
+                "dumps",
+                make_fn("dumps", |_interp, args, _kw| {
+                    let v = args
+                        .first()
+                        .ok_or_else(|| type_err("dumps() missing argument"))?;
+                    Ok(Value::bytes(pickle::dumps(v)?))
+                }),
+            ),
+            (
+                "loads",
+                make_fn("loads", |_interp, args, _kw| match args.first() {
+                    Some(Value::Bytes(b)) => pickle::loads(b),
+                    Some(other) => Err(type_err(format!(
+                        "loads() argument must be bytes, not '{}'",
+                        other.type_name()
+                    ))),
+                    None => Err(type_err("loads() missing argument")),
+                }),
+            ),
+            (
+                "load",
+                make_fn("load", |interp, args, _kw| {
+                    // `pickle.load(open('./input.bin','rb'))` — paper Listing 2.
+                    let file = args
+                        .first()
+                        .ok_or_else(|| type_err("load() missing file argument"))?;
+                    let data = interp.call_method(file, "read", &[], &[], 0)?;
+                    match data {
+                        Value::Bytes(b) => pickle::loads(&b),
+                        Value::Str(s) => pickle::loads(s.as_bytes()),
+                        other => Err(type_err(format!(
+                            "load() file.read() returned '{}'",
+                            other.type_name()
+                        ))),
+                    }
+                }),
+            ),
+            (
+                "dump",
+                make_fn("dump", |interp, args, _kw| {
+                    let (Some(value), Some(file)) = (args.first(), args.get(1)) else {
+                        return Err(type_err("dump() takes (value, file)"));
+                    };
+                    let blob = Value::bytes(pickle::dumps(value)?);
+                    interp.call_method(file, "write", &[blob], &[], 0)?;
+                    Ok(Value::None)
+                }),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use crate::fs::{FsProvider, MemFs};
+    use crate::interp::Interp;
+    use crate::value::Value;
+
+    #[test]
+    fn listing2_load_pattern() {
+        // Reproduce the exact harness lines from paper Listing 2.
+        let fs = Rc::new(MemFs::new());
+        // Server-side: write the input blob.
+        let mut writer = Interp::with_fs(fs.clone());
+        writer
+            .eval_module(
+                "import pickle\nf = open('./input.bin', 'wb')\npickle.dump({'data': [1, 2, 3], 'n_estimators': 10}, f)\nf.close()\n",
+            )
+            .unwrap();
+        assert!(fs.exists("input.bin"));
+        // Client-side: the transformed UDF harness.
+        let mut reader = Interp::with_fs(fs);
+        reader
+            .eval_module(
+                "import pickle\ninput_parameters = pickle.load(open('./input.bin', 'rb'))\nn = input_parameters['n_estimators']\nfirst = input_parameters['data'][0]\n",
+            )
+            .unwrap();
+        assert_eq!(reader.get_global("n").unwrap(), Value::Int(10));
+        assert_eq!(reader.get_global("first").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn dumps_loads_in_code() {
+        let mut i = Interp::new();
+        i.eval_module("import pickle\nb = pickle.dumps([1, 'two', 3.0])\nv = pickle.loads(b)\nok = v[1] == 'two'\n")
+            .unwrap();
+        assert_eq!(i.get_global("ok").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn loads_of_non_bytes_errors() {
+        let mut i = Interp::new();
+        assert!(i.eval_module("import pickle\npickle.loads('text')\n").is_err());
+    }
+}

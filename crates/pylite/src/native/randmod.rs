@@ -1,0 +1,176 @@
+//! The `random` module, driven by the interpreter's deterministic seed.
+//!
+//! Determinism matters for the reproduction: the paper's sampling transfer
+//! option ("a uniform random sample of a size specified by the user", §2.1)
+//! must be replayable in tests and benchmarks.
+
+use crate::native::{make_fn, make_module, type_err, value_err};
+use crate::value::Value;
+
+/// Advance the interpreter's xorshift state and return the next u64.
+pub(crate) fn next_u64(state: &mut u64) -> u64 {
+    // xorshift64*; the zero state is fixed up to a constant.
+    if *state == 0 {
+        *state = 0x9e3779b97f4a7c15;
+    }
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545f4914f6cdd1d)
+}
+
+fn next_f64(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Build the `random` module.
+pub fn module() -> Value {
+    make_module(
+        "random",
+        vec![
+            (
+                "seed",
+                make_fn("seed", |interp, args, _kw| {
+                    match args.first() {
+                        Some(Value::Int(s)) => interp.rng_seed = *s as u64,
+                        Some(other) => {
+                            return Err(type_err(format!(
+                                "seed() argument must be int, not '{}'",
+                                other.type_name()
+                            )))
+                        }
+                        None => interp.rng_seed = 0x5eed_cafe,
+                    }
+                    Ok(Value::None)
+                }),
+            ),
+            (
+                "random",
+                make_fn("random", |interp, _args, _kw| {
+                    Ok(Value::Float(next_f64(&mut interp.rng_seed)))
+                }),
+            ),
+            (
+                "randint",
+                make_fn("randint", |interp, args, _kw| {
+                    let (Some(Value::Int(a)), Some(Value::Int(b))) = (args.first(), args.get(1))
+                    else {
+                        return Err(type_err("randint() takes two int arguments"));
+                    };
+                    if a > b {
+                        return Err(value_err("randint() empty range"));
+                    }
+                    let span = (*b - *a + 1) as u64;
+                    Ok(Value::Int(a + (next_u64(&mut interp.rng_seed) % span) as i64))
+                }),
+            ),
+            (
+                "choice",
+                make_fn("choice", |interp, args, _kw| {
+                    let items = interp.iter_values(
+                        args.first()
+                            .ok_or_else(|| type_err("choice() missing argument"))?,
+                        0,
+                    )?;
+                    if items.is_empty() {
+                        return Err(value_err("choice() on empty sequence"));
+                    }
+                    let i = (next_u64(&mut interp.rng_seed) % items.len() as u64) as usize;
+                    Ok(items[i].clone())
+                }),
+            ),
+            (
+                "sample",
+                make_fn("sample", |interp, args, _kw| {
+                    let items = interp.iter_values(
+                        args.first()
+                            .ok_or_else(|| type_err("sample() missing population"))?,
+                        0,
+                    )?;
+                    let Some(Value::Int(k)) = args.get(1) else {
+                        return Err(type_err("sample() size must be int"));
+                    };
+                    let k = *k;
+                    if k < 0 || k as usize > items.len() {
+                        return Err(value_err("sample larger than population or negative"));
+                    }
+                    // Partial Fisher–Yates.
+                    let mut pool = items;
+                    let mut out = Vec::with_capacity(k as usize);
+                    for _ in 0..k {
+                        let i = (next_u64(&mut interp.rng_seed) % pool.len() as u64) as usize;
+                        out.push(pool.swap_remove(i));
+                    }
+                    Ok(Value::list(out))
+                }),
+            ),
+            (
+                "shuffle",
+                make_fn("shuffle", |interp, args, _kw| {
+                    let Some(Value::List(list)) = args.first() else {
+                        return Err(type_err("shuffle() argument must be a list"));
+                    };
+                    let mut items = list.borrow_mut();
+                    let n = items.len();
+                    for i in (1..n).rev() {
+                        let j = (next_u64(&mut interp.rng_seed) % (i as u64 + 1)) as usize;
+                        items.swap(i, j);
+                    }
+                    Ok(Value::None)
+                }),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+    use crate::value::Value;
+
+    #[test]
+    fn seeded_sequences_are_deterministic() {
+        let run = || {
+            let mut i = Interp::new();
+            i.eval_module("import random\nrandom.seed(7)\nvals = [random.randint(0, 100) for _ in range(5)]\n")
+                .unwrap();
+            i.get_global("vals").unwrap().repr()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn random_in_unit_interval() {
+        let mut i = Interp::new();
+        i.eval_module("import random\nok = True\nfor _ in range(100):\n    r = random.random()\n    ok = ok and 0.0 <= r < 1.0\n")
+            .unwrap();
+        assert_eq!(i.get_global("ok").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn sample_has_requested_size_and_unique_members() {
+        let mut i = Interp::new();
+        i.eval_module("import random\nrandom.seed(1)\ns = random.sample(range(100), 10)\nn = len(s)\nuniq = len(sorted(s)) == 10\n")
+            .unwrap();
+        assert_eq!(i.get_global("n").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn sample_too_large_errors() {
+        let mut i = Interp::new();
+        assert!(i
+            .eval_module("import random\nrandom.sample([1, 2], 5)\n")
+            .is_err());
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut i = Interp::new();
+        i.eval_module("import random\nrandom.seed(3)\nl = list(range(20))\nrandom.shuffle(l)\nsame = l == list(range(20))\ntotal = sum(l)\n")
+            .unwrap();
+        assert_eq!(i.get_global("same").unwrap(), Value::Bool(false));
+        assert_eq!(i.get_global("total").unwrap(), Value::Int(190));
+    }
+}

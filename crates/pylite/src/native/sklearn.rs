@@ -1,0 +1,385 @@
+//! `sklearn.ensemble` with a working `RandomForestClassifier`.
+//!
+//! Reproduces the API surface used by paper Listings 1 and 3:
+//!
+//! ```python
+//! from sklearn.ensemble import RandomForestClassifier
+//! clf = RandomForestClassifier(n)
+//! clf.fit(data, classes)
+//! predictions = clf.predict(tdata)
+//! pickle.dumps(clf)  # and loads
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::PyError;
+use crate::interp::Interp;
+use crate::native::forest::Forest;
+use crate::native::{make_fn, make_module, type_err, value_err};
+use crate::value::{Array, NativeObject, Value};
+
+/// The `sklearn` root module (so `import sklearn.ensemble` works).
+pub fn root_module() -> Value {
+    make_module("sklearn", vec![("ensemble", ensemble_module())])
+}
+
+/// The `sklearn.ensemble` module.
+pub fn ensemble_module() -> Value {
+    make_module(
+        "sklearn.ensemble",
+        vec![(
+            "RandomForestClassifier",
+            make_fn("RandomForestClassifier", |interp, args, kwargs| {
+                let n = match (args.first(), kwargs.iter().find(|(k, _)| k == "n_estimators")) {
+                    (Some(Value::Int(n)), _) | (None, Some((_, Value::Int(n)))) => *n,
+                    (None, None) => 10,
+                    _ => {
+                        return Err(type_err(
+                            "RandomForestClassifier(n_estimators) expects an int",
+                        ))
+                    }
+                };
+                if n <= 0 {
+                    return Err(value_err("n_estimators must be positive"));
+                }
+                Ok(Value::Native(Rc::new(Classifier {
+                    n_estimators: n as usize,
+                    seed: interp.rng_seed,
+                    forest: RefCell::new(None),
+                })))
+            }),
+        )],
+    )
+}
+
+/// Reconstruct a pickled classifier (dispatched from the pickle decoder).
+pub fn unpickle_classifier(payload: &[u8]) -> Result<Value, PyError> {
+    let forest = Forest::from_bytes(payload)
+        .map_err(|e| value_err(format!("corrupt pickled classifier: {e}")))?;
+    Ok(Value::Native(Rc::new(Classifier {
+        n_estimators: forest.n_estimators,
+        seed: 0,
+        forest: RefCell::new(Some(forest)),
+    })))
+}
+
+/// The native classifier object.
+pub struct Classifier {
+    n_estimators: usize,
+    seed: u64,
+    forest: RefCell<Option<Forest>>,
+}
+
+/// Convert a UDF-style value into a row-major feature matrix.
+///
+/// Accepted shapes:
+/// * 1-D array / list of numbers → n rows × 1 feature,
+/// * list/tuple of 1-D arrays (columns) → n rows × k features,
+/// * list of lists/tuples (rows) → as-is.
+fn to_matrix(interp: &mut Interp, v: &Value) -> Result<Vec<Vec<f64>>, PyError> {
+    match v {
+        Value::Array(a) => Ok(a.as_f64()?.into_iter().map(|x| vec![x]).collect()),
+        Value::List(_) | Value::Tuple(_) => {
+            let items = interp.iter_values(v, 0)?;
+            if items.is_empty() {
+                return Ok(Vec::new());
+            }
+            match &items[0] {
+                // Columns of arrays → transpose into rows.
+                Value::Array(_) => {
+                    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(items.len());
+                    for item in &items {
+                        let Value::Array(a) = item else {
+                            return Err(type_err("mixed column types in feature matrix"));
+                        };
+                        cols.push(a.as_f64()?);
+                    }
+                    let n = cols[0].len();
+                    if cols.iter().any(|c| c.len() != n) {
+                        return Err(value_err("feature columns have different lengths"));
+                    }
+                    Ok((0..n)
+                        .map(|row| cols.iter().map(|c| c[row]).collect())
+                        .collect())
+                }
+                // Rows of lists/tuples.
+                Value::List(_) | Value::Tuple(_) => {
+                    let mut rows = Vec::with_capacity(items.len());
+                    for item in &items {
+                        let cells = interp.iter_values(item, 0)?;
+                        let mut row = Vec::with_capacity(cells.len());
+                        for c in cells {
+                            row.push(scalar_f64(&c)?);
+                        }
+                        rows.push(row);
+                    }
+                    Ok(rows)
+                }
+                // Flat list of numbers.
+                _ => {
+                    let mut rows = Vec::with_capacity(items.len());
+                    for item in &items {
+                        rows.push(vec![scalar_f64(item)?]);
+                    }
+                    Ok(rows)
+                }
+            }
+        }
+        other => Err(type_err(format!(
+            "cannot use '{}' as a feature matrix",
+            other.type_name()
+        ))),
+    }
+}
+
+fn scalar_f64(v: &Value) -> Result<f64, PyError> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(f) => Ok(*f),
+        Value::Bool(b) => Ok(*b as i64 as f64),
+        other => Err(type_err(format!(
+            "feature values must be numeric, not '{}'",
+            other.type_name()
+        ))),
+    }
+}
+
+fn to_labels(interp: &mut Interp, v: &Value) -> Result<Vec<i64>, PyError> {
+    let items = match v {
+        Value::Array(a) => return match a.as_ref() {
+            Array::Int(v) => Ok(v.clone()),
+            Array::Bool(v) => Ok(v.iter().map(|b| *b as i64).collect()),
+            Array::Float(v) => Ok(v.iter().map(|f| *f as i64).collect()),
+            Array::Str(_) => Err(type_err("labels must be numeric")),
+        },
+        other => interp.iter_values(other, 0)?,
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(match item {
+            Value::Int(i) => i,
+            Value::Bool(b) => b as i64,
+            Value::Float(f) => f as i64,
+            other => {
+                return Err(type_err(format!(
+                    "labels must be numeric, not '{}'",
+                    other.type_name()
+                )))
+            }
+        });
+    }
+    Ok(out)
+}
+
+impl NativeObject for Classifier {
+    fn type_name(&self) -> &'static str {
+        "RandomForestClassifier"
+    }
+
+    fn repr(&self) -> String {
+        format!(
+            "RandomForestClassifier(n_estimators={}, fitted={})",
+            self.n_estimators,
+            self.forest.borrow().is_some()
+        )
+    }
+
+    fn get_attr(&self, name: &str) -> Option<Value> {
+        match name {
+            "n_estimators" => Some(Value::Int(self.n_estimators as i64)),
+            _ => None,
+        }
+    }
+
+    fn pickle(&self) -> Option<(String, Vec<u8>)> {
+        self.forest
+            .borrow()
+            .as_ref()
+            .map(|f| ("RandomForestClassifier".to_string(), f.to_bytes()))
+    }
+
+    fn call_method(
+        &self,
+        name: &str,
+        interp: &mut Interp,
+        args: &[Value],
+        _kwargs: &[(String, Value)],
+    ) -> Result<Value, PyError> {
+        match name {
+            "fit" => {
+                let (Some(data), Some(classes)) = (args.first(), args.get(1)) else {
+                    return Err(type_err("fit() takes (data, classes)"));
+                };
+                let features = to_matrix(interp, data)?;
+                let labels = to_labels(interp, classes)?;
+                let forest = Forest::fit(&features, &labels, self.n_estimators, self.seed)
+                    .map_err(value_err)?;
+                *self.forest.borrow_mut() = Some(forest);
+                Ok(Value::None)
+            }
+            "predict" => {
+                let Some(data) = args.first() else {
+                    return Err(type_err("predict() takes (data)"));
+                };
+                let rows = to_matrix(interp, data)?;
+                let forest = self.forest.borrow();
+                let Some(forest) = forest.as_ref() else {
+                    return Err(value_err("this classifier is not fitted yet; call fit() first"));
+                };
+                Ok(Value::array(Array::Int(forest.predict(&rows))))
+            }
+            "score" => {
+                let (Some(data), Some(classes)) = (args.first(), args.get(1)) else {
+                    return Err(type_err("score() takes (data, classes)"));
+                };
+                let rows = to_matrix(interp, data)?;
+                let labels = to_labels(interp, classes)?;
+                let forest = self.forest.borrow();
+                let Some(forest) = forest.as_ref() else {
+                    return Err(value_err("this classifier is not fitted yet; call fit() first"));
+                };
+                Ok(Value::Float(forest.accuracy(&rows, &labels)))
+            }
+            other => Err(PyError::new(
+                crate::error::ErrorKind::Attribute,
+                format!("'RandomForestClassifier' object has no method '{other}'"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+    use crate::value::{Array, Value};
+
+    #[test]
+    fn listing1_style_training() {
+        // The stored body of `train_rnforest` from paper Listing 1.
+        let src = "\
+import pickle
+from sklearn.ensemble import RandomForestClassifier
+clf = RandomForestClassifier(n)
+clf.fit(data, classes)
+result = {'clf': pickle.dumps(clf), 'estimators': n}
+";
+        let mut i = Interp::new();
+        i.set_global("n", Value::Int(8));
+        i.set_global(
+            "data",
+            Value::array(Array::Int((0..100).map(|x| x % 11).collect())),
+        );
+        i.set_global(
+            "classes",
+            Value::array(Array::Int((0..100).map(|x| ((x % 11) > 5) as i64).collect())),
+        );
+        i.eval_module(src).unwrap();
+        let result = i.get_global("result").unwrap();
+        let Value::Dict(d) = result else { panic!("expected dict") };
+        assert!(matches!(
+            d.borrow().get(&Value::str("clf")).unwrap().unwrap(),
+            Value::Bytes(_)
+        ));
+    }
+
+    #[test]
+    fn pickle_round_trip_preserves_predictions() {
+        let src = "\
+import pickle
+from sklearn.ensemble import RandomForestClassifier
+clf = RandomForestClassifier(4)
+clf.fit(data, classes)
+blob = pickle.dumps(clf)
+clf2 = pickle.loads(blob)
+p1 = clf.predict(data)
+p2 = clf2.predict(data)
+same = sum(p1 == p2) == len(p1)
+";
+        let mut i = Interp::new();
+        i.set_global(
+            "data",
+            Value::array(Array::Int((0..60).map(|x| x % 7).collect())),
+        );
+        i.set_global(
+            "classes",
+            Value::array(Array::Int((0..60).map(|x| ((x % 7) > 3) as i64).collect())),
+        );
+        i.eval_module(src).unwrap();
+        assert_eq!(i.get_global("same").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut i = Interp::new();
+        let e = i
+            .eval_module(
+                "from sklearn.ensemble import RandomForestClassifier\nclf = RandomForestClassifier(2)\nclf.predict([1, 2])\n",
+            )
+            .unwrap_err();
+        assert!(e.message.contains("not fitted"));
+    }
+
+    #[test]
+    fn accuracy_is_high_on_learnable_data() {
+        let src = "\
+from sklearn.ensemble import RandomForestClassifier
+clf = RandomForestClassifier(16)
+clf.fit(data, classes)
+acc = clf.score(data, classes)
+";
+        let mut i = Interp::new();
+        i.set_global(
+            "data",
+            Value::array(Array::Int((0..200).map(|x| x % 13).collect())),
+        );
+        i.set_global(
+            "classes",
+            Value::array(Array::Int((0..200).map(|x| ((x % 13) > 6) as i64).collect())),
+        );
+        i.eval_module(src).unwrap();
+        match i.get_global("acc").unwrap() {
+            Value::Float(f) => assert!(f > 0.95, "accuracy {f}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_column_features() {
+        // Columns-of-arrays shape, as a two-column SQL input would arrive.
+        let src = "\
+from sklearn.ensemble import RandomForestClassifier
+clf = RandomForestClassifier(8)
+clf.fit([colx, coly], classes)
+acc = clf.score([colx, coly], classes)
+";
+        let mut i = Interp::new();
+        let xs: Vec<i64> = (0..150).map(|v| v % 10).collect();
+        let ys: Vec<i64> = (0..150).map(|v| (v * 7) % 10).collect();
+        let labels: Vec<i64> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| ((x + y) > 9) as i64)
+            .collect();
+        i.set_global("colx", Value::array(Array::Int(xs)));
+        i.set_global("coly", Value::array(Array::Int(ys)));
+        i.set_global("classes", Value::array(Array::Int(labels)));
+        i.eval_module(src).unwrap();
+        match i.get_global("acc").unwrap() {
+            Value::Float(f) => assert!(f > 0.8, "accuracy {f}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_constructor_args() {
+        let mut i = Interp::new();
+        assert!(i
+            .eval_module("from sklearn.ensemble import RandomForestClassifier\nRandomForestClassifier(0)\n")
+            .is_err());
+        let mut i = Interp::new();
+        assert!(i
+            .eval_module("from sklearn.ensemble import RandomForestClassifier\nRandomForestClassifier('x')\n")
+            .is_err());
+    }
+}

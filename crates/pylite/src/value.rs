@@ -1,0 +1,781 @@
+//! Runtime values for the interpreter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::FunctionDef;
+use crate::error::{ErrorKind, PyError};
+
+/// A dynamically typed runtime value.
+///
+/// Reference-typed variants (`List`, `Dict`, …) share their payload via `Rc`,
+/// matching Python's aliasing semantics (`b = a; b.append(1)` mutates `a`).
+#[derive(Clone)]
+pub enum Value {
+    None,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Rc<str>),
+    Bytes(Rc<[u8]>),
+    List(Rc<RefCell<Vec<Value>>>),
+    Tuple(Rc<[Value]>),
+    Dict(Rc<RefCell<Dict>>),
+    /// Columnar numeric/string vector, the UDF input/output type (numpy
+    /// stand-in). See [`Array`].
+    Array(Rc<Array>),
+    /// Lazy integer range produced by `range(...)`.
+    Range { start: i64, stop: i64, step: i64 },
+    Function(Rc<PyFunction>),
+    Builtin(Rc<Builtin>),
+    /// Native (Rust-implemented) object: file handles, `_conn`, classifiers…
+    Native(Rc<dyn NativeObject>),
+    Module(Rc<Module>),
+}
+
+/// A user-defined function with its captured defining environment.
+pub struct PyFunction {
+    pub def: Rc<FunctionDef>,
+    /// Captured enclosing local scopes, innermost last (for closures).
+    pub closure: Vec<Rc<RefCell<HashMap<String, Value>>>>,
+}
+
+/// A Rust-implemented callable.
+pub struct Builtin {
+    pub name: &'static str,
+    #[allow(clippy::type_complexity)]
+    pub func: Box<dyn Fn(&mut crate::interp::Interp, &[Value], &[(String, Value)]) -> Result<Value, PyError>>,
+}
+
+/// A named bag of attributes produced by `import`.
+pub struct Module {
+    pub name: String,
+    pub attrs: RefCell<HashMap<String, Value>>,
+}
+
+/// Trait implemented by native objects exposed to interpreted code.
+pub trait NativeObject {
+    /// Python-style type name (used in error messages and `repr`).
+    fn type_name(&self) -> &'static str;
+
+    /// Invoke a method. The default rejects every method.
+    fn call_method(
+        &self,
+        name: &str,
+        interp: &mut crate::interp::Interp,
+        args: &[Value],
+        kwargs: &[(String, Value)],
+    ) -> Result<Value, PyError> {
+        let _ = (interp, args, kwargs);
+        Err(PyError::new(
+            ErrorKind::Attribute,
+            format!("'{}' object has no method '{}'", self.type_name(), name),
+        ))
+    }
+
+    /// Read an attribute (non-method). The default has none.
+    fn get_attr(&self, name: &str) -> Option<Value> {
+        let _ = name;
+        None
+    }
+
+    /// Values yielded when the object is iterated (`for x in obj`).
+    fn iterate(&self) -> Option<Vec<Value>> {
+        None
+    }
+
+    /// Human-readable representation.
+    fn repr(&self) -> String {
+        format!("<{} object>", self.type_name())
+    }
+
+    /// Serialize for `pickle.dumps`; `None` means unpicklable.
+    fn pickle(&self) -> Option<(String, Vec<u8>)> {
+        None
+    }
+}
+
+/// Insertion-ordered dictionary with Python-style hashable keys.
+#[derive(Default)]
+pub struct Dict {
+    entries: Vec<(Value, Value)>,
+    index: HashMap<DictKey, usize>,
+}
+
+/// Hashable projection of a `Value` usable as a dict key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum DictKey {
+    None,
+    Bool(bool),
+    Int(i64),
+    /// Bit pattern of the float (Python hashes equal int/float the same; we
+    /// normalize integral floats to `Int`).
+    Float(u64),
+    Str(String),
+    Tuple(Vec<DictKey>),
+    Bytes(Vec<u8>),
+}
+
+impl DictKey {
+    /// Project a value to its key form, rejecting unhashable types.
+    pub fn from_value(v: &Value) -> Result<DictKey, PyError> {
+        Ok(match v {
+            Value::None => DictKey::None,
+            Value::Bool(b) => DictKey::Bool(*b),
+            Value::Int(i) => DictKey::Int(*i),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                {
+                    DictKey::Int(*f as i64)
+                } else {
+                    DictKey::Float(f.to_bits())
+                }
+            }
+            Value::Str(s) => DictKey::Str(s.to_string()),
+            Value::Bytes(b) => DictKey::Bytes(b.to_vec()),
+            Value::Tuple(items) => DictKey::Tuple(
+                items
+                    .iter()
+                    .map(DictKey::from_value)
+                    .collect::<Result<_, _>>()?,
+            ),
+            other => {
+                return Err(PyError::new(
+                    ErrorKind::Type,
+                    format!("unhashable type: '{}'", other.type_name()),
+                ))
+            }
+        })
+    }
+}
+
+impl Dict {
+    pub fn new() -> Self {
+        Dict::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, key: &Value) -> Result<Option<Value>, PyError> {
+        let k = DictKey::from_value(key)?;
+        Ok(self.index.get(&k).map(|&i| self.entries[i].1.clone()))
+    }
+
+    pub fn insert(&mut self, key: Value, value: Value) -> Result<(), PyError> {
+        let k = DictKey::from_value(&key)?;
+        if let Some(&i) = self.index.get(&k) {
+            self.entries[i].1 = value;
+        } else {
+            self.index.insert(k, self.entries.len());
+            self.entries.push((key, value));
+        }
+        Ok(())
+    }
+
+    pub fn remove(&mut self, key: &Value) -> Result<Option<Value>, PyError> {
+        let k = DictKey::from_value(key)?;
+        let Some(i) = self.index.remove(&k) else {
+            return Ok(None);
+        };
+        let (_, v) = self.entries.remove(i);
+        // Reindex entries after the removed slot.
+        for (slot, (key, _)) in self.entries.iter().enumerate().skip(i) {
+            let kk = DictKey::from_value(key).expect("stored keys are hashable");
+            self.index.insert(kk, slot);
+        }
+        Ok(Some(v))
+    }
+
+    pub fn contains(&self, key: &Value) -> Result<bool, PyError> {
+        let k = DictKey::from_value(key)?;
+        Ok(self.index.contains_key(&k))
+    }
+
+    pub fn entries(&self) -> &[(Value, Value)] {
+        &self.entries
+    }
+
+    /// Remove every entry.
+    pub fn clear_all(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+    }
+
+    pub fn keys(&self) -> Vec<Value> {
+        self.entries.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    pub fn values(&self) -> Vec<Value> {
+        self.entries.iter().map(|(_, v)| v.clone()).collect()
+    }
+}
+
+/// Typed columnar vector — the stand-in for a numpy array, and the shape in
+/// which MonetDB-style operator-at-a-time execution hands columns to UDFs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Array {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+}
+
+impl Array {
+    pub fn len(&self) -> usize {
+        match self {
+            Array::Int(v) => v.len(),
+            Array::Float(v) => v.len(),
+            Array::Bool(v) => v.len(),
+            Array::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element type name (for errors and reprs).
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            Array::Int(_) => "int64",
+            Array::Float(_) => "float64",
+            Array::Bool(_) => "bool",
+            Array::Str(_) => "str",
+        }
+    }
+
+    /// Fetch element `i` as a scalar value. Caller bounds-checks.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Array::Int(v) => Value::Int(v[i]),
+            Array::Float(v) => Value::Float(v[i]),
+            Array::Bool(v) => Value::Bool(v[i]),
+            Array::Str(v) => Value::Str(Rc::from(v[i].as_str())),
+        }
+    }
+
+    /// Slice `[start, end)` into a new array.
+    pub fn slice(&self, start: usize, end: usize, step: usize) -> Array {
+        fn pick<T: Clone>(v: &[T], start: usize, end: usize, step: usize) -> Vec<T> {
+            v[start.min(v.len())..end.min(v.len())]
+                .iter()
+                .step_by(step.max(1))
+                .cloned()
+                .collect()
+        }
+        match self {
+            Array::Int(v) => Array::Int(pick(v, start, end, step)),
+            Array::Float(v) => Array::Float(pick(v, start, end, step)),
+            Array::Bool(v) => Array::Bool(pick(v, start, end, step)),
+            Array::Str(v) => Array::Str(pick(v, start, end, step)),
+        }
+    }
+
+    /// View as f64s (bools become 0/1); errors on string arrays.
+    pub fn as_f64(&self) -> Result<Vec<f64>, PyError> {
+        Ok(match self {
+            Array::Int(v) => v.iter().map(|&x| x as f64).collect(),
+            Array::Float(v) => v.clone(),
+            Array::Bool(v) => v.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+            Array::Str(_) => {
+                return Err(PyError::new(
+                    ErrorKind::Type,
+                    "cannot convert string array to float",
+                ))
+            }
+        })
+    }
+
+    /// Build the most specific array that holds all `values`.
+    ///
+    /// Int-only → Int; numeric mix → Float; bool-only → Bool; str-only → Str.
+    pub fn from_values(values: &[Value]) -> Result<Array, PyError> {
+        let mut all_int = true;
+        let mut all_bool = true;
+        let mut all_str = true;
+        let mut numeric = true;
+        for v in values {
+            match v {
+                Value::Int(_) => {
+                    all_bool = false;
+                    all_str = false;
+                }
+                Value::Bool(_) => {
+                    all_int = false;
+                    all_str = false;
+                }
+                Value::Float(_) => {
+                    all_int = false;
+                    all_bool = false;
+                    all_str = false;
+                }
+                Value::Str(_) => {
+                    all_int = false;
+                    all_bool = false;
+                    numeric = false;
+                }
+                other => {
+                    return Err(PyError::new(
+                        ErrorKind::Type,
+                        format!("cannot put '{}' into an array", other.type_name()),
+                    ))
+                }
+            }
+        }
+        if values.is_empty() {
+            return Ok(Array::Float(Vec::new()));
+        }
+        if all_bool {
+            return Ok(Array::Bool(
+                values
+                    .iter()
+                    .map(|v| matches!(v, Value::Bool(true)))
+                    .collect(),
+            ));
+        }
+        if all_int {
+            return Ok(Array::Int(
+                values
+                    .iter()
+                    .map(|v| if let Value::Int(i) = v { *i } else { 0 })
+                    .collect(),
+            ));
+        }
+        if all_str {
+            return Ok(Array::Str(
+                values
+                    .iter()
+                    .map(|v| {
+                        if let Value::Str(s) = v {
+                            s.to_string()
+                        } else {
+                            String::new()
+                        }
+                    })
+                    .collect(),
+            ));
+        }
+        if numeric {
+            let mut out = Vec::with_capacity(values.len());
+            for v in values {
+                out.push(match v {
+                    Value::Int(i) => *i as f64,
+                    Value::Float(f) => *f,
+                    Value::Bool(b) => {
+                        if *b {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => unreachable!("numeric flag checked"),
+                });
+            }
+            return Ok(Array::Float(out));
+        }
+        Err(PyError::new(
+            ErrorKind::Type,
+            "mixed string/numeric values cannot form an array",
+        ))
+    }
+}
+
+impl Value {
+    /// Python-style type name.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "NoneType",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::List(_) => "list",
+            Value::Tuple(_) => "tuple",
+            Value::Dict(_) => "dict",
+            Value::Array(_) => "ndarray",
+            Value::Range { .. } => "range",
+            Value::Function(_) => "function",
+            Value::Builtin(_) => "builtin_function_or_method",
+            Value::Native(n) => n.type_name(),
+            Value::Module(_) => "module",
+        }
+    }
+
+    /// Convenience constructors.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    pub fn tuple(items: Vec<Value>) -> Value {
+        Value::Tuple(Rc::from(items))
+    }
+
+    pub fn dict(d: Dict) -> Value {
+        Value::Dict(Rc::new(RefCell::new(d)))
+    }
+
+    pub fn array(a: Array) -> Value {
+        Value::Array(Rc::new(a))
+    }
+
+    pub fn bytes(b: Vec<u8>) -> Value {
+        Value::Bytes(Rc::from(b))
+    }
+
+    /// `True` if the value is the `None` singleton.
+    pub fn is_none_value(&self) -> bool {
+        matches!(self, Value::None)
+    }
+
+    /// Python truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bytes(b) => !b.is_empty(),
+            Value::List(l) => !l.borrow().is_empty(),
+            Value::Tuple(t) => !t.is_empty(),
+            Value::Dict(d) => !d.borrow().is_empty(),
+            Value::Array(a) => !a.is_empty(),
+            Value::Range { start, stop, step } => {
+                if *step > 0 {
+                    start < stop
+                } else {
+                    start > stop
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Structural equality following Python semantics (`1 == 1.0` is true;
+    /// containers compare element-wise; functions compare by identity).
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::None, Value::None) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
+                (*a as i64) == *b
+            }
+            (Value::Bool(a), Value::Float(b)) | (Value::Float(b), Value::Bool(a)) => {
+                (*a as i64 as f64) == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Dict(a), Value::Dict(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let (a, b) = (a.borrow(), b.borrow());
+                if a.len() != b.len() {
+                    return false;
+                }
+                a.entries().iter().all(|(k, v)| {
+                    matches!(b.get(k), Ok(Some(ref bv)) if v.py_eq(bv))
+                })
+            }
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (
+                Value::Range { start, stop, step },
+                Value::Range {
+                    start: s2,
+                    stop: e2,
+                    step: st2,
+                },
+            ) => start == s2 && stop == e2 && step == st2,
+            (Value::Function(a), Value::Function(b)) => Rc::ptr_eq(a, b),
+            (Value::Builtin(a), Value::Builtin(b)) => Rc::ptr_eq(a, b),
+            (Value::Native(a), Value::Native(b)) => Rc::ptr_eq(a, b),
+            (Value::Module(a), Value::Module(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Identity comparison (`is`).
+    pub fn py_is(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::None, Value::None) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::List(a), Value::List(b)) => Rc::ptr_eq(a, b),
+            (Value::Dict(a), Value::Dict(b)) => Rc::ptr_eq(a, b),
+            (Value::Tuple(a), Value::Tuple(b)) => Rc::ptr_eq(a, b),
+            (Value::Str(a), Value::Str(b)) => Rc::ptr_eq(a, b),
+            (Value::Function(a), Value::Function(b)) => Rc::ptr_eq(a, b),
+            (Value::Native(a), Value::Native(b)) => Rc::ptr_eq(a, b),
+            (Value::Int(a), Value::Int(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Python `repr`.
+    pub fn repr(&self) -> String {
+        match self {
+            Value::None => "None".to_string(),
+            Value::Bool(true) => "True".to_string(),
+            Value::Bool(false) => "False".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+            Value::Bytes(b) => format!("b'{}'", escape_bytes(b)),
+            Value::List(l) => {
+                let items: Vec<String> = l.borrow().iter().map(|v| v.repr()).collect();
+                format!("[{}]", items.join(", "))
+            }
+            Value::Tuple(t) => {
+                let items: Vec<String> = t.iter().map(|v| v.repr()).collect();
+                if items.len() == 1 {
+                    format!("({},)", items[0])
+                } else {
+                    format!("({})", items.join(", "))
+                }
+            }
+            Value::Dict(d) => {
+                let items: Vec<String> = d
+                    .borrow()
+                    .entries()
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", k.repr(), v.repr()))
+                    .collect();
+                format!("{{{}}}", items.join(", "))
+            }
+            Value::Array(a) => {
+                let n = a.len();
+                let shown = n.min(8);
+                let mut items = Vec::with_capacity(shown + 1);
+                for i in 0..shown {
+                    items.push(a.get(i).repr());
+                }
+                if n > shown {
+                    items.push("...".to_string());
+                }
+                format!("array([{}], dtype={})", items.join(", "), a.dtype())
+            }
+            Value::Range { start, stop, step } => {
+                if *step == 1 {
+                    format!("range({start}, {stop})")
+                } else {
+                    format!("range({start}, {stop}, {step})")
+                }
+            }
+            Value::Function(f) => format!("<function {}>", f.def.name),
+            Value::Builtin(b) => format!("<built-in function {}>", b.name),
+            Value::Native(n) => n.repr(),
+            Value::Module(m) => format!("<module '{}'>", m.name),
+        }
+    }
+
+    /// Python `str()` — like repr except strings are unquoted.
+    pub fn py_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_string(),
+            other => other.repr(),
+        }
+    }
+}
+
+/// Format a float the way Python's `repr` does for common cases: integral
+/// floats get a trailing `.0`.
+pub fn format_float(f: f64) -> String {
+    if f.is_nan() {
+        return "nan".to_string();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e16 {
+        format!("{f:.1}")
+    } else {
+        let s = format!("{f}");
+        s
+    }
+}
+
+fn escape_bytes(b: &[u8]) -> String {
+    let mut out = String::new();
+    for &c in b {
+        match c {
+            b'\\' => out.push_str("\\\\"),
+            b'\'' => out.push_str("\\'"),
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\r' => out.push_str("\\r"),
+            0x20..=0x7e => out.push(c as char),
+            other => out.push_str(&format!("\\x{other:02x}")),
+        }
+    }
+    out
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.repr())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.py_eq(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(3).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::list(vec![]).truthy());
+        assert!(Value::list(vec![Value::Int(1)]).truthy());
+        assert!(!Value::Range { start: 0, stop: 0, step: 1 }.truthy());
+        assert!(Value::Range { start: 0, stop: 5, step: 1 }.truthy());
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(Value::Int(1).py_eq(&Value::Float(1.0)));
+        assert!(Value::Bool(true).py_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).py_eq(&Value::Float(1.5)));
+    }
+
+    #[test]
+    fn list_aliasing_equality() {
+        let a = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        let b = a.clone();
+        if let (Value::List(x), Value::List(y)) = (&a, &b) {
+            assert!(Rc::ptr_eq(x, y));
+        }
+        assert!(a.py_eq(&b));
+    }
+
+    #[test]
+    fn dict_insert_get_remove_preserves_order() {
+        let mut d = Dict::new();
+        d.insert(Value::str("b"), Value::Int(2)).unwrap();
+        d.insert(Value::str("a"), Value::Int(1)).unwrap();
+        d.insert(Value::str("c"), Value::Int(3)).unwrap();
+        assert_eq!(
+            d.keys().iter().map(|k| k.py_str()).collect::<Vec<_>>(),
+            vec!["b", "a", "c"]
+        );
+        d.remove(&Value::str("a")).unwrap();
+        assert_eq!(
+            d.keys().iter().map(|k| k.py_str()).collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        // Index still consistent after removal.
+        assert_eq!(d.get(&Value::str("c")).unwrap(), Some(Value::Int(3)));
+        assert_eq!(d.get(&Value::str("a")).unwrap(), None);
+    }
+
+    #[test]
+    fn dict_overwrites_existing_key() {
+        let mut d = Dict::new();
+        d.insert(Value::Int(1), Value::str("x")).unwrap();
+        d.insert(Value::Int(1), Value::str("y")).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(&Value::Int(1)).unwrap().unwrap().py_str(), "y");
+    }
+
+    #[test]
+    fn dict_int_float_key_unification() {
+        let mut d = Dict::new();
+        d.insert(Value::Int(1), Value::str("x")).unwrap();
+        assert_eq!(d.get(&Value::Float(1.0)).unwrap().unwrap().py_str(), "x");
+    }
+
+    #[test]
+    fn unhashable_key_rejected() {
+        let mut d = Dict::new();
+        assert!(d.insert(Value::list(vec![]), Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn array_from_values_infers_types() {
+        let a = Array::from_values(&[Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(matches!(a, Array::Int(_)));
+        let a = Array::from_values(&[Value::Int(1), Value::Float(2.5)]).unwrap();
+        assert!(matches!(a, Array::Float(_)));
+        let a = Array::from_values(&[Value::Bool(true), Value::Bool(false)]).unwrap();
+        assert!(matches!(a, Array::Bool(_)));
+        let a = Array::from_values(&[Value::str("x")]).unwrap();
+        assert!(matches!(a, Array::Str(_)));
+        assert!(Array::from_values(&[Value::str("x"), Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn array_slicing() {
+        let a = Array::Int((0..10).collect());
+        let s = a.slice(2, 7, 2);
+        assert_eq!(s, Array::Int(vec![2, 4, 6]));
+    }
+
+    #[test]
+    fn reprs() {
+        assert_eq!(Value::Int(3).repr(), "3");
+        assert_eq!(Value::Float(3.0).repr(), "3.0");
+        assert_eq!(Value::Float(3.25).repr(), "3.25");
+        assert_eq!(Value::str("hi").repr(), "'hi'");
+        assert_eq!(
+            Value::list(vec![Value::Int(1), Value::str("a")]).repr(),
+            "[1, 'a']"
+        );
+        assert_eq!(Value::tuple(vec![Value::Int(1)]).repr(), "(1,)");
+        assert_eq!(Value::None.repr(), "None");
+        assert_eq!(Value::Bool(true).repr(), "True");
+    }
+
+    #[test]
+    fn array_repr_truncates() {
+        let a = Value::array(Array::Int((0..100).collect()));
+        let r = a.repr();
+        assert!(r.contains("..."));
+        assert!(r.contains("dtype=int64"));
+    }
+
+    #[test]
+    fn is_identity() {
+        let a = Value::list(vec![Value::Int(1)]);
+        let b = a.clone();
+        let c = Value::list(vec![Value::Int(1)]);
+        assert!(a.py_is(&b));
+        assert!(!a.py_is(&c));
+        assert!(a.py_eq(&c));
+        assert!(Value::None.py_is(&Value::None));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the interpreter's core invariants.
+
+use proptest::prelude::*;
+use pylite::{pickle, Array, Interp, Value};
+
+/// Strategy producing arbitrary picklable values up to a small depth.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::None),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("NaN breaks py_eq", |f| !f.is_nan()).prop_map(Value::Float),
+        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::str),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::bytes),
+        proptest::collection::vec(any::<i64>(), 0..32).prop_map(|v| Value::array(Array::Int(v))),
+        proptest::collection::vec(any::<bool>(), 0..32).prop_map(|v| Value::array(Array::Bool(v))),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::list),
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::tuple),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pickle_round_trip(v in value_strategy()) {
+        let blob = pickle::dumps(&v).unwrap();
+        let back = pickle::loads(&blob).unwrap();
+        prop_assert!(back.py_eq(&v), "{:?} != {:?}", back, v);
+    }
+
+    #[test]
+    fn pickle_loads_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pickle::loads(&data);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9 +\\-*/()\\[\\]{}:,.'\"=<>\n]{0,200}") {
+        let _ = pylite::parse_module(&src);
+    }
+
+    #[test]
+    fn int_arithmetic_matches_rust(a in -10_000i64..10_000, b in 1i64..1000) {
+        let mut interp = Interp::new();
+        interp.set_global("a", Value::Int(a));
+        interp.set_global("b", Value::Int(b));
+        interp.eval_module("s = a + b\nd = a - b\nm = a * b\nq = a // b\nr = a % b\n").unwrap();
+        prop_assert_eq!(interp.get_global("s").unwrap(), Value::Int(a + b));
+        prop_assert_eq!(interp.get_global("d").unwrap(), Value::Int(a - b));
+        prop_assert_eq!(interp.get_global("m").unwrap(), Value::Int(a * b));
+        prop_assert_eq!(interp.get_global("q").unwrap(), Value::Int(a.div_euclid(b)));
+        prop_assert_eq!(interp.get_global("r").unwrap(), Value::Int(a.rem_euclid(b)));
+    }
+
+    #[test]
+    fn sum_over_array_matches_rust(v in proptest::collection::vec(-1000i64..1000, 0..100)) {
+        let mut interp = Interp::new();
+        let expected: i64 = v.iter().sum();
+        interp.set_global("col", Value::array(Array::Int(v)));
+        interp.eval_module("total = sum(col)\n").unwrap();
+        prop_assert_eq!(interp.get_global("total").unwrap(), Value::Int(expected));
+    }
+
+    #[test]
+    fn sorted_output_is_sorted_permutation(v in proptest::collection::vec(-1000i64..1000, 0..50)) {
+        let mut interp = Interp::new();
+        interp.set_global("v", Value::list(v.iter().map(|&x| Value::Int(x)).collect()));
+        interp.eval_module("s = sorted(v)\n").unwrap();
+        let Value::List(s) = interp.get_global("s").unwrap() else { panic!() };
+        let got: Vec<i64> = s.borrow().iter().map(|x| match x { Value::Int(i) => *i, _ => panic!() }).collect();
+        let mut expected = v.clone();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn interpreter_mean_deviation_matches_rust(v in proptest::collection::vec(-100i64..100, 1..60)) {
+        // The *correct* mean-deviation UDF (Scenario A, fixed) must agree
+        // with a Rust reference implementation.
+        let src = "\
+def mean_deviation(column):
+    mean = 0
+    for i in range(0, len(column)):
+        mean += column[i]
+    mean = mean / len(column)
+    distance = 0
+    for i in range(0, len(column)):
+        distance += abs(column[i] - mean)
+    return distance / len(column)
+result = mean_deviation(col)
+";
+        let mut interp = Interp::new();
+        interp.set_global("col", Value::array(Array::Int(v.clone())));
+        interp.eval_module(src).unwrap();
+        let mean = v.iter().sum::<i64>() as f64 / v.len() as f64;
+        let expected = v.iter().map(|&x| (x as f64 - mean).abs()).sum::<f64>() / v.len() as f64;
+        match interp.get_global("result").unwrap() {
+            Value::Float(f) => prop_assert!((f - expected).abs() < 1e-9, "{f} vs {expected}"),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Client API: connect, query, manage UDFs, extract input data.
+
+use pylite::Value;
+
+use crate::message::{Message, WireError, WireResult};
+use crate::server::Server;
+use crate::transfer::{self, TransferOptions, TransferStats};
+use crate::transport::{ClientTransport, InProcTransport, TcpTransport};
+
+/// Metadata of a stored function, as returned by [`Client::get_function`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionInfo {
+    pub name: String,
+    /// (param name, SQL type name).
+    pub params: Vec<(String, String)>,
+    pub return_type: String,
+    pub language: String,
+    /// Function body as stored in the server's meta tables.
+    pub body: String,
+}
+
+/// A connected, authenticated client.
+pub struct Client {
+    // Fields below; Debug is implemented manually (the transport is opaque
+    // and the password must not leak into logs).
+    transport: Box<dyn ClientTransport>,
+    password: String,
+    next_transfer_id: u64,
+    last_udf_stdout: String,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("next_transfer_id", &self.next_transfer_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connect over the in-process transport (tests / benchmarks / embedded).
+    pub fn connect_in_proc(
+        server: &Server,
+        user: &str,
+        password: &str,
+        database: &str,
+    ) -> Result<Client, WireError> {
+        let (sender, session) = server.in_proc_connection();
+        let transport = InProcTransport { sender, session };
+        Self::login(Box::new(transport), user, password, database)
+    }
+
+    /// Connect over TCP.
+    pub fn connect_tcp(
+        addr: std::net::SocketAddr,
+        user: &str,
+        password: &str,
+        database: &str,
+    ) -> Result<Client, WireError> {
+        let stream =
+            std::net::TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        let transport = TcpTransport { stream };
+        Self::login(Box::new(transport), user, password, database)
+    }
+
+    fn login(
+        mut transport: Box<dyn ClientTransport>,
+        user: &str,
+        password: &str,
+        database: &str,
+    ) -> Result<Client, WireError> {
+        let login = Message::Login {
+            user: user.to_string(),
+            password: password.to_string(),
+            database: database.to_string(),
+        };
+        let reply = transport.round_trip(&login.encode())?;
+        match Message::decode(&reply)? {
+            Message::LoginOk { .. } => Ok(Client {
+                transport,
+                password: password.to_string(),
+                next_transfer_id: 1,
+                last_udf_stdout: String::new(),
+            }),
+            Message::Error { code, message, .. } if code == "AuthError" => {
+                Err(WireError::Auth(message))
+            }
+            other => Err(WireError::Protocol(format!(
+                "unexpected login reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn round_trip(&mut self, msg: &Message) -> Result<Message, WireError> {
+        let reply = self.transport.round_trip(&msg.encode())?;
+        let decoded = Message::decode(&reply)?;
+        if let Message::Error {
+            code,
+            message,
+            traceback,
+        } = decoded
+        {
+            return Err(WireError::Server {
+                code,
+                message,
+                traceback,
+            });
+        }
+        Ok(decoded)
+    }
+
+    /// Execute one SQL statement.
+    pub fn query(&mut self, sql: &str) -> Result<WireResult, WireError> {
+        match self.round_trip(&Message::Query {
+            sql: sql.to_string(),
+        })? {
+            Message::ResultSet { result, udf_stdout } => {
+                self.last_udf_stdout = udf_stdout;
+                Ok(result)
+            }
+            other => Err(WireError::Protocol(format!(
+                "unexpected query reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// `print` output emitted by server-side UDFs during the last query —
+    /// the "print debugging" channel the paper's demo contrasts against.
+    pub fn last_udf_stdout(&self) -> &str {
+        &self.last_udf_stdout
+    }
+
+    /// Names of every stored function.
+    pub fn list_functions(&mut self) -> Result<Vec<String>, WireError> {
+        match self.round_trip(&Message::ListFunctions)? {
+            Message::FunctionList { names } => Ok(names),
+            other => Err(WireError::Protocol(format!(
+                "unexpected list reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Full metadata + stored body of one function.
+    pub fn get_function(&mut self, name: &str) -> Result<FunctionInfo, WireError> {
+        match self.round_trip(&Message::GetFunction {
+            name: name.to_string(),
+        })? {
+            Message::FunctionInfo {
+                name,
+                params,
+                return_type,
+                language,
+                body,
+            } => Ok(FunctionInfo {
+                name,
+                params,
+                return_type,
+                language,
+                body,
+            }),
+            other => Err(WireError::Protocol(format!(
+                "unexpected function reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Run the paper's extract function: evaluate `query` server-side with
+    /// the call to `udf` intercepted, and transfer its input data using
+    /// `options`. Returns the inputs dict and the transfer statistics.
+    pub fn extract_inputs(
+        &mut self,
+        query: &str,
+        udf: &str,
+        options: TransferOptions,
+    ) -> Result<(Value, TransferStats), WireError> {
+        let transfer_id = self.next_transfer_id;
+        self.next_transfer_id += 1;
+        match self.round_trip(&Message::ExtractInputs {
+            query: query.to_string(),
+            udf: udf.to_string(),
+            options,
+            transfer_id,
+        })? {
+            Message::Extracted {
+                payload,
+                raw_len,
+                options,
+                transfer_id,
+            } => {
+                let stats = TransferStats {
+                    raw_len: raw_len as usize,
+                    wire_len: payload.len(),
+                };
+                let value =
+                    transfer::decode_payload(&payload, &options, &self.password, transfer_id)
+                        .map_err(|e| WireError::Protocol(e.to_string()))?;
+                Ok((value, stats))
+            }
+            other => Err(WireError::Protocol(format!(
+                "unexpected extract reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.round_trip(&Message::Ping)? {
+            Message::Pong => Ok(()),
+            other => Err(WireError::Protocol(format!(
+                "unexpected ping reply: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::WireValue;
+    use crate::server::ServerConfig;
+
+    fn demo_server() -> Server {
+        Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+            db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+            db.execute("INSERT INTO numbers VALUES (1), (2), (3), (4), (5), (6)")
+                .unwrap();
+            db.execute(
+                "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\nmean = 0\nfor i in range(0, len(column)):\n    mean += column[i]\nmean = mean / len(column)\ndistance = 0\nfor i in range(0, len(column)):\n    distance += abs(column[i] - mean)\nreturn distance / len(column)\n}",
+            )
+            .unwrap();
+        })
+    }
+
+    fn connect(server: &Server) -> Client {
+        Client::connect_in_proc(server, "monetdb", "monetdb", "demo").unwrap()
+    }
+
+    #[test]
+    fn login_and_query() {
+        let server = demo_server();
+        let mut client = connect(&server);
+        let t = client
+            .query("SELECT sum(i) FROM numbers")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.rows[0][0], WireValue::Int(21));
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_credentials_rejected() {
+        let server = demo_server();
+        let err =
+            Client::connect_in_proc(&server, "monetdb", "wrongpw", "demo").unwrap_err();
+        assert!(matches!(err, WireError::Auth(_)));
+        let err = Client::connect_in_proc(&server, "monetdb", "monetdb", "nodb").unwrap_err();
+        assert!(matches!(err, WireError::Auth(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unauthenticated_session_rejected() {
+        let server = demo_server();
+        let (sender, session) = server.in_proc_connection();
+        let mut transport = InProcTransport { sender, session };
+        let reply = transport
+            .round_trip(&Message::Query { sql: "SELECT 1".into() }.encode())
+            .unwrap();
+        match Message::decode(&reply).unwrap() {
+            Message::Error { code, .. } => assert_eq!(code, "AuthError"),
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn udf_execution_over_the_wire() {
+        let server = demo_server();
+        let mut client = connect(&server);
+        let t = client
+            .query("SELECT mean_deviation(i) FROM numbers")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.rows[0][0], WireValue::Double(1.5));
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_side_error_propagates_with_traceback() {
+        let server = demo_server();
+        let mut client = connect(&server);
+        client
+            .query("CREATE FUNCTION boom(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nreturn i / 0\n}")
+            .unwrap();
+        let err = client.query("SELECT boom(i) FROM numbers").unwrap_err();
+        match err {
+            WireError::Server { code, traceback, .. } => {
+                assert_eq!(code, "UdfError");
+                assert!(traceback.unwrap().contains("line 1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn list_and_get_functions() {
+        let server = demo_server();
+        let mut client = connect(&server);
+        let names = client.list_functions().unwrap();
+        assert_eq!(names, vec!["mean_deviation"]);
+        let info = client.get_function("mean_deviation").unwrap();
+        assert_eq!(info.params, vec![("column".to_string(), "INTEGER".to_string())]);
+        assert_eq!(info.return_type, "DOUBLE");
+        assert!(info.body.contains("distance"));
+        assert!(client.get_function("ghost").is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn extract_inputs_round_trip_all_option_combinations() {
+        let server = demo_server();
+        let mut client = connect(&server);
+        for (compress, encrypt) in [(false, false), (true, false), (false, true), (true, true)] {
+            let options = TransferOptions {
+                compress,
+                encrypt,
+                sample: None,
+            };
+            let (value, stats) = client
+                .extract_inputs("SELECT mean_deviation(i) FROM numbers", "mean_deviation", options)
+                .unwrap();
+            let Value::Dict(d) = &value else { panic!() };
+            let col = d.borrow().get(&Value::str("column")).unwrap().unwrap();
+            match col {
+                Value::Array(a) => assert_eq!(a.len(), 6),
+                other => panic!("{other:?}"),
+            }
+            assert!(stats.raw_len > 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn extract_with_sampling_reduces_rows_and_bytes() {
+        let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+            db.execute("CREATE TABLE big (i INTEGER)").unwrap();
+            let values: Vec<String> = (0..2000).map(|i| format!("({i})")).collect();
+            db.execute(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+                .unwrap();
+            db.execute(
+                "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return 0.0 }",
+            )
+            .unwrap();
+        });
+        let mut client = connect(&server);
+        let (full, full_stats) = client
+            .extract_inputs("SELECT f(i) FROM big", "f", TransferOptions::plain())
+            .unwrap();
+        let (sampled, sampled_stats) = client
+            .extract_inputs("SELECT f(i) FROM big", "f", TransferOptions::sampled(50))
+            .unwrap();
+        let arr_len = |v: &Value| {
+            let Value::Dict(d) = v else { panic!() };
+            let col = d.borrow().get(&Value::str("column")).unwrap().unwrap();
+            let Value::Array(a) = col else { panic!() };
+            a.len()
+        };
+        assert_eq!(arr_len(&full), 2000);
+        assert_eq!(arr_len(&sampled), 50);
+        assert!(sampled_stats.wire_len < full_stats.wire_len / 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_transport_end_to_end() {
+        let server = demo_server();
+        let addr = server.listen_tcp().unwrap();
+        let mut client = Client::connect_tcp(addr, "monetdb", "monetdb", "demo").unwrap();
+        let t = client
+            .query("SELECT count(*) FROM numbers")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.rows[0][0], WireValue::Int(6));
+        // Second client concurrently.
+        let mut client2 = Client::connect_tcp(addr, "monetdb", "monetdb", "demo").unwrap();
+        client2.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn udf_print_output_travels_to_client() {
+        let server = demo_server();
+        let mut client = connect(&server);
+        client
+            .query("CREATE FUNCTION noisy(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nprint('debugging', len(i))\nreturn i\n}")
+            .unwrap();
+        client.query("SELECT noisy(i) FROM numbers").unwrap();
+        assert_eq!(client.last_udf_stdout(), "debugging 6\n");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,43 @@
+//! `wireproto` — the client/server protocol of the devUDF reproduction.
+//!
+//! Stands in for the JDBC/MAPI connection the paper's plugin uses (§2.2):
+//! a length-framed binary protocol carrying queries, result tables, UDF
+//! management calls and — the interesting part — **input-data extraction**
+//! with the paper's three transfer options (§2.1):
+//!
+//! * **compression** ([`codecs::lz`]) — "leading to faster transfer times",
+//! * **encryption** ([`codecs::chacha20`]) keyed on the database user's
+//!   password, so sensitive data can leave the server safely,
+//! * **uniform random sampling** — debug on a subset "to alleviate the data
+//!   transfer overhead".
+//!
+//! # Architecture
+//!
+//! The engine ([`monetlite::Engine`]) is deliberately single-threaded; the
+//! [`server::Server`] owns it on a dedicated thread and serializes all
+//! sessions through a request channel. Clients talk over an in-process
+//! channel transport (tests, benchmarks) or TCP ([`transport`]).
+//!
+//! ```
+//! use wireproto::{server::Server, client::Client, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+//!     db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+//!     db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+//! });
+//! let mut client = Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+//! let table = client.query("SELECT sum(i) FROM t").unwrap().into_table().unwrap();
+//! assert_eq!(table.rows[0][0], wireproto::message::WireValue::Int(6));
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod message;
+pub mod server;
+pub mod transfer;
+pub mod transport;
+
+pub use client::Client;
+pub use message::{Message, WireError, WireTable, WireValue};
+pub use server::{Server, ServerConfig};
+pub use transfer::{TransferOptions, TransferStats};

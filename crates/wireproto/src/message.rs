@@ -1,0 +1,800 @@
+//! Wire messages and their binary codec.
+//!
+//! Hand-rolled tagged binary encoding (varint-framed), so the protocol has
+//! zero reflection overhead and the transfer benchmarks measure real bytes.
+
+use codecs::varint::{read_u64, write_u64};
+use monetlite::{DbError, QueryResult, Table};
+
+use crate::transfer::TransferOptions;
+
+/// Protocol-level error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Transport failure (connection closed, IO error).
+    Io(String),
+    /// Malformed frame or unknown message tag.
+    Protocol(String),
+    /// Authentication rejected.
+    Auth(String),
+    /// The server reported a database error.
+    Server {
+        code: String,
+        message: String,
+        traceback: Option<String>,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(m) => write!(f, "io error: {m}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+            WireError::Auth(m) => write!(f, "authentication failed: {m}"),
+            WireError::Server { code, message, .. } => write!(f, "{code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    pub fn from_db(e: &DbError) -> WireError {
+        WireError::Server {
+            code: e.code.name().to_string(),
+            message: e.message.clone(),
+            traceback: e.traceback.clone(),
+        }
+    }
+}
+
+/// A scalar value on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    Null,
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Bool(bool),
+    Blob(Vec<u8>),
+}
+
+impl WireValue {
+    pub fn render(&self) -> String {
+        match self {
+            WireValue::Null => "NULL".into(),
+            WireValue::Int(i) => i.to_string(),
+            WireValue::Double(d) => {
+                if d.fract() == 0.0 && d.is_finite() && d.abs() < 1e15 {
+                    format!("{d:.1}")
+                } else {
+                    format!("{d}")
+                }
+            }
+            WireValue::Str(s) => s.clone(),
+            WireValue::Bool(b) => if *b { "true" } else { "false" }.into(),
+            WireValue::Blob(b) => format!("<blob {} bytes>", b.len()),
+        }
+    }
+}
+
+/// A result table on the wire (row-major).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireTable {
+    pub name: String,
+    /// (column name, type name) pairs.
+    pub columns: Vec<(String, String)>,
+    pub rows: Vec<Vec<WireValue>>,
+}
+
+impl WireTable {
+    /// Convert from an engine table.
+    pub fn from_table(t: &Table) -> WireTable {
+        let columns = t
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), c.sql_type().name().to_string()))
+            .collect();
+        let mut rows = Vec::with_capacity(t.row_count());
+        for i in 0..t.row_count() {
+            rows.push(
+                t.row(i)
+                    .into_iter()
+                    .map(|v| match v {
+                        monetlite::SqlValue::Null => WireValue::Null,
+                        monetlite::SqlValue::Int(x) => WireValue::Int(x),
+                        monetlite::SqlValue::Double(x) => WireValue::Double(x),
+                        monetlite::SqlValue::Str(x) => WireValue::Str(x),
+                        monetlite::SqlValue::Bool(x) => WireValue::Bool(x),
+                        monetlite::SqlValue::Blob(x) => WireValue::Blob(x),
+                    })
+                    .collect(),
+            );
+        }
+        WireTable {
+            name: t.name.clone(),
+            columns,
+            rows,
+        }
+    }
+
+    /// Column index by name (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+
+    /// All values of one column.
+    pub fn column_values(&self, name: &str) -> Option<Vec<WireValue>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Render as an ASCII grid (client-side pretty printer).
+    pub fn render_ascii(&self) -> String {
+        let headers: Vec<String> = self.columns.iter().map(|(n, _)| n.clone()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(c, v)| {
+                        let s = v.render();
+                        widths[c] = widths[c].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = sep.clone();
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:w$} |", w = w));
+        }
+        out.push('\n');
+        out.push_str(&sep.replace('-', "="));
+        for row in &rendered {
+            out.push('|');
+            for (v, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {v:w$} |", w = w));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        format!("{out}{} row(s)\n", self.rows.len())
+    }
+}
+
+/// Result of a query as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResult {
+    Table(WireTable),
+    Affected { rows: u64, message: String },
+}
+
+impl WireResult {
+    pub fn from_query_result(r: &QueryResult) -> WireResult {
+        match r {
+            QueryResult::Table(t) => WireResult::Table(WireTable::from_table(t)),
+            QueryResult::Affected { rows, message } => WireResult::Affected {
+                rows: *rows as u64,
+                message: message.clone(),
+            },
+        }
+    }
+
+    pub fn into_table(self) -> Result<WireTable, WireError> {
+        match self {
+            WireResult::Table(t) => Ok(t),
+            WireResult::Affected { message, .. } => Err(WireError::Protocol(format!(
+                "statement produced no result set ({message})"
+            ))),
+        }
+    }
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // Client → server.
+    Login {
+        user: String,
+        password: String,
+        database: String,
+    },
+    Query {
+        sql: String,
+    },
+    /// The paper's extract function: capture `udf`'s inputs from `query`
+    /// and ship them with the requested transfer options.
+    ExtractInputs {
+        query: String,
+        udf: String,
+        options: TransferOptions,
+        transfer_id: u64,
+    },
+    ListFunctions,
+    GetFunction {
+        name: String,
+    },
+    Ping,
+
+    // Server → client.
+    LoginOk {
+        session: u64,
+    },
+    ResultSet {
+        result: WireResult,
+        /// `print` output emitted by UDFs during the statement.
+        udf_stdout: String,
+    },
+    /// Extracted input payload: pickle bytes, possibly compressed and/or
+    /// encrypted (flags echoed in `options`).
+    Extracted {
+        payload: Vec<u8>,
+        raw_len: u64,
+        options: TransferOptions,
+        transfer_id: u64,
+    },
+    FunctionList {
+        names: Vec<String>,
+    },
+    FunctionInfo {
+        name: String,
+        params: Vec<(String, String)>,
+        return_type: String,
+        language: String,
+        body: String,
+    },
+    Error {
+        code: String,
+        message: String,
+        traceback: Option<String>,
+    },
+    Pong,
+}
+
+// ----------------------------------------------------------------------
+// Codec helpers
+// ----------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    write_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn err(msg: &str) -> WireError {
+        WireError::Protocol(msg.to_string())
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let (v, used) = read_u64(&self.data[self.pos.min(self.data.len())..])
+            .map_err(|e| WireError::Protocol(format!("bad varint: {e}")))?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.data.len() {
+            return Err(Self::err("truncated frame"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.varint()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| Self::err("invalid UTF-8"))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(Self::err("trailing bytes in frame"))
+        }
+    }
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_value(out: &mut Vec<u8>, v: &WireValue) {
+    match v {
+        WireValue::Null => out.push(0),
+        WireValue::Int(i) => {
+            out.push(1);
+            put_i64(out, *i);
+        }
+        WireValue::Double(d) => {
+            out.push(2);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        WireValue::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        WireValue::Bool(b) => out.push(if *b { 5 } else { 4 }),
+        WireValue::Blob(b) => {
+            out.push(6);
+            put_bytes(out, b);
+        }
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<WireValue, WireError> {
+    Ok(match r.byte()? {
+        0 => WireValue::Null,
+        1 => WireValue::Int(r.i64()?),
+        2 => WireValue::Double(r.f64()?),
+        3 => WireValue::Str(r.string()?),
+        4 => WireValue::Bool(false),
+        5 => WireValue::Bool(true),
+        6 => WireValue::Blob(r.bytes()?),
+        t => return Err(Reader::err(&format!("unknown value tag {t}"))),
+    })
+}
+
+fn put_table(out: &mut Vec<u8>, t: &WireTable) {
+    put_str(out, &t.name);
+    write_u64(out, t.columns.len() as u64);
+    for (n, ty) in &t.columns {
+        put_str(out, n);
+        put_str(out, ty);
+    }
+    write_u64(out, t.rows.len() as u64);
+    for row in &t.rows {
+        for v in row {
+            put_value(out, v);
+        }
+    }
+}
+
+fn read_table(r: &mut Reader<'_>) -> Result<WireTable, WireError> {
+    let name = r.string()?;
+    let ncols = r.varint()? as usize;
+    if ncols > 10_000 {
+        return Err(Reader::err("implausible column count"));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        columns.push((r.string()?, r.string()?));
+    }
+    let nrows = r.varint()? as usize;
+    let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(read_value(r)?);
+        }
+        rows.push(row);
+    }
+    Ok(WireTable {
+        name,
+        columns,
+        rows,
+    })
+}
+
+fn put_options(out: &mut Vec<u8>, o: &TransferOptions) {
+    let mut flags = 0u8;
+    if o.compress {
+        flags |= 1;
+    }
+    if o.encrypt {
+        flags |= 2;
+    }
+    if o.sample.is_some() {
+        flags |= 4;
+    }
+    out.push(flags);
+    if let Some(k) = o.sample {
+        write_u64(out, k as u64);
+    }
+}
+
+fn read_options(r: &mut Reader<'_>) -> Result<TransferOptions, WireError> {
+    let flags = r.byte()?;
+    let sample = if flags & 4 != 0 {
+        Some(r.varint()? as usize)
+    } else {
+        None
+    };
+    Ok(TransferOptions {
+        compress: flags & 1 != 0,
+        encrypt: flags & 2 != 0,
+        sample,
+    })
+}
+
+impl Message {
+    /// Encode into a frame body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Message::Login {
+                user,
+                password,
+                database,
+            } => {
+                out.push(1);
+                put_str(&mut out, user);
+                put_str(&mut out, password);
+                put_str(&mut out, database);
+            }
+            Message::Query { sql } => {
+                out.push(2);
+                put_str(&mut out, sql);
+            }
+            Message::ExtractInputs {
+                query,
+                udf,
+                options,
+                transfer_id,
+            } => {
+                out.push(3);
+                put_str(&mut out, query);
+                put_str(&mut out, udf);
+                put_options(&mut out, options);
+                write_u64(&mut out, *transfer_id);
+            }
+            Message::ListFunctions => out.push(4),
+            Message::GetFunction { name } => {
+                out.push(5);
+                put_str(&mut out, name);
+            }
+            Message::Ping => out.push(6),
+            Message::LoginOk { session } => {
+                out.push(64);
+                write_u64(&mut out, *session);
+            }
+            Message::ResultSet { result, udf_stdout } => {
+                out.push(65);
+                match result {
+                    WireResult::Table(t) => {
+                        out.push(0);
+                        put_table(&mut out, t);
+                    }
+                    WireResult::Affected { rows, message } => {
+                        out.push(1);
+                        write_u64(&mut out, *rows);
+                        put_str(&mut out, message);
+                    }
+                }
+                put_str(&mut out, udf_stdout);
+            }
+            Message::Extracted {
+                payload,
+                raw_len,
+                options,
+                transfer_id,
+            } => {
+                out.push(66);
+                put_bytes(&mut out, payload);
+                write_u64(&mut out, *raw_len);
+                put_options(&mut out, options);
+                write_u64(&mut out, *transfer_id);
+            }
+            Message::FunctionList { names } => {
+                out.push(67);
+                write_u64(&mut out, names.len() as u64);
+                for n in names {
+                    put_str(&mut out, n);
+                }
+            }
+            Message::FunctionInfo {
+                name,
+                params,
+                return_type,
+                language,
+                body,
+            } => {
+                out.push(68);
+                put_str(&mut out, name);
+                write_u64(&mut out, params.len() as u64);
+                for (n, t) in params {
+                    put_str(&mut out, n);
+                    put_str(&mut out, t);
+                }
+                put_str(&mut out, return_type);
+                put_str(&mut out, language);
+                put_str(&mut out, body);
+            }
+            Message::Error {
+                code,
+                message,
+                traceback,
+            } => {
+                out.push(69);
+                put_str(&mut out, code);
+                put_str(&mut out, message);
+                match traceback {
+                    None => out.push(0),
+                    Some(t) => {
+                        out.push(1);
+                        put_str(&mut out, t);
+                    }
+                }
+            }
+            Message::Pong => out.push(70),
+        }
+        out
+    }
+
+    /// Decode a frame body.
+    pub fn decode(data: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(data);
+        let tag = r.byte()?;
+        let msg = match tag {
+            1 => Message::Login {
+                user: r.string()?,
+                password: r.string()?,
+                database: r.string()?,
+            },
+            2 => Message::Query { sql: r.string()? },
+            3 => Message::ExtractInputs {
+                query: r.string()?,
+                udf: r.string()?,
+                options: read_options(&mut r)?,
+                transfer_id: r.varint()?,
+            },
+            4 => Message::ListFunctions,
+            5 => Message::GetFunction { name: r.string()? },
+            6 => Message::Ping,
+            64 => Message::LoginOk {
+                session: r.varint()?,
+            },
+            65 => {
+                let kind = r.byte()?;
+                let result = match kind {
+                    0 => WireResult::Table(read_table(&mut r)?),
+                    1 => WireResult::Affected {
+                        rows: r.varint()?,
+                        message: r.string()?,
+                    },
+                    k => return Err(Reader::err(&format!("unknown result kind {k}"))),
+                };
+                Message::ResultSet {
+                    result,
+                    udf_stdout: r.string()?,
+                }
+            }
+            66 => Message::Extracted {
+                payload: r.bytes()?,
+                raw_len: r.varint()?,
+                options: read_options(&mut r)?,
+                transfer_id: r.varint()?,
+            },
+            67 => {
+                let n = r.varint()? as usize;
+                let mut names = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    names.push(r.string()?);
+                }
+                Message::FunctionList { names }
+            }
+            68 => {
+                let name = r.string()?;
+                let nparams = r.varint()? as usize;
+                let mut params = Vec::with_capacity(nparams.min(256));
+                for _ in 0..nparams {
+                    params.push((r.string()?, r.string()?));
+                }
+                Message::FunctionInfo {
+                    name,
+                    params,
+                    return_type: r.string()?,
+                    language: r.string()?,
+                    body: r.string()?,
+                }
+            }
+            69 => {
+                let code = r.string()?;
+                let message = r.string()?;
+                let traceback = match r.byte()? {
+                    0 => None,
+                    _ => Some(r.string()?),
+                };
+                Message::Error {
+                    code,
+                    message,
+                    traceback,
+                }
+            }
+            70 => Message::Pong,
+            t => return Err(Reader::err(&format!("unknown message tag {t}"))),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Message) {
+        let encoded = m.encode();
+        let decoded = Message::decode(&encoded).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Message::Login {
+            user: "monetdb".into(),
+            password: "secret".into(),
+            database: "demo".into(),
+        });
+        round_trip(Message::Query {
+            sql: "SELECT * FROM t".into(),
+        });
+        round_trip(Message::ExtractInputs {
+            query: "SELECT f(i) FROM t".into(),
+            udf: "f".into(),
+            options: TransferOptions {
+                compress: true,
+                encrypt: true,
+                sample: Some(100),
+            },
+            transfer_id: 42,
+        });
+        round_trip(Message::ListFunctions);
+        round_trip(Message::GetFunction { name: "f".into() });
+        round_trip(Message::Ping);
+        round_trip(Message::LoginOk { session: 7 });
+        round_trip(Message::ResultSet {
+            result: WireResult::Affected {
+                rows: 3,
+                message: "3 row(s) inserted".into(),
+            },
+            udf_stdout: String::new(),
+        });
+        round_trip(Message::Extracted {
+            payload: vec![1, 2, 3],
+            raw_len: 100,
+            options: TransferOptions::default(),
+            transfer_id: 1,
+        });
+        round_trip(Message::FunctionList {
+            names: vec!["a".into(), "b".into()],
+        });
+        round_trip(Message::FunctionInfo {
+            name: "f".into(),
+            params: vec![("i".into(), "INTEGER".into())],
+            return_type: "DOUBLE".into(),
+            language: "PYTHON".into(),
+            body: "return i\n".into(),
+        });
+        round_trip(Message::Error {
+            code: "UdfError".into(),
+            message: "boom".into(),
+            traceback: Some("Traceback...".into()),
+        });
+        round_trip(Message::Pong);
+    }
+
+    #[test]
+    fn table_round_trip_with_all_types() {
+        let t = WireTable {
+            name: "r".into(),
+            columns: vec![
+                ("i".into(), "INTEGER".into()),
+                ("d".into(), "DOUBLE".into()),
+                ("s".into(), "STRING".into()),
+                ("b".into(), "BOOLEAN".into()),
+                ("x".into(), "BLOB".into()),
+            ],
+            rows: vec![
+                vec![
+                    WireValue::Int(-5),
+                    WireValue::Double(2.5),
+                    WireValue::Str("héllo".into()),
+                    WireValue::Bool(true),
+                    WireValue::Blob(vec![0, 255]),
+                ],
+                vec![
+                    WireValue::Null,
+                    WireValue::Null,
+                    WireValue::Null,
+                    WireValue::Null,
+                    WireValue::Null,
+                ],
+            ],
+        };
+        round_trip(Message::ResultSet {
+            result: WireResult::Table(t),
+            udf_stdout: "printed\n".into(),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[200]).is_err());
+        let mut good = Message::Ping.encode();
+        good.push(0); // trailing byte
+        assert!(Message::decode(&good).is_err());
+        let mut truncated = Message::Query { sql: "SELECT 1".into() }.encode();
+        truncated.truncate(truncated.len() - 2);
+        assert!(Message::decode(&truncated).is_err());
+    }
+
+    #[test]
+    fn wire_table_from_engine_table() {
+        let db = monetlite::Engine::new();
+        db.execute("CREATE TABLE t (i INTEGER, s STRING)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        let table = db
+            .execute("SELECT * FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let wt = WireTable::from_table(&table);
+        assert_eq!(wt.columns.len(), 2);
+        assert_eq!(wt.rows.len(), 2);
+        assert_eq!(wt.rows[1][1], WireValue::Str("b".into()));
+        assert_eq!(
+            wt.column_values("i").unwrap(),
+            vec![WireValue::Int(1), WireValue::Int(2)]
+        );
+    }
+
+    #[test]
+    fn ascii_render() {
+        let t = WireTable {
+            name: "r".into(),
+            columns: vec![("name".into(), "STRING".into())],
+            rows: vec![vec![WireValue::Str("train_rnforest".into())]],
+        };
+        let s = t.render_ascii();
+        assert!(s.contains("| train_rnforest |"));
+        assert!(s.contains("1 row(s)"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The database server: owns a single-threaded engine, serializes sessions.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use monetlite::{Engine, FunctionReturn};
+
+use crate::message::{Message, WireResult};
+use crate::transfer;
+use crate::transport::{read_frame, write_frame};
+
+/// Server configuration: database name and the single user's credentials
+/// (the paper's settings dialog collects exactly these, Figure 2).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    pub database: String,
+    pub user: String,
+    pub password: String,
+}
+
+impl ServerConfig {
+    pub fn new(database: &str, user: &str, password: &str) -> Self {
+        ServerConfig {
+            database: database.to_string(),
+            user: user.to_string(),
+            password: password.to_string(),
+        }
+    }
+}
+
+/// A request delivered to the engine thread.
+pub enum ServerRequest {
+    Frame {
+        session: u64,
+        body: Vec<u8>,
+        reply: Sender<Vec<u8>>,
+    },
+    Shutdown,
+}
+
+/// Handle to a running server.
+pub struct Server {
+    sender: Sender<ServerRequest>,
+    engine_thread: Option<JoinHandle<()>>,
+    next_session: Arc<AtomicU64>,
+    stop_tcp: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+struct SessionState {
+    authed: bool,
+}
+
+impl Server {
+    /// Start the engine thread; `init` seeds the database before any client
+    /// connects (create tables, load data, register UDFs).
+    pub fn start(config: ServerConfig, init: impl FnOnce(&Engine) + Send + 'static) -> Server {
+        let (tx, rx) = unbounded::<ServerRequest>();
+        let thread_config = config.clone();
+        let engine_thread = std::thread::Builder::new()
+            .name("monetlite-engine".to_string())
+            .spawn(move || {
+                let engine = Engine::new();
+                init(&engine);
+                let mut sessions: HashMap<u64, SessionState> = HashMap::new();
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        ServerRequest::Shutdown => break,
+                        ServerRequest::Frame {
+                            session,
+                            body,
+                            reply,
+                        } => {
+                            let response =
+                                handle_frame(&engine, &thread_config, &mut sessions, session, &body);
+                            // A dead client is not a server error.
+                            let _ = reply.send(response.encode());
+                        }
+                    }
+                }
+            })
+            .expect("spawn engine thread");
+        Server {
+            sender: tx,
+            engine_thread: Some(engine_thread),
+            next_session: Arc::new(AtomicU64::new(1)),
+            stop_tcp: Arc::new(AtomicBool::new(false)),
+            config,
+        }
+    }
+
+    /// Configured database name (used by clients and tests).
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Allocate an in-process connection (session id + request channel).
+    pub fn in_proc_connection(&self) -> (Sender<ServerRequest>, u64) {
+        (
+            self.sender.clone(),
+            self.next_session.fetch_add(1, Ordering::Relaxed),
+        )
+    }
+
+    /// Start accepting TCP connections on 127.0.0.1 (ephemeral port).
+    /// Returns the bound address.
+    pub fn listen_tcp(&self) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let sender = self.sender.clone();
+        let next_session = self.next_session.clone();
+        let stop = self.stop_tcp.clone();
+        std::thread::Builder::new()
+            .name("wireproto-accept".to_string())
+            .spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nonblocking(false).ok();
+                        let session = next_session.fetch_add(1, Ordering::Relaxed);
+                        let sender = sender.clone();
+                        std::thread::spawn(move || serve_tcp_connection(stream, sender, session));
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(addr)
+    }
+
+    /// Stop the server and join the engine thread.
+    pub fn shutdown(mut self) {
+        self.stop_tcp.store(true, Ordering::Relaxed);
+        let _ = self.sender.send(ServerRequest::Shutdown);
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_tcp.store(true, Ordering::Relaxed);
+        let _ = self.sender.send(ServerRequest::Shutdown);
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_tcp_connection(
+    mut stream: std::net::TcpStream,
+    sender: Sender<ServerRequest>,
+    session: u64,
+) {
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(b) => b,
+            Err(_) => return, // client hung up
+        };
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        if sender
+            .send(ServerRequest::Frame {
+                session,
+                body,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return; // server shut down
+        }
+        let Ok(response) = reply_rx.recv() else {
+            return;
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn err_msg(code: &str, message: impl Into<String>) -> Message {
+    Message::Error {
+        code: code.to_string(),
+        message: message.into(),
+        traceback: None,
+    }
+}
+
+/// Dispatch one decoded frame against the engine.
+fn handle_frame(
+    engine: &Engine,
+    config: &ServerConfig,
+    sessions: &mut HashMap<u64, SessionState>,
+    session: u64,
+    body: &[u8],
+) -> Message {
+    let msg = match Message::decode(body) {
+        Ok(m) => m,
+        Err(e) => return err_msg("ProtocolError", e.to_string()),
+    };
+    if let Message::Login {
+        user,
+        password,
+        database,
+    } = &msg
+    {
+        if user != &config.user || password != &config.password {
+            return err_msg("AuthError", "invalid credentials");
+        }
+        if database != &config.database {
+            return err_msg("AuthError", format!("no such database '{database}'"));
+        }
+        sessions.insert(session, SessionState { authed: true });
+        return Message::LoginOk { session };
+    }
+    if !sessions.get(&session).map(|s| s.authed).unwrap_or(false) {
+        return err_msg("AuthError", "not logged in");
+    }
+
+    match msg {
+        Message::Ping => Message::Pong,
+        Message::Query { sql } => match engine.execute(&sql) {
+            Ok(result) => Message::ResultSet {
+                result: WireResult::from_query_result(&result),
+                udf_stdout: engine.take_udf_stdout(),
+            },
+            Err(e) => Message::Error {
+                code: e.code.name().to_string(),
+                message: e.message.clone(),
+                traceback: e.traceback,
+            },
+        },
+        Message::ListFunctions => Message::FunctionList {
+            names: engine.function_names(),
+        },
+        Message::GetFunction { name } => match engine.get_function(&name) {
+            Ok(Some(def)) => Message::FunctionInfo {
+                name: def.name.clone(),
+                params: def
+                    .params
+                    .iter()
+                    .map(|(n, t)| (n.clone(), t.name().to_string()))
+                    .collect(),
+                return_type: match &def.returns {
+                    FunctionReturn::Scalar(t) => t.name().to_string(),
+                    FunctionReturn::Table(cols) => {
+                        let inner: Vec<String> =
+                            cols.iter().map(|(n, t)| format!("{n} {t}")).collect();
+                        format!("TABLE({})", inner.join(", "))
+                    }
+                },
+                language: def.language,
+                body: def.body,
+            },
+            Ok(None) => err_msg("CatalogError", format!("no such function '{name}'")),
+            Err(e) => err_msg(e.code.name(), e.message),
+        },
+        Message::ExtractInputs {
+            query,
+            udf,
+            options,
+            transfer_id,
+        } => match engine.extract_inputs(&query, &udf) {
+            Ok(inputs) => {
+                match transfer::encode_payload(
+                    &inputs,
+                    &options,
+                    &config.password,
+                    transfer_id,
+                    engine.rng_seed(),
+                ) {
+                    Ok((payload, raw_len)) => Message::Extracted {
+                        payload,
+                        raw_len: raw_len as u64,
+                        options,
+                        transfer_id,
+                    },
+                    Err(e) => err_msg("TransferError", e.to_string()),
+                }
+            }
+            Err(e) => Message::Error {
+                code: e.code.name().to_string(),
+                message: e.message.clone(),
+                traceback: e.traceback,
+            },
+        },
+        // Server-only messages arriving at the server are protocol errors.
+        other => err_msg(
+            "ProtocolError",
+            format!("unexpected message from client: {other:?}"),
+        ),
+    }
+}

@@ -1,0 +1,339 @@
+//! Transfer options and the extract-payload pipeline (paper §2.1).
+//!
+//! Order of operations on the server: **sample → pickle → compress →
+//! encrypt**; the client reverses encryption and compression and unpickles.
+//! Sampling happens *before* serialization (fewer bytes ever exist);
+//! compression runs before encryption (ciphertext does not compress).
+
+use codecs::{chacha20, derive_key, kdf, lz};
+use pylite::value::Dict;
+use pylite::{pickle, Array, Value};
+
+/// Options selected in the devUDF settings dialog (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferOptions {
+    /// Compress the payload with the LZ codec.
+    pub compress: bool,
+    /// Encrypt the payload with ChaCha20 keyed on the user's password.
+    pub encrypt: bool,
+    /// Transfer only a uniform random sample of this many rows.
+    pub sample: Option<usize>,
+}
+
+impl TransferOptions {
+    pub fn plain() -> Self {
+        TransferOptions::default()
+    }
+
+    pub fn compressed() -> Self {
+        TransferOptions {
+            compress: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn encrypted() -> Self {
+        TransferOptions {
+            encrypt: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn sampled(rows: usize) -> Self {
+        TransferOptions {
+            sample: Some(rows),
+            ..Default::default()
+        }
+    }
+}
+
+/// Measured outcome of one transfer (reported by benchmarks and the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Pickle size before compression/encryption (after sampling).
+    pub raw_len: usize,
+    /// Bytes that actually crossed the wire.
+    pub wire_len: usize,
+}
+
+impl TransferStats {
+    /// Compression ratio (wire/raw); 1.0 when no compression.
+    pub fn ratio(&self) -> f64 {
+        if self.raw_len == 0 {
+            1.0
+        } else {
+            self.wire_len as f64 / self.raw_len as f64
+        }
+    }
+}
+
+/// Error from the transfer pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferError(pub String);
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transfer error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Salt domain-separating transfer-encryption keys from other password uses.
+const TRANSFER_SALT: &[u8] = b"devudf-transfer-v1";
+
+/// Apply uniform random sampling to an extracted inputs dict: every array
+/// value is sampled at the *same* row indices (rows stay aligned across
+/// parameters); scalars pass through. `seed` makes the sample reproducible.
+pub fn sample_inputs(inputs: &Value, k: usize, seed: u64) -> Result<Value, TransferError> {
+    let Value::Dict(d) = inputs else {
+        return Err(TransferError("inputs must be a dict".into()));
+    };
+    let d = d.borrow();
+    // Find the common array length.
+    let mut n: Option<usize> = None;
+    for (_, v) in d.entries() {
+        if let Value::Array(a) = v {
+            match n {
+                None => n = Some(a.len()),
+                Some(existing) if existing != a.len() => {
+                    return Err(TransferError(format!(
+                        "input arrays have differing lengths ({existing} vs {})",
+                        a.len()
+                    )))
+                }
+                _ => {}
+            }
+        }
+    }
+    let Some(n) = n else {
+        // No arrays at all: sampling is a no-op.
+        return Ok(inputs.clone());
+    };
+    if k >= n {
+        return Ok(inputs.clone());
+    }
+    // Partial Fisher–Yates over row indices, then sort to preserve order.
+    let mut state = seed ^ 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut picked = Vec::with_capacity(k);
+    for _ in 0..k {
+        let i = (next() % pool.len() as u64) as usize;
+        picked.push(pool.swap_remove(i));
+    }
+    picked.sort_unstable();
+
+    let mut out = Dict::new();
+    for (key, v) in d.entries() {
+        let sampled = match v {
+            Value::Array(a) => {
+                let vals: Vec<Value> = picked.iter().map(|&i| a.get(i)).collect();
+                Value::array(
+                    Array::from_values(&vals)
+                        .map_err(|e| TransferError(format!("sampling failed: {e}")))?,
+                )
+            }
+            other => other.clone(),
+        };
+        out.insert(key.clone(), sampled)
+            .map_err(|e| TransferError(e.to_string()))?;
+    }
+    Ok(Value::dict(out))
+}
+
+/// Server side: pickle the (possibly sampled) inputs and apply the selected
+/// codecs. Returns (wire payload, raw pickle length).
+pub fn encode_payload(
+    inputs: &Value,
+    options: &TransferOptions,
+    password: &str,
+    transfer_id: u64,
+    seed: u64,
+) -> Result<(Vec<u8>, usize), TransferError> {
+    let effective = match options.sample {
+        Some(k) => sample_inputs(inputs, k, seed ^ transfer_id)?,
+        None => inputs.clone(),
+    };
+    let mut payload =
+        pickle::dumps(&effective).map_err(|e| TransferError(format!("pickle: {e}")))?;
+    let raw_len = payload.len();
+    if options.compress {
+        payload = lz::compress(&payload);
+    }
+    if options.encrypt {
+        let key = derive_key(password, TRANSFER_SALT);
+        let nonce = kdf::derive_nonce(transfer_id);
+        let mut cipher = chacha20::ChaCha20::new(&key, &nonce, 1);
+        cipher.apply(&mut payload);
+    }
+    Ok((payload, raw_len))
+}
+
+/// Client side: reverse the codecs and unpickle. The client derives the same
+/// key from the password it already holds — the key never crosses the wire.
+pub fn decode_payload(
+    payload: &[u8],
+    options: &TransferOptions,
+    password: &str,
+    transfer_id: u64,
+) -> Result<Value, TransferError> {
+    let mut data = payload.to_vec();
+    if options.encrypt {
+        let key = derive_key(password, TRANSFER_SALT);
+        let nonce = kdf::derive_nonce(transfer_id);
+        let mut cipher = chacha20::ChaCha20::new(&key, &nonce, 1);
+        cipher.apply(&mut data);
+    }
+    if options.compress {
+        data = lz::decompress(&data)
+            .map_err(|e| TransferError(format!("decompress (wrong password?): {e}")))?;
+    }
+    pickle::loads(&data).map_err(|e| TransferError(format!("unpickle (wrong password?): {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dict(rows: usize) -> Value {
+        let mut d = Dict::new();
+        d.insert(
+            Value::str("data"),
+            Value::array(Array::Int((0..rows as i64).collect())),
+        )
+        .unwrap();
+        d.insert(
+            Value::str("labels"),
+            Value::array(Array::Int((0..rows as i64).map(|i| i % 2).collect())),
+        )
+        .unwrap();
+        d.insert(Value::str("n_estimators"), Value::Int(10)).unwrap();
+        Value::dict(d)
+    }
+
+    fn get_arr(v: &Value, key: &str) -> Vec<i64> {
+        let Value::Dict(d) = v else { panic!() };
+        let got = d.borrow().get(&Value::str(key)).unwrap().unwrap();
+        let Value::Array(a) = got else { panic!("{key} not an array") };
+        match a.as_ref() {
+            Array::Int(v) => v.clone(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        let inputs = sample_dict(100);
+        let (payload, raw) = encode_payload(&inputs, &TransferOptions::plain(), "pw", 1, 7).unwrap();
+        assert_eq!(payload.len(), raw);
+        let back = decode_payload(&payload, &TransferOptions::plain(), "pw", 1).unwrap();
+        assert!(back.py_eq(&inputs));
+    }
+
+    #[test]
+    fn compression_shrinks_repetitive_inputs() {
+        let mut d = Dict::new();
+        d.insert(Value::str("col"), Value::array(Array::Int(vec![7; 100_000])))
+            .unwrap();
+        let inputs = Value::dict(d);
+        let opts = TransferOptions::compressed();
+        let (payload, raw) = encode_payload(&inputs, &opts, "pw", 2, 7).unwrap();
+        assert!(payload.len() < raw / 10, "{} vs {raw}", payload.len());
+        let back = decode_payload(&payload, &opts, "pw", 2).unwrap();
+        assert!(back.py_eq(&inputs));
+    }
+
+    #[test]
+    fn encryption_round_trips_and_scrambles() {
+        let inputs = sample_dict(50);
+        let opts = TransferOptions::encrypted();
+        let (payload, raw) = encode_payload(&inputs, &opts, "secret", 3, 7).unwrap();
+        assert_eq!(payload.len(), raw);
+        // Ciphertext must not contain the pickle magic.
+        assert_ne!(&payload[..4], b"PKL1");
+        let back = decode_payload(&payload, &opts, "secret", 3).unwrap();
+        assert!(back.py_eq(&inputs));
+    }
+
+    #[test]
+    fn wrong_password_fails_to_decode() {
+        let inputs = sample_dict(50);
+        let opts = TransferOptions {
+            compress: true,
+            encrypt: true,
+            sample: None,
+        };
+        let (payload, _) = encode_payload(&inputs, &opts, "right", 4, 7).unwrap();
+        assert!(decode_payload(&payload, &opts, "wrong", 4).is_err());
+    }
+
+    #[test]
+    fn different_transfer_ids_produce_different_ciphertexts() {
+        let inputs = sample_dict(20);
+        let opts = TransferOptions::encrypted();
+        let (p1, _) = encode_payload(&inputs, &opts, "pw", 1, 7).unwrap();
+        let (p2, _) = encode_payload(&inputs, &opts, "pw", 2, 7).unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn sampling_keeps_rows_aligned() {
+        let inputs = sample_dict(1000);
+        let sampled = sample_inputs(&inputs, 100, 42).unwrap();
+        let data = get_arr(&sampled, "data");
+        let labels = get_arr(&sampled, "labels");
+        assert_eq!(data.len(), 100);
+        assert_eq!(labels.len(), 100);
+        // Alignment: labels[i] must equal data[i] % 2 (their original link).
+        for (d, l) in data.iter().zip(&labels) {
+            assert_eq!(*l, d % 2);
+        }
+        // Scalars survive.
+        let Value::Dict(dd) = &sampled else { panic!() };
+        assert_eq!(
+            dd.borrow().get(&Value::str("n_estimators")).unwrap().unwrap(),
+            Value::Int(10)
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let inputs = sample_dict(500);
+        let a = sample_inputs(&inputs, 50, 9).unwrap();
+        let b = sample_inputs(&inputs, 50, 9).unwrap();
+        let c = sample_inputs(&inputs, 50, 10).unwrap();
+        assert_eq!(get_arr(&a, "data"), get_arr(&b, "data"));
+        assert_ne!(get_arr(&a, "data"), get_arr(&c, "data"));
+    }
+
+    #[test]
+    fn oversized_sample_is_identity() {
+        let inputs = sample_dict(10);
+        let sampled = sample_inputs(&inputs, 100, 1).unwrap();
+        assert_eq!(get_arr(&sampled, "data").len(), 10);
+    }
+
+    #[test]
+    fn sample_through_encode_reduces_payload() {
+        let inputs = sample_dict(10_000);
+        let full = encode_payload(&inputs, &TransferOptions::plain(), "pw", 1, 7).unwrap();
+        let sampled = encode_payload(&inputs, &TransferOptions::sampled(100), "pw", 1, 7).unwrap();
+        assert!(sampled.0.len() < full.0.len() / 10);
+    }
+
+    #[test]
+    fn stats_ratio() {
+        let s = TransferStats {
+            raw_len: 1000,
+            wire_len: 250,
+        };
+        assert!((s.ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(TransferStats { raw_len: 0, wire_len: 0 }.ratio(), 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Transports: framing plus in-process and TCP request/reply channels.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crossbeam::channel::{bounded, Sender};
+
+use crate::message::WireError;
+use crate::server::ServerRequest;
+
+/// Maximum accepted frame size (guards against hostile length prefixes).
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Write one frame: `u32 LE length | body | u32 LE FNV-1a checksum`.
+///
+/// The checksum catches transport-level corruption before the codec sees
+/// the bytes, turning silent garbage into a clean protocol error.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), WireError> {
+    let len = body.len() as u32;
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!("frame too large: {len}")));
+    }
+    let checksum = codecs::fnv1a_32(body);
+    w.write_all(&len.to_le_bytes())
+        .and_then(|_| w.write_all(body))
+        .and_then(|_| w.write_all(&checksum.to_le_bytes()))
+        .and_then(|_| w.flush())
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Read one frame written by [`write_frame`], verifying its checksum.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!("frame too large: {len}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let mut sum_buf = [0u8; 4];
+    r.read_exact(&mut sum_buf)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let expected = u32::from_le_bytes(sum_buf);
+    let actual = codecs::fnv1a_32(&body);
+    if expected != actual {
+        return Err(WireError::Protocol(format!(
+            "frame checksum mismatch (expected {expected:08x}, got {actual:08x})"
+        )));
+    }
+    Ok(body)
+}
+
+/// Abstraction over a request/reply connection to the server.
+pub trait ClientTransport: Send {
+    /// Send one encoded message and await the encoded reply.
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError>;
+}
+
+/// In-process transport: frames travel over crossbeam channels straight to
+/// the engine thread. Used by tests and benchmarks (zero syscall noise).
+pub struct InProcTransport {
+    pub(crate) sender: Sender<ServerRequest>,
+    pub(crate) session: u64,
+}
+
+impl ClientTransport for InProcTransport {
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender
+            .send(ServerRequest::Frame {
+                session: self.session,
+                body: frame.to_vec(),
+                reply: reply_tx,
+            })
+            .map_err(|_| WireError::Io("server is gone".to_string()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| WireError::Io("server dropped the reply".to_string()))
+    }
+}
+
+/// TCP transport: frames over a socket.
+pub struct TcpTransport {
+    pub(crate) stream: TcpStream,
+}
+
+impl ClientTransport for TcpTransport {
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        write_frame(&mut self.stream, frame)?;
+        read_frame(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello frame");
+    }
+
+    #[test]
+    fn empty_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full body").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn corrupted_body_rejected_by_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"important payload").unwrap();
+        // Flip one bit in the body.
+        buf[6] ^= 0x01;
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the wire protocol.
+
+use proptest::prelude::*;
+use wireproto::message::{Message, WireResult, WireTable, WireValue};
+use wireproto::TransferOptions;
+
+fn wire_value_strategy() -> impl Strategy<Value = WireValue> {
+    prop_oneof![
+        Just(WireValue::Null),
+        any::<i64>().prop_map(WireValue::Int),
+        any::<f64>()
+            .prop_filter("NaN != NaN breaks equality", |f| !f.is_nan())
+            .prop_map(WireValue::Double),
+        "[a-zA-Z0-9 _%-]{0,24}".prop_map(WireValue::Str),
+        any::<bool>().prop_map(WireValue::Bool),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(WireValue::Blob),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&data);
+    }
+
+    #[test]
+    fn messages_round_trip(
+        sql in "[a-zA-Z0-9 '(),*=]{0,80}",
+        compress in any::<bool>(),
+        encrypt in any::<bool>(),
+        sample in proptest::option::of(0usize..100_000),
+        id in any::<u64>(),
+    ) {
+        for msg in [
+            Message::Query { sql: sql.clone() },
+            Message::ExtractInputs {
+                query: sql.clone(),
+                udf: "f".into(),
+                options: TransferOptions { compress, encrypt, sample },
+                transfer_id: id,
+            },
+        ] {
+            let decoded = Message::decode(&msg.encode()).unwrap();
+            prop_assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn tables_round_trip(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(wire_value_strategy(), 3),
+            0..20,
+        ),
+    ) {
+        let table = WireTable {
+            name: "r".into(),
+            columns: vec![
+                ("a".into(), "INTEGER".into()),
+                ("b".into(), "DOUBLE".into()),
+                ("c".into(), "STRING".into()),
+            ],
+            rows: cells,
+        };
+        let msg = Message::ResultSet {
+            result: WireResult::Table(table),
+            udf_stdout: String::new(),
+        };
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic(sql in "[a-z ]{1,60}", cut_fraction in 0.0f64..1.0) {
+        let msg = Message::Query { sql };
+        let mut encoded = msg.encode();
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        encoded.truncate(cut);
+        if cut < msg.encode().len() {
+            prop_assert!(Message::decode(&encoded).is_err());
+        }
+    }
+}

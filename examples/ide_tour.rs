@@ -1,0 +1,72 @@
+//! A tour of the headless IDE: regenerates the paper's three figures as
+//! text and walks the interactive debugger REPL on a scripted session.
+//!
+//! ```sh
+//! cargo run --example ide_tour
+//! ```
+
+use devudf::Settings;
+use devudf_ide::{HeadlessIde, ReplController, SharedBuf};
+use std::io::Cursor;
+use wireproto::{Server, ServerConfig};
+
+fn main() {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (3), (1), (4), (1), (5)").unwrap();
+        db.execute(concat!(
+            "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
+            "mean = 0\n",
+            "for i in range(0, len(column)):\n",
+            "    mean += column[i]\n",
+            "mean = mean / len(column)\n",
+            "distance = 0\n",
+            "for i in range(0, len(column)):\n",
+            "    distance += column[i] - mean\n",
+            "return distance / len(column)\n",
+            "}"
+        ))
+        .unwrap();
+    });
+
+    let project = std::env::temp_dir().join(format!("devudf-tour-{}", std::process::id()));
+    std::fs::remove_dir_all(&project).ok();
+    std::fs::create_dir_all(&project).unwrap();
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    settings.transfer.compress = true;
+    let mut ide = HeadlessIde::open_in_proc(&server, settings, &project).unwrap();
+
+    println!("════ Figure 1: the main menu ════");
+    println!("{}", ide.render_main_menu());
+
+    println!("════ Figure 2: the settings dialog ════");
+    println!("{}\n", ide.render_settings_dialog());
+
+    println!("════ Figure 3(a): Import UDFs ════");
+    let mut import = ide.open_import_dialog().unwrap();
+    import.import_all = true;
+    println!("{}\n", import.render());
+    ide.confirm_import(&import).unwrap();
+
+    println!("════ the interactive debugger (scripted session) ════");
+    // A scripted REPL session: look at locals, step, print a variable, go.
+    let commands = "l\nn\np distance\nc\n";
+    let out = SharedBuf::new();
+    let controller = ReplController::new(Cursor::new(commands.to_string()), out.clone());
+    let dbg = controller.into_debugger();
+    dbg.borrow_mut()
+        .add_breakpoint(8 + devudf::transform::BODY_LINE_OFFSET);
+    ide.dev.debug_udf("mean_deviation", dbg).unwrap();
+    println!("{}", out.contents());
+
+    println!("════ Figure 3(b): Export UDFs ════");
+    let mut export = ide.open_export_dialog().unwrap();
+    export.toggle("mean_deviation");
+    println!("{}", export.render());
+    ide.confirm_export(&export).unwrap();
+    println!("\nexported mean_deviation back to the server.");
+
+    std::fs::remove_dir_all(&project).ok();
+    server.shutdown();
+}

@@ -1,0 +1,104 @@
+//! Demo Scenario A (paper §2.5 + Listing 4): a *semantic* bug.
+//!
+//! `mean_deviation` accumulates `column[i] - mean` instead of
+//! `abs(column[i] - mean)` — syntactically fine, logically wrong: the signed
+//! deviations cancel to ~0. Print debugging shows only the wrong final
+//! number; the interactive debugger shows `distance` going negative, which
+//! is impossible for a true absolute deviation.
+//!
+//! ```sh
+//! cargo run --example scenario_a_mean_deviation
+//! ```
+
+use devudf::{DevUdf, Settings};
+use pylite::{DebugCommand, Debugger};
+use wireproto::{Server, ServerConfig};
+
+/// Paper Listing 4, verbatim body (the bug is on the `distance +=` line).
+const LISTING4: &str = concat!(
+    "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
+    "mean = 0\n",
+    "for i in range(0, len(column)):\n",
+    "    mean += column[i]\n",
+    "mean = mean / len(column)\n",
+    "distance = 0\n",
+    "for i in range(0, len(column)):\n",
+    "    distance += column[i] - mean\n",
+    "deviation = distance / len(column)\n",
+    "return deviation\n",
+    "}"
+);
+
+fn main() {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        let values: Vec<String> = (1..=20).map(|i| format!("({i})")).collect();
+        db.execute(&format!("INSERT INTO numbers VALUES {}", values.join(", ")))
+            .unwrap();
+        db.execute(LISTING4).unwrap();
+    });
+
+    let project = std::env::temp_dir().join(format!("devudf-scenario-a-{}", std::process::id()));
+    std::fs::remove_dir_all(&project).ok();
+    std::fs::create_dir_all(&project).unwrap();
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &project).unwrap();
+
+    println!("── step 1: run the UDF the traditional way (inside the server)");
+    let t = dev
+        .server_query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    print!("{}", t.render_ascii());
+    println!("mean |x - mean| of 1..20 should be 5.0, not 0.0. Why?\n");
+
+    println!("── step 3: print debugging (the paper's 'simplistic strategy')");
+    dev.server_query(&LISTING4.replace(
+        "deviation = distance / len(column)",
+        "print('distance is', distance)\ndeviation = distance / len(column)",
+    ).replace("CREATE FUNCTION", "CREATE OR REPLACE FUNCTION"))
+        .unwrap();
+    dev.server_query("SELECT mean_deviation(i) FROM numbers").unwrap();
+    print!("{}", dev.client().borrow_mut().last_udf_stdout());
+    println!("…one number, no insight into *when* it went wrong. Recreate + rerun for every probe.\n");
+
+    println!("── step 4: devUDF — import and debug interactively, locally");
+    dev.import(&["mean_deviation"]).unwrap();
+    let dbg = Debugger::scripted(vec![DebugCommand::Continue; 64]);
+    // Break on the buggy accumulation line (body line 7).
+    dbg.borrow_mut()
+        .add_breakpoint(7 + devudf::transform::BODY_LINE_OFFSET);
+    dbg.borrow_mut().add_watch("distance");
+    let outcome = dev.debug_udf("mean_deviation", dbg.clone()).unwrap();
+    println!("paused {} times; watch values of `distance`:", outcome.pauses);
+    for pause in dbg.borrow().pauses().iter().take(6) {
+        println!("  line {}: distance = {}", pause.line, pause.watches[0].1);
+    }
+    println!("  …negative! A sum of absolute values can never be negative → missing abs().\n");
+
+    println!("── fix locally, verify locally, export");
+    let script = dev.project.read_udf("mean_deviation").unwrap();
+    dev.project
+        .write_udf(
+            "mean_deviation",
+            &script.replace(
+                "distance += column[i] - mean",
+                "distance += abs(column[i] - mean)",
+            ),
+        )
+        .unwrap();
+    let local = dev.run_udf("mean_deviation").unwrap();
+    println!("local result = {}", local.result_repr);
+    dev.export(&["mean_deviation"]).unwrap();
+    let t = dev
+        .server_query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    println!("server result after export:\n{}", t.render_ascii());
+
+    std::fs::remove_dir_all(&project).ok();
+    server.shutdown();
+}

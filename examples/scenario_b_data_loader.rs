@@ -1,0 +1,110 @@
+//! Demo Scenario B (paper §2.5 + Listing 5): a *data-dependent* bug.
+//!
+//! The CSV loader iterates `range(0, len(files) - 1)`, silently skipping
+//! the last file in the directory ("it considers that range is right side
+//! inclusive"). Results look plausible — they are just computed on less
+//! data. The debugger makes the skipped file visible immediately: `files`
+//! has 3 entries, the loop counter stops at 1.
+//!
+//! One incidental deviation from the verbatim listing: files are opened as
+//! `path + '/' + files[i]` because `os.listdir` returns bare names (the
+//! paper's `open(files[i], …)` assumes the server's working directory; see
+//! EXPERIMENTS.md L5).
+//!
+//! ```sh
+//! cargo run --example scenario_b_data_loader
+//! ```
+
+use devudf::{DevUdf, Settings};
+use pylite::{DebugCommand, Debugger};
+use wireproto::{Server, ServerConfig};
+
+const LISTING5: &str = concat!(
+    "CREATE FUNCTION loadnumbers(path STRING) RETURNS TABLE(i INTEGER) LANGUAGE PYTHON {\n",
+    "import os\n",
+    "files = os.listdir(path)\n",
+    "result = []\n",
+    "for i in range(0, len(files) - 1):\n",
+    "    file = open(path + '/' + files[i], 'r')\n",
+    "    for line in file:\n",
+    "        result.append(int(line))\n",
+    "return result\n",
+    "}"
+);
+
+const CSVS: &[(&str, &str)] = &[
+    ("data/part1.csv", "1\n2\n3\n"),
+    ("data/part2.csv", "4\n5\n6\n"),
+    ("data/part3.csv", "7\n8\n9\n"),
+];
+
+fn main() {
+    // The server's filesystem holds the CSV directory the demo ingests.
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        for (path, content) in CSVS {
+            db.fs().write(path, content.as_bytes()).unwrap();
+        }
+        db.execute(LISTING5).unwrap();
+    });
+
+    let project = std::env::temp_dir().join(format!("devudf-scenario-b-{}", std::process::id()));
+    std::fs::remove_dir_all(&project).ok();
+    std::fs::create_dir_all(&project).unwrap();
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT * FROM loadnumbers('data')".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &project).unwrap();
+
+    println!("── the loader runs 'fine' in the server, but the numbers are off:");
+    let t = dev
+        .server_query("SELECT sum(i), count(*) FROM loadnumbers('data')")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    print!("{}", t.render_ascii());
+    println!("expected sum(1..9) = 45 over 9 rows — we got less. Which file vanished?\n");
+
+    println!("── devUDF: import and debug locally");
+    dev.import(&["loadnumbers"]).unwrap();
+    // Mirror the demo's CSV directory into the project so the local run
+    // sees the same data (the demo setup step: CSVs live in one directory).
+    for (path, content) in CSVS {
+        dev.project.fs_provider().write(path, content.as_bytes()).unwrap();
+    }
+
+    let dbg = Debugger::scripted(vec![DebugCommand::Continue; 64]);
+    // Break on the loop header (body line 4) and watch the bound.
+    dbg.borrow_mut()
+        .add_breakpoint(5 + devudf::transform::BODY_LINE_OFFSET);
+    dbg.borrow_mut().add_watch("files");
+    dbg.borrow_mut().add_watch("len(files) - 1");
+    dbg.borrow_mut().add_watch("i");
+    let outcome = dev.debug_udf("loadnumbers", dbg.clone()).unwrap();
+    println!("paused {} times at the file-open line:", outcome.pauses);
+    for pause in dbg.borrow().pauses() {
+        let w = &pause.watches;
+        println!("  {} = {}, loop bound = {}, i = {}", w[0].0, w[0].1, w[1].1, w[2].1);
+    }
+    println!("  3 files, but the loop bound is 2 → part3.csv is never opened.");
+    println!("  `range(0, len(files) - 1)` excludes the end already; the -1 is the bug.\n");
+
+    println!("── fix, verify locally, export");
+    let script = dev.project.read_udf("loadnumbers").unwrap();
+    dev.project
+        .write_udf(
+            "loadnumbers",
+            &script.replace("range(0, len(files) - 1)", "range(0, len(files))"),
+        )
+        .unwrap();
+    let local = dev.run_udf("loadnumbers").unwrap();
+    println!("local result = {}", local.result_repr);
+    dev.export(&["loadnumbers"]).unwrap();
+    let t = dev
+        .server_query("SELECT sum(i), count(*) FROM loadnumbers('data')")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    println!("server after export:\n{}", t.render_ascii());
+
+    std::fs::remove_dir_all(&project).ok();
+    server.shutdown();
+}

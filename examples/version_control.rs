@@ -1,0 +1,110 @@
+//! Version control over UDFs (paper §1): "UDFs are stored within the
+//! database server. As a result, version control systems such as Git cannot
+//! be easily integrated." Once devUDF turns UDFs into project files, they
+//! version like any other code — this example walks the full history loop.
+//!
+//! ```sh
+//! cargo run --example version_control
+//! ```
+
+use devudf::{DevUdf, Settings};
+use minivcs::ObjectId;
+use wireproto::{Server, ServerConfig};
+
+fn main() {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3), (4), (5), (6)").unwrap();
+        db.execute(concat!(
+            "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
+            "mean = 0\n",
+            "for i in range(0, len(column)):\n",
+            "    mean += column[i]\n",
+            "mean = mean / len(column)\n",
+            "distance = 0\n",
+            "for i in range(0, len(column)):\n",
+            "    distance += column[i] - mean\n",
+            "return distance / len(column)\n",
+            "}"
+        ))
+        .unwrap();
+    });
+
+    let project = std::env::temp_dir().join(format!("devudf-vcs-{}", std::process::id()));
+    std::fs::remove_dir_all(&project).ok();
+    std::fs::create_dir_all(&project).unwrap();
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &project).unwrap();
+    dev.project.init_vcs().unwrap();
+
+    println!("── import the UDF and commit the pristine version");
+    dev.import_all().unwrap();
+    let c1 = dev.project.commit_all("import mean_deviation from server", "dev").unwrap();
+    println!("committed {}", &c1[..10]);
+
+    println!("\n── fix the bug locally and commit the fix");
+    let script = dev.project.read_udf("mean_deviation").unwrap();
+    dev.project
+        .write_udf(
+            "mean_deviation",
+            &script.replace(
+                "distance += column[i] - mean",
+                "distance += abs(column[i] - mean)",
+            ),
+        )
+        .unwrap();
+    let c2 = dev
+        .project
+        .commit_all("fix: take the absolute deviation (Scenario A)", "dev")
+        .unwrap();
+    println!("committed {}", &c2[..10]);
+
+    println!("\n── history (newest first):");
+    let repo = dev.project.vcs().unwrap();
+    for commit in repo.log().unwrap() {
+        println!("  {}  #{}  {}", &commit.id[..10], commit.seq, commit.message);
+    }
+
+    println!("\n── the diff between the two versions:");
+    let diff = repo
+        .diff_file(
+            "mean_deviation.py",
+            &ObjectId(c1.clone()),
+            Some(&ObjectId(c2.clone())),
+        )
+        .unwrap();
+    for line in diff.lines().filter(|l| l.starts_with('+') || l.starts_with('-')) {
+        println!("  {line}");
+    }
+
+    println!("\n── status after an uncommitted tweak:");
+    let script = dev.project.read_udf("mean_deviation").unwrap();
+    dev.project
+        .write_udf("mean_deviation", &format!("{script}# reviewed\n"))
+        .unwrap();
+    for (path, status) in dev.project.vcs().unwrap().status().unwrap().entries {
+        println!("  {status:?}: {path}");
+    }
+
+    println!("\n── checkout the buggy version again (time travel), then back:");
+    repo.checkout(&ObjectId(c1)).unwrap();
+    let restored = dev.project.read_udf("mean_deviation").unwrap();
+    println!(
+        "  buggy line restored: {}",
+        restored.contains("distance += column[i] - mean")
+    );
+    repo.checkout(&ObjectId(c2)).unwrap();
+
+    println!("\n── export the fixed version to the server and verify:");
+    dev.export(&["mean_deviation"]).unwrap();
+    let t = dev
+        .server_query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    print!("{}", t.render_ascii());
+
+    std::fs::remove_dir_all(&project).ok();
+    server.shutdown();
+}

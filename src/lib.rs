@@ -1,0 +1,10 @@
+//! Umbrella crate for the devUDF reproduction: re-exports every workspace
+//! crate so integration tests and examples can use a single dependency root.
+
+pub use codecs;
+pub use devudf;
+pub use devudf_ide;
+pub use minivcs;
+pub use monetlite;
+pub use pylite;
+pub use wireproto;

@@ -1,0 +1,262 @@
+//! Cross-crate end-to-end tests: TCP transport, VCS integration, workflow
+//! comparison, execution models, and failure injection across the stack.
+
+use devudf::{workflow, DevUdf, Settings};
+use wireproto::{Server, ServerConfig, TransferOptions, WireError, WireValue};
+
+fn temp_project(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "devudf-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn demo_server(rows: usize) -> Server {
+    Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), move |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        // Locally repetitive values: realistic and compressible.
+        let values: Vec<String> = (1..=rows).map(|i| format!("({})", i % 50)).collect();
+        for chunk in values.chunks(1000) {
+            db.execute(&format!("INSERT INTO numbers VALUES {}", chunk.join(", ")))
+                .unwrap();
+        }
+        db.execute(concat!(
+            "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
+            "mean = 0\n",
+            "for i in range(0, len(column)):\n",
+            "    mean += column[i]\n",
+            "mean = mean / len(column)\n",
+            "distance = 0\n",
+            "for i in range(0, len(column)):\n",
+            "    distance += abs(column[i] - mean)\n",
+            "return distance / len(column)\n",
+            "}"
+        ))
+        .unwrap();
+    })
+}
+
+#[test]
+fn full_cycle_over_tcp() {
+    let server = demo_server(50);
+    let addr = server.listen_tcp().unwrap();
+    let dir = temp_project("tcp");
+    let mut settings = Settings::default();
+    settings.host = addr.ip().to_string();
+    settings.port = addr.port();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_tcp(settings, &dir).unwrap();
+    dev.import_all().unwrap();
+    let outcome = dev.run_udf("mean_deviation").unwrap();
+    assert!(matches!(outcome.result, pylite::Value::Float(f) if f > 0.0));
+    dev.export(&["mean_deviation"]).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn vcs_tracks_the_fix_history() {
+    let server = demo_server(20);
+    let dir = temp_project("vcs");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+    dev.project.init_vcs().unwrap();
+
+    dev.import_all().unwrap();
+    let c1 = dev.project.commit_all("import UDFs from server", "dev").unwrap();
+
+    let script = dev.project.read_udf("mean_deviation").unwrap();
+    dev.project
+        .write_udf("mean_deviation", &script.replace("abs(", "abs( "))
+        .unwrap();
+    let c2 = dev.project.commit_all("cosmetic tweak", "dev").unwrap();
+    assert_ne!(c1, c2);
+
+    let repo = dev.project.vcs().unwrap();
+    let log = repo.log().unwrap();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].message, "cosmetic tweak");
+    let diff = repo
+        .diff_file(
+            "mean_deviation.py",
+            &minivcs::ObjectId(c1.clone()),
+            Some(&minivcs::ObjectId(c2.clone())),
+        )
+        .unwrap();
+    assert!(diff.contains("-"), "diff shows the change:\n{diff}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn workflow_comparison_round_trips() {
+    let server = demo_server(500);
+    let dir = temp_project("workflow");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+
+    let trad = workflow::traditional_workflow(
+        &mut dev,
+        "CREATE OR REPLACE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON",
+        "SELECT mean_deviation(i) FROM numbers",
+        6,
+        |i| format!("return {i}.0 + sum(column) * 0\n"),
+    )
+    .unwrap();
+    let devw = workflow::devudf_workflow(&mut dev, "mean_deviation", 6, |i, original| {
+        original.replace("return", &format!("ignored = {i}\n    return"))
+    })
+    .unwrap();
+    assert_eq!(trad.server_round_trips, 12);
+    assert!(devw.server_round_trips < trad.server_round_trips);
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn sampling_transfers_fewer_bytes_end_to_end() {
+    let server = demo_server(5_000);
+    let dir = temp_project("sampling");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    settings.transfer.sample = Some(100);
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+    dev.import_all().unwrap();
+    let stats = dev.fetch_inputs("mean_deviation").unwrap();
+    // Running locally on the sample still works and is plausible.
+    let outcome = dev.run_udf("mean_deviation").unwrap();
+    assert!(matches!(outcome.result, pylite::Value::Float(f) if f > 0.0));
+    // 100 of 5000 rows → a small payload.
+    let full_estimate = 5_000 * 2; // ≥2 bytes per varint-encoded value
+    assert!(stats.wire_len < full_estimate / 5, "{}", stats.wire_len);
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn server_rejects_bad_password_and_client_reports_auth_error() {
+    let server = demo_server(5);
+    let err = wireproto::Client::connect_in_proc(&server, "monetdb", "oops", "demo").unwrap_err();
+    assert!(matches!(err, WireError::Auth(_)));
+    server.shutdown();
+}
+
+#[test]
+fn udf_runtime_error_travels_with_traceback_through_every_layer() {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute(concat!(
+            "CREATE FUNCTION crashy(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\n",
+            "x = 10\n",
+            "return x / (len(i) - len(i))\n",
+            "}"
+        ))
+        .unwrap();
+    });
+    let mut client =
+        wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    let err = client.query("SELECT crashy(i) FROM t").unwrap_err();
+    match err {
+        WireError::Server {
+            code, traceback, ..
+        } => {
+            assert_eq!(code, "UdfError");
+            let tb = traceback.unwrap();
+            assert!(tb.contains("line 2"), "{tb}");
+            assert!(tb.contains("ZeroDivisionError"), "{tb}");
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tuple_at_a_time_server_matches_operator_at_a_time_for_rowwise_udfs() {
+    // §2.4: for per-row UDFs the two models must agree on results.
+    let run = |model: monetlite::ExecutionModel| -> Vec<WireValue> {
+        let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), move |db| {
+            db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+            db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+            db.execute(
+                "CREATE FUNCTION sq(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i * i }",
+            )
+            .unwrap();
+            db.set_model(model);
+        });
+        let mut client =
+            wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+        let t = client
+            .query("SELECT sq(i) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let vals: Vec<WireValue> = t.rows.into_iter().map(|mut r| r.remove(0)).collect();
+        server.shutdown();
+        vals
+    };
+    assert_eq!(
+        run(monetlite::ExecutionModel::OperatorAtATime),
+        run(monetlite::ExecutionModel::TupleAtATime)
+    );
+}
+
+#[test]
+fn transfer_options_matrix_end_to_end() {
+    let server = demo_server(300);
+    for (compress, encrypt, sample) in [
+        (false, false, None),
+        (true, false, None),
+        (false, true, None),
+        (true, true, Some(50usize)),
+    ] {
+        let dir = temp_project(&format!("matrix-{compress}-{encrypt}-{sample:?}"));
+        let mut settings = Settings::default();
+        settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+        settings.transfer.compress = compress;
+        settings.transfer.encrypt = encrypt;
+        settings.transfer.sample = sample;
+        let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+        dev.import_all().unwrap();
+        let outcome = dev.run_udf("mean_deviation").unwrap();
+        assert!(
+            matches!(outcome.result, pylite::Value::Float(f) if f > 0.0),
+            "options ({compress},{encrypt},{sample:?})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn extract_options_also_work_directly_on_the_client() {
+    let server = demo_server(1_000);
+    let mut client =
+        wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    let (plain, plain_stats) = client
+        .extract_inputs(
+            "SELECT mean_deviation(i) FROM numbers",
+            "mean_deviation",
+            TransferOptions::plain(),
+        )
+        .unwrap();
+    let (compressed, compressed_stats) = client
+        .extract_inputs(
+            "SELECT mean_deviation(i) FROM numbers",
+            "mean_deviation",
+            TransferOptions::compressed(),
+        )
+        .unwrap();
+    assert!(plain.py_eq(&compressed), "payload content identical");
+    assert!(compressed_stats.wire_len < plain_stats.wire_len);
+    server.shutdown();
+}

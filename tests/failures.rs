@@ -1,0 +1,210 @@
+//! Failure injection across the stack: every layer must fail loudly and
+//! cleanly, never hang or corrupt state.
+
+use devudf::{DevUdf, DevUdfError, Settings};
+use wireproto::{Server, ServerConfig, WireError};
+
+fn temp_project(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "devudf-fail-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn demo_server() -> Server {
+    Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3)").unwrap();
+        db.execute(
+            "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return sum(column) / len(column) }",
+        )
+        .unwrap();
+    })
+}
+
+#[test]
+fn client_errors_cleanly_after_server_shutdown() {
+    let server = demo_server();
+    let mut client =
+        wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    let err = client.query("SELECT 1").unwrap_err();
+    assert!(matches!(err, WireError::Io(_)), "{err:?}");
+}
+
+#[test]
+fn corrupted_input_bin_fails_with_pickle_error() {
+    let server = demo_server();
+    let dir = temp_project("corrupt-input");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT f(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+    dev.import_all().unwrap();
+    dev.fetch_inputs("f").unwrap();
+    // Corrupt the transferred data on disk.
+    std::fs::write(dir.join("input.bin"), b"definitely not a pickle").unwrap();
+    let err = dev.run_udf("f").unwrap_err();
+    match err {
+        DevUdfError::Python(e) => assert!(e.message.contains("pickle"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    // Refetching repairs the project.
+    dev.fetch_inputs("f").unwrap();
+    assert!(dev.run_udf("f").is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn export_after_server_side_drop_fails_cleanly() {
+    let server = demo_server();
+    let dir = temp_project("dropped");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT f(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+    dev.import_all().unwrap();
+    dev.server_query("DROP FUNCTION f").unwrap();
+    let err = dev.export(&["f"]).unwrap_err();
+    match err {
+        DevUdfError::Wire(WireError::Server { code, .. }) => assert_eq!(code, "CatalogError"),
+        other => panic!("{other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn debug_query_not_invoking_the_udf_is_a_clean_error() {
+    let server = demo_server();
+    let dir = temp_project("noinvoke");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT i FROM numbers".to_string(); // no UDF call
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+    dev.import_all().unwrap();
+    let err = dev.fetch_inputs("f").unwrap_err();
+    match err {
+        DevUdfError::Wire(WireError::Server { message, .. }) => {
+            assert!(message.contains("does not invoke"), "{message}")
+        }
+        other => panic!("{other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn runaway_udf_is_stopped_by_the_step_budget() {
+    let db = monetlite::Engine::new();
+    db.set_udf_step_budget(10_000);
+    db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    db.execute(
+        "CREATE FUNCTION forever(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nwhile True:\n    pass\nreturn 1\n}",
+    )
+    .unwrap();
+    let err = db.execute("SELECT forever(i) FROM t").unwrap_err();
+    assert!(err.message.contains("budget"), "{err}");
+    // The engine is still usable afterwards.
+    assert!(db.execute("SELECT count(*) FROM t").is_ok());
+}
+
+#[test]
+fn deep_udf_recursion_is_capped_not_a_stack_overflow() {
+    let db = monetlite::Engine::new();
+    db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    db.execute(
+        "CREATE FUNCTION deep(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\ndef rec(n):\n    return rec(n + 1)\nreturn rec(0)\n}",
+    )
+    .unwrap();
+    let err = db.execute("SELECT deep(i) FROM t").unwrap_err();
+    assert!(err.message.contains("recursion"), "{err}");
+}
+
+#[test]
+fn loopback_recursion_through_the_engine_is_bounded() {
+    // A UDF that invokes itself through a loopback query must not hang or
+    // blow the stack: the interpreter recursion/step guards fire first.
+    let db = monetlite::Engine::new();
+    db.set_udf_step_budget(100_000);
+    db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    db.execute(
+        "CREATE FUNCTION ouro(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nres = _conn.execute('SELECT ouro(i) FROM t')\nreturn 1\n}",
+    )
+    .unwrap();
+    let err = db.execute("SELECT ouro(i) FROM t").unwrap_err();
+    // Whatever guard fires (budget or stack depth), it must be an error,
+    // not a crash.
+    assert_eq!(err.code, monetlite::ErrorCode::Udf);
+}
+
+#[test]
+fn malformed_frames_do_not_kill_the_server() {
+    let server = demo_server();
+    let (sender, session) = server.in_proc_connection();
+    // Send raw garbage as a frame body.
+    let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+    sender
+        .send(wireproto::server::ServerRequest::Frame {
+            session,
+            body: vec![0xde, 0xad, 0xbe, 0xef],
+            reply: reply_tx,
+        })
+        .unwrap();
+    let reply = reply_rx.recv().unwrap();
+    match wireproto::Message::decode(&reply).unwrap() {
+        wireproto::Message::Error { code, .. } => assert_eq!(code, "ProtocolError"),
+        other => panic!("{other:?}"),
+    }
+    // The server still answers healthy clients.
+    let mut client =
+        wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn vcs_checkout_of_bogus_commit_errors() {
+    let dir = temp_project("vcs-bogus");
+    let repo = minivcs::Repository::init(&dir).unwrap();
+    let err = repo.checkout(&minivcs::ObjectId("0123456789abcdef".to_string()));
+    assert!(err.is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn local_loopback_recursion_is_bounded_too() {
+    // A self-recursive UDF debugged *locally* must hit the devUDF-side
+    // nesting guard, not the native stack.
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute(
+            "CREATE FUNCTION ouro(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nres = _conn.execute('SELECT ouro(i) FROM t')\nreturn 1\n}",
+        )
+        .unwrap();
+    });
+    let dir = temp_project("local-ouro");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT ouro(i) FROM t".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+    dev.import_all().unwrap();
+    let err = dev.run_udf("ouro").unwrap_err();
+    match err {
+        DevUdfError::Python(e) => {
+            assert!(
+                e.message.contains("depth") || e.message.contains("recursion"),
+                "{e}"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}

@@ -1,0 +1,203 @@
+//! The paper's two demo scenarios (§2.5), end-to-end: the bug is observed
+//! the traditional way, localized with the interactive debugger, fixed
+//! locally, exported, and verified server-side.
+
+use devudf::{transform, DevUdf, Settings};
+use pylite::{DebugCommand, Debugger};
+use wireproto::{Server, ServerConfig, WireValue};
+
+fn temp_project(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "devudf-scen-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const LISTING4: &str = concat!(
+    "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
+    "mean = 0\n",
+    "for i in range(0, len(column)):\n",
+    "    mean += column[i]\n",
+    "mean = mean / len(column)\n",
+    "distance = 0\n",
+    "for i in range(0, len(column)):\n",
+    "    distance += column[i] - mean\n",
+    "deviation = distance / len(column)\n",
+    "return deviation\n",
+    "}"
+);
+
+#[test]
+fn scenario_a_full_cycle() {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        let rows: Vec<String> = (1..=30).map(|i| format!("({i})")).collect();
+        db.execute(&format!("INSERT INTO numbers VALUES {}", rows.join(", ")))
+            .unwrap();
+        db.execute(LISTING4).unwrap();
+    });
+    let dir = temp_project("a");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+
+    // Step 1/2: the wrong server-side answer.
+    let before = dev
+        .server_query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    assert!(matches!(before.rows[0][0], WireValue::Double(d) if d.abs() < 1e-9));
+
+    // Step 4: import + interactive debugging reveals the sign bug.
+    dev.import(&["mean_deviation"]).unwrap();
+    let dbg = Debugger::scripted(vec![DebugCommand::Continue; 64]);
+    dbg.borrow_mut()
+        .add_breakpoint(7 + transform::BODY_LINE_OFFSET);
+    dbg.borrow_mut().add_watch("distance");
+    let outcome = dev.debug_udf("mean_deviation", dbg.clone()).unwrap();
+    assert_eq!(outcome.pauses, 30, "one pause per row");
+    let negative_seen = dbg
+        .borrow()
+        .pauses()
+        .iter()
+        .any(|p| p.watches[0].1.starts_with('-'));
+    assert!(negative_seen, "debugger exposes the impossible negative distance");
+
+    // Fix locally, verify locally.
+    let script = dev.project.read_udf("mean_deviation").unwrap();
+    dev.project
+        .write_udf(
+            "mean_deviation",
+            &script.replace(
+                "distance += column[i] - mean",
+                "distance += abs(column[i] - mean)",
+            ),
+        )
+        .unwrap();
+    let local = dev.run_udf("mean_deviation").unwrap();
+    match local.result {
+        pylite::Value::Float(f) => assert!((f - 7.5).abs() < 1e-9, "mean |x-15.5| of 1..30 = 7.5, got {f}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Export and verify server-side.
+    dev.export(&["mean_deviation"]).unwrap();
+    let after = dev
+        .server_query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    assert!(matches!(after.rows[0][0], WireValue::Double(d) if (d - 7.5).abs() < 1e-9));
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn scenario_b_full_cycle() {
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        for (name, content) in [
+            ("data/part1.csv", "1\n2\n3\n"),
+            ("data/part2.csv", "4\n5\n6\n"),
+            ("data/part3.csv", "7\n8\n9\n"),
+        ] {
+            db.fs().write(name, content.as_bytes()).unwrap();
+        }
+        db.execute(concat!(
+            "CREATE FUNCTION loadnumbers(path STRING) RETURNS TABLE(i INTEGER) LANGUAGE PYTHON {\n",
+            "import os\n",
+            "files = os.listdir(path)\n",
+            "result = []\n",
+            "for i in range(0, len(files) - 1):\n",
+            "    file = open(path + '/' + files[i], 'r')\n",
+            "    for line in file:\n",
+            "        result.append(int(line))\n",
+            "return result\n",
+            "}"
+        ))
+        .unwrap();
+    });
+    let dir = temp_project("b");
+    let mut settings = Settings::default();
+    settings.debug_query = "SELECT * FROM loadnumbers('data')".to_string();
+    let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+
+    // The data-dependent bug: sum over 6 instead of 9 values.
+    let before = dev
+        .server_query("SELECT sum(i) FROM loadnumbers('data')")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    assert_eq!(before.rows[0][0], WireValue::Int(21));
+
+    // Debug locally: mirror the CSV directory into the project (demo setup).
+    dev.import(&["loadnumbers"]).unwrap();
+    for (name, content) in [
+        ("data/part1.csv", "1\n2\n3\n"),
+        ("data/part2.csv", "4\n5\n6\n"),
+        ("data/part3.csv", "7\n8\n9\n"),
+    ] {
+        dev.project.fs_provider().write(name, content.as_bytes()).unwrap();
+    }
+    let dbg = Debugger::scripted(vec![DebugCommand::Continue; 16]);
+    dbg.borrow_mut()
+        .add_breakpoint(5 + transform::BODY_LINE_OFFSET);
+    dbg.borrow_mut().add_watch("len(files)");
+    let outcome = dev.debug_udf("loadnumbers", dbg.clone()).unwrap();
+    // The loop body runs only twice even though there are three files.
+    assert_eq!(outcome.pauses, 2);
+    assert_eq!(dbg.borrow().pauses()[0].watches[0].1, "3");
+
+    // Fix, verify locally, export, verify remotely.
+    let script = dev.project.read_udf("loadnumbers").unwrap();
+    dev.project
+        .write_udf(
+            "loadnumbers",
+            &script.replace("range(0, len(files) - 1)", "range(0, len(files))"),
+        )
+        .unwrap();
+    let local = dev.run_udf("loadnumbers").unwrap();
+    assert_eq!(
+        local.result,
+        pylite::Value::list((1..=9).map(pylite::Value::Int).collect())
+    );
+    dev.export(&["loadnumbers"]).unwrap();
+    let after = dev
+        .server_query("SELECT sum(i), count(*) FROM loadnumbers('data')")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    assert_eq!(after.rows[0][0], WireValue::Int(45));
+    assert_eq!(after.rows[0][1], WireValue::Int(9));
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
+fn print_debugging_baseline_gives_less_insight() {
+    // The paper's step 3: print debugging requires re-CREATE + rerun per
+    // probe and only surfaces final aggregates.
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3)").unwrap();
+        db.execute(LISTING4).unwrap();
+    });
+    let mut client =
+        wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    // Probe 1: recreate with a print.
+    client
+        .query(&LISTING4.replace("CREATE FUNCTION", "CREATE OR REPLACE FUNCTION").replace(
+            "deviation = distance / len(column)",
+            "print('distance =', distance)\ndeviation = distance / len(column)",
+        ))
+        .unwrap();
+    client.query("SELECT mean_deviation(i) FROM numbers").unwrap();
+    assert!(client.last_udf_stdout().contains("distance ="));
+    server.shutdown();
+}
