@@ -1,6 +1,6 @@
 //! C8: codec microbenchmarks — LZ compression, ChaCha20, SHA-256, pickle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use devharness::bench::{BenchmarkId, Harness, Throughput};
 use pylite::{pickle, Array, Value};
 
 fn csv_like(len: usize) -> Vec<u8> {
@@ -15,19 +15,14 @@ fn csv_like(len: usize) -> Vec<u8> {
 }
 
 fn random_bytes(len: usize) -> Vec<u8> {
-    let mut state = 0x9e3779b97f4a7c15u64;
-    (0..len)
-        .map(|_| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state & 0xff) as u8
-        })
-        .collect()
+    let mut rng = devharness::Rng::new(0x9e37_79b9_7f4a_7c15);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
 }
 
-fn bench_lz(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lz");
+fn bench_lz(h: &mut Harness) {
+    let mut group = h.benchmark_group("lz");
     for (label, data) in [
         ("csv_1MiB", csv_like(1 << 20)),
         ("random_1MiB", random_bytes(1 << 20)),
@@ -38,15 +33,17 @@ fn bench_lz(c: &mut Criterion) {
             b.iter(|| codecs::lz::compress(d))
         });
         let compressed = codecs::lz::compress(&data);
-        group.bench_with_input(BenchmarkId::new("decompress", label), &compressed, |b, d| {
-            b.iter(|| codecs::lz::decompress(d).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress", label),
+            &compressed,
+            |b, d| b.iter(|| codecs::lz::decompress(d).unwrap()),
+        );
     }
     group.finish();
 }
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crypto");
+fn bench_crypto(h: &mut Harness) {
+    let mut group = h.benchmark_group("crypto");
     let data = csv_like(1 << 20);
     group.throughput(Throughput::Bytes(data.len() as u64));
     let key = [7u8; 32];
@@ -61,8 +58,8 @@ fn bench_crypto(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_pickle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pickle");
+fn bench_pickle(h: &mut Harness) {
+    let mut group = h.benchmark_group("pickle");
     for rows in [1_000usize, 100_000] {
         let mut d = pylite::value::Dict::new();
         d.insert(
@@ -83,5 +80,10 @@ fn bench_pickle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lz, bench_crypto, bench_pickle);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("codecs");
+    bench_lz(&mut h);
+    bench_crypto(&mut h);
+    bench_pickle(&mut h);
+    h.finish();
+}

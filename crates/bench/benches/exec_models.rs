@@ -1,11 +1,11 @@
 //! C5: operator-at-a-time vs tuple-at-a-time UDF invocation (paper §2.4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use devharness::bench::{BenchmarkId, Harness, Throughput};
 use devudf_bench::seed_numbers;
 use monetlite::{Engine, ExecutionModel};
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("udf_invocation_model");
+fn bench_models(h: &mut Harness) {
+    let mut group = h.benchmark_group("udf_invocation_model");
     group.sample_size(10);
     for rows in [100usize, 1_000, 10_000] {
         let db = Engine::new();
@@ -24,14 +24,15 @@ fn bench_models(c: &mut Criterion) {
         );
 
         db.set_model(ExecutionModel::TupleAtATime);
-        group.bench_with_input(
-            BenchmarkId::new("tuple_at_a_time", rows),
-            &rows,
-            |b, _| b.iter(|| db.execute("SELECT inc(i) FROM numbers").unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("tuple_at_a_time", rows), &rows, |b, _| {
+            b.iter(|| db.execute("SELECT inc(i) FROM numbers").unwrap())
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_models);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("exec_models");
+    bench_models(&mut h);
+    h.finish();
+}

@@ -1,33 +1,30 @@
 //! C7: import/export scaling with UDF count and body size (plugin
 //! responsiveness — the paper's Figure 3 dialogs must stay interactive).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use devharness::bench::{BenchmarkId, Harness};
 use devudf_bench::bench_session;
 use wireproto::{Server, ServerConfig};
 
 fn server_with_udfs(n: usize, body_lines: usize) -> Server {
-    Server::start(
-        ServerConfig::new("demo", "monetdb", "monetdb"),
-        move |db| {
-            db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-            db.execute("INSERT INTO numbers VALUES (1), (2)").unwrap();
-            for i in 0..n {
-                let mut body = String::from("acc = 0\n");
-                for j in 0..body_lines {
-                    body.push_str(&format!("acc = acc + {j}\n"));
-                }
-                body.push_str("return acc + sum(column)\n");
-                db.execute(&format!(
+    Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), move |db| {
+        db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2)").unwrap();
+        for i in 0..n {
+            let mut body = String::from("acc = 0\n");
+            for j in 0..body_lines {
+                body.push_str(&format!("acc = acc + {j}\n"));
+            }
+            body.push_str("return acc + sum(column)\n");
+            db.execute(&format!(
                     "CREATE FUNCTION udf_{i}(column INTEGER) RETURNS INTEGER LANGUAGE PYTHON {{\n{body}}}"
                 ))
                 .unwrap();
-            }
-        },
-    )
+        }
+    })
 }
 
-fn bench_import_export(c: &mut Criterion) {
-    let mut group = c.benchmark_group("import_export");
+fn bench_import_export(h: &mut Harness) {
+    let mut group = h.benchmark_group("import_export");
     group.sample_size(10);
     for n in [1usize, 16, 64] {
         let server = server_with_udfs(n, 20);
@@ -58,5 +55,8 @@ fn bench_import_export(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_import_export);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("import_export");
+    bench_import_export(&mut h);
+    h.finish();
+}

@@ -4,7 +4,7 @@
 //! UDF runs with hooks disabled, with a line tracer, with unhit
 //! breakpoints, and with a hit-and-continue breakpoint.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use devharness::bench::{BenchmarkId, Harness, Throughput};
 use devudf_bench::MEAN_DEVIATION_FIXED_BODY;
 use pylite::{Array, DebugCommand, Debugger, Interp, LineTracer, Value};
 
@@ -19,8 +19,8 @@ fn script() -> String {
     )
 }
 
-fn bench_interp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("debugger_overhead");
+fn bench_interp(h: &mut Harness) {
+    let mut group = h.benchmark_group("debugger_overhead");
     group.sample_size(10);
     let src = script();
     for rows in [1_000usize, 10_000] {
@@ -55,23 +55,27 @@ fn bench_interp(c: &mut Criterion) {
             })
         });
 
-        group.bench_with_input(BenchmarkId::new("hit_breakpoint_once", rows), &rows, |b, _| {
-            b.iter(|| {
-                let mut interp = Interp::new();
-                interp.set_global("col", Value::array(Array::Int(col.clone())));
-                let dbg = Debugger::scripted(vec![DebugCommand::Continue]);
-                // Line 5 of the script: `mean = mean / len(column)` — hit once.
-                dbg.borrow_mut().add_breakpoint(5);
-                interp.set_hook(dbg);
-                interp.eval_module(&src).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hit_breakpoint_once", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let mut interp = Interp::new();
+                    interp.set_global("col", Value::array(Array::Int(col.clone())));
+                    let dbg = Debugger::scripted(vec![DebugCommand::Continue]);
+                    // Line 5 of the script: `mean = mean / len(column)` — hit once.
+                    dbg.borrow_mut().add_breakpoint(5);
+                    interp.set_hook(dbg);
+                    interp.eval_module(&src).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pylite_parse");
+fn bench_parse(h: &mut Harness) {
+    let mut group = h.benchmark_group("pylite_parse");
     group.sample_size(20);
     let src = script().repeat(20);
     group.throughput(Throughput::Bytes(src.len() as u64));
@@ -81,5 +85,9 @@ fn bench_parse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interp, bench_parse);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("interp");
+    bench_interp(&mut h);
+    bench_parse(&mut h);
+    h.finish();
+}

@@ -5,12 +5,12 @@
 //! faster transfer times", sampling "will alleviate the data transfer
 //! overhead", encryption as an affordable option for sensitive data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use devharness::bench::{BenchmarkId, Harness, Throughput};
 use devudf_bench::{bench_server, bench_session};
 use wireproto::TransferOptions;
 
-fn bench_transfer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transfer_extract");
+fn bench_transfer(h: &mut Harness) {
+    let mut group = h.benchmark_group("transfer_extract");
     group.sample_size(10);
     for rows in [1_000usize, 10_000, 100_000] {
         let server = bench_server(rows);
@@ -33,22 +33,18 @@ fn bench_transfer(c: &mut Criterion) {
             ("sample-1pct", TransferOptions::sampled(rows / 100)),
         ];
         for (label, opts) in cases {
-            group.bench_with_input(
-                BenchmarkId::new(label, rows),
-                &opts,
-                |b, opts| {
-                    b.iter(|| {
-                        dev.client()
-                            .borrow_mut()
-                            .extract_inputs(
-                                "SELECT mean_deviation(i) FROM numbers",
-                                "mean_deviation",
-                                *opts,
-                            )
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, rows), &opts, |b, opts| {
+                b.iter(|| {
+                    dev.client()
+                        .borrow_mut()
+                        .extract_inputs(
+                            "SELECT mean_deviation(i) FROM numbers",
+                            "mean_deviation",
+                            *opts,
+                        )
+                        .unwrap()
+                })
+            });
         }
         std::fs::remove_dir_all(dev.project.root()).ok();
         server.shutdown();
@@ -56,5 +52,8 @@ fn bench_transfer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_transfer);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("transfer");
+    bench_transfer(&mut h);
+    h.finish();
+}

@@ -2,21 +2,18 @@
 //! into project files makes version control possible; this measures that
 //! the mini-VCS stays fast at realistic history sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use devharness::bench::{BenchmarkId, Harness};
 use minivcs::{diff_lines, Repository};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "devudf-bench-vcs-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("devudf-bench-vcs-{tag}-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
 
-fn bench_commit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vcs");
+fn bench_commit(h: &mut Harness) {
+    let mut group = h.benchmark_group("vcs");
     group.sample_size(10);
 
     group.bench_function("add_commit_small_file", |b| {
@@ -49,8 +46,8 @@ fn bench_commit(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_diff(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vcs_diff");
+fn bench_diff(h: &mut Harness) {
+    let mut group = h.benchmark_group("vcs_diff");
     for lines in [50usize, 500] {
         let old: String = (0..lines).map(|i| format!("line {i}\n")).collect();
         let new = old.replace(&format!("line {}", lines / 2), "edited line");
@@ -63,5 +60,9 @@ fn bench_diff(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_commit, bench_diff);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("vcs");
+    bench_commit(&mut h);
+    bench_diff(&mut h);
+    h.finish();
+}

@@ -5,11 +5,11 @@
 //! devUDF: edit the local file + run locally on the already-transferred
 //! inputs. The gap grows with the input size and the iteration count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use devharness::bench::{BenchmarkId, Harness};
 use devudf_bench::{bench_server, bench_session, create_mean_deviation, LISTING4_BODY};
 
-fn bench_workflows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workflow_iteration");
+fn bench_workflows(h: &mut Harness) {
+    let mut group = h.benchmark_group("workflow_iteration");
     group.sample_size(10);
     for rows in [1_000usize, 20_000] {
         // Traditional: one iteration = CREATE OR REPLACE + server-side run.
@@ -17,8 +17,10 @@ fn bench_workflows(c: &mut Criterion) {
         let mut dev = bench_session(&server, &format!("bench-wf-trad-{rows}"));
         group.bench_with_input(BenchmarkId::new("traditional", rows), &rows, |b, _| {
             b.iter(|| {
-                dev.server_query(&create_mean_deviation(LISTING4_BODY)).unwrap();
-                dev.server_query("SELECT mean_deviation(i) FROM numbers").unwrap()
+                dev.server_query(&create_mean_deviation(LISTING4_BODY))
+                    .unwrap();
+                dev.server_query("SELECT mean_deviation(i) FROM numbers")
+                    .unwrap()
             })
         });
         std::fs::remove_dir_all(dev.project.root()).ok();
@@ -43,5 +45,8 @@ fn bench_workflows(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workflows);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("workflow");
+    bench_workflows(&mut h);
+    h.finish();
+}

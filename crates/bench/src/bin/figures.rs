@@ -8,7 +8,8 @@ use wireproto::{Server, ServerConfig};
 fn main() {
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-        db.execute("INSERT INTO numbers VALUES (1), (2), (3)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3)")
+            .unwrap();
         for name in ["mean_deviation", "loadnumbers", "train_rnforest"] {
             db.execute(&format!(
                 "CREATE FUNCTION {name}(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {{ return i }}"

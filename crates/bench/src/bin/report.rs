@@ -38,7 +38,11 @@ fn transfer_report() {
             let (_, stats) = dev
                 .client()
                 .borrow_mut()
-                .extract_inputs("SELECT mean_deviation(i) FROM numbers", "mean_deviation", opts)
+                .extract_inputs(
+                    "SELECT mean_deviation(i) FROM numbers",
+                    "mean_deviation",
+                    opts,
+                )
                 .unwrap();
             stats.wire_len
         };
@@ -53,7 +57,9 @@ fn transfer_report() {
         std::fs::remove_dir_all(dev.project.root()).ok();
         server.shutdown();
     }
-    println!("  claim: compression and sampling shrink the transfer; encryption is size-neutral.\n");
+    println!(
+        "  claim: compression and sampling shrink the transfer; encryption is size-neutral.\n"
+    );
 }
 
 /// Ablation: the paper's query-rewriting extract function vs the naive
@@ -96,11 +102,19 @@ fn extract_ablation_report() {
         let mut client =
             wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
         let (_, stats) = client
-            .extract_inputs("SELECT analyze(a) FROM wide", "analyze", TransferOptions::plain())
+            .extract_inputs(
+                "SELECT analyze(a) FROM wide",
+                "analyze",
+                TransferOptions::plain(),
+            )
             .unwrap();
         // Naive alternative: ship the whole table to the client and slice
         // there; its cost is the encoded result-set frame.
-        let table = client.query("SELECT * FROM wide").unwrap().into_table().unwrap();
+        let table = client
+            .query("SELECT * FROM wide")
+            .unwrap()
+            .into_table()
+            .unwrap();
         let naive_bytes = wireproto::Message::ResultSet {
             result: wireproto::message::WireResult::Table(table),
             udf_stdout: String::new(),
@@ -115,7 +129,9 @@ fn extract_ablation_report() {
         );
         server.shutdown();
     }
-    println!("  the rewrite ships only the UDF's inputs — the wider the table, the bigger the win.\n");
+    println!(
+        "  the rewrite ships only the UDF's inputs — the wider the table, the bigger the win.\n"
+    );
 }
 
 /// C4: traditional re-CREATE+rerun loop vs devUDF local loop.
@@ -132,7 +148,12 @@ fn workflow_report() {
         "CREATE OR REPLACE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON",
         "SELECT mean_deviation(i) FROM numbers",
         iterations,
-        |i| LISTING4_BODY.replace("deviation = distance", &format!("attempt = {i}\ndeviation = distance")),
+        |i| {
+            LISTING4_BODY.replace(
+                "deviation = distance",
+                &format!("attempt = {i}\ndeviation = distance"),
+            )
+        },
     )
     .unwrap();
     let trad_wall = start.elapsed();
@@ -174,8 +195,10 @@ fn exec_models_report() {
     for rows in [100usize, 1000, 5000] {
         let db = Engine::new();
         seed_numbers(&db, rows);
-        db.execute("CREATE FUNCTION inc(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i + 1 }")
-            .unwrap();
+        db.execute(
+            "CREATE FUNCTION inc(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i + 1 }",
+        )
+        .unwrap();
 
         db.set_model(ExecutionModel::OperatorAtATime);
         let start = Instant::now();
@@ -227,8 +250,14 @@ fn debugger_overhead_report() {
     let trace = run(true, false);
     let bp = run(false, true);
     println!("  hooks off:          {off:?}");
-    println!("  line tracer:        {trace:?}  ({:.2}x)", trace.as_secs_f64() / off.as_secs_f64());
-    println!("  unhit breakpoints:  {bp:?}  ({:.2}x)", bp.as_secs_f64() / off.as_secs_f64());
+    println!(
+        "  line tracer:        {trace:?}  ({:.2}x)",
+        trace.as_secs_f64() / off.as_secs_f64()
+    );
+    println!(
+        "  unhit breakpoints:  {bp:?}  ({:.2}x)",
+        bp.as_secs_f64() / off.as_secs_f64()
+    );
     println!("  claim: interactive debugging is affordable because it runs locally, not in the server.\n");
 }
 

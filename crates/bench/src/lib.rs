@@ -7,9 +7,10 @@
 //! * `figures` (bin) — Figures 1–3 as text renderings,
 //! * `report` (bin) — a deterministic paper-vs-measured summary feeding
 //!   EXPERIMENTS.md,
-//! * Criterion benches: `transfer` (C1–C3), `workflow` (C4), `exec_models`
-//!   (C5), `interp` (C6), `import_export` (C7), `codecs_bench` (C8),
-//!   `vcs` (C9).
+//! * `devharness::bench` benches: `transfer` (C1–C3), `workflow` (C4),
+//!   `exec_models` (C5), `interp` (C6), `import_export` (C7),
+//!   `codecs_bench` (C8), `vcs` (C9). Each writes a `BENCH_<suite>.json`
+//!   artifact at the workspace root (see EXPERIMENTS.md for the schema).
 
 use monetlite::Engine;
 use wireproto::{Server, ServerConfig};
@@ -100,14 +101,11 @@ pub fn create_mean_deviation(body: &str) -> String {
 /// correlated, which is exactly why the paper's compression option pays off.
 pub fn seed_numbers(db: &Engine, rows: usize) {
     db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-    let mut state = 0x1234_5678_u64;
+    let mut rng = devharness::Rng::new(0x1234_5678);
     let mut values = Vec::with_capacity(rows);
     for idx in 0..rows {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
         let level = (idx / 64) % 500; // slow drift with long runs
-        let noise = state % 4; // small jitter
+        let noise = rng.u64_below(4); // small jitter
         values.push(format!("({})", level as u64 + noise));
     }
     // Insert in chunks to keep statements manageable.
@@ -120,13 +118,10 @@ pub fn seed_numbers(db: &Engine, rows: usize) {
 /// A demo server with `numbers` (given row count) plus the buggy Listing-4
 /// UDF, ready for transfer/workflow benchmarks.
 pub fn bench_server(rows: usize) -> Server {
-    Server::start(
-        ServerConfig::new("demo", "monetdb", "monetdb"),
-        move |db| {
-            seed_numbers(db, rows);
-            db.execute(&create_mean_deviation(LISTING4_BODY)).unwrap();
-        },
-    )
+    Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), move |db| {
+        seed_numbers(db, rows);
+        db.execute(&create_mean_deviation(LISTING4_BODY)).unwrap();
+    })
 }
 
 /// A fresh devUDF session bound to a temp project (caller cleans up).

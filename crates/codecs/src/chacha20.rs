@@ -23,12 +23,8 @@ impl ChaCha20 {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&SIGMA);
         for i in 0..8 {
-            state[4 + i] = u32::from_le_bytes([
-                key[i * 4],
-                key[i * 4 + 1],
-                key[i * 4 + 2],
-                key[i * 4 + 3],
-            ]);
+            state[4 + i] =
+                u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
         }
         state[12] = counter;
         for i in 0..3 {

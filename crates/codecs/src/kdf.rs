@@ -53,18 +53,27 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(derive_key("monetdb", b"salt"), derive_key("monetdb", b"salt"));
+        assert_eq!(
+            derive_key("monetdb", b"salt"),
+            derive_key("monetdb", b"salt")
+        );
         assert_eq!(derive_nonce(7), derive_nonce(7));
     }
 
     #[test]
     fn password_sensitivity() {
-        assert_ne!(derive_key("monetdb", b"salt"), derive_key("monetdc", b"salt"));
+        assert_ne!(
+            derive_key("monetdb", b"salt"),
+            derive_key("monetdc", b"salt")
+        );
     }
 
     #[test]
     fn salt_sensitivity() {
-        assert_ne!(derive_key("monetdb", b"salt1"), derive_key("monetdb", b"salt2"));
+        assert_ne!(
+            derive_key("monetdb", b"salt1"),
+            derive_key("monetdb", b"salt2")
+        );
     }
 
     #[test]

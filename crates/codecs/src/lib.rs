@@ -10,12 +10,14 @@
 //! * [`lz`] — an LZ77-family compressor with a hash-chain matcher and a
 //!   varint-coded token stream,
 //! * [`chacha20`] — the RFC 8439 ChaCha20 stream cipher,
-//! * [`sha256`] — FIPS 180-4 SHA-256, used for password→key derivation
+//! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256, used for password→key derivation
 //!   ([`kdf`]) and as the content address of `minivcs` objects,
 //! * [`varint`] — LEB128-style variable-length integers used by the wire
 //!   protocol and the compressor,
 //! * [`fnv`] — FNV-1a hashing for cheap non-cryptographic fingerprints,
-//! * [`hex`] — hexadecimal encoding for object ids and test vectors.
+//! * [`hex`] — hexadecimal encoding for object ids and test vectors,
+//! * [`json`] — a hand-rolled JSON codec used for IDE settings, `minivcs`
+//!   metadata and the bench runner's `BENCH_*.json` artifacts.
 //!
 //! None of the implementations depend on external crates; each module carries
 //! its published test vectors.
@@ -23,6 +25,7 @@
 pub mod chacha20;
 pub mod fnv;
 pub mod hex;
+pub mod json;
 pub mod kdf;
 pub mod lz;
 pub mod sha256;

@@ -50,10 +50,9 @@ impl std::fmt::Display for CompressError {
                 f,
                 "lz: match distance {distance} exceeds produced output {produced}"
             ),
-            CompressError::LengthMismatch { declared, produced } => write!(
-                f,
-                "lz: declared length {declared} but produced {produced}"
-            ),
+            CompressError::LengthMismatch { declared, produced } => {
+                write!(f, "lz: declared length {declared} but produced {produced}")
+            }
         }
     }
 }
@@ -247,7 +246,12 @@ mod tests {
     fn repetitive_data_compresses() {
         let data = b"abcdabcdabcdabcdabcdabcdabcdabcd".repeat(100);
         let c = compress(&data);
-        assert!(c.len() < data.len() / 10, "got {} of {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 10,
+            "got {} of {}",
+            c.len(),
+            data.len()
+        );
         round_trip(&data);
     }
 

@@ -1,63 +1,148 @@
-//! Property-based tests for the codec primitives.
+//! Property-based tests for the codec primitives (devharness::prop).
 
 use codecs::{chacha20, lz, varint};
-use proptest::prelude::*;
+use devharness::prop::{self, Config, Strategy};
+use devharness::prop_assert_eq;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn cfg() -> Config {
+    Config::cases(256)
+}
 
-    #[test]
-    fn varint_round_trip(v in any::<u64>()) {
+#[test]
+fn varint_round_trip() {
+    prop::check(cfg(), prop::any_u64(), |&v| {
         let mut buf = Vec::new();
         varint::write_u64(&mut buf, v);
         let (decoded, used) = varint::read_u64(&buf).unwrap();
         prop_assert_eq!(decoded, v);
         prop_assert_eq!(used, buf.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lz_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        let c = lz::compress(&data);
+#[test]
+fn lz_round_trip() {
+    prop::check(cfg(), prop::vec_of(prop::any_u8(), 0..4096), |data| {
+        let c = lz::compress(data);
         let d = lz::decompress(&c).unwrap();
-        prop_assert_eq!(d, data);
-    }
+        prop_assert_eq!(&d, data);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lz_round_trip_repetitive(
-        pattern in proptest::collection::vec(any::<u8>(), 1..32),
-        repeats in 1usize..512,
-    ) {
-        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * repeats).copied().collect();
+#[test]
+fn lz_round_trip_repetitive() {
+    let strategy = (prop::vec_of(prop::any_u8(), 1..32), prop::usize_in(1..512));
+    prop::check(cfg(), strategy, |(pattern, repeats)| {
+        let data: Vec<u8> = pattern
+            .iter()
+            .cycle()
+            .take(pattern.len() * repeats)
+            .copied()
+            .collect();
         let c = lz::compress(&data);
         prop_assert_eq!(lz::decompress(&c).unwrap(), data);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn chacha_round_trip(
-        key in proptest::array::uniform32(any::<u8>()),
-        nonce in proptest::array::uniform12(any::<u8>()),
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-    ) {
-        let ct = chacha20::xor_stream(&key, &nonce, 1, &data);
-        let pt = chacha20::xor_stream(&key, &nonce, 1, &ct);
-        prop_assert_eq!(pt, data);
-    }
+#[test]
+fn chacha_round_trip() {
+    let strategy = (
+        prop::u8_array::<32>(),
+        prop::u8_array::<12>(),
+        prop::vec_of(prop::any_u8(), 0..2048),
+    );
+    prop::check(cfg(), strategy, |(key, nonce, data)| {
+        let ct = chacha20::xor_stream(key, nonce, 1, data);
+        let pt = chacha20::xor_stream(key, nonce, 1, &ct);
+        prop_assert_eq!(&pt, data);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lz_decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn lz_decompress_never_panics_on_garbage() {
+    prop::check(cfg(), prop::vec_of(prop::any_u8(), 0..512), |data| {
         // Must return Ok or Err, never panic or loop forever.
-        let _ = lz::decompress(&data);
-    }
+        let _ = lz::decompress(data);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        split in 0usize..2048,
-    ) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    let strategy = (
+        prop::vec_of(prop::any_u8(), 0..2048),
+        prop::usize_in(0..2048),
+    );
+    prop::check(cfg(), strategy, |(data, split)| {
+        let split = (*split).min(data.len());
         let mut h = codecs::Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), codecs::sha256(&data));
+        prop_assert_eq!(h.finalize(), codecs::sha256(data));
+        Ok(())
+    });
+}
+
+// The JSON codec is new in this crate; give it the same treatment.
+#[test]
+fn json_value_round_trips_through_text() {
+    use codecs::json::{parse, Value};
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        // Random JSON trees, depth-limited; no shrinking (from_fn), which
+        // is fine — failures print the whole (small) tree.
+        prop::from_fn(|rng| gen_value(rng, 3))
     }
+
+    fn gen_value(rng: &mut devharness::Rng, depth: u32) -> Value {
+        let top = if depth == 0 { 5 } else { 7 };
+        match rng.u64_below(top) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.bool()),
+            2 => Value::Int(rng.i64_in(i64::MIN, i64::MAX)),
+            3 => Value::Float((rng.next_u64() as f64 / 1e4).trunc() / 1e4),
+            4 => {
+                let len = rng.usize_below(12);
+                Value::Str(
+                    (0..len)
+                        .map(|_| {
+                            *rng.choose(&['a', 'é', '"', '\\', '\n', '☃', '\u{1}'])
+                                .unwrap()
+                        })
+                        .collect(),
+                )
+            }
+            5 => Value::Array(
+                (0..rng.usize_below(5))
+                    .map(|_| gen_value(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => Value::Object(
+                (0..rng.usize_below(5))
+                    .map(|i| (format!("k{i}"), gen_value(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    prop::check(cfg(), value_strategy(), |v| {
+        prop_assert_eq!(&parse(&v.to_string_compact()).unwrap(), v);
+        prop_assert_eq!(&parse(&v.to_string_pretty()).unwrap(), v);
+        Ok(())
+    });
+}
+
+#[test]
+fn json_parse_never_panics_on_garbage() {
+    prop::check(
+        cfg(),
+        prop::string_of("{}[]\",:truefalsnu0123456789.eE+- \\\n", 0..64),
+        |text| {
+            let _ = codecs::json::parse(text);
+            Ok(())
+        },
+    );
 }

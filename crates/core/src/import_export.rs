@@ -107,7 +107,8 @@ mod tests {
     fn demo_server() -> Server {
         Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
             db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-            db.execute("INSERT INTO numbers VALUES (1), (2), (3), (4)").unwrap();
+            db.execute("INSERT INTO numbers VALUES (1), (2), (3), (4)")
+                .unwrap();
             db.execute(
                 "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\nmean = 0\nfor i in range(0, len(column)):\n    mean += column[i]\nmean = mean / len(column)\ndistance = 0\nfor i in range(0, len(column)):\n    distance += column[i] - mean\ndeviation = distance / len(column)\nreturn deviation\n}",
             )

@@ -29,16 +29,17 @@ pub fn find_loopback_queries(body: &str, known_functions: &[String]) -> Vec<Loop
     let mut search_from = 0usize;
     // Precompute line start offsets for line attribution.
     let line_starts: Vec<usize> = std::iter::once(0)
-        .chain(body.char_indices().filter(|(_, c)| *c == '\n').map(|(i, _)| i + 1))
+        .chain(
+            body.char_indices()
+                .filter(|(_, c)| *c == '\n')
+                .map(|(i, _)| i + 1),
+        )
         .collect();
     let _ = line_no;
 
     while let Some(rel) = body[search_from..].find("_conn.execute") {
         let call_pos = search_from + rel;
-        line_no = line_starts
-            .iter()
-            .take_while(|&&s| s <= call_pos)
-            .count() as u32;
+        line_no = line_starts.iter().take_while(|&&s| s <= call_pos).count() as u32;
         // Find the string literal argument after the opening paren.
         let after = &body[call_pos..];
         let Some(paren) = after.find('(') else {
@@ -69,7 +70,8 @@ fn extract_string_literal(text: &str) -> Option<String> {
         return None;
     }
     let q = quote as char;
-    let triple = trimmed.len() >= 3 && trimmed.as_bytes()[1] == quote && trimmed.as_bytes()[2] == quote;
+    let triple =
+        trimmed.len() >= 3 && trimmed.as_bytes()[1] == quote && trimmed.as_bytes()[2] == quote;
     if triple {
         let inner = &trimmed[3..];
         let end = inner.find(&format!("{q}{q}{q}"))?;

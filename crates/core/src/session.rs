@@ -29,7 +29,11 @@ pub struct DevUdf {
 
 impl DevUdf {
     /// Connect to an in-process server (tests, benchmarks, examples).
-    pub fn connect_in_proc(server: &Server, settings: Settings, project_root: &Path) -> Result<DevUdf> {
+    pub fn connect_in_proc(
+        server: &Server,
+        settings: Settings,
+        project_root: &Path,
+    ) -> Result<DevUdf> {
         let client = Client::connect_in_proc(
             server,
             &settings.user,
@@ -44,7 +48,8 @@ impl DevUdf {
         let addr: std::net::SocketAddr = format!("{}:{}", settings.host, settings.port)
             .parse()
             .map_err(|e| DevUdfError::Config(format!("bad host/port: {e}")))?;
-        let client = Client::connect_tcp(addr, &settings.user, &settings.password, &settings.database)?;
+        let client =
+            Client::connect_tcp(addr, &settings.user, &settings.password, &settings.database)?;
         Self::with_client(client, settings, project_root)
     }
 

@@ -5,11 +5,11 @@
 
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use codecs::json::{self, Value};
 use wireproto::TransferOptions;
 
 /// Serializable mirror of [`wireproto::TransferOptions`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TransferSettings {
     /// Compress the extracted data during transfer.
     pub compress: bool,
@@ -30,7 +30,7 @@ impl From<TransferSettings> for TransferOptions {
 }
 
 /// All devUDF settings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Settings {
     pub host: String,
     pub port: u16,
@@ -57,10 +57,88 @@ impl Default for Settings {
     }
 }
 
+fn invalid(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+impl TransferSettings {
+    fn to_json(self) -> Value {
+        Value::Object(vec![
+            ("compress".to_string(), Value::Bool(self.compress)),
+            ("encrypt".to_string(), Value::Bool(self.encrypt)),
+            (
+                "sample".to_string(),
+                Value::from(self.sample.map(|k| k as u64)),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::io::Result<TransferSettings> {
+        Ok(TransferSettings {
+            compress: v
+                .get("compress")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| invalid("transfer.compress missing"))?,
+            encrypt: v
+                .get("encrypt")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| invalid("transfer.encrypt missing"))?,
+            sample: match v.get("sample") {
+                None | Some(Value::Null) => None,
+                Some(k) => Some(
+                    k.as_u64()
+                        .ok_or_else(|| invalid("transfer.sample must be a count"))?
+                        as usize,
+                ),
+            },
+        })
+    }
+}
+
 impl Settings {
     /// Path of the settings file inside a project directory.
     pub fn path_in(project_root: &Path) -> std::path::PathBuf {
         project_root.join(".devudf").join("settings.json")
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("host".to_string(), Value::from(self.host.as_str())),
+            ("port".to_string(), Value::Int(i64::from(self.port))),
+            ("database".to_string(), Value::from(self.database.as_str())),
+            ("user".to_string(), Value::from(self.user.as_str())),
+            ("password".to_string(), Value::from(self.password.as_str())),
+            (
+                "debug_query".to_string(),
+                Value::from(self.debug_query.as_str()),
+            ),
+            ("transfer".to_string(), self.transfer.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::io::Result<Settings> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| invalid(format!("settings field '{name}' missing")))
+        };
+        Ok(Settings {
+            host: field("host")?,
+            port: v
+                .get("port")
+                .and_then(Value::as_u64)
+                .and_then(|p| u16::try_from(p).ok())
+                .ok_or_else(|| invalid("settings field 'port' missing or out of range"))?,
+            database: field("database")?,
+            user: field("user")?,
+            password: field("password")?,
+            debug_query: field("debug_query")?,
+            transfer: TransferSettings::from_json(
+                v.get("transfer")
+                    .ok_or_else(|| invalid("settings field 'transfer' missing"))?,
+            )?,
+        })
     }
 
     /// Load settings from a project directory; missing file yields defaults.
@@ -70,8 +148,9 @@ impl Settings {
             return Ok(Settings::default());
         }
         let data = std::fs::read(path)?;
-        serde_json::from_slice(&data)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let text = std::str::from_utf8(&data).map_err(invalid_utf8)?;
+        let doc = json::parse(text).map_err(|e| invalid(e.to_string()))?;
+        Self::from_json(&doc)
     }
 
     /// Persist settings into a project directory.
@@ -80,8 +159,7 @@ impl Settings {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let data = serde_json::to_vec_pretty(self).expect("settings serialize");
-        std::fs::write(path, data)
+        std::fs::write(path, self.to_json().to_string_pretty())
     }
 
     /// Transfer options in wire form.
@@ -130,6 +208,10 @@ impl Settings {
             parts.join(" + ")
         }
     }
+}
+
+fn invalid_utf8(e: std::str::Utf8Error) -> std::io::Error {
+    invalid(format!("settings file is not UTF-8: {e}"))
 }
 
 fn truncate(s: &str, width: usize) -> String {

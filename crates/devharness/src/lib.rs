@@ -1,0 +1,39 @@
+//! `devharness` — the in-repo development harness of the devUDF reproduction.
+//!
+//! This workspace builds **fully offline**: no crates.io dependency is ever
+//! resolved, downloaded or compiled (see DESIGN.md, "Dependency policy").
+//! Everything a crate would normally pull from the ecosystem for testing and
+//! benchmarking lives here instead:
+//!
+//! * [`rng`] — a small, fast, deterministic PRNG (SplitMix64 seeding a
+//!   xoshiro256++ core) with the handful of `Rng`-style methods the
+//!   workspace needs: uniform integers in ranges, floats, bools, byte
+//!   fills, shuffles and choices. Used by `wireproto::transfer` sampling,
+//!   the benches and the property harness.
+//! * [`prop`] — a miniature property-testing harness in the spirit of
+//!   proptest/QuickCheck: composable [`prop::Strategy`] generators
+//!   (integers, floats, vectors, strings over a charset, options, tuples,
+//!   unions, `map`/`filter`), a configurable case count, and **greedy
+//!   input shrinking** on failure via lazily-built shrink trees, so a
+//!   failing case is reported in (near-)minimal form together with the
+//!   seed that reproduces it.
+//! * [`bench`](mod@bench) — a criterion-style micro-benchmark runner: per-benchmark
+//!   warmup, automatic batching of fast bodies, min/mean/median/p95
+//!   statistics, throughput rates, a human-readable table and a machine
+//!   readable `BENCH_<suite>.json` artifact (schema documented in
+//!   EXPERIMENTS.md) emitted through [`codecs::json`].
+//!
+//! # Reproducibility
+//!
+//! Every randomized component is seeded deterministically. The property
+//! harness derives one sub-seed per test case from a base seed that can be
+//! overridden with the `DEVHARNESS_SEED` environment variable; a failing
+//! case prints that seed so the exact run can be replayed. The bench runner
+//! honours `DEVHARNESS_BENCH_SAMPLES` and `DEVHARNESS_BENCH_BUDGET_MS` so
+//! CI can trade precision for wall-clock time.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::Rng;

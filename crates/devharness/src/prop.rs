@@ -1,0 +1,986 @@
+//! A miniature property-testing harness (proptest/QuickCheck style).
+//!
+//! Three pieces:
+//!
+//! * [`Strategy`] — a composable generator of random values. Base
+//!   strategies cover integers, floats, bools, bytes, vectors, strings
+//!   over an explicit charset, options, fixed-size byte arrays and
+//!   tuples; combinators: [`Strategy::map`], [`Strategy::filter`],
+//!   [`one_of`], [`just`], [`from_fn`].
+//! * [`Shrinkable`] — a generated value together with a **lazy shrink
+//!   tree**: a closure producing simpler candidate values, each again
+//!   shrinkable. Because the tree is carried with the value, shrinking
+//!   composes through `map`/`filter`/vectors/tuples for free
+//!   (hedgehog-style "integrated shrinking").
+//! * [`check`] — the runner: generates `Config::cases` inputs, applies
+//!   the property, and on failure greedily walks the shrink tree to a
+//!   (near-)minimal counterexample, then panics with the shrunk input,
+//!   the original input, and the seed needed to replay the run.
+//!
+//! Properties return `Result<(), String>`; the [`prop_assert!`](crate::prop_assert),
+//! [`prop_assert_eq!`](crate::prop_assert_eq) and
+//! [`prop_assert_ne!`](crate::prop_assert_ne) macros early-return an
+//! `Err` so the runner can shrink (a plain `assert!` would abort the
+//! process before shrinking).
+//!
+//! ```
+//! use devharness::prop::{self, Config};
+//! use devharness::{prop_assert, prop_assert_eq};
+//!
+//! // "reversing twice is the identity"
+//! prop::check(Config::cases(64), prop::vec_of(prop::any_u8(), 0..100), |v| {
+//!     let twice: Vec<u8> = v.iter().rev().rev().copied().collect();
+//!     prop_assert_eq!(&twice, v);
+//!     Ok(())
+//! });
+//! ```
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::rng::{splitmix64, Rng};
+
+// ---------------------------------------------------------------------------
+// Shrinkable values (lazy shrink trees)
+// ---------------------------------------------------------------------------
+
+/// A generated value plus a lazy producer of simpler candidates.
+pub struct Shrinkable<T> {
+    /// The generated value.
+    pub value: T,
+    shrinks: Rc<dyn Fn() -> Vec<Shrinkable<T>>>,
+}
+
+impl<T> Clone for Shrinkable<T>
+where
+    T: Clone,
+{
+    fn clone(&self) -> Self {
+        Shrinkable {
+            value: self.value.clone(),
+            shrinks: Rc::clone(&self.shrinks),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Shrinkable<T> {
+    /// A value with no simpler forms.
+    pub fn leaf(value: T) -> Shrinkable<T> {
+        Shrinkable {
+            value,
+            shrinks: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value with a lazy shrink closure.
+    pub fn new(value: T, shrinks: impl Fn() -> Vec<Shrinkable<T>> + 'static) -> Shrinkable<T> {
+        Shrinkable {
+            value,
+            shrinks: Rc::new(shrinks),
+        }
+    }
+
+    /// Candidate simplifications, simplest first.
+    pub fn shrink(&self) -> Vec<Shrinkable<T>> {
+        (self.shrinks)()
+    }
+
+    /// Map the value (and, lazily, every shrink candidate).
+    pub fn map_rc<U: Clone + 'static>(self, f: Rc<dyn Fn(&T) -> U>) -> Shrinkable<U> {
+        let value = f(&self.value);
+        let shrinks = Rc::clone(&self.shrinks);
+        Shrinkable::new(value, move || {
+            let f = Rc::clone(&f);
+            shrinks()
+                .into_iter()
+                .map(|s| s.map_rc(Rc::clone(&f)))
+                .collect()
+        })
+    }
+
+    /// Keep only shrink candidates satisfying `pred` (the value itself is
+    /// assumed to satisfy it already).
+    pub fn retain(self, pred: Rc<dyn Fn(&T) -> bool>) -> Shrinkable<T> {
+        let value = self.value;
+        let shrinks = Rc::clone(&self.shrinks);
+        Shrinkable::new(value, move || {
+            let pred = Rc::clone(&pred);
+            shrinks()
+                .into_iter()
+                .filter(|s| pred(&s.value))
+                .map(|s| s.retain(Rc::clone(&pred)))
+                .collect()
+        })
+    }
+}
+
+/// Join two shrinkables into a shrinkable pair (components shrink
+/// independently, left first).
+pub fn join2<A, B>(a: Shrinkable<A>, b: Shrinkable<B>) -> Shrinkable<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let value = (a.value.clone(), b.value.clone());
+    Shrinkable::new(value, move || {
+        let mut out: Vec<Shrinkable<(A, B)>> = a
+            .shrink()
+            .into_iter()
+            .map(|sa| join2(sa, b.clone()))
+            .collect();
+        out.extend(b.shrink().into_iter().map(|sb| join2(a.clone(), sb)));
+        out
+    })
+}
+
+/// Build a shrinkable vector from shrinkable elements: candidates first
+/// drop chunks of elements (largest chunks first), then shrink individual
+/// elements in place. `min_len` is respected by removals.
+pub fn join_vec<T>(elems: Vec<Shrinkable<T>>, min_len: usize) -> Shrinkable<Vec<T>>
+where
+    T: Clone + 'static,
+{
+    let value: Vec<T> = elems.iter().map(|e| e.value.clone()).collect();
+    Shrinkable::new(value, move || {
+        let n = elems.len();
+        let mut out = Vec::new();
+        // Chunk removals: n/2, n/4, ..., 1 elements at a time.
+        let mut chunk = n / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= n {
+                if n - chunk >= min_len {
+                    let mut kept = Vec::with_capacity(n - chunk);
+                    kept.extend_from_slice(&elems[..start]);
+                    kept.extend_from_slice(&elems[start + chunk..]);
+                    out.push(join_vec(kept, min_len));
+                }
+                start += chunk;
+            }
+            chunk /= 2;
+        }
+        // Per-element shrinks.
+        for (i, e) in elems.iter().enumerate() {
+            for cand in e.shrink() {
+                let mut next = elems.clone();
+                next[i] = cand;
+                out.push(join_vec(next, min_len));
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A composable random-value generator with integrated shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug + 'static;
+
+    /// Generate one value plus its shrink tree.
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<Self::Value>;
+
+    /// Transform generated values (shrinking passes through).
+    fn map<U, F>(self, f: F) -> Map<Self, U>
+    where
+        Self: Sized,
+        U: Clone + Debug + 'static,
+        F: Fn(&Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Keep only values satisfying `pred`; regenerates on rejection
+    /// (up to an internal retry cap — keep predicates cheap and likely).
+    fn filter<F>(self, label: &'static str, pred: F) -> Filter<Self>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter {
+            inner: self,
+            label,
+            pred: Rc::new(pred),
+        }
+    }
+
+    /// Type-erase for storage in collections ([`one_of`]) or recursion.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Shared boxed mapping function: used by both a strategy and every node
+/// of the shrink trees it produces.
+type MapFn<T, U> = Rc<dyn Fn(&T) -> U>;
+
+/// See [`Strategy::map`].
+pub struct Map<S: Strategy, U> {
+    inner: S,
+    f: MapFn<S::Value, U>,
+}
+impl<S, U> Strategy for Map<S, U>
+where
+    S: Strategy,
+    U: Clone + Debug + 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<U> {
+        self.inner.generate(rng).map_rc(Rc::clone(&self.f))
+    }
+}
+
+/// See [`Strategy::filter`].
+pub struct Filter<S: Strategy> {
+    inner: S,
+    label: &'static str,
+    pred: MapFn<S::Value, bool>,
+}
+impl<S: Strategy> Strategy for Filter<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<S::Value> {
+        for _ in 0..100 {
+            let s = self.inner.generate(rng);
+            if (self.pred)(&s.value) {
+                return s.retain(Rc::clone(&self.pred));
+            }
+        }
+        panic!(
+            "filter '{}' rejected 100 generated values in a row",
+            self.label
+        );
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+impl<T: Clone + Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<T> {
+        self.0.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base strategies
+// ---------------------------------------------------------------------------
+
+/// Always the same value; never shrinks.
+pub fn just<T: Clone + Debug + 'static>(value: T) -> Just<T> {
+    Just(value)
+}
+/// See [`just`].
+#[derive(Clone)]
+pub struct Just<T>(T);
+impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> Shrinkable<T> {
+        Shrinkable::leaf(self.0.clone())
+    }
+}
+
+/// Escape hatch: generate with an arbitrary closure. **No shrinking** —
+/// use for recursive/structured values where a failing case is already
+/// readable (e.g. interpreter `Value` trees).
+pub fn from_fn<T, F>(f: F) -> FromFn<F>
+where
+    T: Clone + Debug + 'static,
+    F: Fn(&mut Rng) -> T,
+{
+    FromFn(f)
+}
+/// See [`from_fn`].
+pub struct FromFn<F>(F);
+impl<T, F> Strategy for FromFn<F>
+where
+    T: Clone + Debug + 'static,
+    F: Fn(&mut Rng) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<T> {
+        Shrinkable::leaf((self.0)(rng))
+    }
+}
+
+/// Uniform choice between several strategies of the same value type
+/// (the `prop_oneof!` equivalent).
+pub fn one_of<T: Clone + Debug + 'static>(choices: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of needs at least one choice");
+    OneOf(choices)
+}
+/// See [`one_of`].
+pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
+impl<T: Clone + Debug + 'static> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<T> {
+        let idx = rng.usize_below(self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Bisection-style integer shrink candidates: the origin first, then
+/// values converging from the origin toward `v`.
+fn int_shrink_candidates(v: i128, origin: i128) -> Vec<i128> {
+    if v == origin {
+        return Vec::new();
+    }
+    let mut out = vec![origin];
+    let mut c = v - (v - origin) / 2;
+    while c != v && !out.contains(&c) {
+        out.push(c);
+        c = v - (v - c) / 2;
+    }
+    // Small steps last, so bisection is tried first but the boundary is
+    // always reachable (also lets parity-style filters keep shrinking).
+    let step = if v > origin { 1 } else { -1 };
+    for d in [2, 1] {
+        let cand = v - d * step;
+        let within = if v > origin {
+            cand >= origin
+        } else {
+            cand <= origin
+        };
+        if within && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+fn shrinkable_int(v: i128, origin: i128) -> Shrinkable<i128> {
+    Shrinkable::new(v, move || {
+        int_shrink_candidates(v, origin)
+            .into_iter()
+            .map(|c| shrinkable_int(c, origin))
+            .collect()
+    })
+}
+
+macro_rules! int_strategy {
+    ($fn_name:ident, $any_name:ident, $ty:ty, $strat:ident) => {
+        /// Uniform value in the half-open range, occasionally biased to the
+        /// endpoints; shrinks toward 0 (clamped into the range).
+        pub fn $fn_name(range: std::ops::Range<$ty>) -> $strat {
+            assert!(range.start < range.end, "empty range");
+            $strat(range)
+        }
+
+        /// The type's full range.
+        pub fn $any_name() -> $strat {
+            $strat(<$ty>::MIN..<$ty>::MAX)
+        }
+
+        /// Integer range strategy; see the constructor of the same
+        /// (lower-case) name.
+        #[derive(Clone)]
+        pub struct $strat(std::ops::Range<$ty>);
+
+        impl Strategy for $strat {
+            type Value = $ty;
+            fn generate(&self, rng: &mut Rng) -> Shrinkable<$ty> {
+                let (low, high) = (self.0.start as i128, self.0.end as i128);
+                // 1-in-8 bias toward the boundaries to exercise edge cases.
+                let v: i128 = match rng.u64_below(8) {
+                    0 => {
+                        if rng.bool() {
+                            low
+                        } else {
+                            high - 1
+                        }
+                    }
+                    _ => {
+                        let span = (high - low) as u128;
+                        if span > u64::MAX as u128 {
+                            // Full 64-bit span: a raw draw is uniform.
+                            low + rng.next_u64() as i128
+                        } else {
+                            low + rng.u64_below(span as u64) as i128
+                        }
+                    }
+                };
+                let origin = 0i128.clamp(low, high - 1);
+                shrinkable_int(v, origin).map_rc(Rc::new(|x: &i128| *x as $ty))
+            }
+        }
+    };
+}
+
+int_strategy!(i64_in, any_i64, i64, I64Range);
+int_strategy!(u64_in, any_u64, u64, U64Range);
+int_strategy!(usize_in, any_usize, usize, UsizeRange);
+int_strategy!(u8_in, any_u8_range, u8, U8Range);
+
+/// Any byte (0..=255 inclusive), shrinking toward 0.
+pub fn any_u8() -> Map<U64Range, u8> {
+    u64_in(0..256).map(|v: &u64| *v as u8)
+}
+
+/// Uniform boolean; `true` shrinks to `false`.
+pub fn any_bool() -> Bools {
+    Bools
+}
+/// See [`any_bool`].
+#[derive(Clone)]
+pub struct Bools;
+impl Strategy for Bools {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<bool> {
+        let v = rng.bool();
+        Shrinkable::new(v, move || {
+            if v {
+                vec![Shrinkable::leaf(false)]
+            } else {
+                vec![]
+            }
+        })
+    }
+}
+
+/// Any `f64` bit pattern — including ±inf and NaN (filter NaN out where it
+/// breaks equality). Shrinks toward 0.0 through halving and truncation.
+pub fn any_f64() -> F64s {
+    F64s
+}
+/// See [`any_f64`].
+#[derive(Clone)]
+pub struct F64s;
+fn shrinkable_f64(v: f64) -> Shrinkable<f64> {
+    Shrinkable::new(v, move || {
+        if v == 0.0 || v.is_nan() {
+            return vec![];
+        }
+        let mut cands = vec![0.0];
+        if v.is_finite() {
+            if v.trunc() != v {
+                cands.push(v.trunc());
+            }
+            cands.push(v / 2.0);
+        } else {
+            cands.push(if v > 0.0 { f64::MAX } else { f64::MIN });
+        }
+        cands.retain(|c| *c != v);
+        cands.into_iter().map(shrinkable_f64).collect()
+    })
+}
+impl Strategy for F64s {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<f64> {
+        // 1-in-8: special values; otherwise an arbitrary bit pattern.
+        let v = match rng.u64_below(8) {
+            0 => *rng
+                .choose(&[
+                    0.0,
+                    -0.0,
+                    1.0,
+                    -1.0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NAN,
+                ])
+                .unwrap(),
+            _ => f64::from_bits(rng.next_u64()),
+        };
+        shrinkable_f64(v)
+    }
+}
+
+/// Vector of `elem` values with a length drawn from `len_range`.
+pub fn vec_of<S: Strategy>(elem: S, len_range: std::ops::Range<usize>) -> VecOf<S> {
+    assert!(len_range.start < len_range.end, "empty length range");
+    VecOf { elem, len_range }
+}
+/// See [`vec_of`].
+pub struct VecOf<S> {
+    elem: S,
+    len_range: std::ops::Range<usize>,
+}
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<Vec<S::Value>> {
+        let len = rng.usize_in(self.len_range.start, self.len_range.end);
+        let elems: Vec<Shrinkable<S::Value>> = (0..len).map(|_| self.elem.generate(rng)).collect();
+        join_vec(elems, self.len_range.start)
+    }
+}
+
+/// String of `len_range` chars drawn uniformly from `charset`
+/// (the harness's replacement for proptest's regex patterns — spell the
+/// character class out explicitly).
+pub fn string_of(
+    charset: &str,
+    len_range: std::ops::Range<usize>,
+) -> Map<VecOf<CharsetChar>, String> {
+    let chars: Rc<[char]> = charset.chars().collect::<Vec<_>>().into();
+    assert!(!chars.is_empty(), "empty charset");
+    vec_of(CharsetChar(chars), len_range).map(|v: &Vec<char>| v.iter().collect::<String>())
+}
+/// One char from a fixed charset; shrinks toward the charset's first char.
+#[derive(Clone)]
+pub struct CharsetChar(Rc<[char]>);
+impl Strategy for CharsetChar {
+    type Value = char;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<char> {
+        let idx = rng.usize_below(self.0.len());
+        let chars = Rc::clone(&self.0);
+        shrinkable_int(idx as i128, 0).map_rc(Rc::new(move |i: &i128| chars[*i as usize]))
+    }
+}
+
+/// `None` or `Some(inner)` (3:1 in favour of `Some`); `Some` shrinks to
+/// `None` first, then inside the payload.
+pub fn option_of<S: Strategy>(inner: S) -> OptionOf<S> {
+    OptionOf(inner)
+}
+/// See [`option_of`].
+pub struct OptionOf<S>(S);
+impl<S: Strategy> Strategy for OptionOf<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<Option<S::Value>> {
+        if rng.u64_below(4) == 0 {
+            Shrinkable::leaf(None)
+        } else {
+            let s = self.0.generate(rng);
+            fn wrap<T: Clone + 'static>(s: Shrinkable<T>) -> Shrinkable<Option<T>> {
+                let value = Some(s.value.clone());
+                Shrinkable::new(value, move || {
+                    let mut out = vec![Shrinkable::leaf(None)];
+                    out.extend(s.shrink().into_iter().map(wrap));
+                    out
+                })
+            }
+            wrap(s)
+        }
+    }
+}
+
+/// Fixed-size byte array (e.g. cipher keys/nonces). Shrinks to all-zeros.
+pub fn u8_array<const N: usize>() -> U8Array<N> {
+    U8Array
+}
+/// See [`u8_array`].
+#[derive(Clone)]
+pub struct U8Array<const N: usize>;
+impl<const N: usize> Strategy for U8Array<N> {
+    type Value = [u8; N];
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<[u8; N]> {
+        let mut buf = [0u8; N];
+        rng.fill_bytes(&mut buf);
+        Shrinkable::new(buf, move || {
+            if buf == [0u8; N] {
+                vec![]
+            } else {
+                vec![Shrinkable::leaf([0u8; N])]
+            }
+        })
+    }
+}
+
+// Tuple strategies are written per arity (the workspace needs 2–5):
+// nested `join2` pairs flattened with a shrink-preserving map.
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<Self::Value> {
+        join2(self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<Self::Value> {
+        let nested = join2(
+            self.0.generate(rng),
+            join2(self.1.generate(rng), self.2.generate(rng)),
+        );
+        nested.map_rc(Rc::new(|(a, (b, c)): &(A::Value, (B::Value, C::Value))| {
+            (a.clone(), b.clone(), c.clone())
+        }))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<Self::Value> {
+        let nested = join2(
+            join2(self.0.generate(rng), self.1.generate(rng)),
+            join2(self.2.generate(rng), self.3.generate(rng)),
+        );
+        type Nested<A, B, C, D> = ((A, B), (C, D));
+        nested.map_rc(Rc::new(
+            |((a, b), (c, d)): &Nested<A::Value, B::Value, C::Value, D::Value>| {
+                (a.clone(), b.clone(), c.clone(), d.clone())
+            },
+        ))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut Rng) -> Shrinkable<Self::Value> {
+        let nested = join2(
+            join2(self.0.generate(rng), self.1.generate(rng)),
+            join2(
+                self.2.generate(rng),
+                join2(self.3.generate(rng), self.4.generate(rng)),
+            ),
+        );
+        #[allow(clippy::type_complexity)]
+        let flatten: Rc<
+            dyn Fn(
+                &((A::Value, B::Value), (C::Value, (D::Value, E::Value))),
+            ) -> (A::Value, B::Value, C::Value, D::Value, E::Value),
+        > = Rc::new(|((a, b), (c, (d, e)))| {
+            (a.clone(), b.clone(), c.clone(), d.clone(), e.clone())
+        });
+        nested.map_rc(flatten)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; each case derives its own sub-seed from it. Overridable
+    /// via the `DEVHARNESS_SEED` env var for replaying failures.
+    pub seed: u64,
+    /// Cap on property evaluations spent shrinking a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let seed = std::env::var("DEVHARNESS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xdeed_5eed_0000_0001);
+        Config {
+            cases: 64,
+            seed,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// Default config with an explicit case count
+    /// (the `ProptestConfig::with_cases` equivalent).
+    pub fn cases(n: u32) -> Config {
+        Config {
+            cases: n,
+            ..Config::default()
+        }
+    }
+}
+
+/// Run `prop` against `cases` generated inputs; on failure, shrink greedily
+/// and panic with the minimal counterexample and reproduction seed.
+pub fn check<S, P>(config: Config, strategy: S, prop: P)
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let case_seed = {
+            let mut t = config
+                .seed
+                .wrapping_add((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            splitmix64(&mut t)
+        };
+        let mut rng = Rng::new(case_seed);
+        let generated = strategy.generate(&mut rng);
+        if let Err(original_err) = prop(&generated.value) {
+            let original = format!("{:?}", generated.value);
+            let (minimal, min_err, steps) =
+                shrink_failure(generated, &prop, original_err, config.max_shrink_iters);
+            panic!(
+                "property failed (case {case}/{}, seed {:#x}, case-seed {case_seed:#x})\n\
+                 minimal input (after {steps} shrink steps): {minimal:?}\n\
+                 error: {min_err}\n\
+                 original input: {original}\n\
+                 replay with: DEVHARNESS_SEED={} cargo test",
+                config.cases, config.seed, config.seed,
+            );
+        }
+    }
+}
+
+/// Greedy descent through the shrink tree: repeatedly move to the first
+/// child that still fails, until no child fails or the budget runs out.
+fn shrink_failure<T, P>(
+    failing: Shrinkable<T>,
+    prop: &P,
+    first_err: String,
+    budget: u32,
+) -> (T, String, u32)
+where
+    T: Clone + Debug + 'static,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut current = failing;
+    let mut err = first_err;
+    let mut spent = 0u32;
+    let mut steps = 0u32;
+    'outer: loop {
+        for cand in current.shrink() {
+            if spent >= budget {
+                break 'outer;
+            }
+            spent += 1;
+            if let Err(e) = prop(&cand.value) {
+                current = cand;
+                err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current.value, err, steps)
+}
+
+/// `assert!` that returns an `Err` (so the runner can shrink) instead of
+/// panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that returns an `Err` instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that returns an `Err` instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_within_ranges() {
+        let mut rng = Rng::new(1);
+        for _ in 0..500 {
+            let v = i64_in(-50..50).generate(&mut rng).value;
+            assert!((-50..50).contains(&v));
+            let u = usize_in(3..9).generate(&mut rng).value;
+            assert!((3..9).contains(&u));
+            let w = vec_of(any_u8(), 2..5).generate(&mut rng).value;
+            assert!((2..5).contains(&w.len()));
+            let s = string_of("abc", 0..4).generate(&mut rng).value;
+            assert!(s.len() < 4 && s.chars().all(|c| "abc".contains(c)));
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = std::cell::Cell::new(0u32);
+        let counter = &mut count;
+        check(Config::cases(37), any_u64(), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 37);
+    }
+
+    #[test]
+    fn integer_shrinking_finds_the_boundary() {
+        // Property "v < 1000" fails for v >= 1000; the minimal
+        // counterexample is exactly 1000.
+        let caught = std::panic::catch_unwind(|| {
+            check(Config::cases(256), i64_in(0..100_000), |v| {
+                prop_assert!(*v < 1000, "too big: {v}");
+                Ok(())
+            });
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(
+            msg.contains(": 1000\n"),
+            "should shrink to exactly 1000: {msg}"
+        );
+    }
+
+    #[test]
+    fn vector_shrinking_minimizes_length_and_elements() {
+        // "no element is >= 100" — minimal counterexample is [100].
+        let caught = std::panic::catch_unwind(|| {
+            check(Config::cases(256), vec_of(i64_in(0..10_000), 0..50), |v| {
+                prop_assert!(v.iter().all(|x| *x < 100), "{v:?}");
+                Ok(())
+            });
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("[100]"), "{msg}");
+    }
+
+    #[test]
+    fn map_preserves_shrinking() {
+        // Doubling preserved: minimal failing doubled value for ">= 50
+        // fails" is 50 (from 25).
+        let caught = std::panic::catch_unwind(|| {
+            check(Config::cases(256), i64_in(0..1000).map(|v| v * 2), |v| {
+                prop_assert!(*v < 50, "{v}");
+                Ok(())
+            });
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains(": 50\n"), "{msg}");
+    }
+
+    #[test]
+    fn filter_respects_predicate_through_shrinking() {
+        // Only odd numbers are generated; shrunk counterexamples stay odd.
+        let caught = std::panic::catch_unwind(|| {
+            check(
+                Config::cases(256),
+                i64_in(0..10_000).filter("odd", |v| v % 2 == 1),
+                |v| {
+                    prop_assert!(*v < 101, "{v}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains(": 101\n"), "minimal odd failure is 101: {msg}");
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let caught = std::panic::catch_unwind(|| {
+            check(
+                Config::cases(256),
+                (i64_in(0..1000), i64_in(0..1000)),
+                |(a, b)| {
+                    prop_assert!(a + b < 800, "{a}+{b}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        // Greedy shrink lands on a boundary pair summing to exactly 800:
+        // shrinking either component further would make the property pass.
+        let tuple = msg
+            .split("shrink steps): (")
+            .nth(1)
+            .and_then(|rest| rest.split(')').next())
+            .unwrap_or_else(|| panic!("no tuple in: {msg}"));
+        let parts: Vec<i64> = tuple.split(", ").map(|p| p.parse().unwrap()).collect();
+        assert_eq!(parts[0] + parts[1], 800, "{msg}");
+    }
+
+    #[test]
+    fn option_and_bool_strategies_cover_both_arms() {
+        let mut rng = Rng::new(3);
+        let strat = option_of(any_bool());
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match strat.generate(&mut rng).value {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+
+    #[test]
+    fn one_of_picks_every_choice() {
+        let strat = one_of(vec![
+            just(1i64).boxed(),
+            just(2i64).boxed(),
+            i64_in(10..20).boxed(),
+        ]);
+        let mut rng = Rng::new(4);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match strat.generate(&mut rng).value {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                v if (10..20).contains(&v) => seen[2] = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn u8_array_generates_and_shrinks() {
+        let mut rng = Rng::new(5);
+        let s = u8_array::<32>().generate(&mut rng);
+        assert_eq!(s.value.len(), 32);
+        if s.value != [0u8; 32] {
+            assert_eq!(s.shrink()[0].value, [0u8; 32]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = Config {
+            seed: 77,
+            ..Config::cases(16)
+        };
+        let collect = |cfg: Config| {
+            let out = std::cell::RefCell::new(Vec::new());
+            check(cfg, any_u64(), |v| {
+                out.borrow_mut().push(*v);
+                Ok(())
+            });
+            out.into_inner()
+        };
+        assert_eq!(collect(cfg.clone()), collect(cfg));
+    }
+}

@@ -73,10 +73,8 @@ fn main() {
             let Some(name) = rest.first() else {
                 return Err("usage: devudf debug DIR NAME [LINE…]".to_string());
             };
-            let controller = ReplController::new(
-                BufReader::new(std::io::stdin()),
-                std::io::stdout(),
-            );
+            let controller =
+                ReplController::new(BufReader::new(std::io::stdin()), std::io::stdout());
             let dbg = controller.into_debugger();
             for bp in &rest[1..] {
                 match bp.split_once(':') {

@@ -48,7 +48,11 @@ impl ImportDialog {
         for (name, checked) in &self.entries {
             out.push_str(&format!(
                 "│ [{}] {:<36}│\n",
-                if *checked || self.import_all { "x" } else { " " },
+                if *checked || self.import_all {
+                    "x"
+                } else {
+                    " "
+                },
                 name
             ));
         }

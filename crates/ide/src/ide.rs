@@ -17,7 +17,11 @@ pub struct HeadlessIde {
 
 impl HeadlessIde {
     /// Open a project connected to an in-process server.
-    pub fn open_in_proc(server: &Server, settings: Settings, project_root: &Path) -> Result<HeadlessIde> {
+    pub fn open_in_proc(
+        server: &Server,
+        settings: Settings,
+        project_root: &Path,
+    ) -> Result<HeadlessIde> {
         Ok(HeadlessIde {
             dev: DevUdf::connect_in_proc(server, settings, project_root)?,
             menu: main_menu(),
@@ -79,7 +83,8 @@ mod tests {
     fn demo_server() -> Server {
         Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
             db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-            db.execute("INSERT INTO numbers VALUES (1), (2), (3)").unwrap();
+            db.execute("INSERT INTO numbers VALUES (1), (2), (3)")
+                .unwrap();
             db.execute(
                 "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return 0.0 }",
             )
@@ -141,7 +146,11 @@ mod tests {
         // Export via dialog.
         let mut export = ide.open_export_dialog().unwrap();
         assert_eq!(
-            export.entries.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            export
+                .entries
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
             vec!["mean_deviation"]
         );
         export.toggle("mean_deviation");

@@ -187,7 +187,8 @@ mod tests {
     #[test]
     fn single_line_change_listing4_fix() {
         // The Scenario A fix: add abs() on the distance accumulation line.
-        let old = "distance = 0\nfor i in range(0, len(column)):\n    distance += column[i] - mean\n";
+        let old =
+            "distance = 0\nfor i in range(0, len(column)):\n    distance += column[i] - mean\n";
         let new = "distance = 0\nfor i in range(0, len(column)):\n    distance += abs(column[i] - mean)\n";
         let ops = diff_lines(old, new);
         let (added, removed) = stats(&ops);

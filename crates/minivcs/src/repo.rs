@@ -4,16 +4,16 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
+use codecs::json::{self, Value};
 
 use crate::diff::{diff_lines, render_unified, DiffOp};
 use crate::store::{ObjectId, ObjectStore};
 
 /// A recorded commit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Commit {
-    /// Content address of the serialized commit record.
-    #[serde(skip)]
+    /// Content address of the serialized commit record (not stored inside
+    /// the record itself — it is the record's hash).
     pub id: ObjectIdSerde,
     pub message: String,
     pub author: String,
@@ -56,13 +56,115 @@ pub struct Repository {
     store: ObjectStore,
 }
 
-#[derive(Serialize, Deserialize, Default)]
+#[derive(Default)]
 struct Index {
     /// Staged files: path → blob id.
     staged: BTreeMap<String, String>,
     /// Current head commit id.
     head: Option<String>,
     next_seq: u64,
+}
+
+fn invalid(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+fn parse_json(data: &[u8], what: &str) -> std::io::Result<Value> {
+    let text = std::str::from_utf8(data).map_err(|e| invalid(format!("{what}: {e}")))?;
+    json::parse(text).map_err(|e| invalid(format!("{what}: {e}")))
+}
+
+fn tree_to_json(tree: &BTreeMap<String, String>) -> Value {
+    Value::Object(
+        tree.iter()
+            .map(|(path, blob)| (path.clone(), Value::from(blob.as_str())))
+            .collect(),
+    )
+}
+
+fn tree_from_json(v: &Value) -> std::io::Result<BTreeMap<String, String>> {
+    v.as_object()
+        .ok_or_else(|| invalid("tree must be an object"))?
+        .iter()
+        .map(|(path, blob)| {
+            blob.as_str()
+                .map(|s| (path.clone(), s.to_string()))
+                .ok_or_else(|| invalid("tree values must be blob id strings"))
+        })
+        .collect()
+}
+
+impl Index {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("staged".to_string(), tree_to_json(&self.staged)),
+            ("head".to_string(), Value::from(self.head.as_deref())),
+            ("next_seq".to_string(), Value::from(self.next_seq)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::io::Result<Index> {
+        Ok(Index {
+            staged: tree_from_json(
+                v.get("staged")
+                    .ok_or_else(|| invalid("index: staged missing"))?,
+            )?,
+            head: match v.get("head") {
+                None | Some(Value::Null) => None,
+                Some(h) => Some(
+                    h.as_str()
+                        .ok_or_else(|| invalid("index: head must be a commit id"))?
+                        .to_string(),
+                ),
+            },
+            next_seq: v
+                .get("next_seq")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| invalid("index: next_seq missing"))?,
+        })
+    }
+}
+
+impl Commit {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("message".to_string(), Value::from(self.message.as_str())),
+            ("author".to_string(), Value::from(self.author.as_str())),
+            ("parent".to_string(), Value::from(self.parent.as_deref())),
+            ("tree".to_string(), tree_to_json(&self.tree)),
+            ("seq".to_string(), Value::from(self.seq)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::io::Result<Commit> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| invalid(format!("commit: field '{name}' missing")))
+        };
+        Ok(Commit {
+            id: String::new(),
+            message: field("message")?,
+            author: field("author")?,
+            parent: match v.get("parent") {
+                None | Some(Value::Null) => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .ok_or_else(|| invalid("commit: parent must be a commit id"))?
+                        .to_string(),
+                ),
+            },
+            tree: tree_from_json(
+                v.get("tree")
+                    .ok_or_else(|| invalid("commit: tree missing"))?,
+            )?,
+            seq: v
+                .get("seq")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| invalid("commit: seq missing"))?,
+        })
+    }
 }
 
 impl Repository {
@@ -91,13 +193,11 @@ impl Repository {
 
     fn read_index(&self) -> std::io::Result<Index> {
         let data = fs::read(self.index_path())?;
-        serde_json::from_slice(&data)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Index::from_json(&parse_json(&data, "index")?)
     }
 
     fn write_index(&self, index: &Index) -> std::io::Result<()> {
-        let data = serde_json::to_vec_pretty(index).expect("index serializes");
-        fs::write(self.index_path(), data)
+        fs::write(self.index_path(), index.to_json().to_string_pretty())
     }
 
     /// Stage a file (path relative to the repository root).
@@ -150,7 +250,7 @@ impl Repository {
             tree: index.staged.clone(),
             seq: index.next_seq,
         };
-        let blob = serde_json::to_vec_pretty(&commit).expect("commit serializes");
+        let blob = commit.to_json().to_string_pretty().into_bytes();
         let id = self.store.put(&blob)?;
         index.head = Some(id.0.clone());
         index.next_seq += 1;
@@ -160,8 +260,7 @@ impl Repository {
 
     fn load_commit(&self, id: &ObjectId) -> std::io::Result<Commit> {
         let blob = self.store.get(id)?;
-        let mut commit: Commit = serde_json::from_slice(&blob)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let mut commit = Commit::from_json(&parse_json(&blob, "commit")?)?;
         commit.id = id.0.clone();
         Ok(commit)
     }
@@ -363,7 +462,11 @@ mod tests {
     #[test]
     fn diff_between_commits_shows_scenario_a_fix() {
         let (dir, repo) = temp_repo("diff");
-        fs::write(dir.join("mean_deviation.py"), "distance += column[i] - mean\n").unwrap();
+        fs::write(
+            dir.join("mean_deviation.py"),
+            "distance += column[i] - mean\n",
+        )
+        .unwrap();
         repo.add_all().unwrap();
         let c1 = repo.commit("buggy import", "dev").unwrap();
         fs::write(

@@ -9,9 +9,9 @@ use std::collections::BTreeMap;
 
 use crate::error::DbError;
 use crate::table::Table;
-use crate::types::{Column, ColumnData, SqlType};
 #[cfg(test)]
 use crate::types::SqlValue;
+use crate::types::{Column, ColumnData, SqlType};
 
 /// What a stored function returns.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,10 +148,7 @@ impl Catalog {
             rets.push(match &f.returns {
                 FunctionReturn::Scalar(t) => t.name().to_string(),
                 FunctionReturn::Table(cols) => {
-                    let inner: Vec<String> = cols
-                        .iter()
-                        .map(|(n, t)| format!("{n} {t}"))
-                        .collect();
+                    let inner: Vec<String> = cols.iter().map(|(n, t)| format!("{n} {t}")).collect();
                     format!("TABLE({})", inner.join(", "))
                 }
             });
@@ -263,17 +260,26 @@ mod tests {
             t.column_by_name("name").unwrap().get(2),
             SqlValue::Str("n_estimators".into())
         );
-        assert_eq!(t.column_by_name("position").unwrap().get(2), SqlValue::Int(2));
+        assert_eq!(
+            t.column_by_name("position").unwrap().get(2),
+            SqlValue::Int(2)
+        );
     }
 
     #[test]
     fn tables_are_case_insensitive_and_unique() {
         let mut c = Catalog::new();
-        c.create_table(Table::new("People", &[("id".to_string(), SqlType::Integer)]))
-            .unwrap();
+        c.create_table(Table::new(
+            "People",
+            &[("id".to_string(), SqlType::Integer)],
+        ))
+        .unwrap();
         assert!(c.table("people").is_ok());
         assert!(c
-            .create_table(Table::new("PEOPLE", &[("id".to_string(), SqlType::Integer)]))
+            .create_table(Table::new(
+                "PEOPLE",
+                &[("id".to_string(), SqlType::Integer)]
+            ))
             .is_err());
         c.drop_table("People", false).unwrap();
         assert!(c.table("people").is_err());

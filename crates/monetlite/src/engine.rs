@@ -13,7 +13,7 @@ use crate::exec;
 use crate::sql::ast::{FunctionReturnAst, Statement};
 use crate::sql::parse_statement;
 use crate::table::Table;
-use crate::types::{SqlValue};
+use crate::types::SqlValue;
 use crate::udf::UdfInput;
 
 /// UDF invocation model (paper §2.4).
@@ -227,7 +227,10 @@ impl Engine {
                 })
             }
             Statement::DropTable { name, if_exists } => {
-                self.inner.borrow_mut().catalog.drop_table(name, *if_exists)?;
+                self.inner
+                    .borrow_mut()
+                    .catalog
+                    .drop_table(name, *if_exists)?;
                 Ok(QueryResult::Affected {
                     rows: 0,
                     message: format!("table '{name}' dropped"),
@@ -501,9 +504,8 @@ impl Engine {
         };
         match run {
             Err(e) if e.message == EXTRACT_SIGNAL => {
-                let inputs = captured.ok_or_else(|| {
-                    DbError::exec("extraction signal without captured inputs")
-                })?;
+                let inputs = captured
+                    .ok_or_else(|| DbError::exec("extraction signal without captured inputs"))?;
                 let mut dict = Dict::new();
                 for (name, input) in &inputs {
                     dict.insert(Value::str(name.clone()), input.to_py()?)
@@ -636,13 +638,20 @@ mod tests {
             .unwrap()
             .into_table()
             .unwrap();
-        assert_eq!(t.rows(), vec![vec![SqlValue::Int(5)], vec![SqlValue::Int(4)]]);
+        assert_eq!(
+            t.rows(),
+            vec![vec![SqlValue::Int(5)], vec![SqlValue::Int(4)]]
+        );
     }
 
     #[test]
     fn select_without_from() {
         let db = Engine::new();
-        let t = db.execute("SELECT 1 + 1, 'hi'").unwrap().into_table().unwrap();
+        let t = db
+            .execute("SELECT 1 + 1, 'hi'")
+            .unwrap()
+            .into_table()
+            .unwrap();
         assert_eq!(t.row_count(), 1);
         assert_eq!(t.row(0)[0], SqlValue::Int(2));
     }
@@ -651,7 +660,11 @@ mod tests {
     fn delete_and_update() {
         let db = engine_with_numbers();
         db.execute("DELETE FROM t WHERE i > 3").unwrap();
-        let t = db.execute("SELECT count(*) FROM t").unwrap().into_table().unwrap();
+        let t = db
+            .execute("SELECT count(*) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
         assert_eq!(t.row(0)[0], SqlValue::Int(3));
         db.execute("UPDATE t SET i = i * 10 WHERE i >= 2").unwrap();
         let t = db
@@ -727,7 +740,9 @@ mod tests {
     fn udf_syntax_error_rejected_at_create_time() {
         let db = Engine::new();
         let err = db
-            .execute("CREATE FUNCTION oops(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return ((( }")
+            .execute(
+                "CREATE FUNCTION oops(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return ((( }",
+            )
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::Parse);
     }
@@ -735,10 +750,8 @@ mod tests {
     #[test]
     fn meta_tables_queryable() {
         let db = Engine::new();
-        db.execute(
-            "CREATE FUNCTION f1(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i }",
-        )
-        .unwrap();
+        db.execute("CREATE FUNCTION f1(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i }")
+            .unwrap();
         let t = db
             .execute("SELECT name, func FROM sys.functions WHERE language = 'PYTHON'")
             .unwrap()
@@ -756,8 +769,10 @@ mod tests {
     #[test]
     fn table_function_with_subquery_args() {
         let db = Engine::new();
-        db.execute("CREATE TABLE pairs (a INTEGER, b INTEGER)").unwrap();
-        db.execute("INSERT INTO pairs VALUES (1, 10), (2, 20)").unwrap();
+        db.execute("CREATE TABLE pairs (a INTEGER, b INTEGER)")
+            .unwrap();
+        db.execute("INSERT INTO pairs VALUES (1, 10), (2, 20)")
+            .unwrap();
         db.execute(
             "CREATE FUNCTION addtab(a INTEGER, b INTEGER, k INTEGER) RETURNS TABLE(s INTEGER) LANGUAGE PYTHON { return {'s': a + b + k} }",
         )
@@ -793,7 +808,11 @@ mod tests {
         db.execute("CREATE TABLE c (i INTEGER, s STRING)").unwrap();
         let r = db.execute("COPY INTO c FROM 'data.csv'").unwrap();
         assert!(matches!(r, QueryResult::Affected { rows: 3, .. }));
-        let t = db.execute("SELECT sum(i) FROM c").unwrap().into_table().unwrap();
+        let t = db
+            .execute("SELECT sum(i) FROM c")
+            .unwrap()
+            .into_table()
+            .unwrap();
         assert_eq!(t.row(0)[0], SqlValue::Int(6));
     }
 
@@ -816,7 +835,9 @@ mod tests {
         let v = db
             .extract_inputs("SELECT mean_deviation(i) FROM t", "mean_deviation")
             .unwrap();
-        let Value::Dict(d) = v else { panic!("expected dict") };
+        let Value::Dict(d) = v else {
+            panic!("expected dict")
+        };
         let col = d.borrow().get(&Value::str("column")).unwrap().unwrap();
         match col {
             Value::Array(a) => assert_eq!(a.len(), 5),
@@ -827,10 +848,8 @@ mod tests {
     #[test]
     fn extract_inputs_without_udf_call_errors() {
         let db = engine_with_numbers();
-        db.execute(
-            "CREATE FUNCTION f(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i }",
-        )
-        .unwrap();
+        db.execute("CREATE FUNCTION f(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i }")
+            .unwrap();
         let err = db.extract_inputs("SELECT i FROM t", "f").unwrap_err();
         assert!(err.message.contains("does not invoke"));
         // Engine still works afterwards.
@@ -840,8 +859,10 @@ mod tests {
     #[test]
     fn extract_inputs_for_table_function() {
         let db = Engine::new();
-        db.execute("CREATE TABLE train (data INTEGER, labels INTEGER)").unwrap();
-        db.execute("INSERT INTO train VALUES (1, 0), (2, 1)").unwrap();
+        db.execute("CREATE TABLE train (data INTEGER, labels INTEGER)")
+            .unwrap();
+        db.execute("INSERT INTO train VALUES (1, 0), (2, 1)")
+            .unwrap();
         db.execute(
             "CREATE FUNCTION train_rf(data INTEGER, labels INTEGER, n INTEGER) RETURNS TABLE(m BLOB) LANGUAGE PYTHON { return {'m': pickle.dumps(1)} }",
         )

@@ -131,7 +131,9 @@ pub fn eval_expr(
                 if s.is_null() {
                     return Ok(SqlValue::Null);
                 }
-                let found = options.iter().any(|o| cmp_sql(s, o) == Ordering::Equal && !o.is_null());
+                let found = options
+                    .iter()
+                    .any(|o| cmp_sql(s, o) == Ordering::Equal && !o.is_null());
                 Ok(SqlValue::Bool(found != *negated))
             };
             map_evaluated(v, "in", apply)
@@ -387,7 +389,11 @@ pub fn cmp_sql(a: &SqlValue, b: &SqlValue) -> Ordering {
 }
 
 /// Evaluate a WHERE predicate into a row mask. NULL counts as false.
-pub fn predicate_mask(engine: &Engine, table: &Table, pred: &SqlExpr) -> Result<Vec<bool>, DbError> {
+pub fn predicate_mask(
+    engine: &Engine,
+    table: &Table,
+    pred: &SqlExpr,
+) -> Result<Vec<bool>, DbError> {
     match eval_expr(engine, Some(table), pred)? {
         Evaluated::Scalar(s) => {
             let keep = matches!(s, SqlValue::Bool(true) | SqlValue::Int(1));
@@ -422,9 +428,9 @@ fn eval_call(
         return Ok(result);
     }
     // Stored UDF.
-    let def = engine.get_function(name)?.ok_or_else(|| {
-        DbError::catalog(format!("no such function '{name}'"))
-    })?;
+    let def = engine
+        .get_function(name)?
+        .ok_or_else(|| DbError::catalog(format!("no such function '{name}'")))?;
     if args.len() != def.params.len() {
         return Err(DbError::exec(format!(
             "function '{}' takes {} arguments, got {}",
@@ -465,7 +471,9 @@ fn eval_call(
             engine.append_udf_stdout(&stdout);
             let scalars: Result<Vec<SqlValue>, DbError> =
                 values.iter().map(udf::py_to_scalar).collect();
-            Ok(Evaluated::Column(Column::from_values(&def.name, &scalars?)?))
+            Ok(Evaluated::Column(Column::from_values(
+                &def.name, &scalars?,
+            )?))
         }
     }
 }
@@ -477,18 +485,18 @@ fn eval_aggregate(
     name: &str,
     args: &[SqlExpr],
 ) -> Result<Evaluated, DbError> {
-    let table = source.ok_or_else(|| {
-        DbError::exec(format!("aggregate {name}() requires a FROM clause"))
-    })?;
+    let table = source
+        .ok_or_else(|| DbError::exec(format!("aggregate {name}() requires a FROM clause")))?;
     // count(*) counts rows.
     if name == "count" && args.first() == Some(&SqlExpr::Star) {
         return Ok(Evaluated::Scalar(SqlValue::Int(table.row_count() as i64)));
     }
     if args.len() != 1 {
-        return Err(DbError::exec(format!("{name}() takes exactly one argument")));
+        return Err(DbError::exec(format!(
+            "{name}() takes exactly one argument"
+        )));
     }
-    let col = eval_expr(engine, Some(table), &args[0])?
-        .into_column("agg", table.row_count())?;
+    let col = eval_expr(engine, Some(table), &args[0])?.into_column("agg", table.row_count())?;
     let non_null: Vec<SqlValue> = (0..col.len())
         .map(|i| col.get(i))
         .filter(|v| !v.is_null())
@@ -512,9 +520,8 @@ fn eval_aggregate(
             } else {
                 let mut acc = 0f64;
                 for v in &non_null {
-                    acc += to_f64(v).ok_or_else(|| {
-                        DbError::type_err("sum() requires numeric values")
-                    })?;
+                    acc += to_f64(v)
+                        .ok_or_else(|| DbError::type_err("sum() requires numeric values"))?;
                 }
                 SqlValue::Double(acc)
             }
@@ -522,7 +529,8 @@ fn eval_aggregate(
         "avg" => {
             let mut acc = 0f64;
             for v in &non_null {
-                acc += to_f64(v).ok_or_else(|| DbError::type_err("avg() requires numeric values"))?;
+                acc +=
+                    to_f64(v).ok_or_else(|| DbError::type_err("avg() requires numeric values"))?;
             }
             SqlValue::Double(acc / non_null.len() as f64)
         }
@@ -561,20 +569,28 @@ fn eval_scalar_builtin(
     name: &str,
     args: &[SqlExpr],
 ) -> Result<Option<Evaluated>, DbError> {
-    let unary = |f: fn(&SqlValue) -> Result<SqlValue, DbError>| -> Result<Option<Evaluated>, DbError> {
-        if args.len() != 1 {
-            return Err(DbError::exec(format!("{name}() takes exactly one argument")));
-        }
-        let v = eval_expr(engine, source, &args[0])?;
-        Ok(Some(map_evaluated(v, name, f)?))
-    };
+    let unary =
+        |f: fn(&SqlValue) -> Result<SqlValue, DbError>| -> Result<Option<Evaluated>, DbError> {
+            if args.len() != 1 {
+                return Err(DbError::exec(format!(
+                    "{name}() takes exactly one argument"
+                )));
+            }
+            let v = eval_expr(engine, source, &args[0])?;
+            Ok(Some(map_evaluated(v, name, f)?))
+        };
     match name {
         "abs" => unary(|v| {
             Ok(match v {
                 SqlValue::Null => SqlValue::Null,
                 SqlValue::Int(i) => SqlValue::Int(i.abs()),
                 SqlValue::Double(d) => SqlValue::Double(d.abs()),
-                other => return Err(DbError::type_err(format!("abs({}) is invalid", other.render()))),
+                other => {
+                    return Err(DbError::type_err(format!(
+                        "abs({}) is invalid",
+                        other.render()
+                    )))
+                }
             })
         }),
         "length" => unary(|v| {
@@ -594,14 +610,24 @@ fn eval_scalar_builtin(
             Ok(match v {
                 SqlValue::Null => SqlValue::Null,
                 SqlValue::Str(s) => SqlValue::Str(s.to_uppercase()),
-                other => return Err(DbError::type_err(format!("upper({}) is invalid", other.render()))),
+                other => {
+                    return Err(DbError::type_err(format!(
+                        "upper({}) is invalid",
+                        other.render()
+                    )))
+                }
             })
         }),
         "lower" => unary(|v| {
             Ok(match v {
                 SqlValue::Null => SqlValue::Null,
                 SqlValue::Str(s) => SqlValue::Str(s.to_lowercase()),
-                other => return Err(DbError::type_err(format!("lower({}) is invalid", other.render()))),
+                other => {
+                    return Err(DbError::type_err(format!(
+                        "lower({}) is invalid",
+                        other.render()
+                    )))
+                }
             })
         }),
         "sqrt" => unary(|v| {
@@ -665,9 +691,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
                 let _ = tc;
                 matches(&t[1..], &p[1..])
             }
-            (Some(tc), Some(pc)) => {
-                tc.eq_ignore_ascii_case(pc) && matches(&t[1..], &p[1..])
-            }
+            (Some(tc), Some(pc)) => tc.eq_ignore_ascii_case(pc) && matches(&t[1..], &p[1..]),
         }
     }
     let t: Vec<char> = text.chars().collect();
@@ -736,8 +760,14 @@ mod tests {
 
     #[test]
     fn cmp_orders_nulls_first() {
-        assert_eq!(cmp_sql(&SqlValue::Null, &SqlValue::Int(-999)), Ordering::Less);
-        assert_eq!(cmp_sql(&SqlValue::Int(2), &SqlValue::Double(1.5)), Ordering::Greater);
+        assert_eq!(
+            cmp_sql(&SqlValue::Null, &SqlValue::Int(-999)),
+            Ordering::Less
+        );
+        assert_eq!(
+            cmp_sql(&SqlValue::Int(2), &SqlValue::Double(1.5)),
+            Ordering::Greater
+        );
         assert_eq!(
             cmp_sql(&SqlValue::Str("a".into()), &SqlValue::Str("b".into())),
             Ordering::Less

@@ -188,7 +188,8 @@ mod tests {
 
     fn orders_db() -> Engine {
         let db = Engine::new();
-        db.execute("CREATE TABLE customers (id INTEGER, name STRING)").unwrap();
+        db.execute("CREATE TABLE customers (id INTEGER, name STRING)")
+            .unwrap();
         db.execute("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob'), (3, 'eve')")
             .unwrap();
         db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, total INTEGER)")
@@ -235,7 +236,9 @@ mod tests {
         let db = orders_db();
         // Both tables have `id`; qualification disambiguates.
         let t = db
-            .execute("SELECT o.id, c.id FROM orders o JOIN customers c ON o.cust = c.id ORDER BY o.id")
+            .execute(
+                "SELECT o.id, c.id FROM orders o JOIN customers c ON o.cust = c.id ORDER BY o.id",
+            )
             .unwrap()
             .into_table()
             .unwrap();
@@ -258,8 +261,14 @@ mod tests {
             .unwrap()
             .into_table()
             .unwrap();
-        assert_eq!(t.row(0), vec![SqlValue::Str("ada".into()), SqlValue::Int(150)]);
-        assert_eq!(t.row(1), vec![SqlValue::Str("bob".into()), SqlValue::Int(75)]);
+        assert_eq!(
+            t.row(0),
+            vec![SqlValue::Str("ada".into()), SqlValue::Int(150)]
+        );
+        assert_eq!(
+            t.row(1),
+            vec![SqlValue::Str("bob".into()), SqlValue::Int(75)]
+        );
     }
 
     #[test]
@@ -277,8 +286,10 @@ mod tests {
     #[test]
     fn chained_three_way_join() {
         let db = orders_db();
-        db.execute("CREATE TABLE regions (cust INTEGER, region STRING)").unwrap();
-        db.execute("INSERT INTO regions VALUES (1, 'eu'), (2, 'us')").unwrap();
+        db.execute("CREATE TABLE regions (cust INTEGER, region STRING)")
+            .unwrap();
+        db.execute("INSERT INTO regions VALUES (1, 'eu'), (2, 'us')")
+            .unwrap();
         let t = db
             .execute(
                 "SELECT c.name, r.region FROM orders o JOIN customers c ON o.cust = c.id JOIN regions r ON r.cust = c.id ORDER BY c.name",

@@ -30,9 +30,9 @@ pub fn run_select(engine: &Engine, stmt: &SelectStmt) -> Result<Table, DbError> 
     let mut result = if stmt.group_by.is_empty() {
         project(engine, source.as_ref(), &stmt.items)?
     } else {
-        let table = source.as_ref().ok_or_else(|| {
-            DbError::exec("GROUP BY requires a FROM clause")
-        })?;
+        let table = source
+            .as_ref()
+            .ok_or_else(|| DbError::exec("GROUP BY requires a FROM clause"))?;
         group_project(engine, table, stmt)?
     };
 
@@ -105,9 +105,8 @@ fn project(
     for (i, item) in items.iter().enumerate() {
         match item {
             SelectItem::Star => {
-                let table = source.ok_or_else(|| {
-                    DbError::exec("SELECT * requires a FROM clause")
-                })?;
+                let table =
+                    source.ok_or_else(|| DbError::exec("SELECT * requires a FROM clause"))?;
                 for c in &table.columns {
                     pieces.push((c.name.clone(), Evaluated::Column(c.clone())));
                 }
@@ -240,9 +239,7 @@ fn group_project(engine: &Engine, table: &Table, stmt: &SelectStmt) -> Result<Ta
                         other.render()
                     )))
                 }
-                Evaluated::Column(c) => {
-                    !c.is_empty() && matches!(c.get(0), SqlValue::Bool(true))
-                }
+                Evaluated::Column(c) => !c.is_empty() && matches!(c.get(0), SqlValue::Bool(true)),
             };
             keep.push(truthy);
         }
@@ -272,19 +269,16 @@ fn order_rows(
 ) -> Result<Table, DbError> {
     let mut keys: Vec<(Column, bool)> = Vec::with_capacity(order_by.len());
     for (expr, desc) in order_by {
-        let evaluated = eval::eval_expr(engine, Some(result), expr).or_else(|first_err| {
-            match source {
+        let evaluated =
+            eval::eval_expr(engine, Some(result), expr).or_else(|first_err| match source {
                 Some(s) if s.row_count() == result.row_count() => {
                     eval::eval_expr(engine, Some(s), expr)
                 }
                 _ => Err(first_err),
-            }
-        })?;
+            })?;
         let col = match evaluated {
             Evaluated::Column(c) => c,
-            Evaluated::Scalar(s) => {
-                Column::from_values("key", &vec![s; result.row_count()])?
-            }
+            Evaluated::Scalar(s) => Column::from_values("key", &vec![s; result.row_count()])?,
         };
         if col.len() != result.row_count() {
             return Err(DbError::exec("ORDER BY key length mismatch"));
@@ -325,12 +319,10 @@ pub fn run_table_function(
                     inputs.push(UdfInput::Column(c));
                 }
             }
-            TableFuncArg::Expr(e) => {
-                match eval::eval_expr(engine, None, e)? {
-                    Evaluated::Scalar(s) => inputs.push(UdfInput::Scalar(s)),
-                    Evaluated::Column(c) => inputs.push(UdfInput::Column(c)),
-                }
-            }
+            TableFuncArg::Expr(e) => match eval::eval_expr(engine, None, e)? {
+                Evaluated::Scalar(s) => inputs.push(UdfInput::Scalar(s)),
+                Evaluated::Column(c) => inputs.push(UdfInput::Column(c)),
+            },
         }
     }
     if inputs.len() != def.params.len() {

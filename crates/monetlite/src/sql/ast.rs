@@ -73,7 +73,10 @@ pub struct SelectStmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     Star,
-    Expr { expr: SqlExpr, alias: Option<String> },
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
 }
 
 /// FROM clause shapes.

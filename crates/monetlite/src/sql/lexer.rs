@@ -116,22 +116,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<SqlTok>, DbError> {
                 out.push(SqlTok::Eq);
                 pos += 1;
             }
-            b'<' => {
-                match bytes.get(pos + 1) {
-                    Some(b'=') => {
-                        out.push(SqlTok::Le);
-                        pos += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(SqlTok::NotEq);
-                        pos += 2;
-                    }
-                    _ => {
-                        out.push(SqlTok::Lt);
-                        pos += 1;
-                    }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    out.push(SqlTok::Le);
+                    pos += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(SqlTok::NotEq);
+                    pos += 2;
+                }
+                _ => {
+                    out.push(SqlTok::Lt);
+                    pos += 1;
+                }
+            },
             b'>' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
                     out.push(SqlTok::Ge);
@@ -274,7 +272,8 @@ fn capture_body(sql: &str, start: usize) -> Result<(String, usize), DbError> {
                 }
             }
             quote @ (b'\'' | b'"') => {
-                let triple = bytes.get(pos + 1) == Some(&quote) && bytes.get(pos + 2) == Some(&quote);
+                let triple =
+                    bytes.get(pos + 1) == Some(&quote) && bytes.get(pos + 2) == Some(&quote);
                 if triple {
                     pos += 3;
                     loop {
@@ -349,7 +348,8 @@ mod tests {
 
     #[test]
     fn body_capture_with_nested_dict() {
-        let sql = "CREATE FUNCTION f(i INT) RETURNS INT LANGUAGE PYTHON {\nreturn {'a': 1}['a'] + i\n}";
+        let sql =
+            "CREATE FUNCTION f(i INT) RETURNS INT LANGUAGE PYTHON {\nreturn {'a': 1}['a'] + i\n}";
         let toks = tokenize(sql).unwrap();
         let body = toks
             .iter()

@@ -403,11 +403,7 @@ impl Parser {
                     // Bare alias: SELECT a b FROM…  (only if next is an ident
                     // that is not a clause keyword).
                     match self.peek() {
-                        SqlTok::Ident(s)
-                            if !is_clause_keyword(s) =>
-                        {
-                            Some(self.ident()?)
-                        }
+                        SqlTok::Ident(s) if !is_clause_keyword(s) => Some(self.ident()?),
                         _ => None,
                     }
                 };
@@ -562,8 +558,10 @@ impl Parser {
             return self.ident().ok();
         }
         if let SqlTok::Ident(s) = self.peek() {
-            if !is_clause_keyword(s) && !s.eq_ignore_ascii_case("join")
-                && !s.eq_ignore_ascii_case("inner") && !s.eq_ignore_ascii_case("left")
+            if !is_clause_keyword(s)
+                && !s.eq_ignore_ascii_case("join")
+                && !s.eq_ignore_ascii_case("inner")
+                && !s.eq_ignore_ascii_case("left")
                 && !s.eq_ignore_ascii_case("outer")
             {
                 let s = s.clone();
@@ -649,7 +647,9 @@ impl Parser {
         }
         // [NOT] LIKE / IN
         let negated = if self.peek().is_kw("not")
-            && (self.peek2().is_kw("like") || self.peek2().is_kw("in") || self.peek2().is_kw("between"))
+            && (self.peek2().is_kw("like")
+                || self.peek2().is_kw("in")
+                || self.peek2().is_kw("between"))
         {
             self.bump();
             true
@@ -1024,12 +1024,18 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
 
     #[test]
     fn parses_like_and_in() {
-        let s = parse_statement("SELECT * FROM t WHERE name LIKE 'mean%' AND i IN (1, 2, 3)")
-            .unwrap();
+        let s =
+            parse_statement("SELECT * FROM t WHERE name LIKE 'mean%' AND i IN (1, 2, 3)").unwrap();
         match s {
             Statement::Select(sel) => {
                 let p = sel.predicate.unwrap();
-                assert!(matches!(p, SqlExpr::Binary { op: BinaryOp::And, .. }));
+                assert!(matches!(
+                    p,
+                    SqlExpr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -1070,7 +1076,10 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
             Statement::Select(sel) => {
                 assert_eq!(sel.items.len(), 3);
                 match &sel.items[0] {
-                    SelectItem::Expr { expr: SqlExpr::Call { args, .. }, .. } => {
+                    SelectItem::Expr {
+                        expr: SqlExpr::Call { args, .. },
+                        ..
+                    } => {
                         assert_eq!(args[0], SqlExpr::Star);
                     }
                     other => panic!("{other:?}"),
@@ -1084,7 +1093,11 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
     fn parses_copy_into() {
         let s = parse_statement("COPY INTO numbers FROM 'data/file.csv' DELIMITERS ';'").unwrap();
         match s {
-            Statement::CopyInto { table, path, delimiter } => {
+            Statement::CopyInto {
+                table,
+                path,
+                delimiter,
+            } => {
                 assert_eq!(table, "numbers");
                 assert_eq!(path, "data/file.csv");
                 assert_eq!(delimiter, ';');
@@ -1162,11 +1175,23 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
         }
         assert!(matches!(
             parse_statement("SELECT * FROM a LEFT JOIN b ON a.x = b.x").unwrap(),
-            Statement::Select(SelectStmt { from: Some(FromClause::Join { kind: JoinKind::Left, .. }), .. })
+            Statement::Select(SelectStmt {
+                from: Some(FromClause::Join {
+                    kind: JoinKind::Left,
+                    ..
+                }),
+                ..
+            })
         ));
         assert!(matches!(
             parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x").unwrap(),
-            Statement::Select(SelectStmt { from: Some(FromClause::Join { kind: JoinKind::Left, .. }), .. })
+            Statement::Select(SelectStmt {
+                from: Some(FromClause::Join {
+                    kind: JoinKind::Left,
+                    ..
+                }),
+                ..
+            })
         ));
         // Chained joins nest left-deep.
         let s = parse_statement("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y").unwrap();
@@ -1186,7 +1211,10 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
             Statement::Select(sel) => {
                 assert!(matches!(
                     sel.predicate.unwrap(),
-                    SqlExpr::Binary { op: BinaryOp::And, .. }
+                    SqlExpr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
                 ));
             }
             other => panic!("{other:?}"),
@@ -1202,7 +1230,13 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
         match s {
             Statement::Select(sel) => match &sel.items[0] {
                 SelectItem::Expr { expr, .. } => {
-                    assert!(matches!(expr, SqlExpr::Cast { target: SqlType::Double, .. }));
+                    assert!(matches!(
+                        expr,
+                        SqlExpr::Cast {
+                            target: SqlType::Double,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("{other:?}"),
             },
@@ -1213,7 +1247,10 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
     #[test]
     fn parses_distinct_and_having() {
         let s = parse_statement("SELECT DISTINCT g FROM t").unwrap();
-        assert!(matches!(s, Statement::Select(SelectStmt { distinct: true, .. })));
+        assert!(matches!(
+            s,
+            Statement::Select(SelectStmt { distinct: true, .. })
+        ));
         let s = parse_statement("SELECT g, sum(v) FROM t GROUP BY g HAVING sum(v) > 10").unwrap();
         match s {
             Statement::Select(sel) => assert!(sel.having.is_some()),

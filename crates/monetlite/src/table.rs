@@ -186,9 +186,12 @@ mod tests {
                 ("s".to_string(), SqlType::String),
             ],
         );
-        t.push_row(&[SqlValue::Int(1), SqlValue::Str("one".into())]).unwrap();
-        t.push_row(&[SqlValue::Int(2), SqlValue::Str("two".into())]).unwrap();
-        t.push_row(&[SqlValue::Int(3), SqlValue::Str("three".into())]).unwrap();
+        t.push_row(&[SqlValue::Int(1), SqlValue::Str("one".into())])
+            .unwrap();
+        t.push_row(&[SqlValue::Int(2), SqlValue::Str("two".into())])
+            .unwrap();
+        t.push_row(&[SqlValue::Int(3), SqlValue::Str("three".into())])
+            .unwrap();
         t
     }
 
@@ -196,7 +199,10 @@ mod tests {
     fn push_and_fetch_rows() {
         let t = sample();
         assert_eq!(t.row_count(), 3);
-        assert_eq!(t.row(1), vec![SqlValue::Int(2), SqlValue::Str("two".into())]);
+        assert_eq!(
+            t.row(1),
+            vec![SqlValue::Int(2), SqlValue::Str("two".into())]
+        );
     }
 
     #[test]

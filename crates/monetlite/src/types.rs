@@ -385,9 +385,14 @@ mod tests {
             SqlValue::Int(7).coerce(SqlType::String).unwrap(),
             SqlValue::Str("7".into())
         );
-        assert!(SqlValue::Str("abc".into()).coerce(SqlType::Integer).is_err());
+        assert!(SqlValue::Str("abc".into())
+            .coerce(SqlType::Integer)
+            .is_err());
         assert!(SqlValue::Blob(vec![1]).coerce(SqlType::Integer).is_err());
-        assert_eq!(SqlValue::Null.coerce(SqlType::Integer).unwrap(), SqlValue::Null);
+        assert_eq!(
+            SqlValue::Null.coerce(SqlType::Integer).unwrap(),
+            SqlValue::Null
+        );
     }
 
     #[test]
@@ -433,7 +438,12 @@ mod tests {
     fn filter_and_permute_preserve_nulls() {
         let c = Column::from_values(
             "v",
-            &[SqlValue::Int(0), SqlValue::Null, SqlValue::Int(2), SqlValue::Int(3)],
+            &[
+                SqlValue::Int(0),
+                SqlValue::Null,
+                SqlValue::Int(2),
+                SqlValue::Int(3),
+            ],
         )
         .unwrap();
         let f = c.filter(&[false, true, true, false]);

@@ -15,9 +15,9 @@
 
 use std::rc::Rc;
 
-use pylite::value::NativeObject;
 #[cfg(test)]
 use pylite::value::Dict;
+use pylite::value::NativeObject;
 use pylite::{Array, Interp, PyError, Value};
 
 use crate::catalog::{FunctionDef, FunctionReturn};
@@ -181,9 +181,9 @@ impl NativeObject for LoopbackConn {
                     .engine
                     .execute(sql)
                     .map_err(|e| PyError::new(pylite::ErrorKind::Value, e.to_string()))?;
-                let table = result.into_table().map_err(|e| {
-                    PyError::new(pylite::ErrorKind::Value, e.to_string())
-                })?;
+                let table = result
+                    .into_table()
+                    .map_err(|e| PyError::new(pylite::ErrorKind::Value, e.to_string()))?;
                 Ok(result_set_value(&table))
             }
             other => Err(PyError::new(
@@ -307,7 +307,9 @@ pub fn run_operator_at_a_time(
         "_conn",
         Value::Native(Rc::new(LoopbackConn::new(engine.clone()))),
     );
-    let value = interp.eval_module(&def.body).map_err(|e| DbError::udf(&e))?;
+    let value = interp
+        .eval_module(&def.body)
+        .map_err(|e| DbError::udf(&e))?;
     Ok(UdfOutput {
         value,
         stdout: interp.take_stdout(),
@@ -467,11 +469,7 @@ mod tests {
         assert_eq!(col.len(), 2);
         let col = py_to_column("r", &Value::Int(7)).unwrap();
         assert_eq!(col.len(), 1);
-        let col = py_to_column(
-            "r",
-            &Value::list(vec![Value::Int(1), Value::Float(2.5)]),
-        )
-        .unwrap();
+        let col = py_to_column("r", &Value::list(vec![Value::Int(1), Value::Float(2.5)])).unwrap();
         assert_eq!(col.sql_type(), SqlType::Double);
     }
 
@@ -519,11 +517,15 @@ mod tests {
             body: String::new(),
         };
         let mut d = Dict::new();
-        d.insert(Value::str("clf"), Value::bytes(vec![1, 2, 3])).unwrap();
+        d.insert(Value::str("clf"), Value::bytes(vec![1, 2, 3]))
+            .unwrap();
         d.insert(Value::str("estimators"), Value::Int(10)).unwrap();
         let t = output_to_table(&def, &Value::dict(d)).unwrap();
         assert_eq!(t.row_count(), 1);
-        assert_eq!(t.column_by_name("estimators").unwrap().get(0), SqlValue::Int(10));
+        assert_eq!(
+            t.column_by_name("estimators").unwrap().get(0),
+            SqlValue::Int(10)
+        );
     }
 
     #[test]

@@ -1,7 +1,12 @@
-//! Property tests for the SQL engine.
+//! Property tests for the SQL engine (devharness::prop).
 
+use devharness::prop::{self, Config};
+use devharness::prop_assert_eq;
 use monetlite::{Engine, SqlValue};
-use proptest::prelude::*;
+
+fn cfg() -> Config {
+    Config::cases(48)
+}
 
 fn engine_with(data: &[i64]) -> Engine {
     let db = Engine::new();
@@ -23,34 +28,50 @@ fn ints(t: &monetlite::Table, col: usize) -> Vec<i64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn order_by_sorts() {
+    prop::check(
+        cfg(),
+        prop::vec_of(prop::i64_in(-1000..1000), 0..60),
+        |data| {
+            let db = engine_with(data);
+            let t = db
+                .execute("SELECT i FROM t ORDER BY i")
+                .unwrap()
+                .into_table()
+                .unwrap();
+            let got = ints(&t, 0);
+            let mut expected = data.clone();
+            expected.sort();
+            prop_assert_eq!(got, expected);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn order_by_sorts(data in proptest::collection::vec(-1000i64..1000, 0..60)) {
-        let db = engine_with(&data);
-        let t = db.execute("SELECT i FROM t ORDER BY i").unwrap().into_table().unwrap();
-        let got = ints(&t, 0);
-        let mut expected = data.clone();
-        expected.sort();
-        prop_assert_eq!(got, expected);
-    }
-
-    #[test]
-    fn where_filter_matches_rust(data in proptest::collection::vec(-100i64..100, 0..60), cut in -100i64..100) {
-        let db = engine_with(&data);
+#[test]
+fn where_filter_matches_rust() {
+    let strategy = (
+        prop::vec_of(prop::i64_in(-100..100), 0..60),
+        prop::i64_in(-100..100),
+    );
+    prop::check(cfg(), strategy, |(data, cut)| {
+        let db = engine_with(data);
         let t = db
             .execute(&format!("SELECT i FROM t WHERE i >= {cut}"))
             .unwrap()
             .into_table()
             .unwrap();
-        let expected: Vec<i64> = data.iter().copied().filter(|v| *v >= cut).collect();
+        let expected: Vec<i64> = data.iter().copied().filter(|v| v >= cut).collect();
         prop_assert_eq!(ints(&t, 0), expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn distinct_removes_duplicates(data in proptest::collection::vec(0i64..10, 0..60)) {
-        let db = engine_with(&data);
+#[test]
+fn distinct_removes_duplicates() {
+    prop::check(cfg(), prop::vec_of(prop::i64_in(0..10), 0..60), |data| {
+        let db = engine_with(data);
         let t = db
             .execute("SELECT DISTINCT i FROM t ORDER BY i")
             .unwrap()
@@ -60,18 +81,21 @@ proptest! {
         expected.sort();
         expected.dedup();
         prop_assert_eq!(ints(&t, 0), expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn group_by_partitions_correctly(data in proptest::collection::vec(0i64..5, 1..60)) {
-        let db = engine_with(&data);
+#[test]
+fn group_by_partitions_correctly() {
+    prop::check(cfg(), prop::vec_of(prop::i64_in(0..5), 1..60), |data| {
+        let db = engine_with(data);
         let t = db
             .execute("SELECT i, count(*) FROM t GROUP BY i ORDER BY i")
             .unwrap()
             .into_table()
             .unwrap();
         let mut counts = std::collections::BTreeMap::new();
-        for v in &data {
+        for v in data {
             *counts.entry(*v).or_insert(0i64) += 1;
         }
         let keys = ints(&t, 0);
@@ -80,28 +104,39 @@ proptest! {
         for (k, c) in keys.iter().zip(&cnts) {
             prop_assert_eq!(counts[k], *c);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn limit_truncates(data in proptest::collection::vec(0i64..100, 0..50), n in 0usize..60) {
-        let db = engine_with(&data);
+#[test]
+fn limit_truncates() {
+    let strategy = (
+        prop::vec_of(prop::i64_in(0..100), 0..50),
+        prop::usize_in(0..60),
+    );
+    prop::check(cfg(), strategy, |(data, n)| {
+        let db = engine_with(data);
         let t = db
             .execute(&format!("SELECT i FROM t LIMIT {n}"))
             .unwrap()
             .into_table()
             .unwrap();
-        prop_assert_eq!(t.row_count(), n.min(data.len()));
-    }
+        prop_assert_eq!(t.row_count(), (*n).min(data.len()));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn join_matches_manual_computation(
-        left in proptest::collection::vec(0i64..8, 0..25),
-        right in proptest::collection::vec(0i64..8, 0..25),
-    ) {
+#[test]
+fn join_matches_manual_computation() {
+    let strategy = (
+        prop::vec_of(prop::i64_in(0..8), 0..25),
+        prop::vec_of(prop::i64_in(0..8), 0..25),
+    );
+    prop::check(cfg(), strategy, |(left, right)| {
         let db = Engine::new();
         db.execute("CREATE TABLE l (k INTEGER)").unwrap();
         db.execute("CREATE TABLE r (k INTEGER)").unwrap();
-        for (tbl, data) in [("l", &left), ("r", &right)] {
+        for (tbl, data) in [("l", left), ("r", right)] {
             if !data.is_empty() {
                 let values: Vec<String> = data.iter().map(|v| format!("({v})")).collect();
                 db.execute(&format!("INSERT INTO {tbl} VALUES {}", values.join(", ")))
@@ -118,19 +153,42 @@ proptest! {
             .map(|lv| right.iter().filter(|rv| *rv == lv).count() as i64)
             .sum();
         prop_assert_eq!(t.row(0)[0].clone(), SqlValue::Int(expected));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_never_panics(sql in "[a-zA-Z0-9 '(),*.=<>+-]{0,120}") {
-        let _ = monetlite::sql::parse_statement(&sql);
-    }
+#[test]
+fn parser_never_panics() {
+    prop::check(
+        cfg(),
+        prop::string_of(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 '(),*.=<>+-",
+            0..120,
+        ),
+        |sql| {
+            let _ = monetlite::sql::parse_statement(sql);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn delete_then_count_is_consistent(data in proptest::collection::vec(-50i64..50, 0..40), cut in -50i64..50) {
-        let db = engine_with(&data);
-        db.execute(&format!("DELETE FROM t WHERE i < {cut}")).unwrap();
-        let t = db.execute("SELECT count(*) FROM t").unwrap().into_table().unwrap();
-        let expected = data.iter().filter(|v| **v >= cut).count() as i64;
+#[test]
+fn delete_then_count_is_consistent() {
+    let strategy = (
+        prop::vec_of(prop::i64_in(-50..50), 0..40),
+        prop::i64_in(-50..50),
+    );
+    prop::check(cfg(), strategy, |(data, cut)| {
+        let db = engine_with(data);
+        db.execute(&format!("DELETE FROM t WHERE i < {cut}"))
+            .unwrap();
+        let t = db
+            .execute("SELECT count(*) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let expected = data.iter().filter(|v| *v >= cut).count() as i64;
         prop_assert_eq!(t.row(0)[0].clone(), SqlValue::Int(expected));
-    }
+        Ok(())
+    });
 }

@@ -23,7 +23,10 @@ pub enum StmtKind {
     /// `return expr?`
     Return(Option<Expr>),
     /// `target = value` (possibly chained `a = b = v`, or tuple targets)
-    Assign { targets: Vec<Expr>, value: Expr },
+    Assign {
+        targets: Vec<Expr>,
+        value: Expr,
+    },
     /// `target op= value`
     AugAssign {
         target: Expr,
@@ -49,7 +52,10 @@ pub enum StmtKind {
     Continue,
     Pass,
     /// `import a.b.c [as name]`
-    Import { module: String, alias: Option<String> },
+    Import {
+        module: String,
+        alias: Option<String>,
+    },
     /// `from a.b import x [as y], z`
     FromImport {
         module: String,

@@ -95,9 +95,7 @@ pub fn lookup(name: &str) -> Option<Value> {
                     Array::Int(v) => Value::Int(v.iter().sum()),
                     Array::Float(v) => Value::Float(v.iter().sum()),
                     Array::Bool(v) => Value::Int(v.iter().filter(|b| **b).count() as i64),
-                    Array::Str(_) => {
-                        return Err(err(ErrorKind::Type, "cannot sum a string array"))
-                    }
+                    Array::Str(_) => return Err(err(ErrorKind::Type, "cannot sum a string array")),
                 });
             }
             let items = interp.iter_values(&args[0], 0)?;
@@ -203,7 +201,9 @@ pub fn lookup(name: &str) -> Option<Value> {
                 let keep = if args[0].is_none_value() {
                     item.truthy()
                 } else {
-                    interp.call_function(&args[0], std::slice::from_ref(&item), &[], 0)?.truthy()
+                    interp
+                        .call_function(&args[0], std::slice::from_ref(&item), &[], 0)?
+                        .truthy()
                 };
                 if keep {
                     out.push(item);
@@ -235,7 +235,10 @@ pub fn lookup(name: &str) -> Option<Value> {
                 }),
                 other => Err(err(
                     ErrorKind::Type,
-                    format!("int() argument must be a number or string, not '{}'", other.type_name()),
+                    format!(
+                        "int() argument must be a number or string, not '{}'",
+                        other.type_name()
+                    ),
                 )),
             }
         }),
@@ -253,7 +256,10 @@ pub fn lookup(name: &str) -> Option<Value> {
                 }),
                 other => Err(err(
                     ErrorKind::Type,
-                    format!("float() argument must be a number or string, not '{}'", other.type_name()),
+                    format!(
+                        "float() argument must be a number or string, not '{}'",
+                        other.type_name()
+                    ),
                 )),
             }
         }),
@@ -265,7 +271,9 @@ pub fn lookup(name: &str) -> Option<Value> {
         }),
         "bool" => builtin!("bool", |_interp, args, _kw| {
             arity("bool", args, 0, 1)?;
-            Ok(Value::Bool(args.first().map(|v| v.truthy()).unwrap_or(false)))
+            Ok(Value::Bool(
+                args.first().map(|v| v.truthy()).unwrap_or(false),
+            ))
         }),
         "list" => builtin!("list", |interp, args, _kw| {
             arity("list", args, 0, 1)?;
@@ -334,7 +342,10 @@ pub fn lookup(name: &str) -> Option<Value> {
                 }
                 other => Err(err(
                     ErrorKind::Type,
-                    format!("round() argument must be a number, not '{}'", other.type_name()),
+                    format!(
+                        "round() argument must be a number, not '{}'",
+                        other.type_name()
+                    ),
                 )),
             }
         }),
@@ -420,7 +431,8 @@ mod tests {
 
     #[test]
     fn min_max_sum() {
-        let i = run("a = min([3, 1, 2])\nb = max(4, 7, 5)\nc = sum([1, 2, 3])\nd = sum([1.5, 2.5])\n");
+        let i =
+            run("a = min([3, 1, 2])\nb = max(4, 7, 5)\nc = sum([1, 2, 3])\nd = sum([1.5, 2.5])\n");
         assert_eq!(g(&i, "a"), Value::Int(1));
         assert_eq!(g(&i, "b"), Value::Int(7));
         assert_eq!(g(&i, "c"), Value::Int(6));
@@ -462,16 +474,10 @@ mod tests {
                 Value::tuple(vec![Value::Int(1), Value::str("b")]),
             ])
         );
-        assert_eq!(
-            g(&i, "m"),
-            Value::list(vec![Value::Int(2), Value::Int(4)])
-        );
+        assert_eq!(g(&i, "m"), Value::list(vec![Value::Int(2), Value::Int(4)]));
         let i2 = Interp::new();
         let _ = i2;
-        assert_eq!(
-            g(&i, "f"),
-            Value::list(vec![Value::Int(2), Value::Int(3)])
-        );
+        assert_eq!(g(&i, "f"), Value::list(vec![Value::Int(2), Value::Int(3)]));
         assert_eq!(
             g(&i, "z"),
             Value::list(vec![

@@ -366,7 +366,11 @@ final = total
     #[test]
     fn breakpoint_pauses_with_locals() {
         let mut interp = Interp::new();
-        let dbg = Debugger::scripted(vec![DebugCommand::Continue, DebugCommand::Continue, DebugCommand::Continue]);
+        let dbg = Debugger::scripted(vec![
+            DebugCommand::Continue,
+            DebugCommand::Continue,
+            DebugCommand::Continue,
+        ]);
         dbg.borrow_mut().add_breakpoint(2); // inside helper
         interp.set_hook(dbg.clone());
         interp.eval_module(PROGRAM).unwrap();
@@ -470,7 +474,9 @@ final = total
         dbg.borrow_mut().add_breakpoint(2);
         interp.set_hook(dbg.clone());
         interp
-            .eval_module("def inner():\n    return 1\ndef outer():\n    return inner()\nr = outer()\n")
+            .eval_module(
+                "def inner():\n    return 1\ndef outer():\n    return inner()\nr = outer()\n",
+            )
             .unwrap();
         let d = dbg.borrow();
         let stack = &d.pauses()[0].stack;
@@ -483,7 +489,9 @@ final = total
         let mut interp = Interp::new();
         let tracer = LineTracer::new();
         interp.set_hook(tracer.clone());
-        interp.eval_module("a = 1\nif a:\n    b = 2\nc = 3\n").unwrap();
+        interp
+            .eval_module("a = 1\nif a:\n    b = 2\nc = 3\n")
+            .unwrap();
         let lines: Vec<u32> = tracer.borrow().trace.iter().map(|(_, l)| *l).collect();
         assert_eq!(lines, vec![1, 2, 3, 4]);
     }
@@ -505,10 +513,14 @@ final = total
         let dbg = Debugger::scripted(vec![DebugCommand::Continue; 4]);
         dbg.borrow_mut().request_pause();
         interp.set_hook(dbg.clone());
-        interp.eval_module("a = 1
+        interp
+            .eval_module(
+                "a = 1
 b = 2
 c = 3
-").unwrap();
+",
+            )
+            .unwrap();
         let d = dbg.borrow();
         assert_eq!(d.pause_count(), 1);
         assert_eq!(d.pauses()[0].reason, PauseReason::Requested);
@@ -525,14 +537,18 @@ c = 3
         interp.eval_module(PROGRAM).unwrap();
         let d = dbg.borrow();
         assert_eq!(d.pause_count(), 1);
-        assert!(d.pauses()[0].locals.iter().any(|(n, v)| n == "v" && v == "2"));
+        assert!(d.pauses()[0]
+            .locals
+            .iter()
+            .any(|(n, v)| n == "v" && v == "2"));
     }
 
     #[test]
     fn conditional_breakpoint_with_bad_expression_never_pauses() {
         let mut interp = Interp::new();
         let dbg = Debugger::scripted(vec![DebugCommand::Continue; 8]);
-        dbg.borrow_mut().add_conditional_breakpoint(2, "no_such_name > 1");
+        dbg.borrow_mut()
+            .add_conditional_breakpoint(2, "no_such_name > 1");
         interp.set_hook(dbg.clone());
         interp.eval_module(PROGRAM).unwrap();
         assert_eq!(dbg.borrow().pause_count(), 0);

@@ -88,7 +88,9 @@ impl PyError {
 
     /// The exception class name used for `except` matching and display.
     pub fn class_name(&self) -> &str {
-        self.user_class.as_deref().unwrap_or_else(|| self.kind.name())
+        self.user_class
+            .as_deref()
+            .unwrap_or_else(|| self.kind.name())
     }
 
     /// Push a traceback frame (called while unwinding, innermost first;

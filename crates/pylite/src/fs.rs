@@ -81,7 +81,11 @@ impl FsProvider for MemFs {
 
     fn listdir(&self, path: &str) -> Result<Vec<String>, String> {
         let p = Self::normalize(path);
-        let prefix = if p.is_empty() { String::new() } else { format!("{p}/") };
+        let prefix = if p.is_empty() {
+            String::new()
+        } else {
+            format!("{p}/")
+        };
         let files = self.files.borrow();
         let mut out = Vec::new();
         let mut found_prefix = p.is_empty();

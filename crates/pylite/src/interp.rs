@@ -154,7 +154,10 @@ impl Interp {
 
     /// Current call stack, outermost first, as (function, line) pairs.
     pub fn stack(&self) -> Vec<(String, u32)> {
-        self.frames.iter().map(|f| (f.name.clone(), f.line)).collect()
+        self.frames
+            .iter()
+            .map(|f| (f.name.clone(), f.line))
+            .collect()
     }
 
     /// Snapshot the innermost frame's locals as (name, repr) pairs, sorted.
@@ -326,10 +329,7 @@ impl Interp {
                 None => {
                     return Err(PyError::new(
                         ErrorKind::Type,
-                        format!(
-                            "{}() missing required argument: '{}'",
-                            def.name, param.name
-                        ),
+                        format!("{}() missing required argument: '{}'", def.name, param.name),
                     ))
                 }
             }
@@ -456,7 +456,11 @@ impl Interp {
                 // Ranges iterate lazily; everything else materializes.
                 if let Value::Range { start, stop, step } = iterable {
                     if step == 0 {
-                        return Err(self.err_at(ErrorKind::Value, "range() step must not be zero", stmt.line));
+                        return Err(self.err_at(
+                            ErrorKind::Value,
+                            "range() step must not be zero",
+                            stmt.line,
+                        ));
                     }
                     let mut i = start;
                     while (step > 0 && i < stop) || (step < 0 && i > stop) {
@@ -573,7 +577,9 @@ impl Interp {
             }
             StmtKind::Raise(expr) => {
                 let err = match expr {
-                    None => PyError::user("RuntimeError", "re-raise outside except is not supported"),
+                    None => {
+                        PyError::user("RuntimeError", "re-raise outside except is not supported")
+                    }
                     Some(e) => self.eval_raise_expr(e)?,
                 };
                 Err(err)
@@ -730,11 +736,7 @@ impl Interp {
                     )),
                 }
             }
-            _ => Err(self.err_at(
-                ErrorKind::Syntax,
-                "invalid assignment target",
-                target.line,
-            )),
+            _ => Err(self.err_at(ErrorKind::Syntax, "invalid assignment target", target.line)),
         }
     }
 
@@ -804,11 +806,7 @@ impl Interp {
                     Value::Dict(d) => {
                         let removed = d.borrow_mut().remove(&idx)?;
                         if removed.is_none() {
-                            return Err(self.err_at(
-                                ErrorKind::Key,
-                                idx.repr(),
-                                target.line,
-                            ));
+                            return Err(self.err_at(ErrorKind::Key, idx.repr(), target.line));
                         }
                         Ok(())
                     }
@@ -1092,9 +1090,9 @@ impl Interp {
                         let l = l.borrow();
                         Ok(Value::list(indices.iter().map(|&i| l[i].clone()).collect()))
                     }
-                    Value::Tuple(t) => {
-                        Ok(Value::tuple(indices.iter().map(|&i| t[i].clone()).collect()))
-                    }
+                    Value::Tuple(t) => Ok(Value::tuple(
+                        indices.iter().map(|&i| t[i].clone()).collect(),
+                    )),
                     Value::Str(s) => {
                         let chars: Vec<char> = s.chars().collect();
                         Ok(Value::str(
@@ -1105,9 +1103,7 @@ impl Interp {
                         let picked: Vec<Value> = indices.iter().map(|&i| a.get(i)).collect();
                         Ok(Value::array(Array::from_values(&picked)?))
                     }
-                    Value::Bytes(b) => {
-                        Ok(Value::bytes(indices.iter().map(|&i| b[i]).collect()))
-                    }
+                    Value::Bytes(b) => Ok(Value::bytes(indices.iter().map(|&i| b[i]).collect())),
                     other => Err(self.err_at(
                         ErrorKind::Type,
                         format!("'{}' object is not sliceable", other.type_name()),
@@ -1182,9 +1178,10 @@ impl Interp {
                 let i = normalize_index(idx, len, line, self)?;
                 Ok(Value::Int(start + step * (i as i64)))
             }
-            Value::Native(n) => n
-                .clone()
-                .call_method("__getitem__", self, std::slice::from_ref(idx), &[]),
+            Value::Native(n) => {
+                n.clone()
+                    .call_method("__getitem__", self, std::slice::from_ref(idx), &[])
+            }
             other => Err(self.err_at(
                 ErrorKind::Type,
                 format!("'{}' object is not subscriptable", other.type_name()),
@@ -1221,7 +1218,11 @@ impl Interp {
             Value::Array(a) => Ok((0..a.len()).map(|i| a.get(i)).collect()),
             Value::Range { start, stop, step } => {
                 if *step == 0 {
-                    return Err(self.err_at(ErrorKind::Value, "range() step must not be zero", line));
+                    return Err(self.err_at(
+                        ErrorKind::Value,
+                        "range() step must not be zero",
+                        line,
+                    ));
                 }
                 let mut out = Vec::new();
                 let mut i = *start;
@@ -1333,21 +1334,27 @@ impl Interp {
     fn numeric_binop(&self, op: BinOp, l: &Value, r: &Value, line: u32) -> Result<Value, PyError> {
         let both_int = matches!(
             (l, r),
-            (Value::Int(_) | Value::Bool(_), Value::Int(_) | Value::Bool(_))
+            (
+                Value::Int(_) | Value::Bool(_),
+                Value::Int(_) | Value::Bool(_)
+            )
         );
         if both_int {
             let a = as_i64(l);
             let b = as_i64(r);
             return match op {
-                BinOp::Add => a.checked_add(b).map(Value::Int).ok_or_else(|| {
-                    self.err_at(ErrorKind::Value, "integer overflow in +", line)
-                }),
-                BinOp::Sub => a.checked_sub(b).map(Value::Int).ok_or_else(|| {
-                    self.err_at(ErrorKind::Value, "integer overflow in -", line)
-                }),
-                BinOp::Mul => a.checked_mul(b).map(Value::Int).ok_or_else(|| {
-                    self.err_at(ErrorKind::Value, "integer overflow in *", line)
-                }),
+                BinOp::Add => a
+                    .checked_add(b)
+                    .map(Value::Int)
+                    .ok_or_else(|| self.err_at(ErrorKind::Value, "integer overflow in +", line)),
+                BinOp::Sub => a
+                    .checked_sub(b)
+                    .map(Value::Int)
+                    .ok_or_else(|| self.err_at(ErrorKind::Value, "integer overflow in -", line)),
+                BinOp::Mul => a
+                    .checked_mul(b)
+                    .map(Value::Int)
+                    .ok_or_else(|| self.err_at(ErrorKind::Value, "integer overflow in *", line)),
                 BinOp::Div => {
                     if b == 0 {
                         Err(self.err_at(ErrorKind::ZeroDivision, "division by zero", line))
@@ -1400,7 +1407,11 @@ impl Interp {
             }
             BinOp::FloorDiv => {
                 if b == 0.0 {
-                    Err(self.err_at(ErrorKind::ZeroDivision, "float floor division by zero", line))
+                    Err(self.err_at(
+                        ErrorKind::ZeroDivision,
+                        "float floor division by zero",
+                        line,
+                    ))
                 } else {
                     Ok(Value::Float((a / b).floor()))
                 }
@@ -1431,7 +1442,13 @@ impl Interp {
     }
 
     /// Vectorized binary operation when at least one side is an array.
-    fn array_binop(&mut self, op: BinOp, l: &Value, r: &Value, line: u32) -> Result<Value, PyError> {
+    fn array_binop(
+        &mut self,
+        op: BinOp,
+        l: &Value,
+        r: &Value,
+        line: u32,
+    ) -> Result<Value, PyError> {
         let len = match (l, r) {
             (Value::Array(a), Value::Array(b)) => {
                 if a.len() != b.len() {
@@ -1500,7 +1517,13 @@ impl Interp {
         }
     }
 
-    fn array_compare(&mut self, op: CmpOp, l: &Value, r: &Value, line: u32) -> Result<Value, PyError> {
+    fn array_compare(
+        &mut self,
+        op: CmpOp,
+        l: &Value,
+        r: &Value,
+        line: u32,
+    ) -> Result<Value, PyError> {
         let len = match (l, r) {
             (Value::Array(a), Value::Array(b)) => {
                 if a.len() != b.len() {
@@ -1557,7 +1580,13 @@ impl Interp {
     }
 
     /// Evaluate one comparison operator between two scalars.
-    pub fn compare_once(&mut self, op: CmpOp, l: &Value, r: &Value, line: u32) -> Result<bool, PyError> {
+    pub fn compare_once(
+        &mut self,
+        op: CmpOp,
+        l: &Value,
+        r: &Value,
+        line: u32,
+    ) -> Result<bool, PyError> {
         match op {
             CmpOp::Eq => Ok(l.py_eq(r)),
             CmpOp::NotEq => Ok(!l.py_eq(r)),
@@ -1657,11 +1686,7 @@ impl Interp {
             return Ok(v.clone());
         }
         native::load_module(self, name).ok_or_else(|| {
-            self.err_at(
-                ErrorKind::Import,
-                format!("no module named '{name}'"),
-                line,
-            )
+            self.err_at(ErrorKind::Import, format!("no module named '{name}'"), line)
         })
     }
 }
@@ -1764,12 +1789,15 @@ mod tests {
     }
 
     fn global(interp: &Interp, name: &str) -> Value {
-        interp.get_global(name).unwrap_or_else(|| panic!("no global {name}"))
+        interp
+            .get_global(name)
+            .unwrap_or_else(|| panic!("no global {name}"))
     }
 
     #[test]
     fn arithmetic_basics() {
-        let i = run("a = 2 + 3 * 4\nb = (2 + 3) * 4\nc = 7 / 2\nd = 7 // 2\ne = 7 % 3\nf = 2 ** 10\n");
+        let i =
+            run("a = 2 + 3 * 4\nb = (2 + 3) * 4\nc = 7 / 2\nd = 7 // 2\ne = 7 % 3\nf = 2 ** 10\n");
         assert_eq!(global(&i, "a"), Value::Int(14));
         assert_eq!(global(&i, "b"), Value::Int(20));
         assert_eq!(global(&i, "c"), Value::Float(3.5));
@@ -1803,7 +1831,9 @@ mod tests {
 
     #[test]
     fn functions_and_returns() {
-        let i = run("def add(a, b=10):\n    return a + b\nx = add(1, 2)\ny = add(5)\nz = add(b=1, a=2)\n");
+        let i = run(
+            "def add(a, b=10):\n    return a + b\nx = add(1, 2)\ny = add(5)\nz = add(b=1, a=2)\n",
+        );
         assert_eq!(global(&i, "x"), Value::Int(3));
         assert_eq!(global(&i, "y"), Value::Int(15));
         assert_eq!(global(&i, "z"), Value::Int(3));
@@ -1832,7 +1862,9 @@ mod tests {
 
     #[test]
     fn for_over_range_and_list() {
-        let i = run("s = 0\nfor i in range(5):\n    s += i\nt = 0\nfor x in [10, 20, 30]:\n    t += x\n");
+        let i = run(
+            "s = 0\nfor i in range(5):\n    s += i\nt = 0\nfor x in [10, 20, 30]:\n    t += x\n",
+        );
         assert_eq!(global(&i, "s"), Value::Int(10));
         assert_eq!(global(&i, "t"), Value::Int(60));
     }
@@ -1842,13 +1874,19 @@ mod tests {
         let i = run("a = []\nfor i in range(10, 0, -3):\n    a.append(i)\n");
         assert_eq!(
             global(&i, "a"),
-            Value::list(vec![Value::Int(10), Value::Int(7), Value::Int(4), Value::Int(1)])
+            Value::list(vec![
+                Value::Int(10),
+                Value::Int(7),
+                Value::Int(4),
+                Value::Int(1)
+            ])
         );
     }
 
     #[test]
     fn tuple_unpacking() {
-        let i = run("a, b = 1, 2\n(c, d) = (b, a)\nfor k, v in [(1, 'x'), (2, 'y')]:\n    last = v\n");
+        let i =
+            run("a, b = 1, 2\n(c, d) = (b, a)\nfor k, v in [(1, 'x'), (2, 'y')]:\n    last = v\n");
         assert_eq!(global(&i, "c"), Value::Int(2));
         assert_eq!(global(&i, "d"), Value::Int(1));
         assert_eq!(global(&i, "last"), Value::str("y"));
@@ -1899,7 +1937,9 @@ mod tests {
     fn traceback_spans_call_chain() {
         let mut i = Interp::new();
         let e = i
-            .eval_module("def inner():\n    return 1 / 0\ndef outer():\n    return inner()\nouter()\n")
+            .eval_module(
+                "def inner():\n    return 1 / 0\ndef outer():\n    return inner()\nouter()\n",
+            )
             .unwrap_err();
         let names: Vec<&str> = e.traceback.iter().map(|t| t.function.as_str()).collect();
         assert!(names.contains(&"inner"));
@@ -1939,7 +1979,9 @@ mod tests {
     #[test]
     fn assert_statement() {
         let mut i = Interp::new();
-        let e = i.eval_module("assert 1 == 2, 'math is broken'\n").unwrap_err();
+        let e = i
+            .eval_module("assert 1 == 2, 'math is broken'\n")
+            .unwrap_err();
         assert_eq!(e.kind, ErrorKind::Assertion);
         assert_eq!(e.message, "math is broken");
         assert!(i.eval_module("assert 1 == 1\n").is_ok());
@@ -1947,7 +1989,9 @@ mod tests {
 
     #[test]
     fn list_comprehension() {
-        let i = run("squares = [x * x for x in range(5)]\nevens = [x for x in range(10) if x % 2 == 0]\n");
+        let i = run(
+            "squares = [x * x for x in range(5)]\nevens = [x for x in range(10) if x % 2 == 0]\n",
+        );
         assert_eq!(
             global(&i, "squares"),
             Value::list(vec![
@@ -2001,7 +2045,13 @@ mod tests {
         let i = run("l = [0, 1, 2, 3, 4]\nr = l[::-1]\ns = 'hello'[::-1]\nt = l[3:0:-1]\nu = l[::-2]\ne = l[1:3:-1]\n");
         assert_eq!(
             global(&i, "r"),
-            Value::list(vec![Value::Int(4), Value::Int(3), Value::Int(2), Value::Int(1), Value::Int(0)])
+            Value::list(vec![
+                Value::Int(4),
+                Value::Int(3),
+                Value::Int(2),
+                Value::Int(1),
+                Value::Int(0)
+            ])
         );
         assert_eq!(global(&i, "s"), Value::str("olleh"));
         assert_eq!(
@@ -2017,7 +2067,8 @@ mod tests {
 
     #[test]
     fn slice_bounds_clamp_like_python() {
-        let i = run("l = [0, 1, 2]\na = l[-100:100]\nb = l[5:9]\nc = l[-100::-1]\nd = l[2:-100:-1]\n");
+        let i =
+            run("l = [0, 1, 2]\na = l[-100:100]\nb = l[5:9]\nc = l[-100::-1]\nd = l[2:-100:-1]\n");
         assert_eq!(i.value_len(&global(&i, "a"), 0).unwrap(), 3);
         assert_eq!(i.value_len(&global(&i, "b"), 0).unwrap(), 0);
         assert_eq!(i.value_len(&global(&i, "c"), 0).unwrap(), 0);
@@ -2038,8 +2089,10 @@ mod tests {
     fn array_vectorized_arithmetic() {
         let mut i = Interp::new();
         i.set_global("col", Value::array(Array::Int(vec![1, 2, 3, 4])));
-        i.eval_module("doubled = col * 2\nshifted = col + 10\nmask = col > 2\nfiltered = col[mask]\n")
-            .unwrap();
+        i.eval_module(
+            "doubled = col * 2\nshifted = col + 10\nmask = col > 2\nfiltered = col[mask]\n",
+        )
+        .unwrap();
         assert_eq!(
             global(&i, "doubled"),
             Value::array(Array::Int(vec![2, 4, 6, 8]))
@@ -2116,7 +2169,8 @@ mod tests {
     #[test]
     fn print_captures_output() {
         let mut i = Interp::new();
-        i.eval_module("print('hello', 42)\nprint('next')\n").unwrap();
+        i.eval_module("print('hello', 42)\nprint('next')\n")
+            .unwrap();
         assert_eq!(i.stdout(), "hello 42\nnext\n");
     }
 

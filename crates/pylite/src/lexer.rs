@@ -274,10 +274,9 @@ impl<'a> Lexer<'a> {
 
     fn run(&mut self) -> Result<(), PyError> {
         loop {
-            if self.at_line_start() && self.paren_depth == 0
-                && !self.handle_indentation()? {
-                    break;
-                }
+            if self.at_line_start() && self.paren_depth == 0 && !self.handle_indentation()? {
+                break;
+            }
             match self.peek() {
                 Option::None => break,
                 Some(c) => self.lex_one(c)?,
@@ -352,7 +351,9 @@ impl<'a> Lexer<'a> {
                                 self.push(Tok::Dedent);
                             }
                             if *self.indent_stack.last().unwrap() != width {
-                                return Err(self.err("unindent does not match any outer indentation level"));
+                                return Err(
+                                    self.err("unindent does not match any outer indentation level")
+                                );
                             }
                         }
                         std::cmp::Ordering::Equal => {}
@@ -452,8 +453,8 @@ impl<'a> Lexer<'a> {
             if digits.is_empty() {
                 return Err(self.err("invalid hex literal"));
             }
-            let v = i64::from_str_radix(digits, 16)
-                .map_err(|_| self.err("hex literal too large"))?;
+            let v =
+                i64::from_str_radix(digits, 16).map_err(|_| self.err("hex literal too large"))?;
             self.push(Tok::Int(v));
             return Ok(());
         }
@@ -504,7 +505,8 @@ impl<'a> Lexer<'a> {
     fn lex_string(&mut self, quote: u8) -> Result<(), PyError> {
         let start_line = self.line;
         // Detect triple quotes.
-        let triple = self.src.get(self.pos + 1) == Some(&quote) && self.src.get(self.pos + 2) == Some(&quote);
+        let triple = self.src.get(self.pos + 1) == Some(&quote)
+            && self.src.get(self.pos + 2) == Some(&quote);
         self.bump();
         if triple {
             self.bump();
@@ -690,12 +692,7 @@ impl<'a> Lexer<'a> {
             b',' => Tok::Comma,
             b':' => Tok::Colon,
             b';' => Tok::Semicolon,
-            other => {
-                return Err(self.err(format!(
-                    "unexpected character '{}'",
-                    other as char
-                )))
-            }
+            other => return Err(self.err(format!("unexpected character '{}'", other as char))),
         };
         self.bump();
         self.push(tok);
@@ -770,10 +767,7 @@ mod tests {
 
     #[test]
     fn string_literals() {
-        assert_eq!(
-            kinds("s = 'ab'\n")[2],
-            Tok::Str("ab".into())
-        );
+        assert_eq!(kinds("s = 'ab'\n")[2], Tok::Str("ab".into()));
         assert_eq!(kinds("s = \"a\\nb\"\n")[2], Tok::Str("a\nb".into()));
         assert_eq!(
             kinds("s = '''line1\nline2'''\n")[2],
@@ -800,10 +794,7 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(
-            kinds("a //= 2\n")[1],
-            Tok::DoubleSlashEq
-        );
+        assert_eq!(kinds("a //= 2\n")[1], Tok::DoubleSlashEq);
         assert_eq!(kinds("a ** b\n")[1], Tok::DoubleStar);
         assert_eq!(kinds("a != b\n")[1], Tok::NotEq);
         assert_eq!(kinds("a <= b\n")[1], Tok::Le);

@@ -384,19 +384,18 @@ pub fn percent_format(
                     break;
                 }
             }
-            precision = Some(digits.parse().map_err(|_| {
-                err(ErrorKind::Value, "bad precision in format string")
-            })?);
+            precision = Some(
+                digits
+                    .parse()
+                    .map_err(|_| err(ErrorKind::Value, "bad precision in format string"))?,
+            );
         }
         let Some(kind) = chars.next() else {
             return Err(err(ErrorKind::Value, "incomplete format"));
         };
-        let value = values.get(next).ok_or_else(|| {
-            err(
-                ErrorKind::Type,
-                "not enough arguments for format string",
-            )
-        })?;
+        let value = values
+            .get(next)
+            .ok_or_else(|| err(ErrorKind::Type, "not enough arguments for format string"))?;
         next += 1;
         match kind {
             'd' | 'i' => match value {
@@ -554,7 +553,8 @@ mod tests {
             "a",
             Value::array(crate::value::Array::Int(vec![1, 2, 3, 4])),
         );
-        i.eval_module("s = a.sum()\nm = a.mean()\nl = a.tolist()\n").unwrap();
+        i.eval_module("s = a.sum()\nm = a.mean()\nl = a.tolist()\n")
+            .unwrap();
         assert_eq!(g(&i, "s"), Value::Int(10));
         assert_eq!(g(&i, "m"), Value::Float(2.5));
         assert_eq!(i.value_len(&g(&i, "l"), 0).unwrap(), 4);

@@ -30,8 +30,7 @@ impl FileObj {
         let readable = mode.contains('r') || !writable;
         let fs = interp.fs.clone();
         let content = if readable {
-            fs.read(path)
-                .map_err(|e| PyError::new(ErrorKind::Io, e))?
+            fs.read(path).map_err(|e| PyError::new(ErrorKind::Io, e))?
         } else if mode.contains('a') && fs.exists(path) {
             fs.read(path).map_err(|e| PyError::new(ErrorKind::Io, e))?
         } else {
@@ -111,7 +110,11 @@ impl NativeObject for FileObj {
     fn repr(&self) -> String {
         format!(
             "<{} file '{}'>",
-            if *self.closed.borrow() { "closed" } else { "open" },
+            if *self.closed.borrow() {
+                "closed"
+            } else {
+                "open"
+            },
             self.path
         )
     }
@@ -214,17 +217,18 @@ mod tests {
         let mut i = interp_with(&[("a.txt", "hello\nworld\n")]);
         i.eval_module("f = open('a.txt')\ncontent = f.read()\nf.close()\n")
             .unwrap();
-        assert_eq!(i.get_global("content").unwrap(), Value::str("hello\nworld\n"));
+        assert_eq!(
+            i.get_global("content").unwrap(),
+            Value::str("hello\nworld\n")
+        );
     }
 
     #[test]
     fn read_binary_file() {
         let mut i = interp_with(&[("b.bin", "xyz")]);
-        i.eval_module("f = open('b.bin', 'rb')\ndata = f.read()\n").unwrap();
-        assert_eq!(
-            i.get_global("data").unwrap(),
-            Value::bytes(b"xyz".to_vec())
-        );
+        i.eval_module("f = open('b.bin', 'rb')\ndata = f.read()\n")
+            .unwrap();
+        assert_eq!(i.get_global("data").unwrap(), Value::bytes(b"xyz".to_vec()));
     }
 
     #[test]

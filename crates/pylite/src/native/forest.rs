@@ -131,8 +131,9 @@ fn build_tree(
     if score >= impurity - 1e-12 {
         return Node::Leaf(majority(labels, indices));
     }
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-        indices.iter().partition(|&&i| features[i][feature] <= threshold);
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| features[i][feature] <= threshold);
     Node::Split {
         feature,
         threshold,
@@ -296,8 +297,8 @@ impl Forest {
     }
 
     fn read_varint(data: &[u8], cursor: &mut usize) -> Result<u64, String> {
-        let (v, used) = read_u64(&data[(*cursor).min(data.len())..])
-            .map_err(|e| format!("bad varint: {e}"))?;
+        let (v, used) =
+            read_u64(&data[(*cursor).min(data.len())..]).map_err(|e| format!("bad varint: {e}"))?;
         *cursor += used;
         Ok(v)
     }
@@ -375,8 +376,12 @@ mod tests {
     #[test]
     fn more_trees_do_not_hurt_much() {
         let (rows, labels) = diagonal_data(300);
-        let small = Forest::fit(&rows, &labels, 1, 7).unwrap().accuracy(&rows, &labels);
-        let large = Forest::fit(&rows, &labels, 32, 7).unwrap().accuracy(&rows, &labels);
+        let small = Forest::fit(&rows, &labels, 1, 7)
+            .unwrap()
+            .accuracy(&rows, &labels);
+        let large = Forest::fit(&rows, &labels, 32, 7)
+            .unwrap()
+            .accuracy(&rows, &labels);
         assert!(
             large + 0.02 >= small,
             "32 trees ({large}) should be at least as good as 1 tree ({small})"

@@ -116,7 +116,8 @@ mod tests {
         let mut i = Interp::new();
         assert!(i.eval_module("import math\nmath.log(0)\n").is_err());
         let mut i = Interp::new();
-        i.eval_module("import math\nx = math.log(math.e)\n").unwrap();
+        i.eval_module("import math\nx = math.log(math.e)\n")
+            .unwrap();
         match i.get_global("x").unwrap() {
             Value::Float(f) => assert!((f - 1.0).abs() < 1e-12),
             other => panic!("{other:?}"),

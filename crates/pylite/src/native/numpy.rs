@@ -86,7 +86,8 @@ pub fn module() -> Value {
                 make_fn("sum", |interp, args, _kw| {
                     let a = to_array(
                         interp,
-                        args.first().ok_or_else(|| type_err("sum() missing argument"))?,
+                        args.first()
+                            .ok_or_else(|| type_err("sum() missing argument"))?,
                     )?;
                     Ok(match a {
                         Array::Int(v) => Value::Int(v.iter().sum()),
@@ -101,7 +102,8 @@ pub fn module() -> Value {
                 make_fn("mean", |interp, args, _kw| {
                     let a = to_array(
                         interp,
-                        args.first().ok_or_else(|| type_err("mean() missing argument"))?,
+                        args.first()
+                            .ok_or_else(|| type_err("mean() missing argument"))?,
                     )?;
                     let v = a.as_f64()?;
                     if v.is_empty() {
@@ -115,7 +117,8 @@ pub fn module() -> Value {
                 make_fn("median", |interp, args, _kw| {
                     let a = to_array(
                         interp,
-                        args.first().ok_or_else(|| type_err("median() missing argument"))?,
+                        args.first()
+                            .ok_or_else(|| type_err("median() missing argument"))?,
                     )?;
                     let mut v = a.as_f64()?;
                     if v.is_empty() {
@@ -135,7 +138,8 @@ pub fn module() -> Value {
                 make_fn("std", |interp, args, _kw| {
                     let a = to_array(
                         interp,
-                        args.first().ok_or_else(|| type_err("std() missing argument"))?,
+                        args.first()
+                            .ok_or_else(|| type_err("std() missing argument"))?,
                     )?;
                     let v = a.as_f64()?;
                     if v.is_empty() {
@@ -164,7 +168,8 @@ pub fn module() -> Value {
                 make_fn("sqrt", |interp, args, _kw| {
                     let a = to_array(
                         interp,
-                        args.first().ok_or_else(|| type_err("sqrt() missing argument"))?,
+                        args.first()
+                            .ok_or_else(|| type_err("sqrt() missing argument"))?,
                     )?;
                     let v = a.as_f64()?;
                     Ok(Value::array(Array::Float(
@@ -241,8 +246,10 @@ mod tests {
     #[test]
     fn median_odd_and_even() {
         let mut i = Interp::new();
-        i.eval_module("import numpy\na = numpy.median([3, 1, 2])\nb = numpy.median([4, 1, 2, 3])\n")
-            .unwrap();
+        i.eval_module(
+            "import numpy\na = numpy.median([3, 1, 2])\nb = numpy.median([4, 1, 2, 3])\n",
+        )
+        .unwrap();
         assert_eq!(g(&i, "a"), Value::Float(2.0));
         assert_eq!(g(&i, "b"), Value::Float(2.5));
     }

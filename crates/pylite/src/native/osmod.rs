@@ -78,9 +78,7 @@ pub fn path_module() -> Value {
                     let Some(Value::Str(path)) = args.first() else {
                         return Err(type_err("basename() path must be str"));
                     };
-                    Ok(Value::str(
-                        path.rsplit('/').next().unwrap_or_default(),
-                    ))
+                    Ok(Value::str(path.rsplit('/').next().unwrap_or_default()))
                 }),
             ),
         ],

@@ -104,6 +104,8 @@ mod tests {
     #[test]
     fn loads_of_non_bytes_errors() {
         let mut i = Interp::new();
-        assert!(i.eval_module("import pickle\npickle.loads('text')\n").is_err());
+        assert!(i
+            .eval_module("import pickle\npickle.loads('text')\n")
+            .is_err());
     }
 }

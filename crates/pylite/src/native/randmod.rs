@@ -63,7 +63,9 @@ pub fn module() -> Value {
                         return Err(value_err("randint() empty range"));
                     }
                     let span = (*b - *a + 1) as u64;
-                    Ok(Value::Int(a + (next_u64(&mut interp.rng_seed) % span) as i64))
+                    Ok(Value::Int(
+                        a + (next_u64(&mut interp.rng_seed) % span) as i64,
+                    ))
                 }),
             ),
             (

@@ -31,7 +31,10 @@ pub fn ensemble_module() -> Value {
         vec![(
             "RandomForestClassifier",
             make_fn("RandomForestClassifier", |interp, args, kwargs| {
-                let n = match (args.first(), kwargs.iter().find(|(k, _)| k == "n_estimators")) {
+                let n = match (
+                    args.first(),
+                    kwargs.iter().find(|(k, _)| k == "n_estimators"),
+                ) {
                     (Some(Value::Int(n)), _) | (None, Some((_, Value::Int(n)))) => *n,
                     (None, None) => 10,
                     _ => {
@@ -147,12 +150,14 @@ fn scalar_f64(v: &Value) -> Result<f64, PyError> {
 
 fn to_labels(interp: &mut Interp, v: &Value) -> Result<Vec<i64>, PyError> {
     let items = match v {
-        Value::Array(a) => return match a.as_ref() {
-            Array::Int(v) => Ok(v.clone()),
-            Array::Bool(v) => Ok(v.iter().map(|b| *b as i64).collect()),
-            Array::Float(v) => Ok(v.iter().map(|f| *f as i64).collect()),
-            Array::Str(_) => Err(type_err("labels must be numeric")),
-        },
+        Value::Array(a) => {
+            return match a.as_ref() {
+                Array::Int(v) => Ok(v.clone()),
+                Array::Bool(v) => Ok(v.iter().map(|b| *b as i64).collect()),
+                Array::Float(v) => Ok(v.iter().map(|f| *f as i64).collect()),
+                Array::Str(_) => Err(type_err("labels must be numeric")),
+            }
+        }
         other => interp.iter_values(other, 0)?,
     };
     let mut out = Vec::with_capacity(items.len());
@@ -225,7 +230,9 @@ impl NativeObject for Classifier {
                 let rows = to_matrix(interp, data)?;
                 let forest = self.forest.borrow();
                 let Some(forest) = forest.as_ref() else {
-                    return Err(value_err("this classifier is not fitted yet; call fit() first"));
+                    return Err(value_err(
+                        "this classifier is not fitted yet; call fit() first",
+                    ));
                 };
                 Ok(Value::array(Array::Int(forest.predict(&rows))))
             }
@@ -237,7 +244,9 @@ impl NativeObject for Classifier {
                 let labels = to_labels(interp, classes)?;
                 let forest = self.forest.borrow();
                 let Some(forest) = forest.as_ref() else {
-                    return Err(value_err("this classifier is not fitted yet; call fit() first"));
+                    return Err(value_err(
+                        "this classifier is not fitted yet; call fit() first",
+                    ));
                 };
                 Ok(Value::Float(forest.accuracy(&rows, &labels)))
             }
@@ -272,11 +281,15 @@ result = {'clf': pickle.dumps(clf), 'estimators': n}
         );
         i.set_global(
             "classes",
-            Value::array(Array::Int((0..100).map(|x| ((x % 11) > 5) as i64).collect())),
+            Value::array(Array::Int(
+                (0..100).map(|x| ((x % 11) > 5) as i64).collect(),
+            )),
         );
         i.eval_module(src).unwrap();
         let result = i.get_global("result").unwrap();
-        let Value::Dict(d) = result else { panic!("expected dict") };
+        let Value::Dict(d) = result else {
+            panic!("expected dict")
+        };
         assert!(matches!(
             d.borrow().get(&Value::str("clf")).unwrap().unwrap(),
             Value::Bytes(_)
@@ -335,7 +348,9 @@ acc = clf.score(data, classes)
         );
         i.set_global(
             "classes",
-            Value::array(Array::Int((0..200).map(|x| ((x % 13) > 6) as i64).collect())),
+            Value::array(Array::Int(
+                (0..200).map(|x| ((x % 13) > 6) as i64).collect(),
+            )),
         );
         i.eval_module(src).unwrap();
         match i.get_global("acc").unwrap() {
@@ -375,7 +390,9 @@ acc = clf.score([colx, coly], classes)
     fn invalid_constructor_args() {
         let mut i = Interp::new();
         assert!(i
-            .eval_module("from sklearn.ensemble import RandomForestClassifier\nRandomForestClassifier(0)\n")
+            .eval_module(
+                "from sklearn.ensemble import RandomForestClassifier\nRandomForestClassifier(0)\n"
+            )
             .is_err());
         let mut i = Interp::new();
         assert!(i

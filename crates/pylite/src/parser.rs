@@ -50,7 +50,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -871,8 +873,9 @@ impl Parser {
                             kwargs.push((name, value));
                         } else {
                             if !kwargs.is_empty() {
-                                return Err(self
-                                    .err_here("positional argument after keyword argument"));
+                                return Err(
+                                    self.err_here("positional argument after keyword argument")
+                                );
                             }
                             args.push(self.parse_expr()?);
                         }
@@ -928,7 +931,9 @@ impl Parser {
             Some(self.parse_expr()?)
         };
         if !self.eat(&Tok::Colon) {
-            return Ok(Index::Item(lower.expect("non-slice index has an expression")));
+            return Ok(Index::Item(
+                lower.expect("non-slice index has an expression"),
+            ));
         }
         let upper = if self.check(&Tok::Colon) || self.check(&Tok::RBracket) {
             None
@@ -1155,7 +1160,11 @@ mod tests {
                 assert_eq!(targets.len(), 1);
                 // Precedence: 1 + (2 * 3)
                 match &value.kind {
-                    ExprKind::BinOp { op: BinOp::Add, right, .. } => {
+                    ExprKind::BinOp {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    } => {
                         assert!(matches!(right.kind, ExprKind::BinOp { op: BinOp::Mul, .. }));
                     }
                     other => panic!("wrong shape: {other:?}"),
@@ -1207,7 +1216,9 @@ mod tests {
         let m = parse("r = 0 <= x < 10\n");
         match &m.body[0].kind {
             StmtKind::Assign { value, .. } => match &value.kind {
-                ExprKind::Compare { ops, comparators, .. } => {
+                ExprKind::Compare {
+                    ops, comparators, ..
+                } => {
                     assert_eq!(ops, &vec![CmpOp::Le, CmpOp::Lt]);
                     assert_eq!(comparators.len(), 2);
                 }
@@ -1240,7 +1251,15 @@ mod tests {
 
     #[test]
     fn parses_slices() {
-        for src in ["a[1]\n", "a[1:2]\n", "a[:2]\n", "a[1:]\n", "a[:]\n", "a[::2]\n", "a[1:10:2]\n"] {
+        for src in [
+            "a[1]\n",
+            "a[1:2]\n",
+            "a[:2]\n",
+            "a[1:]\n",
+            "a[:]\n",
+            "a[::2]\n",
+            "a[1:10:2]\n",
+        ] {
             assert!(parse_module(src).is_ok(), "{src}");
         }
     }
@@ -1288,7 +1307,9 @@ finally:
 ";
         let m = parse(src);
         match &m.body[0].kind {
-            StmtKind::Try { handlers, finally, .. } => {
+            StmtKind::Try {
+                handlers, finally, ..
+            } => {
                 assert_eq!(handlers.len(), 2);
                 assert_eq!(handlers[0].0.as_deref(), Some("ValueError"));
                 assert_eq!(handlers[0].1.as_deref(), Some("e"));
@@ -1404,7 +1425,11 @@ return result
         let m = parse("x = 2 ** 3 ** 2\n");
         match &m.body[0].kind {
             StmtKind::Assign { value, .. } => match &value.kind {
-                ExprKind::BinOp { op: BinOp::Pow, right, .. } => {
+                ExprKind::BinOp {
+                    op: BinOp::Pow,
+                    right,
+                    ..
+                } => {
                     assert!(matches!(right.kind, ExprKind::BinOp { op: BinOp::Pow, .. }));
                 }
                 other => panic!("{other:?}"),

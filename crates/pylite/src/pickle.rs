@@ -162,10 +162,7 @@ fn write_value(out: &mut Vec<u8>, value: &Value) -> Result<(), PyError> {
         },
         Value::Native(n) => {
             let Some((type_name, payload)) = n.pickle() else {
-                return Err(perr(format!(
-                    "cannot pickle '{}' object",
-                    n.type_name()
-                )));
+                return Err(perr(format!("cannot pickle '{}' object", n.type_name())));
             };
             out.push(TAG_NATIVE);
             write_u64(out, type_name.len() as u64);
@@ -353,7 +350,8 @@ mod tests {
     #[test]
     fn containers() {
         let mut d = Dict::new();
-        d.insert(Value::str("clf"), Value::bytes(vec![1, 2, 3])).unwrap();
+        d.insert(Value::str("clf"), Value::bytes(vec![1, 2, 3]))
+            .unwrap();
         d.insert(Value::str("estimators"), Value::Int(10)).unwrap();
         let v = Value::list(vec![
             Value::Int(1),
@@ -369,7 +367,9 @@ mod tests {
         for a in [
             Array::Int(vec![1, -2, 3]),
             Array::Float(vec![0.5, -1.5]),
-            Array::Bool(vec![true, false, true, true, false, false, true, true, true]),
+            Array::Bool(vec![
+                true, false, true, true, false, false, true, true, true,
+            ]),
             Array::Str(vec!["x".into(), "".into(), "yz".into()]),
             Array::Int(vec![]),
         ] {
@@ -396,7 +396,12 @@ mod tests {
         interp.eval_module("def f():\n    pass\n").unwrap();
         let f = interp.get_global("f").unwrap();
         assert!(dumps(&f).is_err());
-        assert!(dumps(&Value::Range { start: 0, stop: 3, step: 1 }).is_err());
+        assert!(dumps(&Value::Range {
+            start: 0,
+            stop: 3,
+            step: 1
+        })
+        .is_err());
     }
 
     #[test]

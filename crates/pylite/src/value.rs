@@ -27,7 +27,11 @@ pub enum Value {
     /// stand-in). See [`Array`].
     Array(Rc<Array>),
     /// Lazy integer range produced by `range(...)`.
-    Range { start: i64, stop: i64, step: i64 },
+    Range {
+        start: i64,
+        stop: i64,
+        step: i64,
+    },
     Function(Rc<PyFunction>),
     Builtin(Rc<Builtin>),
     /// Native (Rust-implemented) object: file handles, `_conn`, classifiers…
@@ -46,7 +50,9 @@ pub struct PyFunction {
 pub struct Builtin {
     pub name: &'static str,
     #[allow(clippy::type_complexity)]
-    pub func: Box<dyn Fn(&mut crate::interp::Interp, &[Value], &[(String, Value)]) -> Result<Value, PyError>>,
+    pub func: Box<
+        dyn Fn(&mut crate::interp::Interp, &[Value], &[(String, Value)]) -> Result<Value, PyError>,
+    >,
 }
 
 /// A named bag of attributes produced by `import`.
@@ -126,7 +132,10 @@ impl DictKey {
             Value::Bool(b) => DictKey::Bool(*b),
             Value::Int(i) => DictKey::Int(*i),
             Value::Float(f) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     DictKey::Int(*f as i64)
                 } else {
@@ -472,12 +481,8 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
-            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
-                (*a as i64) == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => (*a as i64) == *b,
             (Value::Bool(a), Value::Float(b)) | (Value::Float(b), Value::Bool(a)) => {
                 (*a as i64 as f64) == *b
             }
@@ -501,9 +506,9 @@ impl Value {
                 if a.len() != b.len() {
                     return false;
                 }
-                a.entries().iter().all(|(k, v)| {
-                    matches!(b.get(k), Ok(Some(ref bv)) if v.py_eq(bv))
-                })
+                a.entries()
+                    .iter()
+                    .all(|(k, v)| matches!(b.get(k), Ok(Some(ref bv)) if v.py_eq(bv)))
             }
             (Value::Array(a), Value::Array(b)) => a == b,
             (
@@ -662,8 +667,18 @@ mod tests {
         assert!(Value::str("x").truthy());
         assert!(!Value::list(vec![]).truthy());
         assert!(Value::list(vec![Value::Int(1)]).truthy());
-        assert!(!Value::Range { start: 0, stop: 0, step: 1 }.truthy());
-        assert!(Value::Range { start: 0, stop: 5, step: 1 }.truthy());
+        assert!(!Value::Range {
+            start: 0,
+            stop: 0,
+            step: 1
+        }
+        .truthy());
+        assert!(Value::Range {
+            start: 0,
+            stop: 5,
+            step: 1
+        }
+        .truthy());
     }
 
     #[test]

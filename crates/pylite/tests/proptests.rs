@@ -1,84 +1,167 @@
-//! Property-based tests for the interpreter's core invariants.
+//! Property-based tests for the interpreter's core invariants
+//! (devharness::prop).
 
-use proptest::prelude::*;
+use devharness::prop::{self, Config, Strategy};
+use devharness::Rng;
+use devharness::{prop_assert, prop_assert_eq};
 use pylite::{pickle, Array, Interp, Value};
 
-/// Strategy producing arbitrary picklable values up to a small depth.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::None),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("NaN breaks py_eq", |f| !f.is_nan()).prop_map(Value::Float),
-        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::str),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::bytes),
-        proptest::collection::vec(any::<i64>(), 0..32).prop_map(|v| Value::array(Array::Int(v))),
-        proptest::collection::vec(any::<bool>(), 0..32).prop_map(|v| Value::array(Array::Bool(v))),
-    ];
-    leaf.prop_recursive(3, 64, 8, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::list),
-            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::tuple),
-        ]
-    })
+fn cfg() -> Config {
+    Config::cases(128)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const IDENT_CHARS: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-";
 
-    #[test]
-    fn pickle_round_trip(v in value_strategy()) {
-        let blob = pickle::dumps(&v).unwrap();
+/// Arbitrary picklable values up to a small depth. Recursive and generated
+/// with `from_fn` (no shrinking): failing trees are small enough to read.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop::from_fn(|rng| gen_value(rng, 3))
+}
+
+fn gen_leaf(rng: &mut Rng) -> Value {
+    match rng.u64_below(8) {
+        0 => Value::None,
+        1 => Value::Bool(rng.bool()),
+        2 => Value::Int(rng.i64_in(i64::MIN, i64::MAX)),
+        3 => {
+            // Finite floats only: NaN breaks py_eq.
+            let mut f = f64::from_bits(rng.next_u64());
+            if !f.is_finite() {
+                f = rng.f64_unit();
+            }
+            Value::Float(f)
+        }
+        4 => {
+            let chars: Vec<char> = IDENT_CHARS.chars().collect();
+            let len = rng.usize_below(25);
+            let s: String = (0..len).map(|_| *rng.choose(&chars).unwrap()).collect();
+            Value::str(s)
+        }
+        5 => {
+            let mut bytes = vec![0u8; rng.usize_below(32)];
+            rng.fill_bytes(&mut bytes);
+            Value::bytes(bytes)
+        }
+        6 => Value::array(Array::Int(
+            (0..rng.usize_below(32))
+                .map(|_| rng.i64_in(i64::MIN, i64::MAX))
+                .collect(),
+        )),
+        _ => Value::array(Array::Bool(
+            (0..rng.usize_below(32)).map(|_| rng.bool()).collect(),
+        )),
+    }
+}
+
+fn gen_value(rng: &mut Rng, depth: u32) -> Value {
+    if depth == 0 || rng.u64_below(3) == 0 {
+        return gen_leaf(rng);
+    }
+    let items: Vec<Value> = (0..rng.usize_below(8))
+        .map(|_| gen_value(rng, depth - 1))
+        .collect();
+    if rng.bool() {
+        Value::list(items)
+    } else {
+        Value::tuple(items)
+    }
+}
+
+#[test]
+fn pickle_round_trip() {
+    prop::check(cfg(), value_strategy(), |v| {
+        let blob = pickle::dumps(v).unwrap();
         let back = pickle::loads(&blob).unwrap();
-        prop_assert!(back.py_eq(&v), "{:?} != {:?}", back, v);
-    }
+        prop_assert!(back.py_eq(v), "{:?} != {:?}", back, v);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pickle_loads_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = pickle::loads(&data);
-    }
+#[test]
+fn pickle_loads_never_panics_on_garbage() {
+    prop::check(cfg(), prop::vec_of(prop::any_u8(), 0..256), |data| {
+        let _ = pickle::loads(data);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_never_panics(src in "[a-z0-9 +\\-*/()\\[\\]{}:,.'\"=<>\n]{0,200}") {
-        let _ = pylite::parse_module(&src);
-    }
+#[test]
+fn parser_never_panics() {
+    prop::check(
+        cfg(),
+        prop::string_of(
+            "abcdefghijklmnopqrstuvwxyz0123456789 +-*/()[]{}:,.'\"=<>\n",
+            0..200,
+        ),
+        |src| {
+            let _ = pylite::parse_module(src);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn int_arithmetic_matches_rust(a in -10_000i64..10_000, b in 1i64..1000) {
+#[test]
+fn int_arithmetic_matches_rust() {
+    let strategy = (prop::i64_in(-10_000..10_000), prop::i64_in(1..1000));
+    prop::check(cfg(), strategy, |&(a, b)| {
         let mut interp = Interp::new();
         interp.set_global("a", Value::Int(a));
         interp.set_global("b", Value::Int(b));
-        interp.eval_module("s = a + b\nd = a - b\nm = a * b\nq = a // b\nr = a % b\n").unwrap();
+        interp
+            .eval_module("s = a + b\nd = a - b\nm = a * b\nq = a // b\nr = a % b\n")
+            .unwrap();
         prop_assert_eq!(interp.get_global("s").unwrap(), Value::Int(a + b));
         prop_assert_eq!(interp.get_global("d").unwrap(), Value::Int(a - b));
         prop_assert_eq!(interp.get_global("m").unwrap(), Value::Int(a * b));
         prop_assert_eq!(interp.get_global("q").unwrap(), Value::Int(a.div_euclid(b)));
         prop_assert_eq!(interp.get_global("r").unwrap(), Value::Int(a.rem_euclid(b)));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sum_over_array_matches_rust(v in proptest::collection::vec(-1000i64..1000, 0..100)) {
-        let mut interp = Interp::new();
-        let expected: i64 = v.iter().sum();
-        interp.set_global("col", Value::array(Array::Int(v)));
-        interp.eval_module("total = sum(col)\n").unwrap();
-        prop_assert_eq!(interp.get_global("total").unwrap(), Value::Int(expected));
-    }
+#[test]
+fn sum_over_array_matches_rust() {
+    prop::check(
+        cfg(),
+        prop::vec_of(prop::i64_in(-1000..1000), 0..100),
+        |v| {
+            let mut interp = Interp::new();
+            let expected: i64 = v.iter().sum();
+            interp.set_global("col", Value::array(Array::Int(v.clone())));
+            interp.eval_module("total = sum(col)\n").unwrap();
+            prop_assert_eq!(interp.get_global("total").unwrap(), Value::Int(expected));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sorted_output_is_sorted_permutation(v in proptest::collection::vec(-1000i64..1000, 0..50)) {
+#[test]
+fn sorted_output_is_sorted_permutation() {
+    prop::check(cfg(), prop::vec_of(prop::i64_in(-1000..1000), 0..50), |v| {
         let mut interp = Interp::new();
         interp.set_global("v", Value::list(v.iter().map(|&x| Value::Int(x)).collect()));
         interp.eval_module("s = sorted(v)\n").unwrap();
-        let Value::List(s) = interp.get_global("s").unwrap() else { panic!() };
-        let got: Vec<i64> = s.borrow().iter().map(|x| match x { Value::Int(i) => *i, _ => panic!() }).collect();
+        let Value::List(s) = interp.get_global("s").unwrap() else {
+            return Err("sorted() did not return a list".to_string());
+        };
+        let got: Vec<i64> = s
+            .borrow()
+            .iter()
+            .map(|x| match x {
+                Value::Int(i) => *i,
+                _ => i64::MIN,
+            })
+            .collect();
         let mut expected = v.clone();
         expected.sort();
         prop_assert_eq!(got, expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interpreter_mean_deviation_matches_rust(v in proptest::collection::vec(-100i64..100, 1..60)) {
+#[test]
+fn interpreter_mean_deviation_matches_rust() {
+    prop::check(cfg(), prop::vec_of(prop::i64_in(-100..100), 1..60), |v| {
         // The *correct* mean-deviation UDF (Scenario A, fixed) must agree
         // with a Rust reference implementation.
         let src = "\
@@ -102,5 +185,6 @@ result = mean_deviation(col)
             Value::Float(f) => prop_assert!((f - expected).abs() < 1e-9, "{f} vs {expected}"),
             other => prop_assert!(false, "unexpected {other:?}"),
         }
-    }
+        Ok(())
+    });
 }

@@ -252,8 +252,7 @@ mod tests {
     #[test]
     fn bad_credentials_rejected() {
         let server = demo_server();
-        let err =
-            Client::connect_in_proc(&server, "monetdb", "wrongpw", "demo").unwrap_err();
+        let err = Client::connect_in_proc(&server, "monetdb", "wrongpw", "demo").unwrap_err();
         assert!(matches!(err, WireError::Auth(_)));
         let err = Client::connect_in_proc(&server, "monetdb", "monetdb", "nodb").unwrap_err();
         assert!(matches!(err, WireError::Auth(_)));
@@ -266,7 +265,12 @@ mod tests {
         let (sender, session) = server.in_proc_connection();
         let mut transport = InProcTransport { sender, session };
         let reply = transport
-            .round_trip(&Message::Query { sql: "SELECT 1".into() }.encode())
+            .round_trip(
+                &Message::Query {
+                    sql: "SELECT 1".into(),
+                }
+                .encode(),
+            )
             .unwrap();
         match Message::decode(&reply).unwrap() {
             Message::Error { code, .. } => assert_eq!(code, "AuthError"),
@@ -297,7 +301,9 @@ mod tests {
             .unwrap();
         let err = client.query("SELECT boom(i) FROM numbers").unwrap_err();
         match err {
-            WireError::Server { code, traceback, .. } => {
+            WireError::Server {
+                code, traceback, ..
+            } => {
                 assert_eq!(code, "UdfError");
                 assert!(traceback.unwrap().contains("line 1"));
             }
@@ -313,7 +319,10 @@ mod tests {
         let names = client.list_functions().unwrap();
         assert_eq!(names, vec!["mean_deviation"]);
         let info = client.get_function("mean_deviation").unwrap();
-        assert_eq!(info.params, vec![("column".to_string(), "INTEGER".to_string())]);
+        assert_eq!(
+            info.params,
+            vec![("column".to_string(), "INTEGER".to_string())]
+        );
         assert_eq!(info.return_type, "DOUBLE");
         assert!(info.body.contains("distance"));
         assert!(client.get_function("ghost").is_err());
@@ -331,7 +340,11 @@ mod tests {
                 sample: None,
             };
             let (value, stats) = client
-                .extract_inputs("SELECT mean_deviation(i) FROM numbers", "mean_deviation", options)
+                .extract_inputs(
+                    "SELECT mean_deviation(i) FROM numbers",
+                    "mean_deviation",
+                    options,
+                )
                 .unwrap();
             let Value::Dict(d) = &value else { panic!() };
             let col = d.borrow().get(&Value::str("column")).unwrap().unwrap();

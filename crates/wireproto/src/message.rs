@@ -761,7 +761,10 @@ mod tests {
         let mut good = Message::Ping.encode();
         good.push(0); // trailing byte
         assert!(Message::decode(&good).is_err());
-        let mut truncated = Message::Query { sql: "SELECT 1".into() }.encode();
+        let mut truncated = Message::Query {
+            sql: "SELECT 1".into(),
+        }
+        .encode();
         truncated.truncate(truncated.len() - 2);
         assert!(Message::decode(&truncated).is_err());
     }
@@ -770,12 +773,9 @@ mod tests {
     fn wire_table_from_engine_table() {
         let db = monetlite::Engine::new();
         db.execute("CREATE TABLE t (i INTEGER, s STRING)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
-        let table = db
-            .execute("SELECT * FROM t")
-            .unwrap()
-            .into_table()
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
             .unwrap();
+        let table = db.execute("SELECT * FROM t").unwrap().into_table().unwrap();
         let wt = WireTable::from_table(&table);
         assert_eq!(wt.columns.len(), 2);
         assert_eq!(wt.rows.len(), 2);

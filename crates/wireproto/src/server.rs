@@ -7,7 +7,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use std::sync::mpsc::{channel, Sender};
+
 use monetlite::{Engine, FunctionReturn};
 
 use crate::message::{Message, WireResult};
@@ -60,7 +61,7 @@ impl Server {
     /// Start the engine thread; `init` seeds the database before any client
     /// connects (create tables, load data, register UDFs).
     pub fn start(config: ServerConfig, init: impl FnOnce(&Engine) + Send + 'static) -> Server {
-        let (tx, rx) = unbounded::<ServerRequest>();
+        let (tx, rx) = channel::<ServerRequest>();
         let thread_config = config.clone();
         let engine_thread = std::thread::Builder::new()
             .name("monetlite-engine".to_string())
@@ -76,8 +77,13 @@ impl Server {
                             body,
                             reply,
                         } => {
-                            let response =
-                                handle_frame(&engine, &thread_config, &mut sessions, session, &body);
+                            let response = handle_frame(
+                                &engine,
+                                &thread_config,
+                                &mut sessions,
+                                session,
+                                &body,
+                            );
                             // A dead client is not a server error.
                             let _ = reply.send(response.encode());
                         }
@@ -169,7 +175,7 @@ fn serve_tcp_connection(
             Ok(b) => b,
             Err(_) => return, // client hung up
         };
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        let (reply_tx, reply_rx) = channel();
         if sender
             .send(ServerRequest::Frame {
                 session,

@@ -113,21 +113,9 @@ pub fn sample_inputs(inputs: &Value, k: usize, seed: u64) -> Result<Value, Trans
     if k >= n {
         return Ok(inputs.clone());
     }
-    // Partial Fisher–Yates over row indices, then sort to preserve order.
-    let mut state = seed ^ 0x9e3779b97f4a7c15;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    let mut pool: Vec<usize> = (0..n).collect();
-    let mut picked = Vec::with_capacity(k);
-    for _ in 0..k {
-        let i = (next() % pool.len() as u64) as usize;
-        picked.push(pool.swap_remove(i));
-    }
-    picked.sort_unstable();
+    // Partial Fisher–Yates over row indices, sorted to preserve order
+    // (devharness::Rng::sample_indices does exactly this).
+    let picked = devharness::Rng::new(seed).sample_indices(n, k);
 
     let mut out = Dict::new();
     for (key, v) in d.entries() {
@@ -213,14 +201,17 @@ mod tests {
             Value::array(Array::Int((0..rows as i64).map(|i| i % 2).collect())),
         )
         .unwrap();
-        d.insert(Value::str("n_estimators"), Value::Int(10)).unwrap();
+        d.insert(Value::str("n_estimators"), Value::Int(10))
+            .unwrap();
         Value::dict(d)
     }
 
     fn get_arr(v: &Value, key: &str) -> Vec<i64> {
         let Value::Dict(d) = v else { panic!() };
         let got = d.borrow().get(&Value::str(key)).unwrap().unwrap();
-        let Value::Array(a) = got else { panic!("{key} not an array") };
+        let Value::Array(a) = got else {
+            panic!("{key} not an array")
+        };
         match a.as_ref() {
             Array::Int(v) => v.clone(),
             other => panic!("{other:?}"),
@@ -230,7 +221,8 @@ mod tests {
     #[test]
     fn plain_round_trip() {
         let inputs = sample_dict(100);
-        let (payload, raw) = encode_payload(&inputs, &TransferOptions::plain(), "pw", 1, 7).unwrap();
+        let (payload, raw) =
+            encode_payload(&inputs, &TransferOptions::plain(), "pw", 1, 7).unwrap();
         assert_eq!(payload.len(), raw);
         let back = decode_payload(&payload, &TransferOptions::plain(), "pw", 1).unwrap();
         assert!(back.py_eq(&inputs));
@@ -239,8 +231,11 @@ mod tests {
     #[test]
     fn compression_shrinks_repetitive_inputs() {
         let mut d = Dict::new();
-        d.insert(Value::str("col"), Value::array(Array::Int(vec![7; 100_000])))
-            .unwrap();
+        d.insert(
+            Value::str("col"),
+            Value::array(Array::Int(vec![7; 100_000])),
+        )
+        .unwrap();
         let inputs = Value::dict(d);
         let opts = TransferOptions::compressed();
         let (payload, raw) = encode_payload(&inputs, &opts, "pw", 2, 7).unwrap();
@@ -297,7 +292,10 @@ mod tests {
         // Scalars survive.
         let Value::Dict(dd) = &sampled else { panic!() };
         assert_eq!(
-            dd.borrow().get(&Value::str("n_estimators")).unwrap().unwrap(),
+            dd.borrow()
+                .get(&Value::str("n_estimators"))
+                .unwrap()
+                .unwrap(),
             Value::Int(10)
         );
     }
@@ -334,6 +332,13 @@ mod tests {
             wire_len: 250,
         };
         assert!((s.ratio() - 0.25).abs() < 1e-12);
-        assert_eq!(TransferStats { raw_len: 0, wire_len: 0 }.ratio(), 1.0);
+        assert_eq!(
+            TransferStats {
+                raw_len: 0,
+                wire_len: 0
+            }
+            .ratio(),
+            1.0
+        );
     }
 }

@@ -2,8 +2,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-
-use crossbeam::channel::{bounded, Sender};
+use std::sync::mpsc::{channel, Sender};
 
 use crate::message::WireError;
 use crate::server::ServerRequest;
@@ -59,8 +58,9 @@ pub trait ClientTransport: Send {
     fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError>;
 }
 
-/// In-process transport: frames travel over crossbeam channels straight to
-/// the engine thread. Used by tests and benchmarks (zero syscall noise).
+/// In-process transport: frames travel over `std::sync::mpsc` channels
+/// straight to the engine thread. Used by tests and benchmarks (zero
+/// syscall noise).
 pub struct InProcTransport {
     pub(crate) sender: Sender<ServerRequest>,
     pub(crate) session: u64,
@@ -68,7 +68,7 @@ pub struct InProcTransport {
 
 impl ClientTransport for InProcTransport {
     fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
-        let (reply_tx, reply_rx) = bounded(1);
+        let (reply_tx, reply_rx) = channel();
         self.sender
             .send(ServerRequest::Frame {
                 session: self.session,

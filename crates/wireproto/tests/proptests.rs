@@ -1,59 +1,80 @@
-//! Property tests for the wire protocol.
+//! Property tests for the wire protocol (devharness::prop).
 
-use proptest::prelude::*;
+use devharness::prop::{self, BoxedStrategy, Config, Strategy};
+use devharness::{prop_assert, prop_assert_eq};
 use wireproto::message::{Message, WireResult, WireTable, WireValue};
 use wireproto::TransferOptions;
 
-fn wire_value_strategy() -> impl Strategy<Value = WireValue> {
-    prop_oneof![
-        Just(WireValue::Null),
-        any::<i64>().prop_map(WireValue::Int),
-        any::<f64>()
-            .prop_filter("NaN != NaN breaks equality", |f| !f.is_nan())
-            .prop_map(WireValue::Double),
-        "[a-zA-Z0-9 _%-]{0,24}".prop_map(WireValue::Str),
-        any::<bool>().prop_map(WireValue::Bool),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(WireValue::Blob),
-    ]
+fn cfg() -> Config {
+    Config::cases(96)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const STR_CHARS: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _%-";
 
-    #[test]
-    fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = Message::decode(&data);
-    }
+fn wire_value_strategy() -> BoxedStrategy<WireValue> {
+    prop::one_of(vec![
+        prop::just(WireValue::Null).boxed(),
+        prop::any_i64().map(|v| WireValue::Int(*v)).boxed(),
+        prop::any_f64()
+            .filter("NaN != NaN breaks equality", |f| !f.is_nan())
+            .map(|f| WireValue::Double(*f))
+            .boxed(),
+        prop::string_of(STR_CHARS, 0..24)
+            .map(|s| WireValue::Str(s.clone()))
+            .boxed(),
+        prop::any_bool().map(|b| WireValue::Bool(*b)).boxed(),
+        prop::vec_of(prop::any_u8(), 1..32)
+            .map(|v| WireValue::Blob(v.clone()))
+            .boxed(),
+    ])
+    .boxed()
+}
 
-    #[test]
-    fn messages_round_trip(
-        sql in "[a-zA-Z0-9 '(),*=]{0,80}",
-        compress in any::<bool>(),
-        encrypt in any::<bool>(),
-        sample in proptest::option::of(0usize..100_000),
-        id in any::<u64>(),
-    ) {
+#[test]
+fn decode_never_panics_on_garbage() {
+    prop::check(cfg(), prop::vec_of(prop::any_u8(), 0..512), |data| {
+        let _ = Message::decode(data);
+        Ok(())
+    });
+}
+
+#[test]
+fn messages_round_trip() {
+    let strategy = (
+        prop::string_of(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 '(),*=",
+            0..80,
+        ),
+        prop::any_bool(),
+        prop::any_bool(),
+        prop::option_of(prop::usize_in(0..100_000)),
+        prop::any_u64(),
+    );
+    prop::check(cfg(), strategy, |(sql, compress, encrypt, sample, id)| {
         for msg in [
             Message::Query { sql: sql.clone() },
             Message::ExtractInputs {
                 query: sql.clone(),
                 udf: "f".into(),
-                options: TransferOptions { compress, encrypt, sample },
-                transfer_id: id,
+                options: TransferOptions {
+                    compress: *compress,
+                    encrypt: *encrypt,
+                    sample: *sample,
+                },
+                transfer_id: *id,
             },
         ] {
             let decoded = Message::decode(&msg.encode()).unwrap();
             prop_assert_eq!(decoded, msg);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tables_round_trip(
-        cells in proptest::collection::vec(
-            proptest::collection::vec(wire_value_strategy(), 3),
-            0..20,
-        ),
-    ) {
+#[test]
+fn tables_round_trip() {
+    let rows = prop::vec_of(prop::vec_of(wire_value_strategy(), 3..4), 0..20);
+    prop::check(cfg(), rows, |cells| {
         let table = WireTable {
             name: "r".into(),
             columns: vec![
@@ -61,7 +82,7 @@ proptest! {
                 ("b".into(), "DOUBLE".into()),
                 ("c".into(), "STRING".into()),
             ],
-            rows: cells,
+            rows: cells.clone(),
         };
         let msg = Message::ResultSet {
             result: WireResult::Table(table),
@@ -69,16 +90,24 @@ proptest! {
         };
         let decoded = Message::decode(&msg.encode()).unwrap();
         prop_assert_eq!(decoded, msg);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn truncated_frames_error_not_panic(sql in "[a-z ]{1,60}", cut_fraction in 0.0f64..1.0) {
-        let msg = Message::Query { sql };
+#[test]
+fn truncated_frames_error_not_panic() {
+    let strategy = (
+        prop::string_of("abcdefghijklmnopqrstuvwxyz ", 1..60),
+        prop::usize_in(0..1000),
+    );
+    prop::check(cfg(), strategy, |(sql, cut_permille)| {
+        let msg = Message::Query { sql: sql.clone() };
         let mut encoded = msg.encode();
-        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        let cut = encoded.len() * cut_permille / 1000;
         encoded.truncate(cut);
         if cut < msg.encode().len() {
             prop_assert!(Message::decode(&encoded).is_err());
         }
-    }
+        Ok(())
+    });
 }

@@ -13,7 +13,8 @@ use wireproto::{Server, ServerConfig};
 fn main() {
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-        db.execute("INSERT INTO numbers VALUES (3), (1), (4), (1), (5)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (3), (1), (4), (1), (5)")
+            .unwrap();
         db.execute(concat!(
             "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
             "mean = 0\n",

@@ -84,13 +84,20 @@ fn seed(db: &monetlite::Engine) {
             train.push(format!("({x}, {y})"));
         }
     }
-    db.execute(&format!("INSERT INTO trainingset VALUES {}", train.join(", ")))
-        .unwrap();
-    db.execute(&format!("INSERT INTO testingset VALUES {}", test.join(", ")))
-        .unwrap();
+    db.execute(&format!(
+        "INSERT INTO trainingset VALUES {}",
+        train.join(", ")
+    ))
+    .unwrap();
+    db.execute(&format!(
+        "INSERT INTO testingset VALUES {}",
+        test.join(", ")
+    ))
+    .unwrap();
     // Candidate n_estimators values probed by the outer UDF.
     db.execute("CREATE TABLE candidates (est INTEGER)").unwrap();
-    db.execute("INSERT INTO candidates VALUES (1), (4), (16)").unwrap();
+    db.execute("INSERT INTO candidates VALUES (1), (4), (16)")
+        .unwrap();
     db.execute(TRAIN_RNFOREST).unwrap();
     db.execute(FIND_BEST).unwrap();
 }

@@ -16,7 +16,8 @@ fn main() {
     // 1. A "MonetDB": in-memory columnar engine + wire server.
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE t (i INTEGER)").unwrap();
-        db.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)")
+            .unwrap();
         db.execute(
             "CREATE FUNCTION double_it(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i * 2 }",
         )

@@ -55,14 +55,21 @@ fn main() {
     println!("mean |x - mean| of 1..20 should be 5.0, not 0.0. Why?\n");
 
     println!("── step 3: print debugging (the paper's 'simplistic strategy')");
-    dev.server_query(&LISTING4.replace(
-        "deviation = distance / len(column)",
-        "print('distance is', distance)\ndeviation = distance / len(column)",
-    ).replace("CREATE FUNCTION", "CREATE OR REPLACE FUNCTION"))
+    dev.server_query(
+        &LISTING4
+            .replace(
+                "deviation = distance / len(column)",
+                "print('distance is', distance)\ndeviation = distance / len(column)",
+            )
+            .replace("CREATE FUNCTION", "CREATE OR REPLACE FUNCTION"),
+    )
+    .unwrap();
+    dev.server_query("SELECT mean_deviation(i) FROM numbers")
         .unwrap();
-    dev.server_query("SELECT mean_deviation(i) FROM numbers").unwrap();
     print!("{}", dev.client().borrow_mut().last_udf_stdout());
-    println!("…one number, no insight into *when* it went wrong. Recreate + rerun for every probe.\n");
+    println!(
+        "…one number, no insight into *when* it went wrong. Recreate + rerun for every probe.\n"
+    );
 
     println!("── step 4: devUDF — import and debug interactively, locally");
     dev.import(&["mean_deviation"]).unwrap();
@@ -72,7 +79,10 @@ fn main() {
         .add_breakpoint(7 + devudf::transform::BODY_LINE_OFFSET);
     dbg.borrow_mut().add_watch("distance");
     let outcome = dev.debug_udf("mean_deviation", dbg.clone()).unwrap();
-    println!("paused {} times; watch values of `distance`:", outcome.pauses);
+    println!(
+        "paused {} times; watch values of `distance`:",
+        outcome.pauses
+    );
     for pause in dbg.borrow().pauses().iter().take(6) {
         println!("  line {}: distance = {}", pause.line, pause.watches[0].1);
     }

@@ -68,7 +68,10 @@ fn main() {
     // Mirror the demo's CSV directory into the project so the local run
     // sees the same data (the demo setup step: CSVs live in one directory).
     for (path, content) in CSVS {
-        dev.project.fs_provider().write(path, content.as_bytes()).unwrap();
+        dev.project
+            .fs_provider()
+            .write(path, content.as_bytes())
+            .unwrap();
     }
 
     let dbg = Debugger::scripted(vec![DebugCommand::Continue; 64]);
@@ -82,7 +85,10 @@ fn main() {
     println!("paused {} times at the file-open line:", outcome.pauses);
     for pause in dbg.borrow().pauses() {
         let w = &pause.watches;
-        println!("  {} = {}, loop bound = {}, i = {}", w[0].0, w[0].1, w[1].1, w[2].1);
+        println!(
+            "  {} = {}, loop bound = {}, i = {}",
+            w[0].0, w[0].1, w[1].1, w[2].1
+        );
     }
     println!("  3 files, but the loop bound is 2 → part3.csv is never opened.");
     println!("  `range(0, len(files) - 1)` excludes the end already; the -1 is the bug.\n");

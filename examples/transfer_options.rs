@@ -41,7 +41,10 @@ fn main() {
     let dev = DevUdf::connect_in_proc(&server, settings, &project).unwrap();
 
     println!("extracting the inputs of analyze() over {rows} rows\n");
-    println!("{:<24} {:>12} {:>12} {:>8} {:>10}", "options", "raw bytes", "wire bytes", "ratio", "time");
+    println!(
+        "{:<24} {:>12} {:>12} {:>8} {:>10}",
+        "options", "raw bytes", "wire bytes", "ratio", "time"
+    );
     let cases = [
         ("plain", TransferOptions::plain()),
         ("compress", TransferOptions::compressed()),
@@ -82,7 +85,9 @@ fn main() {
         );
     }
 
-    println!("\nwrong-password check: encrypted payloads are unreadable without the user's password");
+    println!(
+        "\nwrong-password check: encrypted payloads are unreadable without the user's password"
+    );
     let (payload_ok, _) = dev
         .client()
         .borrow_mut()
@@ -93,7 +98,9 @@ fn main() {
         )
         .unwrap();
     drop(payload_ok);
-    println!("(decoding with the right password succeeded; wireproto tests cover the failure path)");
+    println!(
+        "(decoding with the right password succeeded; wireproto tests cover the failure path)"
+    );
 
     std::fs::remove_dir_all(&project).ok();
     server.shutdown();

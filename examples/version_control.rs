@@ -14,7 +14,8 @@ use wireproto::{Server, ServerConfig};
 fn main() {
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-        db.execute("INSERT INTO numbers VALUES (1), (2), (3), (4), (5), (6)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3), (4), (5), (6)")
+            .unwrap();
         db.execute(concat!(
             "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
             "mean = 0\n",
@@ -40,7 +41,10 @@ fn main() {
 
     println!("── import the UDF and commit the pristine version");
     dev.import_all().unwrap();
-    let c1 = dev.project.commit_all("import mean_deviation from server", "dev").unwrap();
+    let c1 = dev
+        .project
+        .commit_all("import mean_deviation from server", "dev")
+        .unwrap();
     println!("committed {}", &c1[..10]);
 
     println!("\n── fix the bug locally and commit the fix");
@@ -63,7 +67,12 @@ fn main() {
     println!("\n── history (newest first):");
     let repo = dev.project.vcs().unwrap();
     for commit in repo.log().unwrap() {
-        println!("  {}  #{}  {}", &commit.id[..10], commit.seq, commit.message);
+        println!(
+            "  {}  #{}  {}",
+            &commit.id[..10],
+            commit.seq,
+            commit.message
+        );
     }
 
     println!("\n── the diff between the two versions:");
@@ -74,7 +83,10 @@ fn main() {
             Some(&ObjectId(c2.clone())),
         )
         .unwrap();
-    for line in diff.lines().filter(|l| l.starts_with('+') || l.starts_with('-')) {
+    for line in diff
+        .lines()
+        .filter(|l| l.starts_with('+') || l.starts_with('-'))
+    {
         println!("  {line}");
     }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: every step runs with --offline and must pass with the
+# network unplugged (the workspace has zero crates.io dependencies — see
+# DESIGN.md §4a). Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+
+echo "CI OK"

@@ -1,5 +1,25 @@
 //! Umbrella crate for the devUDF reproduction: re-exports every workspace
 //! crate so integration tests and examples can use a single dependency root.
+//!
+//! The reproduction target is *devUDF: Increasing UDF development efficiency
+//! through IDE Integration* (Raasveldt, Holanda, Manegold — EDBT 2019). The
+//! paper's contribution — importing MonetDB/Python UDFs into an IDE project,
+//! extracting their input data, debugging them locally, and exporting the
+//! fix — lives in [`devudf`]; everything else is the substrate it needs
+//! (database engine, interpreter, wire protocol, codecs, VCS, IDE facade).
+//!
+//! Start points:
+//!
+//! * [`devudf::DevUdf`] — the end-to-end session API (import → run/debug →
+//!   export); see `examples/quickstart.rs`.
+//! * [`monetlite::Engine`] — the embedded SQL engine with Python UDFs.
+//! * [`pylite::Interp`] + [`pylite::Debugger`] — the interpreter and the
+//!   interactive debugger behind the paper's headline feature.
+//! * [`wireproto::Server`] / [`wireproto::Client`] — the client/server split
+//!   with the §2.1 transfer options (compress / encrypt / sample).
+//!
+//! The workspace builds fully offline with zero external dependencies; see
+//! README.md ("Hermetic build") and DESIGN.md §4a ("Dependency policy").
 
 pub use codecs;
 pub use devudf;

@@ -68,7 +68,10 @@ fn vcs_tracks_the_fix_history() {
     dev.project.init_vcs().unwrap();
 
     dev.import_all().unwrap();
-    let c1 = dev.project.commit_all("import UDFs from server", "dev").unwrap();
+    let c1 = dev
+        .project
+        .commit_all("import UDFs from server", "dev")
+        .unwrap();
 
     let script = dev.project.read_udf("mean_deviation").unwrap();
     dev.project

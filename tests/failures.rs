@@ -18,7 +18,8 @@ fn temp_project(tag: &str) -> std::path::PathBuf {
 fn demo_server() -> Server {
     Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-        db.execute("INSERT INTO numbers VALUES (1), (2), (3)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3)")
+            .unwrap();
         db.execute(
             "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return sum(column) / len(column) }",
         )
@@ -149,7 +150,7 @@ fn malformed_frames_do_not_kill_the_server() {
     let server = demo_server();
     let (sender, session) = server.in_proc_connection();
     // Send raw garbage as a frame body.
-    let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
     sender
         .send(wireproto::server::ServerRequest::Frame {
             session,

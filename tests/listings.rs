@@ -18,9 +18,14 @@ fn server_with_listing1() -> Server {
     Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE trainingset (data INTEGER, labels INTEGER)")
             .unwrap();
-        let rows: Vec<String> = (0..60).map(|i| format!("({}, {})", i % 11, (i % 11 > 5) as i64)).collect();
-        db.execute(&format!("INSERT INTO trainingset VALUES {}", rows.join(", ")))
-            .unwrap();
+        let rows: Vec<String> = (0..60)
+            .map(|i| format!("({}, {})", i % 11, (i % 11 > 5) as i64))
+            .collect();
+        db.execute(&format!(
+            "INSERT INTO trainingset VALUES {}",
+            rows.join(", ")
+        ))
+        .unwrap();
         db.execute(&format!(
             "CREATE FUNCTION train_rnforest(data INTEGER, classes INTEGER, n_estimators INTEGER) RETURNS TABLE(clf BLOB, estimators INTEGER) LANGUAGE PYTHON {{\n{LISTING1_BODY}}}"
         ))
@@ -124,7 +129,8 @@ fn listing2_transformation_produces_the_papers_shape() {
 fn listing4_runs_and_exhibits_the_semantic_bug() {
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-        db.execute("INSERT INTO numbers VALUES (2), (4), (6), (8)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (2), (4), (6), (8)")
+            .unwrap();
         db.execute(concat!(
             "CREATE FUNCTION mean_deviation(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n",
             "mean = 0\n",

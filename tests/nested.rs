@@ -64,12 +64,19 @@ fn listing3_server() -> Server {
                 train.push(format!("({x}, {y})"));
             }
         }
-        db.execute(&format!("INSERT INTO trainingset VALUES {}", train.join(", ")))
-            .unwrap();
-        db.execute(&format!("INSERT INTO testingset VALUES {}", test.join(", ")))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO trainingset VALUES {}",
+            train.join(", ")
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "INSERT INTO testingset VALUES {}",
+            test.join(", ")
+        ))
+        .unwrap();
         db.execute("CREATE TABLE candidates (est INTEGER)").unwrap();
-        db.execute("INSERT INTO candidates VALUES (2), (8)").unwrap();
+        db.execute("INSERT INTO candidates VALUES (2), (8)")
+            .unwrap();
         db.execute(TRAIN_RNFOREST).unwrap();
         db.execute(FIND_BEST).unwrap();
     })
@@ -88,8 +95,7 @@ fn temp_project(tag: &str) -> std::path::PathBuf {
 
 fn settings() -> Settings {
     let mut s = Settings::default();
-    s.debug_query =
-        "SELECT * FROM find_best_classifier((SELECT est FROM candidates))".to_string();
+    s.debug_query = "SELECT * FROM find_best_classifier((SELECT est FROM candidates))".to_string();
     s
 }
 
@@ -146,13 +152,17 @@ fn local_and_server_results_agree() {
         .unwrap()
         .into_table()
         .unwrap();
-    let WireValue::Int(server_best) = t.rows[0][0] else { panic!() };
+    let WireValue::Int(server_best) = t.rows[0][0] else {
+        panic!()
+    };
 
     let dir = temp_project("agree");
     let mut dev = DevUdf::connect_in_proc(&server, settings(), &dir).unwrap();
     dev.import_all().unwrap();
     let outcome = dev.run_udf("find_best_classifier").unwrap();
-    let Value::Dict(d) = &outcome.result else { panic!() };
+    let Value::Dict(d) = &outcome.result else {
+        panic!()
+    };
     let local_best = d
         .borrow()
         .get(&Value::str("n_estimators"))
@@ -204,7 +214,9 @@ fn pickled_classifier_round_trips_between_engines() {
         .unwrap()
         .into_table()
         .unwrap();
-    let WireValue::Blob(blob) = &t.rows[0][0] else { panic!() };
+    let WireValue::Blob(blob) = &t.rows[0][0] else {
+        panic!()
+    };
     let mut interp = pylite::Interp::new();
     interp.set_global("blob", Value::bytes(blob.clone()));
     interp

@@ -1,7 +1,8 @@
 //! Cross-crate property tests: invariants that must hold for arbitrary
-//! data across the whole stack.
+//! data across the whole stack (devharness::prop).
 
-use proptest::prelude::*;
+use devharness::prop::{self, Config};
+use devharness::{prop_assert, prop_assert_eq};
 
 use devudf::transform;
 use wireproto::client::FunctionInfo;
@@ -11,6 +12,10 @@ use wireproto::TransferOptions;
 use pylite::value::Dict;
 use pylite::{Array, Value};
 
+fn cfg() -> Config {
+    Config::cases(64)
+}
+
 fn int_inputs(v: Vec<i64>) -> Value {
     let mut d = Dict::new();
     d.insert(Value::str("column"), Value::array(Array::Int(v)))
@@ -18,59 +23,71 @@ fn int_inputs(v: Vec<i64>) -> Value {
     Value::dict(d)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// encode ∘ decode is identity for every option combination.
-    #[test]
-    fn transfer_pipeline_round_trips(
-        data in proptest::collection::vec(any::<i64>(), 0..300),
-        compress in any::<bool>(),
-        encrypt in any::<bool>(),
-        transfer_id in any::<u64>(),
-    ) {
-        let inputs = int_inputs(data);
-        let options = TransferOptions { compress, encrypt, sample: None };
-        let (payload, _) = encode_payload(&inputs, &options, "pw", transfer_id, 7).unwrap();
-        let back = decode_payload(&payload, &options, "pw", transfer_id).unwrap();
+/// encode ∘ decode is identity for every option combination.
+#[test]
+fn transfer_pipeline_round_trips() {
+    let strategy = (
+        prop::vec_of(prop::any_i64(), 0..300),
+        prop::any_bool(),
+        prop::any_bool(),
+        prop::any_u64(),
+    );
+    prop::check(cfg(), strategy, |(data, compress, encrypt, transfer_id)| {
+        let inputs = int_inputs(data.clone());
+        let options = TransferOptions {
+            compress: *compress,
+            encrypt: *encrypt,
+            sample: None,
+        };
+        let (payload, _) = encode_payload(&inputs, &options, "pw", *transfer_id, 7).unwrap();
+        let back = decode_payload(&payload, &options, "pw", *transfer_id).unwrap();
         prop_assert!(back.py_eq(&inputs));
-    }
+        Ok(())
+    });
+}
 
-    /// Sampling returns exactly min(k, n) rows and every value came from
-    /// the original column.
-    #[test]
-    fn sampling_bounds_and_membership(
-        data in proptest::collection::vec(-1000i64..1000, 1..200),
-        k in 0usize..300,
-        seed in any::<u64>(),
-    ) {
+/// Sampling returns exactly min(k, n) rows and every value came from
+/// the original column.
+#[test]
+fn sampling_bounds_and_membership() {
+    let strategy = (
+        prop::vec_of(prop::i64_in(-1000..1000), 1..200),
+        prop::usize_in(0..300),
+        prop::any_u64(),
+    );
+    prop::check(cfg(), strategy, |(data, k, seed)| {
         let n = data.len();
         let inputs = int_inputs(data.clone());
-        let sampled = sample_inputs(&inputs, k, seed).unwrap();
-        let Value::Dict(d) = &sampled else { panic!() };
+        let sampled = sample_inputs(&inputs, *k, *seed).unwrap();
+        let Value::Dict(d) = &sampled else {
+            return Err("sampled inputs not a dict".into());
+        };
         let col = d.borrow().get(&Value::str("column")).unwrap().unwrap();
-        let Value::Array(a) = col else { panic!() };
-        prop_assert_eq!(a.len(), k.min(n));
+        let Value::Array(a) = col else {
+            return Err("sampled column not an array".into());
+        };
+        prop_assert_eq!(a.len(), (*k).min(n));
         for i in 0..a.len() {
-            let Value::Int(x) = a.get(i) else { panic!() };
+            let Value::Int(x) = a.get(i) else {
+                return Err("sampled cell not an int".into());
+            };
             prop_assert!(data.contains(&x));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Import → export body transformation is the identity on arbitrary
-    /// well-formed bodies.
-    #[test]
-    fn transform_round_trip_identity(
-        n_lines in 1usize..12,
-        seed in any::<u64>(),
-    ) {
+/// Import → export body transformation is the identity on arbitrary
+/// well-formed bodies.
+#[test]
+fn transform_round_trip_identity() {
+    let strategy = (prop::usize_in(1..12), prop::any_u64());
+    prop::check(cfg(), strategy, |&(n_lines, seed)| {
         // Generate a structured body: assignments, a loop, a return.
         let mut body = String::new();
-        let mut s = seed | 1;
+        let mut rng = devharness::Rng::new(seed);
         for i in 0..n_lines {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
+            let s = rng.next_u64();
             match s % 4 {
                 0 => body.push_str(&format!("v{i} = {}\n", s % 100)),
                 1 => body.push_str(&format!("v{i} = len(column) + {}\n", s % 10)),
@@ -90,56 +107,106 @@ proptest! {
             body: body.clone(),
         };
         let script = transform::to_local_script(&info);
-        prop_assert!(pylite::parse_module(&script).is_ok(), "script must parse:\n{script}");
+        prop_assert!(
+            pylite::parse_module(&script).is_ok(),
+            "script must parse:\n{script}"
+        );
         let recovered = transform::extract_body(&script, "generated").unwrap();
         prop_assert_eq!(recovered, body);
-    }
+        Ok(())
+    });
+}
 
-    /// The SQL engine's sum() agrees with Rust over arbitrary int columns.
-    #[test]
-    fn sql_aggregates_match_rust(data in proptest::collection::vec(-10_000i64..10_000, 1..80)) {
-        let db = monetlite::Engine::new();
-        db.execute("CREATE TABLE t (i INTEGER)").unwrap();
-        let values: Vec<String> = data.iter().map(|v| format!("({v})")).collect();
-        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
-        let t = db
-            .execute("SELECT sum(i), count(*), min(i), max(i) FROM t")
-            .unwrap()
-            .into_table()
+/// The SQL engine's sum() agrees with Rust over arbitrary int columns.
+#[test]
+fn sql_aggregates_match_rust() {
+    prop::check(
+        cfg(),
+        prop::vec_of(prop::i64_in(-10_000..10_000), 1..80),
+        |data| {
+            let db = monetlite::Engine::new();
+            db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+            let values: Vec<String> = data.iter().map(|v| format!("({v})")).collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+                .unwrap();
+            let t = db
+                .execute("SELECT sum(i), count(*), min(i), max(i) FROM t")
+                .unwrap()
+                .into_table()
+                .unwrap();
+            prop_assert_eq!(
+                t.row(0)[0].clone(),
+                monetlite::SqlValue::Int(data.iter().sum())
+            );
+            prop_assert_eq!(
+                t.row(0)[1].clone(),
+                monetlite::SqlValue::Int(data.len() as i64)
+            );
+            prop_assert_eq!(
+                t.row(0)[2].clone(),
+                monetlite::SqlValue::Int(*data.iter().min().unwrap())
+            );
+            prop_assert_eq!(
+                t.row(0)[3].clone(),
+                monetlite::SqlValue::Int(*data.iter().max().unwrap())
+            );
+            Ok(())
+        },
+    );
+}
+
+/// A Python UDF computing a sum agrees with SQL sum() for any column —
+/// the operator-at-a-time bridge preserves data exactly.
+#[test]
+fn udf_bridge_preserves_columns() {
+    prop::check(
+        cfg(),
+        prop::vec_of(prop::i64_in(-1000..1000), 1..60),
+        |data| {
+            let db = monetlite::Engine::new();
+            db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+            let values: Vec<String> = data.iter().map(|v| format!("({v})")).collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+                .unwrap();
+            db.execute(
+                "CREATE FUNCTION pysum(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return sum(i) }",
+            )
             .unwrap();
-        prop_assert_eq!(t.row(0)[0].clone(), monetlite::SqlValue::Int(data.iter().sum()));
-        prop_assert_eq!(t.row(0)[1].clone(), monetlite::SqlValue::Int(data.len() as i64));
-        prop_assert_eq!(t.row(0)[2].clone(), monetlite::SqlValue::Int(*data.iter().min().unwrap()));
-        prop_assert_eq!(t.row(0)[3].clone(), monetlite::SqlValue::Int(*data.iter().max().unwrap()));
-    }
+            let sql = db
+                .execute("SELECT sum(i) FROM t")
+                .unwrap()
+                .into_table()
+                .unwrap();
+            let udf = db
+                .execute("SELECT pysum(i) FROM t")
+                .unwrap()
+                .into_table()
+                .unwrap();
+            prop_assert_eq!(sql.row(0)[0].clone(), udf.row(0)[0].clone());
+            Ok(())
+        },
+    );
+}
 
-    /// A Python UDF computing a sum agrees with SQL sum() for any column —
-    /// the operator-at-a-time bridge preserves data exactly.
-    #[test]
-    fn udf_bridge_preserves_columns(data in proptest::collection::vec(-1000i64..1000, 1..60)) {
-        let db = monetlite::Engine::new();
-        db.execute("CREATE TABLE t (i INTEGER)").unwrap();
-        let values: Vec<String> = data.iter().map(|v| format!("({v})")).collect();
-        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
-        db.execute(
-            "CREATE FUNCTION pysum(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return sum(i) }",
-        )
-        .unwrap();
-        let sql = db.execute("SELECT sum(i) FROM t").unwrap().into_table().unwrap();
-        let udf = db.execute("SELECT pysum(i) FROM t").unwrap().into_table().unwrap();
-        prop_assert_eq!(sql.row(0)[0].clone(), udf.row(0)[0].clone());
-    }
-
-    /// Wire message round trip for query results with arbitrary content.
-    #[test]
-    fn wire_result_round_trips(
-        strings in proptest::collection::vec("[a-zA-Z0-9 ]{0,16}", 0..20),
-    ) {
+/// Wire message round trip for query results with arbitrary content.
+#[test]
+fn wire_result_round_trips() {
+    let strings = prop::vec_of(
+        prop::string_of(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
+            0..16,
+        ),
+        0..20,
+    );
+    prop::check(cfg(), strings, |strings| {
         use wireproto::message::{Message, WireResult, WireTable, WireValue};
         let table = WireTable {
             name: "r".to_string(),
             columns: vec![("s".to_string(), "STRING".to_string())],
-            rows: strings.iter().map(|s| vec![WireValue::Str(s.clone())]).collect(),
+            rows: strings
+                .iter()
+                .map(|s| vec![WireValue::Str(s.clone())])
+                .collect(),
         };
         let msg = Message::ResultSet {
             result: WireResult::Table(table),
@@ -147,5 +214,6 @@ proptest! {
         };
         let decoded = Message::decode(&msg.encode()).unwrap();
         prop_assert_eq!(decoded, msg);
-    }
+        Ok(())
+    });
 }

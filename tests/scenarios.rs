@@ -66,7 +66,10 @@ fn scenario_a_full_cycle() {
         .pauses()
         .iter()
         .any(|p| p.watches[0].1.starts_with('-'));
-    assert!(negative_seen, "debugger exposes the impossible negative distance");
+    assert!(
+        negative_seen,
+        "debugger exposes the impossible negative distance"
+    );
 
     // Fix locally, verify locally.
     let script = dev.project.read_udf("mean_deviation").unwrap();
@@ -81,7 +84,10 @@ fn scenario_a_full_cycle() {
         .unwrap();
     let local = dev.run_udf("mean_deviation").unwrap();
     match local.result {
-        pylite::Value::Float(f) => assert!((f - 7.5).abs() < 1e-9, "mean |x-15.5| of 1..30 = 7.5, got {f}"),
+        pylite::Value::Float(f) => assert!(
+            (f - 7.5).abs() < 1e-9,
+            "mean |x-15.5| of 1..30 = 7.5, got {f}"
+        ),
         other => panic!("{other:?}"),
     }
 
@@ -142,7 +148,10 @@ fn scenario_b_full_cycle() {
         ("data/part2.csv", "4\n5\n6\n"),
         ("data/part3.csv", "7\n8\n9\n"),
     ] {
-        dev.project.fs_provider().write(name, content.as_bytes()).unwrap();
+        dev.project
+            .fs_provider()
+            .write(name, content.as_bytes())
+            .unwrap();
     }
     let dbg = Debugger::scripted(vec![DebugCommand::Continue; 16]);
     dbg.borrow_mut()
@@ -185,19 +194,26 @@ fn print_debugging_baseline_gives_less_insight() {
     // probe and only surfaces final aggregates.
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
-        db.execute("INSERT INTO numbers VALUES (1), (2), (3)").unwrap();
+        db.execute("INSERT INTO numbers VALUES (1), (2), (3)")
+            .unwrap();
         db.execute(LISTING4).unwrap();
     });
     let mut client =
         wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
     // Probe 1: recreate with a print.
     client
-        .query(&LISTING4.replace("CREATE FUNCTION", "CREATE OR REPLACE FUNCTION").replace(
-            "deviation = distance / len(column)",
-            "print('distance =', distance)\ndeviation = distance / len(column)",
-        ))
+        .query(
+            &LISTING4
+                .replace("CREATE FUNCTION", "CREATE OR REPLACE FUNCTION")
+                .replace(
+                    "deviation = distance / len(column)",
+                    "print('distance =', distance)\ndeviation = distance / len(column)",
+                ),
+        )
         .unwrap();
-    client.query("SELECT mean_deviation(i) FROM numbers").unwrap();
+    client
+        .query("SELECT mean_deviation(i) FROM numbers")
+        .unwrap();
     assert!(client.last_udf_stdout().contains("distance ="));
     server.shutdown();
 }
