@@ -1,0 +1,68 @@
+//! RPC robustness benchmark: what does the retry layer cost?
+//!
+//! Measures client round trips (`ping` and a small `SELECT`) over the
+//! in-process transport at three deterministically injected fault rates —
+//! 0 % (pure wrapping overhead), 1 % and 10 % (`FaultPolicy::lossy`,
+//! half drops / half corruptions). The retrying client uses zero backoff
+//! so the numbers isolate the *retry machinery* (extra round trips,
+//! reconnect + reauth) from deliberate sleeping; production policies add
+//! backoff on top.
+//!
+//! Writes `BENCH_rpc.json` (schema in EXPERIMENTS.md).
+
+use devharness::bench::{BenchmarkId, Harness, Throughput};
+use devudf_bench::bench_server;
+use wireproto::{Client, ClientOptions, FaultPolicy, RetryPolicy};
+
+/// Enough attempts that a benchmark run of ~10^5 iterations at a 10 %
+/// fault rate has a negligible chance of exhausting the budget, and no
+/// backoff so the measurement is retry work, not sleep.
+fn bench_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        initial_backoff: std::time::Duration::ZERO,
+        max_backoff: std::time::Duration::ZERO,
+        deadline: None,
+    }
+}
+
+fn bench_rpc(h: &mut Harness) {
+    let server = bench_server(1_000);
+    let mut group = h.benchmark_group("rpc_round_trip");
+    group.throughput(Throughput::Elements(1));
+    for fault_pct in [0u32, 1, 10] {
+        let options = ClientOptions {
+            retry: bench_retry(),
+            fault: Some(FaultPolicy::lossy(
+                0xbead + u64::from(fault_pct),
+                f64::from(fault_pct) / 100.0,
+            )),
+            ..ClientOptions::default()
+        };
+        let mut client =
+            Client::connect_in_proc_with(&server, "monetdb", "monetdb", "demo", options).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ping", format!("{fault_pct}pct")),
+            &fault_pct,
+            |b, _| b.iter(|| client.ping().is_ok()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select", format!("{fault_pct}pct")),
+            &fault_pct,
+            |b, _| b.iter(|| client.query("SELECT sum(i) FROM numbers").is_ok()),
+        );
+    }
+    // Reference point: a client with retries disabled on a clean link.
+    let mut bare = Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    group.bench_with_input(BenchmarkId::new("ping", "no-retry-layer"), &0u32, |b, _| {
+        b.iter(|| bare.ping().is_ok())
+    });
+    group.finish();
+    server.shutdown();
+}
+
+fn main() {
+    let mut h = Harness::new("rpc");
+    bench_rpc(&mut h);
+    h.finish();
+}

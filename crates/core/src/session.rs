@@ -29,27 +29,36 @@ pub struct DevUdf {
 
 impl DevUdf {
     /// Connect to an in-process server (tests, benchmarks, examples).
+    /// The settings' retry policy applies (socket deadlines do not — the
+    /// in-process channel has no sockets).
     pub fn connect_in_proc(
         server: &Server,
         settings: Settings,
         project_root: &Path,
     ) -> Result<DevUdf> {
-        let client = Client::connect_in_proc(
+        let client = Client::connect_in_proc_with(
             server,
             &settings.user,
             &settings.password,
             &settings.database,
+            settings.client_options(),
         )?;
         Self::with_client(client, settings, project_root)
     }
 
-    /// Connect over TCP using the host/port from the settings.
+    /// Connect over TCP using the host/port from the settings; the
+    /// settings' retry policy and socket deadlines apply.
     pub fn connect_tcp(settings: Settings, project_root: &Path) -> Result<DevUdf> {
         let addr: std::net::SocketAddr = format!("{}:{}", settings.host, settings.port)
             .parse()
             .map_err(|e| DevUdfError::Config(format!("bad host/port: {e}")))?;
-        let client =
-            Client::connect_tcp(addr, &settings.user, &settings.password, &settings.database)?;
+        let client = Client::connect_tcp_with(
+            addr,
+            &settings.user,
+            &settings.password,
+            &settings.database,
+            settings.client_options(),
+        )?;
         Self::with_client(client, settings, project_root)
     }
 

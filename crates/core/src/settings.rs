@@ -4,9 +4,10 @@
 //! data-transfer options (§2.1).
 
 use std::path::Path;
+use std::time::Duration;
 
 use codecs::json::{self, Value};
-use wireproto::TransferOptions;
+use wireproto::{ClientOptions, RetryPolicy, TransferOptions};
 
 /// Serializable mirror of [`wireproto::TransferOptions`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,6 +30,92 @@ impl From<TransferSettings> for TransferOptions {
     }
 }
 
+/// Serializable mirror of [`wireproto::RetryPolicy`] plus the TCP socket
+/// deadlines — the robustness half of the connection settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrySettings {
+    /// Total attempts for idempotent calls (1 disables retries).
+    pub max_attempts: u32,
+    /// First backoff in milliseconds; doubles per retry.
+    pub initial_backoff_ms: u64,
+    /// Cap on a single backoff sleep, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Overall retry budget in milliseconds (`None` = attempts only).
+    pub deadline_ms: Option<u64>,
+    /// Per-read/write socket deadline in milliseconds (`None` = block).
+    pub io_timeout_ms: Option<u64>,
+}
+
+impl Default for RetrySettings {
+    /// Mirrors [`RetryPolicy::standard`] with 30 s socket deadlines: the
+    /// IDE's calls are dominated by idempotent reads, so transparent
+    /// retries are the right out-of-the-box behaviour.
+    fn default() -> RetrySettings {
+        RetrySettings {
+            max_attempts: 3,
+            initial_backoff_ms: 10,
+            max_backoff_ms: 200,
+            deadline_ms: Some(2_000),
+            io_timeout_ms: Some(30_000),
+        }
+    }
+}
+
+impl RetrySettings {
+    /// The wire-layer policy these settings describe.
+    pub fn policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.max_attempts.max(1),
+            initial_backoff: Duration::from_millis(self.initial_backoff_ms),
+            max_backoff: Duration::from_millis(self.max_backoff_ms),
+            deadline: self.deadline_ms.map(Duration::from_millis),
+        }
+    }
+
+    fn to_json(self) -> Value {
+        Value::Object(vec![
+            (
+                "max_attempts".to_string(),
+                Value::Int(i64::from(self.max_attempts)),
+            ),
+            (
+                "initial_backoff_ms".to_string(),
+                Value::from(self.initial_backoff_ms),
+            ),
+            (
+                "max_backoff_ms".to_string(),
+                Value::from(self.max_backoff_ms),
+            ),
+            ("deadline_ms".to_string(), Value::from(self.deadline_ms)),
+            ("io_timeout_ms".to_string(), Value::from(self.io_timeout_ms)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::io::Result<RetrySettings> {
+        let ms = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| invalid(format!("retry.{name} missing")))
+        };
+        let opt_ms = |name: &str| match v.get(name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(k) => k
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| invalid(format!("retry.{name} must be milliseconds"))),
+        };
+        Ok(RetrySettings {
+            max_attempts: ms("max_attempts").and_then(|n| {
+                u32::try_from(n).map_err(|_| invalid("retry.max_attempts out of range"))
+            })?,
+            initial_backoff_ms: ms("initial_backoff_ms")?,
+            max_backoff_ms: ms("max_backoff_ms")?,
+            deadline_ms: opt_ms("deadline_ms")?,
+            io_timeout_ms: opt_ms("io_timeout_ms")?,
+        })
+    }
+}
+
 /// All devUDF settings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Settings {
@@ -41,6 +128,8 @@ pub struct Settings {
     /// UDF. This SQL query must be specified in the Settings menu" (§2.1).
     pub debug_query: String,
     pub transfer: TransferSettings,
+    /// Retry/timeout behaviour of the underlying connection.
+    pub retry: RetrySettings,
 }
 
 impl Default for Settings {
@@ -53,6 +142,7 @@ impl Default for Settings {
             password: "monetdb".to_string(),
             debug_query: String::new(),
             transfer: TransferSettings::default(),
+            retry: RetrySettings::default(),
         }
     }
 }
@@ -113,6 +203,7 @@ impl Settings {
                 Value::from(self.debug_query.as_str()),
             ),
             ("transfer".to_string(), self.transfer.to_json()),
+            ("retry".to_string(), self.retry.to_json()),
         ])
     }
 
@@ -138,6 +229,12 @@ impl Settings {
                 v.get("transfer")
                     .ok_or_else(|| invalid("settings field 'transfer' missing"))?,
             )?,
+            // Absent in settings files written before the retry layer
+            // existed — default rather than reject.
+            retry: match v.get("retry") {
+                None | Some(Value::Null) => RetrySettings::default(),
+                Some(r) => RetrySettings::from_json(r)?,
+            },
         })
     }
 
@@ -167,6 +264,17 @@ impl Settings {
         self.transfer.into()
     }
 
+    /// Connection options (retry policy + socket deadlines) in wire form.
+    pub fn client_options(&self) -> ClientOptions {
+        let io_timeout = self.retry.io_timeout_ms.map(Duration::from_millis);
+        ClientOptions {
+            retry: self.retry.policy(),
+            read_timeout: io_timeout,
+            write_timeout: io_timeout,
+            ..ClientOptions::default()
+        }
+    }
+
     /// Render the settings dialog content (Figure 2) as text, masking the
     /// password like the GUI does.
     pub fn render_dialog(&self) -> String {
@@ -180,6 +288,7 @@ impl Settings {
              │ Password:   {:<35}│\n\
              │ SQL Query:  {:<35}│\n\
              │ Transfer:   {:<35}│\n\
+             │ Retry:      {:<35}│\n\
              └────────────────────────────────────────────────┘",
             self.host,
             self.port,
@@ -188,6 +297,7 @@ impl Settings {
             mask,
             truncate(&self.debug_query, 35),
             truncate(&self.describe_transfer(), 35),
+            truncate(&self.describe_retry(), 35),
         )
     }
 
@@ -207,6 +317,20 @@ impl Settings {
         } else {
             parts.join(" + ")
         }
+    }
+
+    fn describe_retry(&self) -> String {
+        if self.retry.max_attempts <= 1 {
+            return "disabled".to_string();
+        }
+        let mut s = format!(
+            "{} attempts, {}-{} ms backoff",
+            self.retry.max_attempts, self.retry.initial_backoff_ms, self.retry.max_backoff_ms
+        );
+        if let Some(d) = self.retry.deadline_ms {
+            s.push_str(&format!(", {d} ms budget"));
+        }
+        s
     }
 }
 
@@ -244,10 +368,44 @@ mod tests {
         s.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
         s.transfer.compress = true;
         s.transfer.sample = Some(500);
+        s.retry.max_attempts = 5;
+        s.retry.deadline_ms = None;
         s.save(&dir).unwrap();
         let loaded = Settings::load(&dir).unwrap();
         assert_eq!(loaded, s);
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn settings_file_without_retry_section_loads_with_defaults() {
+        // Settings written before the retry layer existed must keep
+        // loading (the `retry` key is optional).
+        let dir = temp_dir("noretry");
+        let path = Settings::path_in(&dir);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": false, "encrypt": false, "sample": null}}"#,
+        )
+        .unwrap();
+        let s = Settings::load(&dir).unwrap();
+        assert_eq!(s.retry, RetrySettings::default());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn retry_settings_convert_to_wire_policy() {
+        let s = Settings::default();
+        let opts = s.client_options();
+        assert!(opts.retry.enabled());
+        assert_eq!(opts.retry.max_attempts, 3);
+        assert_eq!(opts.retry.initial_backoff, Duration::from_millis(10));
+        assert_eq!(opts.retry.max_backoff, Duration::from_millis(200));
+        assert_eq!(opts.retry.deadline, Some(Duration::from_secs(2)));
+        assert_eq!(opts.read_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(opts.write_timeout, Some(Duration::from_secs(30)));
     }
 
     #[test]
@@ -293,6 +451,14 @@ mod tests {
         let d = s.render_dialog();
         // The dialog truncates long values; the prefix must be visible.
         assert!(d.contains("compress + encrypt + sample"), "{d}");
+    }
+
+    #[test]
+    fn dialog_describes_retry_policy() {
+        let mut s = Settings::default();
+        assert!(s.render_dialog().contains("3 attempts, 10-200 ms"));
+        s.retry.max_attempts = 1;
+        assert!(s.render_dialog().contains("disabled"));
     }
 
     #[test]

@@ -1,11 +1,73 @@
 //! Client API: connect, query, manage UDFs, extract input data.
+//!
+//! # Robustness
+//!
+//! A [`Client`] carries a [`RetryPolicy`]. With retries enabled,
+//! **idempotent** operations — [`Client::ping`], read-only
+//! [`Client::query`] (`SELECT …`), [`Client::list_functions`],
+//! [`Client::get_function`], [`Client::extract_inputs`] — transparently
+//! reconnect, re-authenticate and retry on transient errors (IO failures,
+//! frame-checksum mismatches). Non-idempotent statements are never
+//! replayed: a transient failure surfaces immediately as
+//! [`WireError::RetriesExhausted`] with `attempts == 1`, telling the
+//! caller the statement may or may not have executed server-side.
 
+use std::time::{Duration, Instant};
+
+use devharness::Rng;
 use pylite::Value;
 
+use crate::fault::{FaultInjectingTransport, FaultPolicy};
 use crate::message::{Message, WireError, WireResult};
+use crate::retry::RetryPolicy;
 use crate::server::Server;
 use crate::transfer::{self, TransferOptions, TransferStats};
 use crate::transport::{ClientTransport, InProcTransport, TcpTransport};
+
+/// Default per-syscall read/write deadline on TCP connections: generous
+/// enough for any legitimate reply, finite so a dead peer cannot hang the
+/// client forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Connection-time knobs: retry policy, socket deadlines and (for tests
+/// and benchmarks) deterministic fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientOptions {
+    /// Retry policy for idempotent operations (default: disabled).
+    pub retry: RetryPolicy,
+    /// Seed of the backoff-jitter stream (retries are deterministic given
+    /// the seed).
+    pub retry_seed: u64,
+    /// Per-read socket deadline (TCP only; `None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline (TCP only; `None` blocks forever).
+    pub write_timeout: Option<Duration>,
+    /// Wrap the transport in a [`FaultInjectingTransport`] with this
+    /// policy (tests/benchmarks).
+    pub fault: Option<FaultPolicy>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            retry: RetryPolicy::none(),
+            retry_seed: 0,
+            read_timeout: Some(DEFAULT_IO_TIMEOUT),
+            write_timeout: Some(DEFAULT_IO_TIMEOUT),
+            fault: None,
+        }
+    }
+}
+
+impl ClientOptions {
+    /// Default options with the given retry policy.
+    pub fn with_retry(retry: RetryPolicy) -> ClientOptions {
+        ClientOptions {
+            retry,
+            ..ClientOptions::default()
+        }
+    }
+}
 
 /// Metadata of a stored function, as returned by [`Client::get_function`].
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +86,11 @@ pub struct Client {
     // Fields below; Debug is implemented manually (the transport is opaque
     // and the password must not leak into logs).
     transport: Box<dyn ClientTransport>,
+    user: String,
     password: String,
+    database: String,
+    retry: RetryPolicy,
+    rng: Rng,
     next_transfer_id: u64,
     last_udf_stdout: String,
 }
@@ -37,6 +103,15 @@ impl std::fmt::Debug for Client {
     }
 }
 
+/// A read-only statement is safe to replay after a transient failure; a
+/// write may have executed server-side before the reply was lost.
+fn sql_is_idempotent(sql: &str) -> bool {
+    let t = sql.trim_start();
+    ["select", "values", "explain"]
+        .iter()
+        .any(|kw| t.len() >= kw.len() && t[..kw.len()].eq_ignore_ascii_case(kw))
+}
+
 impl Client {
     /// Connect over the in-process transport (tests / benchmarks / embedded).
     pub fn connect_in_proc(
@@ -45,43 +120,82 @@ impl Client {
         password: &str,
         database: &str,
     ) -> Result<Client, WireError> {
-        let (sender, session) = server.in_proc_connection();
-        let transport = InProcTransport { sender, session };
-        Self::login(Box::new(transport), user, password, database)
+        Self::connect_in_proc_with(server, user, password, database, ClientOptions::default())
     }
 
-    /// Connect over TCP.
+    /// Connect in-process with explicit retry/fault options.
+    pub fn connect_in_proc_with(
+        server: &Server,
+        user: &str,
+        password: &str,
+        database: &str,
+        options: ClientOptions,
+    ) -> Result<Client, WireError> {
+        let (sender, session) = server.in_proc_connection();
+        let transport = InProcTransport { sender, session };
+        Self::login(Box::new(transport), user, password, database, options)
+    }
+
+    /// Connect over TCP with the default [`ClientOptions`] (30 s socket
+    /// deadlines, retries disabled).
     pub fn connect_tcp(
         addr: std::net::SocketAddr,
         user: &str,
         password: &str,
         database: &str,
     ) -> Result<Client, WireError> {
-        let stream =
-            std::net::TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
-        let transport = TcpTransport { stream };
-        Self::login(Box::new(transport), user, password, database)
+        Self::connect_tcp_with(addr, user, password, database, ClientOptions::default())
     }
 
-    fn login(
-        mut transport: Box<dyn ClientTransport>,
+    /// Connect over TCP with explicit retry/deadline/fault options.
+    pub fn connect_tcp_with(
+        addr: std::net::SocketAddr,
         user: &str,
         password: &str,
         database: &str,
+        options: ClientOptions,
     ) -> Result<Client, WireError> {
-        let login = Message::Login {
+        let transport = TcpTransport::connect(addr, options.read_timeout, options.write_timeout)?;
+        Self::login(Box::new(transport), user, password, database, options)
+    }
+
+    fn login(
+        transport: Box<dyn ClientTransport>,
+        user: &str,
+        password: &str,
+        database: &str,
+        options: ClientOptions,
+    ) -> Result<Client, WireError> {
+        let transport: Box<dyn ClientTransport> = match options.fault {
+            Some(policy) => Box::new(FaultInjectingTransport::wrap(transport, policy)),
+            None => transport,
+        };
+        let mut client = Client {
+            transport,
             user: user.to_string(),
             password: password.to_string(),
             database: database.to_string(),
+            retry: options.retry,
+            rng: Rng::new(options.retry_seed),
+            next_transfer_id: 1,
+            last_udf_stdout: String::new(),
         };
-        let reply = transport.round_trip(&login.encode())?;
+        // Login is idempotent: under fault injection / flaky networks the
+        // initial handshake retries like any read.
+        client.with_retry(true, false, |c| c.authenticate())?;
+        Ok(client)
+    }
+
+    /// One login round trip over the current transport (no retry).
+    fn authenticate(&mut self) -> Result<(), WireError> {
+        let login = Message::Login {
+            user: self.user.clone(),
+            password: self.password.clone(),
+            database: self.database.clone(),
+        };
+        let reply = self.transport.round_trip(&login.encode())?;
         match Message::decode(&reply)? {
-            Message::LoginOk { .. } => Ok(Client {
-                transport,
-                password: password.to_string(),
-                next_transfer_id: 1,
-                last_udf_stdout: String::new(),
-            }),
+            Message::LoginOk { .. } => Ok(()),
             Message::Error { code, message, .. } if code == "AuthError" => {
                 Err(WireError::Auth(message))
             }
@@ -91,6 +205,7 @@ impl Client {
         }
     }
 
+    /// One request/reply round trip over the current transport (no retry).
     fn round_trip(&mut self, msg: &Message) -> Result<Message, WireError> {
         let reply = self.transport.round_trip(&msg.encode())?;
         let decoded = Message::decode(&reply)?;
@@ -109,11 +224,77 @@ impl Client {
         Ok(decoded)
     }
 
-    /// Execute one SQL statement.
+    /// Run `op` under the client's [`RetryPolicy`].
+    ///
+    /// Transient errors on an idempotent `op` trigger reconnect (+ reauth
+    /// unless `op` *is* the login) and a backoff-then-retry, until the
+    /// policy's attempt budget or overall deadline is spent — then the
+    /// last error surfaces wrapped in [`WireError::RetriesExhausted`].
+    /// Non-idempotent ops are never replayed. With retries disabled the
+    /// first error surfaces raw, preserving fail-fast semantics.
+    fn with_retry<T>(
+        &mut self,
+        idempotent: bool,
+        reauth: bool,
+        op: impl Fn(&mut Client) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let started = Instant::now();
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            let err = match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if !self.retry.enabled() || !err.is_transient() {
+                return Err(err);
+            }
+            if !idempotent {
+                return Err(WireError::RetriesExhausted {
+                    attempts: 1,
+                    last: Box::new(err),
+                });
+            }
+            let deadline_spent = self.retry.deadline.is_some_and(|d| started.elapsed() >= d);
+            if attempts >= self.retry.max_attempts || deadline_spent {
+                return Err(WireError::RetriesExhausted {
+                    attempts,
+                    last: Box::new(err),
+                });
+            }
+            let mut backoff = self.retry.backoff(attempts, &mut self.rng);
+            if let Some(d) = self.retry.deadline {
+                // Never sleep past the overall deadline.
+                backoff = backoff.min(d.saturating_sub(started.elapsed()));
+            }
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            // Reconnect + reauth; failures here surface on the next
+            // attempt (the op fails again and consumes the budget).
+            if self.transport.reconnect().is_ok() && reauth {
+                match self.authenticate() {
+                    Ok(()) | Err(WireError::Io(_)) | Err(WireError::Protocol(_)) => {}
+                    // Deterministic auth/server failures will not improve
+                    // with more attempts — surface them now.
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    /// One retried request/reply exchange (helper for the public calls).
+    fn call(&mut self, msg: &Message, idempotent: bool) -> Result<Message, WireError> {
+        self.with_retry(idempotent, true, |c| c.round_trip(msg))
+    }
+
+    /// Execute one SQL statement. `SELECT`s retry under the client's
+    /// [`RetryPolicy`]; writes are never replayed.
     pub fn query(&mut self, sql: &str) -> Result<WireResult, WireError> {
-        match self.round_trip(&Message::Query {
+        let msg = Message::Query {
             sql: sql.to_string(),
-        })? {
+        };
+        match self.call(&msg, sql_is_idempotent(sql))? {
             Message::ResultSet { result, udf_stdout } => {
                 self.last_udf_stdout = udf_stdout;
                 Ok(result)
@@ -132,7 +313,7 @@ impl Client {
 
     /// Names of every stored function.
     pub fn list_functions(&mut self) -> Result<Vec<String>, WireError> {
-        match self.round_trip(&Message::ListFunctions)? {
+        match self.call(&Message::ListFunctions, true)? {
             Message::FunctionList { names } => Ok(names),
             other => Err(WireError::Protocol(format!(
                 "unexpected list reply: {other:?}"
@@ -142,9 +323,10 @@ impl Client {
 
     /// Full metadata + stored body of one function.
     pub fn get_function(&mut self, name: &str) -> Result<FunctionInfo, WireError> {
-        match self.round_trip(&Message::GetFunction {
+        let msg = Message::GetFunction {
             name: name.to_string(),
-        })? {
+        };
+        match self.call(&msg, true)? {
             Message::FunctionInfo {
                 name,
                 params,
@@ -175,12 +357,13 @@ impl Client {
     ) -> Result<(Value, TransferStats), WireError> {
         let transfer_id = self.next_transfer_id;
         self.next_transfer_id += 1;
-        match self.round_trip(&Message::ExtractInputs {
+        let msg = Message::ExtractInputs {
             query: query.to_string(),
             udf: udf.to_string(),
             options,
             transfer_id,
-        })? {
+        };
+        match self.call(&msg, true)? {
             Message::Extracted {
                 payload,
                 raw_len,
@@ -204,7 +387,7 @@ impl Client {
 
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), WireError> {
-        match self.round_trip(&Message::Ping)? {
+        match self.call(&Message::Ping, true)? {
             Message::Pong => Ok(()),
             other => Err(WireError::Protocol(format!(
                 "unexpected ping reply: {other:?}"

@@ -1,0 +1,266 @@
+//! Deterministic fault injection for the wire protocol.
+//!
+//! [`FaultInjectingTransport`] wraps any [`ClientTransport`] and, driven by
+//! a seeded [`devharness::Rng`], injects the failure modes a real network
+//! exhibits: dropped frames (reads time out), truncated frames (peer dies
+//! mid-write), corrupted frames (checksum mismatch at the reader),
+//! injected latency, and full disconnects (every call fails until the
+//! retry layer reconnects). Because the schedule is a pure function of
+//! `FaultPolicy::seed`, a failing run replays bit-for-bit — the property
+//! `tests/failures.rs` relies on to assert that a retrying client
+//! survives a 10 % fault rate while a bare client does not.
+//!
+//! Faults are simulated at the request/reply boundary as the *peer-visible
+//! outcome* of each wire failure, not by mangling live socket bytes:
+//!
+//! * **drop** / **truncate** — the request never completes, so the caller
+//!   sees an [`WireError::Io`] and the server never executes it.
+//! * **corrupt** — the *reply* frame is damaged in flight: the server has
+//!   executed the request, but the caller gets the checksum-mismatch
+//!   [`WireError::Protocol`] that [`read_frame`](crate::transport::read_frame)
+//!   would produce. Retrying is therefore only safe for idempotent calls,
+//!   exactly like the real thing.
+//! * **disconnect** — this call and every later one fail with
+//!   [`WireError::Io`] until [`ClientTransport::reconnect`] runs.
+
+use std::time::Duration;
+
+use devharness::Rng;
+
+use crate::message::WireError;
+use crate::transport::ClientTransport;
+
+/// Probabilities (per round trip) of each injected fault, plus the seed
+/// that makes the schedule reproducible. Rates are clamped to `[0, 1]`
+/// and checked in declaration order; at most one fault fires per call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// The connection dies: this and all later calls fail until reconnect.
+    pub disconnect_rate: f64,
+    /// The request frame vanishes; the read deadline turns it into an IO
+    /// error.
+    pub drop_rate: f64,
+    /// The request frame is cut short; the peer sees EOF mid-frame.
+    pub truncate_rate: f64,
+    /// The reply frame is bit-flipped; the client's checksum rejects it
+    /// (the server **has** executed the request).
+    pub corrupt_rate: f64,
+    /// Extra latency is injected before the round trip.
+    pub delay_rate: f64,
+    /// How much latency `delay_rate` injects.
+    pub delay: Duration,
+}
+
+impl FaultPolicy {
+    /// No faults at all — wrapping overhead only (the benchmark baseline).
+    pub fn none(seed: u64) -> FaultPolicy {
+        FaultPolicy {
+            seed,
+            disconnect_rate: 0.0,
+            drop_rate: 0.0,
+            truncate_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// A lossy link: frames drop or arrive corrupted, each at `rate / 2`,
+    /// for a total fault probability of `rate` per round trip.
+    pub fn lossy(seed: u64, rate: f64) -> FaultPolicy {
+        FaultPolicy {
+            drop_rate: rate / 2.0,
+            corrupt_rate: rate / 2.0,
+            ..FaultPolicy::none(seed)
+        }
+    }
+
+    /// Every call fails: frames are always dropped.
+    pub fn black_hole(seed: u64) -> FaultPolicy {
+        FaultPolicy {
+            drop_rate: 1.0,
+            ..FaultPolicy::none(seed)
+        }
+    }
+}
+
+/// Counts of what the injector actually did (useful to assert a test
+/// really exercised the failure path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    pub clean: u64,
+    pub dropped: u64,
+    pub truncated: u64,
+    pub corrupted: u64,
+    pub disconnected: u64,
+    pub delayed: u64,
+    pub reconnects: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults (excluding pure delays).
+    pub fn injected(&self) -> u64 {
+        self.dropped + self.truncated + self.corrupted + self.disconnected
+    }
+}
+
+/// A [`ClientTransport`] decorator that injects faults per [`FaultPolicy`].
+pub struct FaultInjectingTransport<T> {
+    inner: T,
+    policy: FaultPolicy,
+    rng: Rng,
+    broken: bool,
+    stats: FaultStats,
+}
+
+impl<T: ClientTransport> FaultInjectingTransport<T> {
+    /// Wrap `inner`; the fault schedule is derived from `policy.seed`.
+    pub fn wrap(inner: T, policy: FaultPolicy) -> FaultInjectingTransport<T> {
+        FaultInjectingTransport {
+            inner,
+            policy,
+            rng: Rng::new(policy.seed),
+            broken: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+impl<T: ClientTransport> ClientTransport for FaultInjectingTransport<T> {
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        if self.broken {
+            return Err(WireError::Io(
+                "injected fault: connection is down (reconnect required)".to_string(),
+            ));
+        }
+        if self.rng.ratio(self.policy.delay_rate) && !self.policy.delay.is_zero() {
+            self.stats.delayed += 1;
+            std::thread::sleep(self.policy.delay);
+        }
+        if self.rng.ratio(self.policy.disconnect_rate) {
+            self.stats.disconnected += 1;
+            self.broken = true;
+            return Err(WireError::Io(
+                "injected fault: peer disconnected".to_string(),
+            ));
+        }
+        if self.rng.ratio(self.policy.drop_rate) {
+            self.stats.dropped += 1;
+            return Err(WireError::Io(
+                "injected fault: frame dropped (read deadline exceeded)".to_string(),
+            ));
+        }
+        if self.rng.ratio(self.policy.truncate_rate) {
+            self.stats.truncated += 1;
+            return Err(WireError::Io(
+                "injected fault: connection closed mid-frame (truncated write)".to_string(),
+            ));
+        }
+        let reply = self.inner.round_trip(frame)?;
+        if self.rng.ratio(self.policy.corrupt_rate) {
+            self.stats.corrupted += 1;
+            return Err(WireError::Protocol(
+                "injected fault: frame checksum mismatch (reply corrupted in flight)".to_string(),
+            ));
+        }
+        self.stats.clean += 1;
+        Ok(reply)
+    }
+
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        self.stats.reconnects += 1;
+        self.broken = false;
+        self.inner.reconnect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo transport: replies with the request bytes.
+    struct Echo;
+
+    impl ClientTransport for Echo {
+        fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+            Ok(frame.to_vec())
+        }
+
+        fn reconnect(&mut self) -> Result<(), WireError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn clean_policy_passes_everything_through() {
+        let mut t = FaultInjectingTransport::wrap(Echo, FaultPolicy::none(1));
+        for _ in 0..100 {
+            assert_eq!(t.round_trip(b"hi").unwrap(), b"hi");
+        }
+        assert_eq!(t.stats().clean, 100);
+        assert_eq!(t.stats().injected(), 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut t = FaultInjectingTransport::wrap(Echo, FaultPolicy::lossy(seed, 0.3));
+            (0..200).map(|_| t.round_trip(b"x").is_ok()).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn lossy_rate_is_roughly_honoured() {
+        let mut t = FaultInjectingTransport::wrap(Echo, FaultPolicy::lossy(7, 0.10));
+        for _ in 0..2000 {
+            let _ = t.round_trip(b"x");
+        }
+        let s = t.stats();
+        assert!(
+            (100..300).contains(&s.injected()),
+            "expected ~200 faults, got {s:?}"
+        );
+        assert!(s.dropped > 0 && s.corrupted > 0, "{s:?}");
+    }
+
+    #[test]
+    fn disconnect_sticks_until_reconnect() {
+        let policy = FaultPolicy {
+            disconnect_rate: 1.0,
+            ..FaultPolicy::none(5)
+        };
+        let mut t = FaultInjectingTransport::wrap(Echo, policy);
+        assert!(matches!(t.round_trip(b"x"), Err(WireError::Io(_))));
+        // Still down — and this failure does not advance the schedule.
+        assert!(matches!(t.round_trip(b"x"), Err(WireError::Io(_))));
+        assert_eq!(t.stats().disconnected, 1);
+        t.reconnect().unwrap();
+        assert_eq!(t.stats().reconnects, 1);
+        // Next call draws a fresh disconnect (rate 1.0), proving the
+        // schedule resumed.
+        assert!(matches!(t.round_trip(b"x"), Err(WireError::Io(_))));
+        assert_eq!(t.stats().disconnected, 2);
+    }
+
+    #[test]
+    fn corrupt_reply_is_a_checksum_protocol_error() {
+        let policy = FaultPolicy {
+            corrupt_rate: 1.0,
+            ..FaultPolicy::none(6)
+        };
+        let mut t = FaultInjectingTransport::wrap(Echo, policy);
+        match t.round_trip(b"x") {
+            Err(e @ WireError::Protocol(_)) => assert!(e.is_transient(), "{e}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -18,6 +18,16 @@
 //! sessions through a request channel. Clients talk over an in-process
 //! channel transport (tests, benchmarks) or TCP ([`transport`]).
 //!
+//! # Robustness
+//!
+//! Every blocking wait on the wire is bounded: TCP transports carry
+//! read/write deadlines, the server enforces a per-session mid-frame
+//! deadline, and frames are checksummed end-to-end. On top of that the
+//! client applies a [`RetryPolicy`] ([`retry`]) — reconnect, reauth,
+//! exponential backoff with deterministic jitter — to idempotent calls,
+//! and the whole failure surface is testable without a real flaky
+//! network via the seeded [`FaultInjectingTransport`] ([`fault`]).
+//!
 //! ```
 //! use wireproto::{server::Server, client::Client, ServerConfig};
 //!
@@ -32,12 +42,16 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod message;
+pub mod retry;
 pub mod server;
 pub mod transfer;
 pub mod transport;
 
-pub use client::Client;
+pub use client::{Client, ClientOptions};
+pub use fault::{FaultInjectingTransport, FaultPolicy, FaultStats};
 pub use message::{Message, WireError, WireTable, WireValue};
+pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig};
 pub use transfer::{TransferOptions, TransferStats};

@@ -23,6 +23,11 @@ pub enum WireError {
         message: String,
         traceback: Option<String>,
     },
+    /// The retry layer gave up: an idempotent operation failed on every
+    /// configured attempt, or a non-idempotent one hit a transient
+    /// transport error it must not replay (`attempts` is 1 in that case).
+    /// `last` is the error of the final attempt.
+    RetriesExhausted { attempts: u32, last: Box<WireError> },
 }
 
 impl std::fmt::Display for WireError {
@@ -32,6 +37,9 @@ impl std::fmt::Display for WireError {
             WireError::Protocol(m) => write!(f, "protocol error: {m}"),
             WireError::Auth(m) => write!(f, "authentication failed: {m}"),
             WireError::Server { code, message, .. } => write!(f, "{code}: {message}"),
+            WireError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -39,6 +47,19 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 impl WireError {
+    /// Whether a retry (after reconnecting) could plausibly succeed:
+    /// transport IO failures and frame-level checksum mismatches, i.e.
+    /// errors where the stream state is suspect but the request itself is
+    /// fine. Auth, server-side and codec errors are deterministic and
+    /// retrying them would only repeat the failure.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WireError::Io(_) => true,
+            WireError::Protocol(m) => m.contains("checksum mismatch"),
+            _ => false,
+        }
+    }
+
     pub fn from_db(e: &DbError) -> WireError {
         WireError::Server {
             code: e.code.name().to_string(),

@@ -1,0 +1,134 @@
+//! Retry policy: bounded attempts, exponential backoff with deterministic
+//! jitter, and an overall deadline.
+//!
+//! The client applies this policy to **idempotent** operations only
+//! (`ping`, read-only `query`, `list_functions`, `get_function`,
+//! `extract_inputs`): on a transient error ([`WireError::is_transient`])
+//! it reconnects, re-authenticates and retries until the policy is
+//! exhausted. Non-idempotent operations are never replayed — a transient
+//! failure surfaces immediately as
+//! [`WireError::RetriesExhausted`](crate::WireError::RetriesExhausted)
+//! with `attempts == 1`, telling the caller the statement may or may not
+//! have executed.
+//!
+//! [`WireError::is_transient`]: crate::WireError::is_transient
+
+use std::time::Duration;
+
+use devharness::Rng;
+
+/// When and how often to retry a failed idempotent operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = retries disabled).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub initial_backoff: Duration,
+    /// Hard cap on a single backoff sleep — no wait ever exceeds this.
+    pub max_backoff: Duration,
+    /// Overall budget across all attempts and backoffs; once spent, the
+    /// operation fails even if attempts remain. `None` = attempts only.
+    pub deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// Retries disabled: one attempt, errors surface raw. This is the
+    /// default for bare [`Client`](crate::Client) connections, preserving
+    /// fail-fast semantics for callers that manage recovery themselves.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            deadline: None,
+        }
+    }
+
+    /// A production-shaped default: 3 attempts, 10 ms → 200 ms exponential
+    /// backoff, 2 s overall deadline.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            deadline: Some(Duration::from_secs(2)),
+        }
+    }
+
+    /// Whether retries are enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff before retry number `failed_attempts` (1-based count of
+    /// failures so far): exponential doubling from `initial_backoff`,
+    /// capped at `max_backoff`, scaled by equal-jitter in `[0.5, 1.0)` so
+    /// synchronized clients fan out. Deterministic given the caller's
+    /// seeded [`Rng`].
+    pub fn backoff(&self, failed_attempts: u32, rng: &mut Rng) -> Duration {
+        if self.initial_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = failed_attempts.saturating_sub(1).min(20);
+        let raw = self
+            .initial_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff.max(self.initial_backoff));
+        raw.mul_f64(0.5 + 0.5 * rng.f64_unit())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            deadline: None,
+        };
+        let mut rng = Rng::new(1);
+        for (attempt, cap_ms) in [(1u32, 10u64), (2, 20), (3, 40), (4, 80), (5, 80), (20, 80)] {
+            let b = p.backoff(attempt, &mut rng);
+            let cap = Duration::from_millis(cap_ms);
+            assert!(b <= cap, "attempt {attempt}: {b:?} > {cap:?}");
+            assert!(b >= cap / 2, "attempt {attempt}: {b:?} < {:?}", cap / 2);
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::standard();
+        let a = p.backoff(2, &mut Rng::new(7));
+        let b = p.backoff(2, &mut Rng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn none_policy_is_disabled_and_sleepless() {
+        let p = RetryPolicy::none();
+        assert!(!p.enabled());
+        assert_eq!(p.backoff(5, &mut Rng::new(0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            deadline: None,
+        };
+        let b = p.backoff(u32::MAX, &mut Rng::new(3));
+        assert!(b <= Duration::from_millis(50));
+    }
+}

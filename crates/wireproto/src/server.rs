@@ -1,9 +1,9 @@
 //! The database server: owns a single-threaded engine, serializes sessions.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -13,16 +13,25 @@ use monetlite::{Engine, FunctionReturn};
 
 use crate::message::{Message, WireResult};
 use crate::transfer;
-use crate::transport::{read_frame, write_frame};
+use crate::transport::{read_frame_with_mid_deadline, write_frame};
 
 /// Server configuration: database name and the single user's credentials
-/// (the paper's settings dialog collects exactly these, Figure 2).
+/// (the paper's settings dialog collects exactly these, Figure 2), plus
+/// the per-session frame deadline.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     pub database: String,
     pub user: String,
     pub password: String,
+    /// Once a TCP session has sent a frame's length prefix, the rest of
+    /// the frame must arrive within this window or the session is
+    /// dropped — a stalled peer can hold a connection, never a thread
+    /// forever. Waiting *between* frames is unbounded (idle is legal).
+    pub frame_deadline: Duration,
 }
+
+/// Default mid-frame deadline for TCP sessions.
+pub const DEFAULT_FRAME_DEADLINE: Duration = Duration::from_secs(10);
 
 impl ServerConfig {
     pub fn new(database: &str, user: &str, password: &str) -> Self {
@@ -30,7 +39,14 @@ impl ServerConfig {
             database: database.to_string(),
             user: user.to_string(),
             password: password.to_string(),
+            frame_deadline: DEFAULT_FRAME_DEADLINE,
         }
+    }
+
+    /// Override the mid-frame deadline (tests use short ones).
+    pub fn with_frame_deadline(mut self, deadline: Duration) -> Self {
+        self.frame_deadline = deadline;
+        self
     }
 }
 
@@ -50,6 +66,9 @@ pub struct Server {
     engine_thread: Option<JoinHandle<()>>,
     next_session: Arc<AtomicU64>,
     stop_tcp: Arc<AtomicBool>,
+    /// Bound TCP listeners + their accept threads, so shutdown can wake
+    /// each blocking `accept` with a self-connection and join it.
+    listeners: Mutex<Vec<(SocketAddr, JoinHandle<()>)>>,
     config: ServerConfig,
 }
 
@@ -96,6 +115,7 @@ impl Server {
             engine_thread: Some(engine_thread),
             next_session: Arc::new(AtomicU64::new(1)),
             stop_tcp: Arc::new(AtomicBool::new(false)),
+            listeners: Mutex::new(Vec::new()),
             config,
         }
     }
@@ -115,53 +135,75 @@ impl Server {
 
     /// Start accepting TCP connections on 127.0.0.1 (ephemeral port).
     /// Returns the bound address.
+    ///
+    /// The accept loop blocks in `accept` (no polling, zero idle CPU);
+    /// [`Server::shutdown`] wakes it with a self-connection, so stopping
+    /// is immediate.
     pub fn listen_tcp(&self) -> std::io::Result<SocketAddr> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let sender = self.sender.clone();
         let next_session = self.next_session.clone();
         let stop = self.stop_tcp.clone();
-        std::thread::Builder::new()
+        let frame_deadline = self.config.frame_deadline;
+        let handle = std::thread::Builder::new()
             .name("wireproto-accept".to_string())
             .spawn(move || loop {
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        stream.set_nonblocking(false).ok();
+                        // Either a real client or the shutdown wake-up
+                        // connection — check after accept returns.
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
                         let session = next_session.fetch_add(1, Ordering::Relaxed);
                         let sender = sender.clone();
-                        std::thread::spawn(move || serve_tcp_connection(stream, sender, session));
+                        std::thread::spawn(move || {
+                            serve_tcp_connection(stream, sender, session, frame_deadline)
+                        });
                     }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    Err(_) => {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        // Transient accept failure (e.g. EMFILE); brief
+                        // pause instead of a hot error loop.
                         std::thread::sleep(Duration::from_millis(20));
                     }
-                    Err(_) => return,
                 }
             })
             .expect("spawn accept thread");
+        self.listeners
+            .lock()
+            .expect("listeners lock")
+            .push((addr, handle));
         Ok(addr)
     }
 
-    /// Stop the server and join the engine thread.
-    pub fn shutdown(mut self) {
+    fn stop(&mut self) {
         self.stop_tcp.store(true, Ordering::Relaxed);
+        // Wake each blocking accept with a throwaway self-connection and
+        // join the accept thread; a failed connect means the listener is
+        // already dead, in which case the thread exits on its own error.
+        for (addr, handle) in self.listeners.lock().expect("listeners lock").drain(..) {
+            let _ = TcpStream::connect(addr);
+            let _ = handle.join();
+        }
         let _ = self.sender.send(ServerRequest::Shutdown);
         if let Some(t) = self.engine_thread.take() {
             let _ = t.join();
         }
+    }
+
+    /// Stop the server and join the engine and accept threads.
+    pub fn shutdown(mut self) {
+        self.stop();
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_tcp.store(true, Ordering::Relaxed);
-        let _ = self.sender.send(ServerRequest::Shutdown);
-        if let Some(t) = self.engine_thread.take() {
-            let _ = t.join();
-        }
+        self.stop();
     }
 }
 
@@ -169,11 +211,13 @@ fn serve_tcp_connection(
     mut stream: std::net::TcpStream,
     sender: Sender<ServerRequest>,
     session: u64,
+    frame_deadline: Duration,
 ) {
+    let deadline = (!frame_deadline.is_zero()).then_some(frame_deadline);
     loop {
-        let body = match read_frame(&mut stream) {
+        let body = match read_frame_with_mid_deadline(&mut stream, deadline) {
             Ok(b) => b,
-            Err(_) => return, // client hung up
+            Err(_) => return, // client hung up or stalled mid-frame
         };
         let (reply_tx, reply_rx) = channel();
         if sender

@@ -82,6 +82,9 @@ impl std::error::Error for TransferError {}
 /// Salt domain-separating transfer-encryption keys from other password uses.
 const TRANSFER_SALT: &[u8] = b"devudf-transfer-v1";
 
+/// Bytes of plaintext checksum carried inside the encrypted envelope.
+const INTEGRITY_TAG_LEN: usize = 4;
+
 /// Apply uniform random sampling to an extracted inputs dict: every array
 /// value is sampled at the *same* row indices (rows stay aligned across
 /// parameters); scalars pass through. `seed` makes the sample reproducible.
@@ -155,6 +158,12 @@ pub fn encode_payload(
         payload = lz::compress(&payload);
     }
     if options.encrypt {
+        // Integrity envelope: an FNV-1a checksum of the plaintext rides
+        // *inside* the ciphertext. Without it, a wrong-password decrypt
+        // of an uncompressed payload whose garbage plaintext happens to
+        // unpickle would be silently accepted as data.
+        let tag = codecs::fnv1a_32(&payload);
+        payload.extend_from_slice(&tag.to_le_bytes());
         let key = derive_key(password, TRANSFER_SALT);
         let nonce = kdf::derive_nonce(transfer_id);
         let mut cipher = chacha20::ChaCha20::new(&key, &nonce, 1);
@@ -177,6 +186,19 @@ pub fn decode_payload(
         let nonce = kdf::derive_nonce(transfer_id);
         let mut cipher = chacha20::ChaCha20::new(&key, &nonce, 1);
         cipher.apply(&mut data);
+        // Verify the plaintext checksum appended by `encode_payload`.
+        if data.len() < INTEGRITY_TAG_LEN {
+            return Err(TransferError(
+                "encrypted payload too short for integrity tag".into(),
+            ));
+        }
+        let tag_bytes = data.split_off(data.len() - INTEGRITY_TAG_LEN);
+        let expected = u32::from_le_bytes(tag_bytes.try_into().expect("4-byte tag"));
+        if codecs::fnv1a_32(&data) != expected {
+            return Err(TransferError(
+                "integrity check failed after decryption (wrong password?)".into(),
+            ));
+        }
     }
     if options.compress {
         data = lz::decompress(&data)
@@ -249,7 +271,8 @@ mod tests {
         let inputs = sample_dict(50);
         let opts = TransferOptions::encrypted();
         let (payload, raw) = encode_payload(&inputs, &opts, "secret", 3, 7).unwrap();
-        assert_eq!(payload.len(), raw);
+        // Plaintext plus the 4-byte integrity tag, all encrypted.
+        assert_eq!(payload.len(), raw + INTEGRITY_TAG_LEN);
         // Ciphertext must not contain the pickle magic.
         assert_ne!(&payload[..4], b"PKL1");
         let back = decode_payload(&payload, &opts, "secret", 3).unwrap();
@@ -266,6 +289,41 @@ mod tests {
         };
         let (payload, _) = encode_payload(&inputs, &opts, "right", 4, 7).unwrap();
         assert!(decode_payload(&payload, &opts, "wrong", 4).is_err());
+    }
+
+    #[test]
+    fn wrong_password_on_uncompressed_payload_is_a_clear_error() {
+        // Without the integrity tag this failure mode was silent whenever
+        // the garbage plaintext happened to unpickle; now every wrong key
+        // is caught by the checksum before unpickling is even attempted.
+        let inputs = sample_dict(50);
+        let opts = TransferOptions::encrypted();
+        let (payload, _) = encode_payload(&inputs, &opts, "right", 9, 7).unwrap();
+        for wrong in ["wrong", "Right", "right ", ""] {
+            match decode_payload(&payload, &opts, wrong, 9) {
+                Err(TransferError(msg)) => {
+                    assert!(msg.contains("wrong password"), "{msg}")
+                }
+                Ok(_) => panic!("wrong password '{wrong}' accepted"),
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let inputs = sample_dict(20);
+        let opts = TransferOptions::encrypted();
+        let (mut payload, _) = encode_payload(&inputs, &opts, "pw", 11, 7).unwrap();
+        payload[5] ^= 0x40;
+        assert!(decode_payload(&payload, &opts, "pw", 11).is_err());
+    }
+
+    #[test]
+    fn truncated_encrypted_payload_is_rejected() {
+        let inputs = sample_dict(20);
+        let opts = TransferOptions::encrypted();
+        let (payload, _) = encode_payload(&inputs, &opts, "pw", 12, 7).unwrap();
+        assert!(decode_payload(&payload[..2], &opts, "pw", 12).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Transports: framing plus in-process and TCP request/reply channels.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc::{channel, Sender};
+use std::time::Duration;
 
 use crate::message::WireError;
 use crate::server::ServerRequest;
@@ -15,10 +16,15 @@ pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
 /// The checksum catches transport-level corruption before the codec sees
 /// the bytes, turning silent garbage into a clean protocol error.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), WireError> {
-    let len = body.len() as u32;
-    if len > MAX_FRAME {
-        return Err(WireError::Protocol(format!("frame too large: {len}")));
+    // Validate before the u32 cast: a body over 4 GiB would wrap the cast
+    // and silently bypass the guard, writing a corrupt length prefix.
+    if body.len() > MAX_FRAME as usize {
+        return Err(WireError::Protocol(format!(
+            "frame too large: {}",
+            body.len()
+        )));
     }
+    let len = body.len() as u32;
     let checksum = codecs::fnv1a_32(body);
     w.write_all(&len.to_le_bytes())
         .and_then(|_| w.write_all(body))
@@ -36,6 +42,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
     if len > MAX_FRAME {
         return Err(WireError::Protocol(format!("frame too large: {len}")));
     }
+    read_frame_rest(r, len)
+}
+
+/// Read the body + checksum of a frame whose length prefix is already
+/// consumed.
+fn read_frame_rest(r: &mut impl Read, len: u32) -> Result<Vec<u8>, WireError> {
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)
         .map_err(|e| WireError::Io(e.to_string()))?;
@@ -52,10 +64,60 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
     Ok(body)
 }
 
+/// Server-side frame read with a *mid-frame* deadline.
+///
+/// Waiting for the next frame blocks indefinitely — an idle-but-healthy
+/// client may sit silent between requests for as long as it likes. But
+/// once a length prefix has arrived, the rest of the frame must follow
+/// within `deadline`; a peer that stalls mid-frame is cut off with an
+/// [`WireError::Io`] instead of pinning its session thread forever.
+pub fn read_frame_with_mid_deadline(
+    stream: &mut TcpStream,
+    deadline: Option<Duration>,
+) -> Result<Vec<u8>, WireError> {
+    let mut len_buf = [0u8; 4];
+    stream
+        .read_exact(&mut len_buf)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!("frame too large: {len}")));
+    }
+    if deadline.is_some() {
+        stream
+            .set_read_timeout(deadline)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+    }
+    let result = read_frame_rest(stream, len);
+    if deadline.is_some() {
+        // Disarm so the next between-frames wait blocks again.
+        stream.set_read_timeout(None).ok();
+    }
+    result
+}
+
 /// Abstraction over a request/reply connection to the server.
 pub trait ClientTransport: Send {
     /// Send one encoded message and await the encoded reply.
     fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError>;
+
+    /// Tear down and re-establish the underlying connection, e.g. after an
+    /// IO error left the stream in an unknown framing state. Transports
+    /// that cannot reconnect return an [`WireError::Io`] error; the retry
+    /// layer treats that as one more failed attempt.
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        Err(WireError::Io("this transport cannot reconnect".to_string()))
+    }
+}
+
+impl<T: ClientTransport + ?Sized> ClientTransport for Box<T> {
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        (**self).round_trip(frame)
+    }
+
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        (**self).reconnect()
+    }
 }
 
 /// In-process transport: frames travel over `std::sync::mpsc` channels
@@ -80,17 +142,55 @@ impl ClientTransport for InProcTransport {
             .recv()
             .map_err(|_| WireError::Io("server dropped the reply".to_string()))
     }
+
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        // The channel either still reaches the engine (nothing to do) or
+        // the server is gone (the next send will fail cleanly).
+        Ok(())
+    }
 }
 
-/// TCP transport: frames over a socket.
+/// TCP transport: frames over a socket, with optional read/write deadlines
+/// so a stalled server can never hang the client indefinitely.
 pub struct TcpTransport {
     pub(crate) stream: TcpStream,
+    pub(crate) addr: SocketAddr,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+}
+
+impl TcpTransport {
+    /// Connect to `addr`, applying the given socket deadlines. The
+    /// timeouts apply per read/write syscall: a dead peer surfaces as an
+    /// [`WireError::Io`] after at most one timeout instead of a hang.
+    pub fn connect(
+        addr: SocketAddr,
+        read_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+    ) -> Result<TcpTransport, WireError> {
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        stream
+            .set_read_timeout(read_timeout)
+            .and_then(|_| stream.set_write_timeout(write_timeout))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        Ok(TcpTransport {
+            stream,
+            addr,
+            read_timeout,
+            write_timeout,
+        })
+    }
 }
 
 impl ClientTransport for TcpTransport {
     fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
         write_frame(&mut self.stream, frame)?;
         read_frame(&mut self.stream)
+    }
+
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        *self = TcpTransport::connect(self.addr, self.read_timeout, self.write_timeout)?;
+        Ok(())
     }
 }
 
@@ -132,6 +232,25 @@ mod tests {
         let mut cursor = std::io::Cursor::new(buf);
         match read_frame(&mut cursor) {
             Err(WireError::Protocol(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_rejected_before_the_cast() {
+        // Exactly MAX_FRAME passes the length check (written to a sink so
+        // the test does not hold two 256 MiB buffers).
+        let body = vec![0u8; MAX_FRAME as usize];
+        assert!(write_frame(&mut std::io::sink(), &body).is_ok());
+        // One byte over is rejected with the true (untruncated) length in
+        // the message — this is the boundary where `len as u32` used to be
+        // computed before the guard and could wrap for >4 GiB bodies.
+        let mut body = body;
+        body.push(0);
+        match write_frame(&mut std::io::sink(), &body) {
+            Err(WireError::Protocol(msg)) => {
+                assert!(msg.contains(&(MAX_FRAME as usize + 1).to_string()), "{msg}")
+            }
             other => panic!("{other:?}"),
         }
     }

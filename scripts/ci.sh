@@ -17,6 +17,13 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+# The failure-injection suite asserts "never hang" semantics (socket
+# deadlines, retry budgets, the server's mid-frame deadline). Re-run it
+# under a hard wall-clock cap so a regression that reintroduces an
+# unbounded wait fails CI instead of wedging it.
+echo "==> fault-injection suite under hard timeout"
+timeout --kill-after=10 120 cargo test --offline -q --test failures
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

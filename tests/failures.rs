@@ -1,8 +1,15 @@
 //! Failure injection across the stack: every layer must fail loudly and
-//! cleanly, never hang or corrupt state.
+//! cleanly, never hang or corrupt state. Every blocking wait in this
+//! suite is bounded — by socket deadlines, retry budgets or the server's
+//! mid-frame deadline — and `scripts/ci.sh` runs it under a hard
+//! `timeout` so a reintroduced hang fails CI instead of wedging it.
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 use devudf::{DevUdf, DevUdfError, Settings};
-use wireproto::{Server, ServerConfig, WireError};
+use wireproto::transport::{read_frame, write_frame};
+use wireproto::{Client, ClientOptions, FaultPolicy, RetryPolicy, Server, ServerConfig, WireError};
 
 fn temp_project(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -167,6 +174,254 @@ fn malformed_frames_do_not_kill_the_server() {
     let mut client =
         wireproto::Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
     client.ping().unwrap();
+    server.shutdown();
+}
+
+/// A fast retry policy for tests: real backoff shape, millisecond scale,
+/// so no test ever sleeps for more than the 8 ms cap per retry.
+fn test_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        deadline: Some(Duration::from_secs(5)),
+    }
+}
+
+fn faulty_options(fault: FaultPolicy, retry: RetryPolicy) -> ClientOptions {
+    ClientOptions {
+        retry,
+        fault: Some(fault),
+        ..ClientOptions::default()
+    }
+}
+
+// Acceptance criterion of the robustness layer: under a seeded 10 %
+// drop/corrupt schedule, a retrying client completes 100 consecutive
+// query round trips while a bare client on the same schedule fails.
+#[test]
+fn retrying_client_survives_10pct_faults_where_bare_client_fails() {
+    let server = demo_server();
+    let fault = FaultPolicy::lossy(0xFA17, 0.10);
+
+    let mut robust = Client::connect_in_proc_with(
+        &server,
+        "monetdb",
+        "monetdb",
+        "demo",
+        faulty_options(fault, test_retry()),
+    )
+    .unwrap();
+    let started = Instant::now();
+    for i in 0..100 {
+        let t = robust
+            .query("SELECT sum(i) FROM numbers")
+            .unwrap_or_else(|e| panic!("retrying client failed round trip {i}: {e}"))
+            .into_table()
+            .unwrap();
+        assert_eq!(t.rows[0][0], wireproto::WireValue::Int(6));
+    }
+    // Every wait is bounded by the backoff cap; the whole loop must be
+    // far under the 5 s retry deadline even on a loaded machine.
+    assert!(started.elapsed() < Duration::from_secs(5), "not bounded");
+
+    // Same fault schedule, retries disabled: the connection-level faults
+    // surface raw. (Login itself may be the call that dies.)
+    let bare_failures = match Client::connect_in_proc_with(
+        &server,
+        "monetdb",
+        "monetdb",
+        "demo",
+        faulty_options(fault, RetryPolicy::none()),
+    ) {
+        Err(_) => 1,
+        Ok(mut bare) => (0..100)
+            .filter(|_| bare.query("SELECT sum(i) FROM numbers").is_err())
+            .count(),
+    };
+    assert!(bare_failures > 0, "bare client should have seen faults");
+    server.shutdown();
+}
+
+#[test]
+fn non_idempotent_statement_is_never_replayed() {
+    let server = demo_server();
+    let fault = FaultPolicy {
+        drop_rate: 0.5,
+        ..FaultPolicy::none(21)
+    };
+    let mut client = Client::connect_in_proc_with(
+        &server,
+        "monetdb",
+        "monetdb",
+        "demo",
+        faulty_options(fault, test_retry()),
+    )
+    .unwrap();
+    // INSERTs must not retry: the first transient failure surfaces as
+    // RetriesExhausted with attempts == 1 (the write may have executed).
+    let mut first_err = None;
+    for _ in 0..50 {
+        if let Err(e) = client.query("INSERT INTO numbers VALUES (9)") {
+            first_err = Some(e);
+            break;
+        }
+    }
+    match first_err.expect("a 50% drop rate must hit within 50 inserts") {
+        WireError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 1);
+            assert!(matches!(*last, WireError::Io(_)), "{last:?}");
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn exhausted_retries_surface_as_typed_error() {
+    let server = demo_server();
+    // Connect cleanly first, then every frame vanishes.
+    let mut client = Client::connect_in_proc_with(
+        &server,
+        "monetdb",
+        "monetdb",
+        "demo",
+        ClientOptions::default(),
+    )
+    .unwrap();
+    client.ping().unwrap();
+    drop(client);
+
+    let err = Client::connect_in_proc_with(
+        &server,
+        "monetdb",
+        "monetdb",
+        "demo",
+        faulty_options(FaultPolicy::black_hole(4), test_retry()),
+    )
+    .unwrap_err();
+    match err {
+        WireError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 5);
+            assert!(matches!(*last, WireError::Io(_)));
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stalled_tcp_server_cannot_hang_the_client() {
+    // A "server" that accepts and then never replies: the client's read
+    // deadline must turn the stall into a clean IO error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 1024];
+        let _ = conn.read(&mut buf); // swallow the login frame, say nothing
+        std::thread::sleep(Duration::from_millis(500));
+    });
+    let started = Instant::now();
+    let err = Client::connect_tcp_with(
+        addr,
+        "monetdb",
+        "monetdb",
+        "demo",
+        ClientOptions {
+            read_timeout: Some(Duration::from_millis(150)),
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, WireError::Io(_)), "{err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "hung on a stall"
+    );
+    stall.join().unwrap();
+}
+
+#[test]
+fn mid_frame_disconnect_is_a_clean_io_error() {
+    // The peer dies after sending a length prefix and half a body.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let half = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        read_frame(&mut conn).unwrap(); // the login frame
+        conn.write_all(&100u32.to_le_bytes()).unwrap();
+        conn.write_all(&[0u8; 10]).unwrap();
+        // Drop: connection closes mid-frame.
+    });
+    let err = Client::connect_tcp(addr, "monetdb", "monetdb", "demo").unwrap_err();
+    assert!(matches!(err, WireError::Io(_)), "{err:?}");
+    half.join().unwrap();
+}
+
+#[test]
+fn corrupted_reply_frame_is_a_checksum_protocol_error() {
+    // The reply arrives complete but bit-flipped: the frame checksum must
+    // reject it as a protocol error naming the checksum.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let corrupt = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        read_frame(&mut conn).unwrap();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"some well-formed reply body").unwrap();
+        frame[7] ^= 0x01; // flip one body bit; length + checksum intact
+        conn.write_all(&frame).unwrap();
+    });
+    let err = Client::connect_tcp(addr, "monetdb", "monetdb", "demo").unwrap_err();
+    match err {
+        WireError::Protocol(msg) => assert!(msg.contains("checksum"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    corrupt.join().unwrap();
+}
+
+#[test]
+fn server_shutdown_with_live_listener_is_immediate() {
+    let server = demo_server();
+    let addr = server.listen_tcp().unwrap();
+    let mut client = Client::connect_tcp(addr, "monetdb", "monetdb", "demo").unwrap();
+    client.ping().unwrap();
+    // Blocking accept must be woken by the shutdown self-connection, not
+    // discovered by a poll loop.
+    let started = Instant::now();
+    server.shutdown();
+    assert!(started.elapsed() < Duration::from_secs(2), "slow shutdown");
+}
+
+#[test]
+fn stalled_peer_is_dropped_and_does_not_wedge_other_sessions() {
+    let server = Server::start(
+        ServerConfig::new("demo", "monetdb", "monetdb")
+            .with_frame_deadline(Duration::from_millis(200)),
+        |db| {
+            db.execute("CREATE TABLE t (i INTEGER)").unwrap();
+            db.execute("INSERT INTO t VALUES (1)").unwrap();
+        },
+    );
+    let addr = server.listen_tcp().unwrap();
+    // A peer that sends a length prefix and then stalls mid-frame.
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    stalled.write_all(&64u32.to_le_bytes()).unwrap();
+    // Healthy clients are unaffected (each session has its own thread).
+    let mut client = Client::connect_tcp(addr, "monetdb", "monetdb", "demo").unwrap();
+    client.ping().unwrap();
+    // The stalled session is cut once the mid-frame deadline expires:
+    // our next read observes the server-side close, never a 5 s wait.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 8];
+    match stalled.read(&mut buf) {
+        Ok(0) => {}                                                     // clean EOF
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {} // RST
+        other => panic!("stalled session was not dropped: {other:?}"),
+    }
     server.shutdown();
 }
 
