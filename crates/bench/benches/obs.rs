@@ -1,0 +1,77 @@
+//! Telemetry overhead benchmark: what does instrumentation cost?
+//!
+//! Two groups. `obs_primitive` measures the raw primitives — a counter
+//! bump, a histogram record, an open/close span — plus the same
+//! operations with telemetry runtime-disabled (`obs::set_enabled(false)`,
+//! the single-relaxed-load fast path). `obs_pipeline` measures the
+//! *instrumented* wire pipeline (`ping` and a small `SELECT` on the
+//! in-process transport, exactly the C10 shape) with telemetry on vs off,
+//! so the delta against `BENCH_rpc.json` is the end-to-end cost of the
+//! counters, histograms and spans sprinkled through client, server and
+//! engine.
+//!
+//! Writes `BENCH_obs.json` (schema in EXPERIMENTS.md, claim C11).
+
+use devharness::bench::{BenchmarkId, Harness, Throughput};
+use devudf_bench::bench_server;
+use wireproto::Client;
+
+fn bench_primitives(h: &mut Harness) {
+    let mut group = h.benchmark_group("obs_primitive");
+    group.throughput(Throughput::Elements(1));
+    for (mode, on) in [("on", true), ("off", false)] {
+        obs::set_enabled(on);
+        group.bench_with_input(BenchmarkId::new("counter_inc", mode), &on, |b, _| {
+            b.iter(|| obs::counter!("bench.obs.counter").inc())
+        });
+        group.bench_with_input(BenchmarkId::new("histogram_record", mode), &on, |b, _| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = v.wrapping_add(2_654_435_761);
+                obs::histogram!("bench.obs.hist").record(v & 0xffff)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("span_open_close", mode), &on, |b, _| {
+            b.iter(|| {
+                let _span = obs::trace::span("bench.obs.span");
+            })
+        });
+    }
+    obs::set_enabled(true);
+    group.finish();
+}
+
+fn bench_pipeline(h: &mut Harness) {
+    let server = bench_server(1_000);
+    let mut group = h.benchmark_group("obs_pipeline");
+    group.throughput(Throughput::Elements(1));
+    // Uninstrumented first, so any residual warm-up advantage favours the
+    // baseline, not the claim under test.
+    for (mode, on) in [("uninstrumented", false), ("instrumented", true)] {
+        obs::set_enabled(on);
+        let mut client = Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+        // Engine/allocator warm-up outside the measured window: cold first
+        // iterations otherwise skew whichever mode runs first by far more
+        // than the instrumentation costs.
+        for _ in 0..2_000 {
+            client.ping().unwrap();
+            client.query("SELECT sum(i) FROM numbers").unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("ping", mode), &on, |b, _| {
+            b.iter(|| client.ping().is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("select", mode), &on, |b, _| {
+            b.iter(|| client.query("SELECT sum(i) FROM numbers").is_ok())
+        });
+    }
+    obs::set_enabled(true);
+    group.finish();
+    server.shutdown();
+}
+
+fn main() {
+    let mut h = Harness::new("obs");
+    bench_primitives(&mut h);
+    bench_pipeline(&mut h);
+    h.finish();
+}

@@ -47,6 +47,8 @@ pub struct DebugOutcome {
 /// Fetch the input data for `udf` via the extract function and store it as
 /// `input.bin` (paper §2.2).
 pub fn fetch_inputs(dev: &mut DevUdf, udf: &str) -> Result<TransferStats> {
+    let mut span = obs::trace::span("core.extract");
+    span.field("udf", udf);
     if dev.settings.debug_query.trim().is_empty() {
         return Err(DevUdfError::Config(
             "no debug SQL query configured (Settings → SQL Query)".to_string(),
@@ -71,6 +73,8 @@ pub fn run_local(
     name: &str,
     hook: Option<Rc<RefCell<dyn DebugHook>>>,
 ) -> Result<RunOutcome> {
+    let mut span = obs::trace::span("core.run");
+    span.field("udf", name);
     if !dev.project.has_udf(name) {
         return Err(DevUdfError::Transform(format!(
             "UDF '{name}' is not imported (Import UDFs first)"
@@ -111,6 +115,7 @@ pub fn debug_local(
     name: &str,
     debugger: Rc<RefCell<Debugger>>,
 ) -> Result<DebugOutcome> {
+    let _span = obs::trace::span("core.debug");
     let hook: Rc<RefCell<dyn DebugHook>> = debugger.clone();
     match run_local(dev, name, Some(hook)) {
         Ok(run) => Ok(DebugOutcome {
@@ -227,9 +232,13 @@ impl LocalConn {
             if let Some(h) = &self.hook {
                 interp.set_hook(h.clone());
             }
+            let mut span = obs::trace::span("core.run.nested");
+            span.field("udf", &info.name);
+            span.field("depth", *self.depth.borrow() + 1);
             *self.depth.borrow_mut() += 1;
             let value = interp.eval_module(&info.body);
             *self.depth.borrow_mut() -= 1;
+            drop(span);
             return Ok(local_result_set(value?));
         }
 
@@ -528,6 +537,68 @@ mod tests {
         dev.import_all().unwrap();
         let outcome = dev.run_udf("uses_loopback").unwrap();
         assert_eq!(outcome.result, Value::Int(30));
+        std::fs::remove_dir_all(&dir).ok();
+        server.shutdown();
+    }
+
+    #[test]
+    fn local_run_emits_nested_phase_spans() {
+        // Subscribers and the enable flag are process-global: serialize
+        // with every other telemetry-recording test.
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+            db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+            db.execute("INSERT INTO numbers VALUES (10), (20)").unwrap();
+            db.execute(
+                "CREATE FUNCTION inner_fn(column INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return sum(column) }",
+            )
+            .unwrap();
+            db.execute(
+                "CREATE FUNCTION outer_fn(column INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\nres = _conn.execute('SELECT inner_fn(i) FROM numbers')\ntotal = 0\nfor v in res:\n    total += v\nreturn total\n}",
+            )
+            .unwrap();
+        });
+        let dir = std::env::temp_dir().join(format!("devudf-debug-spans-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut settings = Settings::default();
+        settings.debug_query = "SELECT outer_fn(i) FROM numbers".to_string();
+        let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+        dev.import_all().unwrap();
+
+        let shared = std::sync::Arc::new(obs::trace::RingBufferRecorder::new(256));
+        obs::trace::add_subscriber(shared.clone());
+        let outcome = dev.run_udf("outer_fn").unwrap();
+        obs::trace::clear_subscribers();
+        assert_eq!(outcome.result, Value::Int(30));
+
+        type SpanRow = (String, usize, Vec<(String, String)>);
+        let spans: Vec<SpanRow> = shared
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                obs::trace::Event::Span {
+                    name,
+                    depth,
+                    fields,
+                    ..
+                } => Some((name.to_string(), *depth, fields.clone())),
+                _ => None,
+            })
+            .collect();
+        let run = spans.iter().find(|(n, _, _)| n == "core.run").unwrap();
+        assert!(run.2.iter().any(|(k, v)| k == "udf" && v == "outer_fn"));
+        let nested = spans
+            .iter()
+            .find(|(n, _, _)| n == "core.run.nested")
+            .unwrap();
+        // The nested span opened while core.run was live: depth > core.run's.
+        assert!(nested.1 > run.1, "nested {} vs run {}", nested.1, run.1);
+        assert!(nested.2.iter().any(|(k, v)| k == "udf" && v == "inner_fn"));
+        assert!(nested.2.iter().any(|(k, v)| k == "depth" && v == "1"));
+        // Extract happened under the hood too (input.bin was missing).
+        assert!(spans.iter().any(|(n, _, _)| n == "core.extract"));
         std::fs::remove_dir_all(&dir).ok();
         server.shutdown();
     }

@@ -31,6 +31,7 @@ pub struct ImportReport {
 
 /// Import UDFs from the server into the project.
 pub fn import_udfs(dev: &mut DevUdf, selection: UdfSelection) -> Result<ImportReport> {
+    let mut span = obs::trace::span("core.import");
     let available = dev.server_functions()?;
     let wanted: Vec<String> = match selection {
         UdfSelection::All => available.clone(),
@@ -74,11 +75,15 @@ pub fn import_udfs(dev: &mut DevUdf, selection: UdfSelection) -> Result<ImportRe
             }
         }
     }
+    span.field("imported", report.imported.len());
+    span.field("nested", report.nested.len());
     Ok(report)
 }
 
 /// Export edited UDFs back to the server. Returns the exported names.
 pub fn export_udfs(dev: &mut DevUdf, names: &[&str]) -> Result<Vec<String>> {
+    let mut span = obs::trace::span("core.export");
+    span.field("requested", names.len());
     let mut exported = Vec::new();
     for name in names {
         if !dev.project.has_udf(name) {

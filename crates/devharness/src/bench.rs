@@ -219,7 +219,11 @@ impl Harness {
 
         let path = out_dir().join(format!("BENCH_{}.json", self.suite));
         if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+            obs::warn!(
+                "could not write benchmark results",
+                "path" => path.display(),
+                "error" => e,
+            );
         } else {
             println!("\nwrote {}", path.display());
         }

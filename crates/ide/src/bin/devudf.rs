@@ -11,6 +11,7 @@
 //! devudf debug   DIR NAME BP…      debug a UDF locally (interactive);
 //!                                  each BP is LINE or LINE:CONDITION
 //! devudf log     DIR               show the project's VCS history
+//! devudf metrics DIR               show the server's live sys.metrics table
 //! ```
 //!
 //! Commands taking a project DIR read connection settings from
@@ -46,7 +47,7 @@ fn main() {
                 println!("imported {name} -> {path}");
             }
             for missing in &report.missing {
-                eprintln!("warning: no such function '{missing}'");
+                obs::warn!("no such function on the server", "name" => missing);
             }
             Ok(())
         }),
@@ -98,11 +99,20 @@ fn main() {
             }
             Ok(())
         }),
+        Some("metrics") => cmd_project(&args, |dev, _| {
+            let table = dev
+                .server_query("SELECT * FROM sys.metrics")
+                .map_err(|e| e.to_string())?
+                .into_table()
+                .map_err(|e| e.to_string())?;
+            println!("{}", table.render_ascii());
+            Ok(())
+        }),
         Some("log") => cmd_log(&args),
         Some("diff") => cmd_diff(&args),
         _ => {
             eprintln!(
-                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff> …\n(see the module docs for details)"
+                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics> …\n(see the module docs for details)"
             );
             2
         }
@@ -156,7 +166,7 @@ fn cmd_settings(dir: Option<&str>) -> i32 {
     let settings = Settings::load(root).unwrap_or_default();
     println!("{}", settings.render_dialog());
     if let Err(e) = settings.save(root) {
-        eprintln!("warning: cannot save settings: {e}");
+        obs::warn!("cannot save settings", "path" => root.display(), "error" => e);
     }
     0
 }

@@ -82,6 +82,9 @@ impl Catalog {
                 Ok(self.sys_functions())
             }
             "sys.args" | "args" if !self.tables.contains_key("args") => Ok(self.sys_args()),
+            "sys.metrics" | "metrics" if !self.tables.contains_key("metrics") => {
+                Ok(self.sys_metrics())
+            }
             key => self
                 .tables
                 .get(key)
@@ -191,6 +194,39 @@ impl Catalog {
         )
         .expect("sys.args columns are same length")
     }
+
+    /// The `sys.metrics` meta table: a live snapshot of the process-wide
+    /// telemetry registry, (name, kind, value, sum, mean, p99). Counters
+    /// and gauges fill `value`; histograms fill `value` with their count
+    /// plus the sum/mean/p99 columns. Empty when telemetry is disabled.
+    pub fn sys_metrics(&self) -> Table {
+        let mut names = Vec::new();
+        let mut kinds = Vec::new();
+        let mut values = Vec::new();
+        let mut sums = Vec::new();
+        let mut means = Vec::new();
+        let mut p99s = Vec::new();
+        for row in obs::metrics::rows() {
+            names.push(row.name);
+            kinds.push(row.kind.to_string());
+            values.push(row.value);
+            sums.push(i64::try_from(row.sum).unwrap_or(i64::MAX));
+            means.push(row.mean);
+            p99s.push(i64::try_from(row.p99).unwrap_or(i64::MAX));
+        }
+        Table::from_columns(
+            "sys.metrics",
+            vec![
+                Column::new("name", ColumnData::Str(names)),
+                Column::new("kind", ColumnData::Str(kinds)),
+                Column::new("value", ColumnData::Int(values)),
+                Column::new("sum", ColumnData::Int(sums)),
+                Column::new("mean", ColumnData::Double(means)),
+                Column::new("p99", ColumnData::Int(p99s)),
+            ],
+        )
+        .expect("sys.metrics columns are same length")
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +328,37 @@ mod tests {
         let mut c = Catalog::new();
         let t = Table::new("sys.fake", &[("x".to_string(), SqlType::Integer)]);
         assert!(c.create_table(t).is_err());
+    }
+
+    #[test]
+    fn sys_metrics_reflects_the_live_registry() {
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        obs::counter!("test.catalog.visits").add(3);
+        let c = Catalog::new();
+        let t = c.table("sys.metrics").unwrap();
+        assert_eq!(
+            t.columns
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["name", "kind", "value", "sum", "mean", "p99"]
+        );
+        let names = match &t.columns[0].data {
+            ColumnData::Str(v) => v.clone(),
+            other => panic!("{other:?}"),
+        };
+        let idx = names
+            .iter()
+            .position(|n| n == "test.catalog.visits")
+            .expect("registered counter appears in sys.metrics");
+        match &t.columns[2].data {
+            ColumnData::Int(v) => assert!(v[idx] >= 3, "value {} < 3", v[idx]),
+            other => panic!("{other:?}"),
+        }
+        // Rows come out sorted so the view is stable across snapshots.
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 }

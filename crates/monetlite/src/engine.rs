@@ -213,7 +213,12 @@ impl Engine {
     /// Parse and execute one SQL statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult, DbError> {
         let stmt = parse_statement(sql)?;
-        self.run(&stmt)
+        obs::counter!("monet.queries.parsed").inc();
+        let result = self.run(&stmt);
+        if result.is_ok() {
+            obs::counter!("monet.queries.executed").inc();
+        }
+        result
     }
 
     fn run(&self, stmt: &Statement) -> Result<QueryResult, DbError> {

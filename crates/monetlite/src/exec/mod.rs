@@ -19,6 +19,9 @@ pub fn run_select(engine: &Engine, stmt: &SelectStmt) -> Result<Table, DbError> 
         None => None,
         Some(clause) => Some(materialize_from(engine, clause)?),
     };
+    if let Some(table) = &source {
+        obs::counter!("monet.rows.scanned").add(table.row_count() as u64);
+    }
 
     // 2. WHERE.
     if let (Some(table), Some(pred)) = (&source, &stmt.predicate) {
@@ -57,6 +60,7 @@ pub fn run_select(engine: &Engine, stmt: &SelectStmt) -> Result<Table, DbError> 
     if let Some(n) = stmt.limit {
         result = result.take(n);
     }
+    obs::counter!("monet.rows.returned").add(result.row_count() as u64);
     Ok(result)
 }
 

@@ -284,6 +284,37 @@ impl NativeObject for ResultSet {
     }
 }
 
+/// Times one successful UDF run into the aggregate `monet.udf.latency`
+/// histogram plus a per-UDF `monet.udf.latency.<name>` histogram (the
+/// dynamic registry lookup is negligible next to an interpreter run).
+struct UdfTimer<'a> {
+    name: &'a str,
+    started: Option<std::time::Instant>,
+}
+
+impl<'a> UdfTimer<'a> {
+    fn start(name: &'a str) -> UdfTimer<'a> {
+        obs::counter!("monet.udf.invocations").inc();
+        UdfTimer {
+            name,
+            started: obs::enabled().then(std::time::Instant::now),
+        }
+    }
+
+    fn finish(self) {
+        if let Some(started) = self.started {
+            let elapsed = started.elapsed();
+            obs::histogram!("monet.udf.latency").record_duration(elapsed);
+            obs::metrics::registry()
+                .histogram(&format!(
+                    "monet.udf.latency.{}",
+                    self.name.to_ascii_lowercase()
+                ))
+                .record_duration(elapsed);
+        }
+    }
+}
+
 /// Build the interpreter for one UDF invocation.
 fn build_interp(engine: &Engine) -> Interp {
     let mut interp = Interp::with_fs(engine.fs());
@@ -299,6 +330,7 @@ pub fn run_operator_at_a_time(
     inputs: &[(String, UdfInput)],
 ) -> Result<UdfOutput, DbError> {
     let _depth = engine.enter_udf()?;
+    let timer = UdfTimer::start(&def.name);
     let mut interp = build_interp(engine);
     for (name, input) in inputs {
         interp.set_global(name, input.to_py()?);
@@ -310,6 +342,7 @@ pub fn run_operator_at_a_time(
     let value = interp
         .eval_module(&def.body)
         .map_err(|e| DbError::udf(&e))?;
+    timer.finish();
     Ok(UdfOutput {
         value,
         stdout: interp.take_stdout(),
@@ -326,6 +359,7 @@ pub fn run_tuple_at_a_time(
     rows: usize,
 ) -> Result<(Vec<Value>, String), DbError> {
     let _depth = engine.enter_udf()?;
+    let timer = UdfTimer::start(&def.name);
     let module = pylite::parse_module(&def.body).map_err(|e| DbError::udf(&e))?;
     let mut interp = build_interp(engine);
     let conn = Value::Native(Rc::new(LoopbackConn::new(engine.clone())));
@@ -341,6 +375,7 @@ pub fn run_tuple_at_a_time(
         stdout.push_str(&interp.take_stdout());
         outputs.push(v);
     }
+    timer.finish();
     Ok((outputs, stdout))
 }
 

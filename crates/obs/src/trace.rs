@@ -1,0 +1,605 @@
+//! Structured tracing: RAII span guards, log events and subscribers.
+//!
+//! A [`span`] guard carries a process-unique id, its parent's id (spans
+//! nest per thread), a static name, wall-clock duration and free-form
+//! key/value fields; dropping the guard closes the span and fans an
+//! [`Event::Span`] out to every installed [`Subscriber`]. [`warn`] /
+//! [`info`] emit point-in-time [`Event::Log`]s the same way.
+//!
+//! When **no** subscriber is installed, log events fall back to one JSONL
+//! line on stderr — so CLI warnings stay visible by default — while span
+//! closes are dropped (they are high-volume and only interesting when
+//! someone is listening). Tests install a [`RingBufferRecorder`] to
+//! capture everything; long-running processes can install a
+//! [`JsonlWriter`] over a file.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::Mutex;
+#[cfg(feature = "telemetry")]
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    RwLock,
+};
+use std::time::Duration;
+#[cfg(feature = "telemetry")]
+use std::time::Instant;
+
+/// Severity of a log event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Informational.
+    Info,
+    /// Something went wrong but the process carries on.
+    Warn,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// A closed span or an emitted log line, as delivered to subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span guard was dropped.
+    Span {
+        /// Process-unique span id (never zero).
+        id: u64,
+        /// Id of the enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Static span name, e.g. `core.import`.
+        name: &'static str,
+        /// Nesting depth at open time (root span = 0).
+        depth: usize,
+        /// Wall-clock time between open and drop.
+        duration: Duration,
+        /// Key/value fields attached via [`SpanGuard::field`].
+        fields: Vec<(String, String)>,
+    },
+    /// A point-in-time log line.
+    Log {
+        /// Severity.
+        level: Level,
+        /// Human-readable message.
+        message: String,
+        /// Structured context.
+        fields: Vec<(String, String)>,
+    },
+}
+
+impl Event {
+    /// Render the event as one compact JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        match self {
+            Event::Span {
+                id,
+                parent,
+                name,
+                depth,
+                duration,
+                fields,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"span\",\"name\":{},\"id\":{id},\"parent\":{},\"depth\":{depth},\"duration_ns\":{}",
+                    json_str(name),
+                    parent.map_or("null".to_string(), |p| p.to_string()),
+                    duration.as_nanos()
+                );
+                write_fields(&mut s, fields);
+                s.push('}');
+            }
+            Event::Log {
+                level,
+                message,
+                fields,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"log\",\"level\":\"{}\",\"message\":{}",
+                    level.as_str(),
+                    json_str(message)
+                );
+                write_fields(&mut s, fields);
+                s.push('}');
+            }
+        }
+        s
+    }
+}
+
+/// JSON-escape a string (delegates to the codec via a `Value`).
+fn json_str(s: &str) -> String {
+    codecs::json::Value::Str(s.to_string()).to_string_compact()
+}
+
+fn write_fields(out: &mut String, fields: &[(String, String)]) {
+    if fields.is_empty() {
+        return;
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+    }
+    out.push('}');
+}
+
+/// Receives every closed span and log event. Implementations must be
+/// cheap and non-blocking-ish: they run inline at the instrumentation
+/// point.
+pub trait Subscriber: Send + Sync {
+    /// Deliver one event.
+    fn on_event(&self, event: &Event);
+}
+
+#[cfg(feature = "telemetry")]
+static SUBSCRIBERS: RwLock<Vec<std::sync::Arc<dyn Subscriber>>> = RwLock::new(Vec::new());
+
+/// Install a subscriber; events fan out to all installed subscribers in
+/// installation order.
+#[cfg(feature = "telemetry")]
+pub fn add_subscriber(sub: std::sync::Arc<dyn Subscriber>) {
+    SUBSCRIBERS
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(sub);
+}
+
+/// Install a subscriber (no-op build: dropped).
+#[cfg(not(feature = "telemetry"))]
+pub fn add_subscriber(_sub: std::sync::Arc<dyn Subscriber>) {}
+
+/// Remove every installed subscriber (used by tests to restore the
+/// stderr-fallback default).
+pub fn clear_subscribers() {
+    #[cfg(feature = "telemetry")]
+    SUBSCRIBERS
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// Dispatch an event: to all subscribers, or — for log events only — as a
+/// JSONL line on stderr when none is installed.
+#[cfg(feature = "telemetry")]
+fn dispatch(event: Event) {
+    let subs = SUBSCRIBERS.read().unwrap_or_else(|e| e.into_inner());
+    if subs.is_empty() {
+        if let Event::Log { .. } = event {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "{}", event.to_jsonl());
+        }
+        return;
+    }
+    for sub in subs.iter() {
+        sub.on_event(&event);
+    }
+}
+
+/// Emit a log event at `level`.
+#[cfg(feature = "telemetry")]
+pub fn log(level: Level, message: &str, fields: &[(&str, &str)]) {
+    if !crate::enabled() {
+        return;
+    }
+    dispatch(Event::Log {
+        level,
+        message: message.to_string(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    });
+}
+
+/// Emit a log event (no-op build).
+#[cfg(not(feature = "telemetry"))]
+pub fn log(_level: Level, _message: &str, _fields: &[(&str, &str)]) {}
+
+/// Emit a warning (see [`log`]); the [`warn!`](crate::warn) macro is the
+/// ergonomic front end.
+pub fn warn(message: &str, fields: &[(&str, &str)]) {
+    log(Level::Warn, message, fields);
+}
+
+/// Emit an info line (see [`log`]).
+pub fn info(message: &str, fields: &[(&str, &str)]) {
+    log(Level::Info, message, fields);
+}
+
+#[cfg(feature = "telemetry")]
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+#[cfg(feature = "telemetry")]
+std::thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Current span nesting depth on this thread (0 outside any span).
+#[cfg(feature = "telemetry")]
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// Current span nesting depth (no-op build: zero).
+#[cfg(not(feature = "telemetry"))]
+pub fn current_depth() -> usize {
+    0
+}
+
+/// An open span; closing (dropping) it reports the duration to all
+/// subscribers. Create via [`span`].
+pub struct SpanGuard {
+    #[cfg(feature = "telemetry")]
+    inner: Option<SpanInner>,
+}
+
+#[cfg(feature = "telemetry")]
+struct SpanInner {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    depth: usize,
+    start: Instant,
+    fields: Vec<(String, String)>,
+}
+
+impl SpanGuard {
+    /// Attach a key/value field, reported when the span closes.
+    #[cfg(feature = "telemetry")]
+    pub fn field(&mut self, key: &str, value: impl ToString) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Attach a key/value field (no-op build).
+    #[cfg(not(feature = "telemetry"))]
+    pub fn field(&mut self, _key: &str, _value: impl ToString) {}
+
+    /// This span's id (0 in a no-op build or when disabled at runtime).
+    #[cfg(feature = "telemetry")]
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.id)
+    }
+
+    /// This span's id (no-op build: zero).
+    #[cfg(not(feature = "telemetry"))]
+    pub fn id(&self) -> u64 {
+        0
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = self.inner.take() {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if stack.last() == Some(&inner.id) {
+                    stack.pop();
+                } else {
+                    // Out-of-order drop (guard moved across an early
+                    // return); remove wherever it sits.
+                    stack.retain(|id| *id != inner.id);
+                }
+            });
+            dispatch(Event::Span {
+                id: inner.id,
+                parent: inner.parent,
+                name: inner.name,
+                depth: inner.depth,
+                duration: inner.start.elapsed(),
+                fields: inner.fields,
+            });
+        }
+    }
+}
+
+/// Open a span. The guard closes it on drop; nesting is tracked per
+/// thread, so a span opened while another is live records it as parent.
+#[cfg(feature = "telemetry")]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { inner: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let (parent, depth) = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        let depth = stack.len();
+        stack.push(id);
+        (parent, depth)
+    });
+    SpanGuard {
+        inner: Some(SpanInner {
+            id,
+            parent,
+            name,
+            depth,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+/// Open a span (no-op build: an inert guard).
+#[cfg(not(feature = "telemetry"))]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard {}
+}
+
+/// A bounded in-memory recorder for tests: keeps the most recent
+/// `capacity` events.
+pub struct RingBufferRecorder {
+    events: Mutex<std::collections::VecDeque<Event>>,
+    capacity: usize,
+}
+
+impl RingBufferRecorder {
+    /// A recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> RingBufferRecorder {
+        RingBufferRecorder {
+            events: Mutex::new(std::collections::VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// All currently buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+impl Subscriber for RingBufferRecorder {
+    fn on_event(&self, event: &Event) {
+        let mut buf = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line to an arbitrary sink (a file, or
+/// [`JsonlWriter::stderr`]).
+pub struct JsonlWriter {
+    out: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl JsonlWriter {
+    /// Wrap any writer.
+    pub fn new(out: Box<dyn std::io::Write + Send>) -> JsonlWriter {
+        JsonlWriter {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A writer that renders to stderr — the explicit version of the
+    /// no-subscriber fallback, for processes that want spans there too.
+    pub fn stderr() -> JsonlWriter {
+        JsonlWriter::new(Box::new(std::io::stderr()))
+    }
+}
+
+impl Subscriber for JsonlWriter {
+    fn on_event(&self, event: &Event) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{}", event.to_jsonl());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The subscriber list is process-global, so tests that install one
+    /// serialize on the metrics test lock and clear it on exit.
+    fn with_recorder(f: impl FnOnce(&RingBufferRecorder)) {
+        let _serial = crate::metrics::test_lock();
+        clear_subscribers();
+        let rec = Arc::new(RingBufferRecorder::new(64));
+        add_subscriber(rec.clone());
+        f(&rec);
+        clear_subscribers();
+    }
+
+    #[test]
+    fn spans_nest_and_report_parents() {
+        with_recorder(|rec| {
+            {
+                let mut outer = span("outer");
+                outer.field("udf", "mean_deviation");
+                let inner = span("inner");
+                if cfg!(feature = "telemetry") {
+                    assert_eq!(current_depth(), 2);
+                    assert_ne!(inner.id(), outer.id());
+                }
+                drop(inner);
+                drop(outer);
+            }
+            let events = rec.events();
+            if cfg!(feature = "telemetry") {
+                // Inner closes first.
+                match &events[0] {
+                    Event::Span {
+                        name,
+                        parent,
+                        depth,
+                        ..
+                    } => {
+                        assert_eq!(*name, "inner");
+                        assert!(parent.is_some());
+                        assert_eq!(*depth, 1);
+                    }
+                    other => panic!("{other:?}"),
+                }
+                match &events[1] {
+                    Event::Span {
+                        name,
+                        parent,
+                        depth,
+                        fields,
+                        ..
+                    } => {
+                        assert_eq!(*name, "outer");
+                        assert_eq!(*parent, None);
+                        assert_eq!(*depth, 0);
+                        assert_eq!(fields[0], ("udf".to_string(), "mean_deviation".to_string()));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            } else {
+                assert!(events.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn warn_reaches_recorder_with_fields() {
+        with_recorder(|rec| {
+            crate::warn!("disk full", "path" => "/tmp/x", "free" => 0);
+            let events = rec.events();
+            if cfg!(feature = "telemetry") {
+                match &events[0] {
+                    Event::Log {
+                        level,
+                        message,
+                        fields,
+                    } => {
+                        assert_eq!(*level, Level::Warn);
+                        assert_eq!(message, "disk full");
+                        assert_eq!(fields.len(), 2);
+                        assert_eq!(fields[1], ("free".to_string(), "0".to_string()));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            } else {
+                assert!(events.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn jsonl_rendering_is_parseable() {
+        let event = Event::Log {
+            level: Level::Warn,
+            message: "odd \"quote\"".to_string(),
+            fields: vec![("k".to_string(), "v1".to_string())],
+        };
+        let line = event.to_jsonl();
+        let parsed = codecs::json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("message").and_then(|v| v.as_str()),
+            Some("odd \"quote\"")
+        );
+        assert_eq!(
+            parsed
+                .get("fields")
+                .and_then(|f| f.get("k"))
+                .and_then(|v| v.as_str()),
+            Some("v1")
+        );
+
+        let event = Event::Span {
+            id: 7,
+            parent: Some(3),
+            name: "core.import",
+            depth: 1,
+            duration: Duration::from_nanos(1500),
+            fields: Vec::new(),
+        };
+        let parsed = codecs::json::parse(&event.to_jsonl()).unwrap();
+        assert_eq!(
+            parsed.get("duration_ns").and_then(|v| v.as_i64()),
+            Some(1500)
+        );
+        assert_eq!(parsed.get("parent").and_then(|v| v.as_i64()), Some(3));
+    }
+
+    #[test]
+    fn jsonl_writer_appends_lines() {
+        let _serial = crate::metrics::test_lock();
+        clear_subscribers();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        add_subscriber(Arc::new(JsonlWriter::new(Box::new(Shared(buf.clone())))));
+        info("one", &[]);
+        warn("two", &[("n", "2")]);
+        clear_subscribers();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        if cfg!(feature = "telemetry") {
+            let lines: Vec<&str> = text.lines().collect();
+            assert_eq!(lines.len(), 2);
+            for line in lines {
+                codecs::json::parse(line).unwrap();
+            }
+        } else {
+            assert!(text.is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_buffer_caps_at_capacity() {
+        let rec = RingBufferRecorder::new(2);
+        for i in 0..5 {
+            rec.on_event(&Event::Log {
+                level: Level::Info,
+                message: format!("m{i}"),
+                fields: Vec::new(),
+            });
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Event::Log { message, .. } => assert_eq!(message, "m3"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_runtime_emits_nothing() {
+        with_recorder(|rec| {
+            crate::set_enabled(false);
+            let s = span("quiet");
+            drop(s);
+            warn("quiet", &[]);
+            crate::set_enabled(true);
+            assert!(rec.events().is_empty());
+            assert_eq!(current_depth(), 0);
+        });
+    }
+}

@@ -272,6 +272,12 @@ impl DebugHook for Debugger {
         let Some(reason) = reason else {
             return Ok(HookOutcome::Continue);
         };
+        obs::counter!("pylite.debug.pauses").inc();
+        match reason {
+            PauseReason::Breakpoint => obs::counter!("pylite.debug.breakpoints").inc(),
+            PauseReason::Step => obs::counter!("pylite.debug.steps").inc(),
+            _ => {}
+        }
 
         let mut watches = Vec::with_capacity(self.watches.len());
         for expr in &self.watches {

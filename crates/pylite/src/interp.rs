@@ -63,6 +63,10 @@ pub struct Interp {
     steps_left: Option<u64>,
     /// Deterministic seed consumed by the `random` module and sklearn.
     pub rng_seed: u64,
+    /// Statements executed over this interpreter's lifetime (flushed to
+    /// the `pylite.statements` metric once per module run, keeping the
+    /// per-statement hot path free of atomics).
+    stmts_executed: u64,
     /// Extra modules injected by the embedder (e.g. a loopback `_conn`).
     pub extra_modules: HashMap<String, Value>,
 }
@@ -85,6 +89,7 @@ impl Interp {
             hook: None,
             steps_left: None,
             rng_seed: 0x5eed_cafe,
+            stmts_executed: 0,
             extra_modules: HashMap::new(),
         }
     }
@@ -226,10 +231,12 @@ impl Interp {
 
     /// Execute an already-parsed module.
     pub fn run_module(&mut self, module: &Module) -> Result<Value, PyError> {
+        let stmts_before = self.stmts_executed;
         self.push_module_frame();
         let result = self.exec_block(&module.body);
         let frame_line = self.frames.last().map(|f| f.line).unwrap_or(0);
         self.frames.pop();
+        obs::counter!("pylite.statements").add(self.stmts_executed - stmts_before);
         match result {
             Ok(Flow::Return(v)) => Ok(v),
             Ok(_) => Ok(Value::None),
@@ -381,6 +388,7 @@ impl Interp {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow, PyError> {
+        self.stmts_executed += 1;
         if let Some(frame) = self.frames.last_mut() {
             frame.line = stmt.line;
         }

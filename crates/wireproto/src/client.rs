@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use devharness::Rng;
 use pylite::Value;
 
-use crate::fault::{FaultInjectingTransport, FaultPolicy};
+use crate::fault::{FaultInjectingTransport, FaultPolicy, FaultStats, FaultStatsHandle};
 use crate::message::{Message, WireError, WireResult};
 use crate::retry::RetryPolicy;
 use crate::server::Server;
@@ -93,6 +93,7 @@ pub struct Client {
     rng: Rng,
     next_transfer_id: u64,
     last_udf_stdout: String,
+    fault_stats: Option<FaultStatsHandle>,
 }
 
 impl std::fmt::Debug for Client {
@@ -100,6 +101,19 @@ impl std::fmt::Debug for Client {
         f.debug_struct("Client")
             .field("next_transfer_id", &self.next_transfer_id)
             .finish_non_exhaustive()
+    }
+}
+
+/// Per-operation latency histogram, resolved to a cached handle (the
+/// names are a closed set, so each arm is one `static OnceLock`).
+fn op_latency(op: &'static str) -> &'static obs::metrics::Histogram {
+    match op {
+        "ping" => obs::histogram!("wire.client.latency.ping"),
+        "query" => obs::histogram!("wire.client.latency.query"),
+        "list_functions" => obs::histogram!("wire.client.latency.list_functions"),
+        "get_function" => obs::histogram!("wire.client.latency.get_function"),
+        "extract_inputs" => obs::histogram!("wire.client.latency.extract_inputs"),
+        _ => obs::histogram!("wire.client.latency.other"),
     }
 }
 
@@ -166,8 +180,13 @@ impl Client {
         database: &str,
         options: ClientOptions,
     ) -> Result<Client, WireError> {
+        let mut fault_stats = None;
         let transport: Box<dyn ClientTransport> = match options.fault {
-            Some(policy) => Box::new(FaultInjectingTransport::wrap(transport, policy)),
+            Some(policy) => {
+                let injector = FaultInjectingTransport::wrap(transport, policy);
+                fault_stats = Some(injector.stats_handle());
+                Box::new(injector)
+            }
             None => transport,
         };
         let mut client = Client {
@@ -179,10 +198,14 @@ impl Client {
             rng: Rng::new(options.retry_seed),
             next_transfer_id: 1,
             last_udf_stdout: String::new(),
+            fault_stats,
         };
         // Login is idempotent: under fault injection / flaky networks the
         // initial handshake retries like any read.
-        client.with_retry(true, false, |c| c.authenticate())?;
+        let started = Instant::now();
+        let result = client.with_retry(true, false, |c| c.authenticate());
+        obs::histogram!("wire.client.latency.login").record_duration(started.elapsed());
+        result?;
         Ok(client)
     }
 
@@ -193,7 +216,10 @@ impl Client {
             password: self.password.clone(),
             database: self.database.clone(),
         };
-        let reply = self.transport.round_trip(&login.encode())?;
+        let frame = login.encode();
+        obs::counter!("wire.client.bytes_out").add(frame.len() as u64);
+        let reply = self.transport.round_trip(&frame)?;
+        obs::counter!("wire.client.bytes_in").add(reply.len() as u64);
         match Message::decode(&reply)? {
             Message::LoginOk { .. } => Ok(()),
             Message::Error { code, message, .. } if code == "AuthError" => {
@@ -205,9 +231,18 @@ impl Client {
         }
     }
 
+    /// Exact counts of what the fault injector did to this connection, if
+    /// one was configured ([`ClientOptions::fault`]).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault_stats.as_ref().map(FaultStatsHandle::get)
+    }
+
     /// One request/reply round trip over the current transport (no retry).
     fn round_trip(&mut self, msg: &Message) -> Result<Message, WireError> {
-        let reply = self.transport.round_trip(&msg.encode())?;
+        let frame = msg.encode();
+        obs::counter!("wire.client.bytes_out").add(frame.len() as u64);
+        let reply = self.transport.round_trip(&frame)?;
+        obs::counter!("wire.client.bytes_in").add(reply.len() as u64);
         let decoded = Message::decode(&reply)?;
         if let Message::Error {
             code,
@@ -253,6 +288,7 @@ impl Client {
                 return Err(WireError::RetriesExhausted {
                     attempts: 1,
                     last: Box::new(err),
+                    elapsed: started.elapsed(),
                 });
             }
             let deadline_spent = self.retry.deadline.is_some_and(|d| started.elapsed() >= d);
@@ -260,8 +296,10 @@ impl Client {
                 return Err(WireError::RetriesExhausted {
                     attempts,
                     last: Box::new(err),
+                    elapsed: started.elapsed(),
                 });
             }
+            obs::counter!("wire.client.retries").inc();
             let mut backoff = self.retry.backoff(attempts, &mut self.rng);
             if let Some(d) = self.retry.deadline {
                 // Never sleep past the overall deadline.
@@ -272,6 +310,7 @@ impl Client {
             }
             // Reconnect + reauth; failures here surface on the next
             // attempt (the op fails again and consumes the budget).
+            obs::counter!("wire.client.reconnects").inc();
             if self.transport.reconnect().is_ok() && reauth {
                 match self.authenticate() {
                     Ok(()) | Err(WireError::Io(_)) | Err(WireError::Protocol(_)) => {}
@@ -283,9 +322,22 @@ impl Client {
         }
     }
 
-    /// One retried request/reply exchange (helper for the public calls).
-    fn call(&mut self, msg: &Message, idempotent: bool) -> Result<Message, WireError> {
-        self.with_retry(idempotent, true, |c| c.round_trip(msg))
+    /// One retried request/reply exchange (helper for the public calls),
+    /// recording a `wire.client.latency.<op>` observation covering all
+    /// attempts.
+    fn call(
+        &mut self,
+        op: &'static str,
+        msg: &Message,
+        idempotent: bool,
+    ) -> Result<Message, WireError> {
+        if !obs::enabled() {
+            return self.with_retry(idempotent, true, |c| c.round_trip(msg));
+        }
+        let started = Instant::now();
+        let result = self.with_retry(idempotent, true, |c| c.round_trip(msg));
+        op_latency(op).record_duration(started.elapsed());
+        result
     }
 
     /// Execute one SQL statement. `SELECT`s retry under the client's
@@ -294,7 +346,7 @@ impl Client {
         let msg = Message::Query {
             sql: sql.to_string(),
         };
-        match self.call(&msg, sql_is_idempotent(sql))? {
+        match self.call("query", &msg, sql_is_idempotent(sql))? {
             Message::ResultSet { result, udf_stdout } => {
                 self.last_udf_stdout = udf_stdout;
                 Ok(result)
@@ -313,7 +365,7 @@ impl Client {
 
     /// Names of every stored function.
     pub fn list_functions(&mut self) -> Result<Vec<String>, WireError> {
-        match self.call(&Message::ListFunctions, true)? {
+        match self.call("list_functions", &Message::ListFunctions, true)? {
             Message::FunctionList { names } => Ok(names),
             other => Err(WireError::Protocol(format!(
                 "unexpected list reply: {other:?}"
@@ -326,7 +378,7 @@ impl Client {
         let msg = Message::GetFunction {
             name: name.to_string(),
         };
-        match self.call(&msg, true)? {
+        match self.call("get_function", &msg, true)? {
             Message::FunctionInfo {
                 name,
                 params,
@@ -363,7 +415,7 @@ impl Client {
             options,
             transfer_id,
         };
-        match self.call(&msg, true)? {
+        match self.call("extract_inputs", &msg, true)? {
             Message::Extracted {
                 payload,
                 raw_len,
@@ -387,7 +439,7 @@ impl Client {
 
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), WireError> {
-        match self.call(&Message::Ping, true)? {
+        match self.call("ping", &Message::Ping, true)? {
             Message::Pong => Ok(()),
             other => Err(WireError::Protocol(format!(
                 "unexpected ping reply: {other:?}"
@@ -585,6 +637,61 @@ mod tests {
         // Second client concurrently.
         let mut client2 = Client::connect_tcp(addr, "monetdb", "monetdb", "demo").unwrap();
         client2.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn retries_exhausted_preserves_cause_and_elapsed() {
+        let server = demo_server();
+        let options = ClientOptions {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                deadline: None,
+            },
+            // Every frame is dropped, so login itself exhausts the budget.
+            fault: Some(crate::fault::FaultPolicy::black_hole(11)),
+            ..ClientOptions::default()
+        };
+        let err = Client::connect_in_proc_with(&server, "monetdb", "monetdb", "demo", options)
+            .unwrap_err();
+        match err {
+            WireError::RetriesExhausted {
+                attempts,
+                last,
+                elapsed,
+            } => {
+                assert_eq!(attempts, 3);
+                // The underlying cause survives the wrapping…
+                match *last {
+                    WireError::Io(ref m) => assert!(m.contains("frame dropped"), "{m}"),
+                    other => panic!("expected the injected Io cause, got {other:?}"),
+                }
+                // …and the total wall-clock time (two 1–2 ms backoffs).
+                assert!(elapsed >= Duration::from_millis(2), "{elapsed:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn fault_stats_reachable_through_the_client() {
+        let server = demo_server();
+        let options = ClientOptions {
+            fault: Some(crate::fault::FaultPolicy::none(3)),
+            ..ClientOptions::default()
+        };
+        let mut client =
+            Client::connect_in_proc_with(&server, "monetdb", "monetdb", "demo", options).unwrap();
+        client.ping().unwrap();
+        let stats = client.fault_stats().expect("injector configured");
+        assert_eq!(stats.clean, 2, "login + ping, nothing injected: {stats:?}");
+        assert_eq!(stats.injected(), 0);
+        // Without a fault policy there is nothing to report.
+        let bare = connect(&server);
+        assert!(bare.fault_stats().is_none());
         server.shutdown();
     }
 

@@ -23,6 +23,7 @@
 //! * **disconnect** — this call and every later one fail with
 //!   [`WireError::Io`] until [`ClientTransport::reconnect`] runs.
 
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use devharness::Rng;
@@ -106,13 +107,32 @@ impl FaultStats {
     }
 }
 
+/// A cloneable handle onto a [`FaultInjectingTransport`]'s live counters.
+///
+/// The transport disappears behind a `Box<dyn ClientTransport>` once a
+/// [`Client`](crate::Client) wraps it, so the client keeps one of these to
+/// let tests read the exact injection tally (`Client::fault_stats`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultStatsHandle(Arc<Mutex<FaultStats>>);
+
+impl FaultStatsHandle {
+    /// A point-in-time copy of the counters.
+    pub fn get(&self) -> FaultStats {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn update(&self, f: impl FnOnce(&mut FaultStats)) {
+        f(&mut self.0.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+}
+
 /// A [`ClientTransport`] decorator that injects faults per [`FaultPolicy`].
 pub struct FaultInjectingTransport<T> {
     inner: T,
     policy: FaultPolicy,
     rng: Rng,
     broken: bool,
-    stats: FaultStats,
+    stats: FaultStatsHandle,
 }
 
 impl<T: ClientTransport> FaultInjectingTransport<T> {
@@ -123,13 +143,18 @@ impl<T: ClientTransport> FaultInjectingTransport<T> {
             policy,
             rng: Rng::new(policy.seed),
             broken: false,
-            stats: FaultStats::default(),
+            stats: FaultStatsHandle::default(),
         }
     }
 
     /// What has been injected so far.
     pub fn stats(&self) -> FaultStats {
-        self.stats
+        self.stats.get()
+    }
+
+    /// A handle onto the live counters that outlives type erasure.
+    pub fn stats_handle(&self) -> FaultStatsHandle {
+        self.stats.clone()
     }
 }
 
@@ -141,41 +166,46 @@ impl<T: ClientTransport> ClientTransport for FaultInjectingTransport<T> {
             ));
         }
         if self.rng.ratio(self.policy.delay_rate) && !self.policy.delay.is_zero() {
-            self.stats.delayed += 1;
+            self.stats.update(|s| s.delayed += 1);
+            obs::counter!("wire.fault.injected.delayed").inc();
             std::thread::sleep(self.policy.delay);
         }
         if self.rng.ratio(self.policy.disconnect_rate) {
-            self.stats.disconnected += 1;
+            self.stats.update(|s| s.disconnected += 1);
+            obs::counter!("wire.fault.injected.disconnected").inc();
             self.broken = true;
             return Err(WireError::Io(
                 "injected fault: peer disconnected".to_string(),
             ));
         }
         if self.rng.ratio(self.policy.drop_rate) {
-            self.stats.dropped += 1;
+            self.stats.update(|s| s.dropped += 1);
+            obs::counter!("wire.fault.injected.dropped").inc();
             return Err(WireError::Io(
                 "injected fault: frame dropped (read deadline exceeded)".to_string(),
             ));
         }
         if self.rng.ratio(self.policy.truncate_rate) {
-            self.stats.truncated += 1;
+            self.stats.update(|s| s.truncated += 1);
+            obs::counter!("wire.fault.injected.truncated").inc();
             return Err(WireError::Io(
                 "injected fault: connection closed mid-frame (truncated write)".to_string(),
             ));
         }
         let reply = self.inner.round_trip(frame)?;
         if self.rng.ratio(self.policy.corrupt_rate) {
-            self.stats.corrupted += 1;
+            self.stats.update(|s| s.corrupted += 1);
+            obs::counter!("wire.fault.injected.corrupted").inc();
             return Err(WireError::Protocol(
                 "injected fault: frame checksum mismatch (reply corrupted in flight)".to_string(),
             ));
         }
-        self.stats.clean += 1;
+        self.stats.update(|s| s.clean += 1);
         Ok(reply)
     }
 
     fn reconnect(&mut self) -> Result<(), WireError> {
-        self.stats.reconnects += 1;
+        self.stats.update(|s| s.reconnects += 1);
         self.broken = false;
         self.inner.reconnect()
     }

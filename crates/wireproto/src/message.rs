@@ -26,8 +26,13 @@ pub enum WireError {
     /// The retry layer gave up: an idempotent operation failed on every
     /// configured attempt, or a non-idempotent one hit a transient
     /// transport error it must not replay (`attempts` is 1 in that case).
-    /// `last` is the error of the final attempt.
-    RetriesExhausted { attempts: u32, last: Box<WireError> },
+    /// `last` is the error of the final attempt and `elapsed` the total
+    /// wall-clock time spent across all attempts (including backoff).
+    RetriesExhausted {
+        attempts: u32,
+        last: Box<WireError>,
+        elapsed: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -37,8 +42,15 @@ impl std::fmt::Display for WireError {
             WireError::Protocol(m) => write!(f, "protocol error: {m}"),
             WireError::Auth(m) => write!(f, "authentication failed: {m}"),
             WireError::Server { code, message, .. } => write!(f, "{code}: {message}"),
-            WireError::RetriesExhausted { attempts, last } => {
-                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
+            WireError::RetriesExhausted {
+                attempts,
+                last,
+                elapsed,
+            } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempt(s) in {elapsed:?}: {last}"
+                )
             }
         }
     }

@@ -127,6 +127,7 @@ impl Server {
 
     /// Allocate an in-process connection (session id + request channel).
     pub fn in_proc_connection(&self) -> (Sender<ServerRequest>, u64) {
+        obs::counter!("wire.server.sessions").inc();
         (
             self.sender.clone(),
             self.next_session.fetch_add(1, Ordering::Relaxed),
@@ -156,6 +157,7 @@ impl Server {
                         if stop.load(Ordering::Relaxed) {
                             return;
                         }
+                        obs::counter!("wire.server.sessions").inc();
                         let session = next_session.fetch_add(1, Ordering::Relaxed);
                         let sender = sender.clone();
                         std::thread::spawn(move || {
@@ -247,7 +249,22 @@ fn err_msg(code: &str, message: impl Into<String>) -> Message {
     }
 }
 
-/// Dispatch one decoded frame against the engine.
+/// Per-command latency histogram for the engine-side dispatch (a closed
+/// set of names, each arm one cached handle).
+fn cmd_latency(msg: &Message) -> &'static obs::metrics::Histogram {
+    match msg {
+        Message::Login { .. } => obs::histogram!("wire.server.latency.login"),
+        Message::Ping => obs::histogram!("wire.server.latency.ping"),
+        Message::Query { .. } => obs::histogram!("wire.server.latency.query"),
+        Message::ListFunctions => obs::histogram!("wire.server.latency.list_functions"),
+        Message::GetFunction { .. } => obs::histogram!("wire.server.latency.get_function"),
+        Message::ExtractInputs { .. } => obs::histogram!("wire.server.latency.extract_inputs"),
+        _ => obs::histogram!("wire.server.latency.other"),
+    }
+}
+
+/// Dispatch one decoded frame against the engine, recording frame and
+/// per-command latency telemetry.
 fn handle_frame(
     engine: &Engine,
     config: &ServerConfig,
@@ -255,10 +272,29 @@ fn handle_frame(
     session: u64,
     body: &[u8],
 ) -> Message {
+    obs::counter!("wire.server.frames").inc();
     let msg = match Message::decode(body) {
         Ok(m) => m,
         Err(e) => return err_msg("ProtocolError", e.to_string()),
     };
+    if !obs::enabled() {
+        return dispatch_frame(engine, config, sessions, session, msg);
+    }
+    let hist = cmd_latency(&msg);
+    let started = std::time::Instant::now();
+    let reply = dispatch_frame(engine, config, sessions, session, msg);
+    hist.record_duration(started.elapsed());
+    reply
+}
+
+/// The actual dispatch, free of telemetry.
+fn dispatch_frame(
+    engine: &Engine,
+    config: &ServerConfig,
+    sessions: &mut HashMap<u64, SessionState>,
+    session: u64,
+    msg: Message,
+) -> Message {
     if let Message::Login {
         user,
         password,

@@ -92,6 +92,11 @@ pub fn read_frame_with_mid_deadline(
     if deadline.is_some() {
         // Disarm so the next between-frames wait blocks again.
         stream.set_read_timeout(None).ok();
+        if result.is_err() {
+            // The prefix arrived but the rest did not before the armed
+            // deadline (or the peer died mid-frame): the session is cut.
+            obs::counter!("wire.server.deadline_cuts").inc();
+        }
     }
     result
 }

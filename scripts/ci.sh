@@ -24,6 +24,14 @@ cargo test --offline --workspace -q
 echo "==> fault-injection suite under hard timeout"
 timeout --kill-after=10 120 cargo test --offline -q --test failures
 
+# Telemetry must compile to no-ops with the feature off: build and test
+# crates/obs on its --no-default-features path, then run its full suite
+# with the feature on.
+echo "==> obs telemetry suite (feature on + no-op path)"
+cargo test --offline -q -p obs
+cargo build --offline -p obs --no-default-features
+cargo test --offline -q -p obs --no-default-features
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

@@ -263,3 +263,73 @@ fn extract_options_also_work_directly_on_the_client() {
     assert!(compressed_stats.wire_len < plain_stats.wire_len);
     server.shutdown();
 }
+
+// Acceptance criterion of the telemetry layer: a live `sys.metrics` query
+// over TCP surfaces counters from both sides of the wire — client retry
+// activity and engine-side UDF invocations — in one result set.
+#[test]
+fn sys_metrics_over_tcp_shows_wire_and_udf_counters() {
+    let _serial = obs::metrics::test_lock();
+    obs::set_enabled(true);
+    let server = demo_server(50);
+    let addr = server.listen_tcp().unwrap();
+    let retries_before = obs::counter!("wire.client.retries").get();
+    let udfs_before = obs::counter!("monet.udf.invocations").get();
+
+    // A lossy link plus a retry budget: the client both exercises the UDF
+    // path and is forced into retries by the seeded fault schedule.
+    let mut client = wireproto::Client::connect_tcp_with(
+        addr,
+        "monetdb",
+        "monetdb",
+        "demo",
+        wireproto::ClientOptions {
+            retry: wireproto::RetryPolicy {
+                max_attempts: 8,
+                initial_backoff: std::time::Duration::from_millis(1),
+                max_backoff: std::time::Duration::from_millis(4),
+                deadline: Some(std::time::Duration::from_secs(10)),
+            },
+            fault: Some(wireproto::FaultPolicy::lossy(0x5e7ec5, 0.20)),
+            ..wireproto::ClientOptions::default()
+        },
+    )
+    .unwrap();
+    for _ in 0..20 {
+        client
+            .query("SELECT mean_deviation(i) FROM numbers")
+            .unwrap();
+    }
+    assert!(
+        obs::counter!("wire.client.retries").get() > retries_before,
+        "the 20% schedule must have forced at least one retry"
+    );
+
+    let table = client
+        .query("SELECT * FROM sys.metrics")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    let name_idx = table.columns.iter().position(|(n, _)| n == "name").unwrap();
+    let value_idx = table
+        .columns
+        .iter()
+        .position(|(n, _)| n == "value")
+        .unwrap();
+    let value_of = |metric: &str| -> i64 {
+        let row = table
+            .rows
+            .iter()
+            .find(|r| r[name_idx] == WireValue::Str(metric.to_string()))
+            .unwrap_or_else(|| panic!("sys.metrics has no row '{metric}'"));
+        match &row[value_idx] {
+            WireValue::Int(v) => *v,
+            other => panic!("{other:?}"),
+        }
+    };
+    assert!(value_of("wire.client.retries") as u64 > retries_before);
+    assert!(value_of("monet.udf.invocations") as u64 > udfs_before);
+    assert!(value_of("wire.server.frames") > 0);
+    assert!(value_of("monet.queries.executed") > 0);
+    server.shutdown();
+}

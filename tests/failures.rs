@@ -201,6 +201,23 @@ fn faulty_options(fault: FaultPolicy, retry: RetryPolicy) -> ClientOptions {
 // query round trips while a bare client on the same schedule fails.
 #[test]
 fn retrying_client_survives_10pct_faults_where_bare_client_fails() {
+    // Counter deltas below demand exact equality: serialize against every
+    // other test that records into the process-global registry.
+    let _serial = obs::metrics::test_lock();
+    obs::set_enabled(true);
+    let fault_counters = [
+        ("dropped", obs::counter!("wire.fault.injected.dropped")),
+        ("truncated", obs::counter!("wire.fault.injected.truncated")),
+        ("corrupted", obs::counter!("wire.fault.injected.corrupted")),
+        (
+            "disconnected",
+            obs::counter!("wire.fault.injected.disconnected"),
+        ),
+    ];
+    let before: Vec<u64> = fault_counters.iter().map(|(_, c)| c.get()).collect();
+    let retries_before = obs::counter!("wire.client.retries").get();
+    let reconnects_before = obs::counter!("wire.client.reconnects").get();
+
     let server = demo_server();
     let fault = FaultPolicy::lossy(0xFA17, 0.10);
 
@@ -225,6 +242,39 @@ fn retrying_client_survives_10pct_faults_where_bare_client_fails() {
     // far under the 5 s retry deadline even on a loaded machine.
     assert!(started.elapsed() < Duration::from_secs(5), "not bounded");
 
+    // The registry's injected-fault counters must equal the injector's own
+    // per-schedule tally, fault by fault — the metrics are the schedule.
+    let stats = robust.fault_stats().expect("client wraps a fault injector");
+    for (i, (kind, counter)) in fault_counters.iter().enumerate() {
+        let delta = counter.get() - before[i];
+        let expected = match *kind {
+            "dropped" => stats.dropped,
+            "truncated" => stats.truncated,
+            "corrupted" => stats.corrupted,
+            "disconnected" => stats.disconnected,
+            _ => unreachable!(),
+        };
+        assert_eq!(delta, expected, "counter wire.fault.injected.{kind}");
+    }
+    // Each injected fault on an idempotent call triggered exactly one
+    // retry, and every retry reconnects before re-sending.
+    let retries = obs::counter!("wire.client.retries").get() - retries_before;
+    let reconnects = obs::counter!("wire.client.reconnects").get() - reconnects_before;
+    assert_eq!(retries, reconnects, "every retry reconnects first");
+    assert_eq!(
+        reconnects, stats.reconnects,
+        "transport saw every reconnect"
+    );
+    // Every retry was provoked by an injected fault; faults drawn during
+    // the post-reconnect re-login (whose failures are swallowed and
+    // surface on the next attempt) account for the difference.
+    assert!(retries > 0, "the 10% schedule must have fired");
+    assert!(
+        retries <= stats.injected(),
+        "retries {retries} vs injected {}",
+        stats.injected()
+    );
+
     // Same fault schedule, retries disabled: the connection-level faults
     // surface raw. (Login itself may be the call that dies.)
     let bare_failures = match Client::connect_in_proc_with(
@@ -245,6 +295,9 @@ fn retrying_client_survives_10pct_faults_where_bare_client_fails() {
 
 #[test]
 fn non_idempotent_statement_is_never_replayed() {
+    // Bumps the shared wire.fault.* counters: keep the exact-equality test
+    // above honest by serializing with it.
+    let _serial = obs::metrics::test_lock();
     let server = demo_server();
     let fault = FaultPolicy {
         drop_rate: 0.5,
@@ -268,7 +321,7 @@ fn non_idempotent_statement_is_never_replayed() {
         }
     }
     match first_err.expect("a 50% drop rate must hit within 50 inserts") {
-        WireError::RetriesExhausted { attempts, last } => {
+        WireError::RetriesExhausted { attempts, last, .. } => {
             assert_eq!(attempts, 1);
             assert!(matches!(*last, WireError::Io(_)), "{last:?}");
         }
@@ -279,6 +332,7 @@ fn non_idempotent_statement_is_never_replayed() {
 
 #[test]
 fn exhausted_retries_surface_as_typed_error() {
+    let _serial = obs::metrics::test_lock();
     let server = demo_server();
     // Connect cleanly first, then every frame vanishes.
     let mut client = Client::connect_in_proc_with(
@@ -301,9 +355,15 @@ fn exhausted_retries_surface_as_typed_error() {
     )
     .unwrap_err();
     match err {
-        WireError::RetriesExhausted { attempts, last } => {
+        WireError::RetriesExhausted {
+            attempts,
+            last,
+            elapsed,
+        } => {
             assert_eq!(attempts, 5);
             assert!(matches!(*last, WireError::Io(_)));
+            // 4 backoff sleeps of >= 1 ms each separated the attempts.
+            assert!(elapsed >= Duration::from_millis(4), "{elapsed:?}");
         }
         other => panic!("{other:?}"),
     }
@@ -423,6 +483,37 @@ fn stalled_peer_is_dropped_and_does_not_wedge_other_sessions() {
         other => panic!("stalled session was not dropped: {other:?}"),
     }
     server.shutdown();
+}
+
+#[test]
+fn metrics_registry_is_exact_under_concurrency() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let _serial = obs::metrics::test_lock();
+    obs::set_enabled(true);
+    let counter = obs::counter!("test.failures.smoke.counter");
+    let hist = obs::histogram!("test.failures.smoke.hist");
+    let c0 = counter.get();
+    let h0 = hist.count();
+    let s0 = hist.sum();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                // Fresh handles per thread: same registry entry either way.
+                let counter = obs::counter!("test.failures.smoke.counter");
+                let hist = obs::histogram!("test.failures.smoke.hist");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record((t as u64) * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let n = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get() - c0, n);
+    assert_eq!(hist.count() - h0, n);
+    // Sum of 0..n recorded exactly once each.
+    assert_eq!(hist.sum() - s0, n * (n - 1) / 2);
 }
 
 #[test]
