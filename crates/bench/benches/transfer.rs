@@ -27,6 +27,7 @@ fn bench_transfer(h: &mut Harness) {
                     compress: true,
                     encrypt: true,
                     sample: None,
+                    ..Default::default()
                 },
             ),
             ("sample-10pct", TransferOptions::sampled(rows / 10)),

@@ -1,0 +1,115 @@
+//! Bench regression guard: re-measure the `compressed/1000` extract from
+//! the `transfer` suite and fail (exit 1) if the codec path regressed
+//! more than 10% against the committed baseline in `BENCH_transfer.json`.
+//!
+//! Shared CI hosts drift by tens of percent run-to-run, so the guard
+//! compares *normalized* cost rather than absolute nanoseconds: the
+//! `compressed/1000 ÷ plain/1000` ratio, measured in one process with
+//! the same harness that produced the baseline. Host-speed fluctuation
+//! cancels out of the ratio; a regression in the compression pipeline
+//! (the only thing separating the two paths) does not. Two more
+//! noise dampers: ratios are built from per-sample *minimum* ns (the
+//! lowest-variance location statistic — scheduler interruptions only
+//! ever add time) and the measurement repeats up to three times, passing
+//! on the best ratio. A real ≥10 % codec regression shifts the minimum
+//! of every repeat; transient load does not.
+
+use devharness::bench::Harness;
+use devudf_bench::{bench_server, bench_session};
+use wireproto::TransferOptions;
+
+const BASELINE_FILE: &str = "BENCH_transfer.json";
+const GUARDED: &str = "compressed/1000";
+const REFERENCE: &str = "plain/1000";
+const TOLERANCE: f64 = 1.10;
+
+fn min_ns(doc: &codecs::json::Value, name: &str) -> f64 {
+    doc.get("benchmarks")
+        .and_then(|b| b.as_array())
+        .and_then(|benchmarks| {
+            benchmarks
+                .iter()
+                .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(name))
+        })
+        .and_then(|b| b.get("ns_per_iter")?.get("min")?.as_f64())
+        .unwrap_or_else(|| panic!("baseline entry {name} not found in {BASELINE_FILE}"))
+}
+
+/// Measure both paths with the same harness that produced the baseline
+/// (same calibration, warmup and batch statistics), writing the artifact
+/// to a scratch dir so the committed baseline is untouched. Returns
+/// `(plain, compressed)` min ns/iter.
+fn measure() -> (f64, f64) {
+    let scratch = std::env::temp_dir().join(format!("devudf-bench-guard-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    std::env::set_var("DEVHARNESS_BENCH_OUT", &scratch);
+    let server = bench_server(1_000);
+    let mut dev = bench_session(&server, "bench-guard");
+    dev.import_all().unwrap();
+    let mut h = Harness::new("guard");
+    {
+        let mut group = h.benchmark_group("transfer_extract");
+        group.sample_size(10);
+        for (name, options) in [
+            (REFERENCE, TransferOptions::plain()),
+            (GUARDED, TransferOptions::compressed()),
+        ] {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    dev.client()
+                        .borrow_mut()
+                        .extract_inputs(
+                            "SELECT mean_deviation(i) FROM numbers",
+                            "mean_deviation",
+                            options,
+                        )
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+    h.finish();
+    std::env::remove_var("DEVHARNESS_BENCH_OUT");
+    std::fs::remove_dir_all(dev.project.root()).ok();
+    server.shutdown();
+    let text = std::fs::read_to_string(scratch.join("BENCH_guard.json")).unwrap();
+    std::fs::remove_dir_all(&scratch).ok();
+    let doc = codecs::json::parse(&text).unwrap();
+    (min_ns(&doc, REFERENCE), min_ns(&doc, GUARDED))
+}
+
+fn main() {
+    // Operate on the workspace root regardless of invocation directory.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let root = std::path::Path::new(&manifest).join("../..");
+        std::env::set_current_dir(root).expect("chdir to workspace root");
+    }
+    let text = std::fs::read_to_string(BASELINE_FILE)
+        .unwrap_or_else(|e| panic!("read {BASELINE_FILE}: {e}"));
+    let doc = codecs::json::parse(&text).unwrap_or_else(|e| panic!("parse {BASELINE_FILE}: {e}"));
+    let base_ratio = min_ns(&doc, GUARDED) / min_ns(&doc, REFERENCE);
+    let limit = base_ratio * TOLERANCE;
+    let mut best = f64::INFINITY;
+    for attempt in 1..=3 {
+        let (plain, compressed) = measure();
+        let ratio = compressed / plain;
+        best = best.min(ratio);
+        println!(
+            "bench guard[{attempt}]: {GUARDED} costs {ratio:.3}x {REFERENCE} \
+(measured {compressed:.0} vs {plain:.0} ns/iter); \
+baseline ratio {base_ratio:.3}x, limit {limit:.3}x"
+        );
+        if best <= limit {
+            println!("bench guard OK");
+            return;
+        }
+    }
+    eprintln!(
+        "FAIL: {GUARDED} regressed {:.1}% relative to {REFERENCE} (> {:.0}% allowed) \
+in all 3 attempts",
+        (best / base_ratio - 1.0) * 100.0,
+        (TOLERANCE - 1.0) * 100.0
+    );
+    std::process::exit(1);
+}

@@ -1,0 +1,50 @@
+//! Print FNV-1a digests of the bytes-on-wire for a deterministic extract
+//! payload across every transfer-option combination.
+//!
+//! CI runs this twice — `DEVUDF_POOL_THREADS=1` and the default pool —
+//! and diffs the output: the chunked container must be byte-identical
+//! regardless of how many workers encoded it (DESIGN.md §11).
+
+use pylite::value::Dict;
+use pylite::{Array, Value};
+use wireproto::transfer::encode_payload;
+use wireproto::TransferOptions;
+
+/// Deterministic inputs large enough to span many 64 KiB blocks.
+fn inputs() -> Value {
+    let mut rng = devharness::Rng::new(0xD16E57);
+    let column: Vec<i64> = (0..200_000)
+        .map(|i| ((i / 64) % 500) as i64 + rng.u64_below(4) as i64)
+        .collect();
+    let mut d = Dict::new();
+    d.insert(Value::str("column"), Value::array(Array::Int(column)))
+        .unwrap();
+    Value::dict(d)
+}
+
+fn main() {
+    let inputs = inputs();
+    for (label, compress, encrypt) in [
+        ("plain", false, false),
+        ("compressed", true, false),
+        ("encrypted", false, true),
+        ("compressed+encrypted", true, true),
+    ] {
+        for block_size in [64 * 1024usize, wireproto::DEFAULT_BLOCK_SIZE] {
+            let options = TransferOptions {
+                compress,
+                encrypt,
+                ..Default::default()
+            }
+            .with_block_size(block_size);
+            let (payload, raw_len) = encode_payload(&inputs, &options, "monetdb", 7, 11)
+                .expect("deterministic payload must encode");
+            println!(
+                "{label}/{}k raw={raw_len} wire={} fnv1a={:08x}",
+                block_size / 1024,
+                payload.len(),
+                codecs::fnv1a_32(&payload)
+            );
+        }
+    }
+}

@@ -9,7 +9,8 @@ use std::time::Duration;
 use codecs::json::{self, Value};
 use wireproto::{ClientOptions, RetryPolicy, TransferOptions};
 
-/// Serializable mirror of [`wireproto::TransferOptions`].
+/// Serializable mirror of [`wireproto::TransferOptions`] plus the local
+/// codec-parallelism knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TransferSettings {
     /// Compress the extracted data during transfer.
@@ -18,6 +19,14 @@ pub struct TransferSettings {
     pub encrypt: bool,
     /// Transfer only a uniform random sample of this many rows.
     pub sample: Option<usize>,
+    /// Worker threads for the chunked payload codec on the client side
+    /// (`None` = share the process-global pool sized by
+    /// `DEVUDF_POOL_THREADS`). Local knob: changes decode speed, never
+    /// the bytes on the wire.
+    pub parallelism: Option<usize>,
+    /// Container block size in bytes (`None` = the wire default,
+    /// [`wireproto::DEFAULT_BLOCK_SIZE`]).
+    pub block_size: Option<usize>,
 }
 
 impl From<TransferSettings> for TransferOptions {
@@ -26,6 +35,7 @@ impl From<TransferSettings> for TransferOptions {
             compress: s.compress,
             encrypt: s.encrypt,
             sample: s.sample,
+            block_size: s.block_size.unwrap_or(wireproto::DEFAULT_BLOCK_SIZE),
         }
     }
 }
@@ -160,10 +170,27 @@ impl TransferSettings {
                 "sample".to_string(),
                 Value::from(self.sample.map(|k| k as u64)),
             ),
+            (
+                "parallelism".to_string(),
+                Value::from(self.parallelism.map(|n| n as u64)),
+            ),
+            (
+                "block_size".to_string(),
+                Value::from(self.block_size.map(|n| n as u64)),
+            ),
         ])
     }
 
     fn from_json(v: &Value) -> std::io::Result<TransferSettings> {
+        // `parallelism`/`block_size` are absent in settings files written
+        // before the chunked pipeline existed — optional, like `sample`.
+        let opt_count = |name: &str, zero_ok: bool| match v.get(name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(k) => match k.as_u64() {
+                Some(n) if zero_ok || n > 0 => Ok(Some(n as usize)),
+                _ => Err(invalid(format!("transfer.{name} must be a positive count"))),
+            },
+        };
         Ok(TransferSettings {
             compress: v
                 .get("compress")
@@ -173,14 +200,9 @@ impl TransferSettings {
                 .get("encrypt")
                 .and_then(Value::as_bool)
                 .ok_or_else(|| invalid("transfer.encrypt missing"))?,
-            sample: match v.get("sample") {
-                None | Some(Value::Null) => None,
-                Some(k) => Some(
-                    k.as_u64()
-                        .ok_or_else(|| invalid("transfer.sample must be a count"))?
-                        as usize,
-                ),
-            },
+            sample: opt_count("sample", true)?,
+            parallelism: opt_count("parallelism", false)?,
+            block_size: opt_count("block_size", false)?,
         })
     }
 }
@@ -271,6 +293,7 @@ impl Settings {
             retry: self.retry.policy(),
             read_timeout: io_timeout,
             write_timeout: io_timeout,
+            parallelism: self.transfer.parallelism,
             ..ClientOptions::default()
         }
     }
@@ -311,6 +334,12 @@ impl Settings {
         }
         if let Some(k) = self.transfer.sample {
             parts.push(format!("sample {k} rows"));
+        }
+        if let Some(n) = self.transfer.parallelism {
+            parts.push(format!("{n} codec threads"));
+        }
+        if let Some(b) = self.transfer.block_size {
+            parts.push(format!("{} KiB blocks", b / 1024));
         }
         if parts.is_empty() {
             "full data, plaintext".to_string()
@@ -368,6 +397,8 @@ mod tests {
         s.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
         s.transfer.compress = true;
         s.transfer.sample = Some(500);
+        s.transfer.parallelism = Some(4);
+        s.transfer.block_size = Some(64 * 1024);
         s.retry.max_attempts = 5;
         s.retry.deadline_ms = None;
         s.save(&dir).unwrap();
@@ -422,11 +453,63 @@ mod tests {
             compress: true,
             encrypt: false,
             sample: Some(10),
+            ..Default::default()
         };
         let o: TransferOptions = s.into();
         assert!(o.compress);
         assert!(!o.encrypt);
         assert_eq!(o.sample, Some(10));
+        assert_eq!(o.block_size, wireproto::DEFAULT_BLOCK_SIZE);
+        let sized = TransferSettings {
+            block_size: Some(64 * 1024),
+            ..Default::default()
+        };
+        assert_eq!(TransferOptions::from(sized).block_size, 64 * 1024);
+    }
+
+    #[test]
+    fn parallelism_plumbs_into_client_options() {
+        let mut s = Settings::default();
+        assert_eq!(s.client_options().parallelism, None);
+        s.transfer.parallelism = Some(4);
+        assert_eq!(s.client_options().parallelism, Some(4));
+    }
+
+    #[test]
+    fn settings_file_without_parallelism_keys_loads() {
+        // Files written before the chunked pipeline lack the new keys.
+        let dir = temp_dir("nopar");
+        let path = Settings::path_in(&dir);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": true, "encrypt": false, "sample": null}}"#,
+        )
+        .unwrap();
+        let s = Settings::load(&dir).unwrap();
+        assert_eq!(s.transfer.parallelism, None);
+        assert_eq!(s.transfer.block_size, None);
+        assert!(s.transfer.compress);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn zero_parallelism_or_block_size_is_rejected() {
+        let dir = temp_dir("zeropar");
+        let path = Settings::path_in(&dir);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": true, "encrypt": false, "sample": null,
+                             "parallelism": 0}}"#,
+        )
+        .unwrap();
+        assert!(Settings::load(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]
@@ -447,10 +530,16 @@ mod tests {
             compress: true,
             encrypt: true,
             sample: Some(100),
+            ..Default::default()
         };
         let d = s.render_dialog();
         // The dialog truncates long values; the prefix must be visible.
         assert!(d.contains("compress + encrypt + sample"), "{d}");
+        s.transfer = TransferSettings {
+            parallelism: Some(4),
+            ..Default::default()
+        };
+        assert!(s.render_dialog().contains("4 codec threads"));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   input shrinking** on failure via lazily-built shrink trees, so a
 //!   failing case is reported in (near-)minimal form together with the
 //!   seed that reproduces it.
+//! * [`pool`] — a fixed-size, work-stealing-free thread pool with a
+//!   *scoped* execution API ([`Pool::scoped`] / [`Pool::map`]) so jobs can
+//!   borrow stack data without `'static` bounds. Sized process-wide via
+//!   `DEVUDF_POOL_THREADS`; used by the chunked transfer pipeline in
+//!   `wireproto::transfer` to run the per-block codec across cores.
 //! * [`bench`](mod@bench) — a criterion-style micro-benchmark runner: per-benchmark
 //!   warmup, automatic batching of fast bodies, min/mean/median/p95
 //!   statistics, throughput rates, a human-readable table and a machine
@@ -33,7 +38,9 @@
 //! CI can trade precision for wall-clock time.
 
 pub mod bench;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
+pub use pool::Pool;
 pub use rng::Rng;

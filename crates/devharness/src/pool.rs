@@ -1,0 +1,394 @@
+//! A fixed-size thread pool with a *scoped* execution API.
+//!
+//! The transfer pipeline (see `wireproto::transfer`) splits payloads into
+//! blocks and runs the block codec across cores. Its needs shape this
+//! module:
+//!
+//! * **Fixed, work-stealing-free.** Workers pull jobs from one shared
+//!   FIFO injector queue — no per-worker deques, no stealing. Block jobs
+//!   are coarse (hundreds of KiB of compression each), so a single
+//!   mutex-guarded queue costs nothing measurable and keeps execution
+//!   order deterministic enough to reason about.
+//! * **Scoped.** [`Pool::scoped`] lets jobs borrow from the caller's
+//!   stack (the payload being split lives in the caller), so block slices
+//!   need no `'static` bound and no copying into `Arc`s. The scope joins
+//!   all of its jobs before returning — the classic scoped-pool contract
+//!   that makes the lifetime erasure sound.
+//! * **Deterministic results.** [`Pool::map`] returns results in item
+//!   order regardless of completion order or worker count, which is what
+//!   lets the wire format stay byte-identical across thread counts.
+//!
+//! A process-wide pool is available through [`global`]; its size comes
+//! from the `DEVUDF_POOL_THREADS` environment variable when set (CI pins
+//! it to 1 to prove format determinism), else from
+//! `std::thread::available_parallelism` capped at 8.
+//!
+//! The queue depth is exported as the `pool.queue_depth` gauge and total
+//! executed jobs as the `pool.jobs` counter (see DESIGN.md §10).
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A queued unit of work. Lifetimes are erased by [`Scope::execute`]; the
+/// scope's join-before-return contract keeps the borrows alive.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Injector {
+    queue: Mutex<InjectorState>,
+    /// Signalled when a job is pushed or shutdown begins.
+    available: Condvar,
+}
+
+struct InjectorState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Injector {
+    fn push(&self, job: Job) {
+        let mut state = self.queue.lock().expect("pool queue poisoned");
+        state.jobs.push_back(job);
+        obs::gauge!("pool.queue_depth").set(state.jobs.len() as i64);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a job is available or shutdown is flagged with an
+    /// empty queue (drain-then-exit semantics).
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                obs::gauge!("pool.queue_depth").set(state.jobs.len() as i64);
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).expect("pool queue poisoned");
+        }
+    }
+}
+
+/// A fixed set of worker threads consuming one shared job queue.
+///
+/// ```
+/// let pool = devharness::pool::Pool::new(4);
+/// let data = vec![1u64, 2, 3, 4, 5];
+/// // Borrow `data` from the caller's stack — no 'static required.
+/// let doubled = pool.map(data.iter().collect::<Vec<_>>(), |_, x| *x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+/// ```
+pub struct Pool {
+    injector: Arc<Injector>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(InjectorState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let injector = injector.clone();
+                std::thread::Builder::new()
+                    .name(format!("devharness-pool-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = injector.pop() {
+                            obs::counter!("pool.jobs").inc();
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            injector,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with a [`Scope`] whose spawned jobs may borrow anything
+    /// outliving this call. Every job is joined before `scoped` returns;
+    /// a panicking job re-panics here (after all siblings finished).
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            _marker: PhantomData,
+        };
+        let result = f(&scope);
+        scope.join();
+        result
+    }
+
+    /// Parallel map preserving item order: `f(index, item)` runs across
+    /// the pool; the result vector is ordered by index no matter which
+    /// worker finished first. Falls back to a plain inline loop when the
+    /// pool has one thread or there is at most one item, so single-thread
+    /// configurations pay no synchronization cost at all.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let n = items.len();
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let f = &f;
+        self.scoped(|scope| {
+            for (slot, (i, item)) in results.iter_mut().zip(items.into_iter().enumerate()) {
+                scope.execute(move || {
+                    *slot = Some(f(i, item));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("scope joined every job"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.injector.queue.lock().expect("pool queue poisoned");
+            state.shutdown = true;
+        }
+        self.injector.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Handle passed to the closure of [`Pool::scoped`]; jobs spawned through
+/// it may borrow data with lifetime `'scope`.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope` (the `Cell` makes it so), mirroring
+    /// `std::thread::Scope` — prevents the borrow checker from shrinking
+    /// the scope lifetime under us.
+    _marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Submit a job. The job may borrow `'scope` data; the enclosing
+    /// [`Pool::scoped`] call joins it before returning, which is what
+    /// makes the internal lifetime erasure sound.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.pending.lock().expect("scope state poisoned") += 1;
+        let state = self.state.clone();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            let mut pending = state.pending.lock().expect("scope state poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: the job is joined by `Scope::join` before `Pool::scoped`
+        // returns, so every `'scope` borrow it captures strictly outlives
+        // its execution. The job never leaves the pool's queue/workers.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.pool.injector.push(job);
+    }
+
+    /// Wait for every job spawned through this scope; re-panic if any
+    /// job panicked (after all of them finished, so borrows stay sound).
+    fn join(&self) {
+        let mut pending = self.state.pending.lock().expect("scope state poisoned");
+        while *pending > 0 {
+            pending = self.state.done.wait(pending).expect("scope state poisoned");
+        }
+        drop(pending);
+        if self.state.panicked.load(Ordering::Acquire) {
+            panic!("a job spawned on the thread pool panicked");
+        }
+    }
+}
+
+/// Worker count for the process-global pool: `DEVUDF_POOL_THREADS` when
+/// set to a positive integer, else `available_parallelism` capped at 8.
+pub fn default_threads() -> usize {
+    std::env::var("DEVUDF_POOL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+}
+
+/// The process-global pool (lazily created, sized by [`default_threads`]).
+pub fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map(items, |i, x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_borrows_from_caller_without_static() {
+        let pool = Pool::new(3);
+        let data: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1000]).collect();
+        let slices: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let sums = pool.map(slices, |_, s| s.iter().map(|&b| b as u64).sum::<u64>());
+        assert_eq!(sums[3], 3 * 1000);
+        assert_eq!(sums.len(), 10);
+    }
+
+    #[test]
+    fn map_runs_inline_on_single_thread_pool() {
+        let pool = Pool::new(1);
+        // An inline run happens on the calling thread.
+        let caller = std::thread::current().id();
+        let ids = pool.map(vec![(); 4], |_, ()| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn scoped_jobs_actually_run_on_workers() {
+        let pool = Pool::new(2);
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        pool.scoped(|scope| {
+            for _ in 0..8 {
+                scope.execute(|| {
+                    seen.lock().unwrap().push(std::thread::current().id());
+                });
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 8);
+        assert!(seen.iter().all(|&id| id != caller));
+    }
+
+    #[test]
+    fn scoped_joins_before_returning() {
+        let pool = Pool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..64 {
+                scope.execute(|| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        // If scoped returned early this would race; joining makes it exact.
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_join() {
+        let pool = Pool::new(2);
+        let finished = Arc::new(AtomicU64::new(0));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                for i in 0..6 {
+                    let finished = finished.clone();
+                    scope.execute(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "scope must re-panic");
+        // All non-panicking siblings still ran to completion first.
+        assert_eq!(finished.load(Ordering::SeqCst), 5);
+        // The pool survives a panicked scope and keeps working.
+        let out = pool.map(vec![1, 2, 3], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(vec![5], |_, x| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global() as *const Pool;
+        let b = global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        let pool = Pool::new(4);
+        let empty: Vec<u8> = Vec::new();
+        assert!(pool.map(empty, |_, x| x).is_empty());
+        assert_eq!(pool.map(vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+}

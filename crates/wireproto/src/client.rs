@@ -45,6 +45,11 @@ pub struct ClientOptions {
     /// Wrap the transport in a [`FaultInjectingTransport`] with this
     /// policy (tests/benchmarks).
     pub fault: Option<FaultPolicy>,
+    /// Worker threads for decoding chunked transfer payloads: `None`
+    /// shares the process-global pool (sized by `DEVUDF_POOL_THREADS`),
+    /// `Some(n)` gives this client its own `n`-thread pool. Local knob
+    /// only — never crosses the wire, never changes the bytes on it.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for ClientOptions {
@@ -55,6 +60,7 @@ impl Default for ClientOptions {
             read_timeout: Some(DEFAULT_IO_TIMEOUT),
             write_timeout: Some(DEFAULT_IO_TIMEOUT),
             fault: None,
+            parallelism: None,
         }
     }
 }
@@ -94,6 +100,9 @@ pub struct Client {
     next_transfer_id: u64,
     last_udf_stdout: String,
     fault_stats: Option<FaultStatsHandle>,
+    /// Private decode pool when `ClientOptions::parallelism` was set;
+    /// `None` falls back to the process-global pool.
+    pool: Option<devharness::Pool>,
 }
 
 impl std::fmt::Debug for Client {
@@ -199,6 +208,7 @@ impl Client {
             next_transfer_id: 1,
             last_udf_stdout: String::new(),
             fault_stats,
+            pool: options.parallelism.map(devharness::Pool::new),
         };
         // Login is idempotent: under fault injection / flaky networks the
         // initial handshake retries like any read.
@@ -426,9 +436,18 @@ impl Client {
                     raw_len: raw_len as usize,
                     wire_len: payload.len(),
                 };
-                let value =
-                    transfer::decode_payload(&payload, &options, &self.password, transfer_id)
-                        .map_err(|e| WireError::Protocol(e.to_string()))?;
+                let pool = self
+                    .pool
+                    .as_ref()
+                    .unwrap_or_else(|| devharness::pool::global());
+                let value = transfer::decode_payload_with(
+                    pool,
+                    &payload,
+                    &options,
+                    &self.password,
+                    transfer_id,
+                )
+                .map_err(|e| WireError::Protocol(e.to_string()))?;
                 Ok((value, stats))
             }
             other => Err(WireError::Protocol(format!(
@@ -572,7 +591,7 @@ mod tests {
             let options = TransferOptions {
                 compress,
                 encrypt,
-                sample: None,
+                ..Default::default()
             };
             let (value, stats) = client
                 .extract_inputs(
@@ -589,6 +608,40 @@ mod tests {
             }
             assert!(stats.raw_len > 0);
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn extract_with_private_decode_pool_matches_global() {
+        let server = demo_server();
+        let pooled_opts = ClientOptions {
+            parallelism: Some(2),
+            ..ClientOptions::default()
+        };
+        let mut pooled =
+            Client::connect_in_proc_with(&server, "monetdb", "monetdb", "demo", pooled_opts)
+                .unwrap();
+        let mut shared = connect(&server);
+        let transfer = TransferOptions {
+            compress: true,
+            encrypt: true,
+            ..Default::default()
+        };
+        let (a, _) = pooled
+            .extract_inputs(
+                "SELECT mean_deviation(i) FROM numbers",
+                "mean_deviation",
+                transfer,
+            )
+            .unwrap();
+        let (b, _) = shared
+            .extract_inputs(
+                "SELECT mean_deviation(i) FROM numbers",
+                "mean_deviation",
+                transfer,
+            )
+            .unwrap();
+        assert!(a.py_eq(&b));
         server.shutdown();
     }
 

@@ -54,4 +54,4 @@ pub use fault::{FaultInjectingTransport, FaultPolicy, FaultStats};
 pub use message::{Message, WireError, WireTable, WireValue};
 pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig};
-pub use transfer::{TransferOptions, TransferStats};
+pub use transfer::{TransferOptions, TransferStats, DEFAULT_BLOCK_SIZE};

@@ -6,6 +6,7 @@
 use codecs::varint::{read_u64, write_u64};
 use monetlite::{DbError, QueryResult, Table};
 
+use crate::transfer;
 use crate::transfer::TransferOptions;
 
 /// Protocol-level error.
@@ -466,9 +467,19 @@ fn put_options(out: &mut Vec<u8>, o: &TransferOptions) {
     if o.sample.is_some() {
         flags |= 4;
     }
+    // Bit 8 marks a non-default container block size; the default is
+    // elided so frames from older peers (and the common case) stay
+    // byte-identical to the pre-chunking encoding.
+    let block_size = o.effective_block_size();
+    if block_size != transfer::DEFAULT_BLOCK_SIZE {
+        flags |= 8;
+    }
     out.push(flags);
     if let Some(k) = o.sample {
         write_u64(out, k as u64);
+    }
+    if block_size != transfer::DEFAULT_BLOCK_SIZE {
+        write_u64(out, block_size as u64);
     }
 }
 
@@ -479,10 +490,20 @@ fn read_options(r: &mut Reader<'_>) -> Result<TransferOptions, WireError> {
     } else {
         None
     };
+    let block_size = if flags & 8 != 0 {
+        let bs = r.varint()? as usize;
+        if bs == 0 {
+            return Err(Reader::err("zero transfer block size"));
+        }
+        bs
+    } else {
+        transfer::DEFAULT_BLOCK_SIZE
+    };
     Ok(TransferOptions {
         compress: flags & 1 != 0,
         encrypt: flags & 2 != 0,
         sample,
+        block_size,
     })
 }
 
@@ -715,8 +736,15 @@ mod tests {
                 compress: true,
                 encrypt: true,
                 sample: Some(100),
+                ..Default::default()
             },
             transfer_id: 42,
+        });
+        round_trip(Message::ExtractInputs {
+            query: "SELECT f(i) FROM t".into(),
+            udf: "f".into(),
+            options: TransferOptions::compressed().with_block_size(64 * 1024),
+            transfer_id: 43,
         });
         round_trip(Message::ListFunctions);
         round_trip(Message::GetFunction { name: "f".into() });

@@ -359,12 +359,17 @@ fn dispatch_frame(
             transfer_id,
         } => match engine.extract_inputs(&query, &udf) {
             Ok(inputs) => {
+                // Mix the wire session into the sampling seed: repeated
+                // extracts within a session already differ by transfer id,
+                // and two sessions against the same engine must not draw
+                // identical sample schedules either. Fully reproducible
+                // given (engine seed, session, transfer id).
                 match transfer::encode_payload(
                     &inputs,
                     &options,
                     &config.password,
                     transfer_id,
-                    engine.rng_seed(),
+                    transfer::derive_sample_seed(engine.rng_seed(), session),
                 ) {
                     Ok((payload, raw_len)) => Message::Extracted {
                         payload,

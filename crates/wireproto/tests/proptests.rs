@@ -48,27 +48,43 @@ fn messages_round_trip() {
         prop::any_bool(),
         prop::any_bool(),
         prop::option_of(prop::usize_in(0..100_000)),
-        prop::any_u64(),
+        (prop::any_u64(), prop::usize_in(1..4 << 20)),
     );
-    prop::check(cfg(), strategy, |(sql, compress, encrypt, sample, id)| {
-        for msg in [
-            Message::Query { sql: sql.clone() },
-            Message::ExtractInputs {
-                query: sql.clone(),
-                udf: "f".into(),
-                options: TransferOptions {
-                    compress: *compress,
-                    encrypt: *encrypt,
-                    sample: *sample,
+    prop::check(
+        cfg(),
+        strategy,
+        |(sql, compress, encrypt, sample, (id, bs))| {
+            for msg in [
+                Message::Query { sql: sql.clone() },
+                Message::ExtractInputs {
+                    query: sql.clone(),
+                    udf: "f".into(),
+                    options: TransferOptions {
+                        compress: *compress,
+                        encrypt: *encrypt,
+                        sample: *sample,
+                        ..Default::default()
+                    },
+                    transfer_id: *id,
                 },
-                transfer_id: *id,
-            },
-        ] {
-            let decoded = Message::decode(&msg.encode()).unwrap();
-            prop_assert_eq!(decoded, msg);
-        }
-        Ok(())
-    });
+                Message::ExtractInputs {
+                    query: sql.clone(),
+                    udf: "f".into(),
+                    options: TransferOptions {
+                        compress: *compress,
+                        encrypt: *encrypt,
+                        sample: *sample,
+                        block_size: *bs,
+                    },
+                    transfer_id: *id,
+                },
+            ] {
+                let decoded = Message::decode(&msg.encode()).unwrap();
+                prop_assert_eq!(decoded, msg);
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -55,6 +55,7 @@ fn main() {
                 compress: true,
                 encrypt: true,
                 sample: None,
+                ..Default::default()
             },
         ),
         ("sample 10%", TransferOptions::sampled(rows / 10)),
@@ -65,6 +66,7 @@ fn main() {
                 compress: true,
                 encrypt: false,
                 sample: Some(rows / 100),
+                ..Default::default()
             },
         ),
     ];

@@ -32,6 +32,23 @@ cargo test --offline -q -p obs
 cargo build --offline -p obs --no-default-features
 cargo test --offline -q -p obs --no-default-features
 
+# The chunked transfer container must put identical bytes on the wire no
+# matter how wide the codec pool is (DESIGN.md §11): run the digest
+# printer single-threaded and with the default pool and diff the output.
+echo "==> transfer wire-determinism digests (1 thread vs default pool)"
+DEVUDF_POOL_THREADS=1 cargo run --offline --release -q -p devudf-bench --bin transfer_digest \
+  > /tmp/devudf-digest-t1.txt
+cargo run --offline --release -q -p devudf-bench --bin transfer_digest \
+  > /tmp/devudf-digest-default.txt
+diff /tmp/devudf-digest-t1.txt /tmp/devudf-digest-default.txt
+echo "digests identical"
+
+# Throughput guard: the compressed/1000 extract must stay within 10% of
+# the committed BENCH_transfer.json baseline, normalized by plain/1000
+# measured in the same run (shared hosts drift; the ratio does not).
+echo "==> transfer bench guard (compressed/1000 vs committed baseline)"
+cargo run --offline --release -q -p devudf-bench --bin bench_guard
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 
