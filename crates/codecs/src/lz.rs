@@ -29,7 +29,7 @@
 //! caller-provided exact-size buffer so parallel block decode can target
 //! disjoint sub-slices of one output allocation.
 
-use crate::varint::{read_u64, write_u64, VarintError};
+use crate::varint::{encoded_len, read_u64, write_u64, VarintError};
 
 /// Minimum match length worth encoding (a match token costs ≥ 2 bytes).
 const MIN_MATCH: usize = 4;
@@ -243,6 +243,17 @@ pub fn compress_with(scratch: &mut Scratch, input: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Lower bound on the length of any stream [`compress`] can emit for
+/// `raw_len` bytes of input: the length-header varint plus at least two
+/// bytes per token, where one token covers at most `MAX_MATCH` raw
+/// bytes. Framing layers that carry a declared raw length next to a
+/// compressed body use this to reject declared lengths no honest stream
+/// could reach *before* sizing any allocation from them — the same
+/// don't-trust-the-header rule [`decompress`] applies internally.
+pub fn min_stream_len(raw_len: usize) -> usize {
+    encoded_len(raw_len as u64) + raw_len.div_ceil(MAX_MATCH) * 2
+}
+
 /// Decompress a buffer produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
     let (declared, cursor) = read_u64(input)?;
@@ -418,6 +429,31 @@ mod tests {
             data.len()
         );
         round_trip(&data);
+    }
+
+    #[test]
+    fn min_stream_len_is_a_true_lower_bound() {
+        // The most compressible inputs the encoder can meet must still
+        // respect the bound, including match-boundary sizes.
+        for len in [
+            0usize,
+            1,
+            3,
+            MIN_MATCH,
+            1000,
+            MAX_MATCH - 1,
+            MAX_MATCH,
+            MAX_MATCH + 1,
+            4 * MAX_MATCH + 17,
+        ] {
+            let data = vec![0u8; len];
+            assert!(
+                compress(&data).len() >= min_stream_len(len),
+                "len {len}: compressed {} < bound {}",
+                compress(&data).len(),
+                min_stream_len(len)
+            );
+        }
     }
 
     #[test]

@@ -12,8 +12,17 @@
 //! * **Scoped.** [`Pool::scoped`] lets jobs borrow from the caller's
 //!   stack (the payload being split lives in the caller), so block slices
 //!   need no `'static` bound and no copying into `Arc`s. The scope joins
-//!   all of its jobs before returning — the classic scoped-pool contract
-//!   that makes the lifetime erasure sound.
+//!   all of its jobs before returning — even when the caller's closure
+//!   panics after queueing jobs, mirroring `std::thread::scope` — the
+//!   classic scoped-pool contract that makes the lifetime erasure sound.
+//! * **Nested submission runs inline.** A job that submits to its own
+//!   pool (directly or via `Pool::map`) would otherwise deadlock: the
+//!   worker blocks joining children that no free worker can ever pick
+//!   up. `Scope::execute` detects submission from one of the pool's own
+//!   workers and runs the job synchronously on that worker instead —
+//!   nested parallelism degrades to sequential execution, never to a
+//!   hang, and results are unchanged because `map` preserves item order
+//!   either way.
 //! * **Deterministic results.** [`Pool::map`] returns results in item
 //!   order regardless of completion order or worker count, which is what
 //!   lets the wire format stay byte-identical across thread counts.
@@ -26,12 +35,20 @@
 //! The queue depth is exported as the `pool.queue_depth` gauge and total
 //! executed jobs as the `pool.jobs` counter (see DESIGN.md §10).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// Id of the [`Pool`] this thread is a worker of (0 = not a worker).
+    /// Lets [`Scope::execute`] detect same-pool nesting and run the job
+    /// inline instead of deadlocking the worker in its nested join.
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
 
 /// A queued unit of work. Lifetimes are erased by [`Scope::execute`]; the
 /// scope's join-before-return contract keeps the borrows alive.
@@ -87,11 +104,15 @@ pub struct Pool {
     injector: Arc<Injector>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Process-unique id, stamped into each worker's [`WORKER_OF`].
+    id: usize,
 }
 
 impl Pool {
     /// Spawn a pool with `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Pool {
+        static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         let threads = threads.max(1);
         let injector = Arc::new(Injector {
             queue: Mutex::new(InjectorState {
@@ -106,6 +127,7 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("devharness-pool-{i}"))
                     .spawn(move || {
+                        WORKER_OF.with(|w| w.set(id));
                         while let Some(job) = injector.pop() {
                             obs::counter!("pool.jobs").inc();
                             job();
@@ -118,6 +140,7 @@ impl Pool {
             injector,
             workers,
             threads,
+            id,
         }
     }
 
@@ -127,8 +150,9 @@ impl Pool {
     }
 
     /// Run `f` with a [`Scope`] whose spawned jobs may borrow anything
-    /// outliving this call. Every job is joined before `scoped` returns;
-    /// a panicking job re-panics here (after all siblings finished).
+    /// outliving this call. Every job is joined before `scoped` returns
+    /// or unwinds; a panicking job re-panics here (after all siblings
+    /// finished), and a panic in `f` itself resumes only after the join.
     pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
     where
         F: FnOnce(&Scope<'pool, 'scope>) -> R,
@@ -142,9 +166,23 @@ impl Pool {
             }),
             _marker: PhantomData,
         };
-        let result = f(&scope);
-        scope.join();
-        result
+        // `f` may panic after queueing jobs whose `'scope` borrows were
+        // lifetime-erased; unwinding past this frame before those jobs
+        // finish would be a use-after-free. Catch the panic, join
+        // unconditionally, and only then resume it — as std::thread::scope
+        // does. (A Drop guard would work too, but a panic inside a panic
+        // aborts; catch/join/resume keeps the failure mode a clean panic.)
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.wait();
+        match result {
+            Ok(r) => {
+                if scope.state.panicked.load(Ordering::Acquire) {
+                    panic!("a job spawned on the thread pool panicked");
+                }
+                r
+            }
+            Err(payload) => resume_unwind(payload),
+        }
     }
 
     /// Parallel map preserving item order: `f(index, item)` runs across
@@ -217,10 +255,21 @@ impl<'pool, 'scope> Scope<'pool, 'scope> {
     /// Submit a job. The job may borrow `'scope` data; the enclosing
     /// [`Pool::scoped`] call joins it before returning, which is what
     /// makes the internal lifetime erasure sound.
+    ///
+    /// Called from one of this pool's own workers, the job runs inline
+    /// on the calling thread instead of being queued: every worker could
+    /// be blocked joining a nested scope, in which case a queued child
+    /// would never be picked up and the pool would deadlock.
     pub fn execute<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'scope,
     {
+        if WORKER_OF.with(|w| w.get()) == self.pool.id {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                self.state.panicked.store(true, Ordering::Release);
+            }
+            return;
+        }
         *self.state.pending.lock().expect("scope state poisoned") += 1;
         let state = self.state.clone();
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
@@ -233,24 +282,22 @@ impl<'pool, 'scope> Scope<'pool, 'scope> {
                 state.done.notify_all();
             }
         });
-        // SAFETY: the job is joined by `Scope::join` before `Pool::scoped`
-        // returns, so every `'scope` borrow it captures strictly outlives
-        // its execution. The job never leaves the pool's queue/workers.
+        // SAFETY: `Pool::scoped` calls `Scope::wait` before returning *or
+        // unwinding* (the user closure runs under catch_unwind), so every
+        // `'scope` borrow the job captures strictly outlives its
+        // execution. The job never leaves the pool's queue/workers.
         let job: Job =
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
         self.pool.injector.push(job);
     }
 
-    /// Wait for every job spawned through this scope; re-panic if any
-    /// job panicked (after all of them finished, so borrows stay sound).
-    fn join(&self) {
+    /// Wait for every job spawned through this scope. Never panics —
+    /// [`Pool::scoped`] checks the panicked flag (and any caller-closure
+    /// panic) only after this returns, so borrows stay sound.
+    fn wait(&self) {
         let mut pending = self.state.pending.lock().expect("scope state poisoned");
         while *pending > 0 {
             pending = self.state.done.wait(pending).expect("scope state poisoned");
-        }
-        drop(pending);
-        if self.state.panicked.load(Ordering::Acquire) {
-            panic!("a job spawned on the thread pool panicked");
         }
     }
 }
@@ -367,6 +414,67 @@ mod tests {
         // The pool survives a panicked scope and keeps working.
         let out = pool.map(vec![1, 2, 3], |_, x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn caller_panic_after_execute_still_joins_queued_jobs() {
+        // Regression: `scoped` used to skip the join when the user closure
+        // panicked after queueing, letting jobs that borrow the caller's
+        // stack outlive it. The borrows below are only sound if the scope
+        // joins on the panic path.
+        let pool = Pool::new(2);
+        let data = vec![7u8; 4096];
+        let sums = Mutex::new(Vec::new());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                for _ in 0..16 {
+                    scope.execute(|| {
+                        // Borrows `data` and `sums` from this frame.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        let s: u64 = data.iter().map(|&b| b as u64).sum();
+                        sums.lock().unwrap().push(s);
+                    });
+                }
+                panic!("caller panics with jobs still queued");
+            });
+        }));
+        assert!(result.is_err(), "caller panic must propagate");
+        // Every job ran to completion against live borrows first.
+        let sums = sums.into_inner().unwrap();
+        assert_eq!(sums.len(), 16);
+        assert!(sums.iter().all(|&s| s == 7 * 4096));
+    }
+
+    #[test]
+    fn nested_submission_to_same_pool_runs_inline_not_deadlocks() {
+        // A job that maps on its own pool would deadlock if its children
+        // were queued (all workers can be stuck joining); nested jobs run
+        // inline on the worker instead.
+        let pool = Pool::new(2);
+        let outer: Vec<u64> = (0..8).collect();
+        let out = pool.map(outer, |_, x| {
+            let inner: Vec<u64> = (0..50).collect();
+            pool.map(inner, |_, y| y * x).iter().sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8).map(|x| x * (0..50).sum::<u64>()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn nested_job_panic_still_propagates() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0u8; 4], |i, _| {
+                pool.scoped(|scope| {
+                    scope.execute(move || {
+                        if i == 2 {
+                            panic!("inner boom");
+                        }
+                    });
+                });
+            })
+        }));
+        assert!(result.is_err(), "nested panic must surface to the caller");
     }
 
     #[test]

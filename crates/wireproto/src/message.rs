@@ -483,8 +483,24 @@ fn put_options(out: &mut Vec<u8>, o: &TransferOptions) {
     }
 }
 
+/// Every transfer-option flag bit this version understands. Bits 0–2
+/// (compress/encrypt/sample) shipped in v0; bit 3 (block size) implies a
+/// trailing varint.
+const KNOWN_OPTION_FLAGS: u8 = 1 | 2 | 4 | 8;
+
 fn read_options(r: &mut Reader<'_>) -> Result<TransferOptions, WireError> {
     let flags = r.byte()?;
+    // Reject unknown bits loudly. Flag bits here imply trailing fields
+    // (bit 2 a sample count, bit 3 a block size), so skipping an unknown
+    // bit would leave its field unconsumed and silently desync every
+    // later read in the frame — a clean error beats misparsed garbage
+    // when a newer peer sends an extension we don't know.
+    if flags & !KNOWN_OPTION_FLAGS != 0 {
+        return Err(Reader::err(&format!(
+            "unknown transfer option flag bits {:#04x}",
+            flags & !KNOWN_OPTION_FLAGS
+        )));
+    }
     let sample = if flags & 4 != 0 {
         Some(r.varint()? as usize)
     } else {
@@ -779,6 +795,21 @@ mod tests {
             traceback: Some("Traceback...".into()),
         });
         round_trip(Message::Pong);
+    }
+
+    #[test]
+    fn unknown_option_flag_bits_are_rejected() {
+        // A future flag bit may imply a trailing field (as bits 2 and 3
+        // already do); ignoring it would desync the rest of the frame,
+        // so this version must fail loudly instead.
+        let mut out = Vec::new();
+        put_options(&mut out, &TransferOptions::compressed());
+        out[0] |= 16;
+        let err = read_options(&mut Reader::new(&out)).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown transfer option flag"),
+            "{err}"
+        );
     }
 
     #[test]

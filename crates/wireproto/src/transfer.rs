@@ -26,7 +26,12 @@
 //! with a per-block nonce derived from (transfer id, block index) so no
 //! keystream is ever reused across blocks. The header stays plaintext —
 //! the client needs the framing *before* decrypting to fan blocks out
-//! across its own pool. Crucially the bytes on the wire depend only on
+//! across its own pool. The tag detects **accidental corruption and
+//! wrong passwords only**: ChaCha20 is malleable and FNV is not keyed,
+//! so this is a checksum, not a MAC, and the plaintext header is not
+//! authenticated at all — consistent with the paper's threat model
+//! (protect data in transit with the user's password), not with an
+//! active in-path adversary. Crucially the bytes on the wire depend only on
 //! the input and the options, never on the pool width: [`Pool::map`]
 //! preserves item order and the LZ scratch reuse is output-invisible, so
 //! one thread and eight threads produce identical payloads (CI asserts
@@ -202,7 +207,10 @@ impl std::error::Error for TransferError {}
 /// Salt domain-separating transfer-encryption keys from other password uses.
 const TRANSFER_SALT: &[u8] = b"devudf-transfer-v1";
 
-/// Bytes of plaintext checksum carried inside each (possibly encrypted) body.
+/// Bytes of plaintext checksum carried inside each (possibly encrypted)
+/// body. A corruption/wrong-password detector, **not** a MAC: under the
+/// malleable stream cipher a deliberate forgery sticks with probability
+/// 2⁻³², which deters nobody — see the module docs.
 const INTEGRITY_TAG_LEN: usize = 4;
 
 /// v1 container magic. Distinct from the pickle magic `PKL1` that opens a
@@ -461,8 +469,8 @@ pub fn decode_blocks(
     let compressed = flags & FLAG_COMPRESS != 0;
     let encrypted = flags & FLAG_ENCRYPT != 0;
     // The container is self-describing, but it must agree with the
-    // negotiated options — a mismatch means the frame was tampered with
-    // or the peers disagree about the session.
+    // negotiated options — a mismatch means the frame was corrupted or
+    // the peers disagree about the session.
     if compressed != options.compress || encrypted != options.encrypt {
         return Err(container_err(format!(
             "container flags (compress={compressed}, encrypt={encrypted}) disagree \
@@ -482,6 +490,16 @@ pub fn decode_blocks(
         return Err(container_err(format!(
             "block count {nblocks} inconsistent with raw length {raw_total} \
              and block size {block_size}"
+        )));
+    }
+    // Never size an allocation from a declared count alone: each block
+    // table entry occupies at least 3 bytes (encoding byte + two
+    // varints), so a count the remaining payload cannot possibly hold is
+    // rejected before `metas` is reserved.
+    if nblocks > (payload.len() - cursor) / 3 {
+        return Err(container_err(format!(
+            "block count {nblocks} exceeds what {} remaining bytes can hold",
+            payload.len() - cursor
         )));
     }
 
@@ -518,6 +536,31 @@ pub fn decode_blocks(
             return Err(container_err(format!(
                 "block {i}: wire length {wire_len} too short for integrity tag"
             )));
+        }
+        // Declared raw lengths size the output allocation below, so they
+        // must be plausible for the wire bytes actually present — a
+        // hostile header must not buy a terabyte `vec![0; raw_total]`
+        // with a handful of payload bytes. Stored blocks are exact
+        // (encode writes raw + tag); LZ blocks are bounded by the
+        // codec's own minimum stream length for `raw_len` output bytes.
+        let codec_len = wire_len - INTEGRITY_TAG_LEN;
+        match enc {
+            BLOCK_STORED => {
+                if codec_len != raw_len {
+                    return Err(container_err(format!(
+                        "block {i}: stored wire length {wire_len} does not match \
+                         raw length {raw_len} plus tag"
+                    )));
+                }
+            }
+            _ => {
+                if codec_len < lz::min_stream_len(raw_len) {
+                    return Err(container_err(format!(
+                        "block {i}: raw length {raw_len} impossible for a \
+                         {codec_len}-byte LZ stream"
+                    )));
+                }
+            }
         }
         raw_sum += raw_len;
         wire_sum = wire_sum
@@ -998,7 +1041,7 @@ mod tests {
     }
 
     #[test]
-    fn tampered_ciphertext_is_rejected() {
+    fn corrupted_ciphertext_is_rejected() {
         let inputs = sample_dict(20);
         let opts = TransferOptions::encrypted();
         let (mut payload, _) = encode_payload(&inputs, &opts, "pw", 11, 7).unwrap();
@@ -1006,6 +1049,86 @@ mod tests {
         let at = payload.len() - 5;
         payload[at] ^= 0x40;
         assert!(decode_payload(&payload, &opts, "pw", 11).is_err());
+    }
+
+    #[test]
+    fn hostile_raw_total_is_rejected_before_allocation() {
+        // A ~40-byte container declaring a terabyte raw length must be
+        // rejected from the framing alone — no honest 5-byte LZ stream
+        // can expand to 2^40 bytes, and the declared length must never
+        // size an allocation. (A valid tag proves rejection happens at
+        // the header, not at the post-allocation integrity check.)
+        let opts = TransferOptions::compressed();
+        let mut body = vec![0u8; 5];
+        let tag = codecs::fnv1a_32(&body);
+        body.extend_from_slice(&tag.to_le_bytes());
+        let mut p = Vec::new();
+        p.extend_from_slice(&CONTAINER_MAGIC);
+        p.push(CONTAINER_VERSION);
+        p.push(FLAG_COMPRESS);
+        write_u64(&mut p, 1 << 40); // block_size
+        write_u64(&mut p, 1 << 40); // raw_total
+        write_u64(&mut p, 1); // nblocks
+        p.push(BLOCK_LZ);
+        write_u64(&mut p, 1 << 40); // raw_len
+        write_u64(&mut p, body.len() as u64); // wire_len
+        p.extend_from_slice(&body);
+        let pool = Pool::new(1);
+        match decode_blocks(&pool, &p, &opts, "", 0) {
+            Err(TransferError::Container(msg)) => {
+                assert!(msg.contains("impossible"), "{msg}")
+            }
+            other => panic!("hostile raw_total: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_block_count_is_rejected_before_allocation() {
+        // block_size=1 makes nblocks equal the declared raw length; the
+        // block table for 2^40 entries cannot fit in a short payload, so
+        // the count is rejected before the table vector is reserved.
+        let opts = TransferOptions::compressed();
+        let mut p = Vec::new();
+        p.extend_from_slice(&CONTAINER_MAGIC);
+        p.push(CONTAINER_VERSION);
+        p.push(FLAG_COMPRESS);
+        write_u64(&mut p, 1); // block_size
+        write_u64(&mut p, 1 << 40); // raw_total
+        write_u64(&mut p, 1 << 40); // nblocks
+        let pool = Pool::new(1);
+        match decode_blocks(&pool, &p, &opts, "", 0) {
+            Err(TransferError::Container(msg)) => {
+                assert!(msg.contains("exceeds what"), "{msg}")
+            }
+            other => panic!("hostile nblocks: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_stored_block_length_mismatch_is_rejected() {
+        // Stored blocks are exact: wire length must equal raw + tag.
+        let opts = TransferOptions::compressed();
+        let mut body = vec![7u8; 10];
+        let tag = codecs::fnv1a_32(&body);
+        body.extend_from_slice(&tag.to_le_bytes());
+        let mut p = Vec::new();
+        p.extend_from_slice(&CONTAINER_MAGIC);
+        p.push(CONTAINER_VERSION);
+        p.push(FLAG_COMPRESS);
+        write_u64(&mut p, 4096); // block_size
+        write_u64(&mut p, 100); // raw_total (≠ 10 stored bytes)
+        write_u64(&mut p, 1); // nblocks
+        p.push(BLOCK_STORED);
+        write_u64(&mut p, 100); // raw_len
+        write_u64(&mut p, body.len() as u64); // wire_len = 14
+        p.extend_from_slice(&body);
+        let pool = Pool::new(1);
+        match decode_blocks(&pool, &p, &opts, "", 0) {
+            Err(TransferError::Container(msg)) => {
+                assert!(msg.contains("does not match"), "{msg}")
+            }
+            other => panic!("stored mismatch: {other:?}"),
+        }
     }
 
     #[test]
