@@ -135,6 +135,11 @@ pub fn bench_session(server: &Server, tag: &str) -> devudf::DevUdf {
     std::fs::create_dir_all(&dir).unwrap();
     let mut settings = devudf::Settings::default();
     settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+    // The codec suites (and bench_guard's baseline ratio) measure the
+    // full extract path; with the default-on delta cache every warm
+    // iteration would be a NotModified round trip instead. The cache has
+    // its own suite, benches/transfer_cache.rs.
+    settings.transfer.cache.enabled = false;
     devudf::DevUdf::connect_in_proc(server, settings, &dir).unwrap()
 }
 

@@ -150,6 +150,31 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
     h.finalize()
 }
 
+/// Content addresses for `data` chunked at `block_size`: one digest per
+/// block, in block order. The final block may be short; empty input has no
+/// blocks. This is the addressing scheme of the wire-transfer delta cache —
+/// two payloads share a block exactly when the digests at hand match.
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let data = vec![7u8; 10];
+/// let digests = codecs::sha256::block_digests(&data, 4); // blocks of 4,4,2
+/// assert_eq!(digests.len(), 3);
+/// assert_eq!(digests[0], codecs::sha256(&data[..4]));
+/// assert_eq!(digests[0], digests[1]);
+/// assert_ne!(digests[1], digests[2]);
+/// assert!(codecs::sha256::block_digests(&[], 4).is_empty());
+/// ```
+pub fn block_digests(data: &[u8], block_size: usize) -> Vec<[u8; 32]> {
+    assert!(block_size > 0, "block_size must be non-zero");
+    data.chunks(block_size).map(sha256).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,52 @@ pub struct TransferSettings {
     /// Container block size in bytes (`None` = the wire default,
     /// [`wireproto::DEFAULT_BLOCK_SIZE`]).
     pub block_size: Option<usize>,
+    /// Content-addressed delta cache for repeated extracts (DESIGN §12).
+    pub cache: CacheSettings,
+}
+
+/// Settings of the client-side extract cache: on by default — the
+/// iterative edit→extract→debug loop is the paper's whole premise, and
+/// against an old server the client falls back transparently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSettings {
+    /// Use the `ExtractDelta` protocol with a local block cache.
+    pub enabled: bool,
+    /// Extract payloads kept client-side (MRU eviction).
+    pub entries: usize,
+}
+
+impl Default for CacheSettings {
+    fn default() -> CacheSettings {
+        CacheSettings {
+            enabled: true,
+            entries: 8,
+        }
+    }
+}
+
+impl CacheSettings {
+    fn to_json(self) -> Value {
+        Value::Object(vec![
+            ("enabled".to_string(), Value::Bool(self.enabled)),
+            ("entries".to_string(), Value::from(self.entries as u64)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::io::Result<CacheSettings> {
+        let enabled = v
+            .get("enabled")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| invalid("transfer.cache.enabled missing"))?;
+        let entries = match v.get("entries") {
+            None | Some(Value::Null) => CacheSettings::default().entries,
+            Some(k) => match k.as_u64() {
+                Some(n) if n > 0 => n as usize,
+                _ => return Err(invalid("transfer.cache.entries must be a positive count")),
+            },
+        };
+        Ok(CacheSettings { enabled, entries })
+    }
 }
 
 impl From<TransferSettings> for TransferOptions {
@@ -178,6 +224,7 @@ impl TransferSettings {
                 "block_size".to_string(),
                 Value::from(self.block_size.map(|n| n as u64)),
             ),
+            ("cache".to_string(), self.cache.to_json()),
         ])
     }
 
@@ -203,6 +250,12 @@ impl TransferSettings {
             sample: opt_count("sample", true)?,
             parallelism: opt_count("parallelism", false)?,
             block_size: opt_count("block_size", false)?,
+            // Absent in settings files written before the delta cache
+            // existed — default (enabled) rather than reject.
+            cache: match v.get("cache") {
+                None | Some(Value::Null) => CacheSettings::default(),
+                Some(c) => CacheSettings::from_json(c)?,
+            },
         })
     }
 }
@@ -294,6 +347,11 @@ impl Settings {
             read_timeout: io_timeout,
             write_timeout: io_timeout,
             parallelism: self.transfer.parallelism,
+            cache: self
+                .transfer
+                .cache
+                .enabled
+                .then_some(self.transfer.cache.entries),
             ..ClientOptions::default()
         }
     }
@@ -311,6 +369,7 @@ impl Settings {
              │ Password:   {:<35}│\n\
              │ SQL Query:  {:<35}│\n\
              │ Transfer:   {:<35}│\n\
+             │ Cache:      {:<35}│\n\
              │ Retry:      {:<35}│\n\
              └────────────────────────────────────────────────┘",
             self.host,
@@ -320,6 +379,7 @@ impl Settings {
             mask,
             truncate(&self.debug_query, 35),
             truncate(&self.describe_transfer(), 35),
+            truncate(&self.describe_cache(), 35),
             truncate(&self.describe_retry(), 35),
         )
     }
@@ -345,6 +405,14 @@ impl Settings {
             "full data, plaintext".to_string()
         } else {
             parts.join(" + ")
+        }
+    }
+
+    fn describe_cache(&self) -> String {
+        if self.transfer.cache.enabled {
+            format!("delta, {} extracts kept", self.transfer.cache.entries)
+        } else {
+            "disabled (full extract)".to_string()
         }
     }
 
@@ -510,6 +578,67 @@ mod tests {
         .unwrap();
         assert!(Settings::load(&dir).is_err());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cache_is_on_by_default_and_plumbs_into_client_options() {
+        let mut s = Settings::default();
+        assert_eq!(s.transfer.cache, CacheSettings::default());
+        assert_eq!(s.client_options().cache, Some(8));
+        s.transfer.cache.entries = 2;
+        assert_eq!(s.client_options().cache, Some(2));
+        s.transfer.cache.enabled = false;
+        assert_eq!(s.client_options().cache, None);
+    }
+
+    #[test]
+    fn settings_file_without_cache_section_loads_enabled() {
+        // Files written before the delta cache existed default to on —
+        // the client degrades transparently against old servers anyway.
+        let dir = temp_dir("nocache");
+        let path = Settings::path_in(&dir);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": false, "encrypt": false, "sample": null}}"#,
+        )
+        .unwrap();
+        let s = Settings::load(&dir).unwrap();
+        assert_eq!(s.transfer.cache, CacheSettings::default());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cache_settings_round_trip_and_reject_zero_entries() {
+        let dir = temp_dir("cache-rt");
+        let mut s = Settings::default();
+        s.transfer.cache = CacheSettings {
+            enabled: false,
+            entries: 3,
+        };
+        s.save(&dir).unwrap();
+        assert_eq!(Settings::load(&dir).unwrap(), s);
+        let path = Settings::path_in(&dir);
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": false, "encrypt": false, "sample": null,
+                             "cache": {"enabled": true, "entries": 0}}}"#,
+        )
+        .unwrap();
+        assert!(Settings::load(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn dialog_describes_the_cache() {
+        let mut s = Settings::default();
+        assert!(s.render_dialog().contains("delta, 8 extracts kept"));
+        s.transfer.cache.enabled = false;
+        assert!(s.render_dialog().contains("disabled (full extract)"));
     }
 
     #[test]

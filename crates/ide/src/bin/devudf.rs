@@ -12,6 +12,8 @@
 //!                                  each BP is LINE or LINE:CONDITION
 //! devudf log     DIR               show the project's VCS history
 //! devudf metrics DIR               show the server's live sys.metrics table
+//! devudf cache   DIR NAME          demo the extract cache: fetch NAME's
+//!                                  inputs twice, print bytes-on-wire
 //! ```
 //!
 //! Commands taking a project DIR read connection settings from
@@ -108,11 +110,42 @@ fn main() {
             println!("{}", table.render_ascii());
             Ok(())
         }),
+        Some("cache") => cmd_project(&args, |dev, names| {
+            let Some(name) = names.first() else {
+                return Err("usage: devudf cache DIR NAME".to_string());
+            };
+            let cache = dev.settings.transfer.cache;
+            if cache.enabled {
+                println!(
+                    "extract cache: delta transfer, {} extracts kept",
+                    cache.entries
+                );
+            } else {
+                println!("extract cache: disabled (classic full extract)");
+            }
+            // Two identical fetches back to back: the second rides the
+            // delta protocol and — unchanged data — costs zero payload
+            // bytes (or the full amount again when disabled).
+            let cold = dev.fetch_inputs(name).map_err(|e| e.to_string())?;
+            let warm = dev.fetch_inputs(name).map_err(|e| e.to_string())?;
+            println!(
+                "cold fetch: {} raw bytes, {} on the wire",
+                cold.raw_len, cold.wire_len
+            );
+            println!(
+                "warm fetch: {} raw bytes, {} on the wire",
+                warm.raw_len, warm.wire_len
+            );
+            if cache.enabled && warm.wire_len == 0 {
+                println!("unchanged data: the server answered NotModified");
+            }
+            Ok(())
+        }),
         Some("log") => cmd_log(&args),
         Some("diff") => cmd_diff(&args),
         _ => {
             eprintln!(
-                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics> …\n(see the module docs for details)"
+                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics|cache> …\n(see the module docs for details)"
             );
             2
         }

@@ -39,6 +39,14 @@ pub struct FunctionDef {
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
     functions: BTreeMap<String, FunctionDef>,
+    /// Per-table epoch: the value of `mutations` at the table's most recent
+    /// mutation. Epochs are drawn from one monotone counter so a dropped and
+    /// recreated table can never reuse an epoch an old cache entry recorded.
+    epochs: BTreeMap<String, u64>,
+    /// Epoch of the function catalog (covers `sys.functions` / `sys.args`).
+    functions_epoch: u64,
+    /// Global mutation counter; every DML or DDL statement bumps it.
+    mutations: u64,
 }
 
 impl Catalog {
@@ -48,6 +56,14 @@ impl Catalog {
 
     fn key(name: &str) -> String {
         name.to_ascii_lowercase()
+    }
+
+    /// Advance the global mutation counter and stamp `key` with it.
+    fn bump(&mut self, key: &str) -> u64 {
+        self.mutations += 1;
+        self.epochs.insert(key.to_string(), self.mutations);
+        obs::gauge!("monet.catalog.epoch").set(self.mutations as i64);
+        self.mutations
     }
 
     // ---------------- tables ----------------
@@ -63,19 +79,30 @@ impl Catalog {
                 table.name
             )));
         }
-        self.tables.insert(key, table);
+        self.tables.insert(key.clone(), table);
+        self.bump(&key);
         Ok(())
     }
 
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<(), DbError> {
-        if self.tables.remove(&Self::key(name)).is_none() && !if_exists {
-            return Err(DbError::catalog(format!("no such table '{name}'")));
+        let key = Self::key(name);
+        if self.tables.remove(&key).is_none() {
+            if !if_exists {
+                return Err(DbError::catalog(format!("no such table '{name}'")));
+            }
+            return Ok(());
         }
+        // A dropped table has no epoch; any cache entry that recorded one
+        // can no longer match and must re-extract.
+        self.epochs.remove(&key);
+        self.mutations += 1;
+        obs::gauge!("monet.catalog.epoch").set(self.mutations as i64);
         Ok(())
     }
 
-    /// Look up a table; `sys.functions` / `sys.args` are materialized views
-    /// over the function catalog.
+    /// Look up a table; `sys.functions` / `sys.args` / `sys.tables` are
+    /// materialized views over the catalog, `sys.metrics` over the
+    /// telemetry registry.
     pub fn table(&self, name: &str) -> Result<Table, DbError> {
         match Self::key(name).as_str() {
             "sys.functions" | "functions" if !self.tables.contains_key("functions") => {
@@ -85,6 +112,7 @@ impl Catalog {
             "sys.metrics" | "metrics" if !self.tables.contains_key("metrics") => {
                 Ok(self.sys_metrics())
             }
+            "sys.tables" | "tables" if !self.tables.contains_key("tables") => Ok(self.sys_tables()),
             key => self
                 .tables
                 .get(key)
@@ -93,10 +121,39 @@ impl Catalog {
         }
     }
 
+    /// The epoch a cache entry must match for `name` to be unchanged.
+    ///
+    /// User tables report the epoch of their most recent mutation; the
+    /// function-catalog views (`sys.functions` / `sys.args`) report the
+    /// function epoch. Volatile views (`sys.metrics`, `sys.tables`) and
+    /// unknown names return `None`, which delta callers must treat as
+    /// "cannot prove unchanged".
+    pub fn table_epoch(&self, name: &str) -> Option<u64> {
+        match Self::key(name).as_str() {
+            "sys.functions" | "functions" if !self.tables.contains_key("functions") => {
+                Some(self.functions_epoch)
+            }
+            "sys.args" | "args" if !self.tables.contains_key("args") => Some(self.functions_epoch),
+            "sys.metrics" | "metrics" if !self.tables.contains_key("metrics") => None,
+            "sys.tables" | "tables" if !self.tables.contains_key("tables") => None,
+            key => self.epochs.get(key).copied(),
+        }
+    }
+
+    /// Epoch of the function catalog (bumped by CREATE/DROP FUNCTION).
+    pub fn functions_epoch(&self) -> u64 {
+        self.functions_epoch
+    }
+
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
-        self.tables
-            .get_mut(&Self::key(name))
-            .ok_or_else(|| DbError::catalog(format!("no such table '{name}'")))
+        let key = Self::key(name);
+        if !self.tables.contains_key(&key) {
+            return Err(DbError::catalog(format!("no such table '{name}'")));
+        }
+        // Every DML mutation flows through here, so the epoch bump cannot
+        // be forgotten by a new statement kind.
+        self.bump(&key);
+        Ok(self.tables.get_mut(&key).expect("presence checked above"))
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -114,13 +171,22 @@ impl Catalog {
             )));
         }
         self.functions.insert(key, def);
+        self.mutations += 1;
+        self.functions_epoch = self.mutations;
+        obs::gauge!("monet.catalog.epoch").set(self.mutations as i64);
         Ok(())
     }
 
     pub fn drop_function(&mut self, name: &str, if_exists: bool) -> Result<(), DbError> {
-        if self.functions.remove(&Self::key(name)).is_none() && !if_exists {
-            return Err(DbError::catalog(format!("no such function '{name}'")));
+        if self.functions.remove(&Self::key(name)).is_none() {
+            if !if_exists {
+                return Err(DbError::catalog(format!("no such function '{name}'")));
+            }
+            return Ok(());
         }
+        self.mutations += 1;
+        self.functions_epoch = self.mutations;
+        obs::gauge!("monet.catalog.epoch").set(self.mutations as i64);
         Ok(())
     }
 
@@ -227,6 +293,32 @@ impl Catalog {
         )
         .expect("sys.metrics columns are same length")
     }
+
+    /// The `sys.tables` meta table: (name, epoch, rows, columns). One row
+    /// per user table, sorted by name; `epoch` is the mutation counter at
+    /// the table's most recent change (the delta cache's invalidation key).
+    pub fn sys_tables(&self) -> Table {
+        let mut names = Vec::new();
+        let mut epochs = Vec::new();
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for (key, table) in &self.tables {
+            names.push(table.name.clone());
+            epochs.push(self.epochs.get(key).copied().unwrap_or(0) as i64);
+            rows.push(table.row_count() as i64);
+            cols.push(table.columns.len() as i64);
+        }
+        Table::from_columns(
+            "sys.tables",
+            vec![
+                Column::new("name", ColumnData::Str(names)),
+                Column::new("epoch", ColumnData::Int(epochs)),
+                Column::new("rows", ColumnData::Int(rows)),
+                Column::new("columns", ColumnData::Int(cols)),
+            ],
+        )
+        .expect("sys.tables columns are same length")
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +420,78 @@ mod tests {
         let mut c = Catalog::new();
         let t = Table::new("sys.fake", &[("x".to_string(), SqlType::Integer)]);
         assert!(c.create_table(t).is_err());
+    }
+
+    #[test]
+    fn epochs_advance_on_every_mutation_and_never_repeat() {
+        let mut c = Catalog::new();
+        assert_eq!(c.table_epoch("people"), None);
+        c.create_table(Table::new(
+            "People",
+            &[("id".to_string(), SqlType::Integer)],
+        ))
+        .unwrap();
+        let e1 = c.table_epoch("PEOPLE").expect("created table has epoch");
+        c.table_mut("people").unwrap();
+        let e2 = c.table_epoch("people").unwrap();
+        assert!(e2 > e1, "DML bumps the epoch ({e1} -> {e2})");
+        // Dropping removes the epoch; recreating assigns a strictly newer one.
+        c.drop_table("people", false).unwrap();
+        assert_eq!(c.table_epoch("people"), None);
+        c.create_table(Table::new(
+            "People",
+            &[("id".to_string(), SqlType::Integer)],
+        ))
+        .unwrap();
+        let e3 = c.table_epoch("people").unwrap();
+        assert!(e3 > e2, "recreated table cannot reuse an old epoch");
+    }
+
+    #[test]
+    fn function_ddl_bumps_the_functions_epoch() {
+        let mut c = Catalog::new();
+        let before = c.functions_epoch();
+        c.create_function(sample_fn(), false).unwrap();
+        let created = c.functions_epoch();
+        assert!(created > before);
+        assert_eq!(c.table_epoch("sys.functions"), Some(created));
+        assert_eq!(c.table_epoch("sys.args"), Some(created));
+        c.drop_function("train_rnforest", false).unwrap();
+        assert!(c.functions_epoch() > created);
+    }
+
+    #[test]
+    fn volatile_views_report_no_epoch() {
+        let c = Catalog::new();
+        assert_eq!(c.table_epoch("sys.metrics"), None);
+        assert_eq!(c.table_epoch("sys.tables"), None);
+    }
+
+    #[test]
+    fn sys_tables_lists_names_epochs_and_shapes() {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(
+            "numbers",
+            &[("i".to_string(), SqlType::Integer)],
+        ))
+        .unwrap();
+        let t = c.table("sys.tables").unwrap();
+        assert_eq!(
+            t.columns
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["name", "epoch", "rows", "columns"]
+        );
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(
+            t.column_by_name("name").unwrap().get(0),
+            SqlValue::Str("numbers".into())
+        );
+        assert_eq!(
+            t.column_by_name("epoch").unwrap().get(0),
+            SqlValue::Int(c.table_epoch("numbers").unwrap() as i64)
+        );
     }
 
     #[test]

@@ -85,6 +85,10 @@ const MAX_UDF_DEPTH: usize = 12;
 #[derive(Clone)]
 pub struct Engine {
     inner: Rc<RefCell<Inner>>,
+    /// When active, every `get_table` records the (lower-cased) table name —
+    /// the dependency set behind `extract_inputs_with_deps`. Kept outside
+    /// `Inner` so logging a read never contends with an engine borrow.
+    read_log: Rc<RefCell<Option<std::collections::BTreeSet<String>>>>,
 }
 
 impl Default for Engine {
@@ -113,6 +117,7 @@ impl Engine {
                 udf_stdout: String::new(),
                 udf_depth: 0,
             })),
+            read_log: Rc::new(RefCell::new(None)),
         }
     }
 
@@ -177,7 +182,15 @@ impl Engine {
     // ------------------------------------------------------------------
 
     pub fn get_table(&self, name: &str) -> Result<Table, DbError> {
+        if let Some(log) = self.read_log.borrow_mut().as_mut() {
+            log.insert(name.to_ascii_lowercase());
+        }
         self.inner.borrow().catalog.table(name)
+    }
+
+    /// The invalidation epoch for `name` (see [`Catalog::table_epoch`]).
+    pub fn table_epoch(&self, name: &str) -> Option<u64> {
+        self.inner.borrow().catalog.table_epoch(name)
     }
 
     pub fn get_function(&self, name: &str) -> Result<Option<FunctionDef>, DbError> {
@@ -523,6 +536,38 @@ impl Engine {
                 "query does not invoke UDF '{udf_name}'"
             ))),
         }
+    }
+
+    /// [`Engine::extract_inputs`] plus the extraction's dependency set: the
+    /// `(table name, epoch)` pairs the delta cache must match for the result
+    /// to still be valid. The UDF's own definition is always a dependency
+    /// (reported as `sys.functions` at the function-catalog epoch).
+    ///
+    /// If the query read anything without a stable epoch (a volatile view
+    /// such as `sys.metrics`, or a table dropped mid-query), the dependency
+    /// set comes back **empty**, which callers must treat as "never provably
+    /// unchanged" — the conservative answer, never the stale one.
+    pub fn extract_inputs_with_deps(
+        &self,
+        query: &str,
+        udf_name: &str,
+    ) -> Result<(Value, Vec<(String, u64)>), DbError> {
+        *self.read_log.borrow_mut() = Some(std::collections::BTreeSet::new());
+        let result = self.extract_inputs(query, udf_name);
+        let reads = self.read_log.borrow_mut().take().unwrap_or_default();
+        let value = result?;
+        let inner = self.inner.borrow();
+        let mut deps = std::collections::BTreeMap::new();
+        deps.insert("sys.functions".to_string(), inner.catalog.functions_epoch());
+        for name in reads {
+            match inner.catalog.table_epoch(&name) {
+                Some(epoch) => {
+                    deps.insert(name, epoch);
+                }
+                None => return Ok((value, Vec::new())),
+            }
+        }
+        Ok((value, deps.into_iter().collect()))
     }
 }
 
@@ -888,6 +933,46 @@ mod tests {
             d.get(&Value::str("data")).unwrap().unwrap(),
             Value::Array(_)
         ));
+    }
+
+    #[test]
+    fn extract_with_deps_reports_read_tables_and_function_epoch() {
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION md(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return 0.0 }",
+        )
+        .unwrap();
+        let (_, deps) = db
+            .extract_inputs_with_deps("SELECT md(i) FROM t", "md")
+            .unwrap();
+        let names: Vec<&str> = deps.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"t"), "deps {names:?} must include 't'");
+        assert!(names.contains(&"sys.functions"));
+        // The reported epochs match the live catalog, so an unchanged
+        // database re-validates exactly.
+        for (name, epoch) in &deps {
+            assert_eq!(db.table_epoch(name), Some(*epoch));
+        }
+        // A mutation invalidates: the epoch moves past the recorded one.
+        db.execute("INSERT INTO t VALUES (6)").unwrap();
+        let recorded = deps.iter().find(|(n, _)| n == "t").unwrap().1;
+        assert!(db.table_epoch("t").unwrap() > recorded);
+    }
+
+    #[test]
+    fn extract_with_deps_over_volatile_view_reports_no_deps() {
+        let db = Engine::new();
+        db.execute(
+            "CREATE FUNCTION probe(value INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return 0 }",
+        )
+        .unwrap();
+        let (_, deps) = db
+            .extract_inputs_with_deps("SELECT probe(value) FROM sys.metrics", "probe")
+            .unwrap();
+        assert!(
+            deps.is_empty(),
+            "volatile reads must yield an empty (never-valid) dep set, got {deps:?}"
+        );
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! * **uniform random sampling** — debug on a subset "to alleviate the data
 //!   transfer overhead".
 //!
+//! Repeated extracts — the paper's iterative debug loop — skip unchanged
+//! data entirely: a content-addressed block cache ([`delta`]) plus
+//! per-table epochs power an `ExtractDelta` round-trip that answers
+//! `NotModified` or ships only changed blocks, degrading transparently to
+//! a full extract against peers that predate the feature (DESIGN §12).
+//!
 //! # Architecture
 //!
 //! The engine ([`monetlite::Engine`]) is deliberately single-threaded; the
@@ -42,6 +48,7 @@
 //! ```
 
 pub mod client;
+pub mod delta;
 pub mod fault;
 pub mod message;
 pub mod retry;

@@ -7,7 +7,7 @@ use codecs::varint::{read_u64, write_u64};
 use monetlite::{DbError, QueryResult, Table};
 
 use crate::transfer;
-use crate::transfer::TransferOptions;
+use crate::transfer::{DeltaBlock, TransferOptions};
 
 /// Protocol-level error.
 #[derive(Debug, Clone, PartialEq)]
@@ -264,6 +264,22 @@ pub enum Message {
         name: String,
     },
     Ping,
+    /// Delta-aware extract (DESIGN §12): like [`Message::ExtractInputs`],
+    /// but the client also declares what it already holds — the
+    /// dependency epochs its cache entry was built against and the
+    /// SHA-256 digests of its cached plaintext blocks — so the server can
+    /// answer [`Message::DeltaNotModified`] or ship only changed blocks.
+    /// Both lists are empty on a cold cache.
+    ExtractDelta {
+        query: String,
+        udf: String,
+        options: TransferOptions,
+        transfer_id: u64,
+        /// `(table name, epoch)` pairs the cached payload was built from.
+        epochs: Vec<(String, u64)>,
+        /// Content addresses of the client's cached raw blocks.
+        digests: Vec<[u8; 32]>,
+    },
 
     // Server → client.
     LoginOk {
@@ -298,6 +314,27 @@ pub enum Message {
         traceback: Option<String>,
     },
     Pong,
+    /// Every dependency epoch in the [`Message::ExtractDelta`] request
+    /// still matches: the client's cached payload is provably current and
+    /// no payload bytes follow.
+    DeltaNotModified {
+        transfer_id: u64,
+    },
+    /// Delta reply: the fresh payload's full digest table plus only the
+    /// blocks whose digest the client did not declare.
+    DeltaBlocks {
+        options: TransferOptions,
+        transfer_id: u64,
+        /// Total plaintext length of the fresh payload.
+        raw_len: u64,
+        /// Dependency epochs the fresh payload was built from (empty when
+        /// a dependency is volatile and can never be provably unchanged).
+        epochs: Vec<(String, u64)>,
+        /// SHA-256 digest of every block of the fresh payload, in order.
+        digests: Vec<[u8; 32]>,
+        /// The shipped (changed) blocks, strictly increasing by index.
+        blocks: Vec<DeltaBlock>,
+    },
 }
 
 // ----------------------------------------------------------------------
@@ -372,6 +409,13 @@ impl<'a> Reader<'a> {
         } else {
             Err(Self::err("trailing bytes in frame"))
         }
+    }
+
+    /// Bytes left in the frame — the plausibility bound for declared
+    /// counts, so a hostile count can never size an allocation the frame
+    /// could not physically hold.
+    fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
     }
 }
 
@@ -457,6 +501,18 @@ fn read_table(r: &mut Reader<'_>) -> Result<WireTable, WireError> {
 }
 
 fn put_options(out: &mut Vec<u8>, o: &TransferOptions) {
+    put_options_impl(out, o, false)
+}
+
+/// [`put_options`] with the delta version-gate bit set. Only the delta
+/// messages carry it: an old server that sees an `ExtractDelta` frame
+/// fails on the unknown message tag (the client's cue to fall back), and
+/// the bit keeps a delta frame from ever being misparsed as a plain one.
+fn put_options_delta(out: &mut Vec<u8>, o: &TransferOptions) {
+    put_options_impl(out, o, true)
+}
+
+fn put_options_impl(out: &mut Vec<u8>, o: &TransferOptions, delta: bool) {
     let mut flags = 0u8;
     if o.compress {
         flags |= 1;
@@ -474,6 +530,9 @@ fn put_options(out: &mut Vec<u8>, o: &TransferOptions) {
     if block_size != transfer::DEFAULT_BLOCK_SIZE {
         flags |= 8;
     }
+    if delta {
+        flags |= DELTA_OPTION_FLAG;
+    }
     out.push(flags);
     if let Some(k) = o.sample {
         write_u64(out, k as u64);
@@ -485,21 +544,46 @@ fn put_options(out: &mut Vec<u8>, o: &TransferOptions) {
 
 /// Every transfer-option flag bit this version understands. Bits 0–2
 /// (compress/encrypt/sample) shipped in v0; bit 3 (block size) implies a
-/// trailing varint.
+/// trailing varint. Bit 4 ([`DELTA_OPTION_FLAG`]) is deliberately **not**
+/// in this set: it only ever appears inside the delta messages, which use
+/// [`read_options_delta`] — a plain message carrying it is still rejected
+/// with the same strictness as any unknown bit.
 const KNOWN_OPTION_FLAGS: u8 = 1 | 2 | 4 | 8;
 
+/// Option flag bit marking a delta-protocol message (PR 5 version gate).
+const DELTA_OPTION_FLAG: u8 = 16;
+
 fn read_options(r: &mut Reader<'_>) -> Result<TransferOptions, WireError> {
+    read_options_impl(r, false)
+}
+
+/// [`read_options`] for the delta messages: bit 4 is both accepted and
+/// **required**, so a delta frame from a peer that does not actually
+/// speak the delta protocol fails loudly instead of desyncing.
+fn read_options_delta(r: &mut Reader<'_>) -> Result<TransferOptions, WireError> {
+    read_options_impl(r, true)
+}
+
+fn read_options_impl(r: &mut Reader<'_>, delta: bool) -> Result<TransferOptions, WireError> {
     let flags = r.byte()?;
     // Reject unknown bits loudly. Flag bits here imply trailing fields
     // (bit 2 a sample count, bit 3 a block size), so skipping an unknown
     // bit would leave its field unconsumed and silently desync every
     // later read in the frame — a clean error beats misparsed garbage
     // when a newer peer sends an extension we don't know.
-    if flags & !KNOWN_OPTION_FLAGS != 0 {
+    let known = if delta {
+        KNOWN_OPTION_FLAGS | DELTA_OPTION_FLAG
+    } else {
+        KNOWN_OPTION_FLAGS
+    };
+    if flags & !known != 0 {
         return Err(Reader::err(&format!(
             "unknown transfer option flag bits {:#04x}",
-            flags & !KNOWN_OPTION_FLAGS
+            flags & !known
         )));
+    }
+    if delta && flags & DELTA_OPTION_FLAG == 0 {
+        return Err(Reader::err("delta message without the delta option flag"));
     }
     let sample = if flags & 4 != 0 {
         Some(r.varint()? as usize)
@@ -521,6 +605,49 @@ fn read_options(r: &mut Reader<'_>) -> Result<TransferOptions, WireError> {
         sample,
         block_size,
     })
+}
+
+fn put_epochs(out: &mut Vec<u8>, epochs: &[(String, u64)]) {
+    write_u64(out, epochs.len() as u64);
+    for (name, epoch) in epochs {
+        put_str(out, name);
+        write_u64(out, *epoch);
+    }
+}
+
+fn read_epochs(r: &mut Reader<'_>) -> Result<Vec<(String, u64)>, WireError> {
+    let n = r.varint()? as usize;
+    // Each entry occupies at least two bytes (length-prefixed name plus
+    // an epoch varint), so a count the frame cannot hold is rejected
+    // before the vector is reserved.
+    if n > r.remaining() / 2 {
+        return Err(Reader::err("implausible epoch count"));
+    }
+    let mut epochs = Vec::with_capacity(n);
+    for _ in 0..n {
+        epochs.push((r.string()?, r.varint()?));
+    }
+    Ok(epochs)
+}
+
+fn put_digests(out: &mut Vec<u8>, digests: &[[u8; 32]]) {
+    write_u64(out, digests.len() as u64);
+    for d in digests {
+        out.extend_from_slice(d);
+    }
+}
+
+fn read_digests(r: &mut Reader<'_>) -> Result<Vec<[u8; 32]>, WireError> {
+    let n = r.varint()? as usize;
+    // 32 bytes per digest must physically fit in the remaining frame.
+    if n > r.remaining() / 32 {
+        return Err(Reader::err("implausible digest count"));
+    }
+    let mut digests = Vec::with_capacity(n);
+    for _ in 0..n {
+        digests.push(r.take(32)?.try_into().expect("32 bytes"));
+    }
+    Ok(digests)
 }
 
 impl Message {
@@ -560,6 +687,22 @@ impl Message {
                 put_str(&mut out, name);
             }
             Message::Ping => out.push(6),
+            Message::ExtractDelta {
+                query,
+                udf,
+                options,
+                transfer_id,
+                epochs,
+                digests,
+            } => {
+                out.push(7);
+                put_str(&mut out, query);
+                put_str(&mut out, udf);
+                put_options_delta(&mut out, options);
+                write_u64(&mut out, *transfer_id);
+                put_epochs(&mut out, epochs);
+                put_digests(&mut out, digests);
+            }
             Message::LoginOk { session } => {
                 out.push(64);
                 write_u64(&mut out, *session);
@@ -633,6 +776,31 @@ impl Message {
                 }
             }
             Message::Pong => out.push(70),
+            Message::DeltaNotModified { transfer_id } => {
+                out.push(71);
+                write_u64(&mut out, *transfer_id);
+            }
+            Message::DeltaBlocks {
+                options,
+                transfer_id,
+                raw_len,
+                epochs,
+                digests,
+                blocks,
+            } => {
+                out.push(72);
+                put_options_delta(&mut out, options);
+                write_u64(&mut out, *transfer_id);
+                write_u64(&mut out, *raw_len);
+                put_epochs(&mut out, epochs);
+                put_digests(&mut out, digests);
+                write_u64(&mut out, blocks.len() as u64);
+                for b in blocks {
+                    write_u64(&mut out, b.index);
+                    out.push(b.enc);
+                    put_bytes(&mut out, &b.body);
+                }
+            }
         }
         out
     }
@@ -657,6 +825,14 @@ impl Message {
             4 => Message::ListFunctions,
             5 => Message::GetFunction { name: r.string()? },
             6 => Message::Ping,
+            7 => Message::ExtractDelta {
+                query: r.string()?,
+                udf: r.string()?,
+                options: read_options_delta(&mut r)?,
+                transfer_id: r.varint()?,
+                epochs: read_epochs(&mut r)?,
+                digests: read_digests(&mut r)?,
+            },
             64 => Message::LoginOk {
                 session: r.varint()?,
             },
@@ -718,6 +894,38 @@ impl Message {
                 }
             }
             70 => Message::Pong,
+            71 => Message::DeltaNotModified {
+                transfer_id: r.varint()?,
+            },
+            72 => {
+                let options = read_options_delta(&mut r)?;
+                let transfer_id = r.varint()?;
+                let raw_len = r.varint()?;
+                let epochs = read_epochs(&mut r)?;
+                let digests = read_digests(&mut r)?;
+                let nblocks = r.varint()? as usize;
+                // A delta never ships more blocks than the digest table
+                // describes; the bound also caps the allocation.
+                if nblocks > digests.len() {
+                    return Err(Reader::err("more shipped blocks than digest entries"));
+                }
+                let mut blocks = Vec::with_capacity(nblocks);
+                for _ in 0..nblocks {
+                    blocks.push(DeltaBlock {
+                        index: r.varint()?,
+                        enc: r.byte()?,
+                        body: r.bytes()?,
+                    });
+                }
+                Message::DeltaBlocks {
+                    options,
+                    transfer_id,
+                    raw_len,
+                    epochs,
+                    digests,
+                    blocks,
+                }
+            }
             t => return Err(Reader::err(&format!("unknown message tag {t}"))),
         };
         r.done()?;
@@ -795,6 +1003,113 @@ mod tests {
             traceback: Some("Traceback...".into()),
         });
         round_trip(Message::Pong);
+    }
+
+    #[test]
+    fn delta_messages_round_trip() {
+        round_trip(Message::ExtractDelta {
+            query: "SELECT f(i) FROM t".into(),
+            udf: "f".into(),
+            options: TransferOptions {
+                compress: true,
+                encrypt: true,
+                ..Default::default()
+            }
+            .with_block_size(64 * 1024),
+            transfer_id: 9,
+            epochs: vec![("t".into(), 3), ("sys.functions".into(), 1)],
+            digests: vec![[7u8; 32], [9u8; 32]],
+        });
+        // Cold request: nothing cached yet.
+        round_trip(Message::ExtractDelta {
+            query: "SELECT f(i) FROM t".into(),
+            udf: "f".into(),
+            options: TransferOptions::plain(),
+            transfer_id: 10,
+            epochs: vec![],
+            digests: vec![],
+        });
+        round_trip(Message::DeltaNotModified { transfer_id: 9 });
+        round_trip(Message::DeltaBlocks {
+            options: TransferOptions::compressed(),
+            transfer_id: 11,
+            raw_len: 300_000,
+            epochs: vec![("numbers".into(), 12)],
+            digests: vec![[1u8; 32], [2u8; 32]],
+            blocks: vec![DeltaBlock {
+                index: 1,
+                enc: 0,
+                body: vec![1, 2, 3, 4, 5],
+            }],
+        });
+    }
+
+    #[test]
+    fn delta_frames_carry_the_version_gate_bit() {
+        // The options byte of a delta message must set bit 4 — that's what
+        // keeps an old-format peer from misparsing it — and a delta frame
+        // *without* the bit must be rejected.
+        let msg = Message::ExtractDelta {
+            query: "q".into(),
+            udf: "f".into(),
+            options: TransferOptions::plain(),
+            transfer_id: 1,
+            epochs: vec![],
+            digests: vec![],
+        };
+        let encoded = msg.encode();
+        let mut out = Vec::new();
+        put_options_delta(&mut out, &TransferOptions::plain());
+        assert_eq!(out[0] & 16, 16);
+        // Strip the bit in the frame: decode must fail loudly. The options
+        // byte sits at a fixed offset: tag + "q" (2 bytes) + "f" (2 bytes).
+        let at = 5;
+        assert_eq!(encoded[at] & 16, 16);
+        let mut stripped = encoded.clone();
+        stripped[at] &= !16;
+        let err = Message::decode(&stripped).unwrap_err();
+        assert!(
+            err.to_string().contains("without the delta option flag"),
+            "{err}"
+        );
+        assert_eq!(Message::decode(&encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn hostile_delta_counts_are_rejected_before_allocation() {
+        // A tiny frame declaring 2^40 digests (or epochs, or more shipped
+        // blocks than digests) must fail on the count, not allocate.
+        let mut base = Vec::new();
+        base.push(7u8);
+        put_str(&mut base, "q");
+        put_str(&mut base, "f");
+        put_options_delta(&mut base, &TransferOptions::plain());
+        write_u64(&mut base, 1); // transfer_id
+
+        let mut huge_epochs = base.clone();
+        write_u64(&mut huge_epochs, 1 << 40);
+        let err = Message::decode(&huge_epochs).unwrap_err();
+        assert!(err.to_string().contains("implausible epoch count"), "{err}");
+
+        let mut huge_digests = base.clone();
+        write_u64(&mut huge_digests, 0); // no epochs
+        write_u64(&mut huge_digests, 1 << 40);
+        let err = Message::decode(&huge_digests).unwrap_err();
+        assert!(
+            err.to_string().contains("implausible digest count"),
+            "{err}"
+        );
+
+        let mut overfull = Vec::new();
+        overfull.push(72u8);
+        put_options_delta(&mut overfull, &TransferOptions::plain());
+        write_u64(&mut overfull, 1); // transfer_id
+        write_u64(&mut overfull, 100); // raw_len
+        write_u64(&mut overfull, 0); // no epochs
+        put_digests(&mut overfull, &[[0u8; 32]]);
+        write_u64(&mut overfull, 2); // 2 shipped blocks > 1 digest
+        let err = Message::decode(&overfull).unwrap_err();
+        assert!(err.to_string().contains("more shipped blocks"), "{err}");
     }
 
     #[test]

@@ -259,7 +259,43 @@ fn cmd_latency(msg: &Message) -> &'static obs::metrics::Histogram {
         Message::ListFunctions => obs::histogram!("wire.server.latency.list_functions"),
         Message::GetFunction { .. } => obs::histogram!("wire.server.latency.get_function"),
         Message::ExtractInputs { .. } => obs::histogram!("wire.server.latency.extract_inputs"),
+        Message::ExtractDelta { .. } => obs::histogram!("wire.server.latency.extract_delta"),
         _ => obs::histogram!("wire.server.latency.other"),
+    }
+}
+
+/// Build a [`Message::DeltaBlocks`] reply: pickle the fresh inputs,
+/// digest the plaintext block grid on the global pool, and run the block
+/// codec only over the blocks whose digest the client did not declare.
+/// The shipped bodies are bit-identical to what the full container would
+/// carry, so the cold path's wire-determinism guarantees extend here.
+fn delta_reply(
+    config: &ServerConfig,
+    options: crate::transfer::TransferOptions,
+    transfer_id: u64,
+    inputs: &pylite::Value,
+    deps: Vec<(String, u64)>,
+    client_digests: &[[u8; 32]],
+) -> Message {
+    let raw = match transfer::pickle_inputs(inputs) {
+        Ok(r) => r,
+        Err(e) => return err_msg("TransferError", e.to_string()),
+    };
+    let pool = devharness::pool::global();
+    let digests = transfer::block_digests_pooled(pool, &raw, options.effective_block_size());
+    let known: std::collections::HashSet<&[u8; 32]> = client_digests.iter().collect();
+    let ship: Vec<bool> = digests.iter().map(|d| !known.contains(d)).collect();
+    let blocks =
+        transfer::encode_delta_blocks(pool, &raw, &options, &config.password, transfer_id, &ship);
+    obs::histogram!("transfer.delta.blocks_reused").record((digests.len() - blocks.len()) as u64);
+    obs::counter!("transfer.delta.server.blocks_shipped").add(blocks.len() as u64);
+    Message::DeltaBlocks {
+        options,
+        transfer_id,
+        raw_len: raw.len() as u64,
+        epochs: deps,
+        digests,
+        blocks,
     }
 }
 
@@ -386,6 +422,47 @@ fn dispatch_frame(
                 traceback: e.traceback,
             },
         },
+        Message::ExtractDelta {
+            query,
+            udf,
+            options,
+            transfer_id,
+            epochs,
+            digests,
+        } => {
+            if options.sample.is_some() {
+                // Samples are drawn fresh per transfer id, so two sampled
+                // payloads are never comparable; the client bypasses the
+                // cache for them, and a request that didn't is an error.
+                return err_msg(
+                    "TransferError",
+                    "sampled extracts bypass the delta cache (samples are per-transfer)",
+                );
+            }
+            // Epoch check FIRST: when every dependency epoch the client's
+            // cache entry was built from still matches, the extract —
+            // query re-execution, pickling, KDF, digesting, block codec —
+            // is skipped entirely. This is the whole point of the cache:
+            // the NotModified answer does zero codec work.
+            if !epochs.is_empty()
+                && epochs
+                    .iter()
+                    .all(|(name, epoch)| engine.table_epoch(name) == Some(*epoch))
+            {
+                obs::counter!("transfer.delta.server.not_modified").inc();
+                return Message::DeltaNotModified { transfer_id };
+            }
+            match engine.extract_inputs_with_deps(&query, &udf) {
+                Ok((inputs, deps)) => {
+                    delta_reply(config, options, transfer_id, &inputs, deps, &digests)
+                }
+                Err(e) => Message::Error {
+                    code: e.code.name().to_string(),
+                    message: e.message.clone(),
+                    traceback: e.traceback,
+                },
+            }
+        }
         // Server-only messages arriving at the server are protocol errors.
         other => err_msg(
             "ProtocolError",

@@ -41,8 +41,25 @@
 //! — the raw pickle — with zero framing overhead, and v0 single-blob
 //! compressed/encrypted payloads from older peers still decode:
 //! [`decode_payload`] dispatches on the container magic + version byte.
+//!
+//! # Content-addressed delta layer
+//!
+//! On top of the container, the extract path supports **block-level delta
+//! transfer** (DESIGN §12): both ends address the *plaintext* pickle
+//! blocks by their SHA-256 digest ([`block_digests_pooled`]), the client
+//! caches raw blocks under those digests ([`crate::delta`]), and the
+//! server ships only the blocks whose digest the client does not already
+//! hold ([`encode_delta_blocks`] / [`reconstruct_delta`]) — or, when
+//! every dependency epoch still matches, no payload at all. Digests are
+//! computed over the pickle *before* compression and encryption:
+//! ciphertext changes with every transfer id (fresh per-block nonces),
+//! while the plaintext only changes when the data does. A delta-shipped
+//! block's coded body is bit-identical to the body the full container
+//! would carry for that block, because both run through the same
+//! per-block codec with the same (transfer id, block index) nonce.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -342,6 +359,96 @@ pub fn sample_inputs(inputs: &Value, k: usize, seed: u64) -> Result<Value, Trans
     Ok(Value::dict(out))
 }
 
+/// Code one plaintext block exactly as the v1 container does: optional LZ
+/// (with the stored fallback), a 4-byte FNV-1a tag, then optional ChaCha20
+/// under the per-block nonce for (`transfer_id`, `index`). Shared by the
+/// full container writer and the delta path, so a delta-shipped block is
+/// bit-identical to its container counterpart.
+fn encode_block_body(
+    raw: &[u8],
+    compress: bool,
+    key: Option<&[u8; 32]>,
+    transfer_id: u64,
+    index: usize,
+) -> (u8, Vec<u8>) {
+    let start = Instant::now();
+    let (enc, mut body) = if compress {
+        let packed = LZ_SCRATCH.with(|s| lz::compress_with(&mut s.borrow_mut(), raw));
+        if packed.len() < raw.len() {
+            (BLOCK_LZ, packed)
+        } else {
+            // Incompressible block: store raw rather than expand.
+            (BLOCK_STORED, raw.to_vec())
+        }
+    } else {
+        (BLOCK_STORED, raw.to_vec())
+    };
+    let tag = codecs::fnv1a_32(&body);
+    body.extend_from_slice(&tag.to_le_bytes());
+    if let Some(key) = key {
+        let nonce = kdf::derive_block_nonce(transfer_id, index as u64);
+        chacha20::ChaCha20::new(key, &nonce, 1).apply(&mut body);
+    }
+    obs::histogram!("transfer.block.encode_ns").record_duration(start.elapsed());
+    (enc, body)
+}
+
+/// Reverse [`encode_block_body`] into `target`, whose length is the
+/// block's expected raw length. `body` is untrusted wire bytes; nothing
+/// here sizes an allocation from it.
+fn decode_block_body(
+    block: usize,
+    enc: u8,
+    body: &[u8],
+    key: Option<&[u8; 32]>,
+    transfer_id: u64,
+    target: &mut [u8],
+) -> Result<(), TransferError> {
+    let start = Instant::now();
+    if body.len() <= INTEGRITY_TAG_LEN {
+        return Err(container_err(format!(
+            "block {block}: body too short for integrity tag"
+        )));
+    }
+    let mut plain = body.to_vec();
+    if let Some(key) = key {
+        let nonce = kdf::derive_block_nonce(transfer_id, block as u64);
+        chacha20::ChaCha20::new(key, &nonce, 1).apply(&mut plain);
+    }
+    let tag_at = plain.len() - INTEGRITY_TAG_LEN;
+    let expected = u32::from_le_bytes(plain[tag_at..].try_into().expect("4-byte tag"));
+    let codec_bytes = &plain[..tag_at];
+    if codecs::fnv1a_32(codec_bytes) != expected {
+        return Err(TransferError::BlockIntegrity {
+            block,
+            encrypted: key.is_some(),
+        });
+    }
+    let res = match enc {
+        BLOCK_STORED => {
+            if codec_bytes.len() != target.len() {
+                Err(TransferError::BlockCodec {
+                    block,
+                    detail: format!(
+                        "stored block holds {} bytes, expected {}",
+                        codec_bytes.len(),
+                        target.len()
+                    ),
+                })
+            } else {
+                target.copy_from_slice(codec_bytes);
+                Ok(())
+            }
+        }
+        _ => lz::decompress_into(codec_bytes, target).map_err(|e| TransferError::BlockCodec {
+            block,
+            detail: e.to_string(),
+        }),
+    };
+    obs::histogram!("transfer.block.decode_ns").record_duration(start.elapsed());
+    res
+}
+
 /// Pack raw bytes into the v1 chunked container, running the per-block
 /// codec across `pool`. Output bytes are independent of the pool width.
 pub fn encode_blocks(
@@ -359,26 +466,7 @@ pub fn encode_blocks(
     let compress = options.compress;
     let blocks: Vec<&[u8]> = data.chunks(block_size).collect();
     let bodies: Vec<(u8, Vec<u8>)> = pool.map(blocks, |index, raw| {
-        let start = Instant::now();
-        let (enc, mut body) = if compress {
-            let packed = LZ_SCRATCH.with(|s| lz::compress_with(&mut s.borrow_mut(), raw));
-            if packed.len() < raw.len() {
-                (BLOCK_LZ, packed)
-            } else {
-                // Incompressible block: store raw rather than expand.
-                (BLOCK_STORED, raw.to_vec())
-            }
-        } else {
-            (BLOCK_STORED, raw.to_vec())
-        };
-        let tag = codecs::fnv1a_32(&body);
-        body.extend_from_slice(&tag.to_le_bytes());
-        if let Some(key) = &key {
-            let nonce = kdf::derive_block_nonce(transfer_id, index as u64);
-            chacha20::ChaCha20::new(key, &nonce, 1).apply(&mut body);
-        }
-        obs::histogram!("transfer.block.encode_ns").record_duration(start.elapsed());
-        (enc, body)
+        encode_block_body(raw, compress, key.as_ref(), transfer_id, index)
     });
 
     let wire_total: usize = bodies.iter().map(|(_, b)| b.len()).sum();
@@ -602,44 +690,7 @@ pub fn decode_blocks(
     }
 
     let results: Vec<Result<(), TransferError>> = pool.map(jobs, |block, (enc, body, target)| {
-        let start = Instant::now();
-        let mut plain = body.to_vec();
-        if let Some(key) = &key {
-            let nonce = kdf::derive_block_nonce(transfer_id, block as u64);
-            chacha20::ChaCha20::new(key, &nonce, 1).apply(&mut plain);
-        }
-        let tag_at = plain.len() - INTEGRITY_TAG_LEN;
-        let expected = u32::from_le_bytes(plain[tag_at..].try_into().expect("4-byte tag"));
-        let codec_bytes = &plain[..tag_at];
-        if codecs::fnv1a_32(codec_bytes) != expected {
-            return Err(TransferError::BlockIntegrity {
-                block,
-                encrypted: key.is_some(),
-            });
-        }
-        let res = match enc {
-            BLOCK_STORED => {
-                if codec_bytes.len() != target.len() {
-                    Err(TransferError::BlockCodec {
-                        block,
-                        detail: format!(
-                            "stored block holds {} bytes, expected {}",
-                            codec_bytes.len(),
-                            target.len()
-                        ),
-                    })
-                } else {
-                    target.copy_from_slice(codec_bytes);
-                    Ok(())
-                }
-            }
-            _ => lz::decompress_into(codec_bytes, target).map_err(|e| TransferError::BlockCodec {
-                block,
-                detail: e.to_string(),
-            }),
-        };
-        obs::histogram!("transfer.block.decode_ns").record_duration(start.elapsed());
-        res
+        decode_block_body(block, enc, body, key.as_ref(), transfer_id, target)
     });
     // First failing block (in block order, not completion order) wins, so
     // the reported error is deterministic.
@@ -647,6 +698,231 @@ pub fn decode_blocks(
         result?;
     }
     Ok(out)
+}
+
+/// One shipped block of a delta reply: the block's position in the fresh
+/// payload's block grid, its per-block encoding byte (0 = stored, 1 = LZ
+/// — the container's alphabet), and a coded body bit-identical to what
+/// the v1 container would carry for that block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaBlock {
+    /// Index of the block in the fresh payload's block grid.
+    pub index: u64,
+    /// Per-block encoding byte (0 = stored, 1 = LZ).
+    pub enc: u8,
+    /// Coded body: optional-ChaCha20(codec bytes ‖ FNV-1a tag).
+    pub body: Vec<u8>,
+}
+
+/// Content addresses of `data`'s blocks at `block_size`, computed across
+/// `pool`. Semantically identical to [`codecs::sha256::block_digests`]
+/// but fanned out over the worker pool ([`Pool::map`] preserves order, so
+/// the result is pool-width independent). Digests are taken over the
+/// *plaintext* pickle blocks — before compression and encryption — which
+/// is what makes them stable across transfers.
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+pub fn block_digests_pooled(pool: &Pool, data: &[u8], block_size: usize) -> Vec<[u8; 32]> {
+    assert!(block_size > 0, "block_size must be non-zero");
+    let chunks: Vec<&[u8]> = data.chunks(block_size).collect();
+    pool.map(chunks, |_, chunk| codecs::sha256::sha256(chunk))
+}
+
+/// Server side of a delta reply: run the per-block codec only over the
+/// blocks flagged in `ship` (indexes past `ship`'s end are shipped). Each
+/// block keeps its **original** grid index in the nonce derivation, so a
+/// shipped body is bit-identical to the same block in a full container.
+pub fn encode_delta_blocks(
+    pool: &Pool,
+    data: &[u8],
+    options: &TransferOptions,
+    password: &str,
+    transfer_id: u64,
+    ship: &[bool],
+) -> Vec<DeltaBlock> {
+    let block_size = options.effective_block_size();
+    let key = options.encrypt.then(|| transfer_key(password));
+    let compress = options.compress;
+    let jobs: Vec<(usize, &[u8])> = data
+        .chunks(block_size)
+        .enumerate()
+        .filter(|(i, _)| ship.get(*i).copied().unwrap_or(true))
+        .collect();
+    pool.map(jobs, |_, (index, raw)| {
+        let (enc, body) = encode_block_body(raw, compress, key.as_ref(), transfer_id, index);
+        DeltaBlock {
+            index: index as u64,
+            enc,
+            body,
+        }
+    })
+}
+
+/// Client side of a delta reply: rebuild the fresh raw payload of
+/// `raw_total` bytes from the shipped blocks plus cached raw blocks
+/// looked up by digest.
+///
+/// Every input except `cached` is untrusted wire data and is validated
+/// before it can size an allocation: the digest table must match the
+/// declared grid, shipped indices must be strictly increasing and in
+/// range, and each shipped body must be physically plausible for its
+/// block's raw length (stored blocks are exact, LZ blocks are bounded by
+/// the codec's minimum stream length). Decoded shipped blocks are
+/// re-hashed and checked against the digest table, so a block that
+/// decodes to the wrong content fails loudly. Cached blocks are trusted
+/// to match their digest — [`crate::delta::CacheEntry`] constructs them
+/// from hashed data.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_delta(
+    pool: &Pool,
+    raw_total: usize,
+    options: &TransferOptions,
+    password: &str,
+    transfer_id: u64,
+    digests: &[[u8; 32]],
+    shipped: &[DeltaBlock],
+    cached: &HashMap<[u8; 32], &[u8]>,
+) -> Result<Vec<u8>, TransferError> {
+    let block_size = options.effective_block_size();
+    let nblocks = raw_total.div_ceil(block_size);
+    if digests.len() != nblocks {
+        return Err(container_err(format!(
+            "digest table holds {} entries, raw length {raw_total} at block \
+             size {block_size} needs {nblocks}",
+            digests.len()
+        )));
+    }
+    let raw_len_of = |i: usize| {
+        if i + 1 == nblocks {
+            raw_total - (nblocks - 1) * block_size
+        } else {
+            block_size
+        }
+    };
+    // Validate the shipped set, then plan every block's source before any
+    // output allocation happens.
+    let mut shipped_of = vec![None::<usize>; nblocks];
+    let mut prev: Option<u64> = None;
+    for (j, b) in shipped.iter().enumerate() {
+        if prev.is_some_and(|p| b.index <= p) {
+            return Err(container_err(format!(
+                "shipped block indices not strictly increasing at {}",
+                b.index
+            )));
+        }
+        prev = Some(b.index);
+        let index = usize::try_from(b.index)
+            .ok()
+            .filter(|i| *i < nblocks)
+            .ok_or_else(|| {
+                container_err(format!("shipped block index {} out of range", b.index))
+            })?;
+        if b.enc > BLOCK_LZ {
+            return Err(container_err(format!(
+                "block {index}: unknown encoding {}",
+                b.enc
+            )));
+        }
+        if b.enc == BLOCK_LZ && !options.compress {
+            return Err(container_err(format!(
+                "block {index}: LZ encoding in an uncompressed delta"
+            )));
+        }
+        if b.body.len() <= INTEGRITY_TAG_LEN {
+            return Err(container_err(format!(
+                "block {index}: body too short for integrity tag"
+            )));
+        }
+        let codec_len = b.body.len() - INTEGRITY_TAG_LEN;
+        let raw_len = raw_len_of(index);
+        match b.enc {
+            BLOCK_STORED => {
+                if codec_len != raw_len {
+                    return Err(container_err(format!(
+                        "block {index}: stored body holds {codec_len} bytes, \
+                         expected {raw_len}"
+                    )));
+                }
+            }
+            _ => {
+                if codec_len < lz::min_stream_len(raw_len) {
+                    return Err(container_err(format!(
+                        "block {index}: raw length {raw_len} impossible for a \
+                         {codec_len}-byte LZ stream"
+                    )));
+                }
+            }
+        }
+        shipped_of[index] = Some(j);
+    }
+    // Every non-shipped block must resolve in the cache — checked before
+    // the output is allocated so a hostile digest table cannot buy a huge
+    // allocation with bytes it never sent.
+    let mut cached_of = vec![None::<&[u8]>; nblocks];
+    for i in 0..nblocks {
+        if shipped_of[i].is_some() {
+            continue;
+        }
+        let raw = cached.get(&digests[i]).copied().ok_or_else(|| {
+            container_err(format!(
+                "server omitted block {i} but its digest is not in the cache"
+            ))
+        })?;
+        if raw.len() != raw_len_of(i) {
+            return Err(container_err(format!(
+                "cached block {i} holds {} bytes, grid expects {}",
+                raw.len(),
+                raw_len_of(i)
+            )));
+        }
+        cached_of[i] = Some(raw);
+    }
+
+    let key = options.encrypt.then(|| transfer_key(password));
+    let mut out = vec![0u8; raw_total];
+    let mut decode_jobs: Vec<(usize, &DeltaBlock, &mut [u8])> = Vec::with_capacity(shipped.len());
+    for (i, target) in out.chunks_mut(block_size).enumerate() {
+        match shipped_of[i] {
+            Some(j) => decode_jobs.push((i, &shipped[j], target)),
+            None => target.copy_from_slice(cached_of[i].expect("coverage validated")),
+        }
+    }
+    let results: Vec<Result<(), TransferError>> =
+        pool.map(decode_jobs, |_, (index, block, target)| {
+            decode_block_body(
+                index,
+                block.enc,
+                &block.body,
+                key.as_ref(),
+                transfer_id,
+                target,
+            )?;
+            if codecs::sha256::sha256(target) != digests[index] {
+                return Err(TransferError::BlockCodec {
+                    block: index,
+                    detail: "content digest mismatch after decode".into(),
+                });
+            }
+            Ok(())
+        });
+    for result in results {
+        result?;
+    }
+    Ok(out)
+}
+
+/// Pickle an inputs value with no codec work — the delta path digests and
+/// codes blocks separately, and the `NotModified` answer skips this call
+/// entirely.
+pub fn pickle_inputs(inputs: &Value) -> Result<Vec<u8>, TransferError> {
+    pickle::dumps(inputs).map_err(|e| TransferError::Pickle(format!("pickle: {e}")))
+}
+
+/// Unpickle a raw (reconstructed) payload — the delta path's final step.
+pub fn unpickle_inputs(data: &[u8]) -> Result<Value, TransferError> {
+    pickle::loads(data).map_err(|e| TransferError::Pickle(format!("unpickle: {e}")))
 }
 
 /// Server side: pickle the (possibly sampled) inputs and apply the selected
@@ -1277,6 +1553,156 @@ mod tests {
         assert_eq!(k1, k2);
         assert_eq!(k1, derive_key("cache-test-pw", TRANSFER_SALT));
         assert_ne!(k1, transfer_key("cache-test-other"));
+    }
+
+    #[test]
+    fn pooled_digests_match_the_serial_helper() {
+        let mut rng = devharness::Rng::new(77);
+        let mut data = vec![0u8; 100_000];
+        rng.fill_bytes(&mut data);
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            assert_eq!(
+                block_digests_pooled(&pool, &data, 16 * 1024),
+                codecs::sha256::block_digests(&data, 16 * 1024)
+            );
+        }
+        assert!(block_digests_pooled(&Pool::new(2), &[], 1024).is_empty());
+    }
+
+    #[test]
+    fn delta_bodies_are_bit_identical_to_container_bodies() {
+        // A shipped delta block must carry exactly the bytes the full
+        // container would carry for that block — same codec, same nonce.
+        let data = b"abcdefgh".repeat(5000);
+        for (compress, encrypt) in [(true, false), (false, true), (true, true)] {
+            let opts = TransferOptions {
+                compress,
+                encrypt,
+                ..Default::default()
+            }
+            .with_block_size(8 * 1024);
+            let pool = Pool::new(3);
+            let container = encode_blocks(&pool, &data, &opts, "pw", 17);
+            let ship = vec![true; data.len().div_ceil(8 * 1024)];
+            let delta = encode_delta_blocks(&pool, &data, &opts, "pw", 17, &ship);
+            // Walk the container header to find each body.
+            let mut cur = 6usize;
+            let (_, used) = read_u64(&container[cur..]).unwrap();
+            cur += used;
+            let (_, used) = read_u64(&container[cur..]).unwrap();
+            cur += used;
+            let (nblocks, used) = read_u64(&container[cur..]).unwrap();
+            cur += used;
+            assert_eq!(nblocks as usize, delta.len());
+            let mut metas = Vec::new();
+            for _ in 0..nblocks {
+                let enc = container[cur];
+                cur += 1;
+                let (_, used) = read_u64(&container[cur..]).unwrap();
+                cur += used;
+                let (wire_len, used) = read_u64(&container[cur..]).unwrap();
+                cur += used;
+                metas.push((enc, wire_len as usize));
+            }
+            for (i, (enc, wire_len)) in metas.into_iter().enumerate() {
+                let body = &container[cur..cur + wire_len];
+                cur += wire_len;
+                assert_eq!(delta[i].index, i as u64);
+                assert_eq!(delta[i].enc, enc, "c={compress} e={encrypt} block {i}");
+                assert_eq!(delta[i].body, body, "c={compress} e={encrypt} block {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_cold_and_reuses_cached_blocks_warm() {
+        let opts = TransferOptions {
+            compress: true,
+            encrypt: true,
+            ..Default::default()
+        }
+        .with_block_size(4 * 1024);
+        let pool = Pool::new(2);
+        let old: Vec<u8> = (0..40_000u32).map(|i| (i / 7) as u8).collect();
+
+        // Cold: nothing cached, everything shipped.
+        let digests = block_digests_pooled(&pool, &old, 4 * 1024);
+        let nblocks = digests.len();
+        let shipped = encode_delta_blocks(&pool, &old, &opts, "pw", 1, &vec![true; nblocks]);
+        let back = reconstruct_delta(
+            &pool,
+            old.len(),
+            &opts,
+            "pw",
+            1,
+            &digests,
+            &shipped,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(back, old);
+
+        // Warm: mutate one block in place; only it should need shipping.
+        let mut new = old.clone();
+        new[9000] ^= 0xFF; // inside block 2
+        let new_digests = block_digests_pooled(&pool, &new, 4 * 1024);
+        let known: std::collections::HashSet<[u8; 32]> = digests.iter().copied().collect();
+        let ship: Vec<bool> = new_digests.iter().map(|d| !known.contains(d)).collect();
+        assert_eq!(ship.iter().filter(|s| **s).count(), 1);
+        let shipped = encode_delta_blocks(&pool, &new, &opts, "pw", 2, &ship);
+        assert_eq!(shipped.len(), 1);
+        assert_eq!(shipped[0].index, 2);
+        let cache: HashMap<[u8; 32], &[u8]> =
+            digests.iter().copied().zip(old.chunks(4 * 1024)).collect();
+        let back = reconstruct_delta(
+            &pool,
+            new.len(),
+            &opts,
+            "pw",
+            2,
+            &new_digests,
+            &shipped,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(back, new);
+    }
+
+    #[test]
+    fn hostile_delta_replies_are_rejected() {
+        let pool = Pool::new(1);
+        let opts = TransferOptions::compressed().with_block_size(1024);
+        let data = vec![3u8; 4096];
+        let digests = block_digests_pooled(&pool, &data, 1024);
+        let full = encode_delta_blocks(&pool, &data, &opts, "pw", 5, &[true; 4]);
+        let empty: HashMap<[u8; 32], &[u8]> = HashMap::new();
+
+        // Digest table not matching the grid.
+        assert!(
+            reconstruct_delta(&pool, 4096, &opts, "pw", 5, &digests[..3], &full, &empty).is_err()
+        );
+        // Out-of-range shipped index.
+        let mut bad = full.clone();
+        bad[3].index = 9;
+        assert!(reconstruct_delta(&pool, 4096, &opts, "pw", 5, &digests, &bad, &empty).is_err());
+        // Non-increasing indices.
+        let mut bad = full.clone();
+        bad[1].index = 0;
+        assert!(reconstruct_delta(&pool, 4096, &opts, "pw", 5, &digests, &bad, &empty).is_err());
+        // A block neither shipped nor cached.
+        assert!(
+            reconstruct_delta(&pool, 4096, &opts, "pw", 5, &digests, &full[..3], &empty).is_err()
+        );
+        // A shipped body whose content hashes to the wrong digest.
+        let mut wrong = digests.clone();
+        wrong[0] = [0u8; 32];
+        match reconstruct_delta(&pool, 4096, &opts, "pw", 5, &wrong, &full, &empty) {
+            Err(TransferError::BlockCodec { block: 0, detail }) => {
+                assert!(detail.contains("digest mismatch"), "{detail}")
+            }
+            other => panic!("digest mismatch: {other:?}"),
+        }
     }
 
     #[test]

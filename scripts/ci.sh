@@ -15,7 +15,10 @@ echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
 echo "==> cargo test"
-cargo test --offline --workspace -q
+cargo test --offline --workspace -q 2>&1 | tee /tmp/devudf-ci-test.txt
+
+echo "==> doctests (every module example must run)"
+cargo test --offline --workspace --doc -q
 
 # The failure-injection suite asserts "never hang" semantics (socket
 # deadlines, retry budgets, the server's mid-frame deadline). Re-run it
@@ -51,5 +54,10 @@ cargo run --offline --release -q -p devudf-bench --bin bench_guard
 
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+
+# Documentation gate: intra-repo markdown links must resolve and README's
+# headline test count must match the run above.
+echo "==> doclint (markdown links + stale counts)"
+DEVUDF_TEST_LOG=/tmp/devudf-ci-test.txt scripts/doclint.sh
 
 echo "CI OK"

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# doclint: documentation consistency gate.
+#
+#  1. Every intra-repo markdown link in the top-level docs (README.md,
+#     DESIGN.md, EXPERIMENTS.md, CHANGES.md) must resolve to a real file
+#     or directory, and every `#anchor` must resolve to a real heading in
+#     its target (GitHub slug rules: lowercase, punctuation stripped,
+#     spaces become hyphens).
+#  2. Every "<N> tests" claim in README.md must match the actual total
+#     from `cargo test --workspace` output — so the headline count can
+#     never go stale again.
+#
+# Standalone it runs the test suite itself; CI passes the already-captured
+# log via DEVUDF_TEST_LOG to avoid a duplicate run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md CHANGES.md)
+fail=0
+
+# GitHub-style heading slugs of a markdown file, one per line.
+anchors_of() {
+    grep -E '^#{1,6} ' "$1" | sed -E 's/^#+ +//' |
+        tr '[:upper:]' '[:lower:]' |
+        sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+echo "doclint: checking intra-repo links in ${DOCS[*]}"
+for doc in "${DOCS[@]}"; do
+    [[ -f "$doc" ]] || {
+        echo "doclint: FAIL: $doc is missing"
+        fail=1
+        continue
+    }
+    # Every "](target)" in the file; external schemes are out of scope.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        file="${target%%#*}"
+        anchor=""
+        [[ "$target" == *#* ]] && anchor="${target#*#}"
+        [[ -z "$file" ]] && file="$doc" # pure "#anchor" self-link
+        if [[ ! -e "$file" ]]; then
+            echo "doclint: FAIL: $doc links to missing path '$file'"
+            fail=1
+            continue
+        fi
+        if [[ -n "$anchor" ]]; then
+            if [[ ! -f "$file" ]] || ! anchors_of "$file" | grep -qxF "$anchor"; then
+                echo "doclint: FAIL: $doc links to '$target' but '$file' has no heading '#$anchor'"
+                fail=1
+            fi
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' || true)
+done
+
+echo "doclint: checking README test-count claims"
+if [[ -n "${DEVUDF_TEST_LOG:-}" && -r "${DEVUDF_TEST_LOG}" ]]; then
+    test_log=$(cat "$DEVUDF_TEST_LOG")
+else
+    echo "doclint: (no DEVUDF_TEST_LOG; running cargo test to count)"
+    test_log=$(cargo test --offline --workspace -q 2>&1)
+fi
+actual=$(printf '%s\n' "$test_log" |
+    grep -E '^test result:' |
+    awk -F'[ ;]+' '{ s += $4 } END { print s + 0 }')
+if [[ "$actual" -eq 0 ]]; then
+    echo "doclint: FAIL: could not parse a test count from the cargo test log"
+    fail=1
+else
+    while IFS= read -r claim; do
+        if [[ "$claim" -ne "$actual" ]]; then
+            echo "doclint: FAIL: README.md claims '$claim tests' but cargo test reports $actual"
+            fail=1
+        fi
+    done < <(grep -oE '[0-9]+ tests' README.md | awk '{ print $1 }')
+    echo "doclint: cargo test reports $actual tests"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "doclint: FAILED"
+    exit 1
+fi
+echo "doclint: OK"

@@ -293,6 +293,64 @@ fn retrying_client_survives_10pct_faults_where_bare_client_fails() {
     server.shutdown();
 }
 
+// The delta protocol rides the same retry machinery as every idempotent
+// call: a dropped `ExtractDelta` frame (or its reply) must surface as a
+// retried, correct payload — never a stale or partial reconstruction.
+#[test]
+fn dropped_delta_frames_retry_to_a_correct_payload() {
+    let _serial = obs::metrics::test_lock();
+    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+        db.execute("CREATE TABLE sensor (i INTEGER)").unwrap();
+        let values: Vec<String> = (0..500).map(|i| format!("({})", 1000 + i)).collect();
+        db.execute(&format!("INSERT INTO sensor VALUES {}", values.join(", ")))
+            .unwrap();
+        db.execute(
+            "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return sum(column) / len(column) }",
+        )
+        .unwrap();
+    });
+    let fault = FaultPolicy::lossy(0xDE17A, 0.20);
+    let mut flaky = Client::connect_in_proc_with(
+        &server,
+        "monetdb",
+        "monetdb",
+        "demo",
+        ClientOptions {
+            cache: Some(4),
+            ..faulty_options(fault, test_retry())
+        },
+    )
+    .unwrap();
+    let mut truth = Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    let options = wireproto::TransferOptions::plain().with_block_size(512);
+    let query = "SELECT f(i) FROM sensor";
+    // Repeated extracts interleaved with DML: cold, warm-unchanged
+    // (NotModified) and warm-dirty (sparse delta) rounds all run under
+    // the 20 % drop/corrupt schedule.
+    for round in 0..10 {
+        let (flaky_value, _) = flaky
+            .extract_inputs(query, "f", options)
+            .unwrap_or_else(|e| panic!("delta extract failed in round {round}: {e}"));
+        let (truth_value, _) = truth.extract_inputs(query, "f", options).unwrap();
+        assert!(
+            flaky_value.py_eq(&truth_value),
+            "retried delta extract diverged in round {round}"
+        );
+        if round % 2 == 0 {
+            truth
+                .query(&format!(
+                    "UPDATE sensor SET i = {} WHERE i = {}",
+                    1000 + round,
+                    1250 + round
+                ))
+                .unwrap();
+        }
+    }
+    let stats = flaky.fault_stats().expect("fault injector configured");
+    assert!(stats.injected() > 0, "the 20% schedule must have fired");
+    server.shutdown();
+}
+
 #[test]
 fn non_idempotent_statement_is_never_replayed() {
     // Bumps the shared wire.fault.* counters: keep the exact-equality test

@@ -307,6 +307,112 @@ fn udf_bridge_preserves_columns() {
     );
 }
 
+/// Cache coherence of the content-addressed delta layer (DESIGN §12):
+/// under an arbitrary interleaving of DML and extracts, a delta-caching
+/// client must always observe exactly what a cache-less client fetches
+/// fresh — a stale block served from the cache would diverge the two.
+/// Exercised over all 8 option combos: compress × encrypt via full
+/// extracts, and sampling via its cache-bypass path.
+#[test]
+fn delta_cache_never_serves_stale_data() {
+    use wireproto::{Client, ClientOptions, Server, ServerConfig};
+    let strategy = (prop::vec_of(prop::usize_in(0..5), 1..10), prop::any_u64());
+    prop::check(Config::cases(24), strategy, |(ops, seed)| {
+        let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+            db.execute("CREATE TABLE sensor (i INTEGER)").unwrap();
+            let values: Vec<String> = (0..300).map(|i| format!("({})", 1000 + i)).collect();
+            db.execute(&format!("INSERT INTO sensor VALUES {}", values.join(", ")))
+                .unwrap();
+            db.execute(
+                "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return sum(column) / len(column) }",
+            )
+            .unwrap();
+        });
+        let mut cached = Client::connect_in_proc_with(
+            &server,
+            "monetdb",
+            "monetdb",
+            "demo",
+            ClientOptions {
+                cache: Some(2),
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+        let mut fresh = Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+        let mut rng = devharness::Rng::new(*seed);
+        let combos = [(false, false), (true, false), (false, true), (true, true)];
+        // Small blocks so every payload spans many of them and a stale
+        // block would corrupt a visible slice of the column.
+        let options = |(compress, encrypt): (bool, bool)| {
+            TransferOptions {
+                compress,
+                encrypt,
+                ..Default::default()
+            }
+            .with_block_size(256)
+        };
+        let query = "SELECT f(i) FROM sensor";
+        for op in ops.iter().chain([&4]) {
+            match *op {
+                0 => {
+                    let v = 1000 + rng.usize_in(0, 400);
+                    cached
+                        .query(&format!("INSERT INTO sensor VALUES ({v})"))
+                        .unwrap();
+                }
+                1 => {
+                    let (a, b) = (1000 + rng.usize_in(0, 400), 1000 + rng.usize_in(0, 400));
+                    cached
+                        .query(&format!("UPDATE sensor SET i = {a} WHERE i = {b}"))
+                        .unwrap();
+                }
+                2 => {
+                    let v = 1000 + rng.usize_in(0, 400);
+                    cached
+                        .query(&format!("DELETE FROM sensor WHERE i = {v}"))
+                        .unwrap();
+                }
+                3 => {
+                    // Sampled extract: bypasses the cache, must still
+                    // honour the requested row count.
+                    let opts = options(combos[rng.usize_in(0, 4)]);
+                    let (v, _) = cached
+                        .extract_inputs(
+                            query,
+                            "f",
+                            TransferOptions {
+                                sample: Some(20),
+                                ..opts
+                            },
+                        )
+                        .unwrap();
+                    let Value::Dict(d) = &v else {
+                        return Err("sampled inputs not a dict".into());
+                    };
+                    let col = d.borrow().get(&Value::str("column")).unwrap().unwrap();
+                    let Value::Array(a) = col else {
+                        return Err("sampled column not an array".into());
+                    };
+                    prop_assert_eq!(a.len(), 20);
+                }
+                _ => {
+                    // Full extract under every combo: the delta-served
+                    // value must match a cache-less fetch byte for byte.
+                    for combo in combos {
+                        let opts = options(combo);
+                        let (warm, _) = cached.extract_inputs(query, "f", opts).unwrap();
+                        let (truth, _) = fresh.extract_inputs(query, "f", opts).unwrap();
+                        prop_assert!(warm.py_eq(&truth), "delta client diverged under {combo:?}");
+                    }
+                }
+            }
+        }
+        server.shutdown();
+        Ok(())
+    });
+}
+
 /// Wire message round trip for query results with arbitrary content.
 #[test]
 fn wire_result_round_trips() {
