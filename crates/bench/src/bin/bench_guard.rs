@@ -1,21 +1,30 @@
-//! Bench regression guard: re-measure the `compressed/1000` extract from
-//! the `transfer` suite and fail (exit 1) if the codec path regressed
-//! more than 10% against the committed baseline in `BENCH_transfer.json`.
+//! Bench regression guards: re-measure the perf claims CI depends on and
+//! fail (exit 1) on regression against the committed baselines.
 //!
-//! Shared CI hosts drift by tens of percent run-to-run, so the guard
-//! compares *normalized* cost rather than absolute nanoseconds: the
-//! `compressed/1000 ÷ plain/1000` ratio, measured in one process with
-//! the same harness that produced the baseline. Host-speed fluctuation
-//! cancels out of the ratio; a regression in the compression pipeline
-//! (the only thing separating the two paths) does not. Two more
-//! noise dampers: ratios are built from per-sample *minimum* ns (the
-//! lowest-variance location statistic — scheduler interruptions only
-//! ever add time) and the measurement repeats up to three times, passing
-//! on the best ratio. A real ≥10 % codec regression shifts the minimum
-//! of every repeat; transient load does not.
+//! Two guards run, both ratio-normalized:
+//!
+//!  1. **Transfer codec** — the `compressed/1000` extract from the
+//!     `transfer` suite must stay within 10% of the committed
+//!     `BENCH_transfer.json` baseline, normalized by `plain/1000`.
+//!  2. **Bytecode VM** — the pylite bytecode engine must keep a healthy
+//!     speedup over the AST walker on the Scenario-A UDF
+//!     (`BENCH_pylite_vm.json`, DESIGN §13 / EXPERIMENTS C14).
+//!
+//! Shared CI hosts drift by tens of percent run-to-run, so the guards
+//! compare *normalized* cost rather than absolute nanoseconds: both
+//! sides of each ratio are measured in one process with the same harness
+//! that produced the baseline. Host-speed fluctuation cancels out of the
+//! ratio; a regression in the guarded subsystem (the only thing
+//! separating the two paths) does not. Two more noise dampers: ratios
+//! are built from per-sample *minimum* ns (the lowest-variance location
+//! statistic — scheduler interruptions only ever add time) and each
+//! measurement repeats up to three times, passing on the best ratio. A
+//! real regression shifts the minimum of every repeat; transient load
+//! does not.
 
 use devharness::bench::Harness;
-use devudf_bench::{bench_server, bench_session};
+use devudf_bench::{bench_server, bench_session, MEAN_DEVIATION_FIXED_BODY};
+use pylite::{Array, ExecMode, Interp, Value};
 use wireproto::TransferOptions;
 
 const BASELINE_FILE: &str = "BENCH_transfer.json";
@@ -23,7 +32,18 @@ const GUARDED: &str = "compressed/1000";
 const REFERENCE: &str = "plain/1000";
 const TOLERANCE: f64 = 1.10;
 
-fn min_ns(doc: &codecs::json::Value, name: &str) -> f64 {
+const VM_BASELINE_FILE: &str = "BENCH_pylite_vm.json";
+const VM_REFERENCE: &str = "ast/1000";
+const VM_GUARDED: &str = "bytecode/1000";
+/// The committed baseline must document at least this speedup — it backs
+/// the README/EXPERIMENTS "≥5× per F5" claim.
+const VM_CLAIMED_SPEEDUP: f64 = 5.0;
+/// The live re-measurement passes at this floor: comfortably below the
+/// claim so shared-host noise cannot flake CI, far above anything a
+/// broken fast path or de-fused compiler would produce (~1×).
+const VM_SPEEDUP_FLOOR: f64 = 3.0;
+
+fn min_ns(doc: &codecs::json::Value, file: &str, name: &str) -> f64 {
     doc.get("benchmarks")
         .and_then(|b| b.as_array())
         .and_then(|benchmarks| {
@@ -32,22 +52,38 @@ fn min_ns(doc: &codecs::json::Value, name: &str) -> f64 {
                 .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(name))
         })
         .and_then(|b| b.get("ns_per_iter")?.get("min")?.as_f64())
-        .unwrap_or_else(|| panic!("baseline entry {name} not found in {BASELINE_FILE}"))
+        .unwrap_or_else(|| panic!("baseline entry {name} not found in {file}"))
 }
 
-/// Measure both paths with the same harness that produced the baseline
-/// (same calibration, warmup and batch statistics), writing the artifact
-/// to a scratch dir so the committed baseline is untouched. Returns
-/// `(plain, compressed)` min ns/iter.
-fn measure() -> (f64, f64) {
-    let scratch = std::env::temp_dir().join(format!("devudf-bench-guard-{}", std::process::id()));
+fn read_baseline(file: &str) -> codecs::json::Value {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+    codecs::json::parse(&text).unwrap_or_else(|e| panic!("parse {file}: {e}"))
+}
+
+/// Run `measure` under a scratch `DEVHARNESS_BENCH_OUT` so guard runs
+/// never touch the committed baselines, then parse the artifact it wrote.
+fn scratch_harness(suite: &str, measure: impl FnOnce(&mut Harness)) -> codecs::json::Value {
+    let scratch =
+        std::env::temp_dir().join(format!("devudf-bench-guard-{suite}-{}", std::process::id()));
     std::fs::create_dir_all(&scratch).unwrap();
     std::env::set_var("DEVHARNESS_BENCH_OUT", &scratch);
+    let mut h = Harness::new(suite);
+    measure(&mut h);
+    h.finish();
+    std::env::remove_var("DEVHARNESS_BENCH_OUT");
+    let text = std::fs::read_to_string(scratch.join(format!("BENCH_{suite}.json"))).unwrap();
+    std::fs::remove_dir_all(&scratch).ok();
+    codecs::json::parse(&text).unwrap()
+}
+
+/// Measure both transfer paths with the same harness that produced the
+/// baseline (same calibration, warmup and batch statistics). Returns
+/// `(plain, compressed)` min ns/iter.
+fn measure_transfer() -> (f64, f64) {
     let server = bench_server(1_000);
     let mut dev = bench_session(&server, "bench-guard");
     dev.import_all().unwrap();
-    let mut h = Harness::new("guard");
-    {
+    let doc = scratch_harness("guard", |h| {
         let mut group = h.benchmark_group("transfer_extract");
         group.sample_size(10);
         for (name, options) in [
@@ -68,41 +104,32 @@ fn measure() -> (f64, f64) {
             });
         }
         group.finish();
-    }
-    h.finish();
-    std::env::remove_var("DEVHARNESS_BENCH_OUT");
+    });
     std::fs::remove_dir_all(dev.project.root()).ok();
     server.shutdown();
-    let text = std::fs::read_to_string(scratch.join("BENCH_guard.json")).unwrap();
-    std::fs::remove_dir_all(&scratch).ok();
-    let doc = codecs::json::parse(&text).unwrap();
-    (min_ns(&doc, REFERENCE), min_ns(&doc, GUARDED))
+    (
+        min_ns(&doc, "guard", REFERENCE),
+        min_ns(&doc, "guard", GUARDED),
+    )
 }
 
-fn main() {
-    // Operate on the workspace root regardless of invocation directory.
-    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
-        let root = std::path::Path::new(&manifest).join("../..");
-        std::env::set_current_dir(root).expect("chdir to workspace root");
-    }
-    let text = std::fs::read_to_string(BASELINE_FILE)
-        .unwrap_or_else(|e| panic!("read {BASELINE_FILE}: {e}"));
-    let doc = codecs::json::parse(&text).unwrap_or_else(|e| panic!("parse {BASELINE_FILE}: {e}"));
-    let base_ratio = min_ns(&doc, GUARDED) / min_ns(&doc, REFERENCE);
+fn guard_transfer() -> bool {
+    let doc = read_baseline(BASELINE_FILE);
+    let base_ratio = min_ns(&doc, BASELINE_FILE, GUARDED) / min_ns(&doc, BASELINE_FILE, REFERENCE);
     let limit = base_ratio * TOLERANCE;
     let mut best = f64::INFINITY;
     for attempt in 1..=3 {
-        let (plain, compressed) = measure();
+        let (plain, compressed) = measure_transfer();
         let ratio = compressed / plain;
         best = best.min(ratio);
         println!(
-            "bench guard[{attempt}]: {GUARDED} costs {ratio:.3}x {REFERENCE} \
+            "transfer guard[{attempt}]: {GUARDED} costs {ratio:.3}x {REFERENCE} \
 (measured {compressed:.0} vs {plain:.0} ns/iter); \
 baseline ratio {base_ratio:.3}x, limit {limit:.3}x"
         );
         if best <= limit {
-            println!("bench guard OK");
-            return;
+            println!("transfer guard OK");
+            return true;
         }
     }
     eprintln!(
@@ -111,5 +138,85 @@ in all 3 attempts",
         (best / base_ratio - 1.0) * 100.0,
         (TOLERANCE - 1.0) * 100.0
     );
-    std::process::exit(1);
+    false
+}
+
+/// Measure Scenario A (1 000 rows) under both pylite engines exactly as
+/// `benches/pylite_vm.rs` does. Returns `(ast, bytecode)` min ns/iter.
+fn measure_vm() -> (f64, f64) {
+    let def = format!(
+        "def mean_deviation(column):\n{}",
+        MEAN_DEVIATION_FIXED_BODY
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let call = pylite::parse_module("result = mean_deviation(col)\n").unwrap();
+    let doc = scratch_harness("vmguard", |h| {
+        let mut group = h.benchmark_group("scenario_a");
+        group.sample_size(20);
+        for mode in [ExecMode::Ast, ExecMode::Bytecode] {
+            let mut interp = Interp::new();
+            interp.set_exec_mode(mode);
+            interp.eval_module(&def).unwrap();
+            let col: Vec<i64> = (0..1_000).map(|i| i % 97).collect();
+            interp.set_global("col", Value::array(Array::Int(col)));
+            group.bench_function(mode.as_str(), |b| {
+                b.iter(|| interp.run_module(&call).unwrap())
+            });
+        }
+        group.finish();
+    });
+    (
+        min_ns(&doc, "vmguard", "ast"),
+        min_ns(&doc, "vmguard", "bytecode"),
+    )
+}
+
+fn guard_vm() -> bool {
+    let doc = read_baseline(VM_BASELINE_FILE);
+    let base_speedup =
+        min_ns(&doc, VM_BASELINE_FILE, VM_REFERENCE) / min_ns(&doc, VM_BASELINE_FILE, VM_GUARDED);
+    if base_speedup < VM_CLAIMED_SPEEDUP {
+        eprintln!(
+            "FAIL: committed {VM_BASELINE_FILE} documents only a {base_speedup:.2}x \
+Scenario-A speedup; the docs claim >={VM_CLAIMED_SPEEDUP:.0}x — re-run \
+`cargo bench -p devudf-bench --bench pylite_vm` on a quiet host or fix the VM"
+        );
+        return false;
+    }
+    let mut best = 0.0f64;
+    for attempt in 1..=3 {
+        let (ast, bytecode) = measure_vm();
+        let speedup = ast / bytecode;
+        best = best.max(speedup);
+        println!(
+            "vm guard[{attempt}]: bytecode runs Scenario A {speedup:.2}x faster than the \
+AST walker (measured {bytecode:.0} vs {ast:.0} ns/iter); \
+baseline {base_speedup:.2}x, floor {VM_SPEEDUP_FLOOR:.1}x"
+        );
+        if best >= VM_SPEEDUP_FLOOR {
+            println!("vm guard OK");
+            return true;
+        }
+    }
+    eprintln!(
+        "FAIL: bytecode VM speedup fell to {best:.2}x (< {VM_SPEEDUP_FLOOR:.1}x floor) \
+in all 3 attempts — a fast path or compiler fusion likely regressed"
+    );
+    false
+}
+
+fn main() {
+    // Operate on the workspace root regardless of invocation directory.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let root = std::path::Path::new(&manifest).join("../..");
+        std::env::set_current_dir(root).expect("chdir to workspace root");
+    }
+    let transfer_ok = guard_transfer();
+    let vm_ok = guard_vm();
+    if !(transfer_ok && vm_ok) {
+        std::process::exit(1);
+    }
 }

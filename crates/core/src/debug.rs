@@ -87,6 +87,7 @@ pub fn run_local(
 
     let mut interp = Interp::with_fs(dev.project.fs_provider());
     interp.set_step_budget(200_000_000);
+    interp.set_exec_mode(dev.settings.exec_mode);
     let conn = LocalConn::new(dev, hook.clone());
     interp.set_global("_conn", Value::Native(Rc::new(conn)));
     if let Some(h) = hook {
@@ -145,6 +146,8 @@ pub struct LocalConn {
     /// Debug hook propagated into nested UDF runs.
     hook: Option<Rc<RefCell<dyn DebugHook>>>,
     fs: Rc<dyn pylite::FsProvider>,
+    /// Engine selection propagated into nested UDF interpreters.
+    exec_mode: pylite::ExecMode,
     /// Shared nesting depth across the whole local run (each nested UDF
     /// spawns a fresh interpreter, so interpreter-level recursion guards
     /// cannot see loopback cycles).
@@ -174,6 +177,7 @@ impl LocalConn {
             transfers: dev.transfers.clone(),
             hook,
             fs: dev.project.fs_provider(),
+            exec_mode: dev.settings.exec_mode,
             depth: Rc::new(RefCell::new(0)),
         }
     }
@@ -214,6 +218,7 @@ impl LocalConn {
             // and same debug hook (stepping descends into nested UDFs).
             let mut interp = Interp::with_fs(self.fs.clone());
             interp.set_step_budget(200_000_000);
+            interp.set_exec_mode(self.exec_mode);
             for (k, v) in d.borrow().entries() {
                 interp.set_global(&k.py_str(), v.clone());
             }
@@ -226,6 +231,7 @@ impl LocalConn {
                     transfers: self.transfers.clone(),
                     hook: self.hook.clone(),
                     fs: self.fs.clone(),
+                    exec_mode: self.exec_mode,
                     depth: self.depth.clone(),
                 })),
             );
@@ -587,15 +593,22 @@ mod tests {
                 _ => None,
             })
             .collect();
-        let run = spans.iter().find(|(n, _, _)| n == "core.run").unwrap();
-        assert!(run.2.iter().any(|(k, v)| k == "udf" && v == "outer_fn"));
+        // Other tests may run concurrently while telemetry is enabled and
+        // emit their own spans into the shared subscriber: select ours by
+        // the udf field, not by arrival order.
+        let has_udf = |fields: &[(String, String)], udf: &str| {
+            fields.iter().any(|(k, v)| k == "udf" && v == udf)
+        };
+        let run = spans
+            .iter()
+            .find(|(n, _, f)| n == "core.run" && has_udf(f, "outer_fn"))
+            .unwrap();
         let nested = spans
             .iter()
-            .find(|(n, _, _)| n == "core.run.nested")
+            .find(|(n, _, f)| n == "core.run.nested" && has_udf(f, "inner_fn"))
             .unwrap();
         // The nested span opened while core.run was live: depth > core.run's.
         assert!(nested.1 > run.1, "nested {} vs run {}", nested.1, run.1);
-        assert!(nested.2.iter().any(|(k, v)| k == "udf" && v == "inner_fn"));
         assert!(nested.2.iter().any(|(k, v)| k == "depth" && v == "1"));
         // Extract happened under the hood too (input.bin was missing).
         assert!(spans.iter().any(|(n, _, _)| n == "core.extract"));

@@ -7,6 +7,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use codecs::json::{self, Value};
+use pylite::ExecMode;
 use wireproto::{ClientOptions, RetryPolicy, TransferOptions};
 
 /// Serializable mirror of [`wireproto::TransferOptions`] plus the local
@@ -186,6 +187,9 @@ pub struct Settings {
     pub transfer: TransferSettings,
     /// Retry/timeout behaviour of the underlying connection.
     pub retry: RetrySettings,
+    /// Which pylite engine runs local UDFs (bytecode VM by default; the
+    /// AST walker remains available as a reference oracle).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for Settings {
@@ -199,6 +203,7 @@ impl Default for Settings {
             debug_query: String::new(),
             transfer: TransferSettings::default(),
             retry: RetrySettings::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -279,6 +284,7 @@ impl Settings {
             ),
             ("transfer".to_string(), self.transfer.to_json()),
             ("retry".to_string(), self.retry.to_json()),
+            ("interp".to_string(), Value::from(self.exec_mode.as_str())),
         ])
     }
 
@@ -309,6 +315,14 @@ impl Settings {
             retry: match v.get("retry") {
                 None | Some(Value::Null) => RetrySettings::default(),
                 Some(r) => RetrySettings::from_json(r)?,
+            },
+            // Absent in settings files written before the bytecode VM
+            // existed — default (bytecode) rather than reject.
+            exec_mode: match v.get("interp") {
+                None | Some(Value::Null) => ExecMode::default(),
+                Some(m) => m.as_str().and_then(ExecMode::parse).ok_or_else(|| {
+                    invalid("settings field 'interp' must be 'ast' or 'bytecode'")
+                })?,
             },
         })
     }
@@ -371,6 +385,7 @@ impl Settings {
              │ Transfer:   {:<35}│\n\
              │ Cache:      {:<35}│\n\
              │ Retry:      {:<35}│\n\
+             │ Interp:     {:<35}│\n\
              └────────────────────────────────────────────────┘",
             self.host,
             self.port,
@@ -381,7 +396,15 @@ impl Settings {
             truncate(&self.describe_transfer(), 35),
             truncate(&self.describe_cache(), 35),
             truncate(&self.describe_retry(), 35),
+            truncate(&self.describe_interp(), 35),
         )
+    }
+
+    fn describe_interp(&self) -> String {
+        match self.exec_mode {
+            ExecMode::Bytecode => "bytecode VM".to_string(),
+            ExecMode::Ast => "AST walker (reference)".to_string(),
+        }
     }
 
     fn describe_transfer(&self) -> String {
@@ -631,6 +654,44 @@ mod tests {
         .unwrap();
         assert!(Settings::load(&dir).is_err());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exec_mode_round_trips_defaults_and_rejects_garbage() {
+        let dir = temp_dir("interp");
+        let mut s = Settings::default();
+        assert_eq!(s.exec_mode, ExecMode::Bytecode);
+        s.exec_mode = ExecMode::Ast;
+        s.save(&dir).unwrap();
+        assert_eq!(Settings::load(&dir).unwrap().exec_mode, ExecMode::Ast);
+        // Files written before the bytecode VM existed lack the key.
+        let path = Settings::path_in(&dir);
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": false, "encrypt": false, "sample": null}}"#,
+        )
+        .unwrap();
+        assert_eq!(Settings::load(&dir).unwrap().exec_mode, ExecMode::Bytecode);
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": false, "encrypt": false, "sample": null},
+                "interp": "jit"}"#,
+        )
+        .unwrap();
+        assert!(Settings::load(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn dialog_describes_the_interpreter() {
+        let mut s = Settings::default();
+        assert!(s.render_dialog().contains("bytecode VM"));
+        s.exec_mode = ExecMode::Ast;
+        assert!(s.render_dialog().contains("AST walker (reference)"));
     }
 
     #[test]

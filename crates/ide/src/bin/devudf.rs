@@ -18,17 +18,35 @@
 //!
 //! Commands taking a project DIR read connection settings from
 //! `DIR/.devudf/settings.json` (create it with `devudf settings`).
+//!
+//! A global `--interp=ast|bytecode` flag overrides the configured pylite
+//! engine for this invocation (`ast` selects the tree-walking reference
+//! interpreter; `bytecode`, the default, the compiled VM).
 
 use std::io::BufReader;
 use std::path::Path;
 
 use devudf::{DevUdf, Settings};
 use devudf_ide::{HeadlessIde, ReplController};
-use pylite::DebugCommand;
+use pylite::{DebugCommand, ExecMode};
 use wireproto::{Server, ServerConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exec_mode: Option<ExecMode> = None;
+    args.retain(|a| match a.strip_prefix("--interp=") {
+        Some(m) => {
+            match ExecMode::parse(m) {
+                Some(mode) => exec_mode = Some(mode),
+                None => {
+                    eprintln!("bad --interp value '{m}' (expected ast or bytecode)");
+                    std::process::exit(2);
+                }
+            }
+            false
+        }
+        None => true,
+    });
     let code = match args.first().map(|s| s.as_str()) {
         Some("demo") => cmd_demo(),
         Some("serve") => cmd_serve(args.get(1).map(|s| s.as_str())),
@@ -37,7 +55,7 @@ fn main() {
             0
         }
         Some("settings") => cmd_settings(args.get(1).map(|s| s.as_str())),
-        Some("import") => cmd_project(&args, |dev, names| {
+        Some("import") => cmd_project(&args, exec_mode, |dev, names| {
             let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
             let report = if refs.is_empty() {
                 dev.import_all()
@@ -53,7 +71,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("export") => cmd_project(&args, |dev, names| {
+        Some("export") => cmd_project(&args, exec_mode, |dev, names| {
             let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
             let exported = dev.export(&refs).map_err(|e| e.to_string())?;
             for name in exported {
@@ -61,7 +79,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("run") => cmd_project(&args, |dev, names| {
+        Some("run") => cmd_project(&args, exec_mode, |dev, names| {
             let Some(name) = names.first() else {
                 return Err("usage: devudf run DIR NAME".to_string());
             };
@@ -72,7 +90,7 @@ fn main() {
             println!("result = {}", outcome.result_repr);
             Ok(())
         }),
-        Some("debug") => cmd_project(&args, |dev, rest| {
+        Some("debug") => cmd_project(&args, exec_mode, |dev, rest| {
             let Some(name) = rest.first() else {
                 return Err("usage: devudf debug DIR NAME [LINE…]".to_string());
             };
@@ -101,7 +119,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("metrics") => cmd_project(&args, |dev, _| {
+        Some("metrics") => cmd_project(&args, exec_mode, |dev, _| {
             let table = dev
                 .server_query("SELECT * FROM sys.metrics")
                 .map_err(|e| e.to_string())?
@@ -110,7 +128,7 @@ fn main() {
             println!("{}", table.render_ascii());
             Ok(())
         }),
-        Some("cache") => cmd_project(&args, |dev, names| {
+        Some("cache") => cmd_project(&args, exec_mode, |dev, names| {
             let Some(name) = names.first() else {
                 return Err("usage: devudf cache DIR NAME".to_string());
             };
@@ -206,6 +224,7 @@ fn cmd_settings(dir: Option<&str>) -> i32 {
 
 fn cmd_project(
     args: &[String],
+    exec_mode: Option<ExecMode>,
     f: impl FnOnce(&mut DevUdf, &[String]) -> Result<(), String>,
 ) -> i32 {
     let Some(dir) = args.get(1) else {
@@ -213,13 +232,16 @@ fn cmd_project(
         return 2;
     };
     let root = Path::new(dir);
-    let settings = match Settings::load(root) {
+    let mut settings = match Settings::load(root) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot load settings from {dir}: {e}");
             return 1;
         }
     };
+    if let Some(mode) = exec_mode {
+        settings.exec_mode = mode;
+    }
     let mut dev = match DevUdf::connect_tcp(settings, root) {
         Ok(d) => d,
         Err(e) => {

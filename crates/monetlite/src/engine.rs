@@ -62,6 +62,7 @@ pub(crate) const EXTRACT_SIGNAL: &str = "__devudf_extract_complete__";
 struct Inner {
     catalog: Catalog,
     model: ExecutionModel,
+    exec_mode: pylite::ExecMode,
     fs: Rc<dyn FsProvider>,
     rng_seed: u64,
     udf_step_budget: u64,
@@ -109,6 +110,7 @@ impl Engine {
             inner: Rc::new(RefCell::new(Inner {
                 catalog: Catalog::new(),
                 model: ExecutionModel::OperatorAtATime,
+                exec_mode: pylite::ExecMode::default(),
                 fs,
                 rng_seed: 0x5eed_cafe,
                 udf_step_budget: 50_000_000,
@@ -128,6 +130,16 @@ impl Engine {
 
     pub fn model(&self) -> ExecutionModel {
         self.inner.borrow().model
+    }
+
+    /// Switch the pylite engine UDF bodies run on (bytecode VM vs. AST
+    /// walker). The walker is kept as a differential-testing oracle.
+    pub fn set_exec_mode(&self, mode: pylite::ExecMode) {
+        self.inner.borrow_mut().exec_mode = mode;
+    }
+
+    pub fn exec_mode(&self) -> pylite::ExecMode {
+        self.inner.borrow().exec_mode
     }
 
     /// Seed consumed by UDFs' `random` module and the mini-sklearn forest.

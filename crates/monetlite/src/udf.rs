@@ -320,6 +320,7 @@ fn build_interp(engine: &Engine) -> Interp {
     let mut interp = Interp::with_fs(engine.fs());
     interp.rng_seed = engine.rng_seed();
     interp.set_step_budget(engine.udf_step_budget());
+    interp.set_exec_mode(engine.exec_mode());
     interp
 }
 
@@ -362,6 +363,12 @@ pub fn run_tuple_at_a_time(
     let timer = UdfTimer::start(&def.name);
     let module = pylite::parse_module(&def.body).map_err(|e| DbError::udf(&e))?;
     let mut interp = build_interp(engine);
+    // Tuple-at-a-time reruns the same body once per row: compile it once up
+    // front so the per-row cost is pure bytecode execution.
+    let code = match interp.exec_mode() {
+        pylite::ExecMode::Bytecode => Some(pylite::compile_module(&module)),
+        pylite::ExecMode::Ast => None,
+    };
     let conn = Value::Native(Rc::new(LoopbackConn::new(engine.clone())));
     let mut outputs = Vec::with_capacity(rows);
     let mut stdout = String::new();
@@ -371,7 +378,11 @@ pub fn run_tuple_at_a_time(
             interp.set_global(name, input.row_py(row)?);
         }
         interp.set_global("_conn", conn.clone());
-        let v = interp.run_module(&module).map_err(|e| DbError::udf(&e))?;
+        let v = match &code {
+            Some(code) => interp.run_code(code),
+            None => interp.run_module(&module),
+        }
+        .map_err(|e| DbError::udf(&e))?;
         stdout.push_str(&interp.take_stdout());
         outputs.push(v);
     }

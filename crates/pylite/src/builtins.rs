@@ -38,7 +38,9 @@ pub fn lookup(name: &str) -> Option<Value> {
     Some(match name {
         "len" => builtin!("len", |interp, args, _kw| {
             arity("len", args, 1, 1)?;
-            Ok(Value::Int(interp.value_len(&args[0], 0)? as i64))
+            Ok(Value::Int(
+                interp.value_len(&args[0], interp.call_line())? as i64
+            ))
         }),
         "range" => builtin!("range", |_interp, args, _kw| {
             arity("range", args, 1, 3)?;
@@ -98,16 +100,16 @@ pub fn lookup(name: &str) -> Option<Value> {
                     Array::Str(_) => return Err(err(ErrorKind::Type, "cannot sum a string array")),
                 });
             }
-            let items = interp.iter_values(&args[0], 0)?;
+            let items = interp.iter_values(&args[0], interp.call_line())?;
             let mut acc = args.get(1).cloned().unwrap_or(Value::Int(0));
             for item in items {
-                acc = interp.binop(crate::ast::BinOp::Add, &acc, &item, 0)?;
+                acc = interp.binop(crate::ast::BinOp::Add, &acc, &item, interp.call_line())?;
             }
             Ok(acc)
         }),
         "sorted" => builtin!("sorted", |interp, args, kw| {
             arity("sorted", args, 1, 1)?;
-            let mut items = interp.iter_values(&args[0], 0)?;
+            let mut items = interp.iter_values(&args[0], interp.call_line())?;
             let key_fn = kw.iter().find(|(n, _)| n == "key").map(|(_, v)| v.clone());
             let reverse = kw
                 .iter()
@@ -118,7 +120,12 @@ pub fn lookup(name: &str) -> Option<Value> {
             let mut decorated: Vec<(Value, Value)> = Vec::with_capacity(items.len());
             for item in items.drain(..) {
                 let k = match &key_fn {
-                    Some(f) => interp.call_function(f, std::slice::from_ref(&item), &[], 0)?,
+                    Some(f) => interp.call_function(
+                        f,
+                        std::slice::from_ref(&item),
+                        &[],
+                        interp.call_line(),
+                    )?,
                     None => item.clone(),
                 };
                 decorated.push((k, item));
@@ -129,7 +136,7 @@ pub fn lookup(name: &str) -> Option<Value> {
                 if sort_err.is_some() {
                     return std::cmp::Ordering::Equal;
                 }
-                match interp.order_values(&a.0, &b.0, 0) {
+                match interp.order_values(&a.0, &b.0, interp.call_line()) {
                     Ok(o) => o,
                     Err(e) => {
                         sort_err = Some(e);
@@ -147,7 +154,7 @@ pub fn lookup(name: &str) -> Option<Value> {
         }),
         "reversed" => builtin!("reversed", |interp, args, _kw| {
             arity("reversed", args, 1, 1)?;
-            let mut items = interp.iter_values(&args[0], 0)?;
+            let mut items = interp.iter_values(&args[0], interp.call_line())?;
             items.reverse();
             Ok(Value::list(items))
         }),
@@ -163,7 +170,7 @@ pub fn lookup(name: &str) -> Option<Value> {
                     ))
                 }
             };
-            let items = interp.iter_values(&args[0], 0)?;
+            let items = interp.iter_values(&args[0], interp.call_line())?;
             Ok(Value::list(
                 items
                     .into_iter()
@@ -175,7 +182,7 @@ pub fn lookup(name: &str) -> Option<Value> {
         "zip" => builtin!("zip", |interp, args, _kw| {
             let mut columns = Vec::with_capacity(args.len());
             for a in args {
-                columns.push(interp.iter_values(a, 0)?);
+                columns.push(interp.iter_values(a, interp.call_line())?);
             }
             let n = columns.iter().map(|c| c.len()).min().unwrap_or(0);
             let mut out = Vec::with_capacity(n);
@@ -186,23 +193,28 @@ pub fn lookup(name: &str) -> Option<Value> {
         }),
         "map" => builtin!("map", |interp, args, _kw| {
             arity("map", args, 2, 2)?;
-            let items = interp.iter_values(&args[1], 0)?;
+            let items = interp.iter_values(&args[1], interp.call_line())?;
             let mut out = Vec::with_capacity(items.len());
             for item in items {
-                out.push(interp.call_function(&args[0], &[item], &[], 0)?);
+                out.push(interp.call_function(&args[0], &[item], &[], interp.call_line())?);
             }
             Ok(Value::list(out))
         }),
         "filter" => builtin!("filter", |interp, args, _kw| {
             arity("filter", args, 2, 2)?;
-            let items = interp.iter_values(&args[1], 0)?;
+            let items = interp.iter_values(&args[1], interp.call_line())?;
             let mut out = Vec::new();
             for item in items {
                 let keep = if args[0].is_none_value() {
                     item.truthy()
                 } else {
                     interp
-                        .call_function(&args[0], std::slice::from_ref(&item), &[], 0)?
+                        .call_function(
+                            &args[0],
+                            std::slice::from_ref(&item),
+                            &[],
+                            interp.call_line(),
+                        )?
                         .truthy()
                 };
                 if keep {
@@ -213,12 +225,12 @@ pub fn lookup(name: &str) -> Option<Value> {
         }),
         "any" => builtin!("any", |interp, args, _kw| {
             arity("any", args, 1, 1)?;
-            let items = interp.iter_values(&args[0], 0)?;
+            let items = interp.iter_values(&args[0], interp.call_line())?;
             Ok(Value::Bool(items.iter().any(|v| v.truthy())))
         }),
         "all" => builtin!("all", |interp, args, _kw| {
             arity("all", args, 1, 1)?;
-            let items = interp.iter_values(&args[0], 0)?;
+            let items = interp.iter_values(&args[0], interp.call_line())?;
             Ok(Value::Bool(items.iter().all(|v| v.truthy())))
         }),
         "int" => builtin!("int", |_interp, args, _kw| {
@@ -279,22 +291,22 @@ pub fn lookup(name: &str) -> Option<Value> {
             arity("list", args, 0, 1)?;
             match args.first() {
                 None => Ok(Value::list(Vec::new())),
-                Some(v) => Ok(Value::list(interp.iter_values(v, 0)?)),
+                Some(v) => Ok(Value::list(interp.iter_values(v, interp.call_line())?)),
             }
         }),
         "tuple" => builtin!("tuple", |interp, args, _kw| {
             arity("tuple", args, 0, 1)?;
             match args.first() {
                 None => Ok(Value::tuple(Vec::new())),
-                Some(v) => Ok(Value::tuple(interp.iter_values(v, 0)?)),
+                Some(v) => Ok(Value::tuple(interp.iter_values(v, interp.call_line())?)),
             }
         }),
         "dict" => builtin!("dict", |interp, args, kw| {
             arity("dict", args, 0, 1)?;
             let mut d = Dict::new();
             if let Some(v) = args.first() {
-                for pair in interp.iter_values(v, 0)? {
-                    let kv = interp.iter_values(&pair, 0)?;
+                for pair in interp.iter_values(v, interp.call_line())? {
+                    let kv = interp.iter_values(&pair, interp.call_line())?;
                     if kv.len() != 2 {
                         return Err(err(
                             ErrorKind::Value,
@@ -372,7 +384,7 @@ pub fn lookup(name: &str) -> Option<Value> {
 
 fn fold_extreme(interp: &mut Interp, args: &[Value], want_min: bool) -> Result<Value, PyError> {
     let items = if args.len() == 1 {
-        interp.iter_values(&args[0], 0)?
+        interp.iter_values(&args[0], interp.call_line())?
     } else {
         args.to_vec()
     };
@@ -381,7 +393,7 @@ fn fold_extreme(interp: &mut Interp, args: &[Value], want_min: bool) -> Result<V
         best = Some(match best {
             None => item,
             Some(current) => {
-                let ord = interp.order_values(&item, &current, 0)?;
+                let ord = interp.order_values(&item, &current, interp.call_line())?;
                 let take = if want_min {
                     ord == std::cmp::Ordering::Less
                 } else {
@@ -437,6 +449,28 @@ mod tests {
         assert_eq!(g(&i, "b"), Value::Int(7));
         assert_eq!(g(&i, "c"), Value::Int(6));
         assert_eq!(g(&i, "d"), Value::Float(4.0));
+    }
+
+    /// Errors raised *inside* a builtin (here: `sum` folding a str into an
+    /// int, and `len` of an int) must blame the call-site line, not line 0
+    /// — under both execution engines.
+    #[test]
+    fn builtin_errors_report_the_call_site_line() {
+        for mode in [crate::ExecMode::Ast, crate::ExecMode::Bytecode] {
+            let mut i = Interp::new();
+            i.set_exec_mode(mode);
+            let e = i
+                .eval_module("x = [1, 'nope']\ny = 2\ntotal = sum(x)\n")
+                .unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Type);
+            assert_eq!(e.innermost_line(), Some(3), "{mode}: {e}");
+
+            let mut i = Interp::new();
+            i.set_exec_mode(mode);
+            let e = i.eval_module("z = 1\nn = len(5)\n").unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Type);
+            assert_eq!(e.innermost_line(), Some(2), "{mode}: {e}");
+        }
     }
 
     #[test]

@@ -1,12 +1,31 @@
-//! Tree-walking interpreter with debug-hook support.
+//! Statement execution: the tree-walking reference interpreter and the
+//! shared machinery (frames, scopes, operators, calls) that both it and
+//! the bytecode VM delegate to.
+//!
+//! [`Interp`] executes code in one of two [`ExecMode`]s:
+//!
+//! * [`ExecMode::Bytecode`] (the default) — lower the AST through
+//!   [`crate::compile`] and run it on the [`crate::vm`] dispatch loop.
+//!   Function bodies compile lazily on first call and are cached per
+//!   definition.
+//! * [`ExecMode::Ast`] — walk the tree directly. This is the reference
+//!   oracle: slower, but definitionally correct, and kept observably
+//!   identical to the VM (values, errors, tracebacks, stdout, statement
+//!   counts, debugger pauses). Differential tests run both.
+//!
+//! Everything below statement dispatch — name binding and lookup,
+//! operators, calls, subscripts, imports — is a single implementation
+//! used by both modes, so semantic fixes land in one place.
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::ast::*;
 use crate::builtins;
+use crate::compile;
 use crate::debugger::{DebugHook, HookOutcome};
 use crate::error::{ErrorKind, PyError};
 use crate::fs::{FsProvider, MemFs};
@@ -14,6 +33,41 @@ use crate::methods;
 use crate::native;
 use crate::parser::parse_module;
 use crate::value::{Array, Dict, PyFunction, Value};
+use crate::vm;
+
+/// Which execution engine runs statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Walk the AST directly (the reference oracle, `--interp=ast`).
+    Ast,
+    /// Compile to bytecode and run the VM dispatch loop (default).
+    #[default]
+    Bytecode,
+}
+
+impl ExecMode {
+    /// Parse the setting/CLI spelling (`"ast"` / `"bytecode"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ast" => Some(ExecMode::Ast),
+            "bytecode" => Some(ExecMode::Bytecode),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecMode::Ast => "ast",
+            ExecMode::Bytecode => "bytecode",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Maximum interpreter call depth.
 /// Chosen so the interpreter's own Rust recursion stays comfortably inside a
@@ -39,7 +93,7 @@ pub struct Frame {
 }
 
 /// Control-flow signal threaded through statement execution.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Break,
     Continue,
@@ -50,7 +104,7 @@ enum Flow {
 /// be reused across runs; globals persist until [`Interp::reset`].
 pub struct Interp {
     globals: Scope,
-    frames: Vec<Frame>,
+    pub(crate) frames: Vec<Frame>,
     /// Captured `print` output.
     stdout: String,
     /// Also forward `print` to the process stdout.
@@ -58,17 +112,24 @@ pub struct Interp {
     /// Virtual filesystem used by `open` / `os.listdir`.
     pub fs: Rc<dyn FsProvider>,
     /// Debug hook consulted before each statement.
-    hook: Option<Rc<RefCell<dyn DebugHook>>>,
+    pub(crate) hook: Option<Rc<RefCell<dyn DebugHook>>>,
     /// Statement budget; `Some(0)` means exhausted.
-    steps_left: Option<u64>,
+    pub(crate) steps_left: Option<u64>,
     /// Deterministic seed consumed by the `random` module and sklearn.
     pub rng_seed: u64,
     /// Statements executed over this interpreter's lifetime (flushed to
     /// the `pylite.statements` metric once per module run, keeping the
     /// per-statement hot path free of atomics).
-    stmts_executed: u64,
+    pub(crate) stmts_executed: u64,
     /// Extra modules injected by the embedder (e.g. a loopback `_conn`).
     pub extra_modules: HashMap<String, Value>,
+    /// Which engine executes statements (bytecode VM by default).
+    exec_mode: ExecMode,
+    /// Compiled function bodies, keyed by definition identity.
+    code_cache: vm::CodeCache,
+    /// Source line of the builtin call currently executing, so errors
+    /// raised inside builtins blame the call site instead of line 0.
+    call_line: u32,
 }
 
 impl Default for Interp {
@@ -91,6 +152,9 @@ impl Interp {
             rng_seed: 0x5eed_cafe,
             stmts_executed: 0,
             extra_modules: HashMap::new(),
+            exec_mode: ExecMode::default(),
+            code_cache: vm::CodeCache::default(),
+            call_line: 0,
         }
     }
 
@@ -114,6 +178,23 @@ impl Interp {
     /// Limit the number of statements executed (guards runaway loops).
     pub fn set_step_budget(&mut self, steps: u64) {
         self.steps_left = Some(steps);
+    }
+
+    /// Select the execution engine (bytecode VM vs. AST walker).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The currently selected execution engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Source line of the builtin call currently executing. Builtins pass
+    /// this to interpreter helpers (`binop`, `iter_values`, …) so errors
+    /// they raise point at the call site rather than line 0.
+    pub fn call_line(&self) -> u32 {
+        self.call_line
     }
 
     /// Clear globals and captured output.
@@ -229,14 +310,50 @@ impl Interp {
         self.run_module(&module)
     }
 
-    /// Execute an already-parsed module.
+    /// Execute an already-parsed module. In [`ExecMode::Bytecode`] the
+    /// module is compiled first (callers that re-run the same module
+    /// should compile once with [`compile::compile_module`] and use
+    /// [`Interp::run_code`] directly).
     pub fn run_module(&mut self, module: &Module) -> Result<Value, PyError> {
+        match self.exec_mode {
+            ExecMode::Bytecode => {
+                let code = compile::compile_module(module);
+                self.run_code(&code)
+            }
+            ExecMode::Ast => {
+                let start = Instant::now();
+                let stmts_before = self.stmts_executed;
+                self.push_module_frame();
+                let result = self.exec_block(&module.body);
+                let frame_line = self.frames.last().map(|f| f.line).unwrap_or(0);
+                self.frames.pop();
+                obs::counter!("pylite.statements").add(self.stmts_executed - stmts_before);
+                obs::histogram!("pylite.exec_ast_ns").record(start.elapsed().as_nanos() as u64);
+                match result {
+                    Ok(Flow::Return(v)) => Ok(v),
+                    Ok(_) => Ok(Value::None),
+                    Err(mut e) => {
+                        if e.traceback.is_empty() {
+                            e.push_frame("<module>", frame_line);
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute a pre-compiled module body on the bytecode VM,
+    /// regardless of the configured [`ExecMode`].
+    pub fn run_code(&mut self, code: &compile::CodeObject) -> Result<Value, PyError> {
+        let start = Instant::now();
         let stmts_before = self.stmts_executed;
         self.push_module_frame();
-        let result = self.exec_block(&module.body);
+        let result = vm::run(self, code);
         let frame_line = self.frames.last().map(|f| f.line).unwrap_or(0);
         self.frames.pop();
         obs::counter!("pylite.statements").add(self.stmts_executed - stmts_before);
+        obs::histogram!("pylite.exec_bytecode_ns").record(start.elapsed().as_nanos() as u64);
         match result {
             Ok(Flow::Return(v)) => Ok(v),
             Ok(_) => Ok(Value::None),
@@ -259,12 +376,7 @@ impl Interp {
     ) -> Result<Value, PyError> {
         match func {
             Value::Function(f) => self.call_py_function(f, args, kwargs),
-            Value::Builtin(b) => (b.func)(self, args, kwargs).map_err(|mut e| {
-                if e.traceback.is_empty() {
-                    e.push_frame(b.name, call_line);
-                }
-                e
-            }),
+            Value::Builtin(b) => self.call_builtin(b, args, kwargs, call_line),
             Value::Native(n) => {
                 // Calling a native object directly: constructor-style natives
                 // implement `call_method("__call__", ...)`.
@@ -275,6 +387,31 @@ impl Interp {
                 format!("'{}' object is not callable", other.type_name()),
             )),
         }
+    }
+
+    /// The builtin arm of [`Self::call_function`], inlinable from the
+    /// VM's fused call path. Records the call site so errors raised
+    /// inside the builtin (via [`Self::call_line`]) blame this line,
+    /// not line 0. Save/restore: a builtin that calls back into user
+    /// code may trigger nested builtin calls at other lines.
+    #[inline]
+    pub(crate) fn call_builtin(
+        &mut self,
+        b: &crate::value::Builtin,
+        args: &[Value],
+        kwargs: &[(String, Value)],
+        call_line: u32,
+    ) -> Result<Value, PyError> {
+        let saved = self.call_line;
+        self.call_line = call_line;
+        let result = (b.func)(self, args, kwargs).map_err(|mut e| {
+            if e.traceback.is_empty() {
+                e.push_frame(b.name, call_line);
+            }
+            e
+        });
+        self.call_line = saved;
+        result
     }
 
     fn call_py_function(
@@ -353,7 +490,13 @@ impl Interp {
         if let Some(hook) = self.hook.clone() {
             hook.borrow_mut().on_call(&def.name, def.line);
         }
-        let result = self.exec_block(&def.body);
+        let result = match self.exec_mode {
+            ExecMode::Ast => self.exec_block(&def.body),
+            ExecMode::Bytecode => {
+                let code = self.code_cache.get_or_compile(def);
+                vm::run(self, &code)
+            }
+        };
         let frame_line = self.frames.last().map(|f| f.line).unwrap_or(def.line);
         self.frames.pop();
         if let Some(hook) = self.hook.clone() {
@@ -633,14 +776,14 @@ impl Interp {
         }
     }
 
-    fn current_function_name(&self) -> String {
+    pub(crate) fn current_function_name(&self) -> String {
         self.frames
             .last()
             .map(|f| f.name.clone())
             .unwrap_or_else(|| "<module>".to_string())
     }
 
-    fn current_closure(&self) -> Vec<Scope> {
+    pub(crate) fn current_closure(&self) -> Vec<Scope> {
         match self.frames.last() {
             Some(f) if !f.is_module => {
                 let mut c = f.closure.clone();
@@ -651,7 +794,7 @@ impl Interp {
         }
     }
 
-    fn err_at(&self, kind: ErrorKind, msg: impl Into<String>, line: u32) -> PyError {
+    pub(crate) fn err_at(&self, kind: ErrorKind, msg: impl Into<String>, line: u32) -> PyError {
         let mut e = PyError::new(kind, msg);
         e.push_frame(self.current_function_name(), line);
         e
@@ -661,7 +804,7 @@ impl Interp {
     // Names, assignment, deletion
     // ------------------------------------------------------------------
 
-    fn bind_name(&mut self, name: &str, value: Value) -> Result<(), PyError> {
+    pub(crate) fn bind_name(&mut self, name: &str, value: Value) -> Result<(), PyError> {
         let frame = self.frames.last().expect("bind outside any frame");
         if !frame.is_module && frame.globals_decl.iter().any(|g| g == name) {
             self.globals.borrow_mut().insert(name.to_string(), value);
@@ -671,7 +814,7 @@ impl Interp {
         Ok(())
     }
 
-    fn lookup_name(&self, name: &str, line: u32) -> Result<Value, PyError> {
+    pub(crate) fn lookup_name(&self, name: &str, line: u32) -> Result<Value, PyError> {
         if let Some(frame) = self.frames.last() {
             if let Some(v) = frame.locals.borrow().get(name) {
                 return Ok(v.clone());
@@ -748,7 +891,7 @@ impl Interp {
         }
     }
 
-    fn set_item(
+    pub(crate) fn set_item(
         &mut self,
         container: &Value,
         index: &Value,
@@ -780,19 +923,7 @@ impl Interp {
 
     fn delete(&mut self, target: &Expr) -> Result<(), PyError> {
         match &target.kind {
-            ExprKind::Name(name) => {
-                let frame = self.frames.last().expect("delete outside frame");
-                let removed = frame.locals.borrow_mut().remove(name).is_some()
-                    || self.globals.borrow_mut().remove(name).is_some();
-                if !removed {
-                    return Err(self.err_at(
-                        ErrorKind::Name,
-                        format!("name '{name}' is not defined"),
-                        target.line,
-                    ));
-                }
-                Ok(())
-            }
+            ExprKind::Name(name) => self.delete_name(name, target.line),
             ExprKind::Subscript { value: obj, index } => {
                 let container = self.eval_expr(obj)?;
                 let Index::Item(idx_expr) = index.as_ref() else {
@@ -803,29 +934,54 @@ impl Interp {
                     ));
                 };
                 let idx = self.eval_expr(idx_expr)?;
-                match &container {
-                    Value::List(l) => {
-                        let mut l = l.borrow_mut();
-                        let len = l.len();
-                        let i = normalize_index(&idx, len, target.line, self)?;
-                        l.remove(i);
-                        Ok(())
-                    }
-                    Value::Dict(d) => {
-                        let removed = d.borrow_mut().remove(&idx)?;
-                        if removed.is_none() {
-                            return Err(self.err_at(ErrorKind::Key, idx.repr(), target.line));
-                        }
-                        Ok(())
-                    }
-                    other => Err(self.err_at(
-                        ErrorKind::Type,
-                        format!("cannot delete items of '{}'", other.type_name()),
-                        target.line,
-                    )),
-                }
+                self.del_item(&container, &idx, target.line)
             }
             _ => Err(self.err_at(ErrorKind::Syntax, "invalid del target", target.line)),
+        }
+    }
+
+    /// `del name`: remove a binding from locals (or globals).
+    pub(crate) fn delete_name(&mut self, name: &str, line: u32) -> Result<(), PyError> {
+        let frame = self.frames.last().expect("delete outside frame");
+        let removed = frame.locals.borrow_mut().remove(name).is_some()
+            || self.globals.borrow_mut().remove(name).is_some();
+        if !removed {
+            return Err(self.err_at(
+                ErrorKind::Name,
+                format!("name '{name}' is not defined"),
+                line,
+            ));
+        }
+        Ok(())
+    }
+
+    /// `del obj[idx]`.
+    pub(crate) fn del_item(
+        &mut self,
+        container: &Value,
+        idx: &Value,
+        line: u32,
+    ) -> Result<(), PyError> {
+        match container {
+            Value::List(l) => {
+                let mut l = l.borrow_mut();
+                let len = l.len();
+                let i = normalize_index(idx, len, line, self)?;
+                l.remove(i);
+                Ok(())
+            }
+            Value::Dict(d) => {
+                let removed = d.borrow_mut().remove(idx)?;
+                if removed.is_none() {
+                    return Err(self.err_at(ErrorKind::Key, idx.repr(), line));
+                }
+                Ok(())
+            }
+            other => Err(self.err_at(
+                ErrorKind::Type,
+                format!("cannot delete items of '{}'", other.type_name()),
+                line,
+            )),
         }
     }
 
@@ -1029,7 +1185,12 @@ impl Interp {
         }
     }
 
-    fn get_attribute(&mut self, obj: &Value, attr: &str, line: u32) -> Result<Value, PyError> {
+    pub(crate) fn get_attribute(
+        &mut self,
+        obj: &Value,
+        attr: &str,
+        line: u32,
+    ) -> Result<Value, PyError> {
         match obj {
             Value::Module(m) => m.attrs.borrow().get(attr).cloned().ok_or_else(|| {
                 self.err_at(
@@ -1092,33 +1253,47 @@ impl Interp {
                     Some(u) => Some(self.slice_bound(u, line)?),
                     None => None,
                 };
-                let indices = slice_indices(lo, hi, step_v, len);
-                match obj {
-                    Value::List(l) => {
-                        let l = l.borrow();
-                        Ok(Value::list(indices.iter().map(|&i| l[i].clone()).collect()))
-                    }
-                    Value::Tuple(t) => Ok(Value::tuple(
-                        indices.iter().map(|&i| t[i].clone()).collect(),
-                    )),
-                    Value::Str(s) => {
-                        let chars: Vec<char> = s.chars().collect();
-                        Ok(Value::str(
-                            indices.iter().map(|&i| chars[i]).collect::<String>(),
-                        ))
-                    }
-                    Value::Array(a) => {
-                        let picked: Vec<Value> = indices.iter().map(|&i| a.get(i)).collect();
-                        Ok(Value::array(Array::from_values(&picked)?))
-                    }
-                    Value::Bytes(b) => Ok(Value::bytes(indices.iter().map(|&i| b[i]).collect())),
-                    other => Err(self.err_at(
-                        ErrorKind::Type,
-                        format!("'{}' object is not sliceable", other.type_name()),
-                        line,
-                    )),
-                }
+                self.slice_select(obj, lo, hi, step_v, len, line)
             }
+        }
+    }
+
+    /// Apply a resolved slice (`lo:hi:step` over a known `len`) to a
+    /// sliceable value.
+    pub(crate) fn slice_select(
+        &self,
+        obj: &Value,
+        lo: Option<i64>,
+        hi: Option<i64>,
+        step: i64,
+        len: usize,
+        line: u32,
+    ) -> Result<Value, PyError> {
+        let indices = slice_indices(lo, hi, step, len);
+        match obj {
+            Value::List(l) => {
+                let l = l.borrow();
+                Ok(Value::list(indices.iter().map(|&i| l[i].clone()).collect()))
+            }
+            Value::Tuple(t) => Ok(Value::tuple(
+                indices.iter().map(|&i| t[i].clone()).collect(),
+            )),
+            Value::Str(s) => {
+                let chars: Vec<char> = s.chars().collect();
+                Ok(Value::str(
+                    indices.iter().map(|&i| chars[i]).collect::<String>(),
+                ))
+            }
+            Value::Array(a) => {
+                let picked: Vec<Value> = indices.iter().map(|&i| a.get(i)).collect();
+                Ok(Value::array(Array::from_values(&picked)?))
+            }
+            Value::Bytes(b) => Ok(Value::bytes(indices.iter().map(|&i| b[i]).collect())),
+            other => Err(self.err_at(
+                ErrorKind::Type,
+                format!("'{}' object is not sliceable", other.type_name()),
+                line,
+            )),
         }
     }
 
@@ -1525,7 +1700,7 @@ impl Interp {
         }
     }
 
-    fn array_compare(
+    pub(crate) fn array_compare(
         &mut self,
         op: CmpOp,
         l: &Value,
@@ -1556,7 +1731,7 @@ impl Interp {
         Ok(Value::array(Array::Bool(out)))
     }
 
-    fn unaryop(&mut self, op: UnaryOp, v: &Value, line: u32) -> Result<Value, PyError> {
+    pub(crate) fn unaryop(&mut self, op: UnaryOp, v: &Value, line: u32) -> Result<Value, PyError> {
         match op {
             UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
             UnaryOp::Pos => match v {
@@ -1689,7 +1864,7 @@ impl Interp {
 
     /// Load a module by dotted name, consulting embedder-injected modules
     /// first and the native registry second.
-    fn load_module(&mut self, name: &str, line: u32) -> Result<Value, PyError> {
+    pub(crate) fn load_module(&mut self, name: &str, line: u32) -> Result<Value, PyError> {
         if let Some(v) = self.extra_modules.get(name) {
             return Ok(v.clone());
         }

@@ -5,9 +5,12 @@
 //! feature is *interactive, line-level debugging* of those UDFs on the
 //! developer's machine. `pylite` therefore implements:
 //!
-//! * an indentation-sensitive lexer, a recursive-descent parser and a
-//!   tree-walking interpreter for a practical Python subset — every listing
-//!   in the paper (Listings 1–5) runs unmodified,
+//! * an indentation-sensitive lexer, a recursive-descent parser and *two*
+//!   execution engines for a practical Python subset — a bytecode VM
+//!   ([`compile`] + [`vm`], the default) and a tree-walking reference
+//!   interpreter kept as a differential-testing oracle, selected by
+//!   [`ExecMode`] — every listing in the paper (Listings 1–5) runs
+//!   unmodified on both,
 //! * numpy-style **vectorized arrays** ([`value::Array`]) so UDFs receive
 //!   whole columns, matching MonetDB's operator-at-a-time model,
 //! * a **debugger** ([`debugger`]) with breakpoints, step-into/over/out,
@@ -35,6 +38,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod debugger;
 pub mod error;
 pub mod fs;
@@ -45,10 +49,12 @@ pub mod native;
 pub mod parser;
 pub mod pickle;
 pub mod value;
+pub mod vm;
 
+pub use compile::{compile_module, CodeObject};
 pub use debugger::{DebugCommand, Debugger, LineTracer, PauseInfo};
 pub use error::{ErrorKind, PyError, TraceEntry};
 pub use fs::{FsProvider, MemFs};
-pub use interp::Interp;
+pub use interp::{ExecMode, Interp};
 pub use parser::parse_module;
 pub use value::{Array, Value};

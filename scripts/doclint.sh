@@ -78,6 +78,29 @@ else
     echo "doclint: cargo test reports $actual tests"
 fi
 
+# 3. Every DESIGN.md section reference must resolve to a real `## N.`
+#    heading: "DESIGN[.md] §N" citations in any top-level doc, and bare
+#    "§N" self-references inside DESIGN.md itself. Dotted ids (§2.1 …)
+#    cite the *paper's* sections and are out of scope.
+echo "doclint: checking DESIGN.md section references"
+design_sections=$(grep -E '^## ' DESIGN.md | sed -E 's/^## ([0-9]+[a-z]?)\..*/\1/;t;d')
+check_section() {
+    local id="$1" where="$2"
+    if ! printf '%s\n' "$design_sections" | grep -qxF "$id"; then
+        echo "doclint: FAIL: $where references DESIGN.md §$id but DESIGN.md has no '## $id.' heading"
+        fail=1
+    fi
+}
+for doc in "${DOCS[@]}"; do
+    [[ -f "$doc" ]] || continue
+    while IFS= read -r ref; do
+        check_section "${ref#§}" "$doc"
+    done < <(grep -oE 'DESIGN(\.md)? §[0-9]+[a-z]?' "$doc" | grep -oE '§[0-9]+[a-z]?' || true)
+done
+while IFS= read -r ref; do
+    check_section "${ref#§}" "DESIGN.md"
+done < <(grep -oE '§[0-9]+[a-z]?(\.[0-9]+)?' DESIGN.md | grep -vE '\.' || true)
+
 if [[ "$fail" -ne 0 ]]; then
     echo "doclint: FAILED"
     exit 1

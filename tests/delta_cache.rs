@@ -145,6 +145,10 @@ fn dml_invalidates_the_epoch_and_reships_only_dirty_blocks() {
 
 #[test]
 fn delta_and_classic_clients_agree_across_option_combinations() {
+    // No metric assertions here, but the extracts below bump the same
+    // process-global counters the sibling tests measure: serialize so
+    // this test does not pollute their deltas mid-flight.
+    let _serial = obs::metrics::test_lock();
     let server = sensor_server();
     let mut cached = cached_client(&server);
     let mut plain = Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();

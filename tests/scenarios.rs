@@ -33,6 +33,9 @@ const LISTING4: &str = concat!(
 
 #[test]
 fn scenario_a_full_cycle() {
+    // Serialize with the telemetry test: debug pauses bump the global
+    // `pylite.debug.*` counters it measures as deltas.
+    let _serial = obs::metrics::test_lock();
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
         let rows: Vec<String> = (1..=30).map(|i| format!("({i})")).collect();
@@ -106,6 +109,9 @@ fn scenario_a_full_cycle() {
 
 #[test]
 fn scenario_b_full_cycle() {
+    // Serialize with the telemetry test: debug pauses bump the global
+    // `pylite.debug.*` counters it measures as deltas.
+    let _serial = obs::metrics::test_lock();
     let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
         for (name, content) in [
             ("data/part1.csv", "1\n2\n3\n"),
@@ -186,6 +192,72 @@ fn scenario_b_full_cycle() {
 
     std::fs::remove_dir_all(&dir).ok();
     server.shutdown();
+}
+
+/// The debugger contract is engine-independent: running Scenario A's
+/// debug session under the AST walker and under the bytecode VM must
+/// produce the same pause count AND the same `pylite.debug.*` telemetry
+/// (pauses, breakpoint hits, step pauses) in `sys.metrics`' counters.
+#[test]
+fn debugger_telemetry_is_identical_across_engines() {
+    let _serial = obs::metrics::test_lock();
+    obs::set_enabled(true);
+    let pauses_c = obs::counter!("pylite.debug.pauses");
+    let breaks_c = obs::counter!("pylite.debug.breakpoints");
+    let steps_c = obs::counter!("pylite.debug.steps");
+
+    let mut observed = Vec::new();
+    for mode in [pylite::ExecMode::Ast, pylite::ExecMode::Bytecode] {
+        let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
+            db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+            let rows: Vec<String> = (1..=30).map(|i| format!("({i})")).collect();
+            db.execute(&format!("INSERT INTO numbers VALUES {}", rows.join(", ")))
+                .unwrap();
+            db.execute(LISTING4).unwrap();
+        });
+        let dir = temp_project(&format!("dbg-metrics-{mode}"));
+        let mut settings = Settings::default();
+        settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
+        settings.exec_mode = mode;
+        let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
+        dev.import(&["mean_deviation"]).unwrap();
+
+        // Alternate Step/Continue so both breakpoint-hit and step pauses
+        // occur; 200 commands comfortably outlast the session.
+        let cmds: Vec<DebugCommand> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    DebugCommand::StepInto
+                } else {
+                    DebugCommand::Continue
+                }
+            })
+            .collect();
+        let dbg = Debugger::scripted(cmds);
+        dbg.borrow_mut()
+            .add_breakpoint(7 + transform::BODY_LINE_OFFSET);
+
+        let (p0, b0, s0) = (pauses_c.get(), breaks_c.get(), steps_c.get());
+        let outcome = dev.debug_udf("mean_deviation", dbg).unwrap();
+        observed.push((
+            outcome.pauses,
+            pauses_c.get() - p0,
+            breaks_c.get() - b0,
+            steps_c.get() - s0,
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+        server.shutdown();
+    }
+
+    assert_eq!(
+        observed[0], observed[1],
+        "debugger telemetry diverged across engines (pauses, pauses_c, breakpoints, steps)"
+    );
+    let (pauses, pauses_metric, breakpoints, steps) = observed[0];
+    assert_eq!(pauses as u64, pauses_metric);
+    assert!(breakpoints > 0, "breakpoint pauses must occur");
+    assert!(steps > 0, "step pauses must occur");
 }
 
 #[test]
