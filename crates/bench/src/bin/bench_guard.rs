@@ -1,7 +1,7 @@
 //! Bench regression guards: re-measure the perf claims CI depends on and
 //! fail (exit 1) on regression against the committed baselines.
 //!
-//! Two guards run, both ratio-normalized:
+//! Three guards run, all ratio-normalized:
 //!
 //!  1. **Transfer codec** — the `compressed/1000` extract from the
 //!     `transfer` suite must stay within 10% of the committed
@@ -9,6 +9,10 @@
 //!  2. **Bytecode VM** — the pylite bytecode engine must keep a healthy
 //!     speedup over the AST walker on the Scenario-A UDF
 //!     (`BENCH_pylite_vm.json`, DESIGN §13 / EXPERIMENTS C14).
+//!  3. **UDF inlining** — the Froid-style inlined plan must keep its
+//!     speedup over the bytecode interpreter on Scenario A, end-to-end
+//!     through the SQL engine (`BENCH_udf_inline.json`, DESIGN §14 /
+//!     EXPERIMENTS C15).
 //!
 //! Shared CI hosts drift by tens of percent run-to-run, so the guards
 //! compare *normalized* cost rather than absolute nanoseconds: both
@@ -23,7 +27,11 @@
 //! does not.
 
 use devharness::bench::Harness;
-use devudf_bench::{bench_server, bench_session, MEAN_DEVIATION_FIXED_BODY};
+use devudf_bench::{
+    bench_server, bench_session, seed_numbers, MEAN_DEVIATION_FIXED_BODY,
+    MEAN_DEVIATION_STRAIGHT_BODY,
+};
+use monetlite::{Engine, ExecutionModel};
 use pylite::{Array, ExecMode, Interp, Value};
 use wireproto::TransferOptions;
 
@@ -43,6 +51,18 @@ const VM_CLAIMED_SPEEDUP: f64 = 5.0;
 /// broken fast path or de-fused compiler would produce (~1×).
 const VM_SPEEDUP_FLOOR: f64 = 3.0;
 
+const INLINE_BASELINE_FILE: &str = "BENCH_udf_inline.json";
+const INLINE_GROUP: &str = "scenario_a";
+const INLINE_REFERENCE: &str = "bytecode/10000";
+const INLINE_GUARDED: &str = "inlined/10000";
+/// The committed baseline must document at least this speedup — it backs
+/// the EXPERIMENTS C15 "≥3× over the bytecode VM on Scenario A" claim.
+const INLINE_CLAIMED_SPEEDUP: f64 = 3.0;
+/// Live re-measurement floor: below the claim to absorb shared-host noise,
+/// far above the ~1× a broken inliner (silent bail, de-vectorized eval)
+/// would produce.
+const INLINE_SPEEDUP_FLOOR: f64 = 2.0;
+
 fn min_ns(doc: &codecs::json::Value, file: &str, name: &str) -> f64 {
     doc.get("benchmarks")
         .and_then(|b| b.as_array())
@@ -53,6 +73,21 @@ fn min_ns(doc: &codecs::json::Value, file: &str, name: &str) -> f64 {
         })
         .and_then(|b| b.get("ns_per_iter")?.get("min")?.as_f64())
         .unwrap_or_else(|| panic!("baseline entry {name} not found in {file}"))
+}
+
+/// Like [`min_ns`] but disambiguated by benchmark group: the udf_inline
+/// suite reuses entry names ("bytecode/10000") across its two scenarios.
+fn group_min_ns(doc: &codecs::json::Value, file: &str, group: &str, name: &str) -> f64 {
+    doc.get("benchmarks")
+        .and_then(|b| b.as_array())
+        .and_then(|benchmarks| {
+            benchmarks.iter().find(|b| {
+                b.get("group").and_then(|g| g.as_str()) == Some(group)
+                    && b.get("name").and_then(|n| n.as_str()) == Some(name)
+            })
+        })
+        .and_then(|b| b.get("ns_per_iter")?.get("min")?.as_f64())
+        .unwrap_or_else(|| panic!("baseline entry {group}/{name} not found in {file}"))
 }
 
 fn read_baseline(file: &str) -> codecs::json::Value {
@@ -208,6 +243,69 @@ in all 3 attempts — a fast path or compiler fusion likely regressed"
     false
 }
 
+/// Measure Scenario A (10 000 rows) end-to-end through the SQL engine with
+/// inlining off (bytecode VM) and on, exactly as `benches/udf_inline.rs`
+/// does. Returns `(bytecode, inlined)` min ns/iter.
+fn measure_inline() -> (f64, f64) {
+    let doc = scratch_harness("inlineguard", |h| {
+        let mut group = h.benchmark_group(INLINE_GROUP);
+        group.sample_size(12);
+        for (name, inline) in [("bytecode", false), ("inlined", true)] {
+            let db = Engine::new();
+            db.set_model(ExecutionModel::OperatorAtATime);
+            db.set_exec_mode(ExecMode::Bytecode);
+            db.set_inline(inline);
+            seed_numbers(&db, 10_000);
+            db.execute(&format!(
+                "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {{\n{MEAN_DEVIATION_STRAIGHT_BODY}}}"
+            ))
+            .unwrap();
+            group.bench_function(name, |b| {
+                b.iter(|| db.execute("SELECT f(i) FROM numbers").unwrap())
+            });
+        }
+        group.finish();
+    });
+    (
+        min_ns(&doc, "inlineguard", "bytecode"),
+        min_ns(&doc, "inlineguard", "inlined"),
+    )
+}
+
+fn guard_inline() -> bool {
+    let doc = read_baseline(INLINE_BASELINE_FILE);
+    let base_speedup = group_min_ns(&doc, INLINE_BASELINE_FILE, INLINE_GROUP, INLINE_REFERENCE)
+        / group_min_ns(&doc, INLINE_BASELINE_FILE, INLINE_GROUP, INLINE_GUARDED);
+    if base_speedup < INLINE_CLAIMED_SPEEDUP {
+        eprintln!(
+            "FAIL: committed {INLINE_BASELINE_FILE} documents only a {base_speedup:.2}x \
+Scenario-A inlining speedup; the docs claim >={INLINE_CLAIMED_SPEEDUP:.0}x — re-run \
+`cargo bench -p devudf-bench --bench udf_inline` on a quiet host or fix the inliner"
+        );
+        return false;
+    }
+    let mut best = 0.0f64;
+    for attempt in 1..=3 {
+        let (bytecode, inlined) = measure_inline();
+        let speedup = bytecode / inlined;
+        best = best.max(speedup);
+        println!(
+            "inline guard[{attempt}]: inlined plan runs Scenario A {speedup:.2}x faster than \
+the bytecode VM (measured {inlined:.0} vs {bytecode:.0} ns/iter); \
+baseline {base_speedup:.2}x, floor {INLINE_SPEEDUP_FLOOR:.1}x"
+        );
+        if best >= INLINE_SPEEDUP_FLOOR {
+            println!("inline guard OK");
+            return true;
+        }
+    }
+    eprintln!(
+        "FAIL: inlined-plan speedup fell to {best:.2}x (< {INLINE_SPEEDUP_FLOOR:.1}x floor) \
+in all 3 attempts — the inliner is likely bailing or the typed eval fast paths regressed"
+    );
+    false
+}
+
 fn main() {
     // Operate on the workspace root regardless of invocation directory.
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
@@ -216,7 +314,8 @@ fn main() {
     }
     let transfer_ok = guard_transfer();
     let vm_ok = guard_vm();
-    if !(transfer_ok && vm_ok) {
+    let inline_ok = guard_inline();
+    if !(transfer_ok && vm_ok && inline_ok) {
         std::process::exit(1);
     }
 }

@@ -89,6 +89,27 @@ deviation = distance / len(column)
 return deviation
 ";
 
+/// The loop-free `mean_deviation`: same math as
+/// [`MEAN_DEVIATION_FIXED_BODY`] but written against vectorized
+/// aggregates, which is the shape the engine's Froid-style inliner
+/// (DESIGN §14) compiles straight into relational operators.
+pub const MEAN_DEVIATION_STRAIGHT_BODY: &str = "\
+mean = sum(column) / len(column)
+return sum(abs(column - mean)) / len(column)
+";
+
+/// A per-row scoring UDF with branches — straight-line, so it inlines to
+/// a CASE — used as the tuple-at-a-time inlining scenario (Scenario B of
+/// EXPERIMENTS C15).
+pub const CLAMP_SCORE_BODY: &str = "\
+score = column * 3 + 7
+if score > 500:
+    return 500.0
+elif score < 50:
+    return score / 2
+return score * 1.0
+";
+
 /// `CREATE FUNCTION` wrapping a body as the paper's Listing 4 declares it.
 pub fn create_mean_deviation(body: &str) -> String {
     format!(

@@ -1,0 +1,70 @@
+//! The C15 benchmark bodies must really take the paths the benchmark
+//! claims to compare: both inline (EXPLAIN says so), and the inlined
+//! results are identical to the interpreter's.
+
+use devudf_bench::{seed_numbers, CLAMP_SCORE_BODY, MEAN_DEVIATION_STRAIGHT_BODY};
+use monetlite::{Engine, ExecutionModel};
+
+fn engine(model: ExecutionModel, inline: bool, body: &str) -> Engine {
+    let db = Engine::new();
+    db.set_model(model);
+    db.set_inline(inline);
+    seed_numbers(&db, 500);
+    db.execute(&format!(
+        "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {{\n{body}}}"
+    ))
+    .unwrap();
+    db
+}
+
+fn rows(db: &Engine) -> Vec<String> {
+    db.execute("SELECT f(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| r[0].render())
+        .collect()
+}
+
+fn explain(db: &Engine) -> String {
+    let t = db
+        .execute("EXPLAIN SELECT f(i) FROM numbers")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    t.rows()
+        .iter()
+        .find(|r| r[0].render() == "udf f")
+        .map(|r| r[1].render())
+        .expect("udf row in EXPLAIN")
+}
+
+#[test]
+fn scenario_a_body_inlines_and_matches_interpreter() {
+    let model = ExecutionModel::OperatorAtATime;
+    let on = engine(model, true, MEAN_DEVIATION_STRAIGHT_BODY);
+    assert!(
+        explain(&on).starts_with("inlined as "),
+        "Scenario A must exercise the inliner: {}",
+        explain(&on)
+    );
+    let off = engine(model, false, MEAN_DEVIATION_STRAIGHT_BODY);
+    assert_eq!(rows(&on), rows(&off), "inlined Scenario A result diverged");
+}
+
+#[test]
+fn scenario_b_body_inlines_and_matches_interpreter() {
+    let model = ExecutionModel::TupleAtATime;
+    let on = engine(model, true, CLAMP_SCORE_BODY);
+    assert!(
+        explain(&on).starts_with("inlined as "),
+        "Scenario B must exercise the inliner: {}",
+        explain(&on)
+    );
+    let off = engine(model, false, CLAMP_SCORE_BODY);
+    let got = rows(&on);
+    assert_eq!(got.len(), 500, "one score per row");
+    assert_eq!(got, rows(&off), "inlined Scenario B result diverged");
+}

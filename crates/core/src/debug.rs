@@ -87,7 +87,7 @@ pub fn run_local(
 
     let mut interp = Interp::with_fs(dev.project.fs_provider());
     interp.set_step_budget(200_000_000);
-    interp.set_exec_mode(dev.settings.exec_mode);
+    interp.set_exec_mode(dev.settings.interp.pylite_mode());
     let conn = LocalConn::new(dev, hook.clone());
     interp.set_global("_conn", Value::Native(Rc::new(conn)));
     if let Some(h) = hook {
@@ -177,7 +177,7 @@ impl LocalConn {
             transfers: dev.transfers.clone(),
             hook,
             fs: dev.project.fs_provider(),
-            exec_mode: dev.settings.exec_mode,
+            exec_mode: dev.settings.interp.pylite_mode(),
             depth: Rc::new(RefCell::new(0)),
         }
     }

@@ -187,9 +187,60 @@ pub struct Settings {
     pub transfer: TransferSettings,
     /// Retry/timeout behaviour of the underlying connection.
     pub retry: RetrySettings,
-    /// Which pylite engine runs local UDFs (bytecode VM by default; the
-    /// AST walker remains available as a reference oracle).
-    pub exec_mode: ExecMode,
+    /// How UDFs execute: the pylite engine for local runs, plus whether
+    /// the server-side engine may inline straight-line bodies (Froid).
+    pub interp: InterpMode,
+}
+
+/// The `interp` settings knob. `ast` and `bytecode` pick a pylite engine
+/// with server-side inlining off; `inline` (the default) runs the bytecode
+/// VM locally *and* lets the engine compile straight-line UDFs into
+/// relational expressions, falling back to the VM on bail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpMode {
+    /// Tree-walking reference interpreter; no engine inlining.
+    Ast,
+    /// Bytecode VM; no engine inlining.
+    Bytecode,
+    /// Bytecode VM with Froid-style engine inlining (default).
+    #[default]
+    Inline,
+}
+
+impl InterpMode {
+    /// The allowed spellings, for error messages.
+    pub const ALLOWED: &'static str = "'ast', 'bytecode' or 'inline'";
+
+    pub fn parse(s: &str) -> Option<InterpMode> {
+        match s {
+            "ast" => Some(InterpMode::Ast),
+            "bytecode" => Some(InterpMode::Bytecode),
+            "inline" => Some(InterpMode::Inline),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InterpMode::Ast => "ast",
+            InterpMode::Bytecode => "bytecode",
+            InterpMode::Inline => "inline",
+        }
+    }
+
+    /// The pylite engine behind this mode. Local debug runs have no
+    /// relational engine to inline into, so `inline` uses the VM.
+    pub fn pylite_mode(&self) -> ExecMode {
+        match self {
+            InterpMode::Ast => ExecMode::Ast,
+            InterpMode::Bytecode | InterpMode::Inline => ExecMode::Bytecode,
+        }
+    }
+
+    /// Whether server-side UDF inlining is enabled.
+    pub fn inline(&self) -> bool {
+        matches!(self, InterpMode::Inline)
+    }
 }
 
 impl Default for Settings {
@@ -203,7 +254,7 @@ impl Default for Settings {
             debug_query: String::new(),
             transfer: TransferSettings::default(),
             retry: RetrySettings::default(),
-            exec_mode: ExecMode::default(),
+            interp: InterpMode::default(),
         }
     }
 }
@@ -284,7 +335,7 @@ impl Settings {
             ),
             ("transfer".to_string(), self.transfer.to_json()),
             ("retry".to_string(), self.retry.to_json()),
-            ("interp".to_string(), Value::from(self.exec_mode.as_str())),
+            ("interp".to_string(), Value::from(self.interp.as_str())),
         ])
     }
 
@@ -317,12 +368,19 @@ impl Settings {
                 Some(r) => RetrySettings::from_json(r)?,
             },
             // Absent in settings files written before the bytecode VM
-            // existed — default (bytecode) rather than reject.
-            exec_mode: match v.get("interp") {
-                None | Some(Value::Null) => ExecMode::default(),
-                Some(m) => m.as_str().and_then(ExecMode::parse).ok_or_else(|| {
-                    invalid("settings field 'interp' must be 'ast' or 'bytecode'")
-                })?,
+            // existed — default (inline) rather than reject. Unknown
+            // spellings fail loudly with the allowed set.
+            interp: match v.get("interp") {
+                None | Some(Value::Null) => InterpMode::default(),
+                Some(m) => {
+                    let text = m.as_str().unwrap_or_default();
+                    InterpMode::parse(text).ok_or_else(|| {
+                        invalid(format!(
+                            "settings field 'interp' must be one of {} (got '{text}')",
+                            InterpMode::ALLOWED
+                        ))
+                    })?
+                }
             },
         })
     }
@@ -401,9 +459,10 @@ impl Settings {
     }
 
     fn describe_interp(&self) -> String {
-        match self.exec_mode {
-            ExecMode::Bytecode => "bytecode VM".to_string(),
-            ExecMode::Ast => "AST walker (reference)".to_string(),
+        match self.interp {
+            InterpMode::Inline => "bytecode VM + engine inlining".to_string(),
+            InterpMode::Bytecode => "bytecode VM".to_string(),
+            InterpMode::Ast => "AST walker (reference)".to_string(),
         }
     }
 
@@ -660,10 +719,17 @@ mod tests {
     fn exec_mode_round_trips_defaults_and_rejects_garbage() {
         let dir = temp_dir("interp");
         let mut s = Settings::default();
-        assert_eq!(s.exec_mode, ExecMode::Bytecode);
-        s.exec_mode = ExecMode::Ast;
+        assert_eq!(s.interp, InterpMode::Inline);
+        assert_eq!(s.interp.pylite_mode(), ExecMode::Bytecode);
+        assert!(s.interp.inline());
+        s.interp = InterpMode::Ast;
         s.save(&dir).unwrap();
-        assert_eq!(Settings::load(&dir).unwrap().exec_mode, ExecMode::Ast);
+        assert_eq!(Settings::load(&dir).unwrap().interp, InterpMode::Ast);
+        s.interp = InterpMode::Bytecode;
+        s.save(&dir).unwrap();
+        let loaded = Settings::load(&dir).unwrap().interp;
+        assert_eq!(loaded, InterpMode::Bytecode);
+        assert!(!loaded.inline());
         // Files written before the bytecode VM existed lack the key.
         let path = Settings::path_in(&dir);
         std::fs::write(
@@ -673,24 +739,41 @@ mod tests {
                 "transfer": {"compress": false, "encrypt": false, "sample": null}}"#,
         )
         .unwrap();
-        assert_eq!(Settings::load(&dir).unwrap().exec_mode, ExecMode::Bytecode);
-        std::fs::write(
-            &path,
-            r#"{"host": "localhost", "port": 50000, "database": "demo",
-                "user": "monetdb", "password": "monetdb", "debug_query": "",
-                "transfer": {"compress": false, "encrypt": false, "sample": null},
-                "interp": "jit"}"#,
-        )
-        .unwrap();
-        assert!(Settings::load(&dir).is_err());
+        assert_eq!(Settings::load(&dir).unwrap().interp, InterpMode::Inline);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_interp_value_fails_loudly_with_allowed_set() {
+        let dir = temp_dir("interp_bad");
+        let path = Settings::path_in(&dir);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        // A typo like "bytcode" must not silently fall back to a default.
+        for bad in ["jit", "bytcode", "Inline"] {
+            std::fs::write(
+                &path,
+                format!(
+                    r#"{{"host": "localhost", "port": 50000, "database": "demo",
+                        "user": "monetdb", "password": "monetdb", "debug_query": "",
+                        "transfer": {{"compress": false, "encrypt": false, "sample": null}},
+                        "interp": "{bad}"}}"#
+                ),
+            )
+            .unwrap();
+            let err = Settings::load(&dir).unwrap_err().to_string();
+            assert!(err.contains("'ast', 'bytecode' or 'inline'"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]
     fn dialog_describes_the_interpreter() {
         let mut s = Settings::default();
+        assert!(s.render_dialog().contains("bytecode VM + engine inlining"));
+        s.interp = InterpMode::Bytecode;
         assert!(s.render_dialog().contains("bytecode VM"));
-        s.exec_mode = ExecMode::Ast;
+        s.interp = InterpMode::Ast;
         assert!(s.render_dialog().contains("AST walker (reference)"));
     }
 

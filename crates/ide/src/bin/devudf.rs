@@ -19,27 +19,32 @@
 //! Commands taking a project DIR read connection settings from
 //! `DIR/.devudf/settings.json` (create it with `devudf settings`).
 //!
-//! A global `--interp=ast|bytecode` flag overrides the configured pylite
-//! engine for this invocation (`ast` selects the tree-walking reference
-//! interpreter; `bytecode`, the default, the compiled VM).
+//! A global `--interp=ast|bytecode|inline` flag overrides the configured
+//! UDF execution mode for this invocation (`ast` selects the tree-walking
+//! reference interpreter; `bytecode` the compiled VM; `inline`, the
+//! default, the VM plus Froid-style engine inlining for straight-line
+//! UDFs).
 
 use std::io::BufReader;
 use std::path::Path;
 
-use devudf::{DevUdf, Settings};
+use devudf::{DevUdf, InterpMode, Settings};
 use devudf_ide::{HeadlessIde, ReplController};
-use pylite::{DebugCommand, ExecMode};
+use pylite::DebugCommand;
 use wireproto::{Server, ServerConfig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut exec_mode: Option<ExecMode> = None;
+    let mut interp: Option<InterpMode> = None;
     args.retain(|a| match a.strip_prefix("--interp=") {
         Some(m) => {
-            match ExecMode::parse(m) {
-                Some(mode) => exec_mode = Some(mode),
+            match InterpMode::parse(m) {
+                Some(mode) => interp = Some(mode),
                 None => {
-                    eprintln!("bad --interp value '{m}' (expected ast or bytecode)");
+                    eprintln!(
+                        "bad --interp value '{m}' (expected one of {})",
+                        InterpMode::ALLOWED
+                    );
                     std::process::exit(2);
                 }
             }
@@ -49,13 +54,13 @@ fn main() {
     });
     let code = match args.first().map(|s| s.as_str()) {
         Some("demo") => cmd_demo(),
-        Some("serve") => cmd_serve(args.get(1).map(|s| s.as_str())),
+        Some("serve") => cmd_serve(args.get(1).map(|s| s.as_str()), interp),
         Some("menu") => {
             println!("{}", devudf_ide::main_menu().render());
             0
         }
         Some("settings") => cmd_settings(args.get(1).map(|s| s.as_str())),
-        Some("import") => cmd_project(&args, exec_mode, |dev, names| {
+        Some("import") => cmd_project(&args, interp, |dev, names| {
             let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
             let report = if refs.is_empty() {
                 dev.import_all()
@@ -71,7 +76,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("export") => cmd_project(&args, exec_mode, |dev, names| {
+        Some("export") => cmd_project(&args, interp, |dev, names| {
             let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
             let exported = dev.export(&refs).map_err(|e| e.to_string())?;
             for name in exported {
@@ -79,7 +84,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("run") => cmd_project(&args, exec_mode, |dev, names| {
+        Some("run") => cmd_project(&args, interp, |dev, names| {
             let Some(name) = names.first() else {
                 return Err("usage: devudf run DIR NAME".to_string());
             };
@@ -90,7 +95,7 @@ fn main() {
             println!("result = {}", outcome.result_repr);
             Ok(())
         }),
-        Some("debug") => cmd_project(&args, exec_mode, |dev, rest| {
+        Some("debug") => cmd_project(&args, interp, |dev, rest| {
             let Some(name) = rest.first() else {
                 return Err("usage: devudf debug DIR NAME [LINE…]".to_string());
             };
@@ -119,7 +124,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("metrics") => cmd_project(&args, exec_mode, |dev, _| {
+        Some("metrics") => cmd_project(&args, interp, |dev, _| {
             let table = dev
                 .server_query("SELECT * FROM sys.metrics")
                 .map_err(|e| e.to_string())?
@@ -128,7 +133,7 @@ fn main() {
             println!("{}", table.render_ascii());
             Ok(())
         }),
-        Some("cache") => cmd_project(&args, exec_mode, |dev, names| {
+        Some("cache") => cmd_project(&args, interp, |dev, names| {
             let Some(name) = names.first() else {
                 return Err("usage: devudf cache DIR NAME".to_string());
             };
@@ -194,8 +199,16 @@ fn seed_demo(db: &monetlite::Engine) {
     .unwrap();
 }
 
-fn cmd_serve(port: Option<&str>) -> i32 {
-    let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), seed_demo);
+fn cmd_serve(port: Option<&str>, interp: Option<InterpMode>) -> i32 {
+    let mode = interp.unwrap_or_default();
+    let server = Server::start(
+        ServerConfig::new("demo", "monetdb", "monetdb"),
+        move |db: &monetlite::Engine| {
+            db.set_exec_mode(mode.pylite_mode());
+            db.set_inline(mode.inline());
+            seed_demo(db);
+        },
+    );
     let addr = match server.listen_tcp() {
         Ok(a) => a,
         Err(e) => {
@@ -224,7 +237,7 @@ fn cmd_settings(dir: Option<&str>) -> i32 {
 
 fn cmd_project(
     args: &[String],
-    exec_mode: Option<ExecMode>,
+    interp: Option<InterpMode>,
     f: impl FnOnce(&mut DevUdf, &[String]) -> Result<(), String>,
 ) -> i32 {
     let Some(dir) = args.get(1) else {
@@ -239,8 +252,8 @@ fn cmd_project(
             return 1;
         }
     };
-    if let Some(mode) = exec_mode {
-        settings.exec_mode = mode;
+    if let Some(mode) = interp {
+        settings.interp = mode;
     }
     let mut dev = match DevUdf::connect_tcp(settings, root) {
         Ok(d) => d,

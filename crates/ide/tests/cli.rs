@@ -1,0 +1,36 @@
+//! CLI-level tests for the `devudf` binary.
+
+use std::process::Command;
+
+/// An unknown `--interp` value must fail loudly at parse time, naming the
+/// allowed set — not silently fall back to a default engine.
+#[test]
+fn bogus_interp_flag_fails_loudly() {
+    for bad in ["bogus", "bytcode", "Inline"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_devudf"))
+            .arg(format!("--interp={bad}"))
+            .arg("menu")
+            .output()
+            .expect("devudf binary runs");
+        assert_eq!(out.status.code(), Some(2), "--interp={bad} should exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(bad), "stderr names the bad value: {stderr}");
+        assert!(
+            stderr.contains("'ast', 'bytecode' or 'inline'"),
+            "stderr lists the allowed set: {stderr}"
+        );
+    }
+}
+
+/// The accepted spellings all parse (the command itself is inert).
+#[test]
+fn valid_interp_flags_are_accepted() {
+    for good in ["ast", "bytecode", "inline"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_devudf"))
+            .arg(format!("--interp={good}"))
+            .arg("menu")
+            .output()
+            .expect("devudf binary runs");
+        assert_eq!(out.status.code(), Some(0), "--interp={good} should exit 0");
+    }
+}

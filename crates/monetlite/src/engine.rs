@@ -10,6 +10,7 @@ use pylite::Value;
 use crate::catalog::{Catalog, FunctionDef, FunctionReturn};
 use crate::error::{DbError, ErrorCode};
 use crate::exec;
+use crate::inline::{self, UdfPlan};
 use crate::sql::ast::{FunctionReturnAst, Statement};
 use crate::sql::parse_statement;
 use crate::table::Table;
@@ -76,6 +77,13 @@ struct Inner {
     /// a fresh interpreter, so the interpreter's own recursion guard cannot
     /// see engine-level cycles).
     udf_depth: usize,
+    /// Froid-style UDF inlining toggle (`--interp=inline`, the default).
+    /// When off, every UDF goes through the interpreter.
+    inline: bool,
+    /// Cached per-function inlining decisions, keyed by lower-cased name
+    /// and validated against `Catalog::functions_epoch` so CREATE OR
+    /// REPLACE / DROP invalidate them.
+    plan_cache: std::collections::HashMap<String, (u64, Rc<UdfPlan>)>,
 }
 
 /// Maximum engine-level UDF nesting (loopback-driven recursion guard).
@@ -118,6 +126,8 @@ impl Engine {
                 extracted: None,
                 udf_stdout: String::new(),
                 udf_depth: 0,
+                inline: true,
+                plan_cache: std::collections::HashMap::new(),
             })),
             read_log: Rc::new(RefCell::new(None)),
         }
@@ -140,6 +150,36 @@ impl Engine {
 
     pub fn exec_mode(&self) -> pylite::ExecMode {
         self.inner.borrow().exec_mode
+    }
+
+    /// Toggle Froid-style UDF inlining (on by default). Off means every
+    /// call runs through the pylite interpreter configured by
+    /// [`Engine::set_exec_mode`].
+    pub fn set_inline(&self, enabled: bool) {
+        self.inner.borrow_mut().inline = enabled;
+    }
+
+    pub fn inline_enabled(&self) -> bool {
+        self.inner.borrow().inline
+    }
+
+    /// The cached inlining decision for a stored function. Plans are
+    /// recomputed whenever the function catalog's epoch moves (CREATE OR
+    /// REPLACE, DROP).
+    pub fn udf_plan(&self, def: &FunctionDef) -> Rc<UdfPlan> {
+        let key = def.name.to_ascii_lowercase();
+        let epoch = self.inner.borrow().catalog.functions_epoch();
+        if let Some((cached_epoch, plan)) = self.inner.borrow().plan_cache.get(&key) {
+            if *cached_epoch == epoch {
+                return plan.clone();
+            }
+        }
+        let plan = Rc::new(inline::plan_udf(def));
+        self.inner
+            .borrow_mut()
+            .plan_cache
+            .insert(key, (epoch, plan.clone()));
+        plan
     }
 
     /// Seed consumed by UDFs' `random` module and the mini-sklearn forest.
@@ -335,7 +375,54 @@ impl Engine {
                 self.inner.borrow_mut().udf_stdout.clear();
                 Ok(QueryResult::Table(exec::run_select(self, sel)?))
             }
+            Statement::Explain(inner_stmt) => self.run_explain(inner_stmt),
         }
+    }
+
+    /// `EXPLAIN <stmt>`: one row per stored UDF the statement references,
+    /// annotated with the Inlined/Interpreted plan decision.
+    fn run_explain(&self, stmt: &Statement) -> Result<QueryResult, DbError> {
+        let mut table = Table::new(
+            "explain".to_string(),
+            &[
+                ("object".to_string(), crate::types::SqlType::String),
+                ("plan".to_string(), crate::types::SqlType::String),
+            ],
+        );
+        let kind = match stmt {
+            Statement::Select(_) => "SELECT",
+            Statement::Insert { .. } => "INSERT",
+            Statement::Update { .. } => "UPDATE",
+            Statement::Delete { .. } => "DELETE",
+            Statement::Explain(_) => "EXPLAIN",
+            Statement::CreateTable { .. } | Statement::DropTable { .. } => "DDL",
+            Statement::CreateFunction { .. } | Statement::DropFunction { .. } => "DDL",
+            Statement::CopyInto { .. } => "COPY",
+        };
+        table.push_row(&[
+            SqlValue::Str("statement".to_string()),
+            SqlValue::Str(kind.to_string()),
+        ])?;
+        let inline_on = self.inline_enabled();
+        let mut seen = std::collections::BTreeSet::new();
+        for name in collect_call_names(stmt) {
+            let Some(def) = self.get_function(&name)? else {
+                continue;
+            };
+            if !seen.insert(def.name.to_ascii_lowercase()) {
+                continue;
+            }
+            let decision = if inline_on {
+                self.udf_plan(&def).describe()
+            } else {
+                "interpreted (bail: disabled)".to_string()
+            };
+            table.push_row(&[
+                SqlValue::Str(format!("udf {}", def.name)),
+                SqlValue::Str(decision),
+            ])?;
+        }
+        Ok(QueryResult::Table(table))
     }
 
     fn run_insert(
@@ -593,6 +680,125 @@ impl Drop for UdfDepthGuard {
         let mut inner = self.engine.inner.borrow_mut();
         inner.udf_depth = inner.udf_depth.saturating_sub(1);
     }
+}
+
+/// Collect every function-call name appearing in a statement (EXPLAIN uses
+/// this to look up stored UDFs; builtin/aggregate names are filtered out by
+/// the catalog lookup).
+fn collect_call_names(stmt: &Statement) -> Vec<String> {
+    use crate::sql::ast::{FromClause, SelectItem, SelectStmt, SqlExpr, TableFuncArg};
+
+    fn from_expr(e: &SqlExpr, out: &mut Vec<String>) {
+        match e {
+            SqlExpr::Literal(_) | SqlExpr::Column(_) | SqlExpr::Star => {}
+            SqlExpr::Unary { expr, .. } => from_expr(expr, out),
+            SqlExpr::Binary { left, right, .. } => {
+                from_expr(left, out);
+                from_expr(right, out);
+            }
+            SqlExpr::Call { name, args } => {
+                out.push(name.clone());
+                for a in args {
+                    from_expr(a, out);
+                }
+            }
+            SqlExpr::Cast { expr, .. } => from_expr(expr, out),
+            SqlExpr::IsNull { expr, .. } => from_expr(expr, out),
+            SqlExpr::Like { expr, pattern, .. } => {
+                from_expr(expr, out);
+                from_expr(pattern, out);
+            }
+            SqlExpr::InList { expr, list, .. } => {
+                from_expr(expr, out);
+                for e in list {
+                    from_expr(e, out);
+                }
+            }
+            SqlExpr::Case { branches, else_ } => {
+                for (c, v) in branches {
+                    from_expr(c, out);
+                    from_expr(v, out);
+                }
+                from_expr(else_, out);
+            }
+        }
+    }
+
+    fn from_from(f: &FromClause, out: &mut Vec<String>) {
+        match f {
+            FromClause::Table(_) => {}
+            FromClause::TableFunction { name, args } => {
+                out.push(name.clone());
+                for a in args {
+                    match a {
+                        TableFuncArg::Query(q) => from_select(q, out),
+                        TableFuncArg::Expr(e) => from_expr(e, out),
+                    }
+                }
+            }
+            FromClause::Subquery(q) => from_select(q, out),
+            FromClause::Join {
+                left, right, on, ..
+            } => {
+                from_from(left, out);
+                from_from(right, out);
+                from_expr(on, out);
+            }
+        }
+    }
+
+    fn from_select(sel: &SelectStmt, out: &mut Vec<String>) {
+        for item in &sel.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                from_expr(expr, out);
+            }
+        }
+        if let Some(f) = &sel.from {
+            from_from(f, out);
+        }
+        if let Some(p) = &sel.predicate {
+            from_expr(p, out);
+        }
+        for g in &sel.group_by {
+            from_expr(g, out);
+        }
+        if let Some(h) = &sel.having {
+            from_expr(h, out);
+        }
+        for (o, _) in &sel.order_by {
+            from_expr(o, out);
+        }
+    }
+
+    let mut out = Vec::new();
+    match stmt {
+        Statement::Select(sel) => from_select(sel, &mut out),
+        Statement::Insert { rows, .. } => {
+            for row in rows {
+                for e in row {
+                    from_expr(e, &mut out);
+                }
+            }
+        }
+        Statement::Update {
+            assignments,
+            predicate,
+            ..
+        } => {
+            for (_, e) in assignments {
+                from_expr(e, &mut out);
+            }
+            if let Some(p) = predicate {
+                from_expr(p, &mut out);
+            }
+        }
+        Statement::Delete {
+            predicate: Some(p), ..
+        } => from_expr(p, &mut out),
+        Statement::Explain(inner) => out.extend(collect_call_names(inner)),
+        _ => {}
+    }
+    out
 }
 
 /// Normalize a stored function body: strip a uniform leading indent and

@@ -142,9 +142,255 @@ pub fn eval_expr(
         SqlExpr::Cast { expr, target } => {
             let v = eval_expr(engine, source, expr)?;
             let target = *target;
+            // Typed fast paths for the numeric casts the UDF inliner emits
+            // (float()/int() lower to CAST); identical to `coerce` per value.
+            if let Evaluated::Column(c) = &v {
+                if !c.has_nulls() {
+                    use crate::types::{ColumnData, SqlType};
+                    match (&c.data, target) {
+                        (ColumnData::Int(_), SqlType::Integer)
+                        | (ColumnData::Double(_), SqlType::Double) => return Ok(v),
+                        (ColumnData::Int(ints), SqlType::Double) => {
+                            return Ok(Evaluated::Column(Column::new(
+                                "cast",
+                                ColumnData::Double(ints.iter().map(|&x| x as f64).collect()),
+                            )))
+                        }
+                        (ColumnData::Double(ds), SqlType::Integer) => {
+                            return Ok(Evaluated::Column(Column::new(
+                                "cast",
+                                ColumnData::Int(ds.iter().map(|d| d.trunc() as i64).collect()),
+                            )))
+                        }
+                        _ => {}
+                    }
+                }
+            }
             map_evaluated(v, "cast", move |s| s.coerce(target))
         }
+        SqlExpr::Case { branches, else_ } => eval_case(engine, source, branches, else_),
     }
+}
+
+/// Evaluate each distinct aggregate subexpression of an inlined UDF plan
+/// once and substitute its scalar result as a literal, innermost first.
+///
+/// Sound because the inlined subset is pure and every non-CASE position is
+/// evaluated eagerly: a hoisted aggregate's value — and any error — is
+/// exactly what the plain evaluation would produce, just computed once
+/// instead of per occurrence (the lowering substitutes bound variables, so
+/// `mean = sum(c)/len(c)` repeats its aggregates at every use site).
+/// CASE subtrees are left untouched on both the collect and replace side:
+/// branch values run lazily, possibly against filtered sub-tables.
+pub(crate) fn hoist_aggregates(
+    engine: &Engine,
+    table: &Table,
+    expr: &SqlExpr,
+) -> Result<SqlExpr, DbError> {
+    let mut expr = expr.clone();
+    loop {
+        let mut found: Vec<SqlExpr> = Vec::new();
+        collect_innermost_aggregates(&expr, &mut found);
+        if found.is_empty() {
+            return Ok(expr);
+        }
+        for agg in found {
+            let value = match eval_expr(engine, Some(table), &agg)? {
+                Evaluated::Scalar(s) => s,
+                Evaluated::Column(_) => return Err(DbError::exec("aggregate produced a column")),
+            };
+            let lit = SqlExpr::Literal(value);
+            replace_subexpr(&mut expr, &agg, &lit);
+        }
+    }
+}
+
+/// Collect aggregate calls whose arguments contain no further aggregates
+/// (outside CASE), deduplicated. Returns whether `expr` contains any
+/// aggregate at a non-CASE-nested position.
+fn collect_innermost_aggregates(expr: &SqlExpr, out: &mut Vec<SqlExpr>) -> bool {
+    match expr {
+        SqlExpr::Literal(_) | SqlExpr::Column(_) | SqlExpr::Star => false,
+        SqlExpr::Unary { expr, .. } | SqlExpr::Cast { expr, .. } | SqlExpr::IsNull { expr, .. } => {
+            collect_innermost_aggregates(expr, out)
+        }
+        SqlExpr::Like { expr, pattern, .. } => {
+            let a = collect_innermost_aggregates(expr, out);
+            let b = collect_innermost_aggregates(pattern, out);
+            a | b
+        }
+        SqlExpr::Binary { left, right, .. } => {
+            let a = collect_innermost_aggregates(left, out);
+            let b = collect_innermost_aggregates(right, out);
+            a | b
+        }
+        SqlExpr::InList { expr, list, .. } => {
+            let mut any = collect_innermost_aggregates(expr, out);
+            for item in list {
+                any |= collect_innermost_aggregates(item, out);
+            }
+            any
+        }
+        // Opaque: lazy branches may see filtered sub-tables.
+        SqlExpr::Case { .. } => false,
+        SqlExpr::Call { name, args } => {
+            let mut inner = false;
+            for a in args {
+                inner |= collect_innermost_aggregates(a, out);
+            }
+            if is_aggregate(name) {
+                if !inner && !out.contains(expr) {
+                    out.push(expr.clone());
+                }
+                return true;
+            }
+            inner
+        }
+    }
+}
+
+fn replace_subexpr(expr: &mut SqlExpr, target: &SqlExpr, replacement: &SqlExpr) {
+    if expr == target {
+        *expr = replacement.clone();
+        return;
+    }
+    match expr {
+        SqlExpr::Literal(_) | SqlExpr::Column(_) | SqlExpr::Star => {}
+        SqlExpr::Unary { expr, .. } | SqlExpr::Cast { expr, .. } | SqlExpr::IsNull { expr, .. } => {
+            replace_subexpr(expr, target, replacement)
+        }
+        SqlExpr::Like { expr, pattern, .. } => {
+            replace_subexpr(expr, target, replacement);
+            replace_subexpr(pattern, target, replacement);
+        }
+        SqlExpr::Binary { left, right, .. } => {
+            replace_subexpr(left, target, replacement);
+            replace_subexpr(right, target, replacement);
+        }
+        SqlExpr::InList { expr, list, .. } => {
+            replace_subexpr(expr, target, replacement);
+            for item in list {
+                replace_subexpr(item, target, replacement);
+            }
+        }
+        SqlExpr::Call { args, .. } => {
+            for a in args {
+                replace_subexpr(a, target, replacement);
+            }
+        }
+        // Opaque, mirroring collect_innermost_aggregates: an aggregate under
+        // a CASE may evaluate against a filtered sub-table, where the
+        // hoisted full-table value would be wrong.
+        SqlExpr::Case { .. } => {}
+    }
+}
+
+/// CASE truthiness: TRUE or non-zero integer selects the branch; NULL and
+/// FALSE do not; anything else is a type error.
+fn case_truth(v: &SqlValue) -> Result<bool, DbError> {
+    match v {
+        SqlValue::Null => Ok(false),
+        SqlValue::Bool(b) => Ok(*b),
+        SqlValue::Int(i) => Ok(*i != 0),
+        other => Err(DbError::type_err(format!(
+            "CASE condition must be a boolean, got {}",
+            other.render()
+        ))),
+    }
+}
+
+/// Lazy CASE evaluation. Conditions are checked in order; a branch value is
+/// only ever evaluated for the rows that branch selects (so
+/// `CASE WHEN b <> 0 THEN a / b ELSE 0 END` never divides by zero).
+///
+/// Scalar conditions pick one branch for the whole batch. Columnar
+/// conditions evaluate each branch against the filtered sub-table and
+/// scatter the per-branch results back into row order.
+fn eval_case(
+    engine: &Engine,
+    source: Option<&Table>,
+    branches: &[(SqlExpr, SqlExpr)],
+    else_: &SqlExpr,
+) -> Result<Evaluated, DbError> {
+    // First pass: evaluate conditions until one is columnar or one scalar
+    // condition is true.
+    let mut cond_cols: Vec<(usize, Column)> = Vec::new();
+    let mut columnar = false;
+    for (idx, (cond, value)) in branches.iter().enumerate() {
+        match eval_expr(engine, source, cond)? {
+            Evaluated::Scalar(s) => {
+                if !columnar && case_truth(&s)? {
+                    return eval_expr(engine, source, value);
+                }
+                // A scalar false under columnar mode: contributes no rows.
+                if columnar && case_truth(&s)? {
+                    // Scalar true: all remaining rows take this branch.
+                    let table = source
+                        .ok_or_else(|| DbError::exec("columnar CASE requires a FROM clause"))?;
+                    let trues = Column::new(
+                        "case",
+                        crate::types::ColumnData::Bool(vec![true; table.row_count()]),
+                    );
+                    cond_cols.push((idx, trues));
+                    break;
+                }
+            }
+            Evaluated::Column(c) => {
+                columnar = true;
+                cond_cols.push((idx, c));
+            }
+        }
+    }
+    if !columnar {
+        // Every condition was a scalar false: the ELSE arm wins.
+        return eval_expr(engine, source, else_);
+    }
+    let table = source.ok_or_else(|| DbError::exec("columnar CASE requires a FROM clause"))?;
+    let rows = table.row_count();
+    let mut out: Vec<Option<SqlValue>> = vec![None; rows];
+    let mut remaining = vec![true; rows];
+    for (idx, cond) in &cond_cols {
+        if cond.len() != rows {
+            return Err(DbError::exec("CASE condition length mismatch"));
+        }
+        let mut mask = vec![false; rows];
+        let mut any = false;
+        for i in 0..rows {
+            if remaining[i] && case_truth(&cond.get(i))? {
+                mask[i] = true;
+                remaining[i] = false;
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        let sub = table.filter(&mask);
+        let value = eval_expr(engine, Some(&sub), &branches[*idx].1)?;
+        let mut j = 0;
+        for i in 0..rows {
+            if mask[i] {
+                out[i] = Some(value.get(j));
+                j += 1;
+            }
+        }
+    }
+    if remaining.iter().any(|r| *r) {
+        let sub = table.filter(&remaining);
+        let value = eval_expr(engine, Some(&sub), else_)?;
+        let mut j = 0;
+        for i in 0..rows {
+            if remaining[i] {
+                out[i] = Some(value.get(j));
+                j += 1;
+            }
+        }
+    }
+    let values: Vec<SqlValue> = out
+        .into_iter()
+        .map(|v| v.expect("every row assigned"))
+        .collect();
+    Ok(Evaluated::Column(Column::from_values("case", &values)?))
 }
 
 /// Resolve a (possibly qualified) column reference against a table whose
@@ -211,8 +457,12 @@ fn apply_unary(op: UnaryOp, v: Evaluated) -> Result<Evaluated, DbError> {
     let f = move |s: &SqlValue| -> Result<SqlValue, DbError> {
         Ok(match (op, s) {
             (_, SqlValue::Null) => SqlValue::Null,
-            (UnaryOp::Neg, SqlValue::Int(i)) => SqlValue::Int(-i),
+            // checked: -i64::MIN does not fit.
+            (UnaryOp::Neg, SqlValue::Int(i)) => {
+                SqlValue::Int(i.checked_neg().ok_or_else(overflow)?)
+            }
             (UnaryOp::Neg, SqlValue::Double(d)) => SqlValue::Double(-d),
+            (UnaryOp::Neg, SqlValue::Bool(b)) => SqlValue::Int(-(*b as i64)),
             (UnaryOp::Not, SqlValue::Bool(b)) => SqlValue::Bool(!b),
             (op, other) => {
                 return Err(DbError::type_err(format!(
@@ -241,6 +491,9 @@ fn apply_binary(op: BinaryOp, l: Evaluated, r: Evaluated) -> Result<Evaluated, D
                 (_, Some(b)) => b,
                 _ => unreachable!("scalar/scalar handled above"),
             };
+            if let Some(done) = binary_fast(op, &l, &r, len) {
+                return done;
+            }
             let mut out = Vec::with_capacity(len);
             for i in 0..len {
                 out.push(binary_values(op, &l.get(i), &r.get(i))?);
@@ -248,6 +501,190 @@ fn apply_binary(op: BinaryOp, l: Evaluated, r: Evaluated) -> Result<Evaluated, D
             Ok(Evaluated::Column(Column::from_values(op.symbol(), &out)?))
         }
     }
+}
+
+/// Typed view of a NULL-free numeric operand for the columnar fast path.
+enum NumOperand<'a> {
+    IntCol(&'a [i64]),
+    FloatCol(&'a [f64]),
+    IntScalar(i64),
+    FloatScalar(f64),
+}
+
+impl NumOperand<'_> {
+    fn is_int(&self) -> bool {
+        matches!(self, NumOperand::IntCol(_) | NumOperand::IntScalar(_))
+    }
+
+    fn int_at(&self, i: usize) -> i64 {
+        match self {
+            NumOperand::IntCol(v) => v[i],
+            NumOperand::IntScalar(k) => *k,
+            _ => unreachable!("int_at on a float operand"),
+        }
+    }
+
+    fn f64_at(&self, i: usize) -> f64 {
+        match self {
+            NumOperand::IntCol(v) => v[i] as f64,
+            NumOperand::FloatCol(v) => v[i],
+            NumOperand::IntScalar(k) => *k as f64,
+            NumOperand::FloatScalar(d) => *d,
+        }
+    }
+}
+
+fn num_operand(v: &Evaluated) -> Option<NumOperand<'_>> {
+    match v {
+        Evaluated::Scalar(SqlValue::Int(i)) => Some(NumOperand::IntScalar(*i)),
+        // Booleans count as 0/1 integers, matching `as_int`.
+        Evaluated::Scalar(SqlValue::Bool(b)) => Some(NumOperand::IntScalar(*b as i64)),
+        Evaluated::Scalar(SqlValue::Double(d)) => Some(NumOperand::FloatScalar(*d)),
+        Evaluated::Column(c) if !c.has_nulls() => match &c.data {
+            crate::types::ColumnData::Int(v) => Some(NumOperand::IntCol(v)),
+            crate::types::ColumnData::Double(v) => Some(NumOperand::FloatCol(v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Columnar fast path over NULL-free numeric operands: same semantics and
+/// error strings as [`binary_values`], without boxing each element into
+/// `SqlValue`. Returns `None` to fall back to the generic rowwise loop.
+fn binary_fast(
+    op: BinaryOp,
+    l: &Evaluated,
+    r: &Evaluated,
+    len: usize,
+) -> Option<Result<Evaluated, DbError>> {
+    use BinaryOp::*;
+    if matches!(op, And | Or) {
+        return None;
+    }
+    let a = num_operand(l)?;
+    let b = num_operand(r)?;
+    let name = op.symbol();
+
+    // Comparisons mirror cmp_sql: every numeric pair is ordered through f64.
+    if matches!(op, Eq | NotEq | Lt | Le | Gt | Ge) {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let ord = a
+                .f64_at(i)
+                .partial_cmp(&b.f64_at(i))
+                .unwrap_or(Ordering::Equal);
+            out.push(match op {
+                Eq => ord == Ordering::Equal,
+                NotEq => ord != Ordering::Equal,
+                Lt => ord == Ordering::Less,
+                Le => ord != Ordering::Greater,
+                Gt => ord == Ordering::Greater,
+                Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            });
+        }
+        return Some(Ok(Evaluated::Column(Column::new(
+            name,
+            crate::types::ColumnData::Bool(out),
+        ))));
+    }
+
+    if a.is_int() && b.is_int() {
+        // Pow with a columnar or negative exponent can go float per row;
+        // leave those shapes to the generic path.
+        if op == Pow && !matches!(b, NumOperand::IntScalar(e) if e >= 0) {
+            return None;
+        }
+        let kernel: fn(i64, i64) -> Result<i64, DbError> = match op {
+            Add => |x, y| x.checked_add(y).ok_or_else(overflow),
+            Sub => |x, y| x.checked_sub(y).ok_or_else(overflow),
+            Mul => |x, y| x.checked_mul(y).ok_or_else(overflow),
+            Div => |x, y| {
+                if y == 0 {
+                    return Err(DbError::exec("division by zero"));
+                }
+                x.checked_div(y).ok_or_else(overflow)
+            },
+            Mod => |x, y| {
+                if y == 0 {
+                    return Err(DbError::exec("modulo by zero"));
+                }
+                x.checked_rem(y).ok_or_else(overflow)
+            },
+            FloorDiv => |x, y| {
+                if y == 0 {
+                    return Err(DbError::exec("integer division by zero"));
+                }
+                x.checked_div_euclid(y).ok_or_else(overflow)
+            },
+            FloorMod => |x, y| {
+                if y == 0 {
+                    return Err(DbError::exec("modulo by zero"));
+                }
+                x.checked_rem_euclid(y).ok_or_else(overflow)
+            },
+            Pow => |x, y| {
+                let exp = u32::try_from(y).map_err(|_| DbError::exec("exponent too large"))?;
+                x.checked_pow(exp).ok_or_else(overflow)
+            },
+            _ => return None,
+        };
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            match kernel(a.int_at(i), b.int_at(i)) {
+                Ok(v) => out.push(v),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        return Some(Ok(Evaluated::Column(Column::new(
+            name,
+            crate::types::ColumnData::Int(out),
+        ))));
+    }
+
+    let kernel: fn(f64, f64) -> Result<f64, DbError> = match op {
+        Add => |x, y| Ok(x + y),
+        Sub => |x, y| Ok(x - y),
+        Mul => |x, y| Ok(x * y),
+        Div => |x, y| {
+            if y == 0.0 {
+                return Err(DbError::exec("division by zero"));
+            }
+            Ok(x / y)
+        },
+        Mod => |x, y| {
+            if y == 0.0 {
+                return Err(DbError::exec("modulo by zero"));
+            }
+            Ok(x % y)
+        },
+        FloorDiv => |x, y| {
+            if y == 0.0 {
+                return Err(DbError::exec("float floor division by zero"));
+            }
+            Ok((x / y).floor())
+        },
+        FloorMod => |x, y| {
+            if y == 0.0 {
+                return Err(DbError::exec("float modulo by zero"));
+            }
+            Ok(x - y * (x / y).floor())
+        },
+        Pow => |x, y| Ok(x.powf(y)),
+        _ => return None,
+    };
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        match kernel(a.f64_at(i), b.f64_at(i)) {
+            Ok(v) => out.push(v),
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    Some(Ok(Evaluated::Column(Column::new(
+        name,
+        crate::types::ColumnData::Double(out),
+    ))))
 }
 
 /// Scalar binary operation with SQL NULL propagation.
@@ -297,10 +734,11 @@ pub fn binary_values(op: BinaryOp, a: &SqlValue, b: &SqlValue) -> Result<SqlValu
     if let (Add, SqlValue::Str(x), SqlValue::Str(y)) = (op, a, b) {
         return Ok(SqlValue::Str(format!("{x}{y}")));
     }
-    // Arithmetic with int/double promotion.
-    match (a, b) {
-        (SqlValue::Int(x), SqlValue::Int(y)) => {
-            let (x, y) = (*x, *y);
+    // Arithmetic with int/double promotion. Booleans count as integers
+    // (0/1), matching the interpreter's numeric coercion, so an inlined
+    // `(a > b) + 1` agrees with pylite instead of silently going double.
+    match (as_int(a), as_int(b)) {
+        (Some(x), Some(y)) => {
             Ok(match op {
                 Add => SqlValue::Int(x.checked_add(y).ok_or_else(overflow)?),
                 Sub => SqlValue::Int(x.checked_sub(y).ok_or_else(overflow)?),
@@ -309,14 +747,37 @@ pub fn binary_values(op: BinaryOp, a: &SqlValue, b: &SqlValue) -> Result<SqlValu
                     if y == 0 {
                         return Err(DbError::exec("division by zero"));
                     }
-                    // Integer division truncates, SQL-style.
-                    SqlValue::Int(x / y)
+                    // Integer division truncates, SQL-style. checked:
+                    // i64::MIN / -1 must error, not panic.
+                    SqlValue::Int(x.checked_div(y).ok_or_else(overflow)?)
                 }
                 Mod => {
                     if y == 0 {
                         return Err(DbError::exec("modulo by zero"));
                     }
-                    SqlValue::Int(x % y)
+                    SqlValue::Int(x.checked_rem(y).ok_or_else(overflow)?)
+                }
+                FloorDiv => {
+                    if y == 0 {
+                        return Err(DbError::exec("integer division by zero"));
+                    }
+                    SqlValue::Int(x.checked_div_euclid(y).ok_or_else(overflow)?)
+                }
+                FloorMod => {
+                    if y == 0 {
+                        return Err(DbError::exec("modulo by zero"));
+                    }
+                    SqlValue::Int(x.checked_rem_euclid(y).ok_or_else(overflow)?)
+                }
+                Pow => {
+                    if y >= 0 {
+                        let exp =
+                            u32::try_from(y).map_err(|_| DbError::exec("exponent too large"))?;
+                        SqlValue::Int(x.checked_pow(exp).ok_or_else(overflow)?)
+                    } else {
+                        // Negative exponent goes float, Python-style.
+                        SqlValue::Double((x as f64).powf(y as f64))
+                    }
                 }
                 _ => return Err(bad_operands(op, a, b)),
             })
@@ -340,9 +801,32 @@ pub fn binary_values(op: BinaryOp, a: &SqlValue, b: &SqlValue) -> Result<SqlValu
                     }
                     SqlValue::Double(x % y)
                 }
+                FloorDiv => {
+                    if y == 0.0 {
+                        return Err(DbError::exec("float floor division by zero"));
+                    }
+                    SqlValue::Double((x / y).floor())
+                }
+                FloorMod => {
+                    if y == 0.0 {
+                        return Err(DbError::exec("float modulo by zero"));
+                    }
+                    // Floor modulo: result carries the divisor's sign.
+                    SqlValue::Double(x - y * (x / y).floor())
+                }
+                Pow => SqlValue::Double(x.powf(y)),
                 _ => return Err(bad_operands(op, a, b)),
             })
         }
+    }
+}
+
+/// Integer view of a value for arithmetic: Int as-is, Bool as 0/1.
+fn as_int(v: &SqlValue) -> Option<i64> {
+    match v {
+        SqlValue::Int(i) => Some(*i),
+        SqlValue::Bool(b) => Some(*b as i64),
+        _ => None,
     }
 }
 
@@ -454,6 +938,40 @@ fn eval_call(
         return Err(DbError::exec(crate::engine::EXTRACT_SIGNAL));
     }
 
+    // Froid-style inlining: straight-line bodies run as relational
+    // expressions; anything else (or any runtime bail) falls through to
+    // the interpreter below.
+    if engine.inline_enabled() {
+        let per_row = engine.model() == crate::engine::ExecutionModel::TupleAtATime;
+        let plan = engine.udf_plan(&def);
+        match &*plan {
+            crate::inline::UdfPlan::Inlined(p) => {
+                match crate::inline::run_inlined(engine, p, &inputs, per_row) {
+                    crate::inline::InlineOutcome::Done(v) => {
+                        obs::counter!("monetlite.udf.inlined").inc();
+                        // Tuple-at-a-time calls the UDF once per source row;
+                        // a row-independent body still yields one value per
+                        // row, so broadcast scalar results.
+                        let v = match v {
+                            Evaluated::Scalar(s) if per_row => {
+                                let rows = source.map(|t| t.row_count()).unwrap_or(1);
+                                Evaluated::Column(Column::from_values(&def.name, &vec![s; rows])?)
+                            }
+                            other => other,
+                        };
+                        return Ok(v);
+                    }
+                    crate::inline::InlineOutcome::Bailed(_) => {
+                        obs::counter!("monetlite.udf.bailed").inc();
+                    }
+                }
+            }
+            crate::inline::UdfPlan::Interpreted(_) => {
+                obs::counter!("monetlite.udf.bailed").inc();
+            }
+        }
+    }
+
     match engine.model() {
         crate::engine::ExecutionModel::OperatorAtATime => {
             let out = udf::run_operator_at_a_time(engine, &def, &inputs)?;
@@ -496,7 +1014,57 @@ fn eval_aggregate(
             "{name}() takes exactly one argument"
         )));
     }
-    let col = eval_expr(engine, Some(table), &args[0])?.into_column("agg", table.row_count())?;
+    // A bare column reference folds in place; anything else materializes.
+    let storage;
+    let col: &Column = match &args[0] {
+        SqlExpr::Column(name) => resolve_column(table, name)?,
+        other => {
+            storage =
+                eval_expr(engine, Some(table), other)?.into_column("agg", table.row_count())?;
+            &storage
+        }
+    };
+    // Typed fast path: NULL-free numeric columns fold without boxing each
+    // element into SqlValue. Semantics are bit-identical to the generic
+    // loops below (same fold order, same overflow check). min/max stay
+    // generic — their ordering goes through cmp_sql.
+    if !col.has_nulls() && !col.is_empty() {
+        use crate::types::ColumnData;
+        match (&col.data, name) {
+            (ColumnData::Int(_) | ColumnData::Double(_), "count") => {
+                return Ok(Evaluated::Scalar(SqlValue::Int(col.len() as i64)))
+            }
+            (ColumnData::Int(v), "sum") => {
+                let mut acc = 0i64;
+                for &x in v {
+                    acc = acc.checked_add(x).ok_or_else(overflow)?;
+                }
+                return Ok(Evaluated::Scalar(SqlValue::Int(acc)));
+            }
+            (ColumnData::Double(v), "sum") => {
+                let mut acc = 0f64;
+                for &x in v {
+                    acc += x;
+                }
+                return Ok(Evaluated::Scalar(SqlValue::Double(acc)));
+            }
+            (ColumnData::Int(v), "avg") => {
+                let mut acc = 0f64;
+                for &x in v {
+                    acc += x as f64;
+                }
+                return Ok(Evaluated::Scalar(SqlValue::Double(acc / v.len() as f64)));
+            }
+            (ColumnData::Double(v), "avg") => {
+                let mut acc = 0f64;
+                for &x in v {
+                    acc += x;
+                }
+                return Ok(Evaluated::Scalar(SqlValue::Double(acc / v.len() as f64)));
+            }
+            _ => {}
+        }
+    }
     let non_null: Vec<SqlValue> = (0..col.len())
         .map(|i| col.get(i))
         .filter(|v| !v.is_null())
@@ -580,19 +1148,69 @@ fn eval_scalar_builtin(
             Ok(Some(map_evaluated(v, name, f)?))
         };
     match name {
-        "abs" => unary(|v| {
-            Ok(match v {
-                SqlValue::Null => SqlValue::Null,
-                SqlValue::Int(i) => SqlValue::Int(i.abs()),
-                SqlValue::Double(d) => SqlValue::Double(d.abs()),
-                other => {
-                    return Err(DbError::type_err(format!(
-                        "abs({}) is invalid",
-                        other.render()
-                    )))
+        // Internal sequencing primitive used by UDF inlining: evaluate the
+        // first argument only for its errors (division by zero, overflow),
+        // then yield the second. Never produced by the SQL parser.
+        "__seq" => {
+            if args.len() != 2 {
+                return Err(DbError::exec("__seq() takes exactly two arguments"));
+            }
+            eval_expr(engine, source, &args[0])?;
+            Ok(Some(eval_expr(engine, source, &args[1])?))
+        }
+        "abs" => {
+            if args.len() != 1 {
+                return Err(DbError::exec(format!(
+                    "{name}() takes exactly one argument"
+                )));
+            }
+            let v = eval_expr(engine, source, &args[0])?;
+            // Typed fast path over NULL-free numeric columns.
+            if let Evaluated::Column(c) = &v {
+                if !c.has_nulls() {
+                    use crate::types::ColumnData;
+                    match &c.data {
+                        ColumnData::Int(ints) => {
+                            let mut out = Vec::with_capacity(ints.len());
+                            for &x in ints {
+                                out.push(
+                                    x.checked_abs().ok_or_else(|| {
+                                        DbError::exec("integer overflow in abs()")
+                                    })?,
+                                );
+                            }
+                            return Ok(Some(Evaluated::Column(Column::new(
+                                "abs",
+                                ColumnData::Int(out),
+                            ))));
+                        }
+                        ColumnData::Double(ds) => {
+                            return Ok(Some(Evaluated::Column(Column::new(
+                                "abs",
+                                ColumnData::Double(ds.iter().map(|d| d.abs()).collect()),
+                            ))));
+                        }
+                        _ => {}
+                    }
                 }
-            })
-        }),
+            }
+            Ok(Some(map_evaluated(v, name, |v| {
+                Ok(match v {
+                    SqlValue::Null => SqlValue::Null,
+                    SqlValue::Int(i) => SqlValue::Int(
+                        i.checked_abs()
+                            .ok_or_else(|| DbError::exec("integer overflow in abs()"))?,
+                    ),
+                    SqlValue::Double(d) => SqlValue::Double(d.abs()),
+                    other => {
+                        return Err(DbError::type_err(format!(
+                            "abs({}) is invalid",
+                            other.render()
+                        )))
+                    }
+                })
+            })?))
+        }
         "length" => unary(|v| {
             Ok(match v {
                 SqlValue::Null => SqlValue::Null,

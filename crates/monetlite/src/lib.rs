@@ -39,6 +39,7 @@ pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod inline;
 pub mod sql;
 pub mod table;
 pub mod types;

@@ -41,6 +41,9 @@ pub enum Statement {
         if_exists: bool,
     },
     Select(SelectStmt),
+    /// `EXPLAIN <statement>` — renders the execution plan, including the
+    /// Inlined/Interpreted decision for every stored UDF the query calls.
+    Explain(Box<Statement>),
     /// `COPY INTO t FROM 'path'` — CSV ingestion.
     CopyInto {
         table: String,
@@ -162,6 +165,13 @@ pub enum SqlExpr {
         expr: Box<SqlExpr>,
         target: SqlType,
     },
+    /// `CASE WHEN cond THEN value [WHEN …] ELSE value END`. Branch values
+    /// are evaluated lazily: only for the rows a branch actually selects.
+    /// Also the lowering target for inlined UDF `if/elif/else` chains.
+    Case {
+        branches: Vec<(SqlExpr, SqlExpr)>,
+        else_: Box<SqlExpr>,
+    },
 }
 
 /// Unary SQL operators.
@@ -179,6 +189,15 @@ pub enum BinaryOp {
     Mul,
     Div,
     Mod,
+    /// Python-semantics floor division (`//`): rounds toward negative
+    /// infinity, unlike SQL `/` which truncates. Produced by the UDF
+    /// inlining pass; not reachable from the SQL grammar.
+    FloorDiv,
+    /// Python-semantics modulo: result takes the divisor's sign
+    /// (`-7 %% 3 = 2`). Produced by the UDF inlining pass.
+    FloorMod,
+    /// Exponentiation (`**`). Produced by the UDF inlining pass.
+    Pow,
     Eq,
     NotEq,
     Lt,
@@ -197,6 +216,9 @@ impl BinaryOp {
             BinaryOp::Mul => "*",
             BinaryOp::Div => "/",
             BinaryOp::Mod => "%",
+            BinaryOp::FloorDiv => "//",
+            BinaryOp::FloorMod => "%%",
+            BinaryOp::Pow => "**",
             BinaryOp::Eq => "=",
             BinaryOp::NotEq => "<>",
             BinaryOp::Lt => "<",

@@ -131,6 +131,9 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn statement(&mut self) -> Result<Statement, DbError> {
+        if self.eat_kw("explain") {
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
         if self.peek().is_kw("create") {
             return self.create();
         }
@@ -802,6 +805,28 @@ impl Parser {
                 }
                 if name.eq_ignore_ascii_case("false") {
                     return Ok(SqlExpr::Literal(SqlValue::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("case") {
+                    let mut branches = Vec::new();
+                    while self.eat_kw("when") {
+                        let cond = self.expr()?;
+                        self.expect_kw("then")?;
+                        let value = self.expr()?;
+                        branches.push((cond, value));
+                    }
+                    if branches.is_empty() {
+                        return Err(DbError::parse("CASE requires at least one WHEN branch"));
+                    }
+                    let else_ = if self.eat_kw("else") {
+                        self.expr()?
+                    } else {
+                        SqlExpr::Literal(SqlValue::Null)
+                    };
+                    self.expect_kw("end")?;
+                    return Ok(SqlExpr::Case {
+                        branches,
+                        else_: Box::new(else_),
+                    });
                 }
                 if name.eq_ignore_ascii_case("cast") && matches!(self.peek(), SqlTok::LParen) {
                     self.bump();

@@ -72,12 +72,18 @@ pub fn lookup(name: &str) -> Option<Value> {
         }),
         "abs" => builtin!("abs", |_interp, args, _kw| {
             arity("abs", args, 1, 1)?;
+            let abs_i = |i: i64| {
+                i.checked_abs()
+                    .ok_or_else(|| err(ErrorKind::Value, "integer overflow in abs()"))
+            };
             match &args[0] {
-                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Int(i) => Ok(Value::Int(abs_i(*i)?)),
                 Value::Float(f) => Ok(Value::Float(f.abs())),
                 Value::Bool(b) => Ok(Value::Int(*b as i64)),
                 Value::Array(a) => Ok(Value::array(match a.as_ref() {
-                    Array::Int(v) => Array::Int(v.iter().map(|x| x.abs()).collect()),
+                    Array::Int(v) => {
+                        Array::Int(v.iter().map(|x| abs_i(*x)).collect::<Result<_, _>>()?)
+                    }
                     Array::Float(v) => Array::Float(v.iter().map(|x| x.abs()).collect()),
                     other => other.clone(),
                 })),
@@ -558,6 +564,20 @@ mod tests {
         i.set_global("a", Value::array(Array::Int(vec![-1, 2, -3])));
         i.eval_module("b = abs(a)\n").unwrap();
         assert_eq!(g(&i, "b"), Value::array(Array::Int(vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn abs_of_i64_min_errors_instead_of_panicking() {
+        let mut i = Interp::new();
+        let e = i
+            .eval_module("b = abs(-9223372036854775807 - 1)\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Value);
+        assert_eq!(e.message, "integer overflow in abs()");
+        // The vectorized path overflows identically.
+        i.set_global("a", Value::array(Array::Int(vec![1, i64::MIN])));
+        let e = i.eval_module("b = abs(a)\n").unwrap_err();
+        assert_eq!(e.message, "integer overflow in abs()");
     }
 
     #[test]

@@ -1549,14 +1549,19 @@ impl Interp {
                     if b == 0 {
                         Err(self.err_at(ErrorKind::ZeroDivision, "integer division by zero", line))
                     } else {
-                        Ok(Value::Int(a.div_euclid(b)))
+                        // i64::MIN // -1 overflows; div_euclid would panic.
+                        a.checked_div_euclid(b).map(Value::Int).ok_or_else(|| {
+                            self.err_at(ErrorKind::Value, "integer overflow in //", line)
+                        })
                     }
                 }
                 BinOp::Mod => {
                     if b == 0 {
                         Err(self.err_at(ErrorKind::ZeroDivision, "modulo by zero", line))
                     } else {
-                        Ok(Value::Int(a.rem_euclid(b)))
+                        a.checked_rem_euclid(b).map(Value::Int).ok_or_else(|| {
+                            self.err_at(ErrorKind::Value, "integer overflow in %", line)
+                        })
                     }
                 }
                 BinOp::Pow => {
@@ -1647,26 +1652,31 @@ impl Interp {
             (_, Value::Array(b)) => b.len(),
             _ => unreachable!("array_binop requires an array operand"),
         };
-        // Fast numeric paths for the common cases.
+        // Fast numeric paths for the common cases. These must keep the same
+        // checked-overflow semantics as the scalar path: a wrapping shortcut
+        // here would silently disagree with `numeric_binop` (and with the
+        // inlined relational plan, which the differential harness compares
+        // against).
         if let (Value::Array(a), Value::Array(b)) = (l, r) {
             if let (Array::Int(x), Array::Int(y)) = (a.as_ref(), b.as_ref()) {
-                match op {
-                    BinOp::Add => {
-                        return Ok(Value::array(Array::Int(
-                            x.iter().zip(y).map(|(p, q)| p.wrapping_add(*q)).collect(),
-                        )))
+                let checked: Option<fn(i64, i64) -> Option<i64>> = match op {
+                    BinOp::Add => Some(i64::checked_add),
+                    BinOp::Sub => Some(i64::checked_sub),
+                    BinOp::Mul => Some(i64::checked_mul),
+                    _ => None,
+                };
+                if let Some(f) = checked {
+                    let mut out = Vec::with_capacity(x.len());
+                    for (p, q) in x.iter().zip(y) {
+                        out.push(f(*p, *q).ok_or_else(|| {
+                            self.err_at(
+                                ErrorKind::Value,
+                                format!("integer overflow in {}", op.symbol()),
+                                line,
+                            )
+                        })?);
                     }
-                    BinOp::Sub => {
-                        return Ok(Value::array(Array::Int(
-                            x.iter().zip(y).map(|(p, q)| p.wrapping_sub(*q)).collect(),
-                        )))
-                    }
-                    BinOp::Mul => {
-                        return Ok(Value::array(Array::Int(
-                            x.iter().zip(y).map(|(p, q)| p.wrapping_mul(*q)).collect(),
-                        )))
-                    }
-                    _ => {}
+                    return Ok(Value::array(Array::Int(out)));
                 }
             }
         }
@@ -1744,7 +1754,10 @@ impl Interp {
                 )),
             },
             UnaryOp::Neg => match v {
-                Value::Int(i) => Ok(Value::Int(-i)),
+                // -i64::MIN does not fit; match the binary-op overflow errors.
+                Value::Int(i) => i.checked_neg().map(Value::Int).ok_or_else(|| {
+                    self.err_at(ErrorKind::Value, "integer overflow in unary -", line)
+                }),
                 Value::Float(f) => Ok(Value::Float(-f)),
                 Value::Bool(b) => Ok(Value::Int(-(*b as i64))),
                 Value::Array(a) => {
@@ -2002,6 +2015,62 @@ mod tests {
         let e = i.eval_module("x = 1 / 0\n").unwrap_err();
         assert_eq!(e.kind, ErrorKind::ZeroDivision);
         assert_eq!(e.innermost_line(), Some(1));
+    }
+
+    #[test]
+    fn regression_floordiv_min_by_minus_one_errors_not_panics() {
+        // i64::MIN // -1 used to panic inside div_euclid; it must raise the
+        // same overflow error family as +/-/*.
+        // The literal -9223372036854775808 cannot be lexed directly (the
+        // magnitude overflows before unary minus applies), same as CPython's
+        // tokenizer distinction; build MIN arithmetically.
+        let mut i = Interp::new();
+        let e = i
+            .eval_module("m = -9223372036854775807 - 1\nx = m // -1\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Value);
+        assert_eq!(e.message, "integer overflow in //");
+        assert_eq!(e.innermost_line(), Some(2));
+        let e = i
+            .eval_module("m = -9223372036854775807 - 1\nx = m % -1\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Value);
+        assert_eq!(e.message, "integer overflow in %");
+    }
+
+    #[test]
+    fn regression_unary_neg_min_errors_not_panics() {
+        let mut i = Interp::new();
+        i.set_global("m", Value::Int(i64::MIN));
+        let e = i.eval_module("x = -m\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Value);
+        assert_eq!(e.message, "integer overflow in unary -");
+    }
+
+    #[test]
+    fn regression_array_fast_path_checks_overflow_like_scalar_path() {
+        // The Int x Int array fast path used wrapping_add/sub/mul while the
+        // scalar path raised "integer overflow in +": a silent divergence.
+        for op in ["+", "-", "*"] {
+            let mut i = Interp::new();
+            let big = if op == "-" { i64::MIN } else { i64::MAX };
+            i.set_global("a", Value::array(Array::Int(vec![big, 1])));
+            let other = if op == "*" { 2 } else { 1 };
+            i.set_global("b", Value::array(Array::Int(vec![other, 1])));
+            let e = i.eval_module(&format!("c = a {op} b\n")).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Value, "op {op}");
+            assert_eq!(e.message, format!("integer overflow in {op}"));
+            assert_eq!(e.innermost_line(), Some(1));
+        }
+        // Non-overflowing arrays still take the fast path and agree.
+        let mut i = Interp::new();
+        i.set_global("a", Value::array(Array::Int(vec![1, 2])));
+        i.set_global("b", Value::array(Array::Int(vec![3, 4])));
+        i.eval_module("c = a + b\n").unwrap();
+        let Value::Array(arr) = global(&i, "c") else {
+            panic!("expected array")
+        };
+        assert_eq!(arr.as_ref(), &Array::Int(vec![4, 6]));
     }
 
     #[test]

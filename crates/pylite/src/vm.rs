@@ -895,7 +895,9 @@ fn builtin_fast(name: &str, args: &[Value]) -> Option<Value> {
         return None;
     }
     match &args[0] {
-        Value::Int(i) => Some(Value::Int(i.abs())),
+        // checked_abs: i64::MIN overflows; route it through the boxed
+        // builtin so the overflow error text has one home.
+        Value::Int(i) => i.checked_abs().map(Value::Int),
         Value::Float(f) => Some(Value::Float(f.abs())),
         _ => None,
     }
@@ -959,8 +961,10 @@ fn binop_fast(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
                 BinOp::Sub => a.checked_sub(b).map(Value::Int),
                 BinOp::Mul => a.checked_mul(b).map(Value::Int),
                 BinOp::Div if b != 0 => Some(Value::Float(a as f64 / b as f64)),
-                BinOp::FloorDiv if b != 0 => Some(Value::Int(a.div_euclid(b))),
-                BinOp::Mod if b != 0 => Some(Value::Int(a.rem_euclid(b))),
+                // checked_*: i64::MIN // -1 overflows; None defers to the
+                // walker, which raises the overflow error.
+                BinOp::FloorDiv if b != 0 => a.checked_div_euclid(b).map(Value::Int),
+                BinOp::Mod if b != 0 => a.checked_rem_euclid(b).map(Value::Int),
                 _ => None,
             }
         }

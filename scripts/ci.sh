@@ -46,13 +46,16 @@ cargo run --offline --release -q -p devudf-bench --bin transfer_digest \
 diff /tmp/devudf-digest-t1.txt /tmp/devudf-digest-default.txt
 echo "digests identical"
 
-# Throughput guards, both ratio-normalized so host drift cancels out:
+# Throughput guards, all ratio-normalized so host drift cancels out:
 #  - the compressed/1000 extract must stay within 10% of the committed
 #    BENCH_transfer.json baseline, normalized by plain/1000;
 #  - the pylite bytecode VM must keep its Scenario-A speedup over the
 #    AST walker (committed BENCH_pylite_vm.json documents >=5x; the
-#    live re-measurement passes at a noise-tolerant 3x floor).
-echo "==> bench guards (transfer codec + bytecode VM vs committed baselines)"
+#    live re-measurement passes at a noise-tolerant 3x floor);
+#  - the Froid-style inlined UDF plan must keep its Scenario-A speedup
+#    over the bytecode VM, end-to-end through the SQL engine (committed
+#    BENCH_udf_inline.json documents >=3x; live floor 2x).
+echo "==> bench guards (transfer codec + bytecode VM + UDF inlining vs committed baselines)"
 cargo run --offline --release -q -p devudf-bench --bin bench_guard
 
 echo "==> cargo doc (warnings are errors)"

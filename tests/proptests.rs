@@ -507,6 +507,205 @@ fn bytecode_vm_matches_ast_walker_on_random_udf_bodies() {
     });
 }
 
+/// Three-way differential oracle over random *straight-line* UDFs: the AST
+/// walker, the bytecode VM, and the Froid-style inlined plan must agree on
+/// every observable — result values, or the full error when a body fails.
+/// Bodies mix int/float arithmetic, `/` `//` `%` (div-by-zero included),
+/// CASE-shaped `if/elif/else` with early returns, chained comparisons,
+/// whitelisted builtins, and occasionally NULL-bearing or empty input
+/// columns (which force the inlined plan's runtime-bail path). Both
+/// invocation models run: operator-at-a-time and tuple-at-a-time.
+#[test]
+fn inlined_udfs_match_ast_and_bytecode_interpreters() {
+    use monetlite::{Engine, ExecutionModel};
+    use pylite::ExecMode;
+
+    // (pylite engine, engine-side inlining) — the three `interp` modes.
+    const CONFIGS: [(ExecMode, bool, &str); 3] = [
+        (ExecMode::Ast, false, "ast"),
+        (ExecMode::Bytecode, false, "bytecode"),
+        (ExecMode::Bytecode, true, "inlined"),
+    ];
+
+    fn build_db(
+        rows: &[(Option<i64>, Option<f64>)],
+        body: &str,
+        mode: ExecMode,
+        inline: bool,
+        model: ExecutionModel,
+    ) -> Engine {
+        let db = Engine::new();
+        db.set_exec_mode(mode);
+        db.set_inline(inline);
+        db.set_model(model);
+        db.execute("CREATE TABLE t (i INTEGER, d DOUBLE)").unwrap();
+        for (i, d) in rows {
+            let iv = i.map(|v| v.to_string()).unwrap_or("NULL".to_string());
+            let dv = d.map(|v| format!("{v:?}")).unwrap_or("NULL".to_string());
+            db.execute(&format!("INSERT INTO t VALUES ({iv}, {dv})"))
+                .unwrap();
+        }
+        db.execute(&format!(
+            "CREATE FUNCTION f(i INTEGER, d DOUBLE) RETURNS DOUBLE LANGUAGE PYTHON {{\n{body}}}"
+        ))
+        .unwrap();
+        db
+    }
+
+    // Collapse a query outcome into comparable form. Float rendering goes
+    // through SqlValue::render on both paths, so equal values compare
+    // equal textually.
+    fn observe(db: &Engine) -> Result<Vec<String>, String> {
+        match db.execute("SELECT f(i, d) FROM t") {
+            Ok(r) => {
+                let t = r.into_table().map_err(|e| e.to_string())?;
+                let col = t.column(0).expect("one output column");
+                Ok((0..col.len()).map(|j| col.get(j).render()).collect())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    // A small random arithmetic expression over the parameters, prior
+    // locals and literals. `funcs` enables the builtin whitelist.
+    fn gen_expr(rng: &mut devharness::Rng, locals: &[String], depth: u32) -> String {
+        let roll = rng.next_u64();
+        if depth == 0 || roll.is_multiple_of(4) {
+            return match roll % 5 {
+                0 => "i".to_string(),
+                1 => "d".to_string(),
+                2 => format!("{}", (roll % 13) as i64 - 4),
+                3 if !locals.is_empty() => locals[(roll % locals.len() as u64) as usize].clone(),
+                _ => format!("{}.5", roll % 7),
+            };
+        }
+        let a = gen_expr(rng, locals, depth - 1);
+        let b = gen_expr(rng, locals, depth - 1);
+        match roll % 11 {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} / {b})"),
+            4 => format!("({a} // {b})"),
+            5 => format!("({a} % {b})"),
+            6 => format!("(-{a})"),
+            7 => format!("abs({a})"),
+            8 => format!("float({a})"),
+            9 => format!("({a} ** 2)"),
+            _ => format!("int({a})"),
+        }
+    }
+
+    fn gen_cond(rng: &mut devharness::Rng, locals: &[String]) -> String {
+        let a = gen_expr(rng, locals, 1);
+        let b = gen_expr(rng, locals, 1);
+        match rng.next_u64() % 6 {
+            0 => format!("{a} < {b}"),
+            1 => format!("{a} <= {b}"),
+            2 => format!("{a} > {b}"),
+            3 => format!("{a} == {b}"),
+            4 => format!("{a} != {b}"),
+            // Chained comparison, lowered as an AND of pairs.
+            _ => format!("0 <= {a} < 100"),
+        }
+    }
+
+    let strategy = (prop::usize_in(1..6), prop::usize_in(0..7), prop::any_u64());
+    let inlined_plans = std::cell::Cell::new(0usize);
+    let total = std::cell::Cell::new(0usize);
+    prop::check(Config::cases(96), strategy, |&(n_stmts, n_rows, seed)| {
+        let mut rng = devharness::Rng::new(seed);
+        let mut rows: Vec<(Option<i64>, Option<f64>)> = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let r = rng.next_u64();
+            // Small ints (zero and negatives included) so `//`, `%` and
+            // `/` hit zero divisors; NULLs roughly one row in eight.
+            let i = (!r.is_multiple_of(8)).then_some((r % 11) as i64 - 3);
+            let d = (r % 16 != 7).then_some(((r / 7) % 9) as f64 / 2.0 - 1.0);
+            rows.push((i, d));
+        }
+
+        let mut body = String::new();
+        let mut locals: Vec<String> = Vec::new();
+        for k in 0..n_stmts {
+            let roll = rng.next_u64();
+            match roll % 4 {
+                // Straight-line local binding.
+                0 | 1 => {
+                    let e = gen_expr(&mut rng, &locals, 2);
+                    body.push_str(&format!("v{k} = {e}\n"));
+                    locals.push(format!("v{k}"));
+                }
+                // Guard-style early return.
+                2 => {
+                    let c = gen_cond(&mut rng, &locals);
+                    let e = gen_expr(&mut rng, &locals, 1);
+                    body.push_str(&format!("if {c}:\n    return {e}\n"));
+                }
+                // if/elif/else rebinding a local (CASE-shaped).
+                _ => {
+                    let c1 = gen_cond(&mut rng, &locals);
+                    let c2 = gen_cond(&mut rng, &locals);
+                    let (e1, e2, e3) = (
+                        gen_expr(&mut rng, &locals, 1),
+                        gen_expr(&mut rng, &locals, 1),
+                        gen_expr(&mut rng, &locals, 1),
+                    );
+                    body.push_str(&format!(
+                        "if {c1}:\n    w{k} = {e1}\nelif {c2}:\n    w{k} = {e2}\nelse:\n    w{k} = {e3}\n"
+                    ));
+                    locals.push(format!("w{k}"));
+                }
+            }
+        }
+        body.push_str(&format!("return {}\n", gen_expr(&mut rng, &locals, 2)));
+
+        for model in [
+            ExecutionModel::OperatorAtATime,
+            ExecutionModel::TupleAtATime,
+        ] {
+            let mut outcomes = Vec::new();
+            for (mode, inline, label) in CONFIGS {
+                let db = build_db(&rows, &body, mode, inline, model);
+                outcomes.push((label, observe(&db)));
+                if inline && model == ExecutionModel::OperatorAtATime {
+                    // Tally how often the plan actually inlines, via the
+                    // EXPLAIN annotation — the oracle is vacuous if every
+                    // body bails.
+                    let explain = db
+                        .execute("EXPLAIN SELECT f(i, d) FROM t")
+                        .unwrap()
+                        .into_table()
+                        .unwrap();
+                    let rendered = explain.render_ascii();
+                    prop_assert!(
+                        rendered.contains("udf f"),
+                        "EXPLAIN must annotate the UDF call:\n{rendered}"
+                    );
+                    total.set(total.get() + 1);
+                    if rendered.contains("inlined as") {
+                        inlined_plans.set(inlined_plans.get() + 1);
+                    }
+                }
+            }
+            let (ref_label, ref_out) = &outcomes[0];
+            for (label, out) in &outcomes[1..] {
+                prop_assert!(
+                    out == ref_out,
+                    "{label} diverged from {ref_label} under {model:?}\n  {ref_label}: {ref_out:?}\n  {label}: {out:?}\non body:\n{body}"
+                );
+            }
+        }
+        Ok(())
+    });
+    assert!(
+        inlined_plans.get() * 2 >= total.get(),
+        "straight-line generator should inline most plans ({}/{})",
+        inlined_plans.get(),
+        total.get()
+    );
+}
+
 /// Wire message round trip for query results with arbitrary content.
 #[test]
 fn wire_result_round_trips() {

@@ -207,7 +207,7 @@ fn debugger_telemetry_is_identical_across_engines() {
     let steps_c = obs::counter!("pylite.debug.steps");
 
     let mut observed = Vec::new();
-    for mode in [pylite::ExecMode::Ast, pylite::ExecMode::Bytecode] {
+    for mode in [devudf::InterpMode::Ast, devudf::InterpMode::Bytecode] {
         let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), |db| {
             db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
             let rows: Vec<String> = (1..=30).map(|i| format!("({i})")).collect();
@@ -215,10 +215,10 @@ fn debugger_telemetry_is_identical_across_engines() {
                 .unwrap();
             db.execute(LISTING4).unwrap();
         });
-        let dir = temp_project(&format!("dbg-metrics-{mode}"));
+        let dir = temp_project(&format!("dbg-metrics-{}", mode.as_str()));
         let mut settings = Settings::default();
         settings.debug_query = "SELECT mean_deviation(i) FROM numbers".to_string();
-        settings.exec_mode = mode;
+        settings.interp = mode;
         let mut dev = DevUdf::connect_in_proc(&server, settings, &dir).unwrap();
         dev.import(&["mean_deviation"]).unwrap();
 
