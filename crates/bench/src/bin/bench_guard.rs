@@ -1,7 +1,7 @@
 //! Bench regression guards: re-measure the perf claims CI depends on and
 //! fail (exit 1) on regression against the committed baselines.
 //!
-//! Three guards run, all ratio-normalized:
+//! Four guards run, all ratio-normalized:
 //!
 //!  1. **Transfer codec** — the `compressed/1000` extract from the
 //!     `transfer` suite must stay within 10% of the committed
@@ -13,6 +13,10 @@
 //!     speedup over the bytecode interpreter on Scenario A, end-to-end
 //!     through the SQL engine (`BENCH_udf_inline.json`, DESIGN §14 /
 //!     EXPERIMENTS C15).
+//!  4. **Observability overhead** — with telemetry compiled in but idle,
+//!     Scenario A must cost within 1% of a hard-disabled build, and a
+//!     live per-query trace capture within 5% of idle
+//!     (`BENCH_profile.json`, DESIGN §15 / EXPERIMENTS C16).
 //!
 //! Shared CI hosts drift by tens of percent run-to-run, so the guards
 //! compare *normalized* cost rather than absolute nanoseconds: both
@@ -62,6 +66,25 @@ const INLINE_CLAIMED_SPEEDUP: f64 = 3.0;
 /// far above the ~1× a broken inliner (silent bail, de-vectorized eval)
 /// would produce.
 const INLINE_SPEEDUP_FLOOR: f64 = 2.0;
+
+const PROFILE_BASELINE_FILE: &str = "BENCH_profile.json";
+const PROFILE_GROUP: &str = "scenario_a";
+const PROFILE_BASELINE: &str = "baseline/10000";
+const PROFILE_OFF: &str = "off/10000";
+const PROFILE_TRACED: &str = "traced/10000";
+/// The committed baseline must document idle-telemetry overhead within
+/// this ratio of the hard-disabled build — it backs the DESIGN §15
+/// "profiling off costs ≤1%" claim.
+const PROFILE_OFF_CLAIM: f64 = 1.01;
+/// The committed baseline must document traced-query overhead within
+/// this ratio of idle telemetry (the "tracing on costs ≤5%" claim).
+const PROFILE_TRACED_CLAIM: f64 = 1.05;
+/// Live floors: minimum-of-samples ratios still jitter by tens of
+/// percent on shared hosts, so the live check only has to catch the
+/// pathological regression — telemetry doing real work (formatting,
+/// allocation, locking) on the idle path shows up as 2×+, not 1.2×.
+const PROFILE_OFF_FLOOR: f64 = 1.25;
+const PROFILE_TRACED_FLOOR: f64 = 1.50;
 
 fn min_ns(doc: &codecs::json::Value, file: &str, name: &str) -> f64 {
     doc.get("benchmarks")
@@ -306,6 +329,97 @@ in all 3 attempts — the inliner is likely bailing or the typed eval fast paths
     false
 }
 
+/// Measure Scenario A (10 000 rows, inlined) end-to-end through the SQL
+/// engine with telemetry hard-disabled, idle, and under a live per-query
+/// trace capture, exactly as `benches/profile.rs` does. Returns
+/// `(baseline, off, traced)` min ns/iter.
+fn measure_profile() -> (f64, f64, f64) {
+    let db = Engine::new();
+    db.set_model(ExecutionModel::OperatorAtATime);
+    db.set_exec_mode(ExecMode::Bytecode);
+    db.set_inline(true);
+    seed_numbers(&db, 10_000);
+    db.execute(&format!(
+        "CREATE FUNCTION f(column INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {{\n{MEAN_DEVIATION_STRAIGHT_BODY}}}"
+    ))
+    .unwrap();
+    let doc = scratch_harness("profileguard", |h| {
+        let mut group = h.benchmark_group(PROFILE_GROUP);
+        group.sample_size(20);
+        obs::set_enabled(false);
+        group.bench_function("baseline", |b| {
+            b.iter(|| db.execute("SELECT f(i) FROM numbers").unwrap())
+        });
+        obs::set_enabled(true);
+        group.bench_function("off", |b| {
+            b.iter(|| db.execute("SELECT f(i) FROM numbers").unwrap())
+        });
+        group.bench_function("traced", |b| {
+            b.iter(|| {
+                let trace = obs::trace::new_trace_id();
+                obs::trace::start_capture(trace);
+                let result = {
+                    let _ctx =
+                        obs::trace::enter_context(obs::trace::SpanContext { trace, parent: 0 });
+                    db.execute("SELECT f(i) FROM numbers").unwrap()
+                };
+                let spans = obs::trace::take_capture(trace);
+                (result, spans)
+            })
+        });
+        group.finish();
+    });
+    (
+        min_ns(&doc, "profileguard", "baseline"),
+        min_ns(&doc, "profileguard", "off"),
+        min_ns(&doc, "profileguard", "traced"),
+    )
+}
+
+fn guard_profile() -> bool {
+    let doc = read_baseline(PROFILE_BASELINE_FILE);
+    let base = group_min_ns(&doc, PROFILE_BASELINE_FILE, PROFILE_GROUP, PROFILE_BASELINE);
+    let off = group_min_ns(&doc, PROFILE_BASELINE_FILE, PROFILE_GROUP, PROFILE_OFF);
+    let traced = group_min_ns(&doc, PROFILE_BASELINE_FILE, PROFILE_GROUP, PROFILE_TRACED);
+    let base_off_ratio = off / base;
+    let base_traced_ratio = traced / off;
+    if base_off_ratio > PROFILE_OFF_CLAIM || base_traced_ratio > PROFILE_TRACED_CLAIM {
+        eprintln!(
+            "FAIL: committed {PROFILE_BASELINE_FILE} documents idle-telemetry overhead \
+{:.1}% (budget {:.0}%) and traced overhead {:.1}% (budget {:.0}%) — re-run \
+`cargo bench -p devudf-bench --bench profile` on a quiet host or fix the hot hooks",
+            (base_off_ratio - 1.0) * 100.0,
+            (PROFILE_OFF_CLAIM - 1.0) * 100.0,
+            (base_traced_ratio - 1.0) * 100.0,
+            (PROFILE_TRACED_CLAIM - 1.0) * 100.0
+        );
+        return false;
+    }
+    let (mut best_off, mut best_traced) = (f64::INFINITY, f64::INFINITY);
+    for attempt in 1..=3 {
+        let (baseline, off, traced) = measure_profile();
+        let off_ratio = off / baseline;
+        let traced_ratio = traced / off;
+        best_off = best_off.min(off_ratio);
+        best_traced = best_traced.min(traced_ratio);
+        println!(
+            "profile guard[{attempt}]: idle telemetry costs {off_ratio:.3}x disabled, \
+live trace {traced_ratio:.3}x idle (measured {baseline:.0} / {off:.0} / {traced:.0} ns/iter); \
+floors {PROFILE_OFF_FLOOR:.2}x / {PROFILE_TRACED_FLOOR:.2}x"
+        );
+        if best_off <= PROFILE_OFF_FLOOR && best_traced <= PROFILE_TRACED_FLOOR {
+            println!("profile guard OK");
+            return true;
+        }
+    }
+    eprintln!(
+        "FAIL: observability overhead held at {best_off:.2}x idle / {best_traced:.2}x traced \
+(floors {PROFILE_OFF_FLOOR:.2}x / {PROFILE_TRACED_FLOOR:.2}x) in all 3 attempts — \
+an idle-path hook is likely doing real work"
+    );
+    false
+}
+
 fn main() {
     // Operate on the workspace root regardless of invocation directory.
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
@@ -315,7 +429,8 @@ fn main() {
     let transfer_ok = guard_transfer();
     let vm_ok = guard_vm();
     let inline_ok = guard_inline();
-    if !(transfer_ok && vm_ok && inline_ok) {
+    let profile_ok = guard_profile();
+    if !(transfer_ok && vm_ok && inline_ok && profile_ok) {
         std::process::exit(1);
     }
 }

@@ -108,6 +108,70 @@ pub fn run_local(
     }
 }
 
+/// Per-line profile of one local UDF run (paper §2.1's "IDE amenities"
+/// applied to performance: the hot lines of the very script the
+/// developer is editing).
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// The run whose execution was profiled.
+    pub outcome: RunOutcome,
+    /// Per-(function, line) hit/time rows, sorted by (function, line).
+    pub rows: Vec<obs::profile::ProfileRow>,
+    /// The script source annotated with hits and time per line.
+    pub annotated: String,
+}
+
+/// Run an imported UDF locally with the line profiler armed: activates
+/// `obs::profile` around the run, then joins the per-line counters back
+/// onto the script's source text. Requires telemetry to be enabled
+/// (`obs::set_enabled(true)`, the default); with the `telemetry` feature
+/// off the report's rows are empty.
+pub fn profile_local(dev: &mut DevUdf, name: &str) -> Result<ProfileReport> {
+    let mut span = obs::trace::span("core.profile");
+    span.field("udf", name);
+    obs::profile::reset();
+    obs::profile::set_active(true);
+    let run = run_local(dev, name, None);
+    obs::profile::set_active(false);
+    let rows = obs::profile::rows();
+    obs::profile::reset();
+    let outcome = run?;
+    let script = dev.project.read_udf(name)?;
+    Ok(ProfileReport {
+        outcome,
+        annotated: annotate_profile(&script, &rows),
+        rows,
+    })
+}
+
+/// Join profile rows onto source text: every line gets a `hits` and
+/// `time` gutter, filled for the lines that executed. Rows are matched
+/// by line number across all frames, so a `def`'d helper's body lines
+/// annotate too.
+fn annotate_profile(source: &str, rows: &[obs::profile::ProfileRow]) -> String {
+    use std::fmt::Write;
+    let mut by_line: std::collections::HashMap<u32, (u64, u64)> = std::collections::HashMap::new();
+    for r in rows {
+        let entry = by_line.entry(r.line).or_insert((0, 0));
+        entry.0 += r.hits;
+        entry.1 += r.ns;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} {:>12}  │ source", "hits", "time");
+    for (idx, text) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        match by_line.get(&line) {
+            Some((hits, ns)) => {
+                let _ = writeln!(out, "{hits:>8} {:>12}  │ {text}", obs::trace::fmt_ns(*ns));
+            }
+            None => {
+                let _ = writeln!(out, "{:>8} {:>12}  │ {text}", "", "");
+            }
+        }
+    }
+    out
+}
+
 /// Run an imported UDF under the interactive debugger. A `Quit` command
 /// terminates execution without error (like stopping a debug session in the
 /// IDE).
@@ -613,6 +677,45 @@ mod tests {
         // Extract happened under the hood too (input.bin was missing).
         assert!(spans.iter().any(|(n, _, _)| n == "core.extract"));
         std::fs::remove_dir_all(&dir).ok();
+        server.shutdown();
+    }
+
+    #[test]
+    fn profile_local_counts_loop_line_hits() {
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        let server = demo_server();
+        let mut dev = temp_dev(&server, "prof");
+        dev.import_all().unwrap();
+        let report = dev.profile_udf("mean_deviation").unwrap();
+        // The accumulation line runs once per row: body line 7 ⇒ file
+        // line 7 + BODY_LINE_OFFSET (same arithmetic as breakpoints).
+        let loop_line = 7 + transform::BODY_LINE_OFFSET;
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.line == loop_line)
+            .unwrap_or_else(|| panic!("no row for line {loop_line}: {:?}", report.rows));
+        // Exactly 6 from our run; the profiler switch is process-global,
+        // so a concurrent test's mean_deviation run may add whole extra
+        // multiples of 6 — never a partial count.
+        assert!(
+            row.hits >= 6 && row.hits % 6 == 0,
+            "loop body runs once per row: {row:?}"
+        );
+        // The annotated listing carries the hit count next to the source.
+        let annotated_line = report
+            .annotated
+            .lines()
+            .find(|l| l.contains("distance += column[i] - mean"))
+            .unwrap();
+        assert!(
+            annotated_line
+                .trim_start()
+                .starts_with(|c: char| c.is_ascii_digit()),
+            "{annotated_line}"
+        );
+        std::fs::remove_dir_all(dev.project.root()).ok();
         server.shutdown();
     }
 

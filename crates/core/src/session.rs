@@ -132,6 +132,27 @@ impl DevUdf {
         Ok(self.client.borrow_mut().query(sql)?)
     }
 
+    /// Execute SQL with end-to-end tracing: the query travels inside a
+    /// traced wire envelope, the server ships its spans back, and the
+    /// combined client→wire→engine→UDF tree is returned rendered (the
+    /// body of `devudf trace`). The rendered string is empty when
+    /// telemetry is off or the server predates the traced envelope.
+    pub fn server_query_traced(
+        &mut self,
+        sql: &str,
+    ) -> Result<(wireproto::message::WireResult, String)> {
+        let (result, records) = self.client.borrow_mut().query_traced(sql)?;
+        let tree = obs::trace::render_tree(&obs::trace::assemble(&records));
+        Ok((result, tree))
+    }
+
+    /// Run an imported UDF locally with the line profiler armed and
+    /// return its per-line hit/time report (the body of `devudf
+    /// profile`).
+    pub fn profile_udf(&mut self, name: &str) -> Result<debug::ProfileReport> {
+        debug::profile_local(self, name)
+    }
+
     /// All transfer statistics recorded so far.
     pub fn transfer_log(&self) -> Vec<TransferStats> {
         self.transfers.borrow().clone()

@@ -270,9 +270,14 @@ impl<'pool, 'scope> Scope<'pool, 'scope> {
             }
             return;
         }
+        // Span parents are tracked in a thread-local stack that does not
+        // cross into workers; carry the submitting thread's trace context
+        // so spans opened inside the job parent under the submitting span.
+        let ctx = obs::trace::current_context();
         *self.state.pending.lock().expect("scope state poisoned") += 1;
         let state = self.state.clone();
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let _trace = obs::trace::enter_context(ctx);
             if catch_unwind(AssertUnwindSafe(f)).is_err() {
                 state.panicked.store(true, Ordering::Release);
             }
@@ -498,5 +503,43 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(pool.map(empty, |_, x| x).is_empty());
         assert_eq!(pool.map(vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn pooled_jobs_parent_under_the_submitting_span() {
+        // Regression: block codec spans used to be orphaned because the
+        // thread-local parent stack does not cross into pool workers.
+        // `Scope::execute` now carries the submitting context into the job.
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        obs::trace::clear_subscribers();
+        let rec = Arc::new(obs::trace::RingBufferRecorder::new(64));
+        obs::trace::add_subscriber(rec.clone());
+        let pool = Pool::new(2);
+        let outer = obs::trace::span("pool.test.transfer");
+        let outer_id = outer.id();
+        pool.map(vec![0u8; 4], |_, _| {
+            drop(obs::trace::span("pool.test.block"));
+        });
+        drop(outer);
+        obs::trace::clear_subscribers();
+        // In a no-op obs build the span id is 0 and nothing is recorded.
+        if outer_id != 0 {
+            let block_parents: Vec<Option<u64>> = rec
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    obs::trace::Event::Span { name, parent, .. } if *name == "pool.test.block" => {
+                        Some(*parent)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(block_parents.len(), 4);
+            assert!(
+                block_parents.iter().all(|p| *p == Some(outer_id)),
+                "{block_parents:?}"
+            );
+        }
     }
 }

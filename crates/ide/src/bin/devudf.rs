@@ -11,7 +11,18 @@
 //! devudf debug   DIR NAME BP…      debug a UDF locally (interactive);
 //!                                  each BP is LINE or LINE:CONDITION
 //! devudf log     DIR               show the project's VCS history
-//! devudf metrics DIR               show the server's live sys.metrics table
+//! devudf metrics DIR [PREFIX] [--json]
+//!                                  show the server's live sys.metrics
+//!                                  table, optionally filtered to names
+//!                                  starting with PREFIX, as a table or
+//!                                  JSON rows
+//! devudf trace   DIR [SQL]         run SQL (default: the settings' debug
+//!                                  query) with end-to-end tracing and
+//!                                  print the stitched client→wire→engine
+//!                                  span tree
+//! devudf profile DIR NAME          run a UDF locally under the line
+//!                                  profiler and print source-annotated
+//!                                  hot lines
 //! devudf cache   DIR NAME          demo the extract cache: fetch NAME's
 //!                                  inputs twice, print bytes-on-wire
 //! ```
@@ -31,6 +42,7 @@ use std::path::Path;
 use devudf::{DevUdf, InterpMode, Settings};
 use devudf_ide::{HeadlessIde, ReplController};
 use pylite::DebugCommand;
+use wireproto::message::{WireResult, WireTable, WireValue};
 use wireproto::{Server, ServerConfig};
 
 fn main() {
@@ -124,13 +136,63 @@ fn main() {
             }
             Ok(())
         }),
-        Some("metrics") => cmd_project(&args, interp, |dev, _| {
+        Some("metrics") => cmd_project(&args, interp, |dev, rest| {
+            let json = rest.iter().any(|a| a == "--json");
+            let prefix = rest.iter().find(|a| !a.starts_with("--"));
+            let sql = match prefix {
+                Some(p) => format!(
+                    "SELECT * FROM sys.metrics WHERE name LIKE '{}%'",
+                    p.replace('\'', "''")
+                ),
+                None => "SELECT * FROM sys.metrics".to_string(),
+            };
             let table = dev
-                .server_query("SELECT * FROM sys.metrics")
+                .server_query(&sql)
                 .map_err(|e| e.to_string())?
                 .into_table()
                 .map_err(|e| e.to_string())?;
-            println!("{}", table.render_ascii());
+            if json {
+                println!("{}", render_json(&table));
+            } else {
+                println!("{}", table.render_ascii());
+            }
+            Ok(())
+        }),
+        Some("trace") => cmd_project(&args, interp, |dev, rest| {
+            let sql = match rest.first() {
+                Some(s) => s.clone(),
+                None if !dev.settings.debug_query.trim().is_empty() => {
+                    dev.settings.debug_query.clone()
+                }
+                None => {
+                    return Err(
+                        "usage: devudf trace DIR [SQL] (or configure Settings → SQL Query)"
+                            .to_string(),
+                    )
+                }
+            };
+            let (result, tree) = dev.server_query_traced(&sql).map_err(|e| e.to_string())?;
+            if tree.is_empty() {
+                println!("(no trace captured — telemetry off or server too old)");
+            } else {
+                print!("{tree}");
+            }
+            match result {
+                WireResult::Table(t) => println!("{}", t.render_ascii()),
+                WireResult::Affected { rows, message } => println!("{message} ({rows} rows)"),
+            }
+            Ok(())
+        }),
+        Some("profile") => cmd_project(&args, interp, |dev, names| {
+            let Some(name) = names.first() else {
+                return Err("usage: devudf profile DIR NAME".to_string());
+            };
+            let report = dev.profile_udf(name).map_err(|e| e.to_string())?;
+            if !report.outcome.stdout.is_empty() {
+                print!("{}", report.outcome.stdout);
+            }
+            print!("{}", report.annotated);
+            println!("result = {}", report.outcome.result_repr);
             Ok(())
         }),
         Some("cache") => cmd_project(&args, interp, |dev, names| {
@@ -168,7 +230,7 @@ fn main() {
         Some("diff") => cmd_diff(&args),
         _ => {
             eprintln!(
-                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics|cache> …\n(see the module docs for details)"
+                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics|trace|profile|cache> …\n(see the module docs for details)"
             );
             2
         }
@@ -223,6 +285,59 @@ fn cmd_serve(port: Option<&str>, interp: Option<InterpMode>) -> i32 {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// Render a wire table as a JSON array of row objects (the `--json`
+/// output of `devudf metrics`, consumed by the ci.sh gates).
+fn render_json(table: &WireTable) -> String {
+    fn json_str(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    fn json_value(v: &WireValue) -> String {
+        match v {
+            WireValue::Null => "null".to_string(),
+            WireValue::Int(i) => i.to_string(),
+            WireValue::Double(d) if d.is_finite() => d.to_string(),
+            WireValue::Double(_) => "null".to_string(),
+            WireValue::Bool(b) => b.to_string(),
+            WireValue::Str(s) => json_str(s),
+            WireValue::Blob(b) => {
+                json_str(&b.iter().map(|x| format!("{x:02x}")).collect::<String>())
+            }
+        }
+    }
+    let mut out = String::from("[");
+    for (i, row) in table.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        for (j, (name, _)) in table.columns.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(name));
+            out.push_str(": ");
+            out.push_str(&json_value(&row[j]));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]");
+    out
 }
 
 fn cmd_settings(dir: Option<&str>) -> i32 {

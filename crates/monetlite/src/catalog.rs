@@ -102,7 +102,8 @@ impl Catalog {
 
     /// Look up a table; `sys.functions` / `sys.args` / `sys.tables` are
     /// materialized views over the catalog, `sys.metrics` over the
-    /// telemetry registry.
+    /// telemetry registry, `sys.profile` over the line-level UDF
+    /// profiler.
     pub fn table(&self, name: &str) -> Result<Table, DbError> {
         match Self::key(name).as_str() {
             "sys.functions" | "functions" if !self.tables.contains_key("functions") => {
@@ -113,6 +114,9 @@ impl Catalog {
                 Ok(self.sys_metrics())
             }
             "sys.tables" | "tables" if !self.tables.contains_key("tables") => Ok(self.sys_tables()),
+            "sys.profile" | "profile" if !self.tables.contains_key("profile") => {
+                Ok(Self::sys_profile())
+            }
             key => self
                 .tables
                 .get(key)
@@ -125,9 +129,9 @@ impl Catalog {
     ///
     /// User tables report the epoch of their most recent mutation; the
     /// function-catalog views (`sys.functions` / `sys.args`) report the
-    /// function epoch. Volatile views (`sys.metrics`, `sys.tables`) and
-    /// unknown names return `None`, which delta callers must treat as
-    /// "cannot prove unchanged".
+    /// function epoch. Volatile views (`sys.metrics`, `sys.tables`,
+    /// `sys.profile`) and unknown names return `None`, which delta
+    /// callers must treat as "cannot prove unchanged".
     pub fn table_epoch(&self, name: &str) -> Option<u64> {
         match Self::key(name).as_str() {
             "sys.functions" | "functions" if !self.tables.contains_key("functions") => {
@@ -136,6 +140,7 @@ impl Catalog {
             "sys.args" | "args" if !self.tables.contains_key("args") => Some(self.functions_epoch),
             "sys.metrics" | "metrics" if !self.tables.contains_key("metrics") => None,
             "sys.tables" | "tables" if !self.tables.contains_key("tables") => None,
+            "sys.profile" | "profile" if !self.tables.contains_key("profile") => None,
             key => self.epochs.get(key).copied(),
         }
     }
@@ -262,15 +267,18 @@ impl Catalog {
     }
 
     /// The `sys.metrics` meta table: a live snapshot of the process-wide
-    /// telemetry registry, (name, kind, value, sum, mean, p99). Counters
-    /// and gauges fill `value`; histograms fill `value` with their count
-    /// plus the sum/mean/p99 columns. Empty when telemetry is disabled.
+    /// telemetry registry, (name, kind, value, sum, mean, p50, p90, p99).
+    /// Counters and gauges fill `value`; histograms fill `value` with
+    /// their count plus the sum/mean/percentile columns. Empty when
+    /// telemetry is disabled.
     pub fn sys_metrics(&self) -> Table {
         let mut names = Vec::new();
         let mut kinds = Vec::new();
         let mut values = Vec::new();
         let mut sums = Vec::new();
         let mut means = Vec::new();
+        let mut p50s = Vec::new();
+        let mut p90s = Vec::new();
         let mut p99s = Vec::new();
         for row in obs::metrics::rows() {
             names.push(row.name);
@@ -278,6 +286,8 @@ impl Catalog {
             values.push(row.value);
             sums.push(i64::try_from(row.sum).unwrap_or(i64::MAX));
             means.push(row.mean);
+            p50s.push(i64::try_from(row.p50).unwrap_or(i64::MAX));
+            p90s.push(i64::try_from(row.p90).unwrap_or(i64::MAX));
             p99s.push(i64::try_from(row.p99).unwrap_or(i64::MAX));
         }
         Table::from_columns(
@@ -288,10 +298,39 @@ impl Catalog {
                 Column::new("value", ColumnData::Int(values)),
                 Column::new("sum", ColumnData::Int(sums)),
                 Column::new("mean", ColumnData::Double(means)),
+                Column::new("p50", ColumnData::Int(p50s)),
+                Column::new("p90", ColumnData::Int(p90s)),
                 Column::new("p99", ColumnData::Int(p99s)),
             ],
         )
         .expect("sys.metrics columns are same length")
+    }
+
+    /// The `sys.profile` meta table: the line-level UDF profiler's
+    /// accumulated rows, (func, line, hits, ns), sorted by (func, line).
+    /// Empty unless `obs::profile` has been activated and a UDF has run
+    /// since the last reset. Volatile: no epoch, never delta-cached.
+    pub fn sys_profile() -> Table {
+        let mut funcs = Vec::new();
+        let mut lines = Vec::new();
+        let mut hits = Vec::new();
+        let mut nss = Vec::new();
+        for row in obs::profile::rows() {
+            funcs.push(row.func);
+            lines.push(row.line as i64);
+            hits.push(i64::try_from(row.hits).unwrap_or(i64::MAX));
+            nss.push(i64::try_from(row.ns).unwrap_or(i64::MAX));
+        }
+        Table::from_columns(
+            "sys.profile",
+            vec![
+                Column::new("func", ColumnData::Str(funcs)),
+                Column::new("line", ColumnData::Int(lines)),
+                Column::new("hits", ColumnData::Int(hits)),
+                Column::new("ns", ColumnData::Int(nss)),
+            ],
+        )
+        .expect("sys.profile columns are same length")
     }
 
     /// The `sys.tables` meta table: (name, epoch, rows, columns). One row
@@ -465,6 +504,35 @@ mod tests {
         let c = Catalog::new();
         assert_eq!(c.table_epoch("sys.metrics"), None);
         assert_eq!(c.table_epoch("sys.tables"), None);
+        assert_eq!(c.table_epoch("sys.profile"), None);
+    }
+
+    #[test]
+    fn sys_profile_surfaces_profiler_rows() {
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        obs::profile::reset();
+        obs::profile::set_active(true);
+        obs::profile::record(&[(("f".to_string(), 2), (5, 1_000))]);
+        obs::profile::set_active(false);
+        let c = Catalog::new();
+        let t = c.table("sys.profile").unwrap();
+        assert_eq!(
+            t.columns
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["func", "line", "hits", "ns"]
+        );
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(
+            t.column_by_name("func").unwrap().get(0),
+            SqlValue::Str("f".into())
+        );
+        assert_eq!(t.column_by_name("line").unwrap().get(0), SqlValue::Int(2));
+        assert_eq!(t.column_by_name("hits").unwrap().get(0), SqlValue::Int(5));
+        assert_eq!(t.column_by_name("ns").unwrap().get(0), SqlValue::Int(1_000));
+        obs::profile::reset();
     }
 
     #[test]
@@ -506,7 +574,7 @@ mod tests {
                 .iter()
                 .map(|c| c.name.as_str())
                 .collect::<Vec<_>>(),
-            vec!["name", "kind", "value", "sum", "mean", "p99"]
+            vec!["name", "kind", "value", "sum", "mean", "p50", "p90", "p99"]
         );
         let names = match &t.columns[0].data {
             ColumnData::Str(v) => v.clone(),

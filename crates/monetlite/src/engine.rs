@@ -84,7 +84,35 @@ struct Inner {
     /// and validated against `Catalog::functions_epoch` so CREATE OR
     /// REPLACE / DROP invalidate them.
     plan_cache: std::collections::HashMap<String, (u64, Rc<UdfPlan>)>,
+    /// Live `EXPLAIN ANALYZE` collection; `None` (the steady state) makes
+    /// every executor probe a single boolean check.
+    analyze: Option<AnalyzeState>,
 }
+
+/// One recorded plan operator of an `EXPLAIN ANALYZE` run.
+#[derive(Debug, Clone)]
+pub(crate) struct AnalyzeRow {
+    /// Operator kind (`scan`, `filter`, `project`, `group`, `distinct`,
+    /// `order`, `limit`, `udf`).
+    pub op: &'static str,
+    /// Operator-specific annotation (source name, key count, UDF
+    /// disposition).
+    pub detail: String,
+    /// Wall-clock nanoseconds spent in the operator.
+    pub ns: u64,
+    pub rows_in: u64,
+    pub rows_out: u64,
+}
+
+/// Rows accumulated while an `EXPLAIN ANALYZE` statement executes.
+#[derive(Debug, Default)]
+pub(crate) struct AnalyzeState {
+    rows: Vec<AnalyzeRow>,
+}
+
+/// Operator rows kept per ANALYZE run — a loopback-recursive statement
+/// must not buffer unbounded plan rows.
+const ANALYZE_ROW_CAP: usize = 4096;
 
 /// Maximum engine-level UDF nesting (loopback-driven recursion guard).
 const MAX_UDF_DEPTH: usize = 12;
@@ -128,6 +156,7 @@ impl Engine {
                 udf_depth: 0,
                 inline: true,
                 plan_cache: std::collections::HashMap::new(),
+                analyze: None,
             })),
             read_log: Rc::new(RefCell::new(None)),
         }
@@ -257,6 +286,35 @@ impl Engine {
         self.inner.borrow().catalog.table_names()
     }
 
+    /// Whether an `EXPLAIN ANALYZE` is collecting operator rows. Executor
+    /// probes check this once per stage and skip all timing when false.
+    pub(crate) fn analyze_active(&self) -> bool {
+        self.inner.borrow().analyze.is_some()
+    }
+
+    /// Record one operator row for the live `EXPLAIN ANALYZE` (no-op when
+    /// none is active; rows beyond [`ANALYZE_ROW_CAP`] are dropped).
+    pub(crate) fn analyze_record(
+        &self,
+        op: &'static str,
+        detail: String,
+        ns: u64,
+        rows_in: u64,
+        rows_out: u64,
+    ) {
+        if let Some(state) = self.inner.borrow_mut().analyze.as_mut() {
+            if state.rows.len() < ANALYZE_ROW_CAP {
+                state.rows.push(AnalyzeRow {
+                    op,
+                    detail,
+                    ns,
+                    rows_in,
+                    rows_out,
+                });
+            }
+        }
+    }
+
     pub(crate) fn extract_matches(&self, fn_name: &str) -> bool {
         self.inner
             .borrow()
@@ -376,7 +434,65 @@ impl Engine {
                 Ok(QueryResult::Table(exec::run_select(self, sel)?))
             }
             Statement::Explain(inner_stmt) => self.run_explain(inner_stmt),
+            Statement::ExplainAnalyze(inner_stmt) => self.run_explain_analyze(inner_stmt),
         }
+    }
+
+    /// `EXPLAIN ANALYZE <stmt>`: execute the statement for real with the
+    /// operator probes armed, then render the annotated plan — one row
+    /// per executed operator with wall time and row counts, plus a `udf`
+    /// row per stored-UDF call carrying its inlined/bailed/interpreted
+    /// disposition — as the result table. The leading `query` row carries
+    /// the end-to-end total, so every operator time is ≤ it.
+    fn run_explain_analyze(&self, stmt: &Statement) -> Result<QueryResult, DbError> {
+        if matches!(stmt, Statement::Explain(_) | Statement::ExplainAnalyze(_)) {
+            return Err(DbError::parse("EXPLAIN ANALYZE cannot wrap EXPLAIN"));
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.analyze.is_some() {
+                // A loopback query inside an analyzed statement must not
+                // reset the outer collection.
+                return Err(DbError::exec("EXPLAIN ANALYZE cannot nest"));
+            }
+            inner.analyze = Some(AnalyzeState::default());
+        }
+        let started = std::time::Instant::now();
+        let run = self.run(stmt);
+        let total_ns = started.elapsed().as_nanos() as u64;
+        let state = self.inner.borrow_mut().analyze.take().unwrap_or_default();
+        let result = run?;
+        let mut table = Table::new(
+            "explain analyze".to_string(),
+            &[
+                ("op".to_string(), crate::types::SqlType::String),
+                ("detail".to_string(), crate::types::SqlType::String),
+                ("time_ns".to_string(), crate::types::SqlType::Integer),
+                ("rows_in".to_string(), crate::types::SqlType::Integer),
+                ("rows_out".to_string(), crate::types::SqlType::Integer),
+            ],
+        );
+        let result_rows = match &result {
+            QueryResult::Table(t) => t.row_count() as u64,
+            QueryResult::Affected { rows, .. } => *rows as u64,
+        };
+        table.push_row(&[
+            SqlValue::Str("query".to_string()),
+            SqlValue::Str(statement_kind(stmt).to_string()),
+            SqlValue::Int(total_ns as i64),
+            SqlValue::Int(0),
+            SqlValue::Int(result_rows as i64),
+        ])?;
+        for row in state.rows {
+            table.push_row(&[
+                SqlValue::Str(row.op.to_string()),
+                SqlValue::Str(row.detail),
+                SqlValue::Int(row.ns as i64),
+                SqlValue::Int(row.rows_in as i64),
+                SqlValue::Int(row.rows_out as i64),
+            ])?;
+        }
+        Ok(QueryResult::Table(table))
     }
 
     /// `EXPLAIN <stmt>`: one row per stored UDF the statement references,
@@ -389,19 +505,9 @@ impl Engine {
                 ("plan".to_string(), crate::types::SqlType::String),
             ],
         );
-        let kind = match stmt {
-            Statement::Select(_) => "SELECT",
-            Statement::Insert { .. } => "INSERT",
-            Statement::Update { .. } => "UPDATE",
-            Statement::Delete { .. } => "DELETE",
-            Statement::Explain(_) => "EXPLAIN",
-            Statement::CreateTable { .. } | Statement::DropTable { .. } => "DDL",
-            Statement::CreateFunction { .. } | Statement::DropFunction { .. } => "DDL",
-            Statement::CopyInto { .. } => "COPY",
-        };
         table.push_row(&[
             SqlValue::Str("statement".to_string()),
-            SqlValue::Str(kind.to_string()),
+            SqlValue::Str(statement_kind(stmt).to_string()),
         ])?;
         let inline_on = self.inline_enabled();
         let mut seen = std::collections::BTreeSet::new();
@@ -682,6 +788,20 @@ impl Drop for UdfDepthGuard {
     }
 }
 
+/// Human-readable statement kind (shared by EXPLAIN and EXPLAIN ANALYZE).
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Select(_) => "SELECT",
+        Statement::Insert { .. } => "INSERT",
+        Statement::Update { .. } => "UPDATE",
+        Statement::Delete { .. } => "DELETE",
+        Statement::Explain(_) | Statement::ExplainAnalyze(_) => "EXPLAIN",
+        Statement::CreateTable { .. } | Statement::DropTable { .. } => "DDL",
+        Statement::CreateFunction { .. } | Statement::DropFunction { .. } => "DDL",
+        Statement::CopyInto { .. } => "COPY",
+    }
+}
+
 /// Collect every function-call name appearing in a statement (EXPLAIN uses
 /// this to look up stored UDFs; builtin/aggregate names are filtered out by
 /// the catalog lookup).
@@ -795,7 +915,9 @@ fn collect_call_names(stmt: &Statement) -> Vec<String> {
         Statement::Delete {
             predicate: Some(p), ..
         } => from_expr(p, &mut out),
-        Statement::Explain(inner) => out.extend(collect_call_names(inner)),
+        Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => {
+            out.extend(collect_call_names(inner))
+        }
         _ => {}
     }
     out
@@ -1251,5 +1373,110 @@ mod tests {
             .unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.row(0)[0], SqlValue::Str("mean_abs".into()));
+    }
+
+    /// Extract a named Int column from an EXPLAIN ANALYZE result.
+    fn analyze_ints(t: &Table, col: &str) -> Vec<i64> {
+        (0..t.row_count())
+            .map(|i| match t.column_by_name(col).unwrap().get(i) {
+                SqlValue::Int(v) => v,
+                other => panic!("{col}: {other:?}"),
+            })
+            .collect()
+    }
+
+    fn analyze_strs(t: &Table, col: &str) -> Vec<String> {
+        (0..t.row_count())
+            .map(|i| match t.column_by_name(col).unwrap().get(i) {
+                SqlValue::Str(v) => v,
+                other => panic!("{col}: {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn explain_analyze_reports_operators_within_the_total() {
+        let db = engine_with_numbers();
+        let t = db
+            .execute("EXPLAIN ANALYZE SELECT DISTINCT i FROM t WHERE i > 1 ORDER BY i LIMIT 3")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let ops = analyze_strs(&t, "op");
+        assert_eq!(ops[0], "query");
+        for expected in ["scan", "filter", "project", "distinct", "order", "limit"] {
+            assert!(
+                ops.contains(&expected.to_string()),
+                "missing {expected} in {ops:?}"
+            );
+        }
+        let times = analyze_ints(&t, "time_ns");
+        let total = times[0];
+        assert!(total > 0, "total time must be non-zero");
+        for (op, ns) in ops.iter().zip(&times).skip(1) {
+            assert!(*ns <= total, "{op} time {ns} exceeds total {total}");
+        }
+        // The query row reports the real result's row count: 2,3,4.
+        assert_eq!(analyze_ints(&t, "rows_out")[0], 3);
+        // The filter row saw 5 rows and kept 4.
+        let fi = ops.iter().position(|o| o == "filter").unwrap();
+        assert_eq!(analyze_ints(&t, "rows_in")[fi], 5);
+        assert_eq!(analyze_ints(&t, "rows_out")[fi], 4);
+    }
+
+    #[test]
+    fn explain_analyze_udf_rows_agree_with_the_inline_counters() {
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        let db = engine_with_numbers();
+        db.execute(
+            "CREATE FUNCTION straight(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i * 2 }",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE FUNCTION loopy(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\ns = 0\nfor v in i:\n    s = s + v\nreturn s\n}",
+        )
+        .unwrap();
+        let inlined_before = obs::counter!("monetlite.udf.inlined").get();
+        let bailed_before = obs::counter!("monetlite.udf.bailed").get();
+        let t = db
+            .execute("EXPLAIN ANALYZE SELECT straight(i), loopy(i) FROM t")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        let inlined_delta = obs::counter!("monetlite.udf.inlined").get() - inlined_before;
+        let bailed_delta = obs::counter!("monetlite.udf.bailed").get() - bailed_before;
+        let ops = analyze_strs(&t, "op");
+        let details = analyze_strs(&t, "detail");
+        let udf_rows: Vec<&String> = ops
+            .iter()
+            .zip(&details)
+            .filter(|(op, _)| op.as_str() == "udf")
+            .map(|(_, d)| d)
+            .collect();
+        let inlined_rows = udf_rows.iter().filter(|d| d.ends_with(" inlined")).count() as u64;
+        let fallback_rows = udf_rows
+            .iter()
+            .filter(|d| d.ends_with(" bailed") || d.ends_with(" interpreted"))
+            .count() as u64;
+        assert_eq!(inlined_rows, inlined_delta);
+        assert_eq!(fallback_rows, bailed_delta);
+        assert!(
+            udf_rows.iter().any(|d| d.as_str() == "straight inlined"),
+            "{udf_rows:?}"
+        );
+        assert!(
+            udf_rows.iter().any(|d| d.as_str() == "loopy interpreted"),
+            "{udf_rows:?}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_rejects_wrapping_explain() {
+        let db = engine_with_numbers();
+        let err = db
+            .execute("EXPLAIN ANALYZE EXPLAIN SELECT i FROM t")
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot wrap EXPLAIN"), "{err}");
     }
 }

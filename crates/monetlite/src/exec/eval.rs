@@ -938,6 +938,36 @@ fn eval_call(
         return Err(DbError::exec(crate::engine::EXTRACT_SIGNAL));
     }
 
+    // EXPLAIN ANALYZE disposition rows are recorded exactly where the
+    // `monetlite.udf.*` counters bump, so plan rows and counters agree by
+    // construction. "bailed"/"interpreted" is decided here but recorded
+    // only after the interpreter finishes, with the full elapsed time.
+    let udf_started = engine.analyze_active().then(std::time::Instant::now);
+    let rows_in = inputs
+        .iter()
+        .map(|(_, i)| match i {
+            UdfInput::Column(c) => c.len() as u64,
+            UdfInput::Scalar(_) => 1,
+        })
+        .max()
+        .unwrap_or(1);
+    let record_udf = |disposition: &str, rows_out: u64| {
+        if let Some(s) = udf_started {
+            engine.analyze_record(
+                "udf",
+                format!("{} {disposition}", def.name),
+                s.elapsed().as_nanos() as u64,
+                rows_in,
+                rows_out,
+            );
+        }
+    };
+    let rows_out_of = |v: &Evaluated| match v {
+        Evaluated::Column(c) => c.len() as u64,
+        Evaluated::Scalar(_) => 1,
+    };
+    let mut deferred_disposition: Option<&'static str> = None;
+
     // Froid-style inlining: straight-line bodies run as relational
     // expressions; anything else (or any runtime bail) falls through to
     // the interpreter below.
@@ -959,29 +989,32 @@ fn eval_call(
                             }
                             other => other,
                         };
+                        record_udf("inlined", rows_out_of(&v));
                         return Ok(v);
                     }
                     crate::inline::InlineOutcome::Bailed(_) => {
                         obs::counter!("monetlite.udf.bailed").inc();
+                        deferred_disposition = Some("bailed");
                     }
                 }
             }
             crate::inline::UdfPlan::Interpreted(_) => {
                 obs::counter!("monetlite.udf.bailed").inc();
+                deferred_disposition = Some("interpreted");
             }
         }
     }
 
-    match engine.model() {
+    let result = match engine.model() {
         crate::engine::ExecutionModel::OperatorAtATime => {
             let out = udf::run_operator_at_a_time(engine, &def, &inputs)?;
             engine.append_udf_stdout(&out.stdout);
-            Ok(match &out.value {
+            match &out.value {
                 pylite::Value::Array(_) | pylite::Value::List(_) | pylite::Value::Tuple(_) => {
                     Evaluated::Column(udf::py_to_column(&def.name, &out.value)?)
                 }
                 scalar => Evaluated::Scalar(udf::py_to_scalar(scalar)?),
-            })
+            }
         }
         crate::engine::ExecutionModel::TupleAtATime => {
             let rows = source.map(|t| t.row_count()).unwrap_or(1);
@@ -989,11 +1022,13 @@ fn eval_call(
             engine.append_udf_stdout(&stdout);
             let scalars: Result<Vec<SqlValue>, DbError> =
                 values.iter().map(udf::py_to_scalar).collect();
-            Ok(Evaluated::Column(Column::from_values(
-                &def.name, &scalars?,
-            )?))
+            Evaluated::Column(Column::from_values(&def.name, &scalars?)?)
         }
+    };
+    if let Some(disposition) = deferred_disposition {
+        record_udf(disposition, rows_out_of(&result));
     }
+    Ok(result)
 }
 
 /// Aggregates reduce their argument column to a scalar.

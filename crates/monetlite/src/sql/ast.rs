@@ -44,6 +44,10 @@ pub enum Statement {
     /// `EXPLAIN <statement>` — renders the execution plan, including the
     /// Inlined/Interpreted decision for every stored UDF the query calls.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <statement>` — executes the statement for real
+    /// and renders per-operator wall time, row counts and per-UDF
+    /// dispositions instead of the statement's own result (DESIGN §15).
+    ExplainAnalyze(Box<Statement>),
     /// `COPY INTO t FROM 'path'` — CSV ingestion.
     CopyInto {
         table: String,

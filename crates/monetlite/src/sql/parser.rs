@@ -132,6 +132,9 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, DbError> {
         if self.eat_kw("explain") {
+            if self.eat_kw("analyze") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.peek().is_kw("create") {
@@ -1282,5 +1285,16 @@ return {'clf': pickle.dumps(clf), 'estimators': n}\n\
             other => panic!("{other:?}"),
         }
         assert!(parse_statement("SELECT g FROM t HAVING g > 1").is_err());
+    }
+
+    #[test]
+    fn parses_explain_and_explain_analyze() {
+        let s = parse_statement("EXPLAIN SELECT 1").unwrap();
+        assert!(matches!(s, Statement::Explain(inner) if matches!(*inner, Statement::Select(_))));
+        let s = parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap();
+        assert!(matches!(
+            s,
+            Statement::ExplainAnalyze(inner) if matches!(*inner, Statement::Select(_))
+        ));
     }
 }

@@ -331,6 +331,8 @@ pub fn run_operator_at_a_time(
     inputs: &[(String, UdfInput)],
 ) -> Result<UdfOutput, DbError> {
     let _depth = engine.enter_udf()?;
+    let mut span = obs::trace::span_active("monet.udf.run");
+    span.field("udf", &def.name);
     let timer = UdfTimer::start(&def.name);
     let mut interp = build_interp(engine);
     for (name, input) in inputs {
@@ -360,6 +362,8 @@ pub fn run_tuple_at_a_time(
     rows: usize,
 ) -> Result<(Vec<Value>, String), DbError> {
     let _depth = engine.enter_udf()?;
+    let mut span = obs::trace::span_active("monet.udf.run");
+    span.field("udf", &def.name);
     let timer = UdfTimer::start(&def.name);
     let module = pylite::parse_module(&def.body).map_err(|e| DbError::udf(&e))?;
     let mut interp = build_interp(engine);

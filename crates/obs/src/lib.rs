@@ -43,6 +43,7 @@
 //! ```
 
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 #[cfg(feature = "telemetry")]

@@ -254,6 +254,10 @@ pub struct MetricRow {
     pub sum: u64,
     /// Mean observation (histograms only; zero otherwise).
     pub mean: f64,
+    /// Estimated median (histograms only; zero otherwise).
+    pub p50: u64,
+    /// Estimated p90 (histograms only; zero otherwise).
+    pub p90: u64,
     /// Estimated p99 (histograms only; zero otherwise).
     pub p99: u64,
 }
@@ -356,6 +360,8 @@ impl MetricsRegistry {
                     value: i64::try_from(c.get()).unwrap_or(i64::MAX),
                     sum: 0,
                     mean: 0.0,
+                    p50: 0,
+                    p90: 0,
                     p99: 0,
                 },
                 Metric::Gauge(g) => MetricRow {
@@ -364,6 +370,8 @@ impl MetricsRegistry {
                     value: g.get(),
                     sum: 0,
                     mean: 0.0,
+                    p50: 0,
+                    p90: 0,
                     p99: 0,
                 },
                 Metric::Histogram(h) => MetricRow {
@@ -372,6 +380,8 @@ impl MetricsRegistry {
                     value: i64::try_from(h.count()).unwrap_or(i64::MAX),
                     sum: h.sum(),
                     mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
                     p99: h.quantile(0.99),
                 },
             })
@@ -387,7 +397,7 @@ impl MetricsRegistry {
     }
 
     /// A JSON object keyed by metric name; histogram entries carry
-    /// `count`/`sum`/`mean`/`p50`/`p99` sub-fields.
+    /// `count`/`sum`/`mean`/`p50`/`p90`/`p99` sub-fields.
     #[cfg(feature = "telemetry")]
     pub fn snapshot(&self) -> Value {
         let map = self.metrics.read().expect("metrics lock");
@@ -411,6 +421,7 @@ impl MetricsRegistry {
                         ("sum".to_string(), json_u64(h.sum())),
                         ("mean".to_string(), Value::Float(h.mean())),
                         ("p50".to_string(), json_u64(h.quantile(0.50))),
+                        ("p90".to_string(), json_u64(h.quantile(0.90))),
                         ("p99".to_string(), json_u64(h.quantile(0.99))),
                     ]),
                 };
@@ -520,6 +531,35 @@ mod tests {
             assert_eq!(h.quantile(0.0), 1);
         } else {
             assert_eq!(h.count(), 0);
+        }
+    }
+
+    #[test]
+    fn rows_carry_percentile_columns() {
+        let _serial = test_lock();
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q.lat");
+        // 9 fast observations and one slow outlier: p50/p90 sit in the
+        // [4, 8) bucket, p99 in the outlier's [1024, 2048) bucket.
+        for _ in 0..9 {
+            h.record(5);
+        }
+        h.record(2000);
+        reg.counter("q.count").inc();
+        let rows = reg.rows();
+        if cfg!(feature = "telemetry") {
+            let lat = rows.iter().find(|r| r.name == "q.lat").unwrap();
+            assert_eq!(lat.p50, 7);
+            assert_eq!(lat.p90, 7);
+            assert_eq!(lat.p99, 2047);
+            let count = rows.iter().find(|r| r.name == "q.count").unwrap();
+            assert_eq!((count.p50, count.p90, count.p99), (0, 0, 0));
+            // The JSON snapshot exposes the same estimates.
+            let snap = reg.snapshot();
+            let p90 = snap.get("q.lat").and_then(|v| v.get("p90"));
+            assert_eq!(p90.and_then(|v| v.as_i64()), Some(7));
+        } else {
+            assert!(rows.is_empty());
         }
     }
 

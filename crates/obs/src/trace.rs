@@ -18,7 +18,7 @@ use std::io::Write as _;
 use std::sync::Mutex;
 #[cfg(feature = "telemetry")]
 use std::sync::{
-    atomic::{AtomicU64, Ordering},
+    atomic::{AtomicU64, AtomicUsize, Ordering},
     RwLock,
 };
 use std::time::Duration;
@@ -144,14 +144,18 @@ pub trait Subscriber: Send + Sync {
 #[cfg(feature = "telemetry")]
 static SUBSCRIBERS: RwLock<Vec<std::sync::Arc<dyn Subscriber>>> = RwLock::new(Vec::new());
 
+/// Cached `SUBSCRIBERS.len()`, so hot paths ([`span_active`]) can ask
+/// "is anyone listening?" with one relaxed load instead of a lock.
+#[cfg(feature = "telemetry")]
+static SUBSCRIBER_COUNT: AtomicUsize = AtomicUsize::new(0);
+
 /// Install a subscriber; events fan out to all installed subscribers in
 /// installation order.
 #[cfg(feature = "telemetry")]
 pub fn add_subscriber(sub: std::sync::Arc<dyn Subscriber>) {
-    SUBSCRIBERS
-        .write()
-        .unwrap_or_else(|e| e.into_inner())
-        .push(sub);
+    let mut subs = SUBSCRIBERS.write().unwrap_or_else(|e| e.into_inner());
+    subs.push(sub);
+    SUBSCRIBER_COUNT.store(subs.len(), Ordering::Relaxed);
 }
 
 /// Install a subscriber (no-op build: dropped).
@@ -162,10 +166,11 @@ pub fn add_subscriber(_sub: std::sync::Arc<dyn Subscriber>) {}
 /// stderr-fallback default).
 pub fn clear_subscribers() {
     #[cfg(feature = "telemetry")]
-    SUBSCRIBERS
-        .write()
-        .unwrap_or_else(|e| e.into_inner())
-        .clear();
+    {
+        let mut subs = SUBSCRIBERS.write().unwrap_or_else(|e| e.into_inner());
+        subs.clear();
+        SUBSCRIBER_COUNT.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Dispatch an event: to all subscribers, or — for log events only — as a
@@ -248,6 +253,8 @@ pub struct SpanGuard {
 struct SpanInner {
     id: u64,
     parent: Option<u64>,
+    /// The trace this span joined at open time (0 = none).
+    trace: u64,
     name: &'static str,
     depth: usize,
     start: Instant,
@@ -294,12 +301,16 @@ impl Drop for SpanGuard {
                     stack.retain(|id| *id != inner.id);
                 }
             });
+            let duration = inner.start.elapsed();
+            if inner.trace != 0 && CAPTURE_COUNT.load(Ordering::Relaxed) > 0 {
+                capture_span(&inner, duration);
+            }
             dispatch(Event::Span {
                 id: inner.id,
                 parent: inner.parent,
                 name: inner.name,
                 depth: inner.depth,
-                duration: inner.start.elapsed(),
+                duration,
                 fields: inner.fields,
             });
         }
@@ -325,6 +336,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         inner: Some(SpanInner {
             id,
             parent,
+            trace: CURRENT_TRACE.with(|t| t.get()),
             name,
             depth,
             start: Instant::now(),
@@ -337,6 +349,340 @@ pub fn span(name: &'static str) -> SpanGuard {
 #[cfg(not(feature = "telemetry"))]
 pub fn span(_name: &'static str) -> SpanGuard {
     SpanGuard {}
+}
+
+/// Open a span only when someone is listening — a per-trace capture or a
+/// subscriber is installed. Hot paths (per-operator, per-command, per-UDF
+/// call) use this so the profiling-off cost stays at one relaxed load.
+pub fn span_active(name: &'static str) -> SpanGuard {
+    if trace_active() {
+        span(name)
+    } else {
+        inert_span()
+    }
+}
+
+#[cfg(feature = "telemetry")]
+fn inert_span() -> SpanGuard {
+    SpanGuard { inner: None }
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn inert_span() -> SpanGuard {
+    SpanGuard {}
+}
+
+/// Whether any span sink is currently live: telemetry enabled and at
+/// least one per-trace capture or subscriber installed. One relaxed load
+/// per check; [`span_active`] is the ergonomic front end.
+#[cfg(feature = "telemetry")]
+pub fn trace_active() -> bool {
+    crate::enabled()
+        && (CAPTURE_COUNT.load(Ordering::Relaxed) > 0
+            || SUBSCRIBER_COUNT.load(Ordering::Relaxed) > 0)
+}
+
+/// Whether any span sink is live (no-op build: never).
+#[cfg(not(feature = "telemetry"))]
+pub fn trace_active() -> bool {
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids and cross-thread / cross-wire context propagation (DESIGN §15).
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "telemetry")]
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+#[cfg(feature = "telemetry")]
+std::thread_local! {
+    /// The trace id new spans on this thread join (0 = untraced).
+    static CURRENT_TRACE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Mint a process-unique trace id (never zero). Returns 0 when telemetry
+/// is disabled at runtime or compiled out — callers treat 0 as "do not
+/// trace", which keeps the wire bytes of an untraced build identical to
+/// an untraced client.
+#[cfg(feature = "telemetry")]
+pub fn new_trace_id() -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Mint a trace id (no-op build: always 0, meaning "do not trace").
+#[cfg(not(feature = "telemetry"))]
+pub fn new_trace_id() -> u64 {
+    0
+}
+
+/// A thread's ambient trace context: which trace new spans join and which
+/// open span they parent under (`0` = none). `Copy` and `Send`, so it can
+/// be captured at a submission site and re-entered inside a pool job or
+/// on the far side of a wire hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanContext {
+    /// Trace id (0 = untraced).
+    pub trace: u64,
+    /// Innermost open span id at capture time (0 = none).
+    pub parent: u64,
+}
+
+/// Capture the calling thread's current context.
+#[cfg(feature = "telemetry")]
+pub fn current_context() -> SpanContext {
+    SpanContext {
+        trace: CURRENT_TRACE.with(|t| t.get()),
+        parent: SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0)),
+    }
+}
+
+/// Capture the current context (no-op build: the empty context).
+#[cfg(not(feature = "telemetry"))]
+pub fn current_context() -> SpanContext {
+    SpanContext::default()
+}
+
+/// Re-enter a captured context on this thread: until the returned guard
+/// drops, new spans join `ctx.trace` and parent under `ctx.parent`. Used
+/// by pool jobs (the thread-local parent stack does not cross threads)
+/// and by the server to stitch its spans under the client's trace.
+#[cfg(feature = "telemetry")]
+pub fn enter_context(ctx: SpanContext) -> ContextGuard {
+    let prev_trace = CURRENT_TRACE.with(|t| t.replace(ctx.trace));
+    let pushed = if ctx.parent != 0 {
+        SPAN_STACK.with(|s| s.borrow_mut().push(ctx.parent));
+        Some(ctx.parent)
+    } else {
+        None
+    };
+    ContextGuard { prev_trace, pushed }
+}
+
+/// Re-enter a captured context (no-op build: an inert guard).
+#[cfg(not(feature = "telemetry"))]
+pub fn enter_context(_ctx: SpanContext) -> ContextGuard {
+    ContextGuard {}
+}
+
+/// Restores the previous trace context on drop. Create via
+/// [`enter_context`].
+pub struct ContextGuard {
+    #[cfg(feature = "telemetry")]
+    prev_trace: u64,
+    #[cfg(feature = "telemetry")]
+    pushed: Option<u64>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(id) = self.pushed.take() {
+                SPAN_STACK.with(|s| {
+                    let mut stack = s.borrow_mut();
+                    if stack.last() == Some(&id) {
+                        stack.pop();
+                    } else {
+                        stack.retain(|x| *x != id);
+                    }
+                });
+            }
+            CURRENT_TRACE.with(|t| t.set(self.prev_trace));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-trace span capture: bounded buffers keyed by trace id, drained by
+// the request that started them (`devudf trace`, the traced server path).
+// ---------------------------------------------------------------------------
+
+/// A closed span captured for one trace. Unlike [`Event::Span`] the name
+/// is an owned `String`, so spans decoded off the wire fit too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id (process-unique on the side that minted it).
+    pub id: u64,
+    /// Parent span id (0 = root of its side).
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Key/value fields attached while the span was open.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Spans kept per capture before the rest are dropped — a runaway query
+/// must not buffer unbounded telemetry.
+pub const CAPTURE_CAP: usize = 8192;
+
+#[cfg(feature = "telemetry")]
+static CAPTURE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(feature = "telemetry")]
+static CAPTURES: Mutex<Vec<(u64, Vec<SpanRecord>)>> = Mutex::new(Vec::new());
+
+/// Start capturing closed spans of `trace` (no-op for trace 0 or when a
+/// capture for it already runs). Pair with [`take_capture`].
+#[cfg(feature = "telemetry")]
+pub fn start_capture(trace: u64) {
+    if trace == 0 {
+        return;
+    }
+    let mut caps = CAPTURES.lock().unwrap_or_else(|e| e.into_inner());
+    if caps.iter().any(|(t, _)| *t == trace) {
+        return;
+    }
+    caps.push((trace, Vec::new()));
+    CAPTURE_COUNT.store(caps.len(), Ordering::Relaxed);
+}
+
+/// Start capturing spans of a trace (no-op build).
+#[cfg(not(feature = "telemetry"))]
+pub fn start_capture(_trace: u64) {}
+
+/// Stop the capture for `trace` and return everything it collected, in
+/// close order (children before their parents).
+#[cfg(feature = "telemetry")]
+pub fn take_capture(trace: u64) -> Vec<SpanRecord> {
+    let mut caps = CAPTURES.lock().unwrap_or_else(|e| e.into_inner());
+    let taken = caps
+        .iter()
+        .position(|(t, _)| *t == trace)
+        .map(|i| caps.remove(i).1);
+    CAPTURE_COUNT.store(caps.len(), Ordering::Relaxed);
+    taken.unwrap_or_default()
+}
+
+/// Stop a capture (no-op build: always empty).
+#[cfg(not(feature = "telemetry"))]
+pub fn take_capture(_trace: u64) -> Vec<SpanRecord> {
+    Vec::new()
+}
+
+#[cfg(feature = "telemetry")]
+fn capture_span(inner: &SpanInner, duration: Duration) {
+    let mut caps = CAPTURES.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, records)) = caps.iter_mut().find(|(t, _)| *t == inner.trace) {
+        if records.len() < CAPTURE_CAP {
+            records.push(SpanRecord {
+                id: inner.id,
+                parent: inner.parent.unwrap_or(0),
+                name: inner.name.to_string(),
+                duration_ns: duration.as_nanos() as u64,
+                fields: inner.fields.clone(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree assembly and rendering (pure data — works in no-op builds too, so
+// the CLI can render spans a telemetry-enabled server sent over the wire).
+// ---------------------------------------------------------------------------
+
+/// One node of an assembled span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The span itself.
+    pub record: SpanRecord,
+    /// Child spans, in the order they closed.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total number of spans in this subtree (including self).
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::len).sum::<usize>()
+    }
+
+    /// Always false — a node contains at least itself.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Assemble flat records into parent→child trees. A record whose parent
+/// is absent from the set becomes a root; records forming a parent cycle
+/// (possible only with hostile wire data) are unreachable from any root
+/// and are dropped rather than looping.
+pub fn assemble(records: &[SpanRecord]) -> Vec<SpanNode> {
+    let ids: std::collections::HashSet<u64> = records.iter().map(|r| r.id).collect();
+    fn build(records: &[SpanRecord], taken: &mut [bool], id: u64) -> Vec<SpanNode> {
+        let mut nodes = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            if !taken[i] && r.parent == id {
+                taken[i] = true;
+                nodes.push(SpanNode {
+                    record: r.clone(),
+                    children: build(records, taken, r.id),
+                });
+            }
+        }
+        nodes
+    }
+    let mut taken = vec![false; records.len()];
+    let mut roots = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if !taken[i] && (r.parent == 0 || !ids.contains(&r.parent)) {
+            taken[i] = true;
+            roots.push(SpanNode {
+                record: r.clone(),
+                children: build(records, &mut taken, r.id),
+            });
+        }
+    }
+    roots
+}
+
+/// Humanize a nanosecond duration (ms / µs / ns, two decimals). Shared by
+/// the span-tree renderer and the profiler's line annotations.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Render assembled trees as an indented text block (box-drawing
+/// connectors, humanized durations, `k=v` fields) — the body of
+/// `devudf trace` output.
+pub fn render_tree(roots: &[SpanNode]) -> String {
+    fn render(out: &mut String, node: &SpanNode, prefix: &str, connector: &str, child_pad: &str) {
+        let _ = write!(
+            out,
+            "{prefix}{connector}{:<32} {:>10}",
+            node.record.name,
+            fmt_ns(node.record.duration_ns)
+        );
+        for (k, v) in &node.record.fields {
+            let _ = write!(out, "  {k}={v}");
+        }
+        out.push('\n');
+        let deeper = format!("{prefix}{child_pad}");
+        for (i, child) in node.children.iter().enumerate() {
+            let last = i + 1 == node.children.len();
+            let (c, pad) = if last {
+                ("└─ ", "   ")
+            } else {
+                ("├─ ", "│  ")
+            };
+            render(out, child, &deeper, c, pad);
+        }
+    }
+    let mut out = String::new();
+    for root in roots {
+        render(&mut out, root, "", "", "");
+    }
+    out
 }
 
 /// A bounded in-memory recorder for tests: keeps the most recent
@@ -601,5 +947,156 @@ mod tests {
             assert!(rec.events().is_empty());
             assert_eq!(current_depth(), 0);
         });
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_zero_when_disabled() {
+        let _serial = crate::metrics::test_lock();
+        crate::set_enabled(true);
+        let a = new_trace_id();
+        let b = new_trace_id();
+        if cfg!(feature = "telemetry") {
+            assert_ne!(a, 0);
+            assert_ne!(a, b);
+            crate::set_enabled(false);
+            assert_eq!(new_trace_id(), 0);
+            crate::set_enabled(true);
+        } else {
+            assert_eq!(a, 0);
+            assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn context_reenters_parent_across_threads() {
+        with_recorder(|rec| {
+            let outer = span("ctx.outer");
+            let outer_id = outer.id();
+            let ctx = current_context();
+            if cfg!(feature = "telemetry") {
+                assert_eq!(ctx.parent, outer_id);
+            }
+            std::thread::spawn(move || {
+                let _guard = enter_context(ctx);
+                let _child = span("ctx.child");
+            })
+            .join()
+            .unwrap();
+            drop(outer);
+            if cfg!(feature = "telemetry") {
+                let child = rec.events().into_iter().find_map(|e| match e {
+                    Event::Span {
+                        name: "ctx.child",
+                        parent,
+                        ..
+                    } => Some(parent),
+                    _ => None,
+                });
+                assert_eq!(child, Some(Some(outer_id)));
+            } else {
+                assert!(rec.events().is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn capture_collects_only_its_trace_and_drains() {
+        let _serial = crate::metrics::test_lock();
+        crate::set_enabled(true);
+        clear_subscribers();
+        let trace = new_trace_id();
+        start_capture(trace);
+        {
+            let _guard = enter_context(SpanContext { trace, parent: 0 });
+            let mut s = span("cap.inner");
+            s.field("rows", 6);
+        }
+        {
+            // A span outside the context does not join the capture.
+            let _other = span("cap.unrelated");
+        }
+        let records = take_capture(trace);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].name, "cap.inner");
+            assert_eq!(records[0].parent, 0);
+            assert_eq!(records[0].fields, vec![("rows".into(), "6".into())]);
+        } else {
+            assert!(records.is_empty());
+        }
+        // Drained: a second take is empty.
+        assert!(take_capture(trace).is_empty());
+    }
+
+    #[test]
+    fn span_active_is_inert_without_listeners() {
+        let _serial = crate::metrics::test_lock();
+        crate::set_enabled(true);
+        clear_subscribers();
+        assert!(!trace_active());
+        let s = span_active("quiet.op");
+        assert_eq!(s.id(), 0);
+        drop(s);
+        if cfg!(feature = "telemetry") {
+            let rec = Arc::new(RingBufferRecorder::new(8));
+            add_subscriber(rec.clone());
+            assert!(trace_active());
+            drop(span_active("loud.op"));
+            clear_subscribers();
+            assert!(rec
+                .events()
+                .iter()
+                .any(|e| matches!(e, Event::Span { name, .. } if *name == "loud.op")));
+        }
+    }
+
+    fn rec(id: u64, parent: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            duration_ns: 1_500_000,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn assemble_builds_trees_and_orphans_become_roots() {
+        // Close order: children first, like a real capture.
+        let records = vec![
+            rec(3, 2, "grandchild"),
+            rec(2, 1, "child"),
+            rec(1, 0, "root"),
+            rec(9, 42, "orphan"), // parent 42 never captured
+        ];
+        let roots = assemble(&records);
+        assert_eq!(roots.len(), 2);
+        let root = roots.iter().find(|n| n.record.name == "root").unwrap();
+        assert_eq!(root.len(), 3);
+        assert_eq!(root.children[0].record.name, "child");
+        assert_eq!(root.children[0].children[0].record.name, "grandchild");
+        assert!(roots.iter().any(|n| n.record.name == "orphan"));
+    }
+
+    #[test]
+    fn assemble_drops_hostile_parent_cycles() {
+        let records = vec![rec(1, 2, "a"), rec(2, 1, "b"), rec(3, 0, "ok")];
+        let roots = assemble(&records);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].record.name, "ok");
+    }
+
+    #[test]
+    fn render_tree_shows_names_durations_and_fields() {
+        let mut child = rec(2, 1, "wire.send");
+        child.duration_ns = 950;
+        child.fields.push(("bytes".into(), "123".into()));
+        let records = vec![child, rec(1, 0, "client.query")];
+        let text = render_tree(&assemble(&records));
+        assert!(text.contains("client.query"), "{text}");
+        assert!(text.contains("1.50 ms"), "{text}");
+        assert!(text.contains("└─ wire.send"), "{text}");
+        assert!(text.contains("950 ns"), "{text}");
+        assert!(text.contains("bytes=123"), "{text}");
     }
 }

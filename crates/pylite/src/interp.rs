@@ -100,6 +100,41 @@ pub(crate) enum Flow {
     Return(Value),
 }
 
+/// Line-profiler buffer: per-(function, line) hit and nanosecond
+/// accumulation, local to one interpreter run so the dispatch loop never
+/// touches the global registry. Elapsed time is attributed to the
+/// *previous* statement — its execution spans the gap between two
+/// statement events — while the current statement takes the hit count.
+#[derive(Default)]
+pub(crate) struct ProfBuf {
+    rows: HashMap<(String, u32), (u64, u64)>,
+    last: Option<((String, u32), Instant)>,
+}
+
+impl ProfBuf {
+    /// Statement event: close the previous statement's time slice and
+    /// open the next one.
+    fn on_statement(&mut self, func: &str, line: u32) {
+        let now = Instant::now();
+        if let Some((key, started)) = self.last.take() {
+            self.rows.entry(key).or_insert((0, 0)).1 += (now - started).as_nanos() as u64;
+        }
+        let key = (func.to_string(), line);
+        self.rows.entry(key.clone()).or_insert((0, 0)).0 += 1;
+        self.last = Some((key, now));
+    }
+
+    /// End of run: close the trailing slice and merge everything into
+    /// the global profile store in one batch.
+    fn flush(mut self) {
+        if let Some((key, started)) = self.last.take() {
+            self.rows.entry(key).or_insert((0, 0)).1 += started.elapsed().as_nanos() as u64;
+        }
+        let batch: Vec<_> = self.rows.into_iter().collect();
+        obs::profile::record(&batch);
+    }
+}
+
 /// The interpreter. One instance executes one module/UDF at a time but may
 /// be reused across runs; globals persist until [`Interp::reset`].
 pub struct Interp {
@@ -115,6 +150,9 @@ pub struct Interp {
     pub(crate) hook: Option<Rc<RefCell<dyn DebugHook>>>,
     /// Statement budget; `Some(0)` means exhausted.
     pub(crate) steps_left: Option<u64>,
+    /// Line-profiler buffer, armed per run while [`obs::profile::active`]
+    /// (boxed so the steady-state `Interp` stays small).
+    pub(crate) prof: Option<Box<ProfBuf>>,
     /// Deterministic seed consumed by the `random` module and sklearn.
     pub rng_seed: u64,
     /// Statements executed over this interpreter's lifetime (flushed to
@@ -149,6 +187,7 @@ impl Interp {
             fs: Rc::new(MemFs::new()),
             hook: None,
             steps_left: None,
+            prof: None,
             rng_seed: 0x5eed_cafe,
             stmts_executed: 0,
             extra_modules: HashMap::new(),
@@ -323,10 +362,14 @@ impl Interp {
             ExecMode::Ast => {
                 let start = Instant::now();
                 let stmts_before = self.stmts_executed;
+                let profiling = self.arm_profiler();
                 self.push_module_frame();
                 let result = self.exec_block(&module.body);
                 let frame_line = self.frames.last().map(|f| f.line).unwrap_or(0);
                 self.frames.pop();
+                if profiling {
+                    self.flush_profiler();
+                }
                 obs::counter!("pylite.statements").add(self.stmts_executed - stmts_before);
                 obs::histogram!("pylite.exec_ast_ns").record(start.elapsed().as_nanos() as u64);
                 match result {
@@ -348,10 +391,14 @@ impl Interp {
     pub fn run_code(&mut self, code: &compile::CodeObject) -> Result<Value, PyError> {
         let start = Instant::now();
         let stmts_before = self.stmts_executed;
+        let profiling = self.arm_profiler();
         self.push_module_frame();
         let result = vm::run(self, code);
         let frame_line = self.frames.last().map(|f| f.line).unwrap_or(0);
         self.frames.pop();
+        if profiling {
+            self.flush_profiler();
+        }
         obs::counter!("pylite.statements").add(self.stmts_executed - stmts_before);
         obs::histogram!("pylite.exec_bytecode_ns").record(start.elapsed().as_nanos() as u64);
         match result {
@@ -363,6 +410,39 @@ impl Interp {
                 }
                 Err(e)
             }
+        }
+    }
+
+    /// Arm the line profiler for this run when the global profiler is
+    /// switched on. Returns whether this call armed it (and therefore
+    /// owns the flush) — a nested run under an already-armed profiler
+    /// keeps feeding the outer buffer.
+    fn arm_profiler(&mut self) -> bool {
+        if self.prof.is_none() && obs::profile::active() {
+            self.prof = Some(Box::default());
+            return true;
+        }
+        false
+    }
+
+    /// Close the trailing statement slice and publish the buffered rows.
+    fn flush_profiler(&mut self) {
+        if let Some(buf) = self.prof.take() {
+            buf.flush();
+        }
+    }
+
+    /// One profiled statement event; out-of-line so the unprofiled
+    /// dispatch paths pay only the `prof.is_some()` check.
+    #[cold]
+    pub(crate) fn prof_statement(&mut self, line: u32) {
+        let fname = self
+            .frames
+            .last()
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<module>".to_string());
+        if let Some(buf) = self.prof.as_mut() {
+            buf.on_statement(&fname, line);
         }
     }
 
@@ -543,6 +623,9 @@ impl Interp {
                 ));
             }
             *budget -= 1;
+        }
+        if self.prof.is_some() {
+            self.prof_statement(stmt.line);
         }
         if let Some(hook) = self.hook.clone() {
             let outcome = {
@@ -2457,5 +2540,84 @@ result = mean_deviation([1, 2, 3, 4, 5])
         i.eval_module("x = 41\n").unwrap();
         let v = i.eval_in_frame("x + 1").unwrap();
         assert_eq!(v, Value::Int(42));
+    }
+
+    /// The line profiler's hit counts are the VM's executed-line ground
+    /// truth: running the same branching body (EXPERIMENTS Scenario B)
+    /// under the bytecode VM and the AST walker must report identical
+    /// per-line hits, and the branch lines must match the inputs.
+    #[test]
+    fn line_profiler_vm_and_walker_agree_on_hits() {
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        // The profile store is process-global and the profiler switch
+        // arms every concurrently running interpreter, so assert only on
+        // a function name no other test defines.
+        let src = "def clamp_profile_probe(column):\n    score = column * 3 + 7\n    if score > 500:\n        return 500.0\n    elif score < 50:\n        return score / 2\n    return score * 1.0\nx = clamp_profile_probe(column)\n";
+        let mut per_mode = Vec::new();
+        let mut ns_totals = Vec::new();
+        for mode in [ExecMode::Bytecode, ExecMode::Ast] {
+            obs::profile::reset();
+            obs::profile::set_active(true);
+            let mut interp = Interp::new();
+            interp.set_exec_mode(mode);
+            // One clamp-high input, one clamp-low, one fall-through.
+            for column in [200i64, 10, 50] {
+                interp.reset();
+                interp.set_global("column", Value::Int(column));
+                interp.eval_module(src).unwrap();
+            }
+            obs::profile::set_active(false);
+            let rows: Vec<_> = obs::profile::rows()
+                .into_iter()
+                .filter(|r| r.func == "clamp_profile_probe")
+                .collect();
+            ns_totals.push(rows.iter().map(|r| r.ns).sum::<u64>());
+            per_mode.push(
+                rows.into_iter()
+                    .map(|r| (r.func, r.line, r.hits))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        obs::profile::reset();
+        assert_eq!(
+            per_mode[0], per_mode[1],
+            "VM and walker line hits must agree"
+        );
+        let hits = |line: u32| {
+            per_mode[0]
+                .iter()
+                .find(|(_, l, _)| *l == line)
+                .map(|(_, _, h)| *h)
+                .unwrap_or(0)
+        };
+        assert_eq!(hits(2), 3, "first body line runs every invocation");
+        assert_eq!(hits(4), 1, "clamp-high branch taken once");
+        assert_eq!(hits(6), 1, "clamp-low branch taken once");
+        assert_eq!(hits(7), 1, "fall-through return taken once");
+        assert!(ns_totals.iter().all(|&ns| ns > 0), "{ns_totals:?}");
+    }
+
+    #[test]
+    fn profiler_attributes_module_lines_to_module_scope() {
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        obs::profile::reset();
+        obs::profile::set_active(true);
+        let mut interp = Interp::new();
+        interp
+            .eval_module("def f():\n    return 1\nx = f()\n")
+            .unwrap();
+        obs::profile::set_active(false);
+        let rows = obs::profile::rows();
+        obs::profile::reset();
+        assert!(
+            rows.iter().any(|r| r.func == "<module>" && r.line == 3),
+            "{rows:?}"
+        );
+        assert!(
+            rows.iter().any(|r| r.func == "f" && r.line == 2),
+            "{rows:?}"
+        );
     }
 }

@@ -280,7 +280,7 @@ fn exec(interp: &mut Interp, code: &CodeObject, st: &mut State, pc: usize) -> Re
             if let Some(frame) = interp.frames.last_mut() {
                 frame.line = line;
             }
-            if interp.steps_left.is_some() || interp.hook.is_some() {
+            if interp.steps_left.is_some() || interp.hook.is_some() || interp.prof.is_some() {
                 trace_slow(interp, code, st, line)?;
             }
         }
@@ -821,8 +821,9 @@ fn exec(interp: &mut Interp, code: &CodeObject, st: &mut State, pc: usize) -> Re
     Ok(Ctl::Next)
 }
 
-/// The statement-budget and debug-hook half of `Trace`, out-of-line so
-/// the unhooked, unbudgeted hot path stays a single predicted branch.
+/// The statement-budget, line-profiler and debug-hook half of `Trace`,
+/// out-of-line so the unhooked, unbudgeted hot path stays a single
+/// predicted branch.
 /// The hook runs arbitrary watch expressions against the real scopes:
 /// synchronize before, distrust after.
 #[cold]
@@ -840,6 +841,9 @@ fn trace_slow(
             ));
         }
         *budget -= 1;
+    }
+    if interp.prof.is_some() {
+        interp.prof_statement(line);
     }
     let Some(hook) = interp.hook.clone() else {
         return Ok(());

@@ -117,6 +117,10 @@ pub struct Client {
     /// `ExtractDelta` tag — every later extract takes the classic path
     /// without re-probing (one wasted round trip per connection, max).
     delta_supported: bool,
+    /// Cleared permanently the first time the server rejects the `Traced`
+    /// envelope tag — every later [`Client::query_traced`] degrades to a
+    /// plain query without re-probing (same version gate as deltas).
+    trace_supported: bool,
 }
 
 impl std::fmt::Debug for Client {
@@ -226,6 +230,7 @@ impl Client {
             pool: options.parallelism.map(devharness::Pool::new),
             cache: options.cache.map(BlockCache::new),
             delta_supported: true,
+            trace_supported: true,
         };
         // Login is idempotent: under fault injection / flaky networks the
         // initial handshake retries like any read.
@@ -378,6 +383,107 @@ impl Client {
                 self.last_udf_stdout = udf_stdout;
                 Ok(result)
             }
+            other => Err(WireError::Protocol(format!(
+                "unexpected query reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute one SQL statement inside a client-minted trace (DESIGN
+    /// §15). The query travels wrapped in a [`Message::Traced`] envelope;
+    /// the server captures every span it closes while executing and ships
+    /// them back, and the client returns the full set — its own
+    /// `client.query` / `client.wire` spans plus the server's, remapped
+    /// into one id space and stitched under the wire span — ready for
+    /// [`obs::trace::assemble`] / [`obs::trace::render_tree`].
+    ///
+    /// Degrades transparently in every direction: with telemetry disabled
+    /// (or compiled out) the frame sent is byte-identical to
+    /// [`Client::query`] and the span list is empty; against a server
+    /// that predates the envelope the first attempt fails on the unknown
+    /// tag and the client permanently falls back to plain queries.
+    pub fn query_traced(
+        &mut self,
+        sql: &str,
+    ) -> Result<(WireResult, Vec<obs::trace::SpanRecord>), WireError> {
+        let trace = obs::trace::new_trace_id();
+        if trace == 0 || !self.trace_supported {
+            return Ok((self.query(sql)?, Vec::new()));
+        }
+        obs::trace::start_capture(trace);
+        let ctx = obs::trace::enter_context(obs::trace::SpanContext { trace, parent: 0 });
+        let wire_span_id;
+        let exchange = {
+            let mut qspan = obs::trace::span_active("client.query");
+            qspan.field("sql", sql);
+            let envelope = Message::Traced {
+                trace,
+                inner: Message::Query {
+                    sql: sql.to_string(),
+                }
+                .encode(),
+            };
+            let bytes_out = envelope.encode().len();
+            let mut wspan = obs::trace::span_active("client.wire");
+            wire_span_id = wspan.id();
+            wspan.field("bytes_out", bytes_out);
+            match self.call("query", &envelope, sql_is_idempotent(sql)) {
+                Ok(Message::TracedReply { spans, inner }) => {
+                    wspan.field("bytes_in", inner.len());
+                    Ok((spans, inner))
+                }
+                Ok(other) => Err(WireError::Protocol(format!(
+                    "unexpected traced reply: {other:?}"
+                ))),
+                Err(e) => Err(e),
+            }
+        };
+        drop(ctx);
+        let mut records = obs::trace::take_capture(trace);
+        let (server_spans, inner) = match exchange {
+            Ok(v) => v,
+            Err(WireError::Server {
+                ref code,
+                ref message,
+                ..
+            }) if code == "ProtocolError" && message.contains("unknown message tag") => {
+                // Old-format server: remember and repeat as a plain query.
+                self.trace_supported = false;
+                obs::counter!("wire.client.trace_fallbacks").inc();
+                return Ok((self.query(sql)?, Vec::new()));
+            }
+            Err(e) => return Err(e),
+        };
+        // Stitch: server span ids live in their own namespace — shift
+        // them into the top half of the id space (client ids are minted
+        // from 1 and can never reach it) and hang the server's roots off
+        // the wire span that carried them.
+        const SERVER_BIT: u64 = 1 << 63;
+        records.extend(server_spans.into_iter().map(|s| obs::trace::SpanRecord {
+            id: s.id | SERVER_BIT,
+            parent: if s.parent == 0 {
+                wire_span_id
+            } else {
+                s.parent | SERVER_BIT
+            },
+            name: s.name,
+            duration_ns: s.duration_ns,
+            fields: s.fields,
+        }));
+        match Message::decode(&inner)? {
+            Message::ResultSet { result, udf_stdout } => {
+                self.last_udf_stdout = udf_stdout;
+                Ok((result, records))
+            }
+            Message::Error {
+                code,
+                message,
+                traceback,
+            } => Err(WireError::Server {
+                code,
+                message,
+                traceback,
+            }),
             other => Err(WireError::Protocol(format!(
                 "unexpected query reply: {other:?}"
             ))),
@@ -963,6 +1069,152 @@ mod tests {
             .unwrap();
         assert_eq!(delta_frames.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert!(a.py_eq(&b));
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_query_returns_a_stitched_span_tree() {
+        // Captures and the enable flag are process-global: serialize with
+        // every other telemetry-recording test.
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        obs::trace::clear_subscribers();
+        let server = demo_server();
+        let mut client = connect(&server);
+        let (result, spans) = client
+            .query_traced("SELECT mean_deviation(i) FROM numbers")
+            .unwrap();
+        let t = result.into_table().unwrap();
+        assert_eq!(t.rows[0][0], WireValue::Double(1.5));
+        let query = spans.iter().find(|r| r.name == "client.query").unwrap();
+        assert_eq!(query.parent, 0);
+        let wire = spans.iter().find(|r| r.name == "client.wire").unwrap();
+        assert_eq!(wire.parent, query.id);
+        let cmd = spans.iter().find(|r| r.name == "server.command").unwrap();
+        assert_eq!(cmd.parent, wire.id, "server roots hang off the wire span");
+        assert_ne!(cmd.id & (1 << 63), 0, "server ids are remapped");
+        assert!(
+            cmd.fields
+                .contains(&("command".to_string(), "query".to_string())),
+            "{:?}",
+            cmd.fields
+        );
+        assert!(spans.iter().all(|r| r.duration_ns > 0), "{spans:?}");
+        // The whole exchange assembles into one tree rooted at the client.
+        let roots = obs::trace::assemble(&spans);
+        assert_eq!(roots.len(), 1, "{spans:?}");
+        assert_eq!(roots[0].record.name, "client.query");
+        assert_eq!(roots[0].len(), spans.len());
+        server.shutdown();
+    }
+
+    /// Mimics a server that predates the trace envelope: any `Traced`
+    /// frame (tag 8) is answered with an old decoder's exact error.
+    struct PreTraceServerTransport {
+        inner: InProcTransport,
+        traced_frames: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl crate::transport::ClientTransport for PreTraceServerTransport {
+        fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+            if frame.first() == Some(&8) {
+                self.traced_frames
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Ok(Message::Error {
+                    code: "ProtocolError".into(),
+                    message: "unknown message tag 8".into(),
+                    traceback: None,
+                }
+                .encode());
+            }
+            self.inner.round_trip(frame)
+        }
+    }
+
+    #[test]
+    fn traced_client_falls_back_against_an_old_server() {
+        let _serial = obs::metrics::test_lock();
+        obs::set_enabled(true);
+        obs::trace::clear_subscribers();
+        let server = demo_server();
+        let (sender, session) = server.in_proc_connection();
+        let traced_frames = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let transport = PreTraceServerTransport {
+            inner: InProcTransport { sender, session },
+            traced_frames: traced_frames.clone(),
+        };
+        let mut client = Client::login(
+            Box::new(transport),
+            "monetdb",
+            "monetdb",
+            "demo",
+            ClientOptions::default(),
+        )
+        .unwrap();
+        let (a, spans) = client.query_traced("SELECT sum(i) FROM numbers").unwrap();
+        assert_eq!(a.into_table().unwrap().rows[0][0], WireValue::Int(21));
+        assert!(spans.is_empty(), "fallback returns no spans");
+        assert!(!client.trace_supported);
+        // Later traced queries skip the probe entirely: exactly one tag-8
+        // frame ever crossed this connection.
+        let (_, spans2) = client.query_traced("SELECT sum(i) FROM numbers").unwrap();
+        assert!(spans2.is_empty());
+        assert_eq!(traced_frames.load(std::sync::atomic::Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// Records every frame a client sends, so tests can compare wire
+    /// bytes across clients.
+    struct RecordingTransport {
+        inner: InProcTransport,
+        frames: std::sync::Arc<std::sync::Mutex<Vec<Vec<u8>>>>,
+    }
+
+    impl crate::transport::ClientTransport for RecordingTransport {
+        fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+            self.frames
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(frame.to_vec());
+            self.inner.round_trip(frame)
+        }
+    }
+
+    #[test]
+    fn untraced_query_traced_is_byte_identical_to_plain_query() {
+        let _serial = obs::metrics::test_lock();
+        // With telemetry off no trace id can be minted; query_traced must
+        // leave no mark on the wire.
+        obs::set_enabled(false);
+        let server = demo_server();
+        let recorded = |server: &Server| {
+            let (sender, session) = server.in_proc_connection();
+            let frames = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let transport = RecordingTransport {
+                inner: InProcTransport { sender, session },
+                frames: frames.clone(),
+            };
+            let client = Client::login(
+                Box::new(transport),
+                "monetdb",
+                "monetdb",
+                "demo",
+                ClientOptions::default(),
+            )
+            .unwrap();
+            (client, frames)
+        };
+        let (mut plain, plain_frames) = recorded(&server);
+        let (mut traced, traced_frames) = recorded(&server);
+        let sql = "SELECT mean_deviation(i) FROM numbers";
+        plain.query(sql).unwrap();
+        let (_, spans) = traced.query_traced(sql).unwrap();
+        assert!(spans.is_empty());
+        let a = plain_frames.lock().unwrap().clone();
+        let b = traced_frames.lock().unwrap().clone();
+        assert_eq!(a.len(), 2, "login + query");
+        assert_eq!(a, b, "untraced traced-query bytes must match plain bytes");
+        obs::set_enabled(true);
         server.shutdown();
     }
 

@@ -239,6 +239,23 @@ impl WireResult {
     }
 }
 
+/// A closed span as carried in a [`Message::TracedReply`] (DESIGN §15):
+/// the server's half of a stitched trace. Ids are only unique per side;
+/// the client remaps them before merging into its own tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSpan {
+    /// Span id, unique on the side that minted it.
+    pub id: u64,
+    /// Parent span id (0 = root of its side).
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Key/value fields attached while the span was open.
+    pub fields: Vec<(String, String)>,
+}
+
 /// Protocol messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -279,6 +296,18 @@ pub enum Message {
         epochs: Vec<(String, u64)>,
         /// Content addresses of the client's cached raw blocks.
         digests: Vec<[u8; 32]>,
+    },
+    /// Trace envelope (PR 8 version gate, DESIGN §15): `inner` is a fully
+    /// encoded client message, `trace` the client-minted trace id. A
+    /// traced server answers with [`Message::TracedReply`]; an old server
+    /// fails on the unknown tag — the client's cue to fall back to plain
+    /// frames permanently. Untraced clients never send this, so their
+    /// wire bytes are untouched by the feature.
+    Traced {
+        /// Client-minted trace id (never 0 on the wire).
+        trace: u64,
+        /// The encoded inner request frame body.
+        inner: Vec<u8>,
     },
 
     // Server → client.
@@ -334,6 +363,15 @@ pub enum Message {
         digests: Vec<[u8; 32]>,
         /// The shipped (changed) blocks, strictly increasing by index.
         blocks: Vec<DeltaBlock>,
+    },
+    /// Reply to a [`Message::Traced`] envelope: the encoded inner reply
+    /// plus every span the server recorded while handling it (empty when
+    /// the server was built without telemetry).
+    TracedReply {
+        /// Server-side spans, in close order.
+        spans: Vec<WireSpan>,
+        /// The encoded inner reply frame body.
+        inner: Vec<u8>,
     },
 }
 
@@ -650,6 +688,55 @@ fn read_digests(r: &mut Reader<'_>) -> Result<Vec<[u8; 32]>, WireError> {
     Ok(digests)
 }
 
+fn put_spans(out: &mut Vec<u8>, spans: &[WireSpan]) {
+    write_u64(out, spans.len() as u64);
+    for s in spans {
+        write_u64(out, s.id);
+        write_u64(out, s.parent);
+        put_str(out, &s.name);
+        write_u64(out, s.duration_ns);
+        write_u64(out, s.fields.len() as u64);
+        for (k, v) in &s.fields {
+            put_str(out, k);
+            put_str(out, v);
+        }
+    }
+}
+
+fn read_spans(r: &mut Reader<'_>) -> Result<Vec<WireSpan>, WireError> {
+    let n = r.varint()? as usize;
+    // A span occupies at least five bytes (id, parent, name length,
+    // duration, field count varints), so a count the frame cannot hold is
+    // rejected before the vector is reserved.
+    if n > r.remaining() / 5 {
+        return Err(Reader::err("implausible span count"));
+    }
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.varint()?;
+        let parent = r.varint()?;
+        let name = r.string()?;
+        let duration_ns = r.varint()?;
+        let nfields = r.varint()? as usize;
+        // Two length-prefixed strings per field: at least two bytes each.
+        if nfields > r.remaining() / 2 {
+            return Err(Reader::err("implausible span field count"));
+        }
+        let mut fields = Vec::with_capacity(nfields);
+        for _ in 0..nfields {
+            fields.push((r.string()?, r.string()?));
+        }
+        spans.push(WireSpan {
+            id,
+            parent,
+            name,
+            duration_ns,
+            fields,
+        });
+    }
+    Ok(spans)
+}
+
 impl Message {
     /// Encode into a frame body (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
@@ -702,6 +789,11 @@ impl Message {
                 write_u64(&mut out, *transfer_id);
                 put_epochs(&mut out, epochs);
                 put_digests(&mut out, digests);
+            }
+            Message::Traced { trace, inner } => {
+                out.push(8);
+                write_u64(&mut out, *trace);
+                put_bytes(&mut out, inner);
             }
             Message::LoginOk { session } => {
                 out.push(64);
@@ -801,6 +893,11 @@ impl Message {
                     put_bytes(&mut out, &b.body);
                 }
             }
+            Message::TracedReply { spans, inner } => {
+                out.push(73);
+                put_spans(&mut out, spans);
+                put_bytes(&mut out, inner);
+            }
         }
         out
     }
@@ -833,6 +930,16 @@ impl Message {
                 epochs: read_epochs(&mut r)?,
                 digests: read_digests(&mut r)?,
             },
+            8 => {
+                let trace = r.varint()?;
+                if trace == 0 {
+                    return Err(Reader::err("traced envelope without a trace id"));
+                }
+                Message::Traced {
+                    trace,
+                    inner: r.bytes()?,
+                }
+            }
             64 => Message::LoginOk {
                 session: r.varint()?,
             },
@@ -926,6 +1033,10 @@ impl Message {
                     blocks,
                 }
             }
+            73 => Message::TracedReply {
+                spans: read_spans(&mut r)?,
+                inner: r.bytes()?,
+            },
             t => return Err(Reader::err(&format!("unknown message tag {t}"))),
         };
         r.done()?;
@@ -1110,6 +1221,75 @@ mod tests {
         write_u64(&mut overfull, 2); // 2 shipped blocks > 1 digest
         let err = Message::decode(&overfull).unwrap_err();
         assert!(err.to_string().contains("more shipped blocks"), "{err}");
+    }
+
+    #[test]
+    fn traced_envelopes_round_trip() {
+        let inner = Message::Query {
+            sql: "SELECT f(i) FROM numbers".into(),
+        }
+        .encode();
+        round_trip(Message::Traced {
+            trace: 42,
+            inner: inner.clone(),
+        });
+        round_trip(Message::TracedReply {
+            spans: vec![
+                WireSpan {
+                    id: 2,
+                    parent: 1,
+                    name: "engine.op.scan".into(),
+                    duration_ns: 1_500,
+                    fields: vec![("rows".into(), "6".into())],
+                },
+                WireSpan {
+                    id: 1,
+                    parent: 0,
+                    name: "server.command".into(),
+                    duration_ns: 9_000,
+                    fields: vec![],
+                },
+            ],
+            inner,
+        });
+        round_trip(Message::TracedReply {
+            spans: vec![],
+            inner: Message::Pong.encode(),
+        });
+    }
+
+    #[test]
+    fn traced_envelope_rejects_zero_trace_and_hostile_span_counts() {
+        // Trace id 0 means "untraced" client-side and must never appear
+        // on the wire.
+        let mut zero = Vec::new();
+        zero.push(8u8);
+        write_u64(&mut zero, 0);
+        put_bytes(&mut zero, &Message::Ping.encode());
+        let err = Message::decode(&zero).unwrap_err();
+        assert!(err.to_string().contains("without a trace id"), "{err}");
+
+        // A tiny reply declaring 2^40 spans must fail on the count.
+        let mut huge = Vec::new();
+        huge.push(73u8);
+        write_u64(&mut huge, 1 << 40);
+        let err = Message::decode(&huge).unwrap_err();
+        assert!(err.to_string().contains("implausible span count"), "{err}");
+
+        // Same for a span declaring an implausible field count.
+        let mut fields = Vec::new();
+        fields.push(73u8);
+        write_u64(&mut fields, 1);
+        write_u64(&mut fields, 1); // id
+        write_u64(&mut fields, 0); // parent
+        put_str(&mut fields, "s");
+        write_u64(&mut fields, 5); // duration
+        write_u64(&mut fields, 1 << 40); // field count
+        let err = Message::decode(&fields).unwrap_err();
+        assert!(
+            err.to_string().contains("implausible span field count"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -260,7 +260,73 @@ fn cmd_latency(msg: &Message) -> &'static obs::metrics::Histogram {
         Message::GetFunction { .. } => obs::histogram!("wire.server.latency.get_function"),
         Message::ExtractInputs { .. } => obs::histogram!("wire.server.latency.extract_inputs"),
         Message::ExtractDelta { .. } => obs::histogram!("wire.server.latency.extract_delta"),
+        Message::Traced { .. } => obs::histogram!("wire.server.latency.traced"),
         _ => obs::histogram!("wire.server.latency.other"),
+    }
+}
+
+/// Short command name for span fields (same closed set as [`cmd_latency`]).
+fn cmd_name(msg: &Message) -> &'static str {
+    match msg {
+        Message::Login { .. } => "login",
+        Message::Ping => "ping",
+        Message::Query { .. } => "query",
+        Message::ListFunctions => "list_functions",
+        Message::GetFunction { .. } => "get_function",
+        Message::ExtractInputs { .. } => "extract_inputs",
+        Message::ExtractDelta { .. } => "extract_delta",
+        _ => "other",
+    }
+}
+
+/// The server's half of a trace id: the client's id with the top bit set,
+/// so an in-process client and server never share one capture buffer (and
+/// the span-id remap the client applies on merge can never collide).
+const SERVER_TRACE_BIT: u64 = 1 << 63;
+
+/// Handle a [`Message::Traced`] envelope (DESIGN §15): decode the inner
+/// request, capture every span the engine closes while dispatching it
+/// under a `server.command` root, and ship the encoded inner reply plus
+/// the captured spans back in a [`Message::TracedReply`]. On a server
+/// built without telemetry the span list is simply empty — the inner
+/// dispatch is unaffected either way.
+fn traced_reply(
+    engine: &Engine,
+    config: &ServerConfig,
+    sessions: &mut HashMap<u64, SessionState>,
+    session: u64,
+    trace: u64,
+    inner: &[u8],
+) -> Message {
+    let msg = match Message::decode(inner) {
+        Ok(Message::Traced { .. }) => return err_msg("ProtocolError", "nested traced envelope"),
+        Ok(m) => m,
+        Err(e) => return err_msg("ProtocolError", e.to_string()),
+    };
+    let side = trace | SERVER_TRACE_BIT;
+    obs::trace::start_capture(side);
+    let reply = {
+        let _ctx = obs::trace::enter_context(obs::trace::SpanContext {
+            trace: side,
+            parent: 0,
+        });
+        let mut span = obs::trace::span_active("server.command");
+        span.field("command", cmd_name(&msg));
+        dispatch_frame(engine, config, sessions, session, msg)
+    };
+    let spans = obs::trace::take_capture(side)
+        .into_iter()
+        .map(|r| crate::message::WireSpan {
+            id: r.id,
+            parent: r.parent,
+            name: r.name,
+            duration_ns: r.duration_ns,
+            fields: r.fields,
+        })
+        .collect();
+    Message::TracedReply {
+        spans,
+        inner: reply.encode(),
     }
 }
 
@@ -331,6 +397,9 @@ fn dispatch_frame(
     session: u64,
     msg: Message,
 ) -> Message {
+    if let Message::Traced { trace, inner } = msg {
+        return traced_reply(engine, config, sessions, session, trace, &inner);
+    }
     if let Message::Login {
         user,
         password,
