@@ -1,0 +1,149 @@
+//! C17 — server concurrency sweep (DESIGN §16).
+//!
+//! Drives the read/write-split server over **real TCP** with 1→256
+//! concurrent sessions, each running small read queries against the
+//! `numbers` table. One iteration = every session completes
+//! [`QUERIES_PER_BURST`] round trips, so per-query cost is
+//! `ns_per_iter / (sessions × QUERIES_PER_BURST)` and the
+//! `throughput.per_sec` field reads directly as queries/second at that
+//! concurrency level.
+//!
+//! A second sweep repeats the 1/16-session points through the
+//! fault-injecting transport (1 % seeded drop/corrupt rate + retry
+//! policy), pinning down what the robustness layer costs under
+//! concurrency.
+//!
+//! After the sweep the suite drains the server-side obs histograms and
+//! appends their p50/p99 to the artifact under a `"histograms"` key —
+//! per-command dispatch latency (`wire.server.latency.query`) and queue
+//! wait (`wire.server.queue_wait_ns`) as observed by the scheduler
+//! itself, complementing the client-side wall-clock numbers.
+//!
+//! Writes `BENCH_server_concurrency.json` (schema in EXPERIMENTS.md C17).
+
+use std::net::SocketAddr;
+
+use devharness::bench::{BenchmarkId, Harness, Throughput};
+use devudf_bench::SessionFleet;
+use wireproto::{ClientOptions, FaultPolicy, RetryPolicy, Server, ServerConfig};
+
+/// Round trips each session completes per measured burst.
+const QUERIES_PER_BURST: usize = 4;
+
+/// The read every session hammers: touches real column data, small
+/// enough that scheduling (not aggregation) dominates.
+const QUERY: &str = "SELECT sum(i) FROM numbers";
+
+fn concurrency_server() -> (Server, SocketAddr) {
+    let server = Server::start(
+        // Queues sized above the largest sweep point so the clean sweep
+        // measures scheduling, never `ServerBusy` refusals.
+        ServerConfig::new("demo", "monetdb", "monetdb").with_queue_capacity(1024, 1024),
+        |db| {
+            db.execute("CREATE TABLE numbers (i INTEGER)").unwrap();
+            for chunk in 0..10 {
+                let rows: Vec<String> =
+                    (0..100).map(|i| format!("({})", chunk * 100 + i)).collect();
+                db.execute(&format!("INSERT INTO numbers VALUES {}", rows.join(", ")))
+                    .unwrap();
+            }
+        },
+    );
+    let addr = server.listen_tcp().unwrap();
+    (server, addr)
+}
+
+fn fleet(addr: SocketAddr, sessions: usize, options: ClientOptions) -> SessionFleet {
+    SessionFleet::connect(addr, sessions, QUERIES_PER_BURST, QUERY, options)
+}
+
+fn sweep(h: &mut Harness, addr: SocketAddr) {
+    let mut group = h.benchmark_group("tcp_select");
+    for sessions in [1usize, 4, 16, 64, 256] {
+        group.throughput(Throughput::Elements((sessions * QUERIES_PER_BURST) as u64));
+        let fleet = fleet(addr, sessions, ClientOptions::default());
+        fleet.burst(); // warm every connection and the snapshot cache
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions.to_string()),
+            &sessions,
+            |b, _| b.iter(|| fleet.burst()),
+        );
+        fleet.join();
+    }
+    group.finish();
+}
+
+fn sweep_lossy(h: &mut Harness, addr: SocketAddr) {
+    let mut group = h.benchmark_group("tcp_select_lossy1pct");
+    for sessions in [1usize, 16] {
+        group.throughput(Throughput::Elements((sessions * QUERIES_PER_BURST) as u64));
+        let options = ClientOptions {
+            retry: RetryPolicy {
+                max_attempts: 8,
+                initial_backoff: std::time::Duration::ZERO,
+                max_backoff: std::time::Duration::ZERO,
+                deadline: None,
+            },
+            fault: Some(FaultPolicy::lossy(0xc17 + sessions as u64, 0.01)),
+            ..ClientOptions::default()
+        };
+        let fleet = fleet(addr, sessions, options);
+        fleet.burst();
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions.to_string()),
+            &sessions,
+            |b, _| b.iter(|| fleet.burst()),
+        );
+        fleet.join();
+    }
+    group.finish();
+}
+
+/// Append server-side histogram quantiles to the artifact: what the
+/// scheduler itself observed while the sweep ran.
+fn append_histograms(path: &std::path::Path) {
+    use codecs::json::Value;
+    let quantiles = |name: &str| {
+        let hist = obs::metrics::registry().histogram(name);
+        Value::Object(vec![
+            ("count".to_string(), Value::from(hist.count())),
+            ("p50_ns".to_string(), Value::from(hist.quantile(0.50))),
+            ("p99_ns".to_string(), Value::from(hist.quantile(0.99))),
+        ])
+    };
+    let histograms = Value::Object(vec![
+        (
+            "wire.server.latency.query".to_string(),
+            quantiles("wire.server.latency.query"),
+        ),
+        (
+            "wire.server.queue_wait_ns".to_string(),
+            quantiles("wire.server.queue_wait_ns"),
+        ),
+    ]);
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    let Ok(Value::Object(mut pairs)) = codecs::json::parse(&text) else {
+        return;
+    };
+    pairs.push(("histograms".to_string(), histograms));
+    let doc = Value::Object(pairs);
+    if std::fs::write(path, doc.to_string_pretty()).is_ok() {
+        println!(
+            "appended server-side histogram quantiles to {}",
+            path.display()
+        );
+    }
+}
+
+fn main() {
+    let (server, addr) = concurrency_server();
+    let mut h = Harness::new("server_concurrency");
+    sweep(&mut h, addr);
+    sweep_lossy(&mut h, addr);
+    let path = h.finish();
+    append_histograms(&path);
+    server.shutdown();
+}

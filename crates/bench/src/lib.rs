@@ -13,7 +13,7 @@
 //!   artifact at the workspace root (see EXPERIMENTS.md for the schema).
 
 use monetlite::Engine;
-use wireproto::{Server, ServerConfig};
+use wireproto::{Client, Server, ServerConfig};
 
 /// Table 1 of the paper: "Most Popular Development Environments" — PYPL
 /// Top-IDE-index survey data as cited (reference \[2\], Pierre Carbonnelle,
@@ -162,6 +162,81 @@ pub fn bench_session(server: &Server, tag: &str) -> devudf::DevUdf {
     // its own suite, benches/transfer_cache.rs.
     settings.transfer.cache.enabled = false;
     devudf::DevUdf::connect_in_proc(server, settings, &dir).unwrap()
+}
+
+/// A fleet of persistent TCP sessions, each on its own thread, fired in
+/// bursts: [`SessionFleet::burst`] releases every session for one round
+/// of queries and returns when all have finished. Connections persist
+/// across bursts so measurements capture steady-state scheduling, not
+/// handshakes. Shared by the C17 concurrency sweep
+/// (`benches/server_concurrency.rs`) and its `bench_guard` gate.
+pub struct SessionFleet {
+    go: Vec<std::sync::mpsc::Sender<()>>,
+    done: std::sync::mpsc::Receiver<Result<(), String>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SessionFleet {
+    /// Connect `sessions` TCP clients to `addr`, each running `queries`
+    /// repetitions of `query` per burst.
+    pub fn connect(
+        addr: std::net::SocketAddr,
+        sessions: usize,
+        queries: usize,
+        query: &'static str,
+        options: wireproto::ClientOptions,
+    ) -> SessionFleet {
+        let (done_tx, done) = std::sync::mpsc::channel();
+        let mut go = Vec::with_capacity(sessions);
+        let handles = (0..sessions)
+            .map(|_| {
+                let (tx, rx) = std::sync::mpsc::channel::<()>();
+                go.push(tx);
+                let done_tx = done_tx.clone();
+                std::thread::spawn(move || {
+                    let mut client =
+                        match Client::connect_tcp_with(addr, "monetdb", "monetdb", "demo", options)
+                        {
+                            Ok(c) => c,
+                            Err(e) => {
+                                let _ = done_tx.send(Err(format!("connect: {e}")));
+                                return;
+                            }
+                        };
+                    while rx.recv().is_ok() {
+                        let mut outcome = Ok(());
+                        for _ in 0..queries {
+                            if let Err(e) = client.query(query) {
+                                outcome = Err(e.to_string());
+                                break;
+                            }
+                        }
+                        let _ = done_tx.send(outcome);
+                    }
+                })
+            })
+            .collect();
+        SessionFleet { go, done, handles }
+    }
+
+    /// Release every session for one round of queries; returns when all
+    /// have completed. Panics on any session error.
+    pub fn burst(&self) {
+        for tx in &self.go {
+            tx.send(()).unwrap();
+        }
+        for _ in 0..self.go.len() {
+            self.done.recv().unwrap().unwrap();
+        }
+    }
+
+    /// Disconnect the fleet and join its threads.
+    pub fn join(self) {
+        drop(self.go);
+        for h in self.handles {
+            h.join().unwrap();
+        }
+    }
 }
 
 #[cfg(test)]

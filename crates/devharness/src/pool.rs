@@ -307,6 +307,150 @@ impl<'pool, 'scope> Scope<'pool, 'scope> {
     }
 }
 
+/// Returned by [`Service::try_submit`] when the bounded queue is at
+/// capacity: the caller sheds load instead of queueing unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("service queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+struct ServiceState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct ServiceShared {
+    queue: Mutex<ServiceState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// A bounded worker service for long-lived, `'static` jobs — the scheduler
+/// behind the wire server's concurrent sessions.
+///
+/// Where [`Pool`] is scoped (callers block until their batch joins, so an
+/// unbounded injector is fine — the caller itself is the bound), a
+/// `Service` accepts fire-and-forget jobs from many producers that must
+/// *never* block and *never* queue unboundedly: [`Service::try_submit`]
+/// refuses work with [`QueueFull`] once `capacity` jobs are waiting, which
+/// the server surfaces to clients as a typed retryable error
+/// (backpressure instead of memory growth).
+///
+/// Jobs are popped FIFO by a fixed set of workers; drop drains the queue
+/// and joins the workers. The live queue depth is exported as the
+/// `<name>.queue_depth` gauge.
+pub struct Service {
+    shared: Arc<ServiceShared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    name: &'static str,
+}
+
+impl Service {
+    /// Spawn `threads` workers (clamped to at least 1) consuming a queue
+    /// bounded at `capacity` pending jobs (clamped to at least 1).
+    pub fn new(name: &'static str, threads: usize, capacity: usize) -> Service {
+        let threads = threads.max(1);
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(ServiceState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut state = shared.queue.lock().expect("service queue poisoned");
+                            loop {
+                                if let Some(job) = state.jobs.pop_front() {
+                                    break job;
+                                }
+                                if state.shutdown {
+                                    return;
+                                }
+                                state = shared
+                                    .available
+                                    .wait(state)
+                                    .expect("service queue poisoned");
+                            }
+                        };
+                        // A panicking job must not take its worker down with
+                        // it — the service would silently lose capacity.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers,
+            threads,
+            name,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Jobs currently waiting (excludes jobs already running on workers).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Submit a job, or refuse with [`QueueFull`] when `capacity` jobs are
+    /// already waiting. Never blocks.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), QueueFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let depth = {
+            let mut state = self.shared.queue.lock().expect("service queue poisoned");
+            if state.shutdown || state.jobs.len() >= self.shared.capacity {
+                return Err(QueueFull);
+            }
+            state.jobs.push_back(Box::new(job));
+            state.jobs.len()
+        };
+        obs::metrics::registry()
+            .gauge(&format!("{}.queue_depth", self.name))
+            .set(depth as i64);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.lock().expect("service queue poisoned");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 /// Worker count for the process-global pool: `DEVUDF_POOL_THREADS` when
 /// set to a positive integer, else `available_parallelism` capped at 8.
 pub fn default_threads() -> usize {
@@ -503,6 +647,75 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(pool.map(empty, |_, x| x).is_empty());
         assert_eq!(pool.map(vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn service_runs_submitted_jobs() {
+        let svc = Service::new("test-svc", 2, 16);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let counter = counter.clone();
+            svc.try_submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        drop(svc); // drains the queue and joins the workers
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn service_refuses_work_beyond_capacity() {
+        let svc = Service::new("test-svc-full", 1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Block the lone worker so subsequent jobs stay queued.
+        {
+            let gate = gate.clone();
+            svc.try_submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+        }
+        // Wait until the worker picked up the blocking job.
+        while svc.queued() > 0 {
+            std::thread::yield_now();
+        }
+        svc.try_submit(|| {}).unwrap();
+        svc.try_submit(|| {}).unwrap();
+        assert_eq!(svc.try_submit(|| {}), Err(QueueFull));
+        assert_eq!(svc.queued(), 2);
+        // Release the worker; the queue drains and capacity frees up.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        while svc.queued() > 0 {
+            std::thread::yield_now();
+        }
+        svc.try_submit(|| {}).unwrap();
+    }
+
+    #[test]
+    fn service_survives_panicking_jobs() {
+        let svc = Service::new("test-svc-panic", 1, 8);
+        let done = Arc::new(AtomicU64::new(0));
+        svc.try_submit(|| panic!("job boom")).unwrap();
+        let d = done.clone();
+        svc.try_submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        drop(svc);
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            1,
+            "worker must outlive a panic"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!                                  table, optionally filtered to names
 //!                                  starting with PREFIX, as a table or
 //!                                  JSON rows
+//! devudf sessions DIR [--json]     show the server's live sys.sessions
+//!                                  table (one row per wire session:
+//!                                  state, commands served, queue wait)
 //! devudf trace   DIR [SQL]         run SQL (default: the settings' debug
 //!                                  query) with end-to-end tracing and
 //!                                  print the stitched client→wire→engine
@@ -158,6 +161,20 @@ fn main() {
             }
             Ok(())
         }),
+        Some("sessions") => cmd_project(&args, interp, |dev, rest| {
+            let json = rest.iter().any(|a| a == "--json");
+            let table = dev
+                .server_query("SELECT * FROM sys.sessions")
+                .map_err(|e| e.to_string())?
+                .into_table()
+                .map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", render_json(&table));
+            } else {
+                println!("{}", table.render_ascii());
+            }
+            Ok(())
+        }),
         Some("trace") => cmd_project(&args, interp, |dev, rest| {
             let sql = match rest.first() {
                 Some(s) => s.clone(),
@@ -230,7 +247,7 @@ fn main() {
         Some("diff") => cmd_diff(&args),
         _ => {
             eprintln!(
-                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics|trace|profile|cache> …\n(see the module docs for details)"
+                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics|sessions|trace|profile|cache> …\n(see the module docs for details)"
             );
             2
         }

@@ -6,12 +6,56 @@
 //! paper's Listing 1 shows.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
 
 use crate::error::DbError;
 use crate::table::Table;
 #[cfg(test)]
 use crate::types::SqlValue;
 use crate::types::{Column, ColumnData, SqlType};
+
+/// One live wire session, as reported by the hosting server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRow {
+    pub id: u64,
+    pub peer: String,
+    pub state: String,
+    pub commands: u64,
+    pub queue_wait_ns: u64,
+}
+
+/// Source of live rows for the `sys.sessions` view. Implemented by the wire
+/// server's session registry; direct `Engine` embedders have none and see an
+/// empty view.
+pub trait SessionProvider: Send + Sync {
+    fn sessions(&self) -> Vec<SessionRow>;
+}
+
+/// Cloneable handle around a shared [`SessionProvider`]. The catalog derives
+/// `Debug` and `Clone`, which a bare trait object cannot, hence the newtype.
+#[derive(Clone, Default)]
+pub struct SessionSource(Option<Arc<dyn SessionProvider>>);
+
+impl SessionSource {
+    pub fn new(provider: Arc<dyn SessionProvider>) -> Self {
+        SessionSource(Some(provider))
+    }
+
+    fn rows(&self) -> Vec<SessionRow> {
+        self.0.as_ref().map(|p| p.sessions()).unwrap_or_default()
+    }
+}
+
+impl fmt::Debug for SessionSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "SessionSource(server)"
+        } else {
+            "SessionSource(none)"
+        })
+    }
+}
 
 /// What a stored function returns.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +79,11 @@ pub struct FunctionDef {
 }
 
 /// The database catalog.
-#[derive(Debug, Default)]
+///
+/// `Clone` is cheap by construction: tables share their column storage via
+/// `Arc` (see [`Table`]), so cloning the whole catalog — the basis of engine
+/// snapshots — copies only the maps and counters, never the data.
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
     functions: BTreeMap<String, FunctionDef>,
@@ -47,6 +95,8 @@ pub struct Catalog {
     functions_epoch: u64,
     /// Global mutation counter; every DML or DDL statement bumps it.
     mutations: u64,
+    /// Live-session source backing `sys.sessions` (set by the wire server).
+    sessions: SessionSource,
 }
 
 impl Catalog {
@@ -56,6 +106,18 @@ impl Catalog {
 
     fn key(name: &str) -> String {
         name.to_ascii_lowercase()
+    }
+
+    /// The global mutation counter: strictly increases on every DML or DDL
+    /// statement, so equal versions imply an identical catalog. This is the
+    /// epoch stamped onto engine snapshots.
+    pub fn version(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Install the live-session source backing `sys.sessions`.
+    pub fn set_session_source(&mut self, source: SessionSource) {
+        self.sessions = source;
     }
 
     /// Advance the global mutation counter and stamp `key` with it.
@@ -117,6 +179,9 @@ impl Catalog {
             "sys.profile" | "profile" if !self.tables.contains_key("profile") => {
                 Ok(Self::sys_profile())
             }
+            "sys.sessions" | "sessions" if !self.tables.contains_key("sessions") => {
+                Ok(self.sys_sessions())
+            }
             key => self
                 .tables
                 .get(key)
@@ -141,6 +206,7 @@ impl Catalog {
             "sys.metrics" | "metrics" if !self.tables.contains_key("metrics") => None,
             "sys.tables" | "tables" if !self.tables.contains_key("tables") => None,
             "sys.profile" | "profile" if !self.tables.contains_key("profile") => None,
+            "sys.sessions" | "sessions" if !self.tables.contains_key("sessions") => None,
             key => self.epochs.get(key).copied(),
         }
     }
@@ -358,6 +424,38 @@ impl Catalog {
         )
         .expect("sys.tables columns are same length")
     }
+
+    /// The `sys.sessions` meta table: one row per live wire session,
+    /// (id, peer, state, commands, queue_wait_ns), sorted by id. Empty when
+    /// no server is hosting this catalog. Volatile: no epoch, never
+    /// delta-cached.
+    pub fn sys_sessions(&self) -> Table {
+        let mut rows = self.sessions.rows();
+        rows.sort_by_key(|r| r.id);
+        let mut ids = Vec::new();
+        let mut peers = Vec::new();
+        let mut states = Vec::new();
+        let mut commands = Vec::new();
+        let mut waits = Vec::new();
+        for r in rows {
+            ids.push(i64::try_from(r.id).unwrap_or(i64::MAX));
+            peers.push(r.peer);
+            states.push(r.state);
+            commands.push(i64::try_from(r.commands).unwrap_or(i64::MAX));
+            waits.push(i64::try_from(r.queue_wait_ns).unwrap_or(i64::MAX));
+        }
+        Table::from_columns(
+            "sys.sessions",
+            vec![
+                Column::new("id", ColumnData::Int(ids)),
+                Column::new("peer", ColumnData::Str(peers)),
+                Column::new("state", ColumnData::Str(states)),
+                Column::new("commands", ColumnData::Int(commands)),
+                Column::new("queue_wait_ns", ColumnData::Int(waits)),
+            ],
+        )
+        .expect("sys.sessions columns are same length")
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +603,80 @@ mod tests {
         assert_eq!(c.table_epoch("sys.metrics"), None);
         assert_eq!(c.table_epoch("sys.tables"), None);
         assert_eq!(c.table_epoch("sys.profile"), None);
+        assert_eq!(c.table_epoch("sys.sessions"), None);
+    }
+
+    #[test]
+    fn sys_sessions_reflects_the_installed_provider() {
+        struct Fake;
+        impl SessionProvider for Fake {
+            fn sessions(&self) -> Vec<SessionRow> {
+                vec![
+                    SessionRow {
+                        id: 2,
+                        peer: "10.0.0.2:9".into(),
+                        state: "idle".into(),
+                        commands: 7,
+                        queue_wait_ns: 120,
+                    },
+                    SessionRow {
+                        id: 1,
+                        peer: "in-proc".into(),
+                        state: "running".into(),
+                        commands: 3,
+                        queue_wait_ns: 0,
+                    },
+                ]
+            }
+        }
+        let mut c = Catalog::new();
+        // Without a provider the view exists but is empty.
+        assert_eq!(c.table("sys.sessions").unwrap().row_count(), 0);
+        c.set_session_source(SessionSource::new(Arc::new(Fake)));
+        let t = c.table("sys.sessions").unwrap();
+        assert_eq!(
+            t.columns
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["id", "peer", "state", "commands", "queue_wait_ns"]
+        );
+        assert_eq!(t.row_count(), 2);
+        // Rows come out sorted by session id.
+        assert_eq!(t.column_by_name("id").unwrap().get(0), SqlValue::Int(1));
+        assert_eq!(
+            t.column_by_name("peer").unwrap().get(1),
+            SqlValue::Str("10.0.0.2:9".into())
+        );
+        assert_eq!(
+            t.column_by_name("commands").unwrap().get(1),
+            SqlValue::Int(7)
+        );
+    }
+
+    #[test]
+    fn clone_shares_table_storage_and_version() {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(
+            "numbers",
+            &[("i".to_string(), SqlType::Integer)],
+        ))
+        .unwrap();
+        let snap = c.clone();
+        assert_eq!(snap.version(), c.version());
+        // The clone shares column storage (Arc), not a deep copy.
+        assert!(Arc::ptr_eq(
+            &c.table("numbers").unwrap().columns,
+            &snap.table("numbers").unwrap().columns
+        ));
+        // Mutating the original copies-on-write; the snapshot is unaffected.
+        c.table_mut("numbers")
+            .unwrap()
+            .push_row(&[SqlValue::Int(1)])
+            .unwrap();
+        assert!(c.version() > snap.version());
+        assert_eq!(c.table("numbers").unwrap().row_count(), 1);
+        assert_eq!(snap.table("numbers").unwrap().row_count(), 0);
     }
 
     #[test]

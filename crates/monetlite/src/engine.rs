@@ -162,6 +162,52 @@ impl Engine {
         }
     }
 
+    /// Capture an epoch-stamped, `Send + Sync` snapshot of the catalog and
+    /// engine settings for concurrent readers (see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> crate::snapshot::EngineSnapshot {
+        let inner = self.inner.borrow();
+        crate::snapshot::EngineSnapshot {
+            epoch: inner.catalog.version(),
+            catalog: inner.catalog.clone(),
+            model: inner.model,
+            exec_mode: inner.exec_mode,
+            rng_seed: inner.rng_seed,
+            udf_step_budget: inner.udf_step_budget,
+            inline: inner.inline,
+        }
+    }
+
+    /// Build a private engine over a snapshot's state (reader hydration).
+    pub fn from_snapshot(snap: &crate::snapshot::EngineSnapshot) -> Engine {
+        let engine = Engine::new();
+        {
+            let mut inner = engine.inner.borrow_mut();
+            inner.catalog = snap.catalog.clone();
+            inner.model = snap.model;
+            inner.exec_mode = snap.exec_mode;
+            inner.rng_seed = snap.rng_seed;
+            inner.udf_step_budget = snap.udf_step_budget;
+            inner.inline = snap.inline;
+        }
+        engine
+    }
+
+    /// The catalog's global mutation counter (the snapshot epoch).
+    pub fn catalog_version(&self) -> u64 {
+        self.inner.borrow().catalog.version()
+    }
+
+    /// Run `f` with a shared borrow of the live catalog (command
+    /// classification, the wire server's scheduler).
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.inner.borrow().catalog)
+    }
+
+    /// Install the live-session source backing `sys.sessions`.
+    pub fn set_session_source(&self, source: crate::catalog::SessionSource) {
+        self.inner.borrow_mut().catalog.set_session_source(source);
+    }
+
     /// Switch the UDF invocation model.
     pub fn set_model(&self, model: ExecutionModel) {
         self.inner.borrow_mut().model = model;
@@ -624,7 +670,7 @@ impl Engine {
             Some(p) => exec::eval::predicate_mask(self, &table, p)?,
         };
         // Evaluate each assignment columnar against the full table.
-        let mut new_columns = table.columns.clone();
+        let mut new_columns = (*table.columns).clone();
         for (col_name, expr) in assignments {
             let idx = table
                 .column_index(col_name)
@@ -648,7 +694,7 @@ impl Engine {
         let updated = mask.iter().filter(|m| **m).count();
         let mut inner = self.inner.borrow_mut();
         let slot = inner.catalog.table_mut(table_name)?;
-        slot.columns = new_columns;
+        slot.set_columns(new_columns);
         Ok(QueryResult::Affected {
             rows: updated,
             message: format!("{updated} row(s) updated"),
@@ -805,7 +851,7 @@ fn statement_kind(stmt: &Statement) -> &'static str {
 /// Collect every function-call name appearing in a statement (EXPLAIN uses
 /// this to look up stored UDFs; builtin/aggregate names are filtered out by
 /// the catalog lookup).
-fn collect_call_names(stmt: &Statement) -> Vec<String> {
+pub(crate) fn collect_call_names(stmt: &Statement) -> Vec<String> {
     use crate::sql::ast::{FromClause, SelectItem, SelectStmt, SqlExpr, TableFuncArg};
 
     fn from_expr(e: &SqlExpr, out: &mut Vec<String>) {

@@ -9,21 +9,13 @@ use crate::types::{Column, SqlValue};
 
 /// Qualify every column of `table` as `<alias>.<name>` unless it is already
 /// qualified (joined intermediates keep their qualifiers).
-pub fn qualify(table: Table, alias: &str) -> Table {
-    let columns = table
-        .columns
-        .into_iter()
-        .map(|mut c| {
-            if !c.name.contains('.') {
-                c.name = format!("{alias}.{}", c.name);
-            }
-            c
-        })
-        .collect();
-    Table {
-        name: table.name,
-        columns,
+pub fn qualify(mut table: Table, alias: &str) -> Table {
+    for c in table.columns_mut() {
+        if !c.name.contains('.') {
+            c.name = format!("{alias}.{}", c.name);
+        }
     }
+    table
 }
 
 /// Execute a join between two materialized sides.
@@ -127,11 +119,11 @@ fn nested_loop_join(
     // Evaluate the predicate once over the full cross product, columnar.
     let (n, m) = (left.row_count(), right.row_count());
     let mut cross_cols: Vec<Column> = Vec::with_capacity(left.columns.len() + right.columns.len());
-    for c in &left.columns {
+    for c in left.columns.iter() {
         let perm: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, m)).collect();
         cross_cols.push(c.permute(&perm));
     }
-    for c in &right.columns {
+    for c in right.columns.iter() {
         let perm: Vec<usize> = (0..n).flat_map(|_| 0..m).collect();
         cross_cols.push(c.permute(&perm));
     }
@@ -165,10 +157,10 @@ fn assemble(
     right_rows: &[Option<usize>],
 ) -> Result<Table, DbError> {
     let mut columns = Vec::with_capacity(left.columns.len() + right.columns.len());
-    for c in &left.columns {
+    for c in left.columns.iter() {
         columns.push(c.permute(left_rows));
     }
-    for c in &right.columns {
+    for c in right.columns.iter() {
         let mut out = Column::empty(c.name.clone(), c.sql_type());
         for r in right_rows {
             match r {

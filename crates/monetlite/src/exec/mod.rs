@@ -227,7 +227,7 @@ fn project(
             SelectItem::Star => {
                 let table =
                     source.ok_or_else(|| DbError::exec("SELECT * requires a FROM clause"))?;
-                for c in &table.columns {
+                for c in table.columns.iter() {
                     pieces.push((c.name.clone(), Evaluated::Column(c.clone())));
                 }
             }
@@ -435,7 +435,7 @@ pub fn run_table_function(
         match arg {
             TableFuncArg::Query(sub) => {
                 let t = run_select(engine, sub)?;
-                for c in t.columns {
+                for c in t.into_columns() {
                     inputs.push(UdfInput::Column(c));
                 }
             }

@@ -36,17 +36,23 @@
 //! ```
 
 pub mod catalog;
+pub mod classify;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod inline;
+pub mod snapshot;
 pub mod sql;
 pub mod table;
 pub mod types;
 pub mod udf;
 
-pub use catalog::{Catalog, FunctionDef, FunctionReturn};
+pub use catalog::{
+    Catalog, FunctionDef, FunctionReturn, SessionProvider, SessionRow, SessionSource,
+};
+pub use classify::{classify_extract, classify_sql, classify_statement, CommandClass};
 pub use engine::{Engine, ExecutionModel, QueryResult};
 pub use error::{DbError, ErrorCode};
+pub use snapshot::EngineSnapshot;
 pub use table::Table;
 pub use types::{Column, ColumnData, SqlType, SqlValue};

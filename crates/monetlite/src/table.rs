@@ -1,13 +1,20 @@
 //! Tables: named collections of equal-length columns.
 
+use std::sync::Arc;
+
 use crate::error::DbError;
 use crate::types::{Column, SqlType, SqlValue};
 
 /// A materialized table (also used for query results).
+///
+/// Column storage is behind an `Arc` so cloning a table — and therefore
+/// snapshotting a whole catalog — is O(1) per table, no data copy. Mutation
+/// goes through [`Table::columns_mut`], which copies the column vector only
+/// when a published snapshot still holds the previous version (copy-on-write).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Table {
     pub name: String,
-    pub columns: Vec<Column>,
+    pub columns: Arc<Vec<Column>>,
 }
 
 impl Table {
@@ -15,10 +22,12 @@ impl Table {
     pub fn new(name: impl Into<String>, schema: &[(String, SqlType)]) -> Table {
         Table {
             name: name.into(),
-            columns: schema
-                .iter()
-                .map(|(n, t)| Column::empty(n.clone(), *t))
-                .collect(),
+            columns: Arc::new(
+                schema
+                    .iter()
+                    .map(|(n, t)| Column::empty(n.clone(), *t))
+                    .collect(),
+            ),
         }
     }
 
@@ -37,8 +46,24 @@ impl Table {
         }
         Ok(Table {
             name: name.into(),
-            columns,
+            columns: Arc::new(columns),
         })
+    }
+
+    /// Mutable access to the column vector (copy-on-write: clones the storage
+    /// only if a snapshot still shares it).
+    pub fn columns_mut(&mut self) -> &mut Vec<Column> {
+        Arc::make_mut(&mut self.columns)
+    }
+
+    /// Take ownership of the column vector, cloning only if shared.
+    pub fn into_columns(self) -> Vec<Column> {
+        Arc::try_unwrap(self.columns).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Replace the column vector wholesale (bulk rewrites like UPDATE).
+    pub fn set_columns(&mut self, columns: Vec<Column>) {
+        self.columns = Arc::new(columns);
     }
 
     /// Number of rows (0 for a table with no columns).
@@ -79,7 +104,7 @@ impl Table {
                 self.columns.len()
             )));
         }
-        for (col, v) in self.columns.iter_mut().zip(row) {
+        for (col, v) in self.columns_mut().iter_mut().zip(row) {
             col.push(v)?;
         }
         Ok(())
@@ -99,7 +124,7 @@ impl Table {
     pub fn filter(&self, mask: &[bool]) -> Table {
         Table {
             name: self.name.clone(),
-            columns: self.columns.iter().map(|c| c.filter(mask)).collect(),
+            columns: Arc::new(self.columns.iter().map(|c| c.filter(mask)).collect()),
         }
     }
 
@@ -107,7 +132,7 @@ impl Table {
     pub fn permute(&self, perm: &[usize]) -> Table {
         Table {
             name: self.name.clone(),
-            columns: self.columns.iter().map(|c| c.permute(perm)).collect(),
+            columns: Arc::new(self.columns.iter().map(|c| c.permute(perm)).collect()),
         }
     }
 
@@ -115,7 +140,7 @@ impl Table {
     pub fn take(&self, n: usize) -> Table {
         Table {
             name: self.name.clone(),
-            columns: self.columns.iter().map(|c| c.take(n)).collect(),
+            columns: Arc::new(self.columns.iter().map(|c| c.take(n)).collect()),
         }
     }
 

@@ -173,8 +173,8 @@ impl Client {
         database: &str,
         options: ClientOptions,
     ) -> Result<Client, WireError> {
-        let (sender, session) = server.in_proc_connection();
-        let transport = InProcTransport { sender, session };
+        let (core, session) = server.in_proc_connection();
+        let transport = InProcTransport { core, session };
         Self::login(Box::new(transport), user, password, database, options)
     }
 
@@ -282,6 +282,11 @@ impl Client {
             traceback,
         } = decoded
         {
+            // Backpressure gets its own typed error: it is retryable even
+            // for writes (the server refused before executing anything).
+            if code == "ServerBusy" {
+                return Err(WireError::Busy(message));
+            }
             return Err(WireError::Server {
                 code,
                 message,
@@ -316,7 +321,10 @@ impl Client {
             if !self.retry.enabled() || !err.is_transient() {
                 return Err(err);
             }
-            if !idempotent {
+            // `Busy` means the server's bounded queue refused the command
+            // before execution started, so replaying can never double-run
+            // it — the no-replay rule for non-idempotent ops exempts it.
+            if !idempotent && !matches!(err, WireError::Busy(_)) {
                 return Err(WireError::RetriesExhausted {
                     attempts: 1,
                     last: Box::new(err),
@@ -339,6 +347,11 @@ impl Client {
             }
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
+            }
+            // A busy server refused a well-formed request on a healthy
+            // connection: back off and resend, no reconnect ceremony.
+            if matches!(err, WireError::Busy(_)) {
+                continue;
             }
             // Reconnect + reauth; failures here surface on the next
             // attempt (the op fails again and consumes the budget).
@@ -783,8 +796,8 @@ mod tests {
     #[test]
     fn unauthenticated_session_rejected() {
         let server = demo_server();
-        let (sender, session) = server.in_proc_connection();
-        let mut transport = InProcTransport { sender, session };
+        let (core, session) = server.in_proc_connection();
+        let mut transport = InProcTransport { core, session };
         let reply = transport
             .round_trip(
                 &Message::Query {
@@ -1042,10 +1055,10 @@ mod tests {
     #[test]
     fn delta_client_falls_back_against_an_old_server() {
         let server = demo_server();
-        let (sender, session) = server.in_proc_connection();
+        let (core, session) = server.in_proc_connection();
         let delta_frames = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let transport = OldServerTransport {
-            inner: InProcTransport { sender, session },
+            inner: InProcTransport { core, session },
             delta_frames: delta_frames.clone(),
         };
         let options = ClientOptions {
@@ -1069,6 +1082,86 @@ mod tests {
             .unwrap();
         assert_eq!(delta_frames.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert!(a.py_eq(&b));
+        server.shutdown();
+    }
+
+    /// Refuses frames with `ServerBusy` while the shared counter is
+    /// positive, then passes everything through to the real server —
+    /// deterministic backpressure without racing real queues.
+    struct BusyServerTransport {
+        inner: InProcTransport,
+        refusals: std::sync::Arc<std::sync::atomic::AtomicU32>,
+    }
+
+    impl crate::transport::ClientTransport for BusyServerTransport {
+        fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+            use std::sync::atomic::Ordering;
+            if self.refusals.load(Ordering::Relaxed) > 0 {
+                self.refusals.fetch_sub(1, Ordering::Relaxed);
+                return Ok(Message::Error {
+                    code: "ServerBusy".into(),
+                    message: "write queue is full; retry after backoff".into(),
+                    traceback: None,
+                }
+                .encode());
+            }
+            self.inner.round_trip(frame)
+        }
+    }
+
+    #[test]
+    fn busy_replies_retry_even_non_idempotent_commands() {
+        let server = demo_server();
+        let refusals = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let (core, session) = server.in_proc_connection();
+        let transport = BusyServerTransport {
+            inner: InProcTransport { core, session },
+            refusals: refusals.clone(),
+        };
+        let options = ClientOptions::with_retry(RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            deadline: Some(Duration::from_secs(5)),
+        });
+        let mut client =
+            Client::login(Box::new(transport), "monetdb", "monetdb", "demo", options).unwrap();
+        // An INSERT is not idempotent, but `ServerBusy` means the server
+        // refused the command before executing anything — the retry layer
+        // replays it instead of giving up after one attempt.
+        refusals.store(2, std::sync::atomic::Ordering::Relaxed);
+        client.query("INSERT INTO numbers VALUES (99)").unwrap();
+        assert_eq!(refusals.load(std::sync::atomic::Ordering::Relaxed), 0);
+        let t = client
+            .query("SELECT i FROM numbers WHERE i = 99")
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(t.rows.len(), 1, "the write executed exactly once");
+        server.shutdown();
+    }
+
+    #[test]
+    fn busy_surfaces_raw_when_retries_are_disabled() {
+        let server = demo_server();
+        let refusals = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let (core, session) = server.in_proc_connection();
+        let transport = BusyServerTransport {
+            inner: InProcTransport { core, session },
+            refusals: refusals.clone(),
+        };
+        let mut client = Client::login(
+            Box::new(transport),
+            "monetdb",
+            "monetdb",
+            "demo",
+            ClientOptions::default(),
+        )
+        .unwrap();
+        refusals.store(1, std::sync::atomic::Ordering::Relaxed);
+        let err = client.query("INSERT INTO numbers VALUES (99)").unwrap_err();
+        assert!(matches!(err, WireError::Busy(_)), "{err:?}");
+        assert!(err.is_transient());
         server.shutdown();
     }
 
@@ -1137,10 +1230,10 @@ mod tests {
         obs::set_enabled(true);
         obs::trace::clear_subscribers();
         let server = demo_server();
-        let (sender, session) = server.in_proc_connection();
+        let (core, session) = server.in_proc_connection();
         let traced_frames = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let transport = PreTraceServerTransport {
-            inner: InProcTransport { sender, session },
+            inner: InProcTransport { core, session },
             traced_frames: traced_frames.clone(),
         };
         let mut client = Client::login(
@@ -1188,10 +1281,10 @@ mod tests {
         obs::set_enabled(false);
         let server = demo_server();
         let recorded = |server: &Server| {
-            let (sender, session) = server.in_proc_connection();
+            let (core, session) = server.in_proc_connection();
             let frames = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
             let transport = RecordingTransport {
-                inner: InProcTransport { sender, session },
+                inner: InProcTransport { core, session },
                 frames: frames.clone(),
             };
             let client = Client::login(

@@ -18,6 +18,11 @@ pub enum WireError {
     Protocol(String),
     /// Authentication rejected.
     Auth(String),
+    /// The server's bounded command queue refused the request before any
+    /// execution happened (`ServerBusy` backpressure). Always safe to
+    /// retry after backoff — even for non-idempotent commands, because the
+    /// server never started the work.
+    Busy(String),
     /// The server reported a database error.
     Server {
         code: String,
@@ -42,6 +47,7 @@ impl std::fmt::Display for WireError {
             WireError::Io(m) => write!(f, "io error: {m}"),
             WireError::Protocol(m) => write!(f, "protocol error: {m}"),
             WireError::Auth(m) => write!(f, "authentication failed: {m}"),
+            WireError::Busy(m) => write!(f, "server busy: {m}"),
             WireError::Server { code, message, .. } => write!(f, "{code}: {message}"),
             WireError::RetriesExhausted {
                 attempts,
@@ -69,6 +75,9 @@ impl WireError {
         match self {
             WireError::Io(_) => true,
             WireError::Protocol(m) => m.contains("checksum mismatch"),
+            // Backpressure: the server refused before executing, so a
+            // delayed retry is always safe and plausibly succeeds.
+            WireError::Busy(_) => true,
             _ => false,
         }
     }

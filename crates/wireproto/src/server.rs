@@ -1,15 +1,44 @@
-//! The database server: owns a single-threaded engine, serializes sessions.
+//! The database server: a read/write-split scheduler over one logical engine.
+//!
+//! The engine itself is single-threaded by design (`Rc`/`RefCell`
+//! internals), but the server no longer serializes every command through
+//! it. Each decoded frame is classified ([`monetlite::classify`]):
+//!
+//! * **Writes** (DML, DDL, COPY, impure-UDF queries) go to the writer
+//!   thread, which owns the live engine — the only thread that ever
+//!   mutates it. After a mutating command it publishes a fresh
+//!   [`EngineSnapshot`] *before* replying, so a session always sees its
+//!   own writes on its next command.
+//! * **Reads** (SELECT / EXPLAIN / catalog and `sys.*` lookups /
+//!   extracts) run concurrently on a bounded [`Service`] of reader
+//!   workers. A read executes against the exact snapshot it was
+//!   classified on (one consistent epoch — never a torn mix), hydrated
+//!   into a worker-private engine that is cached per epoch.
+//! * **Pings and logins** are answered inline on the session's own
+//!   thread — they never queue, so a slow extract cannot starve them.
+//!
+//! Both queues are bounded: when one is full the server answers with a
+//! typed `ServerBusy` error (the client maps it to the retryable
+//! [`crate::WireError::Busy`]) instead of growing memory. Queue pressure
+//! is observable via the `wire.server.queue_full` counter and the
+//! `wire.server.queue_wait_ns` histogram; live sessions via the
+//! `sys.sessions` virtual table, backed by the sharded session registry
+//! here.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use std::sync::mpsc::{channel, Sender};
-
-use monetlite::{Engine, FunctionReturn};
+use devharness::pool::Service;
+use monetlite::snapshot::EngineSnapshot;
+use monetlite::{
+    classify_extract, classify_sql, CommandClass, Engine, FunctionReturn, SessionProvider,
+    SessionRow, SessionSource,
+};
 
 use crate::message::{Message, WireResult};
 use crate::transfer;
@@ -17,7 +46,7 @@ use crate::transport::{read_frame_with_mid_deadline, write_frame};
 
 /// Server configuration: database name and the single user's credentials
 /// (the paper's settings dialog collects exactly these, Figure 2), plus
-/// the per-session frame deadline.
+/// the per-session frame deadline and scheduler bounds.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     pub database: String,
@@ -28,10 +57,20 @@ pub struct ServerConfig {
     /// dropped — a stalled peer can hold a connection, never a thread
     /// forever. Waiting *between* frames is unbounded (idle is legal).
     pub frame_deadline: Duration,
+    /// Reader worker threads (0 = auto:
+    /// [`devharness::pool::default_threads`]).
+    pub read_workers: usize,
+    /// Read commands that may wait for a reader before `ServerBusy`.
+    pub read_queue: usize,
+    /// Write commands that may wait for the writer before `ServerBusy`.
+    pub write_queue: usize,
 }
 
 /// Default mid-frame deadline for TCP sessions.
 pub const DEFAULT_FRAME_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Default bound for each command queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 128;
 
 impl ServerConfig {
     pub fn new(database: &str, user: &str, password: &str) -> Self {
@@ -40,6 +79,9 @@ impl ServerConfig {
             user: user.to_string(),
             password: password.to_string(),
             frame_deadline: DEFAULT_FRAME_DEADLINE,
+            read_workers: 0,
+            read_queue: DEFAULT_QUEUE_CAPACITY,
+            write_queue: DEFAULT_QUEUE_CAPACITY,
         }
     }
 
@@ -48,61 +90,426 @@ impl ServerConfig {
         self.frame_deadline = deadline;
         self
     }
+
+    /// Override the reader worker count (0 = auto).
+    pub fn with_read_workers(mut self, workers: usize) -> Self {
+        self.read_workers = workers;
+        self
+    }
+
+    /// Override both queue bounds (saturation tests use tiny ones).
+    pub fn with_queue_capacity(mut self, read: usize, write: usize) -> Self {
+        self.read_queue = read.max(1);
+        self.write_queue = write.max(1);
+        self
+    }
 }
 
-/// A request delivered to the engine thread.
-pub enum ServerRequest {
+// ---------------- session registry ----------------
+
+/// Session states surfaced in `sys.sessions`.
+const STATE_IDLE: u8 = 0;
+const STATE_QUEUED: u8 = 1;
+const STATE_RUNNING: u8 = 2;
+
+fn state_name(state: u8) -> &'static str {
+    match state {
+        STATE_QUEUED => "queued",
+        STATE_RUNNING => "running",
+        _ => "idle",
+    }
+}
+
+/// One live session's shared, lock-free mutable state.
+pub(crate) struct SessionEntry {
+    id: u64,
+    peer: String,
+    authed: AtomicBool,
+    state: AtomicU8,
+    /// Commands completed (all routes: inline, read, write).
+    commands: AtomicU64,
+    /// Cumulative nanoseconds this session's commands waited in a queue.
+    queue_wait_ns: AtomicU64,
+}
+
+impl SessionEntry {
+    fn record_dequeue(&self, enqueued: Instant) {
+        let waited = enqueued.elapsed();
+        let ns = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+        self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.state.store(STATE_RUNNING, Ordering::Relaxed);
+        obs::histogram!("wire.server.queue_wait_ns").record(ns);
+    }
+
+    fn finish_command(&self) {
+        self.commands.fetch_add(1, Ordering::Relaxed);
+        self.state.store(STATE_IDLE, Ordering::Relaxed);
+    }
+}
+
+/// Sessions sharded over independently locked maps, so registration and
+/// lookup from many connection threads never funnel through one lock.
+const SESSION_SHARDS: usize = 8;
+
+pub(crate) struct SessionRegistry {
+    shards: [Mutex<HashMap<u64, Arc<SessionEntry>>>; SESSION_SHARDS],
+}
+
+impl SessionRegistry {
+    fn new() -> SessionRegistry {
+        SessionRegistry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<SessionEntry>>> {
+        &self.shards[(id as usize) % SESSION_SHARDS]
+    }
+
+    fn register(&self, id: u64, peer: String) -> Arc<SessionEntry> {
+        let entry = Arc::new(SessionEntry {
+            id,
+            peer,
+            authed: AtomicBool::new(false),
+            state: AtomicU8::new(STATE_IDLE),
+            commands: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+        });
+        self.shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .insert(id, entry.clone());
+        obs::counter!("wire.server.sessions").inc();
+        entry
+    }
+
+    fn remove(&self, id: u64) {
+        self.shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .remove(&id);
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        self.shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    fn live_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("session shard poisoned").len())
+            .sum()
+    }
+}
+
+impl SessionProvider for SessionRegistry {
+    fn sessions(&self) -> Vec<SessionRow> {
+        let mut rows = Vec::new();
+        for shard in &self.shards {
+            for entry in shard.lock().expect("session shard poisoned").values() {
+                rows.push(SessionRow {
+                    id: entry.id,
+                    peer: entry.peer.clone(),
+                    state: state_name(entry.state.load(Ordering::Relaxed)).to_string(),
+                    commands: entry.commands.load(Ordering::Relaxed),
+                    queue_wait_ns: entry.queue_wait_ns.load(Ordering::Relaxed),
+                });
+            }
+        }
+        rows
+    }
+}
+
+// ---------------- the scheduler core ----------------
+
+/// A command bound for the writer thread.
+enum WriteJob {
     Frame {
+        entry: Arc<SessionEntry>,
         session: u64,
-        body: Vec<u8>,
+        msg: Message,
         reply: Sender<Vec<u8>>,
+        enqueued: Instant,
     },
     Shutdown,
 }
 
+/// Where a frame executes.
+enum Route {
+    /// Answered on the calling thread, never queued (pings, logins,
+    /// protocol errors).
+    Inline(Message),
+    /// Concurrent execution against the snapshot it was classified on.
+    Read,
+    /// Serialized on the writer thread.
+    Write,
+}
+
+/// Shared state of a running server: everything a connection (TCP thread
+/// or in-process transport) needs to submit commands.
+pub struct ServerCore {
+    config: ServerConfig,
+    writer: SyncSender<WriteJob>,
+    /// Bounded reader scheduler; `None` once the server began shutdown.
+    readers: RwLock<Option<Service>>,
+    snapshot: RwLock<Arc<EngineSnapshot>>,
+    registry: Arc<SessionRegistry>,
+    next_session: AtomicU64,
+    stopping: AtomicBool,
+}
+
+thread_local! {
+    /// Reader workers cache their hydrated engine keyed by snapshot epoch,
+    /// so consecutive reads at one epoch pay hydration once per worker.
+    static READER_ENGINE: std::cell::RefCell<Option<(u64, Engine)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl ServerCore {
+    /// The latest published snapshot.
+    fn current_snapshot(&self) -> Arc<EngineSnapshot> {
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    fn publish(&self, snap: EngineSnapshot) {
+        obs::gauge!("wire.server.snapshot_epoch").set(snap.epoch as i64);
+        *self.snapshot.write().expect("snapshot lock poisoned") = Arc::new(snap);
+    }
+
+    /// Whether the server has begun shutdown (transports fail fast).
+    pub(crate) fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn remove_session(&self, session: u64) {
+        self.registry.remove(session);
+    }
+
+    /// Classify a decoded frame (pings and logins were already answered
+    /// inline and never reach this). Unknown or server-to-client messages
+    /// fall through to the read path, whose dispatcher produces the proper
+    /// auth/protocol error with full session semantics.
+    fn route(&self, msg: &Message, snap: &EngineSnapshot) -> Route {
+        match msg {
+            Message::Query { sql } => match classify_sql(sql, &snap.catalog) {
+                CommandClass::Read => Route::Read,
+                CommandClass::Write => Route::Write,
+            },
+            Message::ListFunctions | Message::GetFunction { .. } => Route::Read,
+            // Extraction intercepts the target UDF instead of executing it,
+            // so only *other* impure UDFs in the query force the writer.
+            Message::ExtractInputs { query, udf, .. }
+            | Message::ExtractDelta { query, udf, .. } => {
+                match classify_extract(query, udf, &snap.catalog) {
+                    CommandClass::Read => Route::Read,
+                    CommandClass::Write => Route::Write,
+                }
+            }
+            Message::Traced { inner, .. } => match Message::decode(inner) {
+                Err(e) => Route::Inline(err_msg("ProtocolError", e.to_string())),
+                Ok(Message::Traced { .. }) => {
+                    Route::Inline(err_msg("ProtocolError", "nested traced envelope"))
+                }
+                // Traced pings/logins ride the read path: the capture has
+                // an engine-equipped thread and stays off the writer.
+                Ok(Message::Ping) | Ok(Message::Login { .. }) => Route::Read,
+                Ok(inner_msg) => self.route(&inner_msg, snap),
+            },
+            _ => Route::Read,
+        }
+    }
+
+    /// Handle one raw frame for `session`, blocking until the reply is
+    /// ready. Safe to call from any thread; this is the single entry point
+    /// shared by TCP connection threads and the in-process transport.
+    pub fn handle_frame(self: &Arc<Self>, session: u64, body: &[u8]) -> Vec<u8> {
+        obs::counter!("wire.server.frames").inc();
+        let msg = match Message::decode(body) {
+            Ok(m) => m,
+            Err(e) => return err_msg("ProtocolError", e.to_string()).encode(),
+        };
+        let Some(entry) = self.registry.get(session) else {
+            return err_msg("AuthError", "unknown session").encode();
+        };
+
+        // Inline fast paths: answered on this thread, never queued, so
+        // queue pressure cannot starve liveness probes or logins.
+        match &msg {
+            Message::Ping => {
+                if !entry.authed.load(Ordering::Relaxed) {
+                    return err_msg("AuthError", "not logged in").encode();
+                }
+                entry.finish_command();
+                return Message::Pong.encode();
+            }
+            Message::Login { .. } => {
+                let reply = login_reply(&self.config, &entry, session, &msg);
+                entry.finish_command();
+                return reply.encode();
+            }
+            _ => {}
+        }
+
+        let snap = self.current_snapshot();
+        match self.route(&msg, &snap) {
+            Route::Inline(reply) => {
+                entry.finish_command();
+                reply.encode()
+            }
+            Route::Read => self.submit_read(entry, session, msg, snap),
+            Route::Write => self.submit_write(entry, session, msg),
+        }
+    }
+
+    fn submit_read(
+        self: &Arc<Self>,
+        entry: Arc<SessionEntry>,
+        session: u64,
+        msg: Message,
+        snap: Arc<EngineSnapshot>,
+    ) -> Vec<u8> {
+        let readers = self.readers.read().expect("readers lock poisoned");
+        let Some(service) = readers.as_ref() else {
+            return err_msg("ServerError", "server is shutting down").encode();
+        };
+        let (reply_tx, reply_rx) = channel();
+        let core = self.clone();
+        let job_entry = entry.clone();
+        let enqueued = Instant::now();
+        entry.state.store(STATE_QUEUED, Ordering::Relaxed);
+        let submitted = service.try_submit(move || {
+            job_entry.record_dequeue(enqueued);
+            let reply = READER_ENGINE.with(|cache| {
+                let mut cache = cache.borrow_mut();
+                let engine = match cache.take() {
+                    Some((epoch, engine)) if epoch == snap.epoch => engine,
+                    _ => snap.hydrate(),
+                };
+                let reply = timed_dispatch(&engine, &core.config, &job_entry, session, msg);
+                *cache = Some((snap.epoch, engine));
+                reply
+            });
+            job_entry.finish_command();
+            // A dead client is not a server error.
+            let _ = reply_tx.send(reply.encode());
+        });
+        drop(readers);
+        if submitted.is_err() {
+            entry.state.store(STATE_IDLE, Ordering::Relaxed);
+            return busy_reply("read").encode();
+        }
+        match reply_rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => err_msg("ServerError", "server is shutting down").encode(),
+        }
+    }
+
+    fn submit_write(&self, entry: Arc<SessionEntry>, session: u64, msg: Message) -> Vec<u8> {
+        let (reply_tx, reply_rx) = channel();
+        entry.state.store(STATE_QUEUED, Ordering::Relaxed);
+        let job = WriteJob::Frame {
+            entry: entry.clone(),
+            session,
+            msg,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        };
+        match self.writer.try_send(job) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(reply) => reply,
+                Err(_) => err_msg("ServerError", "server is shutting down").encode(),
+            },
+            Err(TrySendError::Full(_)) => {
+                entry.state.store(STATE_IDLE, Ordering::Relaxed);
+                busy_reply("write").encode()
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                entry.state.store(STATE_IDLE, Ordering::Relaxed);
+                err_msg("ServerError", "server is shutting down").encode()
+            }
+        }
+    }
+}
+
 /// Handle to a running server.
 pub struct Server {
-    sender: Sender<ServerRequest>,
-    engine_thread: Option<JoinHandle<()>>,
-    next_session: Arc<AtomicU64>,
+    core: Arc<ServerCore>,
+    writer_thread: Option<JoinHandle<()>>,
     stop_tcp: Arc<AtomicBool>,
     /// Bound TCP listeners + their accept threads, so shutdown can wake
     /// each blocking `accept` with a self-connection and join it.
     listeners: Mutex<Vec<(SocketAddr, JoinHandle<()>)>>,
-    config: ServerConfig,
-}
-
-struct SessionState {
-    authed: bool,
 }
 
 impl Server {
-    /// Start the engine thread; `init` seeds the database before any client
-    /// connects (create tables, load data, register UDFs).
+    /// Start the writer thread and reader pool; `init` seeds the database
+    /// before any client connects (create tables, load data, register
+    /// UDFs). Returns once the seeded snapshot is published, so the first
+    /// concurrent read already sees the initialized catalog.
     pub fn start(config: ServerConfig, init: impl FnOnce(&Engine) + Send + 'static) -> Server {
-        let (tx, rx) = channel::<ServerRequest>();
-        let thread_config = config.clone();
-        let engine_thread = std::thread::Builder::new()
+        let (writer_tx, writer_rx) = sync_channel::<WriteJob>(config.write_queue.max(1));
+        let registry = Arc::new(SessionRegistry::new());
+        let read_workers = if config.read_workers == 0 {
+            devharness::pool::default_threads()
+        } else {
+            config.read_workers
+        };
+        let core = Arc::new(ServerCore {
+            writer: writer_tx,
+            readers: RwLock::new(Some(Service::new(
+                "wire-server-read",
+                read_workers,
+                config.read_queue.max(1),
+            ))),
+            // Placeholder until the writer publishes the seeded snapshot
+            // below; `start` does not return before that happens.
+            snapshot: RwLock::new(Arc::new(Engine::new().snapshot())),
+            registry: registry.clone(),
+            next_session: AtomicU64::new(1),
+            stopping: AtomicBool::new(false),
+            config,
+        });
+        let (ready_tx, ready_rx) = channel();
+        let writer_core = core.clone();
+        let writer_thread = std::thread::Builder::new()
             .name("monetlite-engine".to_string())
             .spawn(move || {
                 let engine = Engine::new();
+                engine.set_session_source(SessionSource::new(writer_core.registry.clone()));
                 init(&engine);
-                let mut sessions: HashMap<u64, SessionState> = HashMap::new();
-                while let Ok(req) = rx.recv() {
-                    match req {
-                        ServerRequest::Shutdown => break,
-                        ServerRequest::Frame {
+                let mut published = engine.catalog_version();
+                writer_core.publish(engine.snapshot());
+                let _ = ready_tx.send(());
+                while let Ok(job) = writer_rx.recv() {
+                    match job {
+                        WriteJob::Shutdown => break,
+                        WriteJob::Frame {
+                            entry,
                             session,
-                            body,
+                            msg,
                             reply,
+                            enqueued,
                         } => {
-                            let response = handle_frame(
-                                &engine,
-                                &thread_config,
-                                &mut sessions,
-                                session,
-                                &body,
-                            );
+                            entry.record_dequeue(enqueued);
+                            let response =
+                                timed_dispatch(&engine, &writer_core.config, &entry, session, msg);
+                            // Publish *before* replying: when the client
+                            // sees this command's result, the snapshot its
+                            // next read classifies against already carries
+                            // the mutation (read-your-writes per session).
+                            let version = engine.catalog_version();
+                            if version != published {
+                                writer_core.publish(engine.snapshot());
+                                published = version;
+                            }
+                            entry.finish_command();
                             // A dead client is not a server error.
                             let _ = reply.send(response.encode());
                         }
@@ -110,28 +517,30 @@ impl Server {
                 }
             })
             .expect("spawn engine thread");
+        ready_rx.recv().expect("engine init completed");
         Server {
-            sender: tx,
-            engine_thread: Some(engine_thread),
-            next_session: Arc::new(AtomicU64::new(1)),
+            core,
+            writer_thread: Some(writer_thread),
             stop_tcp: Arc::new(AtomicBool::new(false)),
             listeners: Mutex::new(Vec::new()),
-            config,
         }
     }
 
     /// Configured database name (used by clients and tests).
     pub fn config(&self) -> &ServerConfig {
-        &self.config
+        &self.core.config
     }
 
-    /// Allocate an in-process connection (session id + request channel).
-    pub fn in_proc_connection(&self) -> (Sender<ServerRequest>, u64) {
-        obs::counter!("wire.server.sessions").inc();
-        (
-            self.sender.clone(),
-            self.next_session.fetch_add(1, Ordering::Relaxed),
-        )
+    /// Number of live registered sessions (tests and diagnostics).
+    pub fn session_count(&self) -> usize {
+        self.core.registry.live_count()
+    }
+
+    /// Allocate an in-process connection (scheduler handle + session id).
+    pub fn in_proc_connection(&self) -> (Arc<ServerCore>, u64) {
+        let session = self.core.next_session.fetch_add(1, Ordering::Relaxed);
+        self.core.registry.register(session, "in-proc".to_string());
+        (self.core.clone(), session)
     }
 
     /// Start accepting TCP connections on 127.0.0.1 (ephemeral port).
@@ -139,38 +548,63 @@ impl Server {
     ///
     /// The accept loop blocks in `accept` (no polling, zero idle CPU);
     /// [`Server::shutdown`] wakes it with a self-connection, so stopping
-    /// is immediate.
+    /// is immediate. Transient accept errors back off exponentially
+    /// (capped); a listener that only ever errors is declared dead and
+    /// the loop exits cleanly instead of spinning forever.
     pub fn listen_tcp(&self) -> std::io::Result<SocketAddr> {
+        /// First backoff after a transient accept error.
+        const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+        /// Backoff cap: the loop never sleeps longer than this.
+        const ACCEPT_BACKOFF_CEIL: Duration = Duration::from_millis(250);
+        /// Consecutive accept errors after which the listener is
+        /// considered dead (the socket is gone, not momentarily starved).
+        const ACCEPT_MAX_CONSECUTIVE_ERRORS: u32 = 32;
+
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let sender = self.sender.clone();
-        let next_session = self.next_session.clone();
+        let core = self.core.clone();
         let stop = self.stop_tcp.clone();
-        let frame_deadline = self.config.frame_deadline;
+        let frame_deadline = self.core.config.frame_deadline;
         let handle = std::thread::Builder::new()
             .name("wireproto-accept".to_string())
-            .spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        // Either a real client or the shutdown wake-up
-                        // connection — check after accept returns.
-                        if stop.load(Ordering::Relaxed) {
-                            return;
+            .spawn(move || {
+                let mut backoff = ACCEPT_BACKOFF_FLOOR;
+                let mut consecutive_errors: u32 = 0;
+                loop {
+                    match listener.accept() {
+                        Ok((stream, peer)) => {
+                            // Either a real client or the shutdown wake-up
+                            // connection — check after accept returns.
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            backoff = ACCEPT_BACKOFF_FLOOR;
+                            consecutive_errors = 0;
+                            // Request/response framing: never let Nagle
+                            // hold a half-written reply for a delayed ACK.
+                            stream.set_nodelay(true).ok();
+                            let session = core.next_session.fetch_add(1, Ordering::Relaxed);
+                            core.registry.register(session, peer.to_string());
+                            let core = core.clone();
+                            std::thread::spawn(move || {
+                                serve_tcp_connection(stream, core, session, frame_deadline)
+                            });
                         }
-                        obs::counter!("wire.server.sessions").inc();
-                        let session = next_session.fetch_add(1, Ordering::Relaxed);
-                        let sender = sender.clone();
-                        std::thread::spawn(move || {
-                            serve_tcp_connection(stream, sender, session, frame_deadline)
-                        });
-                    }
-                    Err(_) => {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
+                        Err(_) => {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            obs::counter!("wire.server.accept_errors").inc();
+                            consecutive_errors += 1;
+                            if consecutive_errors >= ACCEPT_MAX_CONSECUTIVE_ERRORS {
+                                // Nothing but errors across every backoff
+                                // tier: the listener is dead. Exit instead
+                                // of burning a core on a doomed loop.
+                                return;
+                            }
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
                         }
-                        // Transient accept failure (e.g. EMFILE); brief
-                        // pause instead of a hot error loop.
-                        std::thread::sleep(Duration::from_millis(20));
                     }
                 }
             })
@@ -183,6 +617,7 @@ impl Server {
     }
 
     fn stop(&mut self) {
+        self.core.stopping.store(true, Ordering::Relaxed);
         self.stop_tcp.store(true, Ordering::Relaxed);
         // Wake each blocking accept with a throwaway self-connection and
         // join the accept thread; a failed connect means the listener is
@@ -191,13 +626,22 @@ impl Server {
             let _ = TcpStream::connect(addr);
             let _ = handle.join();
         }
-        let _ = self.sender.send(ServerRequest::Shutdown);
-        if let Some(t) = self.engine_thread.take() {
+        // Dropping the reader service drains queued reads (their replies
+        // still go out) and joins the workers.
+        drop(
+            self.core
+                .readers
+                .write()
+                .expect("readers lock poisoned")
+                .take(),
+        );
+        let _ = self.core.writer.send(WriteJob::Shutdown);
+        if let Some(t) = self.writer_thread.take() {
             let _ = t.join();
         }
     }
 
-    /// Stop the server and join the engine and accept threads.
+    /// Stop the server and join the reader, writer and accept threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -211,34 +655,22 @@ impl Drop for Server {
 
 fn serve_tcp_connection(
     mut stream: std::net::TcpStream,
-    sender: Sender<ServerRequest>,
+    core: Arc<ServerCore>,
     session: u64,
     frame_deadline: Duration,
 ) {
     let deadline = (!frame_deadline.is_zero()).then_some(frame_deadline);
-    loop {
-        let body = match read_frame_with_mid_deadline(&mut stream, deadline) {
-            Ok(b) => b,
-            Err(_) => return, // client hung up or stalled mid-frame
-        };
-        let (reply_tx, reply_rx) = channel();
-        if sender
-            .send(ServerRequest::Frame {
-                session,
-                body,
-                reply: reply_tx,
-            })
-            .is_err()
-        {
-            return; // server shut down
+    // Loop until the client hangs up or stalls mid-frame.
+    while let Ok(body) = read_frame_with_mid_deadline(&mut stream, deadline) {
+        if core.is_stopping() {
+            break;
         }
-        let Ok(response) = reply_rx.recv() else {
-            return;
-        };
+        let response = core.handle_frame(session, &body);
         if write_frame(&mut stream, &response).is_err() {
-            return;
+            break;
         }
     }
+    core.remove_session(session);
 }
 
 fn err_msg(code: &str, message: impl Into<String>) -> Message {
@@ -249,8 +681,44 @@ fn err_msg(code: &str, message: impl Into<String>) -> Message {
     }
 }
 
-/// Per-command latency histogram for the engine-side dispatch (a closed
-/// set of names, each arm one cached handle).
+/// The typed backpressure reply: a bounded queue refused the command
+/// before execution, so the client may safely retry it after backoff —
+/// even a write.
+fn busy_reply(which: &'static str) -> Message {
+    obs::counter!("wire.server.queue_full").inc();
+    err_msg(
+        "ServerBusy",
+        format!("{which} queue is full; retry after backoff"),
+    )
+}
+
+/// Validate a login frame against the configured credentials.
+fn login_reply(
+    config: &ServerConfig,
+    entry: &SessionEntry,
+    session: u64,
+    msg: &Message,
+) -> Message {
+    let Message::Login {
+        user,
+        password,
+        database,
+    } = msg
+    else {
+        return err_msg("ProtocolError", "not a login frame");
+    };
+    if user != &config.user || password != &config.password {
+        return err_msg("AuthError", "invalid credentials");
+    }
+    if database != &config.database {
+        return err_msg("AuthError", format!("no such database '{database}'"));
+    }
+    entry.authed.store(true, Ordering::Relaxed);
+    Message::LoginOk { session }
+}
+
+/// Per-command latency histogram for the dispatch (a closed set of names,
+/// each arm one cached handle).
 fn cmd_latency(msg: &Message) -> &'static obs::metrics::Histogram {
     match msg {
         Message::Login { .. } => obs::histogram!("wire.server.latency.login"),
@@ -293,7 +761,7 @@ const SERVER_TRACE_BIT: u64 = 1 << 63;
 fn traced_reply(
     engine: &Engine,
     config: &ServerConfig,
-    sessions: &mut HashMap<u64, SessionState>,
+    entry: &SessionEntry,
     session: u64,
     trace: u64,
     inner: &[u8],
@@ -312,7 +780,7 @@ fn traced_reply(
         });
         let mut span = obs::trace::span_active("server.command");
         span.field("command", cmd_name(&msg));
-        dispatch_frame(engine, config, sessions, session, msg)
+        dispatch_frame(engine, config, entry, session, msg)
     };
     let spans = obs::trace::take_capture(side)
         .into_iter()
@@ -365,57 +833,42 @@ fn delta_reply(
     }
 }
 
-/// Dispatch one decoded frame against the engine, recording frame and
-/// per-command latency telemetry.
-fn handle_frame(
+/// Dispatch with per-command latency telemetry (queue wait excluded — it
+/// has its own histogram).
+fn timed_dispatch(
     engine: &Engine,
     config: &ServerConfig,
-    sessions: &mut HashMap<u64, SessionState>,
+    entry: &SessionEntry,
     session: u64,
-    body: &[u8],
+    msg: Message,
 ) -> Message {
-    obs::counter!("wire.server.frames").inc();
-    let msg = match Message::decode(body) {
-        Ok(m) => m,
-        Err(e) => return err_msg("ProtocolError", e.to_string()),
-    };
     if !obs::enabled() {
-        return dispatch_frame(engine, config, sessions, session, msg);
+        return dispatch_frame(engine, config, entry, session, msg);
     }
     let hist = cmd_latency(&msg);
-    let started = std::time::Instant::now();
-    let reply = dispatch_frame(engine, config, sessions, session, msg);
+    let started = Instant::now();
+    let reply = dispatch_frame(engine, config, entry, session, msg);
     hist.record_duration(started.elapsed());
     reply
 }
 
-/// The actual dispatch, free of telemetry.
+/// The actual dispatch, free of telemetry. Runs on the writer thread (live
+/// engine) or a reader worker (snapshot-hydrated engine) — the engine
+/// handed in decides what this command can see.
 fn dispatch_frame(
     engine: &Engine,
     config: &ServerConfig,
-    sessions: &mut HashMap<u64, SessionState>,
+    entry: &SessionEntry,
     session: u64,
     msg: Message,
 ) -> Message {
     if let Message::Traced { trace, inner } = msg {
-        return traced_reply(engine, config, sessions, session, trace, &inner);
+        return traced_reply(engine, config, entry, session, trace, &inner);
     }
-    if let Message::Login {
-        user,
-        password,
-        database,
-    } = &msg
-    {
-        if user != &config.user || password != &config.password {
-            return err_msg("AuthError", "invalid credentials");
-        }
-        if database != &config.database {
-            return err_msg("AuthError", format!("no such database '{database}'"));
-        }
-        sessions.insert(session, SessionState { authed: true });
-        return Message::LoginOk { session };
+    if let Message::Login { .. } = &msg {
+        return login_reply(config, entry, session, &msg);
     }
-    if !sessions.get(&session).map(|s| s.authed).unwrap_or(false) {
+    if !entry.authed.load(Ordering::Relaxed) {
         return err_msg("AuthError", "not logged in");
     }
 

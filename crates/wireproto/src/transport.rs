@@ -2,11 +2,11 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::message::WireError;
-use crate::server::ServerRequest;
+use crate::server::ServerCore;
 
 /// Maximum accepted frame size (guards against hostile length prefixes).
 pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
@@ -125,33 +125,34 @@ impl<T: ClientTransport + ?Sized> ClientTransport for Box<T> {
     }
 }
 
-/// In-process transport: frames travel over `std::sync::mpsc` channels
-/// straight to the engine thread. Used by tests and benchmarks (zero
-/// syscall noise).
+/// In-process transport: frames go straight into the server scheduler
+/// ([`ServerCore::handle_frame`]) on the calling thread. Used by tests and
+/// benchmarks (zero syscall noise).
 pub struct InProcTransport {
-    pub(crate) sender: Sender<ServerRequest>,
+    pub(crate) core: Arc<ServerCore>,
     pub(crate) session: u64,
 }
 
 impl ClientTransport for InProcTransport {
     fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
-        let (reply_tx, reply_rx) = channel();
-        self.sender
-            .send(ServerRequest::Frame {
-                session: self.session,
-                body: frame.to_vec(),
-                reply: reply_tx,
-            })
-            .map_err(|_| WireError::Io("server is gone".to_string()))?;
-        reply_rx
-            .recv()
-            .map_err(|_| WireError::Io("server dropped the reply".to_string()))
+        if self.core.is_stopping() {
+            return Err(WireError::Io("server is gone".to_string()));
+        }
+        Ok(self.core.handle_frame(self.session, frame))
     }
 
     fn reconnect(&mut self) -> Result<(), WireError> {
-        // The channel either still reaches the engine (nothing to do) or
-        // the server is gone (the next send will fail cleanly).
+        // The scheduler handle either still reaches the server (nothing to
+        // do) or the server is stopping (the next send will fail cleanly).
         Ok(())
+    }
+}
+
+impl Drop for InProcTransport {
+    fn drop(&mut self) {
+        // Deregister from `sys.sessions` when the client goes away, like a
+        // TCP session teardown does.
+        self.core.remove_session(self.session);
     }
 }
 
@@ -174,6 +175,10 @@ impl TcpTransport {
         write_timeout: Option<Duration>,
     ) -> Result<TcpTransport, WireError> {
         let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        // A frame is several small writes (length, body, checksum);
+        // Nagle would pair them with the peer's delayed ACK and put a
+        // ~40 ms floor under every round trip on loopback.
+        stream.set_nodelay(true).ok();
         stream
             .set_read_timeout(read_timeout)
             .and_then(|_| stream.set_write_timeout(write_timeout))

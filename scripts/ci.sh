@@ -59,8 +59,12 @@ echo "digests identical"
 #    BENCH_profile.json documents Scenario A within 1% of a
 #    telemetry-disabled build with nothing listening and within 5% under
 #    a live trace capture (live floors 1.25x / 1.50x — the guard catches
-#    an idle-path hook doing real work, which shows up as 2x+).
-echo "==> bench guards (transfer codec + bytecode VM + UDF inlining + observability overhead)"
+#    an idle-path hook doing real work, which shows up as 2x+);
+#  - 16 concurrent TCP sessions must not run queries slower than one
+#    session (committed BENCH_server_concurrency.json; the floor is
+#    core-count-aware — a real speedup is only demanded on >=8 cores,
+#    elsewhere the guard catches a convoying scheduler at ~0.5x).
+echo "==> bench guards (transfer codec + bytecode VM + UDF inlining + observability + concurrency)"
 cargo run --offline --release -q -p devudf-bench --bin bench_guard
 
 # End-to-end observability smoke over a real TCP socket: start the demo
@@ -96,6 +100,30 @@ cargo run --offline --release -q -p devudf-ide --bin devudf profile "$SMOKE_DIR"
   > /tmp/devudf-ci-profile.txt
 grep -q "hits" /tmp/devudf-ci-profile.txt
 grep -q "distance += column\[i\] - mean" /tmp/devudf-ci-profile.txt
+
+# Concurrency smoke against the same live server: 8 clients trace the
+# debug query simultaneously, each under a hard wall-clock cap so a
+# scheduler deadlock or leaked queue slot fails CI instead of wedging it.
+# Each client gets its own project dir (separate TCP session + cache).
+echo "==> concurrent-session smoke (8 TCP clients under timeout)"
+CONC_PIDS=()
+for i in $(seq 1 8); do
+  mkdir -p "$SMOKE_DIR/conc$i/.devudf"
+  cp "$SMOKE_DIR/.devudf/settings.json" "$SMOKE_DIR/conc$i/.devudf/settings.json"
+  timeout --kill-after=10 60 \
+    cargo run --offline --release -q -p devudf-ide --bin devudf trace "$SMOKE_DIR/conc$i" \
+    > "/tmp/devudf-ci-conc-$i.txt" 2>&1 &
+  CONC_PIDS+=("$!")
+done
+for i in $(seq 1 8); do
+  wait "${CONC_PIDS[$((i - 1))]}"
+  grep -q "server.command" "/tmp/devudf-ci-conc-$i.txt"
+done
+cargo run --offline --release -q -p devudf-ide --bin devudf sessions "$SMOKE_DIR" \
+  > /tmp/devudf-ci-sessions.txt
+grep -q "peer" /tmp/devudf-ci-sessions.txt
+echo "concurrent-session smoke OK (8 clients, sys.sessions answered)"
+
 kill "$SERVE_PID" 2>/dev/null || true
 trap - EXIT
 rm -rf "$SMOKE_DIR"

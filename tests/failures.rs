@@ -155,17 +155,9 @@ fn loopback_recursion_through_the_engine_is_bounded() {
 #[test]
 fn malformed_frames_do_not_kill_the_server() {
     let server = demo_server();
-    let (sender, session) = server.in_proc_connection();
+    let (core, session) = server.in_proc_connection();
     // Send raw garbage as a frame body.
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-    sender
-        .send(wireproto::server::ServerRequest::Frame {
-            session,
-            body: vec![0xde, 0xad, 0xbe, 0xef],
-            reply: reply_tx,
-        })
-        .unwrap();
-    let reply = reply_rx.recv().unwrap();
+    let reply = core.handle_frame(session, &[0xde, 0xad, 0xbe, 0xef]);
     match wireproto::Message::decode(&reply).unwrap() {
         wireproto::Message::Error { code, .. } => assert_eq!(code, "ProtocolError"),
         other => panic!("{other:?}"),
