@@ -1,0 +1,72 @@
+//! The cost of the wire: embedded vs TCP input extraction (C18).
+//!
+//! The paper's extract function ships the UDF's input columns from the
+//! server into the IDE — over a socket, through pickle + frame codecs.
+//! "MonetDBLite mode" (DESIGN §17) removes every one of those steps:
+//! the embedded transport calls the engine in-process and hands the
+//! live `pylite` value across, zero bytes serialized. This suite prices
+//! exactly that difference on a 200 000-row extract, with the in-proc
+//! channel transport (frames + pickle, no socket) as the midpoint that
+//! splits "codec cost" from "socket cost".
+//!
+//! Writes `BENCH_embedded.json` (schema in EXPERIMENTS.md); the
+//! embedded-beats-TCP ratio is enforced by `bench_guard`.
+
+use devharness::bench::{BenchmarkId, Harness, Throughput};
+use devudf_bench::{bench_server, create_mean_deviation, LISTING4_BODY};
+use monetlite::Engine;
+use wireproto::{Client, ClientOptions, Embedded, EngineTransport, TransferOptions};
+
+const ROWS: usize = 200_000;
+const QUERY: &str = "SELECT mean_deviation(i) FROM numbers";
+const UDF: &str = "mean_deviation";
+
+fn bench_extract(h: &mut Harness) {
+    let mut group = h.benchmark_group("extract");
+    group.sample_size(12);
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    // TCP: frames + pickle + a real loopback socket.
+    let server = bench_server(ROWS);
+    let addr = server.listen_tcp().unwrap();
+    let mut tcp =
+        Client::connect_tcp_with(addr, "monetdb", "monetdb", "demo", ClientOptions::default())
+            .unwrap();
+    group.bench_with_input(BenchmarkId::new("tcp", ROWS), &ROWS, |b, _| {
+        b.iter(|| {
+            tcp.extract_inputs(QUERY, UDF, TransferOptions::plain())
+                .unwrap()
+        })
+    });
+
+    // In-proc channel: frames + pickle, no socket.
+    let mut inproc = Client::connect_in_proc(&server, "monetdb", "monetdb", "demo").unwrap();
+    group.bench_with_input(BenchmarkId::new("inproc", ROWS), &ROWS, |b, _| {
+        b.iter(|| {
+            inproc
+                .extract_inputs(QUERY, UDF, TransferOptions::plain())
+                .unwrap()
+        })
+    });
+    server.shutdown();
+
+    // Embedded: the engine in this process; no frames, no pickle.
+    let db = Engine::new();
+    devudf_bench::seed_numbers(&db, ROWS);
+    db.execute(&create_mean_deviation(LISTING4_BODY)).unwrap();
+    let mut embedded = Embedded::from_engine(db);
+    group.bench_with_input(BenchmarkId::new("embedded", ROWS), &ROWS, |b, _| {
+        b.iter(|| {
+            embedded
+                .extract_inputs(QUERY, UDF, TransferOptions::plain())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut h = Harness::new("embedded");
+    bench_extract(&mut h);
+    h.finish();
+}

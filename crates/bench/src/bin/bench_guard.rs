@@ -113,6 +113,19 @@ const CONC_FLOOR_MANY_CORE: f64 = 2.0;
 /// the generous 0.5 rather than 1.0.
 const CONC_COLLAPSE_FLOOR: f64 = 0.5;
 
+const EMBEDDED_BASELINE_FILE: &str = "BENCH_embedded.json";
+const EMBEDDED_GROUP: &str = "extract";
+const EMBEDDED_REFERENCE: &str = "tcp/200000";
+const EMBEDDED_GUARDED: &str = "embedded/200000";
+/// The committed baseline must document at least this speedup — it backs
+/// the EXPERIMENTS C18 "embedded extract ≥5× faster than TCP on 200k
+/// rows" claim (the recording host measures ~13×).
+const EMBEDDED_CLAIMED_SPEEDUP: f64 = 5.0;
+/// Live floor: loopback-TCP minima jitter on shared hosts, so the live
+/// check only has to catch the pathological regression — an embedded
+/// path that started serializing (pickle/frames) lands near 1×.
+const EMBEDDED_SPEEDUP_FLOOR: f64 = 2.0;
+
 fn min_ns(doc: &codecs::json::Value, file: &str, name: &str) -> f64 {
     doc.get("benchmarks")
         .and_then(|b| b.as_array())
@@ -530,6 +543,99 @@ likely serializing (convoy on the writer channel or a poisoned snapshot cache)"
     false
 }
 
+/// Measure one 20 000-row extract through both transports exactly as
+/// `benches/embedded.rs` does (just smaller, to keep guard runs quick —
+/// the ratio, not the absolute cost, is what's guarded). Returns
+/// `(tcp, embedded)` min ns/iter.
+fn measure_embedded() -> (f64, f64) {
+    const ROWS: usize = 20_000;
+    const QUERY: &str = "SELECT mean_deviation(i) FROM numbers";
+    let server = bench_server(ROWS);
+    let addr = server.listen_tcp().unwrap();
+    let mut tcp = wireproto::Client::connect_tcp_with(
+        addr,
+        "monetdb",
+        "monetdb",
+        "demo",
+        ClientOptions::default(),
+    )
+    .unwrap();
+    let db = Engine::new();
+    devudf_bench::seed_numbers(&db, ROWS);
+    db.execute(&devudf_bench::create_mean_deviation(
+        devudf_bench::LISTING4_BODY,
+    ))
+    .unwrap();
+    let mut embedded = wireproto::Embedded::from_engine(db);
+    let doc = scratch_harness("embguard", |h| {
+        use wireproto::EngineTransport;
+        let mut group = h.benchmark_group(EMBEDDED_GROUP);
+        group.sample_size(10);
+        group.bench_function("tcp", |b| {
+            b.iter(|| {
+                tcp.extract_inputs(QUERY, "mean_deviation", TransferOptions::plain())
+                    .unwrap()
+            })
+        });
+        group.bench_function("embedded", |b| {
+            b.iter(|| {
+                embedded
+                    .extract_inputs(QUERY, "mean_deviation", TransferOptions::plain())
+                    .unwrap()
+            })
+        });
+        group.finish();
+    });
+    server.shutdown();
+    (
+        group_min_ns(&doc, "embguard", EMBEDDED_GROUP, "tcp"),
+        group_min_ns(&doc, "embguard", EMBEDDED_GROUP, "embedded"),
+    )
+}
+
+fn guard_embedded() -> bool {
+    let doc = read_baseline(EMBEDDED_BASELINE_FILE);
+    let base_speedup = group_min_ns(
+        &doc,
+        EMBEDDED_BASELINE_FILE,
+        EMBEDDED_GROUP,
+        EMBEDDED_REFERENCE,
+    ) / group_min_ns(
+        &doc,
+        EMBEDDED_BASELINE_FILE,
+        EMBEDDED_GROUP,
+        EMBEDDED_GUARDED,
+    );
+    if base_speedup < EMBEDDED_CLAIMED_SPEEDUP {
+        eprintln!(
+            "FAIL: committed {EMBEDDED_BASELINE_FILE} documents only a {base_speedup:.2}x \
+embedded-over-TCP extract speedup; the docs claim >={EMBEDDED_CLAIMED_SPEEDUP:.0}x — re-run \
+`cargo bench -p devudf-bench --bench embedded` on a quiet host or fix the embedded transport"
+        );
+        return false;
+    }
+    let mut best = 0.0f64;
+    for attempt in 1..=3 {
+        let (tcp, embedded) = measure_embedded();
+        let speedup = tcp / embedded;
+        best = best.max(speedup);
+        println!(
+            "embedded guard[{attempt}]: embedded extract runs {speedup:.2}x faster than TCP \
+(measured {embedded:.0} vs {tcp:.0} ns/iter); \
+baseline {base_speedup:.2}x, floor {EMBEDDED_SPEEDUP_FLOOR:.1}x"
+        );
+        if best >= EMBEDDED_SPEEDUP_FLOOR {
+            println!("embedded guard OK");
+            return true;
+        }
+    }
+    eprintln!(
+        "FAIL: embedded extract speedup fell to {best:.2}x (< {EMBEDDED_SPEEDUP_FLOOR:.1}x \
+floor) in all 3 attempts — the embedded path is likely serializing again"
+    );
+    false
+}
+
 fn main() {
     // Operate on the workspace root regardless of invocation directory.
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
@@ -541,7 +647,8 @@ fn main() {
     let inline_ok = guard_inline();
     let profile_ok = guard_profile();
     let conc_ok = guard_server_concurrency();
-    if !(transfer_ok && vm_ok && inline_ok && profile_ok && conc_ok) {
+    let embedded_ok = guard_embedded();
+    if !(transfer_ok && vm_ok && inline_ok && profile_ok && conc_ok && embedded_ok) {
         std::process::exit(1);
     }
 }

@@ -16,7 +16,7 @@ use pylite::value::{Dict, NativeObject};
 use pylite::{pickle, Array, Debugger, Interp, PyError, Value};
 use wireproto::client::FunctionInfo;
 use wireproto::message::{WireResult, WireTable, WireValue};
-use wireproto::{Client, TransferOptions, TransferStats};
+use wireproto::{EngineTransport, TransferOptions, TransferStats};
 
 use crate::nested;
 use crate::session::DevUdf;
@@ -202,7 +202,7 @@ pub fn debug_local(
 /// invoke a known UDF run that UDF *locally*, on inputs extracted from the
 /// server — so nested UDFs are debuggable too.
 pub struct LocalConn {
-    client: Rc<RefCell<Client>>,
+    client: Rc<RefCell<dyn EngineTransport>>,
     /// Known server functions (name → metadata), for nested-call detection.
     functions: Vec<FunctionInfo>,
     options: TransferOptions,

@@ -59,7 +59,7 @@ pub use debug::{DebugOutcome, RunOutcome};
 pub use import_export::ImportReport;
 pub use project::Project;
 pub use session::DevUdf;
-pub use settings::{InterpMode, RetrySettings, Settings, TransferSettings};
+pub use settings::{InterpMode, RetrySettings, Settings, StorageSettings, TransferSettings};
 
 /// Crate-wide error type.
 #[derive(Debug)]

@@ -5,7 +5,7 @@ use std::path::Path;
 use std::rc::Rc;
 
 use wireproto::client::FunctionInfo;
-use wireproto::{Client, Server, TransferStats};
+use wireproto::{Client, Embedded, EngineTransport, Server, TransferStats};
 
 use crate::debug::{self, DebugOutcome, RunOutcome};
 use crate::import_export::{self, ImportReport, UdfSelection};
@@ -21,7 +21,10 @@ use crate::{DevUdfError, Result};
 pub struct DevUdf {
     pub settings: Settings,
     pub project: Project,
-    pub(crate) client: Rc<RefCell<Client>>,
+    /// The database, behind the transport abstraction: a wire [`Client`]
+    /// (TCP or in-proc channel) or an [`Embedded`] in-process engine —
+    /// every session method is transport-agnostic.
+    pub(crate) client: Rc<RefCell<dyn EngineTransport>>,
     /// Transfer statistics accumulated across extractions (reported by the
     /// CLI and the benchmarks).
     pub(crate) transfers: Rc<RefCell<Vec<TransferStats>>>,
@@ -62,7 +65,37 @@ impl DevUdf {
         Self::with_client(client, settings, project_root)
     }
 
-    fn with_client(client: Client, settings: Settings, project_root: &Path) -> Result<DevUdf> {
+    /// Embed the engine in-process ("MonetDBLite mode", DESIGN §17): no
+    /// server, no wire. `settings.storage.data_dir` picks the persistent
+    /// directory (WAL + snapshots, replayed here on open); empty means a
+    /// fresh in-memory engine. The settings' interp mode is applied to
+    /// the embedded engine exactly as the demo server applies it, so the
+    /// three-way interpreter matrix behaves identically on both
+    /// transports. `configure` runs against the engine before the
+    /// session starts (seed data, rng seeds).
+    pub fn connect_embedded(
+        settings: Settings,
+        project_root: &Path,
+        configure: impl FnOnce(&monetlite::Engine),
+    ) -> Result<DevUdf> {
+        let embedded = if settings.storage.data_dir.is_empty() {
+            Embedded::in_memory()
+        } else {
+            Embedded::open(&settings.storage.data_dir, settings.storage.options())?
+        };
+        embedded
+            .engine()
+            .set_exec_mode(settings.interp.pylite_mode());
+        embedded.engine().set_inline(settings.interp.inline());
+        configure(embedded.engine());
+        Self::with_client(embedded, settings, project_root)
+    }
+
+    fn with_client(
+        client: impl EngineTransport + 'static,
+        settings: Settings,
+        project_root: &Path,
+    ) -> Result<DevUdf> {
         let project = Project::open(project_root)?;
         settings.save(project.root())?;
         Ok(DevUdf {
@@ -73,8 +106,9 @@ impl DevUdf {
         })
     }
 
-    /// Shared client handle (used internally and by the workflow driver).
-    pub fn client(&self) -> Rc<RefCell<Client>> {
+    /// Shared transport handle (used internally and by the workflow
+    /// driver).
+    pub fn client(&self) -> Rc<RefCell<dyn EngineTransport>> {
         self.client.clone()
     }
 

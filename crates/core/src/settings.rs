@@ -7,6 +7,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use codecs::json::{self, Value};
+use monetlite::{FsyncPolicy, StorageOptions};
 use pylite::ExecMode;
 use wireproto::{ClientOptions, RetryPolicy, TransferOptions};
 
@@ -190,6 +191,87 @@ pub struct Settings {
     /// How UDFs execute: the pylite engine for local runs, plus whether
     /// the server-side engine may inline straight-line bodies (Froid).
     pub interp: InterpMode,
+    /// Embedded-mode persistence (DESIGN §17). Only consulted when the
+    /// session embeds the engine in-process; wire connections ignore it.
+    pub storage: StorageSettings,
+}
+
+/// The `storage` settings section: where (and how durably) an embedded
+/// engine persists. Serializable mirror of [`monetlite::StorageOptions`]
+/// plus the data directory itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageSettings {
+    /// Directory the embedded engine opens (WAL + snapshots). Empty means
+    /// the embedded engine is purely in-memory.
+    pub data_dir: String,
+    /// When WAL appends reach disk: `always` (fsync per commit, default)
+    /// or `never` (OS page cache only).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint after this many WAL records; `0` disables automatic
+    /// checkpoints (explicit `devudf checkpoint` only).
+    pub snapshot_every: u64,
+}
+
+impl Default for StorageSettings {
+    fn default() -> Self {
+        let defaults = StorageOptions::default();
+        StorageSettings {
+            data_dir: String::new(),
+            fsync: defaults.fsync,
+            snapshot_every: defaults.snapshot_every,
+        }
+    }
+}
+
+impl StorageSettings {
+    /// The engine-facing options (everything except the directory).
+    pub fn options(&self) -> StorageOptions {
+        StorageOptions {
+            fsync: self.fsync,
+            snapshot_every: self.snapshot_every,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("data_dir".to_string(), Value::from(self.data_dir.as_str())),
+            ("fsync".to_string(), Value::from(self.fsync.as_str())),
+            (
+                "snapshot_every".to_string(),
+                Value::from(self.snapshot_every),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::io::Result<StorageSettings> {
+        Ok(StorageSettings {
+            data_dir: v
+                .get("data_dir")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| invalid("storage.data_dir missing"))?,
+            // Unknown spellings fail loudly with the allowed set — same
+            // rule as `interp`.
+            fsync: match v.get("fsync") {
+                None | Some(Value::Null) => FsyncPolicy::default(),
+                Some(m) => {
+                    let text = m.as_str().unwrap_or_default();
+                    FsyncPolicy::parse(text).ok_or_else(|| {
+                        invalid(format!(
+                            "storage.fsync must be one of {} (got '{text}')",
+                            FsyncPolicy::ALLOWED
+                        ))
+                    })?
+                }
+            },
+            snapshot_every: match v.get("snapshot_every") {
+                None | Some(Value::Null) => StorageOptions::default().snapshot_every,
+                Some(k) => k
+                    .as_u64()
+                    .ok_or_else(|| invalid("storage.snapshot_every must be a record count"))?,
+            },
+        })
+    }
 }
 
 /// The `interp` settings knob. `ast` and `bytecode` pick a pylite engine
@@ -255,6 +337,7 @@ impl Default for Settings {
             transfer: TransferSettings::default(),
             retry: RetrySettings::default(),
             interp: InterpMode::default(),
+            storage: StorageSettings::default(),
         }
     }
 }
@@ -336,6 +419,7 @@ impl Settings {
             ("transfer".to_string(), self.transfer.to_json()),
             ("retry".to_string(), self.retry.to_json()),
             ("interp".to_string(), Value::from(self.interp.as_str())),
+            ("storage".to_string(), self.storage.to_json()),
         ])
     }
 
@@ -381,6 +465,13 @@ impl Settings {
                         ))
                     })?
                 }
+            },
+            // Absent in settings files written before embedded mode
+            // existed — default (in-memory) rather than reject. Unknown
+            // values inside the section fail loudly.
+            storage: match v.get("storage") {
+                None | Some(Value::Null) => StorageSettings::default(),
+                Some(s) => StorageSettings::from_json(s)?,
             },
         })
     }
@@ -444,6 +535,7 @@ impl Settings {
              │ Cache:      {:<35}│\n\
              │ Retry:      {:<35}│\n\
              │ Interp:     {:<35}│\n\
+             │ Storage:    {:<35}│\n\
              └────────────────────────────────────────────────┘",
             self.host,
             self.port,
@@ -455,7 +547,21 @@ impl Settings {
             truncate(&self.describe_cache(), 35),
             truncate(&self.describe_retry(), 35),
             truncate(&self.describe_interp(), 35),
+            truncate(&self.describe_storage(), 35),
         )
+    }
+
+    fn describe_storage(&self) -> String {
+        if self.storage.data_dir.is_empty() {
+            "in-memory (no data dir)".to_string()
+        } else {
+            format!(
+                "{} (fsync {}, snapshot/{})",
+                self.storage.data_dir,
+                self.storage.fsync.as_str(),
+                self.storage.snapshot_every
+            )
+        }
     }
 
     fn describe_interp(&self) -> String {
@@ -821,6 +927,84 @@ mod tests {
         assert!(s.render_dialog().contains("3 attempts, 10-200 ms"));
         s.retry.max_attempts = 1;
         assert!(s.render_dialog().contains("disabled"));
+    }
+
+    #[test]
+    fn storage_section_round_trips_and_defaults() {
+        let dir = temp_dir("storage");
+        let mut s = Settings::default();
+        assert_eq!(s.storage, StorageSettings::default());
+        assert_eq!(s.storage.options(), StorageOptions::default());
+        s.storage = StorageSettings {
+            data_dir: "/tmp/devudf-data".to_string(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 0,
+        };
+        s.save(&dir).unwrap();
+        let loaded = Settings::load(&dir).unwrap().storage;
+        assert_eq!(loaded.data_dir, "/tmp/devudf-data");
+        assert_eq!(loaded.fsync, FsyncPolicy::Never);
+        assert_eq!(loaded.snapshot_every, 0);
+        // Files written before embedded mode existed lack the section.
+        let path = Settings::path_in(&dir);
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": false, "encrypt": false, "sample": null}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            Settings::load(&dir).unwrap().storage,
+            StorageSettings::default()
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_storage_values_fail_loudly_with_allowed_set() {
+        let dir = temp_dir("storage_bad");
+        let path = Settings::path_in(&dir);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        // A typo like "alway" must not silently fall back to a default.
+        for bad in ["alway", "Always", "on", "fdatasync"] {
+            std::fs::write(
+                &path,
+                format!(
+                    r#"{{"host": "localhost", "port": 50000, "database": "demo",
+                        "user": "monetdb", "password": "monetdb", "debug_query": "",
+                        "transfer": {{"compress": false, "encrypt": false, "sample": null}},
+                        "storage": {{"data_dir": "d", "fsync": "{bad}"}}}}"#
+                ),
+            )
+            .unwrap();
+            let err = Settings::load(&dir).unwrap_err().to_string();
+            assert!(err.contains("'always' or 'never'"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
+        // Non-numeric cadence is rejected, not defaulted.
+        std::fs::write(
+            &path,
+            r#"{"host": "localhost", "port": 50000, "database": "demo",
+                "user": "monetdb", "password": "monetdb", "debug_query": "",
+                "transfer": {"compress": false, "encrypt": false, "sample": null},
+                "storage": {"data_dir": "d", "snapshot_every": "lots"}}"#,
+        )
+        .unwrap();
+        let err = Settings::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("storage.snapshot_every"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn dialog_describes_storage() {
+        let mut s = Settings::default();
+        assert!(s.render_dialog().contains("in-memory (no data dir)"));
+        s.storage.data_dir = "/data/db".to_string();
+        s.storage.snapshot_every = 512;
+        // The dialog truncates long values; the prefix must be visible.
+        let d = s.render_dialog();
+        assert!(d.contains("/data/db (fsync always"), "{d}");
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //!                                  hot lines
 //! devudf cache   DIR NAME          demo the extract cache: fetch NAME's
 //!                                  inputs twice, print bytes-on-wire
+//! devudf open    DATADIR [--demo]  open (or create) a persistent embedded
+//!                                  database directory, replay its WAL and
+//!                                  print the storage stats; `--demo`
+//!                                  seeds the demo table + UDF on first
+//!                                  open
+//! devudf checkpoint DATADIR        fold DATADIR's WAL into a fresh
+//!                                  columnar snapshot and truncate it
 //! ```
 //!
 //! Commands taking a project DIR read connection settings from
@@ -38,6 +45,13 @@
 //! reference interpreter; `bytecode` the compiled VM; `inline`, the
 //! default, the VM plus Froid-style engine inlining for straight-line
 //! UDFs).
+//!
+//! A global `--embedded[=DATADIR]` flag runs any project command against
+//! an **in-process** engine instead of a TCP server ("MonetDBLite mode",
+//! DESIGN §17). With a DATADIR (or a `storage.data_dir` in the settings
+//! file) the engine is persistent — WAL + snapshots, replayed on open;
+//! without one each invocation gets a fresh in-memory engine seeded with
+//! the demo data.
 
 use std::io::BufReader;
 use std::path::Path;
@@ -67,6 +81,25 @@ fn main() {
         }
         None => true,
     });
+    // --embedded / --embedded=DATADIR: run project commands in-process.
+    let mut embedded: Option<Option<String>> = None;
+    args.retain(|a| {
+        if a == "--embedded" {
+            embedded = Some(None);
+            return false;
+        }
+        match a.strip_prefix("--embedded=") {
+            Some("") => {
+                eprintln!("bad --embedded value: the data directory must not be empty");
+                std::process::exit(2);
+            }
+            Some(dir) => {
+                embedded = Some(Some(dir.to_string()));
+                false
+            }
+            None => true,
+        }
+    });
     let code = match args.first().map(|s| s.as_str()) {
         Some("demo") => cmd_demo(),
         Some("serve") => cmd_serve(args.get(1).map(|s| s.as_str()), interp),
@@ -75,7 +108,7 @@ fn main() {
             0
         }
         Some("settings") => cmd_settings(args.get(1).map(|s| s.as_str())),
-        Some("import") => cmd_project(&args, interp, |dev, names| {
+        Some("import") => cmd_project(&args, interp, embedded.clone(), |dev, names| {
             let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
             let report = if refs.is_empty() {
                 dev.import_all()
@@ -91,7 +124,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("export") => cmd_project(&args, interp, |dev, names| {
+        Some("export") => cmd_project(&args, interp, embedded.clone(), |dev, names| {
             let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
             let exported = dev.export(&refs).map_err(|e| e.to_string())?;
             for name in exported {
@@ -99,7 +132,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("run") => cmd_project(&args, interp, |dev, names| {
+        Some("run") => cmd_project(&args, interp, embedded.clone(), |dev, names| {
             let Some(name) = names.first() else {
                 return Err("usage: devudf run DIR NAME".to_string());
             };
@@ -110,7 +143,7 @@ fn main() {
             println!("result = {}", outcome.result_repr);
             Ok(())
         }),
-        Some("debug") => cmd_project(&args, interp, |dev, rest| {
+        Some("debug") => cmd_project(&args, interp, embedded.clone(), |dev, rest| {
             let Some(name) = rest.first() else {
                 return Err("usage: devudf debug DIR NAME [LINE…]".to_string());
             };
@@ -139,7 +172,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("metrics") => cmd_project(&args, interp, |dev, rest| {
+        Some("metrics") => cmd_project(&args, interp, embedded.clone(), |dev, rest| {
             let json = rest.iter().any(|a| a == "--json");
             let prefix = rest.iter().find(|a| !a.starts_with("--"));
             let sql = match prefix {
@@ -161,7 +194,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("sessions") => cmd_project(&args, interp, |dev, rest| {
+        Some("sessions") => cmd_project(&args, interp, embedded.clone(), |dev, rest| {
             let json = rest.iter().any(|a| a == "--json");
             let table = dev
                 .server_query("SELECT * FROM sys.sessions")
@@ -175,7 +208,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("trace") => cmd_project(&args, interp, |dev, rest| {
+        Some("trace") => cmd_project(&args, interp, embedded.clone(), |dev, rest| {
             let sql = match rest.first() {
                 Some(s) => s.clone(),
                 None if !dev.settings.debug_query.trim().is_empty() => {
@@ -200,7 +233,7 @@ fn main() {
             }
             Ok(())
         }),
-        Some("profile") => cmd_project(&args, interp, |dev, names| {
+        Some("profile") => cmd_project(&args, interp, embedded.clone(), |dev, names| {
             let Some(name) = names.first() else {
                 return Err("usage: devudf profile DIR NAME".to_string());
             };
@@ -212,7 +245,7 @@ fn main() {
             println!("result = {}", report.outcome.result_repr);
             Ok(())
         }),
-        Some("cache") => cmd_project(&args, interp, |dev, names| {
+        Some("cache") => cmd_project(&args, interp, embedded.clone(), |dev, names| {
             let Some(name) = names.first() else {
                 return Err("usage: devudf cache DIR NAME".to_string());
             };
@@ -245,9 +278,11 @@ fn main() {
         }),
         Some("log") => cmd_log(&args),
         Some("diff") => cmd_diff(&args),
+        Some("open") => cmd_open(&args),
+        Some("checkpoint") => cmd_checkpoint(&args),
         _ => {
             eprintln!(
-                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics|sessions|trace|profile|cache> …\n(see the module docs for details)"
+                "usage: devudf <demo|serve|menu|settings|import|export|run|debug|log|diff|metrics|sessions|trace|profile|cache|open|checkpoint> …\n(see the module docs for details)"
             );
             2
         }
@@ -370,6 +405,7 @@ fn cmd_settings(dir: Option<&str>) -> i32 {
 fn cmd_project(
     args: &[String],
     interp: Option<InterpMode>,
+    embedded: Option<Option<String>>,
     f: impl FnOnce(&mut DevUdf, &[String]) -> Result<(), String>,
 ) -> i32 {
     let Some(dir) = args.get(1) else {
@@ -387,7 +423,24 @@ fn cmd_project(
     if let Some(mode) = interp {
         settings.interp = mode;
     }
-    let mut dev = match DevUdf::connect_tcp(settings, root) {
+    let connected = match embedded {
+        Some(dir_override) => {
+            if let Some(d) = dir_override {
+                settings.storage.data_dir = d;
+            }
+            // A fresh in-memory engine has nothing to develop against, so
+            // it gets the demo seed; a persistent directory is opened
+            // exactly as the WAL left it.
+            let seed = settings.storage.data_dir.is_empty();
+            DevUdf::connect_embedded(settings, root, |db| {
+                if seed {
+                    seed_demo(db);
+                }
+            })
+        }
+        None => DevUdf::connect_tcp(settings, root),
+    };
+    let mut dev = match connected {
         Ok(d) => d,
         Err(e) => {
             eprintln!("cannot connect: {e}");
@@ -398,6 +451,76 @@ fn cmd_project(
         Ok(()) => 0,
         Err(e) => {
             eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// Open a persistent embedded database directory and report its state
+/// (`devudf open DATADIR [--demo]`).
+fn cmd_open(args: &[String]) -> i32 {
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: devudf open DATADIR [--demo]");
+        return 2;
+    };
+    let demo = args.iter().skip(2).any(|a| a == "--demo");
+    let db = match monetlite::Engine::open(Path::new(dir)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot open {dir}: {e}");
+            return 1;
+        }
+    };
+    if demo && db.function_names().is_empty() {
+        seed_demo(&db);
+        println!("seeded demo data (table numbers + mean_deviation)");
+    }
+    let stats = db.storage_stats().expect("opened engines are persistent");
+    println!("opened {}", stats.dir.display());
+    if stats.wal_records == 0 {
+        println!(
+            "  wal: empty ({} bytes), next seq {}",
+            stats.wal_bytes,
+            stats.base_seq + 1
+        );
+    } else {
+        println!(
+            "  wal: {} records ({} bytes), seq {}..{}",
+            stats.wal_records,
+            stats.wal_bytes,
+            stats.base_seq + 1,
+            stats.last_seq
+        );
+    }
+    println!("  functions: {}", db.function_names().join(", "));
+    0
+}
+
+/// Fold the WAL into a fresh snapshot (`devudf checkpoint DATADIR`).
+fn cmd_checkpoint(args: &[String]) -> i32 {
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: devudf checkpoint DATADIR");
+        return 2;
+    };
+    let db = match monetlite::Engine::open(Path::new(dir)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot open {dir}: {e}");
+            return 1;
+        }
+    };
+    match db.checkpoint() {
+        Ok(stats) => {
+            println!(
+                "checkpointed {} at seq {} (wal truncated to {} bytes)",
+                stats.dir.display(),
+                stats.base_seq,
+                stats.wal_bytes
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("checkpoint failed: {e}");
             1
         }
     }

@@ -99,6 +99,16 @@ pub struct Catalog {
     sessions: SessionSource,
 }
 
+/// Borrowed view of the catalog pieces the snapshot codec serializes:
+/// `(tables, functions, per-table epochs, functions_epoch, mutations)`.
+pub(crate) type StorageState<'a> = (
+    &'a BTreeMap<String, Table>,
+    &'a BTreeMap<String, FunctionDef>,
+    &'a BTreeMap<String, u64>,
+    u64,
+    u64,
+);
+
 impl Catalog {
     pub fn new() -> Self {
         Catalog::default()
@@ -214,6 +224,42 @@ impl Catalog {
     /// Epoch of the function catalog (bumped by CREATE/DROP FUNCTION).
     pub fn functions_epoch(&self) -> u64 {
         self.functions_epoch
+    }
+
+    /// Everything the snapshot codec must serialize to reproduce this
+    /// catalog byte-for-byte: the table and function maps, the per-table
+    /// epochs, and the two counters. `sessions` is deliberately absent —
+    /// it is a live handle re-installed by whichever server (if any) hosts
+    /// the reopened engine.
+    ///
+    /// See [`StorageState`] for the tuple shape.
+    pub(crate) fn storage_state(&self) -> StorageState<'_> {
+        (
+            &self.tables,
+            &self.functions,
+            &self.epochs,
+            self.functions_epoch,
+            self.mutations,
+        )
+    }
+
+    /// Rebuild a catalog from decoded snapshot state (inverse of
+    /// [`Catalog::storage_state`]).
+    pub(crate) fn from_storage_state(
+        tables: BTreeMap<String, Table>,
+        functions: BTreeMap<String, FunctionDef>,
+        epochs: BTreeMap<String, u64>,
+        functions_epoch: u64,
+        mutations: u64,
+    ) -> Catalog {
+        Catalog {
+            tables,
+            functions,
+            epochs,
+            functions_epoch,
+            mutations,
+            sessions: SessionSource::default(),
+        }
     }
 
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {

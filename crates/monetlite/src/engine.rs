@@ -126,6 +126,10 @@ pub struct Engine {
     /// the dependency set behind `extract_inputs_with_deps`. Kept outside
     /// `Inner` so logging a read never contends with an engine borrow.
     read_log: Rc<RefCell<Option<std::collections::BTreeSet<String>>>>,
+    /// The WAL/snapshot pair of a persistent engine ([`Engine::open`]);
+    /// `None` for the usual in-memory engine. Kept outside `Inner` so a
+    /// WAL append after a statement never contends with an engine borrow.
+    storage: Rc<RefCell<Option<crate::storage::Storage>>>,
 }
 
 impl Default for Engine {
@@ -159,7 +163,74 @@ impl Engine {
                 analyze: None,
             })),
             read_log: Rc::new(RefCell::new(None)),
+            storage: Rc::new(RefCell::new(None)),
         }
+    }
+
+    /// Open (creating if needed) a **persistent** engine on a directory
+    /// with default [`StorageOptions`](crate::storage::StorageOptions): load the snapshot if one exists,
+    /// replay the WAL tail, then start logging new mutations. See
+    /// [`crate::storage`] for file formats and recovery rules.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Engine, DbError> {
+        Self::open_with(dir, crate::storage::StorageOptions::default())
+    }
+
+    /// [`Engine::open`] with explicit fsync policy and snapshot cadence.
+    pub fn open_with(
+        dir: impl AsRef<std::path::Path>,
+        options: crate::storage::StorageOptions,
+    ) -> Result<Engine, DbError> {
+        let (storage, recovery) = crate::storage::Storage::open(dir.as_ref(), options)?;
+        let engine = Engine::new();
+        if let Some(catalog) = recovery.catalog {
+            engine.inner.borrow_mut().catalog = catalog;
+        }
+        // Replay runs *before* the storage handle is attached, so replayed
+        // statements are never re-logged.
+        for sql in &recovery.wal {
+            engine
+                .execute(sql)
+                .map_err(|e| DbError::storage(format!("WAL replay failed for {sql:?}: {e}")))?;
+        }
+        *engine.storage.borrow_mut() = Some(storage);
+        Ok(engine)
+    }
+
+    /// Whether this engine persists to a storage directory.
+    pub fn is_persistent(&self) -> bool {
+        self.storage.borrow().is_some()
+    }
+
+    /// Persistence counters of a persistent engine (`None` otherwise).
+    pub fn storage_stats(&self) -> Option<crate::storage::StorageStats> {
+        self.storage.borrow().as_ref().map(|s| s.stats())
+    }
+
+    /// Fold the catalog into a snapshot and truncate the WAL. Errors on an
+    /// in-memory engine — checkpointing nothing is a caller bug.
+    pub fn checkpoint(&self) -> Result<crate::storage::StorageStats, DbError> {
+        let mut slot = self.storage.borrow_mut();
+        let storage = slot.as_mut().ok_or_else(|| {
+            DbError::storage("engine has no storage directory (use Engine::open)")
+        })?;
+        let inner = self.inner.borrow();
+        storage.checkpoint(&inner.catalog)?;
+        Ok(storage.stats())
+    }
+
+    /// WAL hook: called after a successful top-level statement that moved
+    /// the catalog version. No-op for in-memory engines.
+    fn persist(&self, sql: &str) -> Result<(), DbError> {
+        let mut slot = self.storage.borrow_mut();
+        let Some(storage) = slot.as_mut() else {
+            return Ok(());
+        };
+        storage.append(sql)?;
+        if storage.should_checkpoint() {
+            let inner = self.inner.borrow();
+            storage.checkpoint(&inner.catalog)?;
+        }
+        Ok(())
     }
 
     /// Capture an epoch-stamped, `Send + Sync` snapshot of the catalog and
@@ -383,9 +454,21 @@ impl Engine {
     pub fn execute(&self, sql: &str) -> Result<QueryResult, DbError> {
         let stmt = parse_statement(sql)?;
         obs::counter!("monet.queries.parsed").inc();
+        // Logical WAL logging: record the SQL text of every successful
+        // *top-level* statement that moved the catalog version. Loopback
+        // statements (depth ≥ 1) are excluded — replaying the outer
+        // statement re-runs the UDF and reproduces them; logging both
+        // would double-apply.
+        let (version_before, depth) = {
+            let inner = self.inner.borrow();
+            (inner.catalog.version(), inner.udf_depth)
+        };
         let result = self.run(&stmt);
         if result.is_ok() {
             obs::counter!("monet.queries.executed").inc();
+            if depth == 0 && self.catalog_version() != version_before {
+                self.persist(sql)?;
+            }
         }
         result
     }

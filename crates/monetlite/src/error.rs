@@ -17,6 +17,9 @@ pub enum ErrorCode {
     Udf,
     /// CSV/data loading problem.
     Load,
+    /// Persistence failure: WAL append, snapshot IO, or corrupt storage
+    /// files that torn-tail recovery cannot repair.
+    Storage,
 }
 
 impl ErrorCode {
@@ -28,6 +31,7 @@ impl ErrorCode {
             ErrorCode::Exec => "ExecError",
             ErrorCode::Udf => "UdfError",
             ErrorCode::Load => "LoadError",
+            ErrorCode::Storage => "StorageError",
         }
     }
 }
@@ -78,6 +82,10 @@ impl DbError {
 
     pub fn load(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Load, message)
+    }
+
+    pub fn storage(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Storage, message)
     }
 }
 

@@ -43,6 +43,7 @@ pub mod exec;
 pub mod inline;
 pub mod snapshot;
 pub mod sql;
+pub mod storage;
 pub mod table;
 pub mod types;
 pub mod udf;
@@ -54,5 +55,6 @@ pub use classify::{classify_extract, classify_sql, classify_statement, CommandCl
 pub use engine::{Engine, ExecutionModel, QueryResult};
 pub use error::{DbError, ErrorCode};
 pub use snapshot::EngineSnapshot;
+pub use storage::{FsyncPolicy, StorageOptions, StorageStats};
 pub use table::Table;
 pub use types::{Column, ColumnData, SqlType, SqlValue};

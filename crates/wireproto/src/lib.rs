@@ -49,6 +49,7 @@
 
 pub mod client;
 pub mod delta;
+pub mod embedded;
 pub mod fault;
 pub mod message;
 pub mod retry;
@@ -57,6 +58,7 @@ pub mod transfer;
 pub mod transport;
 
 pub use client::{Client, ClientOptions};
+pub use embedded::{Embedded, EngineTransport};
 pub use fault::{FaultInjectingTransport, FaultPolicy, FaultStats};
 pub use message::{Message, WireError, WireTable, WireValue};
 pub use retry::RetryPolicy;

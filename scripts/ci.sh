@@ -63,9 +63,40 @@ echo "digests identical"
 #  - 16 concurrent TCP sessions must not run queries slower than one
 #    session (committed BENCH_server_concurrency.json; the floor is
 #    core-count-aware — a real speedup is only demanded on >=8 cores,
-#    elsewhere the guard catches a convoying scheduler at ~0.5x).
-echo "==> bench guards (transfer codec + bytecode VM + UDF inlining + observability + concurrency)"
+#    elsewhere the guard catches a convoying scheduler at ~0.5x);
+#  - the embedded transport must keep beating the TCP wire on input
+#    extraction (committed BENCH_embedded.json documents >=5x on 200k
+#    rows; live floor 2x — an embedded path that starts serializing
+#    again lands near 1x).
+echo "==> bench guards (transfer codec + bytecode VM + UDF inlining + observability + concurrency + embedded)"
 cargo run --offline --release -q -p devudf-bench --bin bench_guard
+
+# Embedded-mode smoke, no server anywhere: create a persistent data
+# directory, then drive the import -> run loop over the in-process
+# transport in a *separate* invocation (so the catalog demonstrably
+# survives the WAL replay), checkpoint it, and verify the WAL folded.
+echo "==> embedded mode smoke (WAL replay + checkpoint, no server)"
+EMB_DIR=$(mktemp -d /tmp/devudf-ci-embedded.XXXXXX)
+cargo run --offline --release -q -p devudf-ide --bin devudf open "$EMB_DIR/data" --demo \
+  | grep -q "seeded demo data"
+mkdir -p "$EMB_DIR/proj/.devudf"
+cat > "$EMB_DIR/proj/.devudf/settings.json" <<EOF
+{"host": "localhost", "port": 50000, "database": "demo",
+ "user": "monetdb", "password": "monetdb",
+ "debug_query": "SELECT mean_deviation(i) FROM numbers",
+ "transfer": {"compress": false, "encrypt": false, "sample": null},
+ "storage": {"data_dir": "$EMB_DIR/data", "fsync": "never"}}
+EOF
+cargo run --offline --release -q -p devudf-ide --bin devudf import "$EMB_DIR/proj" --embedded \
+  | grep -q "imported mean_deviation"
+cargo run --offline --release -q -p devudf-ide --bin devudf run "$EMB_DIR/proj" mean_deviation --embedded \
+  | grep -q "result ="
+cargo run --offline --release -q -p devudf-ide --bin devudf checkpoint "$EMB_DIR/data" \
+  | grep -q "checkpointed"
+cargo run --offline --release -q -p devudf-ide --bin devudf open "$EMB_DIR/data" \
+  | grep -q "wal: empty"
+rm -rf "$EMB_DIR"
+echo "embedded smoke OK"
 
 # End-to-end observability smoke over a real TCP socket: start the demo
 # server, point a project at it, and check that `devudf trace` prints one
@@ -132,9 +163,11 @@ echo "trace + profile smoke OK"
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 
-# Documentation gate: intra-repo markdown links must resolve and README's
-# headline test count must match the run above.
-echo "==> doclint (markdown links + stale counts)"
+# Documentation gate: intra-repo markdown links must resolve, README's
+# headline test count must match the run above, DESIGN § references must
+# hit real headings, and BENCH_*.json mentions must match the committed
+# baselines in both directions.
+echo "==> doclint (markdown links + stale counts + stale baselines)"
 DEVUDF_TEST_LOG=/tmp/devudf-ci-test.txt scripts/doclint.sh
 
 echo "CI OK"

@@ -101,6 +101,29 @@ while IFS= read -r ref; do
     check_section "${ref#§}" "DESIGN.md"
 done < <(grep -oE '§[0-9]+[a-z]?(\.[0-9]+)?' DESIGN.md | grep -vE '\.' || true)
 
+# 4. Bench baselines may not go stale in either direction: every
+#    `BENCH_*.json` mentioned in the top-level docs must exist as a
+#    committed file, and every committed `BENCH_*.json` must be
+#    documented in EXPERIMENTS.md (an orphaned baseline is a perf claim
+#    nobody can audit).
+echo "doclint: checking BENCH_*.json baselines against docs"
+for doc in "${DOCS[@]}"; do
+    [[ -f "$doc" ]] || continue
+    while IFS= read -r mention; do
+        if [[ ! -f "$mention" ]]; then
+            echo "doclint: FAIL: $doc mentions '$mention' but no such baseline is committed"
+            fail=1
+        fi
+    done < <(grep -oE 'BENCH_[A-Za-z0-9_]+\.json' "$doc" | sort -u || true)
+done
+for baseline in BENCH_*.json; do
+    [[ -e "$baseline" ]] || continue # unmatched glob
+    if ! grep -qF "$baseline" EXPERIMENTS.md; then
+        echo "doclint: FAIL: committed baseline '$baseline' is not documented in EXPERIMENTS.md"
+        fail=1
+    fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
     echo "doclint: FAILED"
     exit 1

@@ -1,0 +1,124 @@
+//! Differential test: the embedded transport must be observationally
+//! identical to the wire (DESIGN §17's "one engine, two transports"
+//! claim) — same results, same error codes, same UDF stdout, same
+//! extracted inputs — across the full three-way interpreter matrix.
+
+use devudf::{DevUdf, InterpMode, Settings};
+use wireproto::message::WireResult;
+use wireproto::{Server, ServerConfig};
+
+fn seed(db: &monetlite::Engine) {
+    db.execute("CREATE TABLE t (i INTEGER, s STRING)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, NULL), (4, 'd')")
+        .unwrap();
+    db.execute(
+        "CREATE FUNCTION double_it(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i * 2 }",
+    )
+    .unwrap();
+    db.execute(concat!(
+        "CREATE FUNCTION loud_sum(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\n",
+        "print('summing')\n",
+        "total = 0\n",
+        "for k in range(0, len(i)):\n",
+        "    total += i[k]\n",
+        "return total\n",
+        "}"
+    ))
+    .unwrap();
+    db.execute("CREATE FUNCTION boom(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return i / 0 }")
+        .unwrap();
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("devudf-embdiff-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Queries whose replies the two transports must agree on, including a
+/// write (both transports route it to the live engine) and a read after
+/// it (the embedded snapshot reader must see the new row).
+const QUERIES: &[&str] = &[
+    "SELECT i, s FROM t",
+    "SELECT double_it(i) FROM t",
+    "SELECT loud_sum(i) FROM t",
+    "SELECT sum(i) FROM t WHERE s IS NOT NULL",
+    "INSERT INTO t VALUES (5, 'e')",
+    "SELECT double_it(i) FROM t WHERE i > 3",
+];
+
+#[test]
+fn embedded_matches_tcp_across_the_interp_matrix() {
+    for mode in [InterpMode::Ast, InterpMode::Bytecode, InterpMode::Inline] {
+        let server = Server::start(ServerConfig::new("demo", "monetdb", "monetdb"), move |db| {
+            db.set_exec_mode(mode.pylite_mode());
+            db.set_inline(mode.inline());
+            seed(db);
+        });
+        let mut settings = Settings::default();
+        settings.interp = mode;
+        settings.debug_query = "SELECT double_it(i) FROM t".to_string();
+
+        let wire_proj = temp_dir(&format!("wire-{}", mode.as_str()));
+        let emb_proj = temp_dir(&format!("emb-{}", mode.as_str()));
+        let mut wire = DevUdf::connect_in_proc(&server, settings.clone(), &wire_proj).unwrap();
+        let mut emb = DevUdf::connect_embedded(settings, &emb_proj, seed).unwrap();
+
+        for sql in QUERIES {
+            let a = wire.server_query(sql).unwrap();
+            let b = emb.server_query(sql).unwrap();
+            match (&a, &b) {
+                // `Affected` messages may differ in phrasing; rows must not.
+                (WireResult::Affected { rows: ra, .. }, WireResult::Affected { rows: rb, .. }) => {
+                    assert_eq!(ra, rb, "[{}] {sql}", mode.as_str())
+                }
+                _ => assert_eq!(a, b, "[{}] {sql}", mode.as_str()),
+            }
+            assert_eq!(
+                wire.client().borrow().last_udf_stdout(),
+                emb.client().borrow().last_udf_stdout(),
+                "[{}] stdout of {sql}",
+                mode.as_str()
+            );
+        }
+
+        // Errors: same code through both transports.
+        let a = wire.server_query("SELECT boom(i) FROM t").unwrap_err();
+        let b = emb.server_query("SELECT boom(i) FROM t").unwrap_err();
+        assert_eq!(code_of(&a), code_of(&b), "[{}]", mode.as_str());
+        assert_eq!(code_of(&b), Some("UdfError".to_string()));
+
+        // Catalog metadata: identical function lists and definitions.
+        assert_eq!(
+            wire.server_functions().unwrap(),
+            emb.server_functions().unwrap()
+        );
+        assert_eq!(
+            wire.function_info("loud_sum").unwrap(),
+            emb.function_info("loud_sum").unwrap()
+        );
+
+        // The paper's extract → local run loop: both transports must
+        // deliver the same inputs, hence the same local result.
+        wire.import_all().unwrap();
+        emb.import_all().unwrap();
+        wire.fetch_inputs("double_it").unwrap();
+        let emb_stats = emb.fetch_inputs("double_it").unwrap();
+        assert_eq!(emb_stats.wire_len, 0, "embedded extract crossed a wire?");
+        let ra = wire.run_udf("double_it").unwrap();
+        let rb = emb.run_udf("double_it").unwrap();
+        assert_eq!(ra.result_repr, rb.result_repr, "[{}]", mode.as_str());
+
+        std::fs::remove_dir_all(&wire_proj).ok();
+        std::fs::remove_dir_all(&emb_proj).ok();
+        server.shutdown();
+    }
+}
+
+fn code_of(e: &devudf::DevUdfError) -> Option<String> {
+    match e {
+        devudf::DevUdfError::Wire(wireproto::WireError::Server { code, .. }) => Some(code.clone()),
+        _ => None,
+    }
+}
